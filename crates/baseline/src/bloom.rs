@@ -1,0 +1,219 @@
+//! A counting Bloom filter.
+//!
+//! Substrate for the approximate two-hop baseline: supports insert, remove
+//! (the reason plain Bloom filters don't suffice — window expiry needs
+//! deletions), and membership with a tunable false-positive rate. 4-bit
+//! counters packed two per byte, `h` independent Fx-derived hash functions.
+
+use magicrecs_types::UserId;
+use std::hash::{BuildHasher, Hash, Hasher};
+
+/// A counting Bloom filter over [`UserId`]s with 4-bit counters.
+#[derive(Debug, Clone)]
+pub struct CountingBloom {
+    /// Packed 4-bit counters, two per byte.
+    counters: Vec<u8>,
+    /// Number of counter slots (== counters.len() * 2).
+    slots: usize,
+    hashes: u32,
+    items: usize,
+}
+
+impl CountingBloom {
+    /// Creates a filter sized for `expected_items` at `fp_rate` false
+    /// positives, using the standard m/k formulas.
+    pub fn new(expected_items: usize, fp_rate: f64) -> Self {
+        assert!(expected_items > 0, "expected_items must be positive");
+        assert!(
+            fp_rate > 0.0 && fp_rate < 1.0,
+            "fp_rate must be in (0, 1)"
+        );
+        let n = expected_items as f64;
+        let m = (-n * fp_rate.ln() / (2f64.ln().powi(2))).ceil().max(8.0) as usize;
+        let k = ((m as f64 / n) * 2f64.ln()).round().clamp(1.0, 16.0) as u32;
+        CountingBloom {
+            counters: vec![0u8; m.div_ceil(2)],
+            slots: m,
+            hashes: k,
+            items: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, value: UserId, i: u32) -> usize {
+        let bh = magicrecs_types::FxBuildHasher::default();
+        let mut h = bh.build_hasher();
+        value.hash(&mut h);
+        i.hash(&mut h);
+        let mut x = h.finish();
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        (x % self.slots as u64) as usize
+    }
+
+    #[inline]
+    fn get_counter(&self, slot: usize) -> u8 {
+        let byte = self.counters[slot / 2];
+        if slot.is_multiple_of(2) {
+            byte & 0x0F
+        } else {
+            byte >> 4
+        }
+    }
+
+    #[inline]
+    fn set_counter(&mut self, slot: usize, v: u8) {
+        let v = v.min(15);
+        let byte = &mut self.counters[slot / 2];
+        if slot.is_multiple_of(2) {
+            *byte = (*byte & 0xF0) | v;
+        } else {
+            *byte = (*byte & 0x0F) | (v << 4);
+        }
+    }
+
+    /// Inserts one occurrence of `value`. Counters saturate at 15 (a
+    /// saturated counter is never decremented, preserving safety).
+    pub fn insert(&mut self, value: UserId) {
+        for i in 0..self.hashes {
+            let s = self.slot(value, i);
+            let c = self.get_counter(s);
+            if c < 15 {
+                self.set_counter(s, c + 1);
+            }
+        }
+        self.items += 1;
+    }
+
+    /// Removes one occurrence of `value`. Only decrements unsaturated
+    /// counters; removing a never-inserted value may corrupt counts, as
+    /// with any counting Bloom filter — callers must pair inserts/removes.
+    pub fn remove(&mut self, value: UserId) {
+        for i in 0..self.hashes {
+            let s = self.slot(value, i);
+            let c = self.get_counter(s);
+            if c > 0 && c < 15 {
+                self.set_counter(s, c - 1);
+            }
+        }
+        self.items = self.items.saturating_sub(1);
+    }
+
+    /// Whether `value` may be present (false positives possible, false
+    /// negatives not — up to remove-discipline).
+    pub fn contains(&self, value: UserId) -> bool {
+        (0..self.hashes).all(|i| self.get_counter(self.slot(value, i)) > 0)
+    }
+
+    /// Lower bound on the number of times `value` was inserted (minimum
+    /// counter — the count-min sketch estimate).
+    pub fn estimate(&self, value: UserId) -> u8 {
+        (0..self.hashes)
+            .map(|i| self.get_counter(self.slot(value, i)))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total insertions minus removals.
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// Resident bytes of the counter array.
+    pub fn memory_bytes(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Number of hash functions in use.
+    pub fn num_hashes(&self) -> u32 {
+        self.hashes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(n: u64) -> UserId {
+        UserId(n)
+    }
+
+    #[test]
+    fn insert_then_contains() {
+        let mut b = CountingBloom::new(1000, 0.01);
+        for i in 0..100 {
+            b.insert(u(i));
+        }
+        for i in 0..100 {
+            assert!(b.contains(u(i)), "false negative for {i}");
+        }
+    }
+
+    #[test]
+    fn remove_restores_absence() {
+        let mut b = CountingBloom::new(1000, 0.01);
+        b.insert(u(7));
+        assert!(b.contains(u(7)));
+        b.remove(u(7));
+        assert!(!b.contains(u(7)));
+        assert_eq!(b.items(), 0);
+    }
+
+    #[test]
+    fn false_positive_rate_near_target() {
+        let mut b = CountingBloom::new(1000, 0.01);
+        for i in 0..1000 {
+            b.insert(u(i));
+        }
+        let fps = (1000u64..11_000).filter(|&i| b.contains(u(i))).count();
+        let rate = fps as f64 / 10_000.0;
+        assert!(rate < 0.05, "FP rate {rate} far above target 0.01");
+    }
+
+    #[test]
+    fn estimate_counts_multiplicity() {
+        let mut b = CountingBloom::new(100, 0.01);
+        for _ in 0..3 {
+            b.insert(u(5));
+        }
+        assert!(b.estimate(u(5)) >= 3);
+        assert_eq!(b.estimate(u(6)), 0);
+    }
+
+    #[test]
+    fn counters_saturate_without_wrapping() {
+        let mut b = CountingBloom::new(10, 0.01);
+        for _ in 0..100 {
+            b.insert(u(1));
+        }
+        assert!(b.contains(u(1)));
+        // Saturated counters are not decremented.
+        for _ in 0..100 {
+            b.remove(u(1));
+        }
+        assert!(b.contains(u(1)), "saturation must be sticky for safety");
+    }
+
+    #[test]
+    fn memory_scales_with_capacity_and_fp() {
+        let small = CountingBloom::new(1_000, 0.01);
+        let big = CountingBloom::new(100_000, 0.01);
+        let tight = CountingBloom::new(1_000, 0.0001);
+        assert!(big.memory_bytes() > small.memory_bytes());
+        assert!(tight.memory_bytes() > small.memory_bytes());
+        assert!(small.num_hashes() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fp_rate")]
+    fn bad_fp_rejected() {
+        let _ = CountingBloom::new(10, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected_items")]
+    fn zero_items_rejected() {
+        let _ = CountingBloom::new(0, 0.01);
+    }
+}

@@ -1,0 +1,33 @@
+//! # magicrecs-baseline
+//!
+//! The designs the paper *ruled out*, built for comparison, plus a
+//! brute-force oracle:
+//!
+//! * [`polling::PollingDetector`] — "One could poll each user's network
+//!   periodically to see if the motif has been formed since the last query;
+//!   however, the latency would be unacceptably large." Experiment E5
+//!   measures that latency (≈ half the poll interval) and the per-poll scan
+//!   cost against the online detector's milliseconds.
+//! * [`two_hop::TwoHopExact`] / [`two_hop::TwoHopBloom`] — "Another
+//!   approach would be to keep track of each A's two-hop neighborhood; a
+//!   rough calculation shows that this is impractical, even using
+//!   approximate data structures such as Bloom filters." E5 reproduces the
+//!   rough calculation with measured per-user costs.
+//! * [`bloom::CountingBloom`] — the counting Bloom filter substrate for the
+//!   approximate variant.
+//! * [`batch::BatchOracle`] — an independent brute-force replay of the
+//!   motif semantics, used as ground truth in property tests against the
+//!   production detector.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod bloom;
+pub mod polling;
+pub mod two_hop;
+
+pub use batch::BatchOracle;
+pub use bloom::CountingBloom;
+pub use polling::{PollingDetector, PollingReport};
+pub use two_hop::{TwoHopBloom, TwoHopExact};

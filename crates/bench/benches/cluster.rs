@@ -1,0 +1,74 @@
+//! Cluster benches (experiment E6 micro view + ablation B5): partition
+//! scaling of the threaded deployment and broker gather cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use magicrecs_bench::{bench_detector_config, bench_trace, small_graph};
+use magicrecs_cluster::{Broker, ThreadedCluster};
+use magicrecs_types::ClusterConfig;
+use std::hint::black_box;
+
+fn bench_partition_scaling(c: &mut Criterion) {
+    let graph = small_graph(20_000);
+    let trace = bench_trace(20_000, 2_000.0, 5, 0xC1);
+    let mut group = c.benchmark_group("e6_threaded_partitions");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.sample_size(10);
+    for parts in [1u32, 2, 4, 8] {
+        let cluster = ThreadedCluster::new(
+            &graph,
+            ClusterConfig::single().with_partitions(parts),
+            bench_detector_config(),
+        )
+        .unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(parts),
+            &cluster,
+            |b, cluster| {
+                b.iter(|| {
+                    let report = cluster.run_trace(trace.events()).unwrap();
+                    black_box(report.candidates.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_broker_vs_threaded(c: &mut Criterion) {
+    // B5: sequential fan-out vs real threads at the paper's 20 partitions.
+    let graph = small_graph(10_000);
+    let trace = bench_trace(10_000, 1_000.0, 5, 0xC2);
+    let mut group = c.benchmark_group("b5_gather");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.sample_size(10);
+    group.bench_function("sequential_broker_20p", |b| {
+        b.iter(|| {
+            let mut broker = Broker::new(
+                &graph,
+                ClusterConfig::single().with_partitions(20),
+                bench_detector_config(),
+            )
+            .unwrap();
+            black_box(broker.process_trace(trace.events().iter().copied()).len())
+        });
+    });
+    let cluster = ThreadedCluster::new(
+        &graph,
+        ClusterConfig::single().with_partitions(20),
+        bench_detector_config(),
+    )
+    .unwrap();
+    group.bench_function("threaded_cluster_20p", |b| {
+        b.iter(|| black_box(cluster.run_trace(trace.events()).unwrap().candidates.len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition_scaling, bench_broker_vs_threaded);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Ablations B1 (two-list intersection) and B2 (threshold intersection).
+//!
+//! B1: merge vs gallop vs adaptive across length ratios — follower lists
+//! range from a dozen entries to millions, so the detector's adaptive
+//! switch matters.
+//! B2: scan-count vs heap-merge vs adaptive across fan-in (number of
+//! witness lists).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use magicrecs_core::intersect::{intersect_adaptive, intersect_gallop, intersect_merge};
+use magicrecs_core::threshold::{
+    threshold_heap_merge, threshold_intersect, threshold_scan_count, ThresholdAlgo,
+};
+use magicrecs_types::UserId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn sorted_ids(n: usize, range: u64, rng: &mut StdRng) -> Vec<UserId> {
+    let mut v: Vec<UserId> = (0..n).map(|_| UserId(rng.random_range(0..range))).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn bench_two_list(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b1_intersect");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(0xB1);
+    // (short_len, long_len): equal, 16x, 256x, 4096x.
+    for (short, long) in [(4_096usize, 4_096usize), (512, 8_192), (64, 16_384), (8, 32_768)] {
+        let a = sorted_ids(short, 1_000_000, &mut rng);
+        let b = sorted_ids(long, 1_000_000, &mut rng);
+        let ratio = long / short;
+        group.throughput(Throughput::Elements((short + long) as u64));
+        for (name, f) in [
+            ("merge", intersect_merge as fn(&[UserId], &[UserId], &mut Vec<UserId>)),
+            ("gallop", intersect_gallop),
+            ("adaptive", intersect_adaptive),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("ratio_{ratio}x")),
+                &(&a, &b),
+                |bench, (a, b)| {
+                    let mut out = Vec::with_capacity(short);
+                    bench.iter(|| {
+                        out.clear();
+                        f(black_box(a), black_box(b), &mut out);
+                        black_box(out.len())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b2_threshold");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(0xB2);
+    for lists_n in [2usize, 4, 8, 16, 32] {
+        let lists: Vec<Vec<UserId>> = (0..lists_n)
+            .map(|_| sorted_ids(2_000, 50_000, &mut rng))
+            .collect();
+        let slices: Vec<&[UserId]> = lists.iter().map(|l| l.as_slice()).collect();
+        let k = 2;
+        let total: usize = lists.iter().map(|l| l.len()).sum();
+        group.throughput(Throughput::Elements(total as u64));
+        group.bench_with_input(
+            BenchmarkId::new("scan_count", lists_n),
+            &slices,
+            |bench, s| {
+                let mut out = Vec::new();
+                bench.iter(|| {
+                    out.clear();
+                    threshold_scan_count(black_box(s), k, &mut out);
+                    black_box(out.len())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("heap_merge", lists_n),
+            &slices,
+            |bench, s| {
+                let mut out = Vec::new();
+                bench.iter(|| {
+                    out.clear();
+                    threshold_heap_merge(black_box(s), k, &mut out);
+                    black_box(out.len())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("adaptive", lists_n),
+            &slices,
+            |bench, s| {
+                let mut out = Vec::new();
+                bench.iter(|| {
+                    out.clear();
+                    threshold_intersect(ThresholdAlgo::Adaptive, black_box(s), k, &mut out);
+                    black_box(out.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_two_list, bench_threshold);
+criterion_main!(benches);

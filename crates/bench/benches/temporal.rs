@@ -1,0 +1,149 @@
+//! Dynamic-store benches: ingest per pruning strategy (ablation B3),
+//! witness queries, and the hasher ablation (B4, Fx vs SipHash).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use magicrecs_bench::bench_trace;
+use magicrecs_temporal::{PruneStrategy, TemporalEdgeStore};
+use magicrecs_types::{Duration, FxHashMap, Timestamp, UserId};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn bench_ingest_strategies(c: &mut Criterion) {
+    let trace = bench_trace(5_000, 2_000.0, 20, 0xB3);
+    let events = trace.events();
+    let mut group = c.benchmark_group("b3_d_ingest");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(events.len() as u64));
+    for (name, strategy) in [
+        ("eager", PruneStrategy::Eager),
+        ("wheel", PruneStrategy::Wheel),
+        ("sweep_10k", PruneStrategy::Sweep { sweep_every: 10_000 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut d = TemporalEdgeStore::new(Duration::from_secs(120), strategy);
+                for e in events {
+                    d.insert(e.src, e.dst, e.created_at);
+                    if matches!(strategy, PruneStrategy::Wheel)
+                        && d.stats().inserted.is_multiple_of(1024)
+                    {
+                        d.advance(e.created_at);
+                    }
+                }
+                black_box(d.resident_entries())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_witness_query(c: &mut Criterion) {
+    // Pre-load a store, then measure queries against hot and cold targets.
+    let trace = bench_trace(5_000, 2_000.0, 20, 0xB3B);
+    let mut d = TemporalEdgeStore::with_window(Duration::from_secs(600));
+    let mut hottest = (UserId(0), 0usize);
+    let mut counts: FxHashMap<UserId, usize> = FxHashMap::default();
+    for e in trace.events() {
+        d.insert(e.src, e.dst, e.created_at);
+        let c = counts.entry(e.dst).or_default();
+        *c += 1;
+        if *c > hottest.1 {
+            hottest = (e.dst, *c);
+        }
+    }
+    let now = trace.end().unwrap();
+    let mut group = c.benchmark_group("d_witness_query");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("hot_target", |b| {
+        let mut out = Vec::with_capacity(1_024);
+        b.iter(|| {
+            out.clear();
+            d.witnesses_into(black_box(hottest.0), now, &mut out);
+            black_box(out.len())
+        });
+    });
+    group.bench_function("cold_target", |b| {
+        let mut out = Vec::with_capacity(16);
+        b.iter(|| {
+            out.clear();
+            d.witnesses_into(black_box(UserId(u64::MAX - 1)), now, &mut out);
+            black_box(out.len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_hashers(c: &mut Criterion) {
+    // B4: the store's hot maps are UserId-keyed; Fx vs the default SipHash.
+    let keys: Vec<UserId> = (0..100_000u64).map(|i| UserId(i.wrapping_mul(0x9E37))).collect();
+    let mut group = c.benchmark_group("b4_hasher");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("fx_insert_lookup", |b| {
+        b.iter(|| {
+            let mut m: FxHashMap<UserId, u64> = FxHashMap::default();
+            for (i, &k) in keys.iter().enumerate() {
+                m.insert(k, i as u64);
+            }
+            let mut acc = 0u64;
+            for &k in &keys {
+                acc = acc.wrapping_add(*m.get(&k).unwrap());
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("siphash_insert_lookup", |b| {
+        b.iter(|| {
+            let mut m: HashMap<UserId, u64> = HashMap::new();
+            for (i, &k) in keys.iter().enumerate() {
+                m.insert(k, i as u64);
+            }
+            let mut acc = 0u64;
+            for &k in &keys {
+                acc = acc.wrapping_add(*m.get(&k).unwrap());
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+fn bench_advance(c: &mut Criterion) {
+    // Cost of the periodic wheel advance at steady state.
+    let mut group = c.benchmark_group("d_advance");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("wheel_expiry_1k_targets", |b| {
+        b.iter_batched(
+            || {
+                let mut d = TemporalEdgeStore::with_window(Duration::from_secs(60));
+                for i in 0..1_000u64 {
+                    d.insert(UserId(i), UserId(10_000 + i), Timestamp::from_secs(1));
+                }
+                d
+            },
+            |mut d| {
+                d.advance(Timestamp::from_secs(10_000));
+                black_box(d.resident_targets())
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ingest_strategies,
+    bench_witness_query,
+    bench_hashers,
+    bench_advance
+);
+criterion_main!(benches);

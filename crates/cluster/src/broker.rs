@@ -1,0 +1,311 @@
+//! The broker: sequential fan-out/gather over partitions.
+//!
+//! "The final design is a fairly standard partitioned, replicated
+//! architecture with coordination handled by brokers that fan-out queries
+//! and gather results." Because partitions own disjoint `A` sets, gathering
+//! is pure concatenation — no cross-partition dedup is ever needed, which
+//! is the whole point of partitioning by `A`.
+//!
+//! This sequential broker is the reference implementation: its output is
+//! proven (tests + property tests) identical to a single-node engine, and
+//! [`crate::ThreadedCluster`] is in turn tested against it.
+
+use crate::partition::Partition;
+use magicrecs_graph::{partition_by_source, FollowGraph, HashPartitioner, Partitioner};
+use magicrecs_types::{
+    Candidate, ClusterConfig, DetectorConfig, EdgeEvent, PartitionId, Result, Timestamp,
+};
+
+/// A sequential fan-out broker over in-process partitions.
+#[derive(Debug)]
+pub struct Broker {
+    partitions: Vec<Partition>,
+    partitioner: HashPartitioner,
+}
+
+impl Broker {
+    /// Builds the broker: splits `graph` by `A` into
+    /// `cluster_config.partitions` partitions, each with its own engine.
+    pub fn new(
+        graph: &FollowGraph,
+        cluster_config: ClusterConfig,
+        detector_config: DetectorConfig,
+    ) -> Result<Self> {
+        cluster_config.validate()?;
+        detector_config.validate()?;
+        let partitioner = HashPartitioner::new(cluster_config.partitions);
+        let parts = partition_by_source(graph, &partitioner);
+        let partitions = parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, local)| {
+                Partition::new(PartitionId(i as u32), local, detector_config)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Broker {
+            partitions,
+            partitioner,
+        })
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Fans the event out to every partition and gathers candidates,
+    /// sorted by user id (deterministic gather order).
+    pub fn on_event(&mut self, event: EdgeEvent) -> Vec<Candidate> {
+        let mut gathered = Vec::new();
+        for p in &mut self.partitions {
+            gathered.extend(p.on_event(event));
+        }
+        gathered.sort_by_key(|c| c.user);
+        gathered
+    }
+
+    /// Processes a whole trace.
+    pub fn process_trace<I: IntoIterator<Item = EdgeEvent>>(
+        &mut self,
+        events: I,
+    ) -> Vec<Candidate> {
+        let mut all = Vec::new();
+        for e in events {
+            all.extend(self.on_event(e));
+        }
+        all
+    }
+
+    /// Reloads the static graph across all partitions (the paper's
+    /// periodic offline load: "the A → B edges are computed offline and
+    /// loaded into the system periodically"). Dynamic state (`D`) is
+    /// preserved; each partition receives its re-partitioned slice.
+    pub fn reload_graph(&mut self, graph: &FollowGraph) {
+        let parts = partition_by_source(graph, &self.partitioner);
+        for (p, local) in self.partitions.iter_mut().zip(parts) {
+            p.swap_graph(local);
+        }
+    }
+
+    /// Forces expiry on every partition.
+    pub fn advance(&mut self, now: Timestamp) {
+        for p in &mut self.partitions {
+            p.advance(now);
+        }
+    }
+
+    /// The partition owning user `a`.
+    pub fn partition_of(&self, a: magicrecs_types::UserId) -> PartitionId {
+        self.partitioner.partition_of(a)
+    }
+
+    /// Access to partitions (metrics, memory accounting).
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// Total resident bytes across partitions. Because every partition
+    /// holds the full `D`, this grows linearly in partition count for the
+    /// `D` component — the paper's noted memory pressure.
+    pub fn memory_bytes(&self) -> usize {
+        self.partitions.iter().map(|p| p.memory_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magicrecs_core::Engine;
+    use magicrecs_gen::{GraphGen, GraphGenConfig, Scenario, ScenarioConfig};
+    use magicrecs_types::UserId;
+
+    fn u(n: u64) -> UserId {
+        UserId(n)
+    }
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn figure1() -> FollowGraph {
+        let mut g = magicrecs_graph::GraphBuilder::new();
+        g.extend([
+            (u(1), u(11)),
+            (u(2), u(11)),
+            (u(2), u(12)),
+            (u(3), u(12)),
+        ]);
+        g.build()
+    }
+
+    #[test]
+    fn broker_matches_figure1() {
+        let g = figure1();
+        let mut broker = Broker::new(
+            &g,
+            ClusterConfig::single().with_partitions(3),
+            DetectorConfig::example(),
+        )
+        .unwrap();
+        assert_eq!(broker.num_partitions(), 3);
+        broker.on_event(EdgeEvent::follow(u(11), u(22), ts(10)));
+        let r = broker.on_event(EdgeEvent::follow(u(12), u(22), ts(20)));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].user, u(2));
+    }
+
+    #[test]
+    fn partitioned_equals_single_node() {
+        // The fundamental distribution property: partition-local
+        // intersections lose nothing. Witnesses are capped so hot targets
+        // stay cheap; the cap is deterministic, so outputs still match.
+        let g = GraphGen::new(GraphGenConfig::small()).generate();
+        let trace = Scenario::steady(
+            1_000,
+            ScenarioConfig::small().with_duration(magicrecs_types::Duration::from_secs(20)),
+        );
+        let cfg = DetectorConfig {
+            max_witnesses: Some(8),
+            ..DetectorConfig::example()
+        };
+        let mut single = Engine::new(g.clone(), cfg).unwrap();
+        let mut expected = single.process_trace(trace.events().iter().copied());
+        expected.sort_by_key(|a| (a.user, a.target, a.triggered_at));
+
+        for parts in [1u32, 4, 20] {
+            let mut broker = Broker::new(
+                &g,
+                ClusterConfig::single().with_partitions(parts),
+                cfg,
+            )
+            .unwrap();
+            let mut got = broker.process_trace(trace.events().iter().copied());
+            got.sort_by_key(|a| (a.user, a.target, a.triggered_at));
+            assert_eq!(got, expected, "mismatch at {parts} partitions");
+        }
+    }
+
+    #[test]
+    fn candidates_come_from_owning_partition() {
+        let g = figure1();
+        let mut broker = Broker::new(
+            &g,
+            ClusterConfig::single().with_partitions(4),
+            DetectorConfig::example(),
+        )
+        .unwrap();
+        broker.on_event(EdgeEvent::follow(u(11), u(22), ts(10)));
+        let r = broker.on_event(EdgeEvent::follow(u(12), u(22), ts(20)));
+        assert_eq!(r.len(), 1);
+        let owner = broker.partition_of(r[0].user);
+        // The owning partition must be the one whose engine fired.
+        let fired: Vec<PartitionId> = broker
+            .partitions()
+            .iter()
+            .filter(|p| p.engine().stats().candidates.get() > 0)
+            .map(|p| p.id())
+            .collect();
+        assert_eq!(fired, vec![owner]);
+    }
+
+    #[test]
+    fn d_memory_replicated_per_partition() {
+        // Every partition holds the full D: broker memory for D scales
+        // with partition count.
+        let g = GraphGen::new(GraphGenConfig::small()).generate();
+        let trace = Scenario::steady(
+            1_000,
+            ScenarioConfig::small().with_duration(magicrecs_types::Duration::from_secs(20)),
+        );
+        let cfg = DetectorConfig {
+            max_witnesses: Some(8),
+            ..DetectorConfig::example()
+        };
+        let mut broker1 = Broker::new(
+            &g,
+            ClusterConfig::single().with_partitions(1),
+            cfg,
+        )
+        .unwrap();
+        let mut broker8 = Broker::new(
+            &g,
+            ClusterConfig::single().with_partitions(8),
+            cfg,
+        )
+        .unwrap();
+        broker1.process_trace(trace.events().iter().copied());
+        broker8.process_trace(trace.events().iter().copied());
+
+        let d1: u64 = broker1
+            .partitions()
+            .iter()
+            .map(|p| p.engine().store().resident_entries())
+            .sum();
+        let d8: u64 = broker8
+            .partitions()
+            .iter()
+            .map(|p| p.engine().store().resident_entries())
+            .sum();
+        assert_eq!(d8, d1 * 8, "full-D-per-partition invariant");
+    }
+
+    #[test]
+    fn advance_applies_to_all_partitions() {
+        let g = figure1();
+        let mut broker = Broker::new(
+            &g,
+            ClusterConfig::single().with_partitions(2),
+            DetectorConfig::example(),
+        )
+        .unwrap();
+        broker.on_event(EdgeEvent::follow(u(11), u(22), ts(10)));
+        broker.advance(ts(100_000));
+        for p in broker.partitions() {
+            assert_eq!(p.engine().store().resident_entries(), 0);
+        }
+    }
+
+    #[test]
+    fn reload_graph_applies_new_edges_without_losing_d() {
+        // Before reload: A1 follows only B1, so no motif. After reload
+        // (A1 follows B1 and B2), the already-ingested witnesses complete
+        // the diamond on the next event.
+        let mut sparse = magicrecs_graph::GraphBuilder::new();
+        sparse.add_edge(u(1), u(11));
+        let mut broker = Broker::new(
+            &sparse.build(),
+            ClusterConfig::single().with_partitions(3),
+            DetectorConfig::example(),
+        )
+        .unwrap();
+        broker.on_event(EdgeEvent::follow(u(11), u(22), ts(10)));
+        assert!(broker
+            .on_event(EdgeEvent::follow(u(12), u(22), ts(11)))
+            .is_empty());
+
+        let mut dense = magicrecs_graph::GraphBuilder::new();
+        dense.extend([(u(1), u(11)), (u(1), u(12))]);
+        broker.reload_graph(&dense.build());
+
+        let r = broker.on_event(EdgeEvent::follow(u(12), u(22), ts(12)));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].user, u(1));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let g = figure1();
+        assert!(Broker::new(
+            &g,
+            ClusterConfig::single().with_partitions(0),
+            DetectorConfig::example()
+        )
+        .is_err());
+        assert!(Broker::new(
+            &g,
+            ClusterConfig::single(),
+            DetectorConfig::example().with_k(1)
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! # magicrecs-cluster
+//!
+//! The paper's distributed design (§2): "a fairly standard partitioned,
+//! replicated architecture with coordination handled by brokers that
+//! fan-out queries and gather results."
+//!
+//! * Partitioning is **by `A`** (the recommendation targets), so every
+//!   adjacency-list intersection is partition-local — no cross-partition
+//!   joins, ever.
+//! * Every partition ingests the **entire** dynamic-edge stream and keeps a
+//!   complete `D` (the paper's acknowledged network/memory pressure point,
+//!   measured in E6/E7).
+//! * Replicas of each partition provide fault tolerance and extra query
+//!   throughput.
+//!
+//! Modules:
+//!
+//! * [`partition::Partition`] — one partition: local `S_p`, full `D`, an
+//!   engine.
+//! * [`broker::Broker`] — sequential fan-out/gather over partitions (the
+//!   reference implementation used in correctness proofs: the union of
+//!   partition outputs must equal a single-node engine's output).
+//! * [`replica::ReplicaSet`] — replication with round-robin detection
+//!   routing and failure injection.
+//! * [`threaded::ThreadedCluster`] — real-thread deployment (one thread per
+//!   partition over crossbeam channels) for the scaling experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod partition;
+pub mod replica;
+pub mod threaded;
+
+pub use broker::Broker;
+pub use partition::Partition;
+pub use replica::ReplicaSet;
+pub use threaded::ThreadedCluster;

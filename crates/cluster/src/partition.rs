@@ -1,0 +1,122 @@
+//! A single partition: the unit of horizontal scale.
+//!
+//! Holds the inverse index `S_p` for its owned `A`s plus a complete `D`
+//! (every partition sees the full stream). Wraps a `magicrecs-core`
+//! [`Engine`] and tags it with a [`PartitionId`].
+
+use magicrecs_core::Engine;
+use magicrecs_graph::FollowGraph;
+use magicrecs_types::{
+    Candidate, DetectorConfig, EdgeEvent, PartitionId, Result, Timestamp,
+};
+
+/// One partition of the cluster.
+#[derive(Debug)]
+pub struct Partition {
+    id: PartitionId,
+    engine: Engine,
+}
+
+impl Partition {
+    /// Creates a partition over its slice of the static graph.
+    pub fn new(id: PartitionId, local_graph: FollowGraph, config: DetectorConfig) -> Result<Self> {
+        Ok(Partition {
+            id,
+            engine: Engine::new(local_graph, config)?,
+        })
+    }
+
+    /// This partition's id.
+    pub fn id(&self) -> PartitionId {
+        self.id
+    }
+
+    /// Ingests one event and runs local detection. Candidates are always
+    /// for `A`s owned by this partition.
+    pub fn on_event(&mut self, event: EdgeEvent) -> Vec<Candidate> {
+        self.engine.on_event(event)
+    }
+
+    /// Ingests one event *without* running detection (replica in
+    /// state-maintenance mode: it keeps `D` fresh but another replica
+    /// serves the detection for this event).
+    pub fn ingest_only(&mut self, event: EdgeEvent) {
+        // State maintenance = D updates only. Reuse the engine's store
+        // through a detection pass with output discarded would double-count
+        // stats; instead apply the D mutation directly.
+        self.engine.apply_to_store(event);
+    }
+
+    /// Hot-swaps this partition's static slice (periodic offline reload).
+    pub fn swap_graph(&mut self, local_graph: FollowGraph) {
+        self.engine.swap_graph(local_graph);
+    }
+
+    /// Forces dynamic-store expiry.
+    pub fn advance(&mut self, now: Timestamp) {
+        self.engine.advance(now);
+    }
+
+    /// The wrapped engine (stats, memory accounting).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Approximate resident bytes (`S_p` + `D`).
+    pub fn memory_bytes(&self) -> usize {
+        self.engine.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magicrecs_graph::GraphBuilder;
+    use magicrecs_types::UserId;
+
+    fn u(n: u64) -> UserId {
+        UserId(n)
+    }
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn graph() -> FollowGraph {
+        let mut g = GraphBuilder::new();
+        g.extend([(u(1), u(11)), (u(1), u(12))]);
+        g.build()
+    }
+
+    #[test]
+    fn partition_detects_locally() {
+        let mut p =
+            Partition::new(PartitionId(0), graph(), DetectorConfig::example()).unwrap();
+        assert_eq!(p.id(), PartitionId(0));
+        p.on_event(EdgeEvent::follow(u(11), u(99), ts(1)));
+        let r = p.on_event(EdgeEvent::follow(u(12), u(99), ts(2)));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].user, u(1));
+    }
+
+    #[test]
+    fn ingest_only_updates_d_without_emitting() {
+        let mut p =
+            Partition::new(PartitionId(0), graph(), DetectorConfig::example()).unwrap();
+        p.ingest_only(EdgeEvent::follow(u(11), u(99), ts(1)));
+        assert_eq!(p.engine().store().resident_entries(), 1);
+        assert_eq!(p.engine().stats().events.get(), 0);
+        // A later detected event still sees the ingested witness.
+        let r = p.on_event(EdgeEvent::follow(u(12), u(99), ts(2)));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn ingest_only_applies_unfollow() {
+        let mut p =
+            Partition::new(PartitionId(0), graph(), DetectorConfig::example()).unwrap();
+        p.ingest_only(EdgeEvent::follow(u(11), u(99), ts(1)));
+        p.ingest_only(EdgeEvent::unfollow(u(11), u(99), ts(2)));
+        assert_eq!(p.engine().store().resident_entries(), 0);
+    }
+}

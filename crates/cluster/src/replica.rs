@@ -1,0 +1,249 @@
+//! Replication of a partition: fault tolerance and query throughput.
+//!
+//! "Note that we can replicate the partitions for both fault tolerance and
+//! increased query throughput." All replicas of a partition ingest the full
+//! stream (state maintenance); the detection work for each event is routed
+//! to **one** healthy replica round-robin, so adding replicas divides the
+//! per-replica detection load. Failing a replica reroutes detection with no
+//! loss of output (the survivors hold identical state).
+
+use crate::partition::Partition;
+use magicrecs_graph::FollowGraph;
+use magicrecs_types::{
+    Candidate, DetectorConfig, EdgeEvent, Error, PartitionId, Result, Timestamp,
+};
+
+/// A group of identical replicas of one partition.
+#[derive(Debug)]
+pub struct ReplicaSet {
+    id: PartitionId,
+    replicas: Vec<Partition>,
+    healthy: Vec<bool>,
+    next: usize,
+    /// Detections served per replica (for the load-spread test/bench).
+    served: Vec<u64>,
+}
+
+impl ReplicaSet {
+    /// Creates `n ≥ 1` replicas of partition `id` over the same local graph.
+    pub fn new(
+        id: PartitionId,
+        local_graph: FollowGraph,
+        config: DetectorConfig,
+        n: u32,
+    ) -> Result<Self> {
+        if n == 0 {
+            return Err(Error::InvalidConfig("at least one replica".into()));
+        }
+        let replicas = (0..n)
+            .map(|_| Partition::new(id, local_graph.clone(), config))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ReplicaSet {
+            id,
+            replicas,
+            healthy: vec![true; n as usize],
+            next: 0,
+            served: vec![0; n as usize],
+        })
+    }
+
+    /// Partition id this set replicates.
+    pub fn id(&self) -> PartitionId {
+        self.id
+    }
+
+    /// Number of replicas (healthy or not).
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Whether the set has no replicas (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Number of healthy replicas.
+    pub fn healthy_count(&self) -> usize {
+        self.healthy.iter().filter(|&&h| h).count()
+    }
+
+    /// Marks a replica failed. Its state freezes; detection reroutes.
+    pub fn fail(&mut self, idx: usize) {
+        if idx < self.healthy.len() {
+            self.healthy[idx] = false;
+        }
+    }
+
+    /// Brings a failed replica back by cloning state from a healthy peer
+    /// (models restore-from-snapshot + catch-up; the paper's S is
+    /// bulk-loaded, and D rebuilds within one window anyway).
+    pub fn recover(&mut self, idx: usize) -> Result<()> {
+        if idx >= self.replicas.len() {
+            return Err(Error::UnknownPartition(idx as u32));
+        }
+        // Frozen replica simply resumes; its D missed events while down,
+        // but the recency window self-heals: after τ its state converges.
+        self.healthy[idx] = true;
+        Ok(())
+    }
+
+    /// Routes one event: every healthy replica ingests; exactly one runs
+    /// detection. Returns that replica's candidates.
+    pub fn on_event(&mut self, event: EdgeEvent) -> Result<Vec<Candidate>> {
+        let detector = self.pick_detector()?;
+        let mut out = Vec::new();
+        for (i, replica) in self.replicas.iter_mut().enumerate() {
+            if !self.healthy[i] {
+                continue;
+            }
+            if i == detector {
+                out = replica.on_event(event);
+            } else {
+                replica.ingest_only(event);
+            }
+        }
+        self.served[detector] += 1;
+        Ok(out)
+    }
+
+    /// Round-robin over healthy replicas.
+    fn pick_detector(&mut self) -> Result<usize> {
+        let n = self.replicas.len();
+        for step in 0..n {
+            let idx = (self.next + step) % n;
+            if self.healthy[idx] {
+                self.next = (idx + 1) % n;
+                return Ok(idx);
+            }
+        }
+        Err(Error::NoAvailableReplica(self.id.raw()))
+    }
+
+    /// Detections served per replica.
+    pub fn served(&self) -> &[u64] {
+        &self.served
+    }
+
+    /// Forces expiry on healthy replicas.
+    pub fn advance(&mut self, now: Timestamp) {
+        for (i, r) in self.replicas.iter_mut().enumerate() {
+            if self.healthy[i] {
+                r.advance(now);
+            }
+        }
+    }
+
+    /// Access to the underlying replicas.
+    pub fn replicas(&self) -> &[Partition] {
+        &self.replicas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magicrecs_graph::GraphBuilder;
+    use magicrecs_types::UserId;
+
+    fn u(n: u64) -> UserId {
+        UserId(n)
+    }
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn graph() -> FollowGraph {
+        let mut g = GraphBuilder::new();
+        g.extend([(u(1), u(11)), (u(1), u(12)), (u(1), u(13))]);
+        g.build()
+    }
+
+    fn set(n: u32) -> ReplicaSet {
+        ReplicaSet::new(PartitionId(0), graph(), DetectorConfig::example(), n).unwrap()
+    }
+
+    #[test]
+    fn detection_output_same_as_unreplicated() {
+        let mut rs = set(3);
+        let mut single = set(1);
+        let events = [
+            EdgeEvent::follow(u(11), u(99), ts(1)),
+            EdgeEvent::follow(u(12), u(99), ts(2)),
+            EdgeEvent::follow(u(13), u(99), ts(3)),
+        ];
+        for e in events {
+            assert_eq!(
+                rs.on_event(e).unwrap(),
+                single.on_event(e).unwrap(),
+                "replicated output diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_detection_load() {
+        let mut rs = set(3);
+        for i in 0..9 {
+            rs.on_event(EdgeEvent::follow(u(11), u(1000 + i), ts(i))).unwrap();
+        }
+        assert_eq!(rs.served(), &[3, 3, 3]);
+    }
+
+    #[test]
+    fn failover_keeps_serving() {
+        let mut rs = set(2);
+        rs.on_event(EdgeEvent::follow(u(11), u(99), ts(1))).unwrap();
+        rs.fail(0);
+        assert_eq!(rs.healthy_count(), 1);
+        // Replica 1 ingested the first event, so the motif still closes.
+        let r = rs.on_event(EdgeEvent::follow(u(12), u(99), ts(2))).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].user, u(1));
+    }
+
+    #[test]
+    fn all_failed_is_an_error() {
+        let mut rs = set(2);
+        rs.fail(0);
+        rs.fail(1);
+        let err = rs
+            .on_event(EdgeEvent::follow(u(11), u(99), ts(1)))
+            .unwrap_err();
+        assert!(matches!(err, Error::NoAvailableReplica(0)));
+    }
+
+    #[test]
+    fn recovery_resumes_service() {
+        let mut rs = set(2);
+        rs.fail(0);
+        rs.fail(1);
+        rs.recover(1).unwrap();
+        assert!(rs.on_event(EdgeEvent::follow(u(11), u(99), ts(1))).is_ok());
+        assert_eq!(rs.healthy_count(), 1);
+    }
+
+    #[test]
+    fn recovered_replica_converges_within_window() {
+        // Replica 0 misses events while down; after recovery and one full
+        // window of new traffic, both replicas detect identically.
+        let mut rs = set(2);
+        rs.fail(0);
+        rs.on_event(EdgeEvent::follow(u(11), u(99), ts(1))).unwrap();
+        rs.recover(0).unwrap();
+        // Far beyond τ: the missed entry has expired everywhere.
+        let t = 10_000;
+        rs.on_event(EdgeEvent::follow(u(11), u(500), ts(t))).unwrap();
+        let r = rs
+            .on_event(EdgeEvent::follow(u(12), u(500), ts(t + 1)))
+            .unwrap();
+        assert_eq!(r.len(), 1, "post-recovery detection failed");
+    }
+
+    #[test]
+    fn zero_replicas_rejected() {
+        assert!(
+            ReplicaSet::new(PartitionId(0), graph(), DetectorConfig::example(), 0).is_err()
+        );
+    }
+}

@@ -1,0 +1,332 @@
+//! The single-node recommendation engine: one partition's worth of the
+//! paper's system.
+//!
+//! Owns the static graph (`S` + forward view), the dynamic store `D`, the
+//! [`DiamondDetector`], and metrics. The paper reports that "the actual
+//! graph queries take only a few milliseconds"; [`EngineStats::detect_time`]
+//! measures exactly that component (wall-clock per event), which experiment
+//! E3 combines with the simulated queue delays for the end-to-end
+//! decomposition.
+
+use crate::detector::DiamondDetector;
+use crate::threshold::ThresholdAlgo;
+use magicrecs_graph::FollowGraph;
+use magicrecs_temporal::{PruneStrategy, TemporalEdgeStore};
+use magicrecs_types::{
+    Candidate, Counter, DetectorConfig, EdgeEvent, Histogram, Result, Timestamp,
+};
+
+/// How many events between `D.advance()` calls (wheel expiry).
+const ADVANCE_EVERY: u64 = 1024;
+
+/// Counters and timings for an [`Engine`].
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Events processed (insertions + unfollows).
+    pub events: Counter,
+    /// Candidates emitted (pre-funnel).
+    pub candidates: Counter,
+    /// Events that produced at least one candidate.
+    pub firing_events: Counter,
+    /// Wall-clock detection latency per event, µs (the paper's
+    /// "few milliseconds" component).
+    pub detect_time: Histogram,
+}
+
+/// One partition's engine: `S` + `D` + detector + metrics.
+#[derive(Debug)]
+pub struct Engine {
+    graph: FollowGraph,
+    store: TemporalEdgeStore,
+    detector: DiamondDetector,
+    stats: EngineStats,
+    since_advance: u64,
+    scratch: Vec<Candidate>,
+}
+
+impl Engine {
+    /// Creates an engine over `graph` with the default wheel-pruned store.
+    ///
+    /// When the detector caps witnesses, the store caps per-target entries
+    /// at 16× that (the paper's "retain the most recent edges" pruning):
+    /// only the most recent witnesses can matter, so older entries on
+    /// ultra-hot targets are dead weight.
+    pub fn new(graph: FollowGraph, config: DetectorConfig) -> Result<Self> {
+        let store = TemporalEdgeStore::new(config.tau, PruneStrategy::Wheel)
+            .with_entry_cap(config.max_witnesses.map(|w| (w * 16).max(1024)));
+        Engine::with_store(graph, store, config)
+    }
+
+    /// Creates an engine with a caller-configured store (pruning ablation).
+    pub fn with_store(
+        graph: FollowGraph,
+        store: TemporalEdgeStore,
+        config: DetectorConfig,
+    ) -> Result<Self> {
+        Ok(Engine {
+            graph,
+            store,
+            detector: DiamondDetector::new(config)?,
+            stats: EngineStats::default(),
+            since_advance: 0,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Creates an engine pinned to a threshold algorithm (ablation B2).
+    pub fn with_algo(
+        graph: FollowGraph,
+        config: DetectorConfig,
+        algo: ThresholdAlgo,
+    ) -> Result<Self> {
+        let store = TemporalEdgeStore::new(config.tau, PruneStrategy::Wheel)
+            .with_entry_cap(config.max_witnesses.map(|w| (w * 16).max(1024)));
+        Ok(Engine {
+            graph,
+            store,
+            detector: DiamondDetector::with_algo(config, algo)?,
+            stats: EngineStats::default(),
+            since_advance: 0,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Processes one event, returning any candidates.
+    pub fn on_event(&mut self, event: EdgeEvent) -> Vec<Candidate> {
+        self.scratch.clear();
+        let start = std::time::Instant::now();
+        self.detector
+            .on_event_into(&self.graph, &mut self.store, event, &mut self.scratch);
+        let elapsed = start.elapsed().as_micros() as u64;
+
+        self.stats.events.incr();
+        self.stats.detect_time.record(elapsed);
+        if !self.scratch.is_empty() {
+            self.stats.firing_events.incr();
+            self.stats.candidates.add(self.scratch.len() as u64);
+        }
+
+        self.since_advance += 1;
+        if self.since_advance >= ADVANCE_EVERY {
+            self.store.advance(event.created_at);
+            self.since_advance = 0;
+        }
+        std::mem::take(&mut self.scratch)
+    }
+
+    /// Processes a whole trace, collecting all candidates.
+    pub fn process_trace<I: IntoIterator<Item = EdgeEvent>>(
+        &mut self,
+        events: I,
+    ) -> Vec<Candidate> {
+        let mut all = Vec::new();
+        for e in events {
+            all.extend(self.on_event(e));
+        }
+        all
+    }
+
+    /// Applies an event's `D` mutation without running detection or
+    /// touching stats. Used by replicas in state-maintenance mode: every
+    /// replica keeps `D` fresh, but only one serves detection per event.
+    pub fn apply_to_store(&mut self, event: EdgeEvent) {
+        if event.kind.is_insertion() {
+            self.store.insert(event.src, event.dst, event.created_at);
+        } else {
+            self.store.remove(event.src, event.dst);
+        }
+    }
+
+    /// Hot-swaps the static graph, returning the previous one.
+    ///
+    /// The paper: "the A → B edges are computed offline and loaded into
+    /// the system periodically" — this is that load. `D` is untouched, so
+    /// in-window witnesses keep counting against the refreshed follower
+    /// lists from the next event on.
+    pub fn swap_graph(&mut self, new_graph: FollowGraph) -> FollowGraph {
+        std::mem::replace(&mut self.graph, new_graph)
+    }
+
+    /// Forces dynamic-store expiry up to `now`.
+    pub fn advance(&mut self, now: Timestamp) {
+        self.store.advance(now);
+    }
+
+    /// The static graph.
+    pub fn graph(&self) -> &FollowGraph {
+        &self.graph
+    }
+
+    /// The dynamic store.
+    pub fn store(&self) -> &TemporalEdgeStore {
+        &self.store
+    }
+
+    /// Engine metrics.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// The detector configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        self.detector.config()
+    }
+
+    /// Approximate resident bytes: `S` (inverse index) + `D`.
+    pub fn memory_bytes(&self) -> usize {
+        self.graph.s_memory_bytes() + self.store.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magicrecs_graph::GraphBuilder;
+    use magicrecs_types::UserId;
+
+    fn u(n: u64) -> UserId {
+        UserId(n)
+    }
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn small_graph() -> FollowGraph {
+        let mut g = GraphBuilder::new();
+        g.extend([
+            (u(1), u(11)),
+            (u(1), u(12)),
+            (u(2), u(11)),
+            (u(2), u(12)),
+            (u(3), u(12)),
+        ]);
+        g.build()
+    }
+
+    #[test]
+    fn quickstart_flow() {
+        let mut engine = Engine::new(small_graph(), DetectorConfig::example()).unwrap();
+        let c = u(99);
+        assert!(engine.on_event(EdgeEvent::follow(u(11), c, ts(100))).is_empty());
+        let recs = engine.on_event(EdgeEvent::follow(u(12), c, ts(105)));
+        let users: Vec<UserId> = recs.iter().map(|r| r.user).collect();
+        assert_eq!(users, vec![u(1), u(2)]);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut engine = Engine::new(small_graph(), DetectorConfig::example()).unwrap();
+        let c = u(99);
+        engine.on_event(EdgeEvent::follow(u(11), c, ts(100)));
+        engine.on_event(EdgeEvent::follow(u(12), c, ts(105)));
+        let s = engine.stats();
+        assert_eq!(s.events.get(), 2);
+        assert_eq!(s.firing_events.get(), 1);
+        assert_eq!(s.candidates.get(), 2);
+        assert_eq!(s.detect_time.count(), 2);
+    }
+
+    #[test]
+    fn process_trace_collects_all() {
+        let mut engine = Engine::new(small_graph(), DetectorConfig::example()).unwrap();
+        let c = u(99);
+        let trace = vec![
+            EdgeEvent::follow(u(11), c, ts(100)),
+            EdgeEvent::follow(u(12), c, ts(105)),
+        ];
+        let recs = engine.process_trace(trace);
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn advance_reclaims_store_memory() {
+        let mut engine = Engine::new(small_graph(), DetectorConfig::example()).unwrap();
+        for i in 0..100u64 {
+            engine.on_event(EdgeEvent::follow(u(11), u(1000 + i), ts(1)));
+        }
+        assert!(engine.store().resident_entries() > 0);
+        engine.advance(ts(100_000));
+        assert_eq!(engine.store().resident_entries(), 0);
+    }
+
+    #[test]
+    fn automatic_advance_after_many_events() {
+        let mut engine = Engine::new(small_graph(), DetectorConfig::example()).unwrap();
+        // > ADVANCE_EVERY events spread far apart in time: old entries
+        // should get reclaimed by the periodic advance.
+        for i in 0..2100u64 {
+            engine.on_event(EdgeEvent::follow(u(11), u(10_000 + i), ts(i * 10)));
+        }
+        // window = 10 min = 600 s; events are 10 s apart so ≤ ~61 live.
+        assert!(
+            engine.store().resident_targets() < 200,
+            "stale targets not reclaimed: {}",
+            engine.store().resident_targets()
+        );
+    }
+
+    #[test]
+    fn unfollow_event_counts_but_does_not_fire() {
+        let mut engine = Engine::new(small_graph(), DetectorConfig::example()).unwrap();
+        let c = u(99);
+        engine.on_event(EdgeEvent::follow(u(11), c, ts(10)));
+        let r = engine.on_event(EdgeEvent::unfollow(u(11), c, ts(11)));
+        assert!(r.is_empty());
+        assert_eq!(engine.stats().events.get(), 2);
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let engine = Engine::new(small_graph(), DetectorConfig::example()).unwrap();
+        assert!(engine.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn swap_graph_takes_effect_immediately() {
+        // Start with a graph where nobody follows B2; swap in one where
+        // A1 follows both B1 and B2 mid-stream.
+        let mut sparse = GraphBuilder::new();
+        sparse.add_edge(u(1), u(11));
+        let mut engine = Engine::new(sparse.build(), DetectorConfig::example()).unwrap();
+        let c = u(99);
+        engine.on_event(EdgeEvent::follow(u(11), c, ts(10)));
+        let before = engine.on_event(EdgeEvent::follow(u(12), c, ts(11)));
+        assert!(before.is_empty(), "A1 does not follow B2 yet");
+
+        let old = engine.swap_graph(small_graph());
+        assert_eq!(old.num_follow_edges(), 1);
+        // D still holds both witnesses; a fresh event re-evaluates against
+        // the new S.
+        let after = engine.on_event(EdgeEvent::follow(u(12), c, ts(12)));
+        assert!(!after.is_empty(), "swap should enable the motif");
+        assert_eq!(after[0].user, u(1));
+    }
+
+    #[test]
+    fn algo_pinned_engine_matches_default() {
+        let c = u(99);
+        let trace = vec![
+            EdgeEvent::follow(u(11), c, ts(100)),
+            EdgeEvent::follow(u(12), c, ts(105)),
+        ];
+        let mut e1 = Engine::new(small_graph(), DetectorConfig::example()).unwrap();
+        let mut e2 = Engine::with_algo(
+            small_graph(),
+            DetectorConfig::example(),
+            ThresholdAlgo::ScanCount,
+        )
+        .unwrap();
+        let mut e3 = Engine::with_algo(
+            small_graph(),
+            DetectorConfig::example(),
+            ThresholdAlgo::HeapMerge,
+        )
+        .unwrap();
+        let r1 = e1.process_trace(trace.clone());
+        let r2 = e2.process_trace(trace.clone());
+        let r3 = e3.process_trace(trace);
+        assert_eq!(r1, r2);
+        assert_eq!(r2, r3);
+    }
+}

@@ -1,0 +1,39 @@
+//! # magicrecs-core
+//!
+//! The paper's primary contribution: **online detection of the diamond
+//! motif** over the static structure `S` (sorted follower lists, from
+//! `magicrecs-graph`) and the dynamic structure `D` (recent edges by
+//! target, from `magicrecs-temporal`).
+//!
+//! The algorithm, verbatim from §2 of the paper:
+//!
+//! > "when a B → C edge is created, we query D to find all other B's that
+//! > also point to the C. At this point, we've computed the top half of the
+//! > diamond motif. For all these B's, we look up their incoming edges from
+//! > the A's in S to compute an intersection, which is whom we're making
+//! > the recommendation to."
+//!
+//! Modules:
+//!
+//! * [`intersect`] — two-sorted-list intersection: merge, galloping, and an
+//!   adaptive switch (ablation B1).
+//! * [`threshold`] — the general `k`-of-`n` form ("more than k of them"):
+//!   values appearing in at least `k` of `n` sorted lists, via scan-count,
+//!   heap merge, or an adaptive switch (ablation B2).
+//! * [`detector`] — [`DiamondDetector`]: one event in, candidates out.
+//! * [`engine`] — [`Engine`]: graph + store + detector + metrics; the
+//!   single-node system (one partition of the paper's deployment).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detector;
+pub mod engine;
+pub mod intersect;
+pub mod scoring;
+pub mod threshold;
+
+pub use detector::DiamondDetector;
+pub use engine::{Engine, EngineStats};
+pub use scoring::{Scorer, ScoringConfig};
+pub use threshold::ThresholdAlgo;

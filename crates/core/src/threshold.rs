@@ -1,0 +1,280 @@
+//! `k`-of-`n` threshold intersection over sorted lists.
+//!
+//! The motif condition is "more than k of [A's followings] follow an
+//! account C within a time period τ". After the `D` lookup produces `n ≥ k`
+//! witness `B`s, the detector must find every `A` appearing in **at least
+//! k** of the `n` sorted follower lists `S[B₁] … S[Bₙ]`. (For `k = n = 2`
+//! this is plain intersection.)
+//!
+//! Algorithms (ablation B2):
+//!
+//! * [`threshold_scan_count`] — hash-count every element of every list;
+//!   O(total) with a small constant, wins at large `n`.
+//! * [`threshold_heap_merge`] — `n`-way merge via binary heap, counting
+//!   runs of equal values; O(total · log n) but allocation-light and
+//!   cache-friendly at small `n`.
+//! * adaptive ([`threshold_intersect`] with [`ThresholdAlgo::Adaptive`]) —
+//!   heap for `n` ≤ 8, scan-count above.
+//!
+//! All return `(value, count)` pairs sorted by value, counts being the
+//! number of lists containing the value (ties are deterministic).
+
+use magicrecs_types::{FxHashMap, UserId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Fan-in at which scan-count overtakes the heap (see ablation B2).
+const HEAP_MAX_LISTS: usize = 8;
+
+/// Which threshold algorithm to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ThresholdAlgo {
+    /// Hash-count (ScanCount).
+    ScanCount,
+    /// n-way heap merge.
+    HeapMerge,
+    /// Heap below `HEAP_MAX_LISTS` (8) lists, scan-count above.
+    #[default]
+    Adaptive,
+}
+
+/// Runs the selected algorithm.
+pub fn threshold_intersect(
+    algo: ThresholdAlgo,
+    lists: &[&[UserId]],
+    k: usize,
+    out: &mut Vec<(UserId, u32)>,
+) {
+    match algo {
+        ThresholdAlgo::ScanCount => threshold_scan_count(lists, k, out),
+        ThresholdAlgo::HeapMerge => threshold_heap_merge(lists, k, out),
+        ThresholdAlgo::Adaptive => {
+            if lists.len() <= HEAP_MAX_LISTS {
+                threshold_heap_merge(lists, k, out)
+            } else {
+                threshold_scan_count(lists, k, out)
+            }
+        }
+    }
+}
+
+/// Hash-count variant: one pass over every list, then filter by `k`.
+pub fn threshold_scan_count(lists: &[&[UserId]], k: usize, out: &mut Vec<(UserId, u32)>) {
+    if k == 0 || lists.len() < k {
+        return;
+    }
+    let total: usize = lists.iter().map(|l| l.len()).sum();
+    let mut counts: FxHashMap<UserId, u32> = FxHashMap::default();
+    counts.reserve(total.min(1 << 16));
+    for list in lists {
+        for &v in *list {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+    }
+    let base = out.len();
+    out.extend(
+        counts
+            .into_iter()
+            .filter(|&(_, c)| c as usize >= k),
+    );
+    out[base..].sort_unstable_by_key(|&(v, _)| v);
+}
+
+/// Heap-merge variant: pop runs of equal minimal values across lists.
+pub fn threshold_heap_merge(lists: &[&[UserId]], k: usize, out: &mut Vec<(UserId, u32)>) {
+    if k == 0 || lists.len() < k {
+        return;
+    }
+    // Heap of (next value, list index); cursors track per-list positions.
+    let mut heap: BinaryHeap<Reverse<(UserId, usize)>> = BinaryHeap::with_capacity(lists.len());
+    let mut cursors = vec![0usize; lists.len()];
+    for (i, list) in lists.iter().enumerate() {
+        if let Some(&v) = list.first() {
+            heap.push(Reverse((v, i)));
+        }
+    }
+    while let Some(&Reverse((value, _))) = heap.peek() {
+        let mut count = 0u32;
+        while let Some(&Reverse((v, i))) = heap.peek() {
+            if v != value {
+                break;
+            }
+            heap.pop();
+            count += 1;
+            cursors[i] += 1;
+            if let Some(&next) = lists[i].get(cursors[i]) {
+                heap.push(Reverse((next, i)));
+            }
+        }
+        if count as usize >= k {
+            out.push((value, count));
+        }
+    }
+}
+
+/// Brute-force reference used by tests and property checks.
+pub fn threshold_naive(lists: &[&[UserId]], k: usize) -> Vec<(UserId, u32)> {
+    let mut counts: std::collections::BTreeMap<UserId, u32> = Default::default();
+    for list in lists {
+        for &v in *list {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .filter(|&(_, c)| k > 0 && c as usize >= k && lists.len() >= k)
+        .collect()
+}
+
+/// Recovers which lists contain `value` (indices ascending) — used by the
+/// detector to attach per-candidate witness sets after counting.
+pub fn lists_containing(lists: &[&[UserId]], value: UserId) -> Vec<u32> {
+    lists
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.binary_search(&value).is_ok())
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ids(v: &[u64]) -> Vec<UserId> {
+        v.iter().map(|&n| UserId(n)).collect()
+    }
+
+    fn run(algo: ThresholdAlgo, lists: &[Vec<u64>], k: usize) -> Vec<(u64, u32)> {
+        let owned: Vec<Vec<UserId>> = lists.iter().map(|l| ids(l)).collect();
+        let slices: Vec<&[UserId]> = owned.iter().map(|l| l.as_slice()).collect();
+        let mut out = Vec::new();
+        threshold_intersect(algo, &slices, k, &mut out);
+        out.into_iter().map(|(v, c)| (v.raw(), c)).collect()
+    }
+
+    const ALGOS: [ThresholdAlgo; 3] = [
+        ThresholdAlgo::ScanCount,
+        ThresholdAlgo::HeapMerge,
+        ThresholdAlgo::Adaptive,
+    ];
+
+    #[test]
+    fn two_of_two_is_intersection() {
+        let lists = vec![vec![1, 2, 3, 5], vec![2, 3, 4]];
+        for algo in ALGOS {
+            assert_eq!(run(algo, &lists, 2), vec![(2, 2), (3, 2)], "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn two_of_three_majority() {
+        let lists = vec![vec![1, 2, 3], vec![2, 3, 4], vec![3, 4, 5]];
+        for algo in ALGOS {
+            assert_eq!(
+                run(algo, &lists, 2),
+                vec![(2, 2), (3, 3), (4, 2)],
+                "{algo:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn three_of_three_strict() {
+        let lists = vec![vec![1, 2, 3], vec![2, 3, 4], vec![3, 4, 5]];
+        for algo in ALGOS {
+            assert_eq!(run(algo, &lists, 3), vec![(3, 3)], "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn k_larger_than_list_count_is_empty() {
+        let lists = vec![vec![1, 2], vec![1, 2]];
+        for algo in ALGOS {
+            assert_eq!(run(algo, &lists, 3), vec![], "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let lists = vec![vec![1], vec![1]];
+        for algo in ALGOS {
+            assert_eq!(run(algo, &lists, 0), vec![], "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn empty_lists_ignored() {
+        let lists = vec![vec![], vec![1, 2], vec![2, 3]];
+        for algo in ALGOS {
+            assert_eq!(run(algo, &lists, 2), vec![(2, 2)], "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn single_list_k_one() {
+        let lists = vec![vec![7, 9]];
+        for algo in ALGOS {
+            assert_eq!(run(algo, &lists, 1), vec![(7, 1), (9, 1)], "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn many_lists_trigger_scan_count_path() {
+        // 20 lists > HEAP_MAX_LISTS: adaptive takes the scan-count branch.
+        let lists: Vec<Vec<u64>> = (0..20).map(|i| vec![42, 100 + i]).collect();
+        for algo in ALGOS {
+            let got = run(algo, &lists, 20);
+            assert_eq!(got, vec![(42, 20)], "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn lists_containing_finds_indices() {
+        let owned = [ids(&[1, 2, 3]), ids(&[2, 4]), ids(&[3, 4])];
+        let slices: Vec<&[UserId]> = owned.iter().map(|l| l.as_slice()).collect();
+        assert_eq!(lists_containing(&slices, UserId(2)), vec![0, 1]);
+        assert_eq!(lists_containing(&slices, UserId(4)), vec![1, 2]);
+        assert_eq!(lists_containing(&slices, UserId(9)), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn output_appended_not_cleared() {
+        let owned = [ids(&[1]), ids(&[1])];
+        let slices: Vec<&[UserId]> = owned.iter().map(|l| l.as_slice()).collect();
+        let mut out = vec![(UserId(99), 9u32)];
+        threshold_intersect(ThresholdAlgo::Adaptive, &slices, 2, &mut out);
+        assert_eq!(out[0], (UserId(99), 9));
+        assert_eq!(out[1], (UserId(1), 2));
+    }
+
+    proptest! {
+        #[test]
+        fn all_algorithms_match_naive(
+            raw in proptest::collection::vec(
+                proptest::collection::vec(0u64..64, 0..40),
+                0..12,
+            ),
+            k in 1usize..6,
+        ) {
+            let lists: Vec<Vec<u64>> = raw
+                .into_iter()
+                .map(|mut l| {
+                    l.sort_unstable();
+                    l.dedup();
+                    l
+                })
+                .collect();
+            let owned: Vec<Vec<UserId>> = lists.iter().map(|l| ids(l)).collect();
+            let slices: Vec<&[UserId]> = owned.iter().map(|l| l.as_slice()).collect();
+            let expect: Vec<(u64, u32)> = threshold_naive(&slices, k)
+                .into_iter()
+                .map(|(v, c)| (v.raw(), c))
+                .collect();
+            for algo in ALGOS {
+                prop_assert_eq!(&run(algo, &lists, k), &expect, "{:?}", algo);
+            }
+        }
+    }
+}

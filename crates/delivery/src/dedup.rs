@@ -1,0 +1,137 @@
+//! Duplicate suppression.
+//!
+//! The same diamond keeps re-firing as more witnesses accumulate (B₃
+//! following C re-triggers the motif that already fired for B₁,B₂), and hot
+//! events produce the same `(user, target)` pair across many events. The
+//! dedup filter passes a pair at most once per horizon.
+
+use magicrecs_types::{Duration, FxHashMap, Timestamp, UserId};
+
+/// Compact the seen-map when it exceeds this many entries (amortized O(1)).
+const COMPACT_THRESHOLD: usize = 1 << 16;
+
+/// Remembers recently delivered `(user, target)` pairs.
+#[derive(Debug, Clone)]
+pub struct DedupFilter {
+    horizon: Duration,
+    seen: FxHashMap<(UserId, UserId), Timestamp>,
+}
+
+impl DedupFilter {
+    /// Creates a filter with the given suppression horizon.
+    pub fn new(horizon: Duration) -> Self {
+        DedupFilter {
+            horizon,
+            seen: FxHashMap::default(),
+        }
+    }
+
+    /// Returns `true` (and records the pair) if `(user, target)` has not
+    /// been passed within the horizon; `false` if it is a duplicate.
+    pub fn check_and_record(&mut self, user: UserId, target: UserId, now: Timestamp) -> bool {
+        let cutoff = now.saturating_sub(self.horizon);
+        let fresh = match self.seen.get(&(user, target)) {
+            Some(&last) => last < cutoff,
+            None => true,
+        };
+        if fresh {
+            self.seen.insert((user, target), now);
+            if self.seen.len() > COMPACT_THRESHOLD {
+                self.compact(now);
+            }
+        }
+        fresh
+    }
+
+    /// Whether the pair would pass, without recording it.
+    pub fn would_pass(&self, user: UserId, target: UserId, now: Timestamp) -> bool {
+        let cutoff = now.saturating_sub(self.horizon);
+        self.seen
+            .get(&(user, target))
+            .is_none_or(|&last| last < cutoff)
+    }
+
+    /// Drops entries older than the horizon.
+    pub fn compact(&mut self, now: Timestamp) {
+        let cutoff = now.saturating_sub(self.horizon);
+        self.seen.retain(|_, &mut last| last >= cutoff);
+    }
+
+    /// Number of remembered pairs.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether no pairs are remembered.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(n: u64) -> UserId {
+        UserId(n)
+    }
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn first_pass_then_duplicate() {
+        let mut f = DedupFilter::new(Duration::from_hours(1));
+        assert!(f.check_and_record(u(1), u(9), ts(100)));
+        assert!(!f.check_and_record(u(1), u(9), ts(200)));
+    }
+
+    #[test]
+    fn different_pairs_independent() {
+        let mut f = DedupFilter::new(Duration::from_hours(1));
+        assert!(f.check_and_record(u(1), u(9), ts(100)));
+        assert!(f.check_and_record(u(1), u(10), ts(100)));
+        assert!(f.check_and_record(u(2), u(9), ts(100)));
+    }
+
+    #[test]
+    fn horizon_expiry_allows_repeat() {
+        let mut f = DedupFilter::new(Duration::from_secs(60));
+        assert!(f.check_and_record(u(1), u(9), ts(100)));
+        assert!(!f.check_and_record(u(1), u(9), ts(159)));
+        assert!(f.check_and_record(u(1), u(9), ts(161)));
+    }
+
+    #[test]
+    fn would_pass_does_not_record() {
+        let mut f = DedupFilter::new(Duration::from_hours(1));
+        assert!(f.would_pass(u(1), u(9), ts(100)));
+        assert!(f.would_pass(u(1), u(9), ts(100))); // still true
+        f.check_and_record(u(1), u(9), ts(100));
+        assert!(!f.would_pass(u(1), u(9), ts(101)));
+    }
+
+    #[test]
+    fn compact_reclaims_stale_entries() {
+        let mut f = DedupFilter::new(Duration::from_secs(10));
+        for i in 0..100 {
+            f.check_and_record(u(i), u(1000), ts(1));
+        }
+        assert_eq!(f.len(), 100);
+        f.compact(ts(1000));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn repeat_refreshes_after_expiry_not_before() {
+        // A duplicate does NOT refresh the horizon (first-delivery time is
+        // what matters for re-notification).
+        let mut f = DedupFilter::new(Duration::from_secs(100));
+        assert!(f.check_and_record(u(1), u(9), ts(0)));
+        assert!(!f.check_and_record(u(1), u(9), ts(90)));
+        // At t=101 the original entry has expired even though a duplicate
+        // arrived at t=90.
+        assert!(f.check_and_record(u(1), u(9), ts(101)));
+    }
+}

@@ -1,0 +1,141 @@
+//! Fatigue control: cap pushes per user per period.
+//!
+//! A tumbling window per user ("4 pushes per day"): the counter resets at
+//! each period boundary aligned to the epoch, matching the daily-quota
+//! behaviour of production push systems.
+
+use magicrecs_types::{Duration, FxHashMap, Timestamp, UserId};
+
+/// Per-user push quotas over tumbling periods.
+#[derive(Debug, Clone)]
+pub struct FatigueController {
+    limit: u32,
+    period: Duration,
+    /// user → (period index, pushes in that period).
+    counts: FxHashMap<UserId, (u64, u32)>,
+}
+
+impl FatigueController {
+    /// Creates a controller allowing `limit` pushes per `period`.
+    pub fn new(limit: u32, period: Duration) -> Self {
+        assert!(period > Duration::ZERO, "period must be positive");
+        FatigueController {
+            limit,
+            period,
+            counts: FxHashMap::default(),
+        }
+    }
+
+    #[inline]
+    fn period_index(&self, now: Timestamp) -> u64 {
+        now.as_micros() / self.period.as_micros().max(1)
+    }
+
+    /// Returns `true` (and consumes quota) if `user` has quota left in the
+    /// current period.
+    pub fn check_and_record(&mut self, user: UserId, now: Timestamp) -> bool {
+        let idx = self.period_index(now);
+        let entry = self.counts.entry(user).or_insert((idx, 0));
+        if entry.0 != idx {
+            *entry = (idx, 0); // new period: reset
+        }
+        if entry.1 < self.limit {
+            entry.1 += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remaining quota for `user` at `now`.
+    pub fn remaining(&self, user: UserId, now: Timestamp) -> u32 {
+        let idx = self.period_index(now);
+        match self.counts.get(&user) {
+            Some(&(i, c)) if i == idx => self.limit.saturating_sub(c),
+            _ => self.limit,
+        }
+    }
+
+    /// Drops per-user state from past periods.
+    pub fn compact(&mut self, now: Timestamp) {
+        let idx = self.period_index(now);
+        self.counts.retain(|_, &mut (i, _)| i == idx);
+    }
+
+    /// Number of users with recorded state.
+    pub fn tracked_users(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(n: u64) -> UserId {
+        UserId(n)
+    }
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn day() -> Duration {
+        Duration::from_hours(24)
+    }
+
+    #[test]
+    fn limit_enforced_within_period() {
+        let mut f = FatigueController::new(3, day());
+        assert!(f.check_and_record(u(1), ts(100)));
+        assert!(f.check_and_record(u(1), ts(200)));
+        assert!(f.check_and_record(u(1), ts(300)));
+        assert!(!f.check_and_record(u(1), ts(400)));
+        assert_eq!(f.remaining(u(1), ts(400)), 0);
+    }
+
+    #[test]
+    fn quota_resets_next_period() {
+        let mut f = FatigueController::new(1, day());
+        assert!(f.check_and_record(u(1), ts(100)));
+        assert!(!f.check_and_record(u(1), ts(200)));
+        let next_day = Timestamp::ZERO + day() + Duration::from_secs(1);
+        assert!(f.check_and_record(u(1), next_day));
+    }
+
+    #[test]
+    fn users_independent() {
+        let mut f = FatigueController::new(1, day());
+        assert!(f.check_and_record(u(1), ts(100)));
+        assert!(f.check_and_record(u(2), ts(100)));
+        assert!(!f.check_and_record(u(1), ts(101)));
+    }
+
+    #[test]
+    fn remaining_without_state_is_full_quota() {
+        let f = FatigueController::new(4, day());
+        assert_eq!(f.remaining(u(42), ts(0)), 4);
+    }
+
+    #[test]
+    fn compact_drops_stale_users() {
+        let mut f = FatigueController::new(1, day());
+        f.check_and_record(u(1), ts(100));
+        f.check_and_record(u(2), ts(100));
+        assert_eq!(f.tracked_users(), 2);
+        f.compact(Timestamp::ZERO + day() + day());
+        assert_eq!(f.tracked_users(), 0);
+    }
+
+    #[test]
+    fn zero_limit_blocks_everything() {
+        let mut f = FatigueController::new(0, day());
+        assert!(!f.check_and_record(u(1), ts(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_rejected() {
+        let _ = FatigueController::new(1, Duration::ZERO);
+    }
+}

@@ -1,0 +1,30 @@
+//! # magicrecs-delivery
+//!
+//! The post-detection funnel. The paper: "Each day, billions of raw
+//! candidates are generated, yielding millions of push notifications (after
+//! eliminating duplicates, suppressing messages during non-waking hours,
+//! controlling for fatigue, etc.)" — a three-orders-of-magnitude reduction
+//! that experiment E4 reproduces.
+//!
+//! Stages, in pipeline order:
+//!
+//! 1. [`dedup::DedupFilter`] — drop repeats of the same `(user, target)`
+//!    pair within a horizon;
+//! 2. [`quiet::QuietHours`] — defer pushes that would land in the user's
+//!    non-waking hours to the morning boundary;
+//! 3. [`fatigue::FatigueController`] — cap pushes per user per period.
+//!
+//! [`pipeline::Funnel`] wires them together with per-stage accounting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dedup;
+pub mod fatigue;
+pub mod pipeline;
+pub mod quiet;
+
+pub use dedup::DedupFilter;
+pub use fatigue::FatigueController;
+pub use pipeline::{Funnel, FunnelStats};
+pub use quiet::QuietHours;

@@ -1,0 +1,313 @@
+//! The assembled funnel: candidates in, push notifications out.
+//!
+//! Stage order: **dedup → quiet hours → fatigue**. Dedup first because
+//! duplicates dominate raw volume (the same motif re-fires as witnesses
+//! accumulate); quiet hours defer rather than drop (the user should still
+//! learn about the recommendation in the morning); fatigue is checked at
+//! *actual* delivery time, so deferred pushes consume the morning's quota.
+//!
+//! [`FunnelStats`] gives the per-stage reduction counts that experiment E4
+//! compares against the paper's "billions → millions" claim.
+
+use crate::dedup::DedupFilter;
+use crate::fatigue::FatigueController;
+use crate::quiet::QuietHours;
+use magicrecs_types::{
+    Candidate, Counter, FunnelConfig, Recommendation, Result, Timestamp,
+};
+use std::collections::BinaryHeap;
+
+/// Per-stage accounting.
+#[derive(Debug, Clone, Default)]
+pub struct FunnelStats {
+    /// Raw candidates offered.
+    pub offered: Counter,
+    /// Dropped as duplicates.
+    pub dedup_dropped: Counter,
+    /// Deferred into a quiet window (later delivered or fatigue-dropped).
+    pub quiet_deferred: Counter,
+    /// Dropped by the fatigue cap.
+    pub fatigue_dropped: Counter,
+    /// Delivered push notifications.
+    pub delivered: Counter,
+}
+
+impl FunnelStats {
+    /// Overall reduction factor (offered / delivered).
+    pub fn reduction_factor(&self) -> f64 {
+        if self.delivered.get() == 0 {
+            f64::INFINITY
+        } else {
+            self.offered.get() as f64 / self.delivered.get() as f64
+        }
+    }
+}
+
+/// A deferred recommendation, ordered by release time (min-heap).
+struct Deferred {
+    release_at: Timestamp,
+    seq: u64,
+    candidate: Candidate,
+}
+
+impl PartialEq for Deferred {
+    fn eq(&self, other: &Self) -> bool {
+        self.release_at == other.release_at && self.seq == other.seq
+    }
+}
+impl Eq for Deferred {}
+impl PartialOrd for Deferred {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Deferred {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .release_at
+            .cmp(&self.release_at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The delivery funnel.
+pub struct Funnel {
+    dedup: DedupFilter,
+    fatigue: FatigueController,
+    quiet: QuietHours,
+    deferred: BinaryHeap<Deferred>,
+    stats: FunnelStats,
+    seq: u64,
+}
+
+impl Funnel {
+    /// Builds a funnel from configuration.
+    pub fn new(config: FunnelConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Funnel {
+            dedup: DedupFilter::new(config.dedup_horizon),
+            fatigue: FatigueController::new(config.fatigue_limit, config.fatigue_period),
+            quiet: QuietHours::new(config.quiet_start_hour, config.quiet_end_hour),
+            deferred: BinaryHeap::new(),
+            stats: FunnelStats::default(),
+            seq: 0,
+        })
+    }
+
+    /// Registers a user's UTC offset for quiet-hour computation.
+    pub fn set_timezone(&mut self, user: magicrecs_types::UserId, offset_hours: i8) {
+        self.quiet.set_offset(user, offset_hours);
+    }
+
+    /// Offers one candidate at `now`. Returns the recommendation if it is
+    /// delivered immediately; deferred pushes surface later via
+    /// [`Funnel::poll_deferred`].
+    pub fn offer(&mut self, candidate: Candidate, now: Timestamp) -> Option<Recommendation> {
+        self.stats.offered.incr();
+        if !self
+            .dedup
+            .check_and_record(candidate.user, candidate.target, now)
+        {
+            self.stats.dedup_dropped.incr();
+            return None;
+        }
+        if self.quiet.is_quiet(candidate.user, now) {
+            let release_at = self.quiet.defer_until(candidate.user, now);
+            self.stats.quiet_deferred.incr();
+            self.deferred.push(Deferred {
+                release_at,
+                seq: self.seq,
+                candidate,
+            });
+            self.seq += 1;
+            return None;
+        }
+        self.finalize(candidate, now)
+    }
+
+    /// Releases deferred pushes due at or before `now`.
+    pub fn poll_deferred(&mut self, now: Timestamp) -> Vec<Recommendation> {
+        let mut out = Vec::new();
+        while self
+            .deferred
+            .peek()
+            .is_some_and(|d| d.release_at <= now)
+        {
+            let d = self.deferred.pop().expect("peeked");
+            if let Some(rec) = self.finalize(d.candidate, d.release_at) {
+                out.push(rec);
+            }
+        }
+        out
+    }
+
+    /// Fatigue gate + delivery stamping.
+    fn finalize(&mut self, candidate: Candidate, at: Timestamp) -> Option<Recommendation> {
+        if !self.fatigue.check_and_record(candidate.user, at) {
+            self.stats.fatigue_dropped.incr();
+            return None;
+        }
+        self.stats.delivered.incr();
+        Some(Recommendation {
+            candidate,
+            delivered_at: at,
+        })
+    }
+
+    /// Pushes currently held for quiet hours.
+    pub fn pending_deferred(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// Funnel accounting.
+    pub fn stats(&self) -> &FunnelStats {
+        &self.stats
+    }
+
+    /// Compacts internal maps (dedup horizon, fatigue periods).
+    pub fn compact(&mut self, now: Timestamp) {
+        self.dedup.compact(now);
+        self.fatigue.compact(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magicrecs_types::{Duration, FunnelConfig, UserId};
+
+    fn u(n: u64) -> UserId {
+        UserId(n)
+    }
+
+    fn cand(user: u64, target: u64, at: Timestamp) -> Candidate {
+        Candidate {
+            user: u(user),
+            target: u(target),
+            witnesses: vec![u(100), u(101)],
+            triggered_at: at,
+        }
+    }
+
+    /// Noon UTC on day `d` — safely outside the default quiet window.
+    fn noon(d: u64) -> Timestamp {
+        Timestamp::from_secs(d * 86_400 + 12 * 3_600)
+    }
+
+    /// 02:00 UTC on day `d` — inside the default 23→8 quiet window.
+    fn night(d: u64) -> Timestamp {
+        Timestamp::from_secs(d * 86_400 + 2 * 3_600)
+    }
+
+    #[test]
+    fn delivers_fresh_candidate_immediately() {
+        let mut f = Funnel::new(FunnelConfig::production()).unwrap();
+        let r = f.offer(cand(1, 9, noon(0)), noon(0));
+        assert!(r.is_some());
+        assert_eq!(f.stats().delivered.get(), 1);
+    }
+
+    #[test]
+    fn duplicate_dropped() {
+        let mut f = Funnel::new(FunnelConfig::production()).unwrap();
+        assert!(f.offer(cand(1, 9, noon(0)), noon(0)).is_some());
+        assert!(f
+            .offer(cand(1, 9, noon(0)), noon(0) + Duration::from_secs(60))
+            .is_none());
+        assert_eq!(f.stats().dedup_dropped.get(), 1);
+    }
+
+    #[test]
+    fn quiet_hours_defer_to_morning() {
+        let mut f = Funnel::new(FunnelConfig::production()).unwrap();
+        let r = f.offer(cand(1, 9, night(1)), night(1));
+        assert!(r.is_none());
+        assert_eq!(f.pending_deferred(), 1);
+        // Too early: 07:00.
+        assert!(f
+            .poll_deferred(Timestamp::from_secs(86_400 + 7 * 3_600))
+            .is_empty());
+        // 08:00 releases it.
+        let released = f.poll_deferred(Timestamp::from_secs(86_400 + 8 * 3_600));
+        assert_eq!(released.len(), 1);
+        assert_eq!(
+            released[0].delivered_at,
+            Timestamp::from_secs(86_400 + 8 * 3_600)
+        );
+        assert_eq!(f.stats().quiet_deferred.get(), 1);
+        assert_eq!(f.stats().delivered.get(), 1);
+    }
+
+    #[test]
+    fn fatigue_caps_daily_pushes() {
+        let cfg = FunnelConfig {
+            fatigue_limit: 2,
+            ..FunnelConfig::production()
+        };
+        let mut f = Funnel::new(cfg).unwrap();
+        assert!(f.offer(cand(1, 10, noon(0)), noon(0)).is_some());
+        assert!(f.offer(cand(1, 11, noon(0)), noon(0)).is_some());
+        assert!(f.offer(cand(1, 12, noon(0)), noon(0)).is_none());
+        assert_eq!(f.stats().fatigue_dropped.get(), 1);
+        // Next day the quota returns.
+        assert!(f.offer(cand(1, 13, noon(1)), noon(1)).is_some());
+    }
+
+    #[test]
+    fn deferred_pushes_consume_morning_quota() {
+        let cfg = FunnelConfig {
+            fatigue_limit: 1,
+            ..FunnelConfig::production()
+        };
+        let mut f = Funnel::new(cfg).unwrap();
+        // Two distinct targets deferred overnight.
+        f.offer(cand(1, 10, night(1)), night(1));
+        f.offer(cand(1, 11, night(1)), night(1));
+        assert_eq!(f.pending_deferred(), 2);
+        let released = f.poll_deferred(Timestamp::from_secs(86_400 + 9 * 3_600));
+        // Only one clears fatigue.
+        assert_eq!(released.len(), 1);
+        assert_eq!(f.stats().fatigue_dropped.get(), 1);
+    }
+
+    #[test]
+    fn stats_reduction_factor() {
+        let mut f = Funnel::new(FunnelConfig::production()).unwrap();
+        for i in 0..10 {
+            // Same pair every time: 1 delivered, 9 deduped.
+            f.offer(cand(1, 9, noon(0)), noon(0) + Duration::from_secs(i));
+        }
+        assert_eq!(f.stats().offered.get(), 10);
+        assert_eq!(f.stats().delivered.get(), 1);
+        assert!((f.stats().reduction_factor() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_user_timezones_respected() {
+        let mut f = Funnel::new(FunnelConfig::production()).unwrap();
+        f.set_timezone(u(1), 9); // UTC+9: 16:00 UTC is 01:00 local
+        let t = Timestamp::from_secs(16 * 3_600);
+        assert!(f.offer(cand(1, 9, t), t).is_none());
+        assert_eq!(f.pending_deferred(), 1);
+        // User 2 (UTC) at the same moment is awake.
+        assert!(f.offer(cand(2, 9, t), t).is_some());
+    }
+
+    #[test]
+    fn latency_measured_from_trigger() {
+        let mut f = Funnel::new(FunnelConfig::production()).unwrap();
+        let trigger = noon(0);
+        let deliver = trigger + Duration::from_secs(7);
+        let r = f.offer(cand(1, 9, trigger), deliver).unwrap();
+        assert_eq!(r.latency(), Duration::from_secs(7));
+    }
+
+    #[test]
+    fn compact_is_safe_mid_stream() {
+        let mut f = Funnel::new(FunnelConfig::production()).unwrap();
+        f.offer(cand(1, 9, noon(0)), noon(0));
+        f.compact(noon(30)); // far future: everything stale
+        // After compaction the pair can be delivered again.
+        assert!(f.offer(cand(1, 9, noon(31)), noon(31)).is_some());
+    }
+}

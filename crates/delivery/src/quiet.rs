@@ -1,0 +1,181 @@
+//! Quiet hours: suppress pushes during non-waking hours.
+//!
+//! Each user has a UTC offset (whole hours; the simulation does not model
+//! DST). A push landing inside the user's local quiet window is deferred to
+//! the window's end — "suppressing messages during non-waking hours".
+
+use magicrecs_types::{Duration, FxHashMap, Timestamp, UserId};
+
+const HOUR_US: u64 = 3_600_000_000;
+const DAY_US: u64 = 24 * HOUR_US;
+
+/// Per-user quiet-hour windows.
+#[derive(Debug, Clone)]
+pub struct QuietHours {
+    start_hour: u8,
+    end_hour: u8,
+    default_offset: i8,
+    offsets: FxHashMap<UserId, i8>,
+}
+
+impl QuietHours {
+    /// Creates a policy with the quiet window `[start_hour, end_hour)` in
+    /// local time. `start == end` disables the window entirely.
+    pub fn new(start_hour: u8, end_hour: u8) -> Self {
+        assert!(start_hour < 24 && end_hour < 24, "hours must be 0..=23");
+        QuietHours {
+            start_hour,
+            end_hour,
+            default_offset: 0,
+            offsets: FxHashMap::default(),
+        }
+    }
+
+    /// Sets the default UTC offset for users without an explicit one.
+    pub fn with_default_offset(mut self, hours: i8) -> Self {
+        assert!((-12..=14).contains(&hours), "offset out of range");
+        self.default_offset = hours;
+        self
+    }
+
+    /// Registers a user's UTC offset (whole hours, −12..=+14).
+    pub fn set_offset(&mut self, user: UserId, hours: i8) {
+        assert!((-12..=14).contains(&hours), "offset out of range");
+        self.offsets.insert(user, hours);
+    }
+
+    /// The user's local hour (0–23) at `now`.
+    pub fn local_hour(&self, user: UserId, now: Timestamp) -> u8 {
+        let offset = *self.offsets.get(&user).unwrap_or(&self.default_offset);
+        let local_us =
+            (now.as_micros() as i128 + offset as i128 * HOUR_US as i128).rem_euclid(DAY_US as i128);
+        (local_us as u64 / HOUR_US) as u8
+    }
+
+    /// Whether `now` falls in the user's quiet window.
+    pub fn is_quiet(&self, user: UserId, now: Timestamp) -> bool {
+        if self.start_hour == self.end_hour {
+            return false; // disabled
+        }
+        let h = self.local_hour(user, now);
+        if self.start_hour < self.end_hour {
+            h >= self.start_hour && h < self.end_hour
+        } else {
+            // Wrapping window, e.g. 23 → 8.
+            h >= self.start_hour || h < self.end_hour
+        }
+    }
+
+    /// The earliest time ≥ `now` outside the user's quiet window (i.e. the
+    /// next local `end_hour` boundary). Returns `now` if not quiet.
+    pub fn defer_until(&self, user: UserId, now: Timestamp) -> Timestamp {
+        if !self.is_quiet(user, now) {
+            return now;
+        }
+        let offset = *self.offsets.get(&user).unwrap_or(&self.default_offset);
+        let local_us =
+            (now.as_micros() as i128 + offset as i128 * HOUR_US as i128).rem_euclid(DAY_US as i128)
+                as u64;
+        let end_us = self.end_hour as u64 * HOUR_US;
+        let wait = if local_us < end_us {
+            end_us - local_us
+        } else {
+            DAY_US - local_us + end_us
+        };
+        now + Duration::from_micros(wait)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(n: u64) -> UserId {
+        UserId(n)
+    }
+
+    /// Timestamp at UTC hour `h` on day `d`.
+    fn at(d: u64, h: u64) -> Timestamp {
+        Timestamp::from_secs(d * 86_400 + h * 3_600)
+    }
+
+    #[test]
+    fn non_wrapping_window() {
+        let q = QuietHours::new(9, 17); // quiet 9:00–17:00 (odd, but legal)
+        assert!(!q.is_quiet(u(1), at(0, 8)));
+        assert!(q.is_quiet(u(1), at(0, 9)));
+        assert!(q.is_quiet(u(1), at(0, 16)));
+        assert!(!q.is_quiet(u(1), at(0, 17)));
+    }
+
+    #[test]
+    fn wrapping_window_overnight() {
+        let q = QuietHours::new(23, 8);
+        assert!(q.is_quiet(u(1), at(0, 23)));
+        assert!(q.is_quiet(u(1), at(1, 0)));
+        assert!(q.is_quiet(u(1), at(1, 7)));
+        assert!(!q.is_quiet(u(1), at(1, 8)));
+        assert!(!q.is_quiet(u(1), at(1, 22)));
+    }
+
+    #[test]
+    fn disabled_window() {
+        let q = QuietHours::new(0, 0);
+        for h in 0..24 {
+            assert!(!q.is_quiet(u(1), at(0, h)));
+        }
+    }
+
+    #[test]
+    fn timezone_offsets_shift_local_hour() {
+        let mut q = QuietHours::new(23, 8);
+        q.set_offset(u(1), 5); // UTC+5
+        q.set_offset(u(2), -5); // UTC−5
+        // 20:00 UTC = 01:00 local for UTC+5 (quiet), 15:00 for UTC−5 (not).
+        assert!(q.is_quiet(u(1), at(0, 20)));
+        assert!(!q.is_quiet(u(2), at(0, 20)));
+        assert_eq!(q.local_hour(u(1), at(0, 20)), 1);
+        assert_eq!(q.local_hour(u(2), at(0, 20)), 15);
+    }
+
+    #[test]
+    fn negative_offset_before_epoch_day_wraps() {
+        let mut q = QuietHours::new(23, 8);
+        q.set_offset(u(1), -3);
+        // 01:00 UTC day 0 = 22:00 local previous day — not quiet.
+        assert!(!q.is_quiet(u(1), at(0, 1)));
+        assert_eq!(q.local_hour(u(1), at(0, 1)), 22);
+    }
+
+    #[test]
+    fn defer_until_morning_boundary() {
+        let q = QuietHours::new(23, 8);
+        // 02:00: defer to 08:00 same day.
+        assert_eq!(q.defer_until(u(1), at(1, 2)), at(1, 8));
+        // 23:30: defer to 08:00 next day.
+        let t2330 = Timestamp::from_secs(86_400 + 23 * 3_600 + 30 * 60);
+        assert_eq!(q.defer_until(u(1), t2330), at(2, 8));
+        // Awake: no deferral.
+        assert_eq!(q.defer_until(u(1), at(1, 12)), at(1, 12));
+    }
+
+    #[test]
+    fn default_offset_applies_to_unknown_users() {
+        let q = QuietHours::new(23, 8).with_default_offset(9);
+        // 16:00 UTC = 01:00 local at UTC+9 → quiet.
+        assert!(q.is_quiet(u(777), at(0, 16)));
+    }
+
+    #[test]
+    #[should_panic(expected = "0..=23")]
+    fn bad_hours_rejected() {
+        let _ = QuietHours::new(24, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "offset")]
+    fn bad_offset_rejected() {
+        let mut q = QuietHours::new(23, 8);
+        q.set_offset(u(1), 15);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests for the delivery funnel: quota safety, dedup horizon,
+//! conservation of candidates across stages.
+
+use magicrecs_delivery::Funnel;
+use magicrecs_types::{Candidate, Duration, FunnelConfig, Timestamp, UserId};
+use proptest::prelude::*;
+
+fn cand(user: u64, target: u64, at: Timestamp) -> Candidate {
+    Candidate {
+        user: UserId(user),
+        target: UserId(target),
+        witnesses: vec![UserId(900), UserId(901)],
+        triggered_at: at,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No user ever receives more than `fatigue_limit` pushes per period,
+    /// under any offer pattern (including deferred releases).
+    #[test]
+    fn fatigue_limit_is_safe(
+        offers in proptest::collection::vec((0u64..5, 0u64..40, 0u64..172_800), 1..200),
+        limit in 1u32..4,
+    ) {
+        let cfg = FunnelConfig {
+            fatigue_limit: limit,
+            fatigue_period: Duration::from_hours(24),
+            ..FunnelConfig::production()
+        };
+        let mut funnel = Funnel::new(cfg).unwrap();
+        let mut offers: Vec<(u64, u64, u64)> = offers;
+        offers.sort_by_key(|&(_, _, at)| at);
+
+        let mut delivered: Vec<(UserId, Timestamp)> = Vec::new();
+        let mut last = Timestamp::ZERO;
+        for (user, target, at) in offers {
+            let now = Timestamp::from_secs(at);
+            last = last.max(now);
+            for rec in funnel.poll_deferred(now) {
+                delivered.push((rec.candidate.user, rec.delivered_at));
+            }
+            if let Some(rec) = funnel.offer(cand(user, target, now), now) {
+                delivered.push((rec.candidate.user, rec.delivered_at));
+            }
+        }
+        for rec in funnel.poll_deferred(last + Duration::from_hours(48)) {
+            delivered.push((rec.candidate.user, rec.delivered_at));
+        }
+
+        // Group by (user, day) and check the quota.
+        let mut per_day: std::collections::HashMap<(UserId, u64), u32> = Default::default();
+        for (user, at) in &delivered {
+            let day = at.as_micros() / Duration::from_hours(24).as_micros();
+            *per_day.entry((*user, day)).or_default() += 1;
+        }
+        for ((user, day), count) in per_day {
+            prop_assert!(
+                count <= limit,
+                "user {user} got {count} > {limit} pushes on day {day}"
+            );
+        }
+    }
+
+    /// The same (user, target) pair is never delivered twice within the
+    /// dedup horizon.
+    #[test]
+    fn dedup_horizon_is_safe(
+        offers in proptest::collection::vec((0u64..3, 0u64..3, 0u64..100_000), 1..150),
+    ) {
+        let cfg = FunnelConfig {
+            dedup_horizon: Duration::from_secs(10_000),
+            fatigue_limit: u32::MAX,
+            quiet_start_hour: 0,
+            quiet_end_hour: 0, // disabled: isolate dedup
+            ..FunnelConfig::production()
+        };
+        let mut funnel = Funnel::new(cfg).unwrap();
+        let mut offers: Vec<(u64, u64, u64)> = offers;
+        offers.sort_by_key(|&(_, _, at)| at);
+
+        let mut deliveries: std::collections::HashMap<(u64, u64), Vec<u64>> = Default::default();
+        for (user, target, at) in offers {
+            let now = Timestamp::from_secs(at);
+            if funnel.offer(cand(user, target, now), now).is_some() {
+                deliveries.entry((user, target)).or_default().push(at);
+            }
+        }
+        for ((user, target), times) in deliveries {
+            for w in times.windows(2) {
+                prop_assert!(
+                    w[1] - w[0] >= 10_000,
+                    "pair ({user},{target}) delivered {}s apart",
+                    w[1] - w[0]
+                );
+            }
+        }
+    }
+
+    /// Conservation: every offered candidate is accounted for exactly once
+    /// (delivered, dropped, or still pending).
+    #[test]
+    fn funnel_conserves_candidates(
+        offers in proptest::collection::vec((0u64..8, 0u64..20, 0u64..172_800), 1..150),
+    ) {
+        let mut funnel = Funnel::new(FunnelConfig::production()).unwrap();
+        let mut offers: Vec<(u64, u64, u64)> = offers;
+        offers.sort_by_key(|&(_, _, at)| at);
+        let total = offers.len() as u64;
+        let mut released_deliveries = 0u64;
+        let mut last = Timestamp::ZERO;
+        for (user, target, at) in offers {
+            let now = Timestamp::from_secs(at);
+            last = last.max(now);
+            released_deliveries += funnel.poll_deferred(now).len() as u64;
+            if funnel.offer(cand(user, target, now), now).is_some() {
+                released_deliveries += 1;
+            }
+        }
+        released_deliveries += funnel
+            .poll_deferred(last + Duration::from_hours(48))
+            .len() as u64;
+
+        let s = funnel.stats();
+        prop_assert_eq!(s.offered.get(), total);
+        prop_assert_eq!(s.delivered.get(), released_deliveries);
+        // offered = dedup-dropped + fatigue-dropped + delivered + still pending.
+        prop_assert_eq!(
+            s.offered.get(),
+            s.dedup_dropped.get()
+                + s.fatigue_dropped.get()
+                + s.delivered.get()
+                + funnel.pending_deferred() as u64,
+            "stage accounting leaked candidates"
+        );
+    }
+
+    /// Deliveries never happen inside the recipient's quiet window.
+    #[test]
+    fn no_delivery_in_quiet_hours(
+        offers in proptest::collection::vec((0u64..5, 0u64..30, 0u64..259_200), 1..120),
+    ) {
+        let cfg = FunnelConfig {
+            fatigue_limit: u32::MAX,
+            ..FunnelConfig::production() // quiet 23:00–08:00 UTC
+        };
+        let mut funnel = Funnel::new(cfg).unwrap();
+        let mut offers: Vec<(u64, u64, u64)> = offers;
+        offers.sort_by_key(|&(_, _, at)| at);
+        let mut all = Vec::new();
+        let mut last = Timestamp::ZERO;
+        for (user, target, at) in offers {
+            let now = Timestamp::from_secs(at);
+            last = last.max(now);
+            all.extend(funnel.poll_deferred(now));
+            all.extend(funnel.offer(cand(user, target, now), now));
+        }
+        all.extend(funnel.poll_deferred(last + Duration::from_hours(48)));
+        for rec in all {
+            let hour = (rec.delivered_at.as_secs() / 3600) % 24;
+            prop_assert!(
+                (8..23).contains(&hour),
+                "delivered at local hour {hour} (quiet window violated)"
+            );
+        }
+    }
+}

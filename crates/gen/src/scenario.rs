@@ -1,0 +1,428 @@
+//! Full event-trace scenarios.
+//!
+//! A trace is the synthetic stand-in for the paper's firehose: a
+//! time-ordered sequence of [`EdgeEvent`]s. Three workload shapes cover the
+//! evaluation:
+//!
+//! * **steady** — background follow traffic: sources uniform, destinations
+//!   Zipf-popular. Motifs fire organically when a hot destination draws
+//!   several follows inside the window.
+//! * **celebrity join** — the paper's motivating flash crowd: a burst of
+//!   follows converging on one account within a tight window. This is the
+//!   motif-dense episode.
+//! * **breaking news** — co-action (retweet) burst among a community: the
+//!   followers of a seed account retweet the same author in quick
+//!   succession.
+
+use crate::arrivals::{Burst, PoissonProcess};
+use crate::graph_gen::spread_rank;
+use crate::zipf::Zipf;
+use magicrecs_graph::FollowGraph;
+use magicrecs_types::{Duration, EdgeEvent, EdgeKind, Timestamp, UserId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A time-ordered event trace with summary metadata.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<EdgeEvent>,
+}
+
+impl Trace {
+    /// Wraps raw events, sorting them by creation time (stable).
+    pub fn new(mut events: Vec<EdgeEvent>) -> Self {
+        events.sort_by_key(|e| e.created_at);
+        Trace { events }
+    }
+
+    /// The events in time order.
+    pub fn events(&self) -> &[EdgeEvent] {
+        &self.events
+    }
+
+    /// Consumes the trace, yielding the event vector.
+    pub fn into_events(self) -> Vec<EdgeEvent> {
+        self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Time of the first event.
+    pub fn start(&self) -> Option<Timestamp> {
+        self.events.first().map(|e| e.created_at)
+    }
+
+    /// Time of the last event.
+    pub fn end(&self) -> Option<Timestamp> {
+        self.events.last().map(|e| e.created_at)
+    }
+
+    /// Merges two traces, preserving time order.
+    pub fn merge(self, other: Trace) -> Trace {
+        let mut events = self.events;
+        events.extend(other.events);
+        Trace::new(events)
+    }
+}
+
+/// Parameters shared by the scenario constructors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioConfig {
+    /// Background arrival rate (events/sec). The paper's design point is
+    /// 10⁴/s; tests use far less.
+    pub rate_per_sec: f64,
+    /// Trace length.
+    pub duration: Duration,
+    /// Trace start time.
+    pub start: Timestamp,
+    /// Zipf exponent for destination popularity.
+    pub popularity_alpha: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ScenarioConfig {
+    /// Small config for tests: 100 ev/s for 60 s.
+    pub fn small() -> Self {
+        ScenarioConfig {
+            rate_per_sec: 100.0,
+            duration: Duration::from_secs(60),
+            start: Timestamp::ZERO,
+            popularity_alpha: 1.0,
+            seed: 0xFEED,
+        }
+    }
+
+    /// Returns a copy with a different rate.
+    pub fn with_rate(mut self, r: f64) -> Self {
+        self.rate_per_sec = r;
+        self
+    }
+
+    /// Returns a copy with a different duration.
+    pub fn with_duration(mut self, d: Duration) -> Self {
+        self.duration = d;
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig::small()
+    }
+}
+
+/// Scenario constructors.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario;
+
+impl Scenario {
+    /// Steady-state background follows over `users` accounts: source
+    /// uniform, destination Zipf(α)-popular.
+    pub fn steady(users: u64, cfg: ScenarioConfig) -> Trace {
+        assert!(users >= 2, "need at least two users");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let popularity = Zipf::new(users as usize, cfg.popularity_alpha);
+        let mut proc = PoissonProcess::new(cfg.rate_per_sec, cfg.start, cfg.seed ^ 0x5151);
+        let end = cfg.start + cfg.duration;
+        let mut events = Vec::new();
+        for t in proc.arrivals_until(end) {
+            let src = UserId(rng.random_range(0..users));
+            let dst = UserId(spread_rank(popularity.sample(&mut rng) as u64, users));
+            if src != dst {
+                events.push(EdgeEvent::follow(src, dst, t));
+            }
+        }
+        Trace::new(events)
+    }
+
+    /// A celebrity joins at `cfg.start`: `follower_count` accounts (sampled
+    /// from `graph`'s hosted users, biased toward active ones) follow
+    /// `celebrity` within `burst_len`.
+    ///
+    /// The followers are drawn from the graph's *followed* accounts (`B`s
+    /// with followers in `S`), so the resulting diamonds have non-empty
+    /// intersections — the shape that makes this scenario motif-dense.
+    pub fn celebrity_join(
+        graph: &FollowGraph,
+        celebrity: UserId,
+        follower_count: usize,
+        burst_len: Duration,
+        cfg: ScenarioConfig,
+    ) -> Trace {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // Candidate Bs: accounts that have at least one follower.
+        let mut bs: Vec<UserId> = graph
+            .iter_inverse()
+            .filter(|(b, followers)| !followers.is_empty() && *b != celebrity)
+            .map(|(b, _)| b)
+            .collect();
+        bs.sort_unstable(); // iter order is hash-dependent; fix it for determinism
+        bs.shuffle(&mut rng);
+        bs.truncate(follower_count);
+
+        let events: Vec<EdgeEvent> = bs
+            .into_iter()
+            .map(|b| {
+                let offset = Duration::from_micros(
+                    rng.random_range(0..burst_len.as_micros().max(1)),
+                );
+                EdgeEvent::follow(b, celebrity, cfg.start + offset)
+            })
+            .collect();
+        Trace::new(events)
+    }
+
+    /// Breaking news: followers of `author` retweet them in a burst.
+    /// Produces `retweeter_count` retweet events within `burst_len`.
+    pub fn breaking_news(
+        graph: &FollowGraph,
+        author: UserId,
+        retweeter_count: usize,
+        burst_len: Duration,
+        cfg: ScenarioConfig,
+    ) -> Trace {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut retweeters: Vec<UserId> = graph.followers(author).to_vec();
+        retweeters.shuffle(&mut rng);
+        retweeters.truncate(retweeter_count);
+        let events: Vec<EdgeEvent> = retweeters
+            .into_iter()
+            .map(|b| {
+                let offset = Duration::from_micros(
+                    rng.random_range(0..burst_len.as_micros().max(1)),
+                );
+                EdgeEvent {
+                    src: b,
+                    dst: author,
+                    created_at: cfg.start + offset,
+                    kind: EdgeKind::Retweet,
+                }
+            })
+            .collect();
+        Trace::new(events)
+    }
+
+    /// Steady background plus periodic celebrity bursts every
+    /// `burst_period`, each converging on a fresh high-popularity account.
+    pub fn mixed(
+        graph: &FollowGraph,
+        users: u64,
+        burst_period: Duration,
+        burst_size: usize,
+        cfg: ScenarioConfig,
+    ) -> Trace {
+        let mut trace = Scenario::steady(users, cfg);
+        let mut t = cfg.start + burst_period;
+        let end = cfg.start + cfg.duration;
+        let mut which = 0u64;
+        while t < end {
+            let celebrity = UserId(users + which); // fresh account each burst
+            let burst = Scenario::celebrity_join(
+                graph,
+                celebrity,
+                burst_size,
+                Duration::from_secs(30),
+                ScenarioConfig {
+                    start: t,
+                    seed: cfg.seed ^ (0xB00 + which),
+                    ..cfg
+                },
+            );
+            trace = trace.merge(burst);
+            t += burst_period;
+            which += 1;
+        }
+        trace
+    }
+
+    /// Steady traffic with a mid-trace rate burst (for throughput stress):
+    /// the burst multiplies the base rate by `factor` for `burst_len`.
+    pub fn steady_with_burst(
+        users: u64,
+        cfg: ScenarioConfig,
+        burst_at: Timestamp,
+        burst_len: Duration,
+        factor: f64,
+    ) -> Trace {
+        assert!(users >= 2, "need at least two users");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let popularity = Zipf::new(users as usize, cfg.popularity_alpha);
+        let mut proc = PoissonProcess::new(cfg.rate_per_sec, cfg.start, cfg.seed ^ 0x5151)
+            .with_burst(Burst {
+                start: burst_at,
+                len: burst_len,
+                factor,
+            });
+        let end = cfg.start + cfg.duration;
+        let mut events = Vec::new();
+        for t in proc.arrivals_until(end) {
+            let src = UserId(rng.random_range(0..users));
+            let dst = UserId(spread_rank(popularity.sample(&mut rng) as u64, users));
+            if src != dst {
+                events.push(EdgeEvent::follow(src, dst, t));
+            }
+        }
+        Trace::new(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph_gen::{GraphGen, GraphGenConfig};
+
+    fn small_graph() -> FollowGraph {
+        GraphGen::new(GraphGenConfig::small()).generate()
+    }
+
+    #[test]
+    fn steady_trace_is_time_ordered() {
+        let t = Scenario::steady(1000, ScenarioConfig::small());
+        assert!(t.len() > 1000);
+        for w in t.events().windows(2) {
+            assert!(w[0].created_at <= w[1].created_at);
+        }
+    }
+
+    #[test]
+    fn steady_respects_duration() {
+        let cfg = ScenarioConfig::small().with_duration(Duration::from_secs(10));
+        let t = Scenario::steady(100, cfg);
+        assert!(t.end().unwrap() < cfg.start + Duration::from_secs(10));
+    }
+
+    #[test]
+    fn steady_deterministic() {
+        let a = Scenario::steady(500, ScenarioConfig::small());
+        let b = Scenario::steady(500, ScenarioConfig::small());
+        assert_eq!(a.events(), b.events());
+    }
+
+    #[test]
+    fn steady_destinations_are_skewed() {
+        let t = Scenario::steady(1000, ScenarioConfig::small());
+        let mut counts: std::collections::HashMap<UserId, usize> = Default::default();
+        for e in t.events() {
+            *counts.entry(e.dst).or_default() += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let mean = t.len() as f64 / counts.len() as f64;
+        assert!(
+            max as f64 > mean * 5.0,
+            "destination skew too low: max {max}, mean {mean:.1}"
+        );
+    }
+
+    #[test]
+    fn celebrity_join_targets_one_account() {
+        let g = small_graph();
+        let celeb = UserId(999_999);
+        let t = Scenario::celebrity_join(
+            &g,
+            celeb,
+            50,
+            Duration::from_secs(30),
+            ScenarioConfig::small(),
+        );
+        assert_eq!(t.len(), 50);
+        for e in t.events() {
+            assert_eq!(e.dst, celeb);
+            assert_eq!(e.kind, EdgeKind::Follow);
+            assert!(e.created_at < Timestamp::ZERO + Duration::from_secs(30));
+        }
+        // All sources distinct (each B follows once).
+        let mut srcs: Vec<_> = t.events().iter().map(|e| e.src).collect();
+        srcs.sort_unstable();
+        srcs.dedup();
+        assert_eq!(srcs.len(), 50);
+    }
+
+    #[test]
+    fn breaking_news_uses_authors_followers() {
+        let g = small_graph();
+        // Find a well-followed author.
+        let author = g
+            .iter_inverse()
+            .max_by_key(|(_, f)| f.len())
+            .map(|(b, _)| b)
+            .unwrap();
+        let t = Scenario::breaking_news(
+            &g,
+            author,
+            10,
+            Duration::from_secs(10),
+            ScenarioConfig::small(),
+        );
+        assert!(t.len() <= 10);
+        assert!(!t.is_empty());
+        for e in t.events() {
+            assert_eq!(e.kind, EdgeKind::Retweet);
+            assert!(g.follows(e.src, author), "{} is not a follower", e.src);
+        }
+    }
+
+    #[test]
+    fn mixed_has_bursts_on_schedule() {
+        let g = small_graph();
+        let cfg = ScenarioConfig::small().with_duration(Duration::from_secs(120));
+        let t = Scenario::mixed(&g, 1000, Duration::from_secs(40), 20, cfg);
+        // Two bursts expected (t=40, t=80) on fresh accounts >= 1000.
+        let burst_events = t
+            .events()
+            .iter()
+            .filter(|e| e.dst.raw() >= 1000)
+            .count();
+        assert_eq!(burst_events, 40);
+    }
+
+    #[test]
+    fn merge_preserves_order() {
+        let a = Scenario::steady(100, ScenarioConfig::small());
+        let b = Scenario::steady(
+            100,
+            ScenarioConfig::small()
+                .with_seed(9)
+                .with_duration(Duration::from_secs(30)),
+        );
+        let merged = a.clone().merge(b);
+        assert!(merged.len() > a.len());
+        for w in merged.events().windows(2) {
+            assert!(w[0].created_at <= w[1].created_at);
+        }
+    }
+
+    #[test]
+    fn steady_with_burst_concentrates_events() {
+        let cfg = ScenarioConfig::small().with_duration(Duration::from_secs(30));
+        let t = Scenario::steady_with_burst(
+            500,
+            cfg,
+            Timestamp::from_secs(10),
+            Duration::from_secs(5),
+            10.0,
+        );
+        let in_burst = t
+            .events()
+            .iter()
+            .filter(|e| e.created_at.as_secs() >= 10 && e.created_at.as_secs() < 15)
+            .count();
+        // Burst: 5s × 1000/s = 5000 vs background 25s × 100/s = 2500.
+        assert!(in_burst > t.len() / 2, "{in_burst} of {}", t.len());
+    }
+}

@@ -1,0 +1,150 @@
+//! A deterministic Zipf(α) sampler over ranks `0..n`.
+//!
+//! Implemented as an inverse-CDF table with binary search: exact, O(n) to
+//! build, O(log n) to sample, and trivially deterministic given the caller's
+//! RNG. The table costs 8 bytes per rank — fine for the ≤ 10⁷-rank
+//! simulations this workspace runs. (`rand_distr` has a Zipf, but keeping to
+//! the pre-approved dependency set costs only these ~60 lines.)
+
+use rand::Rng;
+
+/// Zipf distribution: `P(rank = i) ∝ 1 / (i+1)^alpha` for `i ∈ 0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n ≥ 1` ranks with exponent `alpha ≥ 0`.
+    ///
+    /// `alpha = 0` degenerates to uniform; Twitter-like popularity skews run
+    /// `alpha ∈ [0.8, 1.2]`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one rank");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be ≥ 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point undershoot at the tail.
+        *cdf.last_mut().unwrap() = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution has a single rank.
+    pub fn is_empty(&self) -> bool {
+        false // n >= 1 by construction
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i >= self.cdf.len() {
+            return 0.0;
+        }
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.0);
+        let total: f64 = (0..100).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_zero_most_likely() {
+        let z = Zipf::new(1000, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(100));
+        assert!(z.pmf(100) > z.pmf(999));
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.pmf(i) - 0.1).abs() < 1e-12, "pmf({i}) = {}", z.pmf(i));
+        }
+    }
+
+    #[test]
+    fn samples_within_range_and_deterministic() {
+        let z = Zipf::new(50, 1.1);
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let a = z.sample(&mut r1);
+            let b = z.sample(&mut r2);
+            assert_eq!(a, b);
+            assert!(a < 50);
+        }
+    }
+
+    #[test]
+    fn empirical_frequency_matches_pmf() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 20];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for i in [0usize, 1, 5, 19] {
+            let expected = z.pmf(i) * n as f64;
+            let got = counts[i] as f64;
+            assert!(
+                (got - expected).abs() < expected.max(50.0) * 0.15,
+                "rank {i}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn negative_alpha_rejected() {
+        let _ = Zipf::new(10, -1.0);
+    }
+}

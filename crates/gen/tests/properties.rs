@@ -1,0 +1,140 @@
+//! Property tests for the workload generators: determinism, structural
+//! invariants of generated graphs, and trace well-formedness across the
+//! parameter space.
+
+use magicrecs_gen::{GraphGen, GraphGenConfig, Scenario, ScenarioConfig, Zipf};
+use magicrecs_graph::GraphStats;
+use magicrecs_types::{Duration, Timestamp};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Generated graphs are well-formed for any parameter combination:
+    /// no self-loops, sorted adjacency both directions, forward/inverse
+    /// edge counts equal.
+    #[test]
+    fn graphs_well_formed(
+        users in 10u64..500,
+        mean_deg in 2.0f64..30.0,
+        pop_alpha in 0.0f64..1.5,
+        act_alpha in 0.0f64..1.2,
+        seed in 0u64..1_000,
+    ) {
+        let g = GraphGen::new(GraphGenConfig {
+            users,
+            mean_out_degree: mean_deg,
+            max_out_degree: 200,
+            popularity_alpha: pop_alpha,
+            activity_alpha: act_alpha,
+            seed,
+        })
+        .generate();
+
+        let mut fwd_edges = 0usize;
+        for (a, followings) in g.iter_forward() {
+            prop_assert!(!followings.contains(&a), "self-loop at {a:?}");
+            prop_assert!(
+                followings.windows(2).all(|w| w[0] < w[1]),
+                "unsorted forward row"
+            );
+            fwd_edges += followings.len();
+        }
+        let mut inv_edges = 0usize;
+        for (_, followers) in g.iter_inverse() {
+            prop_assert!(
+                followers.windows(2).all(|w| w[0] < w[1]),
+                "unsorted inverse row"
+            );
+            inv_edges += followers.len();
+        }
+        prop_assert_eq!(fwd_edges, inv_edges);
+        prop_assert_eq!(fwd_edges, g.num_follow_edges());
+
+        // Both directions agree edge-by-edge on a sample.
+        for (a, followings) in g.iter_forward().take(20) {
+            for &b in followings.iter().take(5) {
+                prop_assert!(g.followers(b).contains(&a));
+            }
+        }
+    }
+
+    /// Generation is a pure function of its config.
+    #[test]
+    fn generation_deterministic(seed in 0u64..500) {
+        let cfg = GraphGenConfig::small().with_seed(seed).with_users(300);
+        let g1 = GraphGen::new(cfg).generate();
+        let g2 = GraphGen::new(cfg).generate();
+        prop_assert_eq!(g1.num_follow_edges(), g2.num_follow_edges());
+        let s1 = GraphStats::of(&g1);
+        let s2 = GraphStats::of(&g2);
+        prop_assert_eq!(s1.out_degree, s2.out_degree);
+        prop_assert_eq!(s1.in_degree, s2.in_degree);
+    }
+
+    /// Traces are time-ordered, in-range, and respect their duration for
+    /// any rate/duration/seed.
+    #[test]
+    fn traces_well_formed(
+        users in 5u64..300,
+        rate in 5.0f64..300.0,
+        secs in 1u64..60,
+        seed in 0u64..500,
+    ) {
+        let cfg = ScenarioConfig {
+            rate_per_sec: rate,
+            duration: Duration::from_secs(secs),
+            start: Timestamp::from_secs(100),
+            popularity_alpha: 1.0,
+            seed,
+        };
+        let t = Scenario::steady(users, cfg);
+        for w in t.events().windows(2) {
+            prop_assert!(w[0].created_at <= w[1].created_at);
+        }
+        for e in t.events() {
+            prop_assert!(e.src != e.dst, "self-edge in trace");
+            prop_assert!(e.src.raw() < users && e.dst.raw() < users);
+            prop_assert!(e.created_at >= cfg.start);
+            prop_assert!(e.created_at < cfg.start + cfg.duration);
+        }
+        // Poisson count within 6σ of expectation (λ = rate × secs).
+        let lambda = rate * secs as f64;
+        let sigma = lambda.sqrt();
+        prop_assert!(
+            (t.len() as f64 - lambda).abs() < 6.0 * sigma + 10.0,
+            "count {} far from λ {}",
+            t.len(),
+            lambda
+        );
+    }
+
+    /// Zipf sampling stays in range and rank-0 dominates for α ≥ 0.5.
+    #[test]
+    fn zipf_in_range_and_skewed(
+        n in 2usize..2_000,
+        alpha in 0.5f64..2.0,
+        seed in 0u64..100,
+    ) {
+        let z = Zipf::new(n, alpha);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut head = 0usize;
+        let samples = 2_000;
+        for _ in 0..samples {
+            let r = z.sample(&mut rng);
+            prop_assert!(r < n);
+            if r == 0 {
+                head += 1;
+            }
+        }
+        // pmf(0) ≥ 1/(n·uniform-share) — check the head is clearly over
+        // the uniform rate for skewed alphas (loose 3× bound).
+        let uniform = samples as f64 / n as f64;
+        prop_assert!(
+            head as f64 > uniform * 2.0 || n < 10,
+            "head {head} not above uniform {uniform:.1}"
+        );
+    }
+}

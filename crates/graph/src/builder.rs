@@ -1,0 +1,150 @@
+//! Edge-list accumulation and CSR construction.
+//!
+//! The paper loads `S` from an offline pipeline; [`GraphBuilder`] plays that
+//! role: accumulate `(A, B)` follow edges in any order (duplicates fine),
+//! then [`GraphBuilder::build`] produces a [`crate::FollowGraph`] with both
+//! directions sorted and deduplicated.
+
+use crate::csr::CsrGraph;
+use crate::follow::{CapStrategy, FollowGraph};
+use magicrecs_types::UserId;
+
+/// Accumulates follow edges and builds the static graph.
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    edges: Vec<(UserId, UserId)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        GraphBuilder { edges: Vec::new() }
+    }
+
+    /// Creates a builder expecting roughly `n` edges.
+    pub fn with_capacity(n: usize) -> Self {
+        GraphBuilder {
+            edges: Vec::with_capacity(n),
+        }
+    }
+
+    /// Records the follow edge `follower → followee` (`A → B`).
+    /// Self-loops are ignored: a user following themselves carries no
+    /// recommendation signal and would make every motif trivially fire.
+    #[inline]
+    pub fn add_edge(&mut self, follower: UserId, followee: UserId) -> &mut Self {
+        if follower != followee {
+            self.edges.push((follower, followee));
+        }
+        self
+    }
+
+    /// Records many edges at once.
+    pub fn extend<I: IntoIterator<Item = (UserId, UserId)>>(&mut self, iter: I) -> &mut Self {
+        for (a, b) in iter {
+            self.add_edge(a, b);
+        }
+        self
+    }
+
+    /// Number of accumulated (pre-dedup) edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Builds the [`FollowGraph`] with no influencer cap.
+    pub fn build(self) -> FollowGraph {
+        self.build_capped(CapStrategy::None)
+    }
+
+    /// Builds the [`FollowGraph`], limiting each user's retained followings
+    /// per `cap` (the paper's "limit the number of influencers" pruning).
+    pub fn build_capped(mut self, cap: CapStrategy) -> FollowGraph {
+        // Sort by (src, dst) and dedup exact duplicates.
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let forward = rows_from_sorted(&self.edges);
+        FollowGraph::from_forward_rows(forward, cap)
+    }
+
+    /// Builds only a single-direction CSR from the accumulated edges
+    /// (useful for tests and the batch baseline).
+    pub fn build_csr(mut self) -> CsrGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        CsrGraph::from_rows(rows_from_sorted(&self.edges))
+    }
+}
+
+/// Groups a `(src, dst)`-sorted, deduplicated edge list into rows.
+fn rows_from_sorted(edges: &[(UserId, UserId)]) -> Vec<(UserId, Vec<UserId>)> {
+    let mut rows: Vec<(UserId, Vec<UserId>)> = Vec::new();
+    for &(src, dst) in edges {
+        match rows.last_mut() {
+            Some((s, ts)) if *s == src => ts.push(dst),
+            _ => rows.push((src, vec![dst])),
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(n: u64) -> UserId {
+        UserId(n)
+    }
+
+    #[test]
+    fn dedup_and_sort() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(u(1), u(30));
+        b.add_edge(u(1), u(10));
+        b.add_edge(u(1), u(30)); // duplicate
+        b.add_edge(u(2), u(10));
+        let g = b.build();
+        assert_eq!(g.followings(u(1)), &[u(10), u(30)]);
+        assert_eq!(g.followings(u(2)), &[u(10)]);
+        assert_eq!(g.num_follow_edges(), 3);
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(u(5), u(5));
+        b.add_edge(u(5), u(6));
+        let g = b.build();
+        assert_eq!(g.followings(u(5)), &[u(6)]);
+    }
+
+    #[test]
+    fn extend_bulk() {
+        let mut b = GraphBuilder::with_capacity(4);
+        b.extend([(u(1), u(2)), (u(1), u(3)), (u(2), u(3)), (u(2), u(2))]);
+        assert_eq!(b.len(), 3); // self-loop dropped pre-dedup
+        let g = b.build();
+        assert_eq!(g.num_follow_edges(), 3);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_follow_edges(), 0);
+        assert!(GraphBuilder::new().is_empty());
+    }
+
+    #[test]
+    fn build_csr_directly() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(u(1), u(9));
+        b.add_edge(u(1), u(8));
+        let csr = b.build_csr();
+        assert_eq!(csr.neighbors(u(1)), &[u(8), u(9)]);
+    }
+}

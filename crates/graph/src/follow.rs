@@ -1,0 +1,307 @@
+//! The bidirectional static follow graph.
+//!
+//! [`FollowGraph`] holds both directions of the offline-computed `A → B`
+//! edges:
+//!
+//! * **forward** — `A → [B]`: the accounts each user follows ("followings").
+//!   Used by baselines, the workload generator, and the influencer cap.
+//! * **inverse** — `B → [A]`: each account's followers **restricted to the
+//!   hosted `A` set**. This is the paper's structure `S`: "store the inverse
+//!   as an adjacency list … given a particular B, we can query S to look up
+//!   all A's that follow it."
+//!
+//! The influencer cap ([`CapStrategy`]) reproduces the paper's pruning:
+//! "for users who follow many accounts, we have found it more effective to
+//! limit the number of influencers each user can have. This has the
+//! additional benefit of limiting the size of the S data structures held in
+//! memory."
+
+use crate::csr::CsrGraph;
+use magicrecs_types::{FxHashMap, UserId};
+
+/// How to choose which followings to keep when a user exceeds the
+/// influencer cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapStrategy {
+    /// Keep everything (no cap).
+    None,
+    /// Keep the `n` followings with the **most followers** (global
+    /// popularity proxy for the paper's "rich features").
+    MostPopular(usize),
+    /// Keep the `n` followings with the **fewest followers**. Favouring
+    /// niche accounts concentrates signal on tight communities; included as
+    /// the contrast arm of experiment E9.
+    LeastPopular(usize),
+    /// Keep the `n` smallest user ids — a cheap deterministic stand-in for
+    /// "first n by account age" (Twitter ids are time-ordered).
+    Oldest(usize),
+}
+
+impl CapStrategy {
+    /// The cap value, if any.
+    pub fn cap(&self) -> Option<usize> {
+        match *self {
+            CapStrategy::None => None,
+            CapStrategy::MostPopular(n)
+            | CapStrategy::LeastPopular(n)
+            | CapStrategy::Oldest(n) => Some(n),
+        }
+    }
+}
+
+/// The static bidirectional follow graph (structure `S` plus its forward
+/// view).
+#[derive(Debug, Clone, Default)]
+pub struct FollowGraph {
+    forward: CsrGraph,
+    inverse: CsrGraph,
+}
+
+impl FollowGraph {
+    /// Builds from forward rows (each row sorted + deduplicated), applying
+    /// the influencer cap before inverting.
+    pub(crate) fn from_forward_rows(
+        mut forward_rows: Vec<(UserId, Vec<UserId>)>,
+        cap: CapStrategy,
+    ) -> Self {
+        if let Some(n) = cap.cap() {
+            // Popularity = follower count over the *uncapped* graph.
+            let mut popularity: FxHashMap<UserId, u32> = FxHashMap::default();
+            if matches!(
+                cap,
+                CapStrategy::MostPopular(_) | CapStrategy::LeastPopular(_)
+            ) {
+                for (_, targets) in &forward_rows {
+                    for &b in targets {
+                        *popularity.entry(b).or_insert(0) += 1;
+                    }
+                }
+            }
+            for (_, targets) in forward_rows.iter_mut() {
+                if targets.len() <= n {
+                    continue;
+                }
+                match cap {
+                    CapStrategy::None => unreachable!(),
+                    CapStrategy::Oldest(_) => {
+                        targets.truncate(n); // rows are sorted by id
+                    }
+                    CapStrategy::MostPopular(_) => {
+                        targets.sort_unstable_by_key(|b| {
+                            (std::cmp::Reverse(popularity[b]), b.raw())
+                        });
+                        targets.truncate(n);
+                        targets.sort_unstable();
+                    }
+                    CapStrategy::LeastPopular(_) => {
+                        targets.sort_unstable_by_key(|b| (popularity[b], b.raw()));
+                        targets.truncate(n);
+                        targets.sort_unstable();
+                    }
+                }
+            }
+        }
+
+        // Invert: (A, B) → (B, A), grouped by B, A's sorted.
+        let mut inv_edges: Vec<(UserId, UserId)> = forward_rows
+            .iter()
+            .flat_map(|(a, bs)| bs.iter().map(move |&b| (b, *a)))
+            .collect();
+        inv_edges.sort_unstable();
+        let mut inv_rows: Vec<(UserId, Vec<UserId>)> = Vec::new();
+        for (b, a) in inv_edges {
+            match inv_rows.last_mut() {
+                Some((s, ts)) if *s == b => ts.push(a),
+                _ => inv_rows.push((b, vec![a])),
+            }
+        }
+
+        FollowGraph {
+            forward: CsrGraph::from_rows(forward_rows),
+            inverse: CsrGraph::from_rows(inv_rows),
+        }
+    }
+
+    /// The accounts `a` follows (sorted). Forward direction, `A → [B]`.
+    #[inline]
+    pub fn followings(&self, a: UserId) -> &[UserId] {
+        self.forward.neighbors(a)
+    }
+
+    /// The followers of `b` (sorted). This is the paper's `S` lookup:
+    /// "given a particular B, query S to look up all A's that follow it."
+    #[inline]
+    pub fn followers(&self, b: UserId) -> &[UserId] {
+        self.inverse.neighbors(b)
+    }
+
+    /// Whether `a` follows `b`.
+    #[inline]
+    pub fn follows(&self, a: UserId, b: UserId) -> bool {
+        self.forward.contains_edge(a, b)
+    }
+
+    /// Number of distinct follow edges.
+    #[inline]
+    pub fn num_follow_edges(&self) -> usize {
+        self.forward.num_edges()
+    }
+
+    /// Number of users with at least one following.
+    #[inline]
+    pub fn num_followers_hosted(&self) -> usize {
+        self.forward.num_sources()
+    }
+
+    /// Out-degree (following count) of `a`.
+    #[inline]
+    pub fn following_count(&self, a: UserId) -> usize {
+        self.forward.degree(a)
+    }
+
+    /// In-degree (follower count) of `b`.
+    #[inline]
+    pub fn follower_count(&self, b: UserId) -> usize {
+        self.inverse.degree(b)
+    }
+
+    /// Iterates `(A, followings)` rows.
+    pub fn iter_forward(&self) -> impl Iterator<Item = (UserId, &[UserId])> + '_ {
+        self.forward.iter()
+    }
+
+    /// Iterates `(B, followers)` rows — the `S` structure.
+    pub fn iter_inverse(&self) -> impl Iterator<Item = (UserId, &[UserId])> + '_ {
+        self.inverse.iter()
+    }
+
+    /// The forward CSR (for baselines that need raw access).
+    pub fn forward_csr(&self) -> &CsrGraph {
+        &self.forward
+    }
+
+    /// The inverse CSR — structure `S` (for the detector's hot path).
+    pub fn inverse_csr(&self) -> &CsrGraph {
+        &self.inverse
+    }
+
+    /// Approximate resident bytes of both directions.
+    pub fn memory_bytes(&self) -> usize {
+        self.forward.memory_bytes() + self.inverse.memory_bytes()
+    }
+
+    /// Approximate resident bytes of the inverse index only — what a
+    /// partition actually serves from (forward is only needed offline).
+    pub fn s_memory_bytes(&self) -> usize {
+        self.inverse.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn u(n: u64) -> UserId {
+        UserId(n)
+    }
+
+    /// A1 follows B1,B2; A2 follows B1,B2,B3; A3 follows B2.
+    fn sample() -> GraphBuilder {
+        let mut b = GraphBuilder::new();
+        b.extend([
+            (u(1), u(11)),
+            (u(1), u(12)),
+            (u(2), u(11)),
+            (u(2), u(12)),
+            (u(2), u(13)),
+            (u(3), u(12)),
+        ]);
+        b
+    }
+
+    #[test]
+    fn forward_and_inverse_agree() {
+        let g = sample().build();
+        assert_eq!(g.followings(u(2)), &[u(11), u(12), u(13)]);
+        assert_eq!(g.followers(u(11)), &[u(1), u(2)]);
+        assert_eq!(g.followers(u(12)), &[u(1), u(2), u(3)]);
+        assert_eq!(g.followers(u(13)), &[u(2)]);
+        assert!(g.follows(u(1), u(11)));
+        assert!(!g.follows(u(3), u(11)));
+    }
+
+    #[test]
+    fn inverse_edge_count_matches_forward() {
+        let g = sample().build();
+        let fwd: usize = g.iter_forward().map(|(_, t)| t.len()).sum();
+        let inv: usize = g.iter_inverse().map(|(_, t)| t.len()).sum();
+        assert_eq!(fwd, inv);
+        assert_eq!(fwd, g.num_follow_edges());
+    }
+
+    #[test]
+    fn degrees() {
+        let g = sample().build();
+        assert_eq!(g.following_count(u(2)), 3);
+        assert_eq!(g.follower_count(u(12)), 3);
+        assert_eq!(g.following_count(u(99)), 0);
+        assert_eq!(g.follower_count(u(99)), 0);
+    }
+
+    #[test]
+    fn cap_oldest_keeps_smallest_ids() {
+        let g = sample().build_capped_for_test(CapStrategy::Oldest(2));
+        assert_eq!(g.followings(u(2)), &[u(11), u(12)]);
+        // B3 lost its only follower.
+        assert_eq!(g.followers(u(13)), &[] as &[UserId]);
+    }
+
+    #[test]
+    fn cap_most_popular_keeps_high_follower_accounts() {
+        // Popularity: B2 has 3 followers, B1 has 2, B3 has 1.
+        let g = sample().build_capped_for_test(CapStrategy::MostPopular(2));
+        assert_eq!(g.followings(u(2)), &[u(11), u(12)]); // keeps B1, B2
+    }
+
+    #[test]
+    fn cap_least_popular_keeps_niche_accounts() {
+        let g = sample().build_capped_for_test(CapStrategy::LeastPopular(2));
+        assert_eq!(g.followings(u(2)), &[u(11), u(13)]); // keeps B3, B1
+    }
+
+    #[test]
+    fn cap_none_is_identity() {
+        let uncapped = sample().build();
+        let explicit = sample().build_capped_for_test(CapStrategy::None);
+        assert_eq!(uncapped.num_follow_edges(), explicit.num_follow_edges());
+    }
+
+    #[test]
+    fn cap_shrinks_s_memory() {
+        let mut b = GraphBuilder::new();
+        for a in 0..100u64 {
+            for bb in 1000..1050u64 {
+                b.add_edge(u(a), u(bb));
+            }
+        }
+        let full = b.clone().build();
+        let capped = b.build_capped(CapStrategy::Oldest(5));
+        assert!(capped.s_memory_bytes() < full.s_memory_bytes());
+        assert_eq!(capped.num_follow_edges(), 100 * 5);
+    }
+
+    #[test]
+    fn followers_always_sorted() {
+        let g = sample().build();
+        for (_, followers) in g.iter_inverse() {
+            assert!(followers.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    impl GraphBuilder {
+        fn build_capped_for_test(self, cap: CapStrategy) -> FollowGraph {
+            self.build_capped(cap)
+        }
+    }
+}

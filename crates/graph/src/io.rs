@@ -1,0 +1,269 @@
+//! Binary serialization of follow graphs.
+//!
+//! The paper's `S` is "computed offline and loaded into the system
+//! periodically". This module provides the load format: a compact
+//! little-endian binary edge list with a magic header, checksummed, written
+//! through any `io::Write` and read back through any `io::Read`. Delta
+//! encoding + varints keep files small (sorted targets compress well).
+//!
+//! Format:
+//! ```text
+//! magic  "MGRS"            4 bytes
+//! version u32 LE           4 bytes
+//! rows    u64 LE           8 bytes
+//! per row:
+//!   src        varint u64
+//!   degree     varint u64
+//!   targets    varint u64 × degree, delta-encoded ascending
+//! checksum u64 LE (FxHash of all decoded values)
+//! ```
+
+use crate::builder::GraphBuilder;
+use crate::follow::{CapStrategy, FollowGraph};
+use magicrecs_types::{Error, Result, UserId};
+use std::hash::{BuildHasher, Hasher};
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"MGRS";
+const VERSION: u32 = 1;
+
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> std::io::Result<()> {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            w.write_all(&[byte])?;
+            return Ok(());
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R) -> std::io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut buf = [0u8; 1];
+        r.read_exact(&mut buf)?;
+        let byte = buf[0];
+        if shift >= 63 && byte > 1 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "varint overflow",
+            ));
+        }
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+struct Check {
+    h: magicrecs_types::FxHasher,
+}
+
+impl Check {
+    fn new() -> Self {
+        Check {
+            h: magicrecs_types::FxBuildHasher::default().build_hasher(),
+        }
+    }
+    fn mix(&mut self, v: u64) {
+        self.h.write_u64(v);
+    }
+    fn finish(&self) -> u64 {
+        self.h.finish()
+    }
+}
+
+/// Writes the forward rows of `graph` to `w`.
+pub fn save_graph<W: Write>(graph: &FollowGraph, w: &mut W) -> Result<()> {
+    let io_err = |e: std::io::Error| Error::Invariant(format!("graph write failed: {e}"));
+    w.write_all(MAGIC).map_err(io_err)?;
+    w.write_all(&VERSION.to_le_bytes()).map_err(io_err)?;
+
+    // Deterministic row order (hash-map iteration is not).
+    let mut rows: Vec<(UserId, &[UserId])> = graph.iter_forward().collect();
+    rows.sort_by_key(|&(src, _)| src);
+
+    w.write_all(&(rows.len() as u64).to_le_bytes()).map_err(io_err)?;
+    let mut check = Check::new();
+    for (src, targets) in rows {
+        check.mix(src.raw());
+        write_varint(w, src.raw()).map_err(io_err)?;
+        write_varint(w, targets.len() as u64).map_err(io_err)?;
+        let mut prev = 0u64;
+        for (i, t) in targets.iter().enumerate() {
+            check.mix(t.raw());
+            let delta = if i == 0 { t.raw() } else { t.raw() - prev };
+            write_varint(w, delta).map_err(io_err)?;
+            prev = t.raw();
+        }
+    }
+    w.write_all(&check.finish().to_le_bytes()).map_err(io_err)?;
+    Ok(())
+}
+
+/// Reads a graph previously written by [`save_graph`], optionally applying
+/// an influencer cap at load time (the offline pipeline's pruning hook).
+pub fn load_graph<R: Read>(r: &mut R, cap: CapStrategy) -> Result<FollowGraph> {
+    let io_err = |e: std::io::Error| Error::Invariant(format!("graph read failed: {e}"));
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(io_err)?;
+    if &magic != MAGIC {
+        return Err(Error::Invariant("bad magic: not a magicrecs graph".into()));
+    }
+    let mut v4 = [0u8; 4];
+    r.read_exact(&mut v4).map_err(io_err)?;
+    let version = u32::from_le_bytes(v4);
+    if version != VERSION {
+        return Err(Error::Invariant(format!(
+            "unsupported graph version {version} (expected {VERSION})"
+        )));
+    }
+    let mut n8 = [0u8; 8];
+    r.read_exact(&mut n8).map_err(io_err)?;
+    let rows = u64::from_le_bytes(n8);
+
+    let mut builder = GraphBuilder::new();
+    let mut check = Check::new();
+    for _ in 0..rows {
+        let src = read_varint(r).map_err(io_err)?;
+        check.mix(src);
+        let degree = read_varint(r).map_err(io_err)?;
+        let mut prev = 0u64;
+        for i in 0..degree {
+            let delta = read_varint(r).map_err(io_err)?;
+            let t = if i == 0 { delta } else { prev + delta };
+            check.mix(t);
+            builder.add_edge(UserId(src), UserId(t));
+            prev = t;
+        }
+    }
+    let mut c8 = [0u8; 8];
+    r.read_exact(&mut c8).map_err(io_err)?;
+    if u64::from_le_bytes(c8) != check.finish() {
+        return Err(Error::Invariant("graph checksum mismatch".into()));
+    }
+    Ok(builder.build_capped(cap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GraphStats;
+
+    fn u(n: u64) -> UserId {
+        UserId(n)
+    }
+
+    fn sample() -> FollowGraph {
+        let mut b = GraphBuilder::new();
+        b.extend([
+            (u(1), u(10)),
+            (u(1), u(1_000_000_007)),
+            (u(2), u(10)),
+            (u(42), u(7)),
+        ]);
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = sample();
+        let mut buf = Vec::new();
+        save_graph(&g, &mut buf).unwrap();
+        let g2 = load_graph(&mut buf.as_slice(), CapStrategy::None).unwrap();
+        assert_eq!(g.num_follow_edges(), g2.num_follow_edges());
+        for (src, targets) in g.iter_forward() {
+            assert_eq!(targets, g2.followings(src), "row {src:?}");
+        }
+        assert_eq!(GraphStats::of(&g), GraphStats::of(&g2));
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = GraphBuilder::new().build();
+        let mut buf = Vec::new();
+        save_graph(&g, &mut buf).unwrap();
+        let g2 = load_graph(&mut buf.as_slice(), CapStrategy::None).unwrap();
+        assert_eq!(g2.num_follow_edges(), 0);
+    }
+
+    #[test]
+    fn load_applies_cap() {
+        let mut b = GraphBuilder::new();
+        for t in 100..120u64 {
+            b.add_edge(u(1), u(t));
+        }
+        let g = b.build();
+        let mut buf = Vec::new();
+        save_graph(&g, &mut buf).unwrap();
+        let capped = load_graph(&mut buf.as_slice(), CapStrategy::Oldest(5)).unwrap();
+        assert_eq!(capped.following_count(u(1)), 5);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOPE\x01\x00\x00\x00".to_vec();
+        let err = load_graph(&mut buf.as_slice(), CapStrategy::None).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let err = load_graph(&mut buf.as_slice(), CapStrategy::None).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn corruption_detected_by_checksum() {
+        let g = sample();
+        let mut buf = Vec::new();
+        save_graph(&g, &mut buf).unwrap();
+        // Flip a byte in the payload (after header, before checksum).
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x01;
+        let result = load_graph(&mut buf.as_slice(), CapStrategy::None);
+        assert!(result.is_err(), "corruption must not load silently");
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let g = sample();
+        let mut buf = Vec::new();
+        save_graph(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 4);
+        assert!(load_graph(&mut buf.as_slice(), CapStrategy::None).is_err());
+    }
+
+    #[test]
+    fn varint_roundtrip_extremes() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            assert_eq!(read_varint(&mut buf.as_slice()).unwrap(), v, "v={v}");
+        }
+    }
+
+    #[test]
+    fn delta_encoding_compresses_sorted_targets() {
+        // Dense consecutive targets: one byte per edge after the first.
+        let mut b = GraphBuilder::new();
+        for t in 1_000_000..1_001_000u64 {
+            b.add_edge(u(1), u(t));
+        }
+        let g = b.build();
+        let mut buf = Vec::new();
+        save_graph(&g, &mut buf).unwrap();
+        // 1000 edges; raw u64s would be 8000 bytes. Expect well under half.
+        assert!(buf.len() < 2_000, "no compression: {} bytes", buf.len());
+    }
+}

@@ -1,0 +1,36 @@
+//! # magicrecs-graph
+//!
+//! The *static* half of the paper's design: the `A → B` follow edges,
+//! "computed offline and loaded into the system periodically", held in main
+//! memory with **sorted adjacency lists** so that the detector's
+//! intersections run on plain sorted slices.
+//!
+//! Layout:
+//!
+//! * [`csr::CsrGraph`] — a compressed-sparse-row adjacency structure over
+//!   sparse `u64` user ids (hash index → contiguous sorted target slices).
+//! * [`builder::GraphBuilder`] — accumulates edges, dedups, sorts, builds.
+//! * [`follow::FollowGraph`] — the pair of CSRs the system needs: forward
+//!   (`A → [B]`, who each user follows) and inverse (`B → [A]`, structure
+//!   `S` in the paper: the followers of each `B`), plus the influencer cap.
+//! * [`partition::partition_by_source`] — splits a [`FollowGraph`] into the
+//!   per-partition `S` structures of §2's distributed design.
+//! * [`stats`] — degree distributions and memory accounting for the
+//!   experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod csr;
+pub mod follow;
+pub mod io;
+pub mod partition;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use io::{load_graph, save_graph};
+pub use csr::CsrGraph;
+pub use follow::{CapStrategy, FollowGraph};
+pub use partition::{partition_by_source, HashPartitioner, Partitioner};
+pub use stats::{DegreeStats, GraphStats};

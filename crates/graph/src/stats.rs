@@ -1,0 +1,183 @@
+//! Degree-distribution and size statistics for graphs.
+//!
+//! Used by the experiments to (a) verify that generated graphs have the
+//! heavy-tailed shape of the real Twitter follow graph (Myers et al.,
+//! WWW'14) and (b) report the memory effects of the influencer cap (E9).
+
+use crate::csr::CsrGraph;
+use crate::follow::FollowGraph;
+
+/// Summary statistics of a degree sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Number of vertices with degree ≥ 1.
+    pub vertices: usize,
+    /// Total degree (== edge count for one direction).
+    pub total: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree over vertices with degree ≥ 1.
+    pub mean: f64,
+    /// Median degree over vertices with degree ≥ 1.
+    pub median: usize,
+    /// 99th-percentile degree.
+    pub p99: usize,
+}
+
+impl DegreeStats {
+    /// Computes stats from a degree sequence (zeros are filtered out).
+    pub fn from_degrees(mut degrees: Vec<usize>) -> Self {
+        degrees.retain(|&d| d > 0);
+        if degrees.is_empty() {
+            return DegreeStats {
+                vertices: 0,
+                total: 0,
+                max: 0,
+                mean: 0.0,
+                median: 0,
+                p99: 0,
+            };
+        }
+        degrees.sort_unstable();
+        let total: usize = degrees.iter().sum();
+        let n = degrees.len();
+        DegreeStats {
+            vertices: n,
+            total,
+            max: degrees[n - 1],
+            mean: total as f64 / n as f64,
+            median: degrees[n / 2],
+            p99: degrees[((n as f64 * 0.99) as usize).min(n - 1)],
+        }
+    }
+
+    /// Skew ratio max/mean — a quick heavy-tail indicator (≫ 1 for
+    /// power-law graphs, ≈ 1 for regular graphs).
+    pub fn skew(&self) -> f64 {
+        if self.mean > 0.0 {
+            self.max as f64 / self.mean
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Combined statistics of a [`FollowGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Out-degree (followings per user) stats.
+    pub out_degree: DegreeStats,
+    /// In-degree (followers per account) stats.
+    pub in_degree: DegreeStats,
+    /// Total follow edges.
+    pub edges: usize,
+    /// Approximate resident bytes (both directions).
+    pub memory_bytes: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics for `g`.
+    pub fn of(g: &FollowGraph) -> Self {
+        GraphStats {
+            out_degree: degree_stats(g.forward_csr()),
+            in_degree: degree_stats(g.inverse_csr()),
+            edges: g.num_follow_edges(),
+            memory_bytes: g.memory_bytes(),
+        }
+    }
+}
+
+fn degree_stats(csr: &CsrGraph) -> DegreeStats {
+    DegreeStats::from_degrees(csr.iter().map(|(_, t)| t.len()).collect())
+}
+
+/// Log-binned degree histogram: returns `(bin_upper_bound, count)` pairs
+/// with power-of-two bins, suitable for eyeballing a power law.
+pub fn degree_histogram(csr: &CsrGraph) -> Vec<(usize, usize)> {
+    let mut bins: Vec<usize> = Vec::new();
+    for (_, t) in csr.iter() {
+        let d = t.len();
+        let bin = (usize::BITS - d.leading_zeros()) as usize; // floor(log2)+1
+        if bins.len() <= bin {
+            bins.resize(bin + 1, 0);
+        }
+        bins[bin] += 1;
+    }
+    bins.into_iter()
+        .enumerate()
+        .filter(|&(_, c)| c > 0)
+        .map(|(b, c)| ((1usize << b).saturating_sub(1).max(1), c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use magicrecs_types::UserId;
+
+    fn u(n: u64) -> UserId {
+        UserId(n)
+    }
+
+    #[test]
+    fn stats_on_small_graph() {
+        let mut b = GraphBuilder::new();
+        // degrees: u1 -> 3, u2 -> 1
+        b.extend([(u(1), u(10)), (u(1), u(11)), (u(1), u(12)), (u(2), u(10))]);
+        let g = b.build();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.out_degree.vertices, 2);
+        assert_eq!(s.out_degree.max, 3);
+        assert_eq!(s.out_degree.total, 4);
+        assert_eq!(s.in_degree.max, 2); // u10 followed by both
+        assert!(s.memory_bytes > 0);
+    }
+
+    #[test]
+    fn empty_degree_stats() {
+        let s = DegreeStats::from_degrees(vec![]);
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.skew(), 0.0);
+    }
+
+    #[test]
+    fn zeros_filtered() {
+        let s = DegreeStats::from_degrees(vec![0, 0, 5, 1]);
+        assert_eq!(s.vertices, 2);
+        assert_eq!(s.total, 6);
+        assert_eq!(s.mean, 3.0);
+    }
+
+    #[test]
+    fn skew_detects_heavy_tail() {
+        let regular = DegreeStats::from_degrees(vec![10; 100]);
+        assert!((regular.skew() - 1.0).abs() < 1e-9);
+        let mut heavy = vec![1usize; 99];
+        heavy.push(1000);
+        let heavy = DegreeStats::from_degrees(heavy);
+        assert!(heavy.skew() > 50.0);
+    }
+
+    #[test]
+    fn histogram_bins_cover_all_vertices() {
+        let mut b = GraphBuilder::new();
+        for a in 0..32u64 {
+            for t in 0..=(a % 8) {
+                b.add_edge(u(a), u(1000 + t));
+            }
+        }
+        let csr = b.build_csr();
+        let hist = degree_histogram(&csr);
+        let total: usize = hist.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, csr.num_sources());
+    }
+
+    #[test]
+    fn median_and_p99() {
+        let s = DegreeStats::from_degrees((1..=100).collect());
+        assert_eq!(s.median, 51); // element at index 50
+        assert_eq!(s.p99, 100);
+    }
+}

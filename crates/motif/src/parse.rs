@@ -1,0 +1,593 @@
+//! A hand-rolled recursive-descent parser for motif specifications.
+//!
+//! Grammar (whitespace-insensitive, `#` line comments):
+//!
+//! ```text
+//! motif      := "motif" IDENT "{" decl* "}"
+//! decl       := edge | trigger | emit
+//! edge       := IDENT "->" IDENT ":" layer ";"
+//! layer      := "static"
+//!             | "dynamic" ["within" INT "s"] ["kinds" kind ("," kind)*]
+//! kind       := "follow" | "retweet" | "favorite"
+//! trigger    := "trigger" IDENT "->" IDENT ";"
+//! emit       := "emit" "(" IDENT "," IDENT ")"
+//!               "when" "count" "(" IDENT ")" ">=" INT ";"
+//! cap        := "cap" "witnesses" INT ";"
+//! allow      := "allow" "existing" ";"
+//! ```
+//!
+//! Errors carry 1-based line/column positions.
+
+use crate::spec::{EdgeDecl, EmitDecl, Layer, MotifSpec};
+use magicrecs_types::{Duration, EdgeKind, Error, Result};
+
+const DEFAULT_WINDOW_SECS: u64 = 600;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(u64),
+    Arrow,  // ->
+    Ge,     // >=
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Colon,
+    Semi,
+    Comma,
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::MotifParse {
+            line: self.line,
+            col: self.col,
+            msg: msg.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn tokens(mut self) -> Result<Vec<Spanned>> {
+        let mut out = Vec::new();
+        loop {
+            // Skip whitespace and comments.
+            loop {
+                match self.peek() {
+                    Some(c) if (c as char).is_whitespace() => {
+                        self.bump();
+                    }
+                    Some(b'#') => {
+                        while let Some(c) = self.bump() {
+                            if c == b'\n' {
+                                break;
+                            }
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else { break };
+            let tok = match c {
+                b'{' => {
+                    self.bump();
+                    Tok::LBrace
+                }
+                b'}' => {
+                    self.bump();
+                    Tok::RBrace
+                }
+                b'(' => {
+                    self.bump();
+                    Tok::LParen
+                }
+                b')' => {
+                    self.bump();
+                    Tok::RParen
+                }
+                b':' => {
+                    self.bump();
+                    Tok::Colon
+                }
+                b';' => {
+                    self.bump();
+                    Tok::Semi
+                }
+                b',' => {
+                    self.bump();
+                    Tok::Comma
+                }
+                b'-' => {
+                    self.bump();
+                    if self.peek() == Some(b'>') {
+                        self.bump();
+                        Tok::Arrow
+                    } else {
+                        return Err(self.err("expected `->`"));
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::Ge
+                    } else {
+                        return Err(self.err("expected `>=`"));
+                    }
+                }
+                c if c.is_ascii_digit() => {
+                    let mut n = 0u64;
+                    while let Some(d) = self.peek() {
+                        if d.is_ascii_digit() {
+                            n = n
+                                .checked_mul(10)
+                                .and_then(|n| n.checked_add((d - b'0') as u64))
+                                .ok_or_else(|| self.err("integer overflow"))?;
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    Tok::Int(n)
+                }
+                c if (c as char).is_ascii_alphabetic() || c == b'_' => {
+                    let mut s = String::new();
+                    while let Some(d) = self.peek() {
+                        if (d as char).is_ascii_alphanumeric() || d == b'_' {
+                            s.push(d as char);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    Tok::Ident(s)
+                }
+                other => {
+                    return Err(self.err(format!("unexpected character `{}`", other as char)))
+                }
+            };
+            out.push(Spanned { tok, line, col });
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err_at(&self, msg: impl Into<String>) -> Error {
+        let (line, col) = self
+            .toks
+            .get(self.pos)
+            .map(|s| (s.line, s.col))
+            .or_else(|| self.toks.last().map(|s| (s.line, s.col + 1)))
+            .unwrap_or((1, 1));
+        Error::MotifParse {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn next(&mut self) -> Result<Tok> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .map(|s| s.tok.clone())
+            .ok_or_else(|| self.err_at("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<()> {
+        let got = self.next()?;
+        if &got == want {
+            Ok(())
+        } else {
+            self.pos -= 1;
+            Err(self.err_at(format!("expected {what}, found {got:?}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            got => {
+                self.pos -= 1;
+                Err(self.err_at(format!("expected {what}, found {got:?}")))
+            }
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<()> {
+        let s = self.ident(&format!("`{kw}`"))?;
+        if s == kw {
+            Ok(())
+        } else {
+            self.pos -= 1;
+            Err(self.err_at(format!("expected `{kw}`, found `{s}`")))
+        }
+    }
+
+    fn int(&mut self, what: &str) -> Result<u64> {
+        match self.next()? {
+            Tok::Int(n) => Ok(n),
+            got => {
+                self.pos -= 1;
+                Err(self.err_at(format!("expected {what}, found {got:?}")))
+            }
+        }
+    }
+
+    fn motif(&mut self) -> Result<MotifSpec> {
+        self.keyword("motif")?;
+        let name = self.ident("motif name")?;
+        self.expect(&Tok::LBrace, "`{`")?;
+
+        let mut edges = Vec::new();
+        let mut trigger: Option<(String, String)> = None;
+        let mut emit: Option<EmitDecl> = None;
+        let mut witness_cap: Option<usize> = None;
+        let mut allow_existing = false;
+
+        loop {
+            match self.peek() {
+                Some(Tok::RBrace) => {
+                    self.next()?;
+                    break;
+                }
+                Some(Tok::Ident(kw)) if kw == "trigger" => {
+                    self.next()?;
+                    let src = self.ident("trigger source variable")?;
+                    self.expect(&Tok::Arrow, "`->`")?;
+                    let dst = self.ident("trigger destination variable")?;
+                    self.expect(&Tok::Semi, "`;`")?;
+                    if trigger.replace((src, dst)).is_some() {
+                        return Err(self.err_at("duplicate trigger clause"));
+                    }
+                }
+                Some(Tok::Ident(kw)) if kw == "cap" => {
+                    self.next()?;
+                    self.keyword("witnesses")?;
+                    let n = self.int("witness cap")? as usize;
+                    self.expect(&Tok::Semi, "`;`")?;
+                    if witness_cap.replace(n).is_some() {
+                        return Err(self.err_at("duplicate cap clause"));
+                    }
+                }
+                Some(Tok::Ident(kw)) if kw == "allow" => {
+                    self.next()?;
+                    self.keyword("existing")?;
+                    self.expect(&Tok::Semi, "`;`")?;
+                    allow_existing = true;
+                }
+                Some(Tok::Ident(kw)) if kw == "emit" => {
+                    self.next()?;
+                    self.expect(&Tok::LParen, "`(`")?;
+                    let user = self.ident("emit user variable")?;
+                    self.expect(&Tok::Comma, "`,`")?;
+                    let target = self.ident("emit target variable")?;
+                    self.expect(&Tok::RParen, "`)`")?;
+                    self.keyword("when")?;
+                    self.keyword("count")?;
+                    self.expect(&Tok::LParen, "`(`")?;
+                    let witness = self.ident("count variable")?;
+                    self.expect(&Tok::RParen, "`)`")?;
+                    self.expect(&Tok::Ge, "`>=`")?;
+                    let min_count = self.int("count threshold")? as usize;
+                    self.expect(&Tok::Semi, "`;`")?;
+                    if emit
+                        .replace(EmitDecl {
+                            user,
+                            target,
+                            witness,
+                            min_count,
+                        })
+                        .is_some()
+                    {
+                        return Err(self.err_at("duplicate emit clause"));
+                    }
+                }
+                Some(Tok::Ident(_)) => {
+                    let src = self.ident("edge source variable")?;
+                    self.expect(&Tok::Arrow, "`->`")?;
+                    let dst = self.ident("edge destination variable")?;
+                    self.expect(&Tok::Colon, "`:`")?;
+                    let layer_kw = self.ident("`static` or `dynamic`")?;
+                    let mut kinds = None;
+                    let layer = match layer_kw.as_str() {
+                        "static" => Layer::Static,
+                        "dynamic" => {
+                            let mut window = Duration::from_secs(DEFAULT_WINDOW_SECS);
+                            loop {
+                                match self.peek() {
+                                    Some(Tok::Ident(kw)) if kw == "within" => {
+                                        self.next()?;
+                                        let secs = self.int("window seconds")?;
+                                        // unit suffix `s`
+                                        let unit = self.ident("`s` unit suffix")?;
+                                        if unit != "s" {
+                                            self.pos -= 1;
+                                            return Err(
+                                                self.err_at("only seconds (`s`) supported")
+                                            );
+                                        }
+                                        window = Duration::from_secs(secs);
+                                    }
+                                    Some(Tok::Ident(kw)) if kw == "kinds" => {
+                                        self.next()?;
+                                        let mut ks = vec![self.kind()?];
+                                        while self.peek() == Some(&Tok::Comma) {
+                                            self.next()?;
+                                            ks.push(self.kind()?);
+                                        }
+                                        kinds = Some(ks);
+                                    }
+                                    _ => break,
+                                }
+                            }
+                            Layer::Dynamic { window }
+                        }
+                        other => {
+                            self.pos -= 1;
+                            return Err(self.err_at(format!(
+                                "expected `static` or `dynamic`, found `{other}`"
+                            )));
+                        }
+                    };
+                    self.expect(&Tok::Semi, "`;`")?;
+                    edges.push(EdgeDecl {
+                        src,
+                        dst,
+                        layer,
+                        kinds,
+                    });
+                }
+                Some(_) => return Err(self.err_at("expected a declaration")),
+                None => return Err(self.err_at("unexpected end of input, missing `}`")),
+            }
+        }
+
+        let trigger = trigger.ok_or_else(|| self.err_at("missing `trigger` clause"))?;
+        let emit = emit.ok_or_else(|| self.err_at("missing `emit` clause"))?;
+        let spec = MotifSpec {
+            name,
+            edges,
+            trigger,
+            emit,
+            witness_cap,
+            allow_existing,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    fn kind(&mut self) -> Result<EdgeKind> {
+        let s = self.ident("event kind")?;
+        match s.as_str() {
+            "follow" => Ok(EdgeKind::Follow),
+            "retweet" => Ok(EdgeKind::Retweet),
+            "favorite" => Ok(EdgeKind::Favorite),
+            other => {
+                self.pos -= 1;
+                Err(self.err_at(format!(
+                    "unknown kind `{other}` (expected follow/retweet/favorite)"
+                )))
+            }
+        }
+    }
+}
+
+/// Parses a motif specification from text, returning a validated
+/// [`MotifSpec`].
+pub fn parse_motif(src: &str) -> Result<MotifSpec> {
+    let toks = Lexer::new(src).tokens()?;
+    let mut p = Parser { toks, pos: 0 };
+    let spec = p.motif()?;
+    if p.pos != p.toks.len() {
+        return Err(p.err_at("trailing input after motif"));
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIAMOND: &str = r#"
+        # The production diamond motif.
+        motif diamond {
+            A -> B : static;
+            B -> C : dynamic within 600s kinds follow;
+            trigger B -> C;
+            emit (A, C) when count(B) >= 3;
+        }
+    "#;
+
+    #[test]
+    fn parses_the_diamond() {
+        let spec = parse_motif(DIAMOND).unwrap();
+        assert_eq!(spec.name, "diamond");
+        assert_eq!(spec.edges.len(), 2);
+        assert_eq!(spec.trigger, ("B".into(), "C".into()));
+        assert_eq!(spec.emit.min_count, 3);
+        assert_eq!(
+            spec.edges[1].layer,
+            Layer::Dynamic {
+                window: Duration::from_secs(600)
+            }
+        );
+        assert_eq!(spec.edges[1].kinds, Some(vec![EdgeKind::Follow]));
+    }
+
+    #[test]
+    fn default_window_applied() {
+        let spec = parse_motif(
+            "motif m { A -> B : static; B -> C : dynamic; trigger B -> C; \
+             emit (A, C) when count(B) >= 2; }",
+        )
+        .unwrap();
+        assert_eq!(
+            spec.edges[1].layer,
+            Layer::Dynamic {
+                window: Duration::from_secs(600)
+            }
+        );
+    }
+
+    #[test]
+    fn multiple_kinds() {
+        let spec = parse_motif(
+            "motif co { A -> B : static; B -> C : dynamic within 300s kinds retweet, favorite; \
+             trigger B -> C; emit (A, C) when count(B) >= 2; }",
+        )
+        .unwrap();
+        assert_eq!(
+            spec.edges[1].kinds,
+            Some(vec![EdgeKind::Retweet, EdgeKind::Favorite])
+        );
+    }
+
+    #[test]
+    fn cap_and_allow_clauses() {
+        let spec = parse_motif(
+            "motif m { A -> B : static; B -> C : dynamic; trigger B -> C; \
+             emit (A, C) when count(B) >= 2; cap witnesses 8; allow existing; }",
+        )
+        .unwrap();
+        assert_eq!(spec.witness_cap, Some(8));
+        assert!(spec.allow_existing);
+    }
+
+    #[test]
+    fn duplicate_cap_rejected() {
+        let err = parse_motif(
+            "motif m { A -> B : static; B -> C : dynamic; trigger B -> C; \
+             emit (A, C) when count(B) >= 2; cap witnesses 8; cap witnesses 9; }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn error_carries_position() {
+        let err = parse_motif("motif m {\n  A => B : static;\n}").unwrap_err();
+        match err {
+            Error::MotifParse { line, col, .. } => {
+                assert_eq!(line, 2);
+                assert!(col >= 5, "col {col}");
+            }
+            other => panic!("wrong error {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_trigger_rejected() {
+        let err = parse_motif(
+            "motif m { A -> B : static; B -> C : dynamic; emit (A, C) when count(B) >= 2; }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("trigger"), "{err}");
+    }
+
+    #[test]
+    fn missing_emit_rejected() {
+        let err =
+            parse_motif("motif m { A -> B : static; B -> C : dynamic; trigger B -> C; }")
+                .unwrap_err();
+        assert!(err.to_string().contains("emit"), "{err}");
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let err = parse_motif(
+            "motif m { A -> B : static; B -> C : dynamic kinds poke; trigger B -> C; \
+             emit (A, C) when count(B) >= 2; }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("poke"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_clauses_rejected() {
+        let err = parse_motif(
+            "motif m { A -> B : static; B -> C : dynamic; trigger B -> C; trigger B -> C; \
+             emit (A, C) when count(B) >= 2; }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn comments_and_whitespace_ignored() {
+        let spec = parse_motif(
+            "# header\nmotif   m{A->B:static;B->C:dynamic;trigger B->C;\
+             emit(A,C)when count(B)>=2;}  # trailing\n",
+        )
+        .unwrap();
+        assert_eq!(spec.name, "m");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let err = parse_motif(&format!("{DIAMOND} extra")).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn validation_runs_during_parse() {
+        // Structurally parseable but semantically invalid: static trigger.
+        let err = parse_motif(
+            "motif m { A -> B : static; B -> C : dynamic; trigger A -> B; \
+             emit (A, C) when count(B) >= 2; }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("dynamic"), "{err}");
+    }
+}

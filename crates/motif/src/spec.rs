@@ -1,0 +1,286 @@
+//! The motif-specification AST.
+//!
+//! A spec names role variables implicitly through its edge declarations:
+//! `A -> B : static` declares both `A` and `B`. One dynamic edge is the
+//! *trigger*; the `emit` clause names who receives what, gated by a
+//! distinct-witness count threshold.
+
+use magicrecs_types::{Duration, EdgeKind, Error, Result};
+
+/// Whether an edge lives in the offline graph (`S`) or the live stream
+/// (`D`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layer {
+    /// Offline-loaded follow edge (structure `S`).
+    Static,
+    /// Streamed edge with a recency window (structure `D`).
+    Dynamic {
+        /// Recency window τ for this edge.
+        window: Duration,
+    },
+}
+
+/// One declared edge pattern between role variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeDecl {
+    /// Source role variable.
+    pub src: String,
+    /// Destination role variable.
+    pub dst: String,
+    /// Static or dynamic (with window).
+    pub layer: Layer,
+    /// For dynamic edges: which event kinds match (`None` = insertion
+    /// kinds all match).
+    pub kinds: Option<Vec<EdgeKind>>,
+}
+
+/// The `emit (user, target) when count(witness) >= k` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmitDecl {
+    /// Role receiving the recommendation.
+    pub user: String,
+    /// Role being recommended.
+    pub target: String,
+    /// Role whose distinct bindings are counted.
+    pub witness: String,
+    /// Threshold `k`.
+    pub min_count: usize,
+}
+
+/// A complete declarative motif.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MotifSpec {
+    /// Motif name (diagnostics, metrics).
+    pub name: String,
+    /// Declared edge patterns.
+    pub edges: Vec<EdgeDecl>,
+    /// The `(src, dst)` role pair of the triggering dynamic edge.
+    pub trigger: (String, String),
+    /// The emit clause.
+    pub emit: EmitDecl,
+    /// Optional `cap witnesses N;` clause: bound on witnesses examined per
+    /// event (defaults to the planner's 64).
+    pub witness_cap: Option<usize>,
+    /// `allow existing;` clause: emit candidates even if they already
+    /// follow the target or are witnesses themselves (raw motif counting).
+    pub allow_existing: bool,
+}
+
+impl MotifSpec {
+    /// All role variables, in declaration order, deduplicated.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut vars: Vec<&str> = Vec::new();
+        for e in &self.edges {
+            for v in [e.src.as_str(), e.dst.as_str()] {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        }
+        vars
+    }
+
+    /// The declared edge matching the trigger pair, if any.
+    pub fn trigger_edge(&self) -> Option<&EdgeDecl> {
+        self.edges
+            .iter()
+            .find(|e| e.src == self.trigger.0 && e.dst == self.trigger.1)
+    }
+
+    /// Structural validation (independent of plannability):
+    /// referenced variables exist, the trigger is a declared dynamic edge,
+    /// the threshold is sane, windows are positive.
+    pub fn validate(&self) -> Result<()> {
+        if self.name.is_empty() {
+            return Err(Error::MotifPlan("motif name must not be empty".into()));
+        }
+        if self.edges.is_empty() {
+            return Err(Error::MotifPlan("motif declares no edges".into()));
+        }
+        let vars = self.variables();
+        for v in [
+            &self.trigger.0,
+            &self.trigger.1,
+            &self.emit.user,
+            &self.emit.target,
+            &self.emit.witness,
+        ] {
+            if !vars.contains(&v.as_str()) {
+                return Err(Error::MotifPlan(format!(
+                    "variable `{v}` is referenced but never declared by an edge"
+                )));
+            }
+        }
+        match self.trigger_edge() {
+            None => {
+                return Err(Error::MotifPlan(format!(
+                    "trigger {} -> {} does not match any declared edge",
+                    self.trigger.0, self.trigger.1
+                )))
+            }
+            Some(e) => {
+                if let Layer::Static = e.layer {
+                    return Err(Error::MotifPlan(
+                        "trigger edge must be dynamic (static edges never arrive)".into(),
+                    ));
+                }
+            }
+        }
+        for e in &self.edges {
+            if e.src == e.dst {
+                return Err(Error::MotifPlan(format!(
+                    "self-loop edge {} -> {} is not a meaningful pattern",
+                    e.src, e.dst
+                )));
+            }
+            if let Layer::Dynamic { window } = e.layer {
+                if window == Duration::ZERO {
+                    return Err(Error::MotifPlan(format!(
+                        "dynamic edge {} -> {} has a zero window",
+                        e.src, e.dst
+                    )));
+                }
+            }
+            if let Some(kinds) = &e.kinds {
+                if kinds.is_empty() {
+                    return Err(Error::MotifPlan(format!(
+                        "edge {} -> {} lists no kinds",
+                        e.src, e.dst
+                    )));
+                }
+                if matches!(e.layer, Layer::Static) {
+                    return Err(Error::MotifPlan(
+                        "kinds only apply to dynamic edges".into(),
+                    ));
+                }
+            }
+        }
+        if self.emit.min_count < 1 {
+            return Err(Error::MotifPlan("count threshold must be >= 1".into()));
+        }
+        if let Some(cap) = self.witness_cap {
+            if cap < self.emit.min_count {
+                return Err(Error::MotifPlan(format!(
+                    "witness cap ({cap}) must be >= count threshold ({})",
+                    self.emit.min_count
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn diamond(k: usize) -> MotifSpec {
+        MotifSpec {
+            name: "diamond".into(),
+            edges: vec![
+                EdgeDecl {
+                    src: "A".into(),
+                    dst: "B".into(),
+                    layer: Layer::Static,
+                    kinds: None,
+                },
+                EdgeDecl {
+                    src: "B".into(),
+                    dst: "C".into(),
+                    layer: Layer::Dynamic {
+                        window: Duration::from_secs(600),
+                    },
+                    kinds: None,
+                },
+            ],
+            trigger: ("B".into(), "C".into()),
+            emit: EmitDecl {
+                user: "A".into(),
+                target: "C".into(),
+                witness: "B".into(),
+                min_count: k,
+            },
+            witness_cap: None,
+            allow_existing: false,
+        }
+    }
+
+    #[test]
+    fn valid_diamond_passes() {
+        assert!(diamond(3).validate().is_ok());
+        assert_eq!(diamond(3).variables(), vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn trigger_must_be_declared() {
+        let mut s = diamond(2);
+        s.trigger = ("A".into(), "C".into());
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn trigger_must_be_dynamic() {
+        let mut s = diamond(2);
+        s.trigger = ("A".into(), "B".into());
+        let err = s.validate().unwrap_err();
+        assert!(err.to_string().contains("dynamic"), "{err}");
+    }
+
+    #[test]
+    fn undeclared_emit_variable_rejected() {
+        let mut s = diamond(2);
+        s.emit.user = "Z".into();
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        let mut s = diamond(2);
+        s.edges[1].layer = Layer::Dynamic {
+            window: Duration::ZERO,
+        };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn zero_count_rejected() {
+        let mut s = diamond(2);
+        s.emit.min_count = 0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut s = diamond(2);
+        s.edges.push(EdgeDecl {
+            src: "C".into(),
+            dst: "C".into(),
+            layer: Layer::Static,
+            kinds: None,
+        });
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn kinds_on_static_edge_rejected() {
+        let mut s = diamond(2);
+        s.edges[0].kinds = Some(vec![magicrecs_types::EdgeKind::Follow]);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn witness_cap_below_threshold_rejected() {
+        let mut s = diamond(3);
+        s.witness_cap = Some(2);
+        assert!(s.validate().is_err());
+        s.witness_cap = Some(3);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_kinds_rejected() {
+        let mut s = diamond(2);
+        s.edges[1].kinds = Some(vec![]);
+        assert!(s.validate().is_err());
+    }
+}

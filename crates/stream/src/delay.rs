@@ -1,0 +1,180 @@
+//! Queue-propagation delay models.
+//!
+//! The paper: "The system operates with a median latency of 7s and p99
+//! latency of 15s … Nearly all the latency comes from event propagation
+//! delays in various message queues." A log-normal is the standard shape
+//! for multi-hop queue delay; [`DelayModel::fitted_lognormal`] solves for
+//! (μ, σ) from a target median and p99 so experiment E3 can reproduce the
+//! paper's distribution exactly.
+
+use magicrecs_types::Duration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// z-score of the 99th percentile of the standard normal.
+const Z99: f64 = 2.326_347_874;
+
+/// A sampler of per-event propagation delays.
+#[derive(Debug, Clone)]
+pub enum DelayModel {
+    /// Always the same delay (unit tests, fixed-latency links).
+    Constant(Duration),
+    /// Uniform in `[min, max)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        min: Duration,
+        /// Upper bound (exclusive).
+        max: Duration,
+    },
+    /// Log-normal: `exp(μ + σ·Z)` seconds. The multi-hop queue shape.
+    LogNormal {
+        /// Mean of the underlying normal (log-seconds).
+        mu: f64,
+        /// Std-dev of the underlying normal.
+        sigma: f64,
+    },
+    /// A chain of hops; total delay is the sum (e.g. firehose → fan-out
+    /// queue → push gateway).
+    Chain(Vec<DelayModel>),
+}
+
+impl DelayModel {
+    /// A log-normal fitted so the distribution's median and p99 equal the
+    /// targets. With median m and p99 q: mu = ln(m), sigma = ln(q/m)/z99.
+    pub fn fitted_lognormal(median: Duration, p99: Duration) -> Self {
+        assert!(
+            median > Duration::ZERO && p99 >= median,
+            "need 0 < median <= p99"
+        );
+        let m = median.as_secs_f64();
+        let q = p99.as_secs_f64();
+        DelayModel::LogNormal {
+            mu: m.ln(),
+            sigma: (q / m).ln() / Z99,
+        }
+    }
+
+    /// The paper's production profile: median 7 s, p99 15 s.
+    pub fn paper_profile() -> Self {
+        DelayModel::fitted_lognormal(Duration::from_secs(7), Duration::from_secs(15))
+    }
+
+    /// Samples one delay.
+    pub fn sample(&self, rng: &mut StdRng) -> Duration {
+        match self {
+            DelayModel::Constant(d) => *d,
+            DelayModel::Uniform { min, max } => {
+                let lo = min.as_micros();
+                let hi = max.as_micros().max(lo + 1);
+                Duration::from_micros(rng.random_range(lo..hi))
+            }
+            DelayModel::LogNormal { mu, sigma } => {
+                let z = standard_normal(rng);
+                Duration::from_secs_f64((mu + sigma * z).exp())
+            }
+            DelayModel::Chain(hops) => hops
+                .iter()
+                .fold(Duration::ZERO, |acc, hop| acc + hop.sample(rng)),
+        }
+    }
+
+    /// Convenience: a dedicated RNG for this model from a seed.
+    pub fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+}
+
+/// Box–Muller standard-normal sample (keeps the workspace off `rand_distr`).
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magicrecs_types::Histogram;
+
+    fn quantiles(model: &DelayModel, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = DelayModel::rng(seed);
+        let mut h = Histogram::new();
+        for _ in 0..n {
+            h.record_duration(model.sample(&mut rng));
+        }
+        let s = h.snapshot();
+        (s.p50_secs(), s.p99_secs())
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let m = DelayModel::Constant(Duration::from_millis(250));
+        let mut rng = DelayModel::rng(1);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), Duration::from_millis(250));
+        }
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let m = DelayModel::Uniform {
+            min: Duration::from_secs(1),
+            max: Duration::from_secs(2),
+        };
+        let mut rng = DelayModel::rng(2);
+        for _ in 0..1000 {
+            let d = m.sample(&mut rng);
+            assert!(d >= Duration::from_secs(1) && d < Duration::from_secs(2));
+        }
+    }
+
+    #[test]
+    fn paper_profile_hits_median_and_p99() {
+        let (p50, p99) = quantiles(&DelayModel::paper_profile(), 50_000, 42);
+        assert!((p50 - 7.0).abs() < 0.5, "median {p50}");
+        assert!((p99 - 15.0).abs() < 1.5, "p99 {p99}");
+    }
+
+    #[test]
+    fn fitted_lognormal_respects_targets_generally() {
+        let m = DelayModel::fitted_lognormal(Duration::from_secs(2), Duration::from_secs(10));
+        let (p50, p99) = quantiles(&m, 50_000, 7);
+        assert!((p50 - 2.0).abs() < 0.3, "median {p50}");
+        assert!((p99 - 10.0).abs() < 1.5, "p99 {p99}");
+    }
+
+    #[test]
+    fn chain_sums_hops() {
+        let m = DelayModel::Chain(vec![
+            DelayModel::Constant(Duration::from_secs(1)),
+            DelayModel::Constant(Duration::from_secs(2)),
+        ]);
+        let mut rng = DelayModel::rng(3);
+        assert_eq!(m.sample(&mut rng), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn chain_of_lognormals_still_positive_and_skewed() {
+        let hop = DelayModel::fitted_lognormal(Duration::from_secs(2), Duration::from_secs(5));
+        let m = DelayModel::Chain(vec![hop.clone(), hop.clone(), hop]);
+        let (p50, p99) = quantiles(&m, 20_000, 9);
+        assert!(p50 > 4.0 && p50 < 9.0, "median {p50}");
+        assert!(p99 > p50, "p99 {p99} ≤ median {p50}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = DelayModel::paper_profile();
+        let mut a = DelayModel::rng(5);
+        let mut b = DelayModel::rng(5);
+        for _ in 0..100 {
+            assert_eq!(m.sample(&mut a), m.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "median")]
+    fn p99_below_median_rejected() {
+        let _ = DelayModel::fitted_lognormal(Duration::from_secs(10), Duration::from_secs(5));
+    }
+}

@@ -1,0 +1,29 @@
+//! # magicrecs-stream
+//!
+//! The event-transport substrate. The paper "assume\[s\] the existence of a
+//! data source (e.g., message queue) that provides a stream of graph edges
+//! as they are created in real-time" and attributes nearly all of the
+//! system's end-to-end latency (median 7 s, p99 15 s) to "event propagation
+//! delays in various message queues".
+//!
+//! Two transports:
+//!
+//! * **Simulated** ([`queue::SimulatedQueue`] over [`sched::Scheduler`]) —
+//!   a discrete-event queue whose propagation delay follows a configurable
+//!   [`delay::DelayModel`]; the log-normal model is fitted to the paper's
+//!   median/p99 so experiment E3 reproduces the latency decomposition
+//!   deterministically and without wall-clock waiting.
+//! * **Live** ([`live`]) — real threads over crossbeam channels, used by the
+//!   throughput experiments where actual machine speed is the measurement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delay;
+pub mod live;
+pub mod queue;
+pub mod sched;
+
+pub use delay::DelayModel;
+pub use queue::SimulatedQueue;
+pub use sched::Scheduler;

@@ -1,0 +1,188 @@
+//! A deterministic discrete-event scheduler.
+//!
+//! A binary heap of `(due_time, sequence, item)` delivering items in time
+//! order, with insertion order breaking ties — so identical runs replay
+//! identically regardless of heap internals.
+
+use magicrecs_types::Timestamp;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<T> {
+    due: Timestamp,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Min-heap scheduler delivering items in `(time, insertion order)`.
+pub struct Scheduler<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+    now: Timestamp,
+}
+
+impl<T> Scheduler<T> {
+    /// Creates an empty scheduler at time zero.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Timestamp::ZERO,
+        }
+    }
+
+    /// Schedules `item` for delivery at `due`. Items scheduled in the past
+    /// are delivered at the current time (no time travel).
+    pub fn schedule(&mut self, due: Timestamp, item: T) {
+        let due = due.max(self.now);
+        self.heap.push(Entry {
+            due,
+            seq: self.next_seq,
+            item,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Delivers the next item, advancing the clock to its due time.
+    pub fn pop(&mut self) -> Option<(Timestamp, T)> {
+        self.heap.pop().map(|e| {
+            self.now = self.now.max(e.due);
+            (e.due, e.item)
+        })
+    }
+
+    /// The due time of the next item, if any.
+    pub fn peek_time(&self) -> Option<Timestamp> {
+        self.heap.peek().map(|e| e.due)
+    }
+
+    /// Delivers all items due at or before `until`, in order.
+    pub fn drain_until(&mut self, until: Timestamp) -> Vec<(Timestamp, T)> {
+        let mut out = Vec::new();
+        while self.peek_time().is_some_and(|t| t <= until) {
+            out.push(self.pop().expect("peeked"));
+        }
+        self.now = self.now.max(until);
+        out
+    }
+
+    /// The scheduler's current (virtual) time: the latest delivery time
+    /// observed.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Number of pending items.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no items are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for Scheduler<T> {
+    fn default() -> Self {
+        Scheduler::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule(ts(3), "c");
+        s.schedule(ts(1), "a");
+        s.schedule(ts(2), "b");
+        assert_eq!(s.pop(), Some((ts(1), "a")));
+        assert_eq!(s.pop(), Some((ts(2), "b")));
+        assert_eq!(s.pop(), Some((ts(3), "c")));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut s = Scheduler::new();
+        s.schedule(ts(5), 1);
+        s.schedule(ts(5), 2);
+        s.schedule(ts(5), 3);
+        assert_eq!(s.pop().unwrap().1, 1);
+        assert_eq!(s.pop().unwrap().1, 2);
+        assert_eq!(s.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut s = Scheduler::new();
+        s.schedule(ts(10), ());
+        s.pop();
+        assert_eq!(s.now(), ts(10));
+        // Scheduling in the past clamps to now.
+        s.schedule(ts(1), ());
+        let (due, _) = s.pop().unwrap();
+        assert_eq!(due, ts(10));
+        assert_eq!(s.now(), ts(10));
+    }
+
+    #[test]
+    fn drain_until_stops_at_bound() {
+        let mut s = Scheduler::new();
+        for t in [1u64, 2, 3, 4, 5] {
+            s.schedule(ts(t), t);
+        }
+        let drained = s.drain_until(ts(3));
+        assert_eq!(drained.len(), 3);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.now(), ts(3));
+    }
+
+    #[test]
+    fn drain_until_advances_clock_even_when_empty() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.drain_until(ts(42));
+        assert_eq!(s.now(), ts(42));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut s = Scheduler::new();
+        s.schedule(ts(1), "a");
+        s.schedule(ts(10), "z");
+        assert_eq!(s.pop().unwrap().1, "a");
+        s.schedule(ts(5), "m");
+        assert_eq!(s.pop().unwrap().1, "m");
+        assert_eq!(s.pop().unwrap().1, "z");
+    }
+}

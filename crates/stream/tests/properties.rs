@@ -1,0 +1,102 @@
+//! Property tests for the transport substrate: scheduler ordering,
+//! queue conservation, and delay-model statistics.
+
+use magicrecs_stream::{DelayModel, Scheduler, SimulatedQueue};
+use magicrecs_types::{Duration, EdgeEvent, Histogram, Timestamp, UserId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The scheduler delivers in (time, insertion) order for any input.
+    #[test]
+    fn scheduler_total_order(items in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut s = Scheduler::new();
+        for (seq, &due) in items.iter().enumerate() {
+            s.schedule(Timestamp::from_secs(due), seq);
+        }
+        let mut last_due = Timestamp::ZERO;
+        let mut last_seq_at_tie = None::<usize>;
+        let mut delivered = 0usize;
+        while let Some((due, seq)) = s.pop() {
+            prop_assert!(due >= last_due, "time went backwards");
+            if due == last_due {
+                if let Some(prev) = last_seq_at_tie {
+                    prop_assert!(seq > prev, "tie-break violated insertion order");
+                }
+                last_seq_at_tie = Some(seq);
+            } else {
+                last_seq_at_tie = Some(seq);
+            }
+            last_due = due;
+            delivered += 1;
+        }
+        prop_assert_eq!(delivered, items.len());
+    }
+
+    /// drain_until splits the pending set exactly at the bound.
+    #[test]
+    fn drain_until_partitions(
+        items in proptest::collection::vec(0u64..1_000, 1..100),
+        bound in 0u64..1_000,
+    ) {
+        let mut s = Scheduler::new();
+        for &due in &items {
+            s.schedule(Timestamp::from_secs(due), due);
+        }
+        let drained = s.drain_until(Timestamp::from_secs(bound));
+        for (due, _) in &drained {
+            prop_assert!(*due <= Timestamp::from_secs(bound));
+        }
+        let expected: usize = items.iter().filter(|&&d| d <= bound).count();
+        prop_assert_eq!(drained.len(), expected);
+        prop_assert_eq!(s.len(), items.len() - expected);
+    }
+
+    /// The queue conserves events: published == delivered (+ in flight),
+    /// and every delivery is at or after its origin time.
+    #[test]
+    fn queue_conserves_events(
+        events in proptest::collection::vec((0u64..50, 0u64..50, 0u64..500), 1..150),
+        horizon in 500u64..5_000,
+    ) {
+        let mut q = SimulatedQueue::paper_profile(42);
+        for &(src, dst, at) in &events {
+            q.publish(EdgeEvent::follow(
+                UserId(src),
+                UserId(dst),
+                Timestamp::from_secs(at),
+            ));
+        }
+        prop_assert_eq!(q.published(), events.len() as u64);
+        let delivered = q.deliver_until(Timestamp::from_secs(horizon));
+        for (at, e) in &delivered {
+            prop_assert!(*at >= e.created_at, "delivered before origin");
+        }
+        prop_assert_eq!(
+            delivered.len() + q.in_flight(),
+            events.len(),
+            "events lost or duplicated"
+        );
+    }
+
+    /// Fitted log-normal delay models hit their target median across a
+    /// range of (median, p99) pairs.
+    #[test]
+    fn fitted_lognormal_median(median_s in 1u64..20, spread in 2u64..5) {
+        let median = Duration::from_secs(median_s);
+        let p99 = Duration::from_secs(median_s * spread);
+        let model = DelayModel::fitted_lognormal(median, p99);
+        let mut rng = DelayModel::rng(7);
+        let mut h = Histogram::new();
+        for _ in 0..20_000 {
+            h.record_duration(model.sample(&mut rng));
+        }
+        let got = h.snapshot().p50_secs();
+        let want = median.as_secs_f64();
+        prop_assert!(
+            (got - want).abs() / want < 0.1,
+            "median {got:.2}s vs target {want:.2}s"
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! # magicrecs-temporal
+//!
+//! The *dynamic* half of the paper's design: structure `D`, which "holds the
+//! edges pointing to C's … given a query vertex C, we can easily fetch all
+//! edges from the B's along with their creation timestamps — in this way we
+//! enforce the freshness of the recommendation."
+//!
+//! The paper also names `D` as the scalability pressure point: every
+//! partition keeps the complete `D`, so "memory pressure can be alleviated
+//! by pruning the D data structure to only retain the most recent edges."
+//! This crate provides three pruning disciplines (ablation B3):
+//!
+//! * **Eager** — inserted/queried lists are trimmed in place; idle lists are
+//!   reclaimed only when touched again. Minimal bookkeeping, memory can
+//!   linger on cold targets.
+//! * **Wheel** — an epoch wheel indexes targets by coarse time bucket, so a
+//!   periodic [`TemporalEdgeStore::advance`] reclaims exactly the expired
+//!   targets in O(expired).
+//! * **Sweep** — a full scan of all lists every N inserts; simplest, with
+//!   periodic latency spikes.
+//!
+//! [`sharded::ShardedTemporalStore`] wraps the store in hash-sharded
+//! `RwLock`s for the multi-threaded ingest path used by the live pipeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sharded;
+pub mod store;
+pub mod target_list;
+pub mod wheel;
+
+pub use sharded::ShardedTemporalStore;
+pub use store::{PruneStrategy, StoreStats, TemporalEdgeStore};
+pub use target_list::TargetList;
+pub use wheel::EpochWheel;

@@ -1,0 +1,191 @@
+//! A hash-sharded, lock-protected wrapper around [`TemporalEdgeStore`] for
+//! concurrent ingest.
+//!
+//! The live (threaded) pipeline has one ingest thread per partition plus
+//! query threads; sharding by target id keeps lock contention negligible
+//! because the firehose's targets are spread across shards. Reads take a
+//! shard read lock; inserts a shard write lock.
+
+use crate::store::{PruneStrategy, StoreStats, TemporalEdgeStore};
+use magicrecs_types::{Duration, Timestamp, UserId};
+use parking_lot::RwLock;
+use std::hash::BuildHasher;
+
+/// Concurrent sharded `D` store.
+pub struct ShardedTemporalStore {
+    shards: Vec<RwLock<TemporalEdgeStore>>,
+    mask: usize,
+}
+
+impl ShardedTemporalStore {
+    /// Creates a store with `shards` rounded up to a power of two.
+    pub fn new(window: Duration, strategy: PruneStrategy, shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ShardedTemporalStore {
+            shards: (0..n)
+                .map(|_| RwLock::new(TemporalEdgeStore::new(window, strategy)))
+                .collect(),
+            mask: n - 1,
+        }
+    }
+
+    /// Creates a 16-shard store with the wheel strategy.
+    pub fn with_window(window: Duration) -> Self {
+        ShardedTemporalStore::new(window, PruneStrategy::Wheel, 16)
+    }
+
+    #[inline]
+    fn shard_of(&self, dst: UserId) -> usize {
+        let bh = magicrecs_types::FxBuildHasher::default();
+        
+        
+        let mut x = bh.hash_one(dst);
+        x ^= x >> 33;
+        (x as usize) & self.mask
+    }
+
+    /// Inserts `src → dst` at `at`.
+    pub fn insert(&self, src: UserId, dst: UserId, at: Timestamp) {
+        self.shards[self.shard_of(dst)].write().insert(src, dst, at);
+    }
+
+    /// Removes edges `src → dst` (unfollow).
+    pub fn remove(&self, src: UserId, dst: UserId) {
+        self.shards[self.shard_of(dst)].write().remove(src, dst);
+    }
+
+    /// Distinct in-window witnesses for `dst` as of `now`.
+    pub fn witnesses(&self, dst: UserId, now: Timestamp) -> Vec<(UserId, Timestamp)> {
+        // Witness queries trim the touched list, so take the write lock.
+        self.shards[self.shard_of(dst)].write().witnesses(dst, now)
+    }
+
+    /// Advances all shards (wheel expiry).
+    pub fn advance(&self, now: Timestamp) {
+        for s in &self.shards {
+            s.write().advance(now);
+        }
+    }
+
+    /// Total resident entries across shards.
+    pub fn resident_entries(&self) -> u64 {
+        self.shards.iter().map(|s| s.read().resident_entries()).sum()
+    }
+
+    /// Total resident targets across shards.
+    pub fn resident_targets(&self) -> usize {
+        self.shards.iter().map(|s| s.read().resident_targets()).sum()
+    }
+
+    /// Merged statistics across shards.
+    pub fn stats(&self) -> StoreStats {
+        let mut total = StoreStats::default();
+        for s in &self.shards {
+            let st = s.read().stats();
+            total.inserted += st.inserted;
+            total.unfollowed += st.unfollowed;
+            total.pruned += st.pruned;
+            total.lists_reclaimed += st.lists_reclaimed;
+            total.sweeps += st.sweeps;
+            total.peak_entries += st.peak_entries; // upper bound on true peak
+        }
+        total
+    }
+
+    /// Approximate heap bytes across shards.
+    pub fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.read().memory_bytes()).sum()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn u(n: u64) -> UserId {
+        UserId(n)
+    }
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let s = ShardedTemporalStore::new(Duration::from_secs(1), PruneStrategy::Eager, 5);
+        assert_eq!(s.shard_count(), 8);
+        let s1 = ShardedTemporalStore::new(Duration::from_secs(1), PruneStrategy::Eager, 0);
+        assert_eq!(s1.shard_count(), 1);
+    }
+
+    #[test]
+    fn insert_query_across_shards() {
+        let s = ShardedTemporalStore::with_window(Duration::from_secs(60));
+        for i in 0..100 {
+            s.insert(u(i), u(1000 + i % 10), ts(10));
+        }
+        assert_eq!(s.resident_entries(), 100);
+        let got = s.witnesses(u(1000), ts(20));
+        assert_eq!(got.len(), 10); // sources 0,10,...,90
+    }
+
+    #[test]
+    fn concurrent_ingest_and_query() {
+        let s = Arc::new(ShardedTemporalStore::with_window(Duration::from_secs(600)));
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        s.insert(u(w * 1000 + i), u(i % 50), ts(i % 100));
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let mut seen = 0usize;
+                    for i in 0..500u64 {
+                        seen += s.witnesses(u(i % 50), ts(100)).len();
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for t in writers {
+            t.join().unwrap();
+        }
+        for t in readers {
+            t.join().unwrap();
+        }
+        assert_eq!(s.stats().inserted, 4000);
+        assert_eq!(s.resident_entries(), 4000);
+    }
+
+    #[test]
+    fn advance_prunes_all_shards() {
+        let s = ShardedTemporalStore::new(Duration::from_secs(10), PruneStrategy::Wheel, 4);
+        for i in 0..100 {
+            s.insert(u(i), u(i), ts(1));
+        }
+        s.advance(ts(1000));
+        assert_eq!(s.resident_entries(), 0);
+        assert_eq!(s.resident_targets(), 0);
+    }
+
+    #[test]
+    fn remove_routes_to_right_shard() {
+        let s = ShardedTemporalStore::with_window(Duration::from_secs(60));
+        s.insert(u(1), u(7), ts(1));
+        s.remove(u(1), u(7));
+        assert!(s.witnesses(u(7), ts(2)).is_empty());
+    }
+}

@@ -1,0 +1,405 @@
+//! The `D` store: recent dynamic edges indexed by target.
+//!
+//! `TemporalEdgeStore` is the single-threaded store owned by one partition
+//! (the paper's partitions each hold "the complete D data structure"). It
+//! combines the per-target [`TargetList`]s with a configurable global
+//! pruning discipline and detailed statistics for the memory experiments.
+
+use crate::target_list::TargetList;
+use crate::wheel::EpochWheel;
+use magicrecs_types::{Duration, FxHashMap, Timestamp, UserId};
+
+/// Global memory-reclamation discipline for expired targets (ablation B3).
+///
+/// Per-list trimming happens on every touch regardless; the strategy decides
+/// how *cold* lists (targets no longer receiving edges) get reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneStrategy {
+    /// Trim only on touch. Cold lists persist until touched again — the
+    /// baseline the paper's "prune to only retain the most recent edges"
+    /// improves on.
+    Eager,
+    /// Epoch-wheel index; [`TemporalEdgeStore::advance`] reclaims expired
+    /// targets in O(expired).
+    Wheel,
+    /// Every `sweep_every` insertions, scan all lists and trim. Simple but
+    /// introduces periodic latency spikes proportional to the target count.
+    Sweep {
+        /// Full-scan period, counted in insertions.
+        sweep_every: u64,
+    },
+}
+
+/// Statistics counters for a [`TemporalEdgeStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Total edges inserted.
+    pub inserted: u64,
+    /// Total entries removed by unfollow events.
+    pub unfollowed: u64,
+    /// Total entries dropped by window trimming.
+    pub pruned: u64,
+    /// Target lists fully reclaimed (became empty and were removed).
+    pub lists_reclaimed: u64,
+    /// Full sweeps performed (Sweep strategy only).
+    pub sweeps: u64,
+    /// Peak resident entry count observed.
+    pub peak_entries: u64,
+}
+
+/// The dynamic edge store `D`.
+#[derive(Debug, Clone)]
+pub struct TemporalEdgeStore {
+    window: Duration,
+    strategy: PruneStrategy,
+    /// Optional cap on entries retained per target (most recent win);
+    /// the paper's "retain the most recent edges" pruning.
+    entry_cap: Option<usize>,
+    lists: FxHashMap<UserId, TargetList>,
+    wheel: Option<EpochWheel>,
+    resident: u64,
+    since_sweep: u64,
+    stats: StoreStats,
+}
+
+impl TemporalEdgeStore {
+    /// Creates a store retaining edges for `window`, with the given pruning
+    /// strategy.
+    pub fn new(window: Duration, strategy: PruneStrategy) -> Self {
+        let wheel = matches!(strategy, PruneStrategy::Wheel)
+            .then(|| EpochWheel::for_window(window));
+        TemporalEdgeStore {
+            window,
+            strategy,
+            entry_cap: None,
+            lists: FxHashMap::default(),
+            wheel,
+            resident: 0,
+            since_sweep: 0,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// Sets a cap on entries retained per target: when a list exceeds the
+    /// cap, its oldest entries are dropped even if still inside the
+    /// window. Bounds hot-target (celebrity) cost and memory; the detector
+    /// only ever examines the most recent witnesses anyway.
+    pub fn with_entry_cap(mut self, cap: Option<usize>) -> Self {
+        self.entry_cap = cap.map(|c| c.max(1));
+        self
+    }
+
+    /// Creates a store with the wheel strategy — the production default.
+    pub fn with_window(window: Duration) -> Self {
+        TemporalEdgeStore::new(window, PruneStrategy::Wheel)
+    }
+
+    /// The retention window τ.
+    #[inline]
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Inserts the dynamic edge `src → dst` created at `at`, trimming the
+    /// touched list to the window as a side effect.
+    pub fn insert(&mut self, src: UserId, dst: UserId, at: Timestamp) {
+        let cutoff = at.saturating_sub(self.window);
+        let list = self.lists.entry(dst).or_default();
+        list.insert(src, at);
+        let mut dropped = list.trim_before(cutoff) as u64;
+        if let Some(cap) = self.entry_cap {
+            dropped += list.enforce_cap(cap) as u64;
+        }
+        self.stats.inserted += 1;
+        self.stats.pruned += dropped;
+        self.resident = self.resident + 1 - dropped;
+        self.stats.peak_entries = self.stats.peak_entries.max(self.resident);
+
+        if let Some(wheel) = &mut self.wheel {
+            wheel.touch(dst, at);
+        }
+        if let PruneStrategy::Sweep { sweep_every } = self.strategy {
+            self.since_sweep += 1;
+            if self.since_sweep >= sweep_every {
+                self.sweep(at);
+            }
+        }
+    }
+
+    /// Removes any stored edges `src → dst` (unfollow semantics).
+    pub fn remove(&mut self, src: UserId, dst: UserId) {
+        if let Some(list) = self.lists.get_mut(&dst) {
+            let removed = list.remove_source(src) as u64;
+            self.stats.unfollowed += removed;
+            self.resident -= removed;
+            if list.is_empty() {
+                self.lists.remove(&dst);
+                self.stats.lists_reclaimed += 1;
+            }
+        }
+    }
+
+    /// Appends the distinct in-window sources for `dst` as of `now`
+    /// (each with its latest timestamp) to `out`.
+    ///
+    /// This is the paper's `D` query: "when a B → C edge is created, we
+    /// query D to find all other B's that also point to the C." The window
+    /// is one-sided — entries *newer* than `now` are included: queues
+    /// deliver out of order, and edges within τ of each other are
+    /// temporally correlated regardless of which side of the query time
+    /// they land on.
+    pub fn witnesses_into(
+        &mut self,
+        dst: UserId,
+        now: Timestamp,
+        out: &mut Vec<(UserId, Timestamp)>,
+    ) {
+        let cutoff = now.saturating_sub(self.window);
+        if let Some(list) = self.lists.get_mut(&dst) {
+            // Trim opportunistically — the query already pays for the scan.
+            let dropped = list.trim_before(cutoff) as u64;
+            self.stats.pruned += dropped;
+            self.resident -= dropped;
+            if list.is_empty() {
+                self.lists.remove(&dst);
+                self.stats.lists_reclaimed += 1;
+                return;
+            }
+            list.distinct_sources_since(cutoff, out);
+        }
+    }
+
+    /// Convenience wrapper returning a fresh vector (tests, examples).
+    pub fn witnesses(&mut self, dst: UserId, now: Timestamp) -> Vec<(UserId, Timestamp)> {
+        let mut out = Vec::new();
+        self.witnesses_into(dst, now, &mut out);
+        out
+    }
+
+    /// Advances the clock for pruning purposes: reclaims expired targets.
+    ///
+    /// * `Wheel`: visits exactly the targets whose buckets expired.
+    /// * `Eager` / `Sweep`: no-op (Eager trims on touch; Sweep trims on its
+    ///   own insert-count schedule).
+    pub fn advance(&mut self, now: Timestamp) {
+        let cutoff = now.saturating_sub(self.window);
+        if let Some(wheel) = &mut self.wheel {
+            for target in wheel.expire_before(cutoff) {
+                if let Some(list) = self.lists.get_mut(&target) {
+                    let dropped = list.trim_before(cutoff) as u64;
+                    self.stats.pruned += dropped;
+                    self.resident -= dropped;
+                    if list.is_empty() {
+                        self.lists.remove(&target);
+                        self.stats.lists_reclaimed += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Full sweep: trims every list (Sweep strategy; also callable
+    /// directly for tests/benches).
+    pub fn sweep(&mut self, now: Timestamp) {
+        let cutoff = now.saturating_sub(self.window);
+        let mut reclaimed = 0u64;
+        let mut dropped_total = 0u64;
+        self.lists.retain(|_, list| {
+            dropped_total += list.trim_before(cutoff) as u64;
+            let keep = !list.is_empty();
+            if !keep {
+                reclaimed += 1;
+            }
+            keep
+        });
+        self.stats.pruned += dropped_total;
+        self.resident -= dropped_total;
+        self.stats.lists_reclaimed += reclaimed;
+        self.stats.sweeps += 1;
+        self.since_sweep = 0;
+    }
+
+    /// Number of resident (stored, possibly stale) entries.
+    #[inline]
+    pub fn resident_entries(&self) -> u64 {
+        self.resident
+    }
+
+    /// Number of targets currently holding at least one entry.
+    #[inline]
+    pub fn resident_targets(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Snapshot of the statistics counters.
+    #[inline]
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Approximate heap bytes (lists + wheel + map overhead).
+    pub fn memory_bytes(&self) -> usize {
+        let map_entry = std::mem::size_of::<(UserId, TargetList)>() + 1;
+        let map_bytes = (self.lists.len() as f64 * map_entry as f64 * 8.0 / 7.0) as usize;
+        let list_bytes: usize = self.lists.values().map(|l| l.memory_bytes()).sum();
+        let wheel_bytes = self.wheel.as_ref().map_or(0, |w| w.memory_bytes());
+        map_bytes + list_bytes + wheel_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(n: u64) -> UserId {
+        UserId(n)
+    }
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn w(s: u64) -> Duration {
+        Duration::from_secs(s)
+    }
+
+    #[test]
+    fn insert_then_query_witnesses() {
+        let mut d = TemporalEdgeStore::with_window(w(60));
+        d.insert(u(1), u(100), ts(10));
+        d.insert(u(2), u(100), ts(20));
+        d.insert(u(3), u(200), ts(20)); // different target
+        let mut got = d.witnesses(u(100), ts(30));
+        got.sort_by_key(|&(s, _)| s);
+        assert_eq!(got, vec![(u(1), ts(10)), (u(2), ts(20))]);
+    }
+
+    #[test]
+    fn window_excludes_stale_edges() {
+        let mut d = TemporalEdgeStore::with_window(w(60));
+        d.insert(u(1), u(100), ts(10));
+        d.insert(u(2), u(100), ts(100));
+        let got = d.witnesses(u(100), ts(120));
+        assert_eq!(got, vec![(u(2), ts(100))]);
+        // The stale entry was trimmed by the query.
+        assert_eq!(d.resident_entries(), 1);
+    }
+
+    #[test]
+    fn unfollow_removes_witness() {
+        let mut d = TemporalEdgeStore::with_window(w(60));
+        d.insert(u(1), u(100), ts(10));
+        d.insert(u(2), u(100), ts(11));
+        d.remove(u(1), u(100));
+        assert_eq!(d.witnesses(u(100), ts(12)), vec![(u(2), ts(11))]);
+        assert_eq!(d.stats().unfollowed, 1);
+    }
+
+    #[test]
+    fn unfollow_last_entry_reclaims_list() {
+        let mut d = TemporalEdgeStore::with_window(w(60));
+        d.insert(u(1), u(100), ts(10));
+        d.remove(u(1), u(100));
+        assert_eq!(d.resident_targets(), 0);
+        assert_eq!(d.stats().lists_reclaimed, 1);
+    }
+
+    #[test]
+    fn wheel_advance_reclaims_cold_targets() {
+        let mut d = TemporalEdgeStore::new(w(10), PruneStrategy::Wheel);
+        for i in 0..100 {
+            d.insert(u(i), u(1000 + i), ts(1));
+        }
+        assert_eq!(d.resident_targets(), 100);
+        d.advance(ts(100));
+        assert_eq!(d.resident_targets(), 0);
+        assert_eq!(d.stats().pruned, 100);
+        assert_eq!(d.stats().lists_reclaimed, 100);
+    }
+
+    #[test]
+    fn eager_strategy_keeps_cold_lists_until_touch() {
+        let mut d = TemporalEdgeStore::new(w(10), PruneStrategy::Eager);
+        d.insert(u(1), u(100), ts(1));
+        d.advance(ts(100)); // no-op for Eager
+        assert_eq!(d.resident_targets(), 1);
+        // Touch reclaims.
+        assert!(d.witnesses(u(100), ts(100)).is_empty());
+        assert_eq!(d.resident_targets(), 0);
+    }
+
+    #[test]
+    fn sweep_strategy_trims_on_schedule() {
+        let mut d = TemporalEdgeStore::new(w(10), PruneStrategy::Sweep { sweep_every: 5 });
+        for i in 0..4 {
+            d.insert(u(i), u(100 + i), ts(1));
+        }
+        assert_eq!(d.stats().sweeps, 0);
+        // Fifth insert at a much later time triggers the sweep, which
+        // reclaims the four stale lists.
+        d.insert(u(9), u(999), ts(1000));
+        assert_eq!(d.stats().sweeps, 1);
+        assert_eq!(d.resident_targets(), 1);
+    }
+
+    #[test]
+    fn stats_track_peak() {
+        let mut d = TemporalEdgeStore::with_window(w(1000));
+        for i in 0..50 {
+            d.insert(u(i), u(7), ts(i));
+        }
+        assert_eq!(d.stats().peak_entries, 50);
+        assert_eq!(d.stats().inserted, 50);
+    }
+
+    #[test]
+    fn duplicate_source_counts_once_in_witnesses() {
+        let mut d = TemporalEdgeStore::with_window(w(100));
+        d.insert(u(1), u(7), ts(1));
+        d.insert(u(1), u(7), ts(2));
+        let got = d.witnesses(u(7), ts(3));
+        assert_eq!(got, vec![(u(1), ts(2))]); // latest timestamp wins
+        assert_eq!(d.resident_entries(), 2); // both stored
+    }
+
+    #[test]
+    fn witnesses_into_reuses_buffer() {
+        let mut d = TemporalEdgeStore::with_window(w(100));
+        d.insert(u(1), u(7), ts(1));
+        let mut buf = Vec::with_capacity(16);
+        d.witnesses_into(u(7), ts(2), &mut buf);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        d.witnesses_into(u(7), ts(2), &mut buf);
+        assert_eq!(buf.len(), 1);
+        assert!(buf.capacity() >= 16);
+    }
+
+    #[test]
+    fn memory_shrinks_after_advance() {
+        let mut d = TemporalEdgeStore::with_window(w(10));
+        for i in 0..1000 {
+            d.insert(u(i % 50), u(1000 + i), ts(1));
+        }
+        let before = d.memory_bytes();
+        d.advance(ts(1000));
+        assert!(d.memory_bytes() < before);
+        assert_eq!(d.resident_entries(), 0);
+    }
+
+    #[test]
+    fn query_unknown_target_is_empty() {
+        let mut d = TemporalEdgeStore::with_window(w(10));
+        assert!(d.witnesses(u(42), ts(5)).is_empty());
+    }
+
+    #[test]
+    fn out_of_order_arrivals_within_window() {
+        let mut d = TemporalEdgeStore::with_window(w(60));
+        d.insert(u(2), u(7), ts(20));
+        d.insert(u(1), u(7), ts(10)); // late delivery
+        let mut got = d.witnesses(u(7), ts(30));
+        got.sort_by_key(|&(s, _)| s);
+        assert_eq!(got, vec![(u(1), ts(10)), (u(2), ts(20))]);
+    }
+}

@@ -1,0 +1,299 @@
+//! The per-target (`C`) list of recent incoming dynamic edges.
+//!
+//! Holds `(B, created_at)` pairs ordered by `created_at`. Message queues can
+//! deliver slightly out of order, so insertion walks back from the tail to
+//! its sorted position — O(1) for in-order arrivals, O(displacement)
+//! otherwise. Window trimming is then a front-drain.
+//!
+//! Duplicate sources are allowed in storage (a `B` can retweet the same
+//! author twice); [`TargetList::distinct_sources_since`] deduplicates at
+//! query time, which is what the motif semantics need ("more than k *of
+//! them*" — distinct followings).
+
+use magicrecs_types::{Timestamp, UserId};
+use std::collections::VecDeque;
+
+/// Time-ordered recent edges into one target vertex.
+#[derive(Debug, Clone, Default)]
+pub struct TargetList {
+    /// `(source, created_at)` ordered by `created_at` ascending.
+    entries: VecDeque<(UserId, Timestamp)>,
+}
+
+impl TargetList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        TargetList {
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// Inserts an edge, keeping timestamp order (stable for ties).
+    pub fn insert(&mut self, src: UserId, at: Timestamp) {
+        // Fast path: in-order arrival.
+        if self.entries.back().is_none_or(|&(_, t)| t <= at) {
+            self.entries.push_back((src, at));
+            return;
+        }
+        // Out-of-order: walk back to the insertion point.
+        let mut idx = self.entries.len();
+        while idx > 0 && self.entries[idx - 1].1 > at {
+            idx -= 1;
+        }
+        self.entries.insert(idx, (src, at));
+    }
+
+    /// Removes all entries from `src` (unfollow semantics). Returns how many
+    /// entries were removed.
+    pub fn remove_source(&mut self, src: UserId) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|&(s, _)| s != src);
+        before - self.entries.len()
+    }
+
+    /// Drops entries strictly older than `cutoff`. Returns how many were
+    /// dropped.
+    pub fn trim_before(&mut self, cutoff: Timestamp) -> usize {
+        let mut dropped = 0;
+        while let Some(&(_, t)) = self.entries.front() {
+            if t < cutoff {
+                self.entries.pop_front();
+                dropped += 1;
+            } else {
+                break;
+            }
+        }
+        dropped
+    }
+
+    /// Iterates entries with `created_at ≥ cutoff` in time order
+    /// (duplicates included).
+    pub fn entries_since(
+        &self,
+        cutoff: Timestamp,
+    ) -> impl Iterator<Item = (UserId, Timestamp)> + '_ {
+        // Binary search for the first in-window index over the two slices.
+        let start = self.partition_point(cutoff);
+        self.entries.iter().skip(start).copied()
+    }
+
+    /// Index of the first entry with `created_at >= cutoff`.
+    fn partition_point(&self, cutoff: Timestamp) -> usize {
+        let (a, b) = self.entries.as_slices();
+        if let Some(&(_, t)) = a.last() {
+            if t >= cutoff {
+                return a.partition_point(|&(_, ts)| ts < cutoff);
+            }
+        }
+        a.len() + b.partition_point(|&(_, ts)| ts < cutoff)
+    }
+
+    /// Collects the **distinct** sources with an in-window entry, paired
+    /// with their most recent timestamp, appended to `out` (unordered).
+    ///
+    /// `out` is caller-provided so the detector's hot path can reuse one
+    /// scratch buffer across events. Small windows dedup with a linear
+    /// scan (cache-friendly, no allocation); hot targets switch to a hash
+    /// map to stay O(n) — a celebrity's list can hold thousands of
+    /// in-window entries and a quadratic scan would dominate event cost.
+    pub fn distinct_sources_since(
+        &self,
+        cutoff: Timestamp,
+        out: &mut Vec<(UserId, Timestamp)>,
+    ) {
+        const LINEAR_DEDUP_MAX: usize = 64;
+        let start = self.partition_point(cutoff);
+        let in_window = self.entries.len() - start;
+        let base = out.len();
+        if in_window <= LINEAR_DEDUP_MAX {
+            for (src, at) in self.entries.iter().skip(start).copied() {
+                // Time order means later entries overwrite earlier ones.
+                match out[base..].iter_mut().find(|(s, _)| *s == src) {
+                    Some(slot) => slot.1 = at,
+                    None => out.push((src, at)),
+                }
+            }
+        } else {
+            let mut seen: magicrecs_types::FxHashMap<UserId, usize> =
+                magicrecs_types::FxHashMap::default();
+            seen.reserve(in_window);
+            for (src, at) in self.entries.iter().skip(start).copied() {
+                match seen.entry(src) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        out[*e.get()].1 = at;
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(out.len());
+                        out.push((src, at));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops the oldest entries until at most `cap` remain. Returns how
+    /// many were dropped. This is the paper's memory-pressure relief:
+    /// "pruning the D data structure to only retain the most recent
+    /// edges."
+    pub fn enforce_cap(&mut self, cap: usize) -> usize {
+        let mut dropped = 0;
+        while self.entries.len() > cap {
+            self.entries.pop_front();
+            dropped += 1;
+        }
+        dropped
+    }
+
+    /// Number of stored entries (including expired ones not yet trimmed).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the list holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Timestamp of the most recent entry.
+    pub fn newest(&self) -> Option<Timestamp> {
+        self.entries.back().map(|&(_, t)| t)
+    }
+
+    /// Timestamp of the oldest entry.
+    pub fn oldest(&self) -> Option<Timestamp> {
+        self.entries.front().map(|&(_, t)| t)
+    }
+
+    /// Approximate heap bytes held by this list.
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<(UserId, Timestamp)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(n: u64) -> UserId {
+        UserId(n)
+    }
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn collect_since(l: &TargetList, cutoff: Timestamp) -> Vec<(UserId, Timestamp)> {
+        l.entries_since(cutoff).collect()
+    }
+
+    #[test]
+    fn in_order_inserts() {
+        let mut l = TargetList::new();
+        l.insert(u(1), ts(1));
+        l.insert(u(2), ts(2));
+        l.insert(u(3), ts(3));
+        assert_eq!(
+            collect_since(&l, ts(0)),
+            vec![(u(1), ts(1)), (u(2), ts(2)), (u(3), ts(3))]
+        );
+    }
+
+    #[test]
+    fn out_of_order_inserts_are_sorted() {
+        let mut l = TargetList::new();
+        l.insert(u(3), ts(3));
+        l.insert(u(1), ts(1));
+        l.insert(u(2), ts(2));
+        let got: Vec<_> = collect_since(&l, ts(0)).iter().map(|&(s, _)| s).collect();
+        assert_eq!(got, vec![u(1), u(2), u(3)]);
+        assert_eq!(l.oldest(), Some(ts(1)));
+        assert_eq!(l.newest(), Some(ts(3)));
+    }
+
+    #[test]
+    fn window_query_binary_searches() {
+        let mut l = TargetList::new();
+        for s in 1..=10 {
+            l.insert(u(s), ts(s));
+        }
+        let got: Vec<_> = collect_since(&l, ts(7)).iter().map(|&(s, _)| s).collect();
+        assert_eq!(got, vec![u(7), u(8), u(9), u(10)]);
+    }
+
+    #[test]
+    fn trim_before_drops_prefix() {
+        let mut l = TargetList::new();
+        for s in 1..=5 {
+            l.insert(u(s), ts(s));
+        }
+        assert_eq!(l.trim_before(ts(3)), 2);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.oldest(), Some(ts(3)));
+        assert_eq!(l.trim_before(ts(3)), 0); // idempotent
+    }
+
+    #[test]
+    fn remove_source_unfollow() {
+        let mut l = TargetList::new();
+        l.insert(u(1), ts(1));
+        l.insert(u(2), ts(2));
+        l.insert(u(1), ts(3));
+        assert_eq!(l.remove_source(u(1)), 2);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.remove_source(u(99)), 0);
+    }
+
+    #[test]
+    fn distinct_sources_dedup_keeps_latest() {
+        let mut l = TargetList::new();
+        l.insert(u(1), ts(1));
+        l.insert(u(2), ts(2));
+        l.insert(u(1), ts(5)); // duplicate source, newer
+        let mut out = Vec::new();
+        l.distinct_sources_since(ts(0), &mut out);
+        out.sort_by_key(|&(s, _)| s);
+        assert_eq!(out, vec![(u(1), ts(5)), (u(2), ts(2))]);
+    }
+
+    #[test]
+    fn distinct_sources_appends_after_existing() {
+        let mut l = TargetList::new();
+        l.insert(u(7), ts(1));
+        let mut out = vec![(u(42), ts(0))]; // pre-existing scratch content
+        l.distinct_sources_since(ts(0), &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], (u(42), ts(0)));
+    }
+
+    #[test]
+    fn window_excludes_older_duplicates() {
+        let mut l = TargetList::new();
+        l.insert(u(1), ts(1)); // out of window
+        l.insert(u(2), ts(10));
+        let mut out = Vec::new();
+        l.distinct_sources_since(ts(5), &mut out);
+        assert_eq!(out, vec![(u(2), ts(10))]);
+    }
+
+    #[test]
+    fn equal_timestamps_preserved() {
+        let mut l = TargetList::new();
+        l.insert(u(1), ts(5));
+        l.insert(u(2), ts(5));
+        l.insert(u(3), ts(5));
+        assert_eq!(l.len(), 3);
+        let got: Vec<_> = collect_since(&l, ts(5)).iter().map(|&(s, _)| s).collect();
+        assert_eq!(got, vec![u(1), u(2), u(3)]);
+    }
+
+    #[test]
+    fn empty_list_queries() {
+        let l = TargetList::new();
+        assert!(l.is_empty());
+        assert_eq!(l.newest(), None);
+        assert_eq!(l.oldest(), None);
+        assert!(collect_since(&l, ts(0)).is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! Property tests for the dynamic store `D`: window invariants under
+//! arbitrary operation interleavings, strategy equivalence, and the
+//! sharded wrapper's agreement with the plain store.
+
+use magicrecs_temporal::{PruneStrategy, ShardedTemporalStore, TemporalEdgeStore};
+use magicrecs_types::{Duration, Timestamp, UserId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert { src: u64, dst: u64, at: u64 },
+    Remove { src: u64, dst: u64 },
+    Query { dst: u64, now: u64 },
+    Advance { now: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u64..20, 0u64..10, 0u64..2_000).prop_map(|(src, dst, at)| Op::Insert {
+            src,
+            dst,
+            at
+        }),
+        1 => (0u64..20, 0u64..10).prop_map(|(src, dst)| Op::Remove { src, dst }),
+        2 => (0u64..10, 0u64..2_000).prop_map(|(dst, now)| Op::Query { dst, now }),
+        1 => (0u64..2_000u64).prop_map(|now| Op::Advance { now }),
+    ]
+}
+
+/// Reference model: a plain vector of live edges.
+#[derive(Default)]
+struct Model {
+    edges: Vec<(u64, u64, u64)>, // src, dst, at
+}
+
+impl Model {
+    fn insert(&mut self, src: u64, dst: u64, at: u64) {
+        self.edges.push((src, dst, at));
+    }
+    fn remove(&mut self, src: u64, dst: u64) {
+        self.edges.retain(|&(s, d, _)| !(s == src && d == dst));
+    }
+    /// Store semantics: everything at or after `now − window`, including
+    /// entries *newer* than `now` — queues deliver out of order, and edges
+    /// within τ of each other are correlated regardless of which side of
+    /// the query time they fall on.
+    fn witnesses(&self, dst: u64, now: u64, window: u64) -> Vec<(u64, u64)> {
+        let cutoff = now.saturating_sub(window);
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        for &(s, d, at) in &self.edges {
+            if d != dst || at < cutoff {
+                continue;
+            }
+            match out.iter_mut().find(|(w, _)| *w == s) {
+                Some(slot) => slot.1 = slot.1.max(at),
+                None => out.push((s, at)),
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+const WINDOW_SECS: u64 = 300;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every strategy gives window-correct query results matching the
+    /// brute-force model, regardless of interleaving.
+    #[test]
+    fn store_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        for strategy in [
+            PruneStrategy::Eager,
+            PruneStrategy::Wheel,
+            PruneStrategy::Sweep { sweep_every: 7 },
+        ] {
+            let mut store =
+                TemporalEdgeStore::new(Duration::from_secs(WINDOW_SECS), strategy);
+            let mut model = Model::default();
+            // Pruning rides the event stream: sweeps and advances use the
+            // latest observed time, so queries must not lag far behind it
+            // (in production a query IS an event at the stream frontier).
+            // Keep all operation times monotone via a high-water mark;
+            // small-jitter out-of-order arrival is covered by unit tests.
+            let mut hwm = 0u64;
+            for &op in &ops {
+                match op {
+                    Op::Insert { src, dst, at } => {
+                        let at = at.max(hwm);
+                        hwm = at;
+                        store.insert(UserId(src), UserId(dst), Timestamp::from_secs(at));
+                        model.insert(src, dst, at);
+                    }
+                    Op::Remove { src, dst } => {
+                        store.remove(UserId(src), UserId(dst));
+                        model.remove(src, dst);
+                    }
+                    Op::Query { dst, now } => {
+                        let now = now.max(hwm);
+                        hwm = now;
+                        let mut got: Vec<(u64, u64)> = store
+                            .witnesses(UserId(dst), Timestamp::from_secs(now))
+                            .into_iter()
+                            .map(|(s, t)| (s.raw(), t.as_secs()))
+                            .collect();
+                        got.sort_unstable();
+                        let expect = model.witnesses(dst, now, WINDOW_SECS);
+                        prop_assert_eq!(got, expect, "strategy {:?}", strategy);
+                    }
+                    Op::Advance { now } => {
+                        let now = now.max(hwm);
+                        hwm = now;
+                        store.advance(Timestamp::from_secs(now));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resident-entry accounting never underflows and pruning only ever
+    /// shrinks state.
+    #[test]
+    fn accounting_invariants(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+        let mut store = TemporalEdgeStore::with_window(Duration::from_secs(WINDOW_SECS));
+        let mut hwm = 0u64;
+        for &op in &ops {
+            match op {
+                Op::Insert { src, dst, at } => {
+                    let at = at.max(hwm);
+                    hwm = at;
+                    store.insert(UserId(src), UserId(dst), Timestamp::from_secs(at));
+                }
+                Op::Remove { src, dst } => store.remove(UserId(src), UserId(dst)),
+                Op::Query { dst, now } => {
+                    let now = now.max(hwm);
+                    hwm = now;
+                    let _ = store.witnesses(UserId(dst), Timestamp::from_secs(now));
+                }
+                Op::Advance { now } => {
+                    let now = now.max(hwm);
+                    hwm = now;
+                    store.advance(Timestamp::from_secs(now));
+                }
+            }
+            let stats = store.stats();
+            prop_assert!(store.resident_entries() <= stats.inserted);
+            prop_assert!(stats.peak_entries >= store.resident_entries());
+            prop_assert_eq!(
+                stats.inserted - stats.pruned - stats.unfollowed,
+                store.resident_entries(),
+                "entry accounting drifted"
+            );
+        }
+    }
+
+    /// The sharded wrapper agrees with a single plain store.
+    #[test]
+    fn sharded_matches_plain(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+        let plain = std::cell::RefCell::new(TemporalEdgeStore::new(
+            Duration::from_secs(WINDOW_SECS),
+            PruneStrategy::Wheel,
+        ));
+        let sharded =
+            ShardedTemporalStore::new(Duration::from_secs(WINDOW_SECS), PruneStrategy::Wheel, 4);
+        let mut hwm = 0u64;
+        for &op in &ops {
+            match op {
+                Op::Insert { src, dst, at } => {
+                    let at = at.max(hwm);
+                    hwm = at;
+                    plain
+                        .borrow_mut()
+                        .insert(UserId(src), UserId(dst), Timestamp::from_secs(at));
+                    sharded.insert(UserId(src), UserId(dst), Timestamp::from_secs(at));
+                }
+                Op::Remove { src, dst } => {
+                    plain.borrow_mut().remove(UserId(src), UserId(dst));
+                    sharded.remove(UserId(src), UserId(dst));
+                }
+                Op::Query { dst, now } => {
+                    let now = now.max(hwm);
+                    hwm = now;
+                    let mut a = plain
+                        .borrow_mut()
+                        .witnesses(UserId(dst), Timestamp::from_secs(now));
+                    let mut b = sharded.witnesses(UserId(dst), Timestamp::from_secs(now));
+                    a.sort_unstable();
+                    b.sort_unstable();
+                    prop_assert_eq!(a, b);
+                }
+                Op::Advance { now } => {
+                    let now = now.max(hwm);
+                    hwm = now;
+                    plain.borrow_mut().advance(Timestamp::from_secs(now));
+                    sharded.advance(Timestamp::from_secs(now));
+                }
+            }
+        }
+        prop_assert_eq!(
+            plain.borrow().resident_entries(),
+            sharded.resident_entries()
+        );
+    }
+}

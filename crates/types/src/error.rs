@@ -1,0 +1,113 @@
+//! Workspace error type.
+//!
+//! A single small enum rather than per-crate error types: the failure
+//! surface of an in-memory system is narrow (bad configuration, unknown
+//! vertices, exhausted partitions, closed channels), and a shared type keeps
+//! cross-crate `?` ergonomic.
+
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the magicrecs crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Configuration failed validation.
+    InvalidConfig(String),
+    /// A vertex referenced by a query is not present in the static graph.
+    UnknownVertex(u64),
+    /// A partition id was out of range for the cluster.
+    UnknownPartition(u32),
+    /// All replicas of a partition are marked failed.
+    NoAvailableReplica(u32),
+    /// A streaming channel was disconnected before the pipeline finished.
+    ChannelClosed(&'static str),
+    /// Parsing a motif specification failed (line, column, message).
+    MotifParse {
+        /// 1-based line of the error.
+        line: usize,
+        /// 1-based column of the error.
+        col: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A motif specification is well-formed but not plannable.
+    MotifPlan(String),
+    /// Generic invariant violation with context.
+    Invariant(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::UnknownVertex(v) => write!(f, "unknown vertex u{v}"),
+            Error::UnknownPartition(p) => write!(f, "unknown partition p{p}"),
+            Error::NoAvailableReplica(p) => {
+                write!(f, "no available replica for partition p{p}")
+            }
+            Error::ChannelClosed(stage) => write!(f, "channel closed at stage `{stage}`"),
+            Error::MotifParse { line, col, msg } => {
+                write!(f, "motif parse error at {line}:{col}: {msg}")
+            }
+            Error::MotifPlan(msg) => write!(f, "motif planning error: {msg}"),
+            Error::Invariant(msg) => write!(f, "invariant violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            Error::InvalidConfig("k too small".into()).to_string(),
+            "invalid configuration: k too small"
+        );
+        assert_eq!(Error::UnknownVertex(9).to_string(), "unknown vertex u9");
+        assert_eq!(
+            Error::UnknownPartition(3).to_string(),
+            "unknown partition p3"
+        );
+        assert_eq!(
+            Error::NoAvailableReplica(1).to_string(),
+            "no available replica for partition p1"
+        );
+        assert_eq!(
+            Error::ChannelClosed("ingest").to_string(),
+            "channel closed at stage `ingest`"
+        );
+        assert_eq!(
+            Error::MotifParse {
+                line: 2,
+                col: 5,
+                msg: "expected `->`".into()
+            }
+            .to_string(),
+            "motif parse error at 2:5: expected `->`"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::MotifPlan("no trigger edge".into()));
+    }
+
+    #[test]
+    fn result_alias_works_with_question_mark() {
+        fn inner() -> Result<u32> {
+            Err(Error::Invariant("boom".into()))
+        }
+        fn outer() -> Result<u32> {
+            let v = inner()?;
+            Ok(v)
+        }
+        assert!(outer().is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Strongly-typed identifiers for graph vertices and cluster partitions.
+//!
+//! Raw `u64`s are easy to transpose (is this the follower or the followee?);
+//! newtypes make the role explicit at every call site while compiling down
+//! to the raw integer.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A Twitter-style account identifier.
+///
+/// In the paper's notation a user id plays three roles depending on where it
+/// sits in the diamond motif: `A` (the recommendation target), `B` (one of
+/// `A`'s followings, a "witness"), or `C` (the account being recommended).
+/// The same account is all three for different motifs, so we use a single id
+/// type rather than role-specific types.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UserId(pub u64);
+
+impl UserId {
+    /// The smallest valid user id. Useful as a range start.
+    pub const MIN: UserId = UserId(0);
+
+    /// The largest representable user id. Useful as a range end / sentinel.
+    pub const MAX: UserId = UserId(u64::MAX);
+
+    /// Returns the raw `u64`.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for UserId {
+    #[inline]
+    fn from(v: u64) -> Self {
+        UserId(v)
+    }
+}
+
+impl From<UserId> for u64 {
+    #[inline]
+    fn from(v: UserId) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Debug for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifies one partition of the cluster (the paper runs 20).
+///
+/// Partitions own a disjoint set of `A` vertices; see
+/// `magicrecs_cluster::Partitioner`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PartitionId(pub u32);
+
+impl PartitionId {
+    /// Returns the raw index.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the index as a `usize`, for indexing partition vectors.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for PartitionId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        PartitionId(v)
+    }
+}
+
+impl fmt::Debug for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_id_roundtrip() {
+        let u = UserId::from(42u64);
+        assert_eq!(u.raw(), 42);
+        assert_eq!(u64::from(u), 42);
+        assert_eq!(format!("{u}"), "42");
+        assert_eq!(format!("{u:?}"), "u42");
+    }
+
+    #[test]
+    fn user_id_ordering_matches_raw() {
+        let mut v = vec![UserId(5), UserId(1), UserId(3)];
+        v.sort();
+        assert_eq!(v, vec![UserId(1), UserId(3), UserId(5)]);
+    }
+
+    #[test]
+    fn user_id_bounds() {
+        assert!(UserId::MIN < UserId::MAX);
+        assert_eq!(UserId::MIN.raw(), 0);
+        assert_eq!(UserId::MAX.raw(), u64::MAX);
+    }
+
+    #[test]
+    fn partition_id_roundtrip() {
+        let p = PartitionId::from(7u32);
+        assert_eq!(p.raw(), 7);
+        assert_eq!(p.index(), 7usize);
+        assert_eq!(format!("{p:?}"), "p7");
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the metrics substrate: histogram quantiles against
+//! exact order statistics, and merge associativity.
+
+use magicrecs_types::Histogram;
+use proptest::prelude::*;
+
+/// Exact quantile by nearest-rank over the sorted sample.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Histogram quantiles stay within the sketch's relative-error bound
+    /// of the exact order statistic.
+    #[test]
+    fn quantiles_within_error_bound(
+        mut values in proptest::collection::vec(0u64..10_000_000, 1..500),
+        q in 0.01f64..0.999,
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let exact = exact_quantile(&values, q);
+        let got = h.quantile(q).unwrap();
+        // Bucket relative error is ~1/32 ≈ 3.1%; allow 5% plus one for
+        // integer effects at small values.
+        let bound = (exact as f64 * 0.05) + 1.0;
+        prop_assert!(
+            (got as f64 - exact as f64).abs() <= bound,
+            "q={q:.3}: got {got}, exact {exact} (n={})",
+            values.len()
+        );
+    }
+
+    /// Count/sum/min/max are exact regardless of input.
+    #[test]
+    fn scalar_stats_exact(values in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), values.iter().copied().min());
+        prop_assert_eq!(h.max(), values.iter().copied().max());
+        let mean = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+        prop_assert!((h.mean().unwrap() - mean).abs() < 1e-6);
+    }
+
+    /// Merging two histograms equals recording the concatenation.
+    #[test]
+    fn merge_equals_concat(
+        a in proptest::collection::vec(0u64..1_000_000, 0..200),
+        b in proptest::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hc = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hc.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hc.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hc.count());
+        prop_assert_eq!(ha.min(), hc.min());
+        prop_assert_eq!(ha.max(), hc.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            prop_assert_eq!(ha.quantile(q), hc.quantile(q), "q={}", q);
+        }
+    }
+
+    /// Quantiles are monotone in q.
+    #[test]
+    fn quantiles_monotone(values in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut prev = 0u64;
+        for i in 1..=20 {
+            let q = i as f64 / 20.0;
+            let v = h.quantile(q).unwrap();
+            prop_assert!(v >= prev, "quantile regressed at q={q}");
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Failure injection: replica loss mid-stream, out-of-order delivery,
+//! duplicate delivery, and clock anomalies.
+
+use magicrecs::cluster::ReplicaSet;
+use magicrecs::prelude::*;
+use magicrecs::stream::{DelayModel, SimulatedQueue};
+use magicrecs::types::PartitionId;
+
+fn u(n: u64) -> UserId {
+    UserId(n)
+}
+
+fn ts(s: u64) -> Timestamp {
+    Timestamp::from_secs(s)
+}
+
+fn graph() -> FollowGraph {
+    let mut g = GraphBuilder::new();
+    for a in 0..20u64 {
+        g.add_edge(u(a), u(100));
+        g.add_edge(u(a), u(101));
+        g.add_edge(u(a), u(102));
+    }
+    g.build()
+}
+
+#[test]
+fn replica_failure_mid_stream_loses_nothing() {
+    // Run the same trace against a healthy set and one that loses a
+    // replica halfway; outputs must match (survivors hold full state).
+    let events: Vec<EdgeEvent> = (0..30u64)
+        .map(|i| EdgeEvent::follow(u(100 + i % 3), u(500 + i / 3), ts(10 + i)))
+        .collect();
+
+    let run = |fail_at: Option<usize>| -> Vec<Candidate> {
+        let mut rs = ReplicaSet::new(
+            PartitionId(0),
+            graph(),
+            DetectorConfig::example(),
+            3,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        for (i, &e) in events.iter().enumerate() {
+            if Some(i) == fail_at {
+                rs.fail(0);
+            }
+            out.extend(rs.on_event(e).unwrap());
+        }
+        out
+    };
+
+    let healthy = run(None);
+    let degraded = run(Some(events.len() / 2));
+    assert_eq!(healthy, degraded, "replica loss changed output");
+    assert!(!healthy.is_empty(), "trace should produce candidates");
+}
+
+#[test]
+fn cascading_failures_until_last_replica() {
+    let mut rs = ReplicaSet::new(
+        PartitionId(0),
+        graph(),
+        DetectorConfig::example(),
+        3,
+    )
+    .unwrap();
+    rs.on_event(EdgeEvent::follow(u(100), u(900), ts(1))).unwrap();
+    rs.fail(0);
+    rs.on_event(EdgeEvent::follow(u(101), u(900), ts(2))).unwrap();
+    rs.fail(1);
+    // Last replica still serves and still holds the full D.
+    let out = rs.on_event(EdgeEvent::follow(u(102), u(900), ts(3))).unwrap();
+    assert!(!out.is_empty(), "last replica must still detect");
+    rs.fail(2);
+    assert!(rs.on_event(EdgeEvent::follow(u(100), u(901), ts(4))).is_err());
+}
+
+#[test]
+fn out_of_order_delivery_detects_motifs() {
+    // A queue with huge jitter reorders aggressively; detection must still
+    // find motifs whose edges all remain within the window at the time the
+    // *last* of them is processed.
+    let mut queue = SimulatedQueue::new(
+        DelayModel::Uniform {
+            min: Duration::ZERO,
+            max: Duration::from_secs(60),
+        },
+        13,
+    );
+    // 3 witnesses follow C at 1s intervals; window is 10 minutes.
+    for (i, b) in [100u64, 101, 102].iter().enumerate() {
+        queue.publish(EdgeEvent::follow(u(*b), u(900), ts(10 + i as u64)));
+    }
+    let mut engine = Engine::new(graph(), DetectorConfig::production()).unwrap();
+    let mut found = 0;
+    while let Some((_, e)) = queue.deliver_next() {
+        found += engine.on_event(e).len();
+    }
+    assert!(found > 0, "reordering broke detection");
+}
+
+#[test]
+fn duplicate_events_do_not_double_count_witnesses() {
+    // The same B→C edge delivered 5 times is still one witness.
+    let mut engine = Engine::new(graph(), DetectorConfig::production()).unwrap();
+    for _ in 0..5 {
+        let out = engine.on_event(EdgeEvent::follow(u(100), u(900), ts(10)));
+        assert!(out.is_empty(), "k=3 must not fire on one distinct witness");
+    }
+    // Two more distinct witnesses close it exactly once per event.
+    assert!(engine
+        .on_event(EdgeEvent::follow(u(101), u(900), ts(11)))
+        .is_empty());
+    let out = engine.on_event(EdgeEvent::follow(u(102), u(900), ts(12)));
+    assert_eq!(out.len(), 20, "all 20 As follow the three witnesses");
+}
+
+#[test]
+fn clock_skew_events_do_not_panic() {
+    let mut engine = Engine::new(graph(), DetectorConfig::example()).unwrap();
+    // Events at the epoch, far future, and "before" previous events.
+    engine.on_event(EdgeEvent::follow(u(100), u(900), Timestamp::ZERO));
+    engine.on_event(EdgeEvent::follow(u(101), u(900), ts(1_000_000_000)));
+    engine.on_event(EdgeEvent::follow(u(102), u(900), ts(5)));
+    // Unfollow for an edge never seen.
+    engine.on_event(EdgeEvent::unfollow(u(103), u(901), ts(1)));
+}
+
+#[test]
+fn burst_of_identical_timestamps() {
+    // Many events at the same instant (batch import flush).
+    let mut engine = Engine::new(graph(), DetectorConfig::production()).unwrap();
+    let mut total = 0;
+    for b in [100u64, 101, 102] {
+        total += engine
+            .on_event(EdgeEvent::follow(u(b), u(900), ts(42)))
+            .len();
+    }
+    assert_eq!(total, 20, "same-instant edges count as correlated");
+}
+
+#[test]
+fn queue_drains_completely_under_load() {
+    let mut queue = SimulatedQueue::paper_profile(3);
+    for i in 0..10_000u64 {
+        queue.publish(EdgeEvent::follow(u(i % 50), u(i % 7), ts(i / 10)));
+    }
+    let delivered = queue.deliver_until(Timestamp::from_secs(100_000));
+    assert_eq!(delivered.len(), 10_000);
+    assert_eq!(queue.in_flight(), 0);
+}
