@@ -72,7 +72,7 @@ impl BatchOracle {
             // intersection machinery.
             let mut counts: std::collections::BTreeMap<UserId, Vec<UserId>> = Default::default();
             for &(b, _) in &witnesses {
-                for &a in graph.followers(b) {
+                for a in graph.followers(b) {
                     counts.entry(a).or_default().push(b);
                 }
             }
@@ -141,7 +141,7 @@ impl BatchOracle {
             }
             let mut counts: std::collections::BTreeMap<UserId, usize> = Default::default();
             for &b in &witnesses {
-                for &a in graph.followers(b) {
+                for a in graph.followers(b) {
                     *counts.entry(a).or_default() += 1;
                 }
             }
@@ -149,9 +149,7 @@ impl BatchOracle {
                 if n < self.config.k || a == c {
                     continue;
                 }
-                if self.config.skip_existing
-                    && (witnesses.contains(&a) || graph.follows(a, c))
-                {
+                if self.config.skip_existing && (witnesses.contains(&a) || graph.follows(a, c)) {
                     continue;
                 }
                 out.push((a, c));

@@ -24,10 +24,7 @@ impl CountingBloom {
     /// positives, using the standard m/k formulas.
     pub fn new(expected_items: usize, fp_rate: f64) -> Self {
         assert!(expected_items > 0, "expected_items must be positive");
-        assert!(
-            fp_rate > 0.0 && fp_rate < 1.0,
-            "fp_rate must be in (0, 1)"
-        );
+        assert!(fp_rate > 0.0 && fp_rate < 1.0, "fp_rate must be in (0, 1)");
         let n = expected_items as f64;
         let m = (-n * fp_rate.ln() / (2f64.ln().powi(2))).ceil().max(8.0) as usize;
         let k = ((m as f64 / n) * 2f64.ln()).round().clamp(1.0, 16.0) as u32;

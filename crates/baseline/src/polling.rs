@@ -115,8 +115,11 @@ impl PollingDetector {
                 let mut counts: std::collections::BTreeMap<UserId, Vec<UserId>> =
                     Default::default();
                 for &(b, _) in &witnesses {
-                    edges_scanned += graph.followers(b).len() as u64;
-                    for &a in graph.followers(b) {
+                    // followers() materializes a Vec since the dense-CSR
+                    // rewrite: fetch once per witness, not per use.
+                    let followers = graph.followers(b);
+                    edges_scanned += followers.len() as u64;
+                    for a in followers {
                         counts.entry(a).or_default().push(b);
                     }
                 }

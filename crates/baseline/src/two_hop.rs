@@ -17,9 +17,7 @@
 
 use crate::bloom::CountingBloom;
 use magicrecs_graph::FollowGraph;
-use magicrecs_types::{
-    Candidate, DetectorConfig, EdgeEvent, FxHashMap, Timestamp, UserId,
-};
+use magicrecs_types::{Candidate, DetectorConfig, EdgeEvent, FxHashMap, Timestamp, UserId};
 
 /// Exact materialized two-hop counters.
 #[derive(Debug)]
@@ -67,7 +65,7 @@ impl TwoHopExact {
         let mut out = Vec::new();
         // Fan the update out to every follower of B — the write
         // amplification this design suffers.
-        for &a in graph.followers(event.src) {
+        for a in graph.followers(event.src) {
             if a == event.dst {
                 continue;
             }
@@ -163,7 +161,7 @@ impl TwoHopBloom {
             return Vec::new();
         }
         let mut out = Vec::new();
-        for &a in graph.followers(event.src) {
+        for a in graph.followers(event.src) {
             if a == event.dst {
                 continue;
             }
@@ -190,10 +188,7 @@ impl TwoHopBloom {
 
     /// Measured resident bytes across all user filters.
     pub fn memory_bytes(&self) -> usize {
-        self.filters
-            .values()
-            .map(|f| f.memory_bytes() + 48)
-            .sum()
+        self.filters.values().map(|f| f.memory_bytes() + 48).sum()
     }
 
     /// Users with a materialized filter.

@@ -94,6 +94,7 @@ fn bench_threshold_algo_at_engine(c: &mut Criterion) {
     for (name, algo) in [
         ("scan_count", ThresholdAlgo::ScanCount),
         ("heap_merge", ThresholdAlgo::HeapMerge),
+        ("pivot_skip", ThresholdAlgo::PivotSkip),
         ("adaptive", ThresholdAlgo::Adaptive),
     ] {
         group.bench_function(name, |b| {

@@ -9,7 +9,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use magicrecs_core::intersect::{intersect_adaptive, intersect_gallop, intersect_merge};
 use magicrecs_core::threshold::{
-    threshold_heap_merge, threshold_intersect, threshold_scan_count, ThresholdAlgo,
+    threshold_heap_merge, threshold_intersect, threshold_pivot_skip, threshold_scan_count,
+    ThresholdAlgo,
 };
 use magicrecs_types::UserId;
 use rand::rngs::StdRng;
@@ -30,13 +31,21 @@ fn bench_two_list(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     let mut rng = StdRng::seed_from_u64(0xB1);
     // (short_len, long_len): equal, 16x, 256x, 4096x.
-    for (short, long) in [(4_096usize, 4_096usize), (512, 8_192), (64, 16_384), (8, 32_768)] {
+    for (short, long) in [
+        (4_096usize, 4_096usize),
+        (512, 8_192),
+        (64, 16_384),
+        (8, 32_768),
+    ] {
         let a = sorted_ids(short, 1_000_000, &mut rng);
         let b = sorted_ids(long, 1_000_000, &mut rng);
         let ratio = long / short;
         group.throughput(Throughput::Elements((short + long) as u64));
         for (name, f) in [
-            ("merge", intersect_merge as fn(&[UserId], &[UserId], &mut Vec<UserId>)),
+            (
+                "merge",
+                intersect_merge as fn(&[UserId], &[UserId], &mut Vec<UserId>),
+            ),
             ("gallop", intersect_gallop),
             ("adaptive", intersect_adaptive),
         ] {
@@ -96,6 +105,18 @@ fn bench_threshold(c: &mut Criterion) {
             },
         );
         group.bench_with_input(
+            BenchmarkId::new("pivot_skip", lists_n),
+            &slices,
+            |bench, s| {
+                let mut out = Vec::new();
+                bench.iter(|| {
+                    out.clear();
+                    threshold_pivot_skip(black_box(s), k, &mut out);
+                    black_box(out.len())
+                });
+            },
+        );
+        group.bench_with_input(
             BenchmarkId::new("adaptive", lists_n),
             &slices,
             |bench, s| {
@@ -111,5 +132,51 @@ fn bench_threshold(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_two_list, bench_threshold);
+/// The celebrity workload: a handful of normal witnesses plus one or two
+/// celebrity-sized follower lists, `k = 3` (production). The seed adaptive
+/// choice (heap merge at this fan-in) walks every celebrity entry; the
+/// pivot-skipping kernel never descends into the celebrity suffixes.
+fn bench_threshold_celebrity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b2_threshold_celebrity");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(0xCE1E);
+    for (celebs, celeb_len) in [(1usize, 100_000usize), (2, 100_000), (1, 1_000_000)] {
+        let mut lists: Vec<Vec<UserId>> = (0..4)
+            .map(|_| sorted_ids(256, 1_000_000, &mut rng))
+            .collect();
+        for _ in 0..celebs {
+            lists.push(sorted_ids(celeb_len, 10_000_000, &mut rng));
+        }
+        let slices: Vec<&[UserId]> = lists.iter().map(|l| l.as_slice()).collect();
+        let k = 3;
+        let total: usize = lists.iter().map(|l| l.len()).sum();
+        group.throughput(Throughput::Elements(total as u64));
+        let tag = format!("{celebs}x{celeb_len}");
+        for (name, algo) in [
+            ("seed_heap_merge", ThresholdAlgo::HeapMerge),
+            ("seed_scan_count", ThresholdAlgo::ScanCount),
+            ("pivot_skip", ThresholdAlgo::PivotSkip),
+            ("adaptive", ThresholdAlgo::Adaptive),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, &tag), &slices, |bench, s| {
+                let mut out = Vec::new();
+                bench.iter(|| {
+                    out.clear();
+                    threshold_intersect(algo, black_box(s), k, &mut out);
+                    black_box(out.len())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_two_list,
+    bench_threshold,
+    bench_threshold_celebrity
+);
 criterion_main!(benches);

@@ -61,5 +61,9 @@ fn bench_parse_and_plan(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_declarative_vs_handcoded, bench_parse_and_plan);
+criterion_group!(
+    benches,
+    bench_declarative_vs_handcoded,
+    bench_parse_and_plan
+);
 criterion_main!(benches);

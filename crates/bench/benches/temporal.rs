@@ -19,7 +19,12 @@ fn bench_ingest_strategies(c: &mut Criterion) {
     for (name, strategy) in [
         ("eager", PruneStrategy::Eager),
         ("wheel", PruneStrategy::Wheel),
-        ("sweep_10k", PruneStrategy::Sweep { sweep_every: 10_000 }),
+        (
+            "sweep_10k",
+            PruneStrategy::Sweep {
+                sweep_every: 10_000,
+            },
+        ),
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {
@@ -79,7 +84,9 @@ fn bench_witness_query(c: &mut Criterion) {
 
 fn bench_hashers(c: &mut Criterion) {
     // B4: the store's hot maps are UserId-keyed; Fx vs the default SipHash.
-    let keys: Vec<UserId> = (0..100_000u64).map(|i| UserId(i.wrapping_mul(0x9E37))).collect();
+    let keys: Vec<UserId> = (0..100_000u64)
+        .map(|i| UserId(i.wrapping_mul(0x9E37)))
+        .collect();
     let mut group = c.benchmark_group("b4_hasher");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));

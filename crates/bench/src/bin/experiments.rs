@@ -102,7 +102,15 @@ fn e2_throughput() {
     println!("## E2 — Single-node ingest+detect throughput (paper target: 10⁴ insertions/s)\n");
     println!(
         "{}",
-        header(&["users", "edges", "events", "wall", "throughput", "detect p50", "detect p99"])
+        header(&[
+            "users",
+            "edges",
+            "events",
+            "wall",
+            "throughput",
+            "detect p50",
+            "detect p99"
+        ])
     );
     for users in [5_000u64, 20_000, 50_000] {
         let graph = small_graph(users);
@@ -212,12 +220,8 @@ fn e4_funnel() {
             seed: 0xE4,
         },
     );
-    let mut broker = Broker::new(
-        &graph,
-        ClusterConfig::production(),
-        bench_detector_config(),
-    )
-    .unwrap();
+    let mut broker =
+        Broker::new(&graph, ClusterConfig::production(), bench_detector_config()).unwrap();
     let mut funnel = Funnel::new(FunnelConfig::production()).unwrap();
     // A third of users live at UTC+12, where noon UTC is local midnight —
     // inside the 23:00–08:00 quiet window.
@@ -242,7 +246,11 @@ fn e4_funnel() {
     let pct = |n: u64| format!("{:.2}%", 100.0 * n as f64 / s.offered.get().max(1) as f64);
     println!(
         "{}",
-        row(&["raw candidates".into(), s.offered.get().to_string(), "100%".into()])
+        row(&[
+            "raw candidates".into(),
+            s.offered.get().to_string(),
+            "100%".into()
+        ])
     );
     println!(
         "{}",
@@ -270,7 +278,11 @@ fn e4_funnel() {
     );
     println!(
         "{}",
-        row(&["delivered pushes".into(), delivered.to_string(), pct(delivered)])
+        row(&[
+            "delivered pushes".into(),
+            delivered.to_string(),
+            pct(delivered)
+        ])
     );
     println!(
         "\nReduction factor: {:.0}× (paper: ~1000× at full scale — \"billions … yielding millions\").",
@@ -304,7 +316,13 @@ fn e5_baselines() {
     println!("### E5a — Polling vs online (latency)\n");
     println!(
         "{}",
-        header(&["design", "detection median", "detection p99", "edges scanned", "distinct (A,C) pairs"])
+        header(&[
+            "design",
+            "detection median",
+            "detection p99",
+            "edges scanned",
+            "distinct (A,C) pairs"
+        ])
     );
     println!(
         "{}",
@@ -348,7 +366,12 @@ fn e5_baselines() {
 
     println!(
         "{}",
-        header(&["design", "measured (this run)", "per active user", "projected at 10⁸ users"])
+        header(&[
+            "design",
+            "measured (this run)",
+            "per active user",
+            "projected at 10⁸ users"
+        ])
     );
     println!(
         "{}",
@@ -383,7 +406,9 @@ fn e5_baselines() {
         trace.len(),
         exact.updates() / trace.len().max(1) as u64
     );
-    println!("Paper: \"impractical, even using approximate data structures such as Bloom filters\" ✓\n");
+    println!(
+        "Paper: \"impractical, even using approximate data structures such as Bloom filters\" ✓\n"
+    );
 }
 
 // ───────────────────────────── E6 ────────────────────────────────────────
@@ -398,23 +423,21 @@ fn e6_partitions() {
     println!("### E6a — Throughput and memory vs partition count\n");
     println!(
         "{}",
-        header(&["partitions", "stream throughput", "aggregate D entries", "total memory"])
+        header(&[
+            "partitions",
+            "stream throughput",
+            "aggregate D entries",
+            "total memory"
+        ])
     );
     for parts in [1u32, 2, 4, 8, 20] {
-        let cluster = ThreadedCluster::new(
-            &graph,
-            ClusterConfig::single().with_partitions(parts),
-            cfg,
-        )
-        .unwrap();
+        let cluster =
+            ThreadedCluster::new(&graph, ClusterConfig::single().with_partitions(parts), cfg)
+                .unwrap();
         let report = cluster.run_trace(trace.events()).unwrap();
         // Sequential broker replicates the same state for memory accounting.
-        let mut broker = Broker::new(
-            &graph,
-            ClusterConfig::single().with_partitions(parts),
-            cfg,
-        )
-        .unwrap();
+        let mut broker =
+            Broker::new(&graph, ClusterConfig::single().with_partitions(parts), cfg).unwrap();
         broker.process_trace(trace.events().iter().copied());
         let d_entries: u64 = broker
             .partitions()
@@ -443,10 +466,12 @@ fn e6_partitions() {
     println!("### E6b — Replication spreads detection load\n");
     let rep_graph = small_graph(2_000);
     let rep_trace = bench_trace(2_000, 200.0, 20, 0xE6B);
-    println!("{}", header(&["replicas", "detections per replica", "spread"]));
+    println!(
+        "{}",
+        header(&["replicas", "detections per replica", "spread"])
+    );
     for n in [1u32, 2, 4] {
-        let mut rs =
-            ReplicaSet::new(PartitionId(0), rep_graph.clone(), cfg, n).unwrap();
+        let mut rs = ReplicaSet::new(PartitionId(0), rep_graph.clone(), cfg, n).unwrap();
         for &e in rep_trace.events() {
             rs.on_event(e).unwrap();
         }
@@ -458,7 +483,10 @@ fn e6_partitions() {
             row(&[
                 n.to_string(),
                 format!("{served:?}"),
-                format!("max/min = {:.2}", if min > 0.0 { max / min } else { f64::NAN }),
+                format!(
+                    "max/min = {:.2}",
+                    if min > 0.0 { max / min } else { f64::NAN }
+                ),
             ])
         );
     }
@@ -476,7 +504,13 @@ fn e7_pruning() {
     println!("### E7a — Resident size vs τ (wheel pruning)\n");
     println!(
         "{}",
-        header(&["τ", "resident entries", "resident targets", "memory", "pruned"])
+        header(&[
+            "τ",
+            "resident entries",
+            "resident targets",
+            "memory",
+            "pruned"
+        ])
     );
     for tau_secs in [15u64, 60, 120, 300] {
         let mut d = TemporalEdgeStore::new(Duration::from_secs(tau_secs), PruneStrategy::Wheel);
@@ -508,7 +542,12 @@ fn e7_pruning() {
     for (name, strategy) in [
         ("eager (touch-only)", PruneStrategy::Eager),
         ("epoch wheel", PruneStrategy::Wheel),
-        ("sweep every 10k", PruneStrategy::Sweep { sweep_every: 10_000 }),
+        (
+            "sweep every 10k",
+            PruneStrategy::Sweep {
+                sweep_every: 10_000,
+            },
+        ),
     ] {
         let mut d = TemporalEdgeStore::new(Duration::from_secs(60), strategy);
         let t0 = Instant::now();
@@ -537,7 +576,16 @@ fn e7_pruning() {
     let hot_users = 2_000u64;
     let hot_graph = small_graph(hot_users);
     let hot = bench_trace(hot_users, 2_000.0, 20, 0xE7C);
-    println!("{}", header(&["per-target cap", "wall", "throughput", "detect p99", "candidates"]));
+    println!(
+        "{}",
+        header(&[
+            "per-target cap",
+            "wall",
+            "throughput",
+            "detect p99",
+            "candidates"
+        ])
+    );
     for (name, max_witnesses) in [("uncapped", None), ("cap 64 (16× witnesses)", Some(64))] {
         let cfg = DetectorConfig {
             max_witnesses,
@@ -571,10 +619,7 @@ fn e8_k_tau() {
     let graph = small_graph(users);
     // One hour of traffic so the τ sweep actually slides the window.
     let trace = bench_trace(users, 30.0, 3_600, 0xE8);
-    println!(
-        "{}",
-        header(&["k \\ τ", "60 s", "600 s", "3600 s"])
-    );
+    println!("{}", header(&["k \\ τ", "60 s", "600 s", "3600 s"]));
     for k in [2usize, 3, 4] {
         let mut cells = vec![format!("k = {k}")];
         for tau in [60u64, 600, 3_600] {
@@ -703,9 +748,7 @@ fn e10_declarative() {
         ])
     );
     let overhead = decl_wall.as_secs_f64() / hand_wall.as_secs_f64();
-    println!(
-        "\nIdentical output; wall-time ratio {overhead:.2}× (parity within noise — both"
-    );
+    println!("\nIdentical output; wall-time ratio {overhead:.2}× (parity within noise — both");
     println!("share the same intersection kernels; the hand-coded engine additionally");
     println!("records latency histograms). Declarative specification compiled to \"an");
     println!("optimized query plan against an online graph database\" (§3) is practical. ✓\n");

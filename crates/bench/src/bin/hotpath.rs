@@ -1,0 +1,351 @@
+//! Hot-path baseline recorder: writes `BENCH_hotpath.json` at the repo
+//! root so future PRs have machine-readable ns/op numbers to beat.
+//!
+//! Usage:
+//!   cargo run -p magicrecs-bench --release --bin hotpath
+//!
+//! Covers the three layers this PR optimized plus an emulation of the
+//! seed's data structures for an honest before/after:
+//!
+//! * `s_lookup` — dense offset-array CSR `S[B]` fetch vs the seed's
+//!   Fx-hash-indexed CSR probe (emulated over the same adjacency).
+//! * `intersect` — two-list kernels at celebrity skew.
+//! * `threshold_*` — k-of-n kernels on balanced and celebrity-skewed
+//!   witness lists ("seed adaptive" = the old heap/scan switch).
+//! * `detector_*` — end-to-end engine ns/event on a Zipf trace and on a
+//!   synthetic celebrity workload, per threshold arm.
+
+use magicrecs_bench::{bench_trace, small_graph};
+use magicrecs_core::intersect::{intersect_adaptive, intersect_gallop, intersect_merge};
+use magicrecs_core::threshold::{threshold_intersect, ThresholdAlgo};
+use magicrecs_core::Engine;
+use magicrecs_graph::{FollowGraph, GraphBuilder};
+use magicrecs_types::{DenseId, DetectorConfig, EdgeEvent, FxHashMap, Timestamp, UserId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Median ns/op over `samples` timed batches of `iters` calls.
+fn time_ns<F: FnMut()>(iters: u64, samples: usize, mut f: F) -> f64 {
+    // Warm-up batch.
+    for _ in 0..iters.min(16) {
+        f();
+    }
+    let mut results: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect();
+    results.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    results[results.len() / 2]
+}
+
+fn sorted_ids(n: usize, range: u64, rng: &mut StdRng) -> Vec<UserId> {
+    let mut v: Vec<UserId> = (0..n).map(|_| UserId(rng.random_range(0..range))).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+struct Json(Vec<(String, String)>);
+
+impl Json {
+    fn new() -> Self {
+        Json(Vec::new())
+    }
+    fn num(&mut self, key: &str, v: f64) {
+        self.0.push((key.to_string(), format!("{v:.1}")));
+    }
+    fn obj(&mut self, key: &str, fields: &[(&str, f64)]) {
+        let body: Vec<String> = fields
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v:.1}"))
+            .collect();
+        self.0
+            .push((key.to_string(), format!("{{{}}}", body.join(", "))));
+    }
+    fn str(&mut self, key: &str, v: &str) {
+        self.0.push((key.to_string(), format!("\"{v}\"")));
+    }
+    fn render(&self) -> String {
+        let body: Vec<String> = self
+            .0
+            .iter()
+            .map(|(k, v)| format!("  \"{k}\": {v}"))
+            .collect();
+        format!("{{\n{}\n}}\n", body.join(",\n"))
+    }
+}
+
+/// The seed's CSR layout: Fx-hash index from sparse id to a range over a
+/// shared u64 target array. Rebuilt here so the dense rewrite has an
+/// in-repo baseline to race against.
+struct SeedHashCsr {
+    index: FxHashMap<UserId, (u32, u32)>,
+    targets: Vec<UserId>,
+}
+
+impl SeedHashCsr {
+    fn from_graph(g: &FollowGraph) -> Self {
+        let mut index = FxHashMap::default();
+        let mut targets = Vec::new();
+        for (b, followers) in g.iter_inverse() {
+            let start = targets.len() as u32;
+            targets.extend(followers.iter().copied());
+            index.insert(b, (start, targets.len() as u32 - start));
+        }
+        SeedHashCsr { index, targets }
+    }
+
+    #[inline]
+    fn followers(&self, b: UserId) -> &[UserId] {
+        match self.index.get(&b) {
+            Some(&(start, len)) => &self.targets[start as usize..(start + len) as usize],
+            None => &[],
+        }
+    }
+}
+
+fn main() {
+    let mut json = Json::new();
+    json.str("units", "ns_per_op");
+    json.str(
+        "note",
+        "hot-path baseline written by `cargo run -p magicrecs-bench --release --bin hotpath`",
+    );
+
+    // ---- S lookup: dense CSR vs seed hash-CSR ---------------------------
+    println!("# s_lookup");
+    let graph = small_graph(20_000);
+    let seed_csr = SeedHashCsr::from_graph(&graph);
+    let probe_users: Vec<UserId> = graph
+        .iter_inverse()
+        .map(|(b, _)| b)
+        .step_by(7)
+        .take(4096)
+        .collect();
+    let probe_dense: Vec<DenseId> = probe_users
+        .iter()
+        .map(|&b| graph.dense_of(b).expect("interned"))
+        .collect();
+    let dense_ns = time_ns(256, 5, || {
+        let mut total = 0usize;
+        for &d in &probe_dense {
+            total += black_box(graph.followers_dense(d)).len();
+        }
+        black_box(total);
+    }) / probe_dense.len() as f64;
+    let seed_ns = time_ns(256, 5, || {
+        let mut total = 0usize;
+        for &b in &probe_users {
+            total += black_box(seed_csr.followers(b)).len();
+        }
+        black_box(total);
+    }) / probe_users.len() as f64;
+    json.obj(
+        "s_lookup_20k_users",
+        &[("dense_csr", dense_ns), ("seed_hash_csr", seed_ns)],
+    );
+    println!("  dense {dense_ns:.1} ns vs seed hash {seed_ns:.1} ns");
+
+    // ---- two-list intersection at celebrity skew ------------------------
+    println!("# intersect (256 vs 1M)");
+    let mut rng = StdRng::seed_from_u64(0xB1);
+    let short = sorted_ids(256, 10_000_000, &mut rng);
+    let long = sorted_ids(1_000_000, 10_000_000, &mut rng);
+    let mut out: Vec<UserId> = Vec::with_capacity(short.len());
+    let mut arm = |f: fn(&[UserId], &[UserId], &mut Vec<UserId>)| {
+        time_ns(64, 5, || {
+            out.clear();
+            f(black_box(&short), black_box(&long), &mut out);
+            black_box(out.len());
+        })
+    };
+    let (merge, gallop, adaptive) = (
+        arm(intersect_merge),
+        arm(intersect_gallop),
+        arm(intersect_adaptive),
+    );
+    json.obj(
+        "intersect_256_vs_1m",
+        &[("merge", merge), ("gallop", gallop), ("adaptive", adaptive)],
+    );
+    println!("  merge {merge:.0} gallop {gallop:.0} adaptive {adaptive:.0}");
+
+    // ---- threshold kernels ----------------------------------------------
+    let threshold_arms = |lists: &[Vec<UserId>], k: usize, iters: u64| -> Vec<(&str, f64)> {
+        let slices: Vec<&[UserId]> = lists.iter().map(|l| l.as_slice()).collect();
+        let mut out: Vec<(UserId, u32)> = Vec::new();
+        [
+            ("scan_count", ThresholdAlgo::ScanCount),
+            ("heap_merge", ThresholdAlgo::HeapMerge),
+            ("pivot_skip", ThresholdAlgo::PivotSkip),
+            ("adaptive", ThresholdAlgo::Adaptive),
+        ]
+        .into_iter()
+        .map(|(name, algo)| {
+            let ns = time_ns(iters, 5, || {
+                out.clear();
+                threshold_intersect(algo, black_box(&slices), k, &mut out);
+                black_box(out.len());
+            });
+            (name, ns)
+        })
+        .collect()
+    };
+
+    println!("# threshold balanced (8 x 2000, k=2)");
+    let mut rng = StdRng::seed_from_u64(0xB2);
+    let balanced: Vec<Vec<UserId>> = (0..8)
+        .map(|_| sorted_ids(2_000, 50_000, &mut rng))
+        .collect();
+    let arms = threshold_arms(&balanced, 2, 128);
+    json.obj("threshold_balanced_8x2000_k2", &arms);
+    for (n, v) in &arms {
+        println!("  {n} {v:.0}");
+    }
+
+    println!("# threshold celebrity (4 x 256 + 1 x 1M, k=3)");
+    let mut rng = StdRng::seed_from_u64(0xCE1E);
+    let mut celeb_lists: Vec<Vec<UserId>> = (0..4)
+        .map(|_| sorted_ids(256, 10_000_000, &mut rng))
+        .collect();
+    celeb_lists.push(sorted_ids(1_000_000, 10_000_000, &mut rng));
+    let arms = threshold_arms(&celeb_lists, 3, 32);
+    // Seed's adaptive picked the heap at n ≤ 8.
+    let seed_adaptive = arms
+        .iter()
+        .find(|(n, _)| *n == "heap_merge")
+        .expect("arm present")
+        .1;
+    let new_adaptive = arms
+        .iter()
+        .find(|(n, _)| *n == "adaptive")
+        .expect("arm present")
+        .1;
+    let mut fields: Vec<(&str, f64)> = arms.clone();
+    fields.push(("seed_adaptive", seed_adaptive));
+    json.obj("threshold_celebrity_4x256_1x1m_k3", &fields);
+    let kernel_speedup = seed_adaptive / new_adaptive;
+    json.num("speedup_threshold_celebrity_seed_over_new", kernel_speedup);
+    for (n, v) in &arms {
+        println!("  {n} {v:.0}");
+    }
+    println!("  kernel speedup vs seed adaptive: {kernel_speedup:.1}x");
+
+    // ---- end-to-end detector, Zipf steady trace -------------------------
+    println!("# detector on Zipf steady trace (20k users, k=3)");
+    let trace = bench_trace(20_000, 2_000.0, 10, 0xD1);
+    let mut fields: Vec<(&str, f64)> = Vec::new();
+    for (name, algo) in [
+        ("scan_count", ThresholdAlgo::ScanCount),
+        ("heap_merge", ThresholdAlgo::HeapMerge),
+        ("pivot_skip", ThresholdAlgo::PivotSkip),
+        ("adaptive", ThresholdAlgo::Adaptive),
+    ] {
+        // Engine construction (graph clone, store build) stays untimed.
+        let mut samples: Vec<f64> = (0..5)
+            .map(|_| {
+                let mut engine =
+                    Engine::with_algo(graph.clone(), DetectorConfig::production(), algo).unwrap();
+                let mut n = 0usize;
+                let start = Instant::now();
+                for &e in trace.events() {
+                    n += engine.on_event(e).len();
+                }
+                black_box(n);
+                start.elapsed().as_secs_f64() * 1e9 / trace.len() as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let ns = samples[samples.len() / 2];
+        println!("  {name} {ns:.0} ns/event");
+        fields.push((name, ns));
+    }
+    json.obj("detector_zipf_20k_k3_ns_per_event", &fields);
+
+    // ---- end-to-end detector, celebrity workload ------------------------
+    // 512 As follow 4 ordinary Bs; 200k extra users follow the celebrity
+    // B too. Per round, the 4 ordinary Bs act on a fresh C and then the
+    // celebrity acts, forcing a k-of-5 threshold against the 200k-follower
+    // list on every closing event.
+    println!("# detector on celebrity workload (k=3)");
+    let mut gb = GraphBuilder::new();
+    let celeb = UserId(9_000_000);
+    for a in 0..512u64 {
+        for b in 0..4u64 {
+            gb.add_edge(UserId(a), UserId(1_000_000 + b));
+        }
+        gb.add_edge(UserId(a), celeb);
+    }
+    for extra in 0..200_000u64 {
+        gb.add_edge(UserId(10_000 + extra), celeb);
+    }
+    let celeb_graph = gb.build();
+    let mut fields: Vec<(&str, f64)> = Vec::new();
+    for (name, algo) in [
+        ("scan_count", ThresholdAlgo::ScanCount),
+        ("heap_merge", ThresholdAlgo::HeapMerge),
+        ("pivot_skip", ThresholdAlgo::PivotSkip),
+        ("adaptive", ThresholdAlgo::Adaptive),
+    ] {
+        let rounds = 200u64;
+        let mut samples: Vec<f64> = (0..5)
+            .map(|_| {
+                let mut engine =
+                    Engine::with_algo(celeb_graph.clone(), DetectorConfig::production(), algo)
+                        .unwrap();
+                let mut n = 0usize;
+                let start = Instant::now();
+                for round in 0..rounds {
+                    let c = UserId(20_000_000 + round);
+                    let t = Timestamp::from_secs(round * 3600);
+                    for b in 0..4u64 {
+                        n += engine
+                            .on_event(EdgeEvent::follow(UserId(1_000_000 + b), c, t))
+                            .len();
+                    }
+                    n += engine.on_event(EdgeEvent::follow(celeb, c, t)).len();
+                }
+                black_box(n);
+                start.elapsed().as_secs_f64() * 1e9 / (rounds * 5) as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let ns = samples[samples.len() / 2];
+        println!("  {name} {ns:.0} ns/event");
+        fields.push((name, ns));
+    }
+    // The seed's adaptive at this fan-in (5 ≤ 8 lists) was the heap.
+    let seed_e2e = fields
+        .iter()
+        .find(|(n, _)| *n == "heap_merge")
+        .expect("arm present")
+        .1;
+    let new_e2e = fields
+        .iter()
+        .find(|(n, _)| *n == "adaptive")
+        .expect("arm present")
+        .1;
+    let mut fields2 = fields.clone();
+    fields2.push(("seed_adaptive", seed_e2e));
+    json.obj("detector_celebrity_k3_ns_per_event", &fields2);
+    let e2e_speedup = seed_e2e / new_e2e;
+    json.num("speedup_detector_celebrity_seed_over_new", e2e_speedup);
+    println!("  end-to-end speedup vs seed adaptive: {e2e_speedup:.1}x");
+
+    // ---- write ----------------------------------------------------------
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let path = root.join("BENCH_hotpath.json");
+    std::fs::write(&path, json.render()).expect("write BENCH_hotpath.json");
+    println!("\nwrote {}", path.display());
+}

@@ -38,9 +38,7 @@ impl Broker {
         let partitions = parts
             .into_iter()
             .enumerate()
-            .map(|(i, local)| {
-                Partition::new(PartitionId(i as u32), local, detector_config)
-            })
+            .map(|(i, local)| Partition::new(PartitionId(i as u32), local, detector_config))
             .collect::<Result<Vec<_>>>()?;
         Ok(Broker {
             partitions,
@@ -129,12 +127,7 @@ mod tests {
 
     fn figure1() -> FollowGraph {
         let mut g = magicrecs_graph::GraphBuilder::new();
-        g.extend([
-            (u(1), u(11)),
-            (u(2), u(11)),
-            (u(2), u(12)),
-            (u(3), u(12)),
-        ]);
+        g.extend([(u(1), u(11)), (u(2), u(11)), (u(2), u(12)), (u(3), u(12))]);
         g.build()
     }
 
@@ -173,12 +166,8 @@ mod tests {
         expected.sort_by_key(|a| (a.user, a.target, a.triggered_at));
 
         for parts in [1u32, 4, 20] {
-            let mut broker = Broker::new(
-                &g,
-                ClusterConfig::single().with_partitions(parts),
-                cfg,
-            )
-            .unwrap();
+            let mut broker =
+                Broker::new(&g, ClusterConfig::single().with_partitions(parts), cfg).unwrap();
             let mut got = broker.process_trace(trace.events().iter().copied());
             got.sort_by_key(|a| (a.user, a.target, a.triggered_at));
             assert_eq!(got, expected, "mismatch at {parts} partitions");
@@ -221,18 +210,8 @@ mod tests {
             max_witnesses: Some(8),
             ..DetectorConfig::example()
         };
-        let mut broker1 = Broker::new(
-            &g,
-            ClusterConfig::single().with_partitions(1),
-            cfg,
-        )
-        .unwrap();
-        let mut broker8 = Broker::new(
-            &g,
-            ClusterConfig::single().with_partitions(8),
-            cfg,
-        )
-        .unwrap();
+        let mut broker1 = Broker::new(&g, ClusterConfig::single().with_partitions(1), cfg).unwrap();
+        let mut broker8 = Broker::new(&g, ClusterConfig::single().with_partitions(8), cfg).unwrap();
         broker1.process_trace(trace.events().iter().copied());
         broker8.process_trace(trace.events().iter().copied());
 

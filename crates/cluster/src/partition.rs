@@ -6,9 +6,7 @@
 
 use magicrecs_core::Engine;
 use magicrecs_graph::FollowGraph;
-use magicrecs_types::{
-    Candidate, DetectorConfig, EdgeEvent, PartitionId, Result, Timestamp,
-};
+use magicrecs_types::{Candidate, DetectorConfig, EdgeEvent, PartitionId, Result, Timestamp};
 
 /// One partition of the cluster.
 #[derive(Debug)]
@@ -90,8 +88,7 @@ mod tests {
 
     #[test]
     fn partition_detects_locally() {
-        let mut p =
-            Partition::new(PartitionId(0), graph(), DetectorConfig::example()).unwrap();
+        let mut p = Partition::new(PartitionId(0), graph(), DetectorConfig::example()).unwrap();
         assert_eq!(p.id(), PartitionId(0));
         p.on_event(EdgeEvent::follow(u(11), u(99), ts(1)));
         let r = p.on_event(EdgeEvent::follow(u(12), u(99), ts(2)));
@@ -101,8 +98,7 @@ mod tests {
 
     #[test]
     fn ingest_only_updates_d_without_emitting() {
-        let mut p =
-            Partition::new(PartitionId(0), graph(), DetectorConfig::example()).unwrap();
+        let mut p = Partition::new(PartitionId(0), graph(), DetectorConfig::example()).unwrap();
         p.ingest_only(EdgeEvent::follow(u(11), u(99), ts(1)));
         assert_eq!(p.engine().store().resident_entries(), 1);
         assert_eq!(p.engine().stats().events.get(), 0);
@@ -113,8 +109,7 @@ mod tests {
 
     #[test]
     fn ingest_only_applies_unfollow() {
-        let mut p =
-            Partition::new(PartitionId(0), graph(), DetectorConfig::example()).unwrap();
+        let mut p = Partition::new(PartitionId(0), graph(), DetectorConfig::example()).unwrap();
         p.ingest_only(EdgeEvent::follow(u(11), u(99), ts(1)));
         p.ingest_only(EdgeEvent::unfollow(u(11), u(99), ts(2)));
         assert_eq!(p.engine().store().resident_entries(), 0);

@@ -185,7 +185,8 @@ mod tests {
     fn round_robin_spreads_detection_load() {
         let mut rs = set(3);
         for i in 0..9 {
-            rs.on_event(EdgeEvent::follow(u(11), u(1000 + i), ts(i))).unwrap();
+            rs.on_event(EdgeEvent::follow(u(11), u(1000 + i), ts(i)))
+                .unwrap();
         }
         assert_eq!(rs.served(), &[3, 3, 3]);
     }
@@ -233,7 +234,8 @@ mod tests {
         rs.recover(0).unwrap();
         // Far beyond τ: the missed entry has expired everywhere.
         let t = 10_000;
-        rs.on_event(EdgeEvent::follow(u(11), u(500), ts(t))).unwrap();
+        rs.on_event(EdgeEvent::follow(u(11), u(500), ts(t)))
+            .unwrap();
         let r = rs
             .on_event(EdgeEvent::follow(u(12), u(500), ts(t + 1)))
             .unwrap();
@@ -242,8 +244,6 @@ mod tests {
 
     #[test]
     fn zero_replicas_rejected() {
-        assert!(
-            ReplicaSet::new(PartitionId(0), graph(), DetectorConfig::example(), 0).is_err()
-        );
+        assert!(ReplicaSet::new(PartitionId(0), graph(), DetectorConfig::example(), 0).is_err());
     }
 }

@@ -7,11 +7,11 @@
 //! partitions are added.
 
 use crate::partition::Partition;
+use crossbeam::channel;
 use magicrecs_graph::{partition_by_source, FollowGraph, HashPartitioner};
 use magicrecs_types::{
     Candidate, ClusterConfig, DetectorConfig, EdgeEvent, Error, PartitionId, Result,
 };
-use crossbeam::channel;
 use std::thread;
 use std::time::Instant;
 
@@ -106,7 +106,8 @@ impl ThreadedCluster {
         let start = Instant::now();
         for &event in events {
             for tx in &senders {
-                tx.send(event).map_err(|_| Error::ChannelClosed("cluster ingest"))?;
+                tx.send(event)
+                    .map_err(|_| Error::ChannelClosed("cluster ingest"))?;
             }
         }
         drop(senders);

@@ -14,13 +14,22 @@
 //! offline-maintained, exactly as in the paper: "new incoming edges are
 //! inserted into the D data structures … but these updates are not
 //! propagated to the S data structures").
+//!
+//! **Dense hot path.** Steps 3–4 run entirely in dense-id space: each
+//! witness `B` is interned once (`S.dense_of`, one hash probe — the only
+//! probe left per witness), its follower list is a dense `u32` slice
+//! fetched with two array reads, and the k-of-n threshold kernel counts
+//! dense ids. Because interning is order-preserving, the matches come out
+//! already sorted by raw id; conversion back to [`UserId`] happens only at
+//! the [`Candidate`] emission boundary. `D` stays keyed by sparse ids —
+//! dynamic events reference an unbounded vertex set the interner has never
+//! seen (its key type is generic for closed-world deployments; see
+//! `magicrecs_temporal`).
 
 use crate::threshold::{lists_containing, threshold_intersect, ThresholdAlgo};
 use magicrecs_graph::FollowGraph;
 use magicrecs_temporal::TemporalEdgeStore;
-use magicrecs_types::{
-    Candidate, DetectorConfig, EdgeEvent, Result, Timestamp, UserId,
-};
+use magicrecs_types::{Candidate, DenseId, DetectorConfig, EdgeEvent, Result, Timestamp, UserId};
 
 /// Stateless-per-event detector with reusable scratch buffers.
 #[derive(Debug)]
@@ -29,7 +38,7 @@ pub struct DiamondDetector {
     algo: ThresholdAlgo,
     // Scratch buffers, reused across events to avoid per-event allocation.
     witnesses: Vec<(UserId, Timestamp)>,
-    matches: Vec<(UserId, u32)>,
+    matches: Vec<(DenseId, u32)>,
 }
 
 impl DiamondDetector {
@@ -97,11 +106,17 @@ impl DiamondDetector {
         // per-candidate witness ids, but keep everything canonical).
         self.witnesses.sort_unstable_by_key(|&(b, _)| b);
 
-        // Bottom half: follower lists of each witness, threshold-intersected.
-        let lists: Vec<&[UserId]> = self
+        // Bottom half, in dense space: one interner probe per witness,
+        // then every `S[B]` lookup is two array reads on u32 slices.
+        // Witnesses outside `S` (no interned followers) contribute empty
+        // lists, exactly as the old id-level lookup returned empty.
+        let lists: Vec<&[DenseId]> = self
             .witnesses
             .iter()
-            .map(|&(b, _)| s.followers(b))
+            .map(|&(b, _)| {
+                s.dense_of(b)
+                    .map_or(&[] as &[DenseId], |db| s.followers_dense(db))
+            })
             .collect();
         self.matches.clear();
         threshold_intersect(self.algo, &lists, self.config.k, &mut self.matches);
@@ -109,16 +124,23 @@ impl DiamondDetector {
             return 0;
         }
 
+        // `C` may be unknown to the static graph; then nobody follows it
+        // statically and it can never equal an interned match.
+        let dense_dst = s.dense_of(event.dst);
+
         let mut emitted = 0usize;
-        for &(a, _count) in self.matches.iter() {
-            if a == event.dst {
+        // Order-preserving interning keeps matches ascending by raw id, so
+        // candidates emit in the same order the id-level path produced.
+        for &(da, _count) in self.matches.iter() {
+            if Some(da) == dense_dst {
                 continue; // never recommend an account to itself
             }
+            let a = s.user_of(da);
             if self.config.skip_existing {
                 // A witness already follows C (dynamically); a static
                 // follower of C already knows it.
                 if self.witnesses.binary_search_by_key(&a, |&(b, _)| b).is_ok()
-                    || s.follows(a, event.dst)
+                    || dense_dst.is_some_and(|dc| s.follows_dense(da, dc))
                 {
                     continue;
                 }
@@ -128,7 +150,7 @@ impl DiamondDetector {
                     break;
                 }
             }
-            let witness_ids: Vec<UserId> = lists_containing(&lists, a)
+            let witness_ids: Vec<UserId> = lists_containing(&lists, da)
                 .into_iter()
                 .map(|i| self.witnesses[i as usize].0)
                 .collect();

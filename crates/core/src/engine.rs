@@ -1,12 +1,15 @@
 //! The single-node recommendation engine: one partition's worth of the
 //! paper's system.
 //!
-//! Owns the static graph (`S` + forward view), the dynamic store `D`, the
-//! [`DiamondDetector`], and metrics. The paper reports that "the actual
-//! graph queries take only a few milliseconds"; [`EngineStats::detect_time`]
-//! measures exactly that component (wall-clock per event), which experiment
-//! E3 combines with the simulated queue delays for the end-to-end
-//! decomposition.
+//! Owns the static graph (`S` + forward view, interned to dense ids), the
+//! dynamic store `D` (sparse-keyed: the event stream references vertices
+//! the interner has never seen), the [`DiamondDetector`], and metrics. Per
+//! event, the only sparse-id work left is the `D` upsert and one interner
+//! probe per witness; intersection and threshold counting run on dense
+//! `u32` slices. The paper reports that "the actual graph queries take
+//! only a few milliseconds"; [`EngineStats::detect_time`] measures exactly
+//! that component (wall-clock per event), which experiment E3 combines
+//! with the simulated queue delays for the end-to-end decomposition.
 
 use crate::detector::DiamondDetector;
 use crate::threshold::ThresholdAlgo;
@@ -208,7 +211,9 @@ mod tests {
     fn quickstart_flow() {
         let mut engine = Engine::new(small_graph(), DetectorConfig::example()).unwrap();
         let c = u(99);
-        assert!(engine.on_event(EdgeEvent::follow(u(11), c, ts(100))).is_empty());
+        assert!(engine
+            .on_event(EdgeEvent::follow(u(11), c, ts(100)))
+            .is_empty());
         let recs = engine.on_event(EdgeEvent::follow(u(12), c, ts(105)));
         let users: Vec<UserId> = recs.iter().map(|r| r.user).collect();
         assert_eq!(users, vec![u(1), u(2)]);
@@ -323,10 +328,18 @@ mod tests {
             ThresholdAlgo::HeapMerge,
         )
         .unwrap();
+        let mut e4 = Engine::with_algo(
+            small_graph(),
+            DetectorConfig::example(),
+            ThresholdAlgo::PivotSkip,
+        )
+        .unwrap();
         let r1 = e1.process_trace(trace.clone());
         let r2 = e2.process_trace(trace.clone());
-        let r3 = e3.process_trace(trace);
+        let r3 = e3.process_trace(trace.clone());
+        let r4 = e4.process_trace(trace);
         assert_eq!(r1, r2);
         assert_eq!(r2, r3);
+        assert_eq!(r3, r4);
     }
 }

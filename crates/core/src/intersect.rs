@@ -2,7 +2,8 @@
 //!
 //! The paper: "since S is a static data structure, we can easily keep the
 //! A's sorted and thus intersections can be implemented efficiently using
-//! well-known algorithms." These are those algorithms:
+//! well-known algorithms." These are those algorithms, generic over the
+//! element type so they run on dense `u32` ids on the hot path:
 //!
 //! * [`intersect_merge`] — linear two-pointer merge: optimal when the lists
 //!   are similar in length.
@@ -16,8 +17,6 @@
 //! All variants append to a caller-provided buffer so the detector's hot
 //! path performs zero allocation per query.
 
-use magicrecs_types::UserId;
-
 /// Length ratio above which galloping beats merging. Empirically the
 /// crossover sits between 8× and 64×; 16 is a robust middle (see ablation
 /// B1 in `magicrecs-bench`).
@@ -25,7 +24,7 @@ const GALLOP_RATIO: usize = 16;
 
 /// Two-pointer merge intersection of two sorted, deduplicated slices.
 /// Appends the common elements (ascending) to `out`.
-pub fn intersect_merge(a: &[UserId], b: &[UserId], out: &mut Vec<UserId>) {
+pub fn intersect_merge<V: Copy + Ord>(a: &[V], b: &[V], out: &mut Vec<V>) {
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -40,42 +39,56 @@ pub fn intersect_merge(a: &[UserId], b: &[UserId], out: &mut Vec<UserId>) {
     }
 }
 
-/// Galloping intersection: for each element of the shorter list, locate it
-/// in the longer list by exponential search from the current frontier.
-/// Appends common elements (ascending) to `out`.
-pub fn intersect_gallop(a: &[UserId], b: &[UserId], out: &mut Vec<UserId>) {
+/// First index `i ≥ from` with `list[i] ≥ target`, by exponential search
+/// anchored at the frontier `from`.
+///
+/// The seed implementation derived its binary-search window as
+/// `[lo + step/2 ..= min(lo + step, len - 1)]`, re-examining the probe
+/// element already proven smaller than `target` and leaning on an
+/// inclusive `len - 1` bound. This version keeps the invariant explicit —
+/// `list[prev] < target` at all times — and searches the half-open
+/// bracket `(prev, bound)`, which is both one comparison cheaper per probe
+/// and immune to the empty-slice underflow. Shared by [`intersect_gallop`]
+/// and the pivot-skipping threshold kernel, whose per-list cursors advance
+/// through exactly this function.
+#[inline]
+pub fn gallop_to<V: Copy + Ord>(list: &[V], from: usize, target: V) -> usize {
+    if from >= list.len() || list[from] >= target {
+        return from;
+    }
+    // Invariant: list[prev] < target.
+    let mut prev = from;
+    let mut step = 1usize;
+    while from + step < list.len() && list[from + step] < target {
+        prev = from + step;
+        step <<= 1;
+    }
+    let bound = (from + step).min(list.len());
+    prev + 1 + list[prev + 1..bound].partition_point(|&v| v < target)
+}
+
+/// Galloping intersection: for each element of the shorter list, advance a
+/// frontier cursor through the longer list by exponential search. Appends
+/// common elements (ascending) to `out`.
+pub fn intersect_gallop<V: Copy + Ord>(a: &[V], b: &[V], out: &mut Vec<V>) {
     // Ensure `small` is the shorter.
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    let mut lo = 0usize;
+    let mut frontier = 0usize;
     for &x in small {
-        // Gallop: find the window [lo + step/2, lo + step] containing x.
-        let mut step = 1usize;
-        while lo + step < large.len() && large[lo + step] < x {
-            step <<= 1;
-        }
-        let hi = (lo + step).min(large.len() - 1);
-        let window_start = lo + (step >> 1);
-        if window_start >= large.len() {
+        frontier = gallop_to(large, frontier, x);
+        if frontier >= large.len() {
             break;
         }
-        match large[window_start..=hi].binary_search(&x) {
-            Ok(pos) => {
-                out.push(x);
-                lo = window_start + pos + 1;
-            }
-            Err(pos) => {
-                lo = window_start + pos;
-            }
-        }
-        if lo >= large.len() {
-            break;
+        if large[frontier] == x {
+            out.push(x);
+            frontier += 1;
         }
     }
 }
 
 /// Adaptive intersection: gallop when one list is at least `GALLOP_RATIO`
 /// (16×) longer than the other, merge otherwise.
-pub fn intersect_adaptive(a: &[UserId], b: &[UserId], out: &mut Vec<UserId>) {
+pub fn intersect_adaptive<V: Copy + Ord>(a: &[V], b: &[V], out: &mut Vec<V>) {
     let (short, long) = if a.len() <= b.len() {
         (a.len(), b.len())
     } else {
@@ -92,7 +105,7 @@ pub fn intersect_adaptive(a: &[UserId], b: &[UserId], out: &mut Vec<UserId>) {
 }
 
 /// Counts common elements without materializing them (merge-based).
-pub fn intersect_count(a: &[UserId], b: &[UserId]) -> usize {
+pub fn intersect_count<V: Copy + Ord>(a: &[V], b: &[V]) -> usize {
     let (mut i, mut j, mut n) = (0, 0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -111,6 +124,7 @@ pub fn intersect_count(a: &[UserId], b: &[UserId]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use magicrecs_types::UserId;
     use proptest::prelude::*;
 
     fn ids(v: &[u64]) -> Vec<UserId> {
@@ -134,11 +148,7 @@ mod tests {
     #[test]
     fn basic_overlap() {
         for (name, f) in ALGOS {
-            assert_eq!(
-                run(f, &[1, 3, 5, 7], &[2, 3, 5, 8]),
-                vec![3, 5],
-                "{name}"
-            );
+            assert_eq!(run(f, &[1, 3, 5, 7], &[2, 3, 5, 8]), vec![3, 5], "{name}");
         }
     }
 
@@ -206,6 +216,28 @@ mod tests {
         assert_eq!(out, ids(&[99, 2]));
     }
 
+    #[test]
+    fn gallop_hit_then_long_miss_run_in_one_gap() {
+        // A hit at 300, then many misses all falling inside the same gap
+        // of the long list, then another hit — the adversarial shape for
+        // frontier handling (each miss must neither lose nor overshoot
+        // the frontier).
+        let long: Vec<u64> = (0..200).map(|i| i * 100).collect();
+        let mut short = vec![300u64];
+        short.extend(301..340);
+        short.push(500);
+        assert_eq!(run(intersect_gallop, &short, &long), vec![300, 500]);
+    }
+
+    #[test]
+    fn gallop_misses_beyond_end() {
+        let long: Vec<u64> = (0..64).collect();
+        assert_eq!(
+            run(intersect_gallop, &[0, 63, 64, 65, 1000], &long),
+            vec![0, 63]
+        );
+    }
+
     proptest! {
         #[test]
         fn all_algorithms_agree_with_naive(
@@ -237,6 +269,36 @@ mod tests {
             let naive: Vec<u64> =
                 short.iter().copied().filter(|x| long.contains(x)).collect();
             prop_assert_eq!(run(intersect_gallop, &short, &long), naive);
+        }
+
+        /// Regression (gallop vs merge) on adversarial skew: hits followed
+        /// by long runs of misses landing in the gaps of a strided long
+        /// list. Merge is the trivially-correct oracle; the gallop's
+        /// frontier must match it element-for-element.
+        #[test]
+        fn gallop_matches_merge_on_gap_runs(
+            stride in 2u64..200,
+            long_len in 10usize..2_000,
+            runs in proptest::collection::vec(
+                // (hit index into long, miss-run length after the hit)
+                (0usize..2_000, 0usize..64),
+                0..12,
+            ),
+        ) {
+            let long: Vec<u64> = (0..long_len as u64).map(|i| i * stride).collect();
+            let mut short: Vec<u64> = Vec::new();
+            for (hit, miss_run) in runs {
+                let anchor = (hit % long_len) as u64 * stride;
+                short.push(anchor); // exact hit
+                // Misses strictly inside the gap after the anchor.
+                for m in 1..=miss_run as u64 {
+                    short.push(anchor + 1 + (m % stride.max(2).saturating_sub(1)));
+                }
+            }
+            short.sort_unstable();
+            short.dedup();
+            let expect = run(intersect_merge, &short, &long);
+            prop_assert_eq!(run(intersect_gallop, &short, &long), expect);
         }
     }
 }

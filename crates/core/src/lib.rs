@@ -16,11 +16,14 @@
 //! Modules:
 //!
 //! * [`intersect`] — two-sorted-list intersection: merge, galloping, and an
-//!   adaptive switch (ablation B1).
+//!   adaptive switch (ablation B1). Generic over the element type; the hot
+//!   path runs them over dense `u32` ids.
 //! * [`threshold`] — the general `k`-of-`n` form ("more than k of them"):
 //!   values appearing in at least `k` of `n` sorted lists, via scan-count,
-//!   heap merge, or an adaptive switch (ablation B2).
-//! * [`detector`] — [`DiamondDetector`]: one event in, candidates out.
+//!   heap merge, pivot-skipping with count-based early exit (the
+//!   celebrity-skew specialist), or an adaptive switch (ablation B2).
+//! * [`detector`] — [`DiamondDetector`]: one event in, candidates out,
+//!   working in dense-id space from witness lookup to candidate emission.
 //! * [`engine`] — [`Engine`]: graph + store + detector + metrics; the
 //!   single-node system (one partition of the paper's deployment).
 

@@ -66,8 +66,8 @@ impl Scorer {
         let strength = cfg.witness_weight * (1.0 + c.witnesses.len() as f64).ln();
         // Freshness: 2^(-age/half_life).
         let age = now.saturating_since(c.triggered_at).as_secs_f64();
-        let freshness = (-age / cfg.half_life.as_secs_f64().max(1e-9) * std::f64::consts::LN_2)
-            .exp();
+        let freshness =
+            (-age / cfg.half_life.as_secs_f64().max(1e-9) * std::f64::consts::LN_2).exp();
         // Popularity damping: subtract λ·ln(1 + followers(target)).
         let damping = if cfg.popularity_damping > 0.0 {
             cfg.popularity_damping * (1.0 + graph.follower_count(c.target) as f64).ln()

@@ -6,25 +6,50 @@
 //! k** of the `n` sorted follower lists `S[B₁] … S[Bₙ]`. (For `k = n = 2`
 //! this is plain intersection.)
 //!
+//! All kernels are generic over the element type (`Copy + Ord + Hash`) so
+//! the detector can run them over dense `u32` ids — half the memory
+//! traffic of raw `u64` user ids — while tests and offline consumers can
+//! still use them over [`magicrecs_types::UserId`].
+//!
 //! Algorithms (ablation B2):
 //!
 //! * [`threshold_scan_count`] — hash-count every element of every list;
-//!   O(total) with a small constant, wins at large `n`.
+//!   O(total) with a small constant, wins at large `n` with uniform
+//!   lengths.
 //! * [`threshold_heap_merge`] — `n`-way merge via binary heap, counting
 //!   runs of equal values; O(total · log n) but allocation-light and
 //!   cache-friendly at small `n`.
+//! * [`threshold_pivot_skip`] — pivot-generation from the `n − k + 1`
+//!   shortest lists with galloping cursors and count-based early exit:
+//!   a candidate is abandoned the moment `(lists remaining) < (k − hits)`,
+//!   so whole suffixes of celebrity-sized lists are never touched. This is
+//!   the skew winner: cost scales with the *short* lists plus
+//!   O(log) probes into the long ones, not with total input size.
 //! * adaptive ([`threshold_intersect`] with [`ThresholdAlgo::Adaptive`]) —
-//!   heap for `n` ≤ 8, scan-count above.
+//!   pivot-skip at large length skew, heap for `n` ≤ 8, scan-count above.
 //!
 //! All return `(value, count)` pairs sorted by value, counts being the
-//! number of lists containing the value (ties are deterministic).
+//! exact number of lists containing the value (ties are deterministic).
 
-use magicrecs_types::{FxHashMap, UserId};
+use crate::intersect::gallop_to;
+use magicrecs_types::FxHashMap;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::hash::Hash;
 
 /// Fan-in at which scan-count overtakes the heap (see ablation B2).
 const HEAP_MAX_LISTS: usize = 8;
+
+/// Adaptive picks pivot-skipping when the `k − 1` longest lists hold at
+/// least this many times the entries of all other lists combined: the
+/// excluded tail is exactly what pivot-skip never walks, so its dominance
+/// is the win condition (a celebrity witness among ordinary ones).
+const PIVOT_DOMINANCE_RATIO: usize = 4;
+
+/// Pivot generation does a linear min-scan over the `n − k + 1` generator
+/// lists per pivot, so cap the generator count for the adaptive choice
+/// (beyond it, scan-count's flat pass wins even against a celebrity tail).
+const PIVOT_MAX_GENERATORS: usize = 16;
 
 /// Which threshold algorithm to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -33,23 +58,32 @@ pub enum ThresholdAlgo {
     ScanCount,
     /// n-way heap merge.
     HeapMerge,
-    /// Heap below `HEAP_MAX_LISTS` (8) lists, scan-count above.
+    /// Pivot generation from the `n − k + 1` shortest lists, galloping
+    /// cursors, count-based early exit.
+    PivotSkip,
+    /// PivotSkip when the `k − 1` longest lists dominate the rest by
+    /// `PIVOT_DOMINANCE_RATIO` (4×), with at most `PIVOT_MAX_GENERATORS`
+    /// (16) generator lists; otherwise heap below 8 lists and scan-count
+    /// above.
     #[default]
     Adaptive,
 }
 
 /// Runs the selected algorithm.
-pub fn threshold_intersect(
+pub fn threshold_intersect<V: Copy + Ord + Hash>(
     algo: ThresholdAlgo,
-    lists: &[&[UserId]],
+    lists: &[&[V]],
     k: usize,
-    out: &mut Vec<(UserId, u32)>,
+    out: &mut Vec<(V, u32)>,
 ) {
     match algo {
         ThresholdAlgo::ScanCount => threshold_scan_count(lists, k, out),
         ThresholdAlgo::HeapMerge => threshold_heap_merge(lists, k, out),
+        ThresholdAlgo::PivotSkip => threshold_pivot_skip(lists, k, out),
         ThresholdAlgo::Adaptive => {
-            if lists.len() <= HEAP_MAX_LISTS {
+            if pivot_skip_wins(lists, k) {
+                threshold_pivot_skip(lists, k, out)
+            } else if lists.len() <= HEAP_MAX_LISTS {
                 threshold_heap_merge(lists, k, out)
             } else {
                 threshold_scan_count(lists, k, out)
@@ -58,13 +92,52 @@ pub fn threshold_intersect(
     }
 }
 
+/// Adaptive's skew test: pivot-skip wins when the `k − 1` longest lists
+/// (which it excludes from pivot generation and usually never walks)
+/// dominate the total volume, and the generator count is small enough
+/// that its per-pivot linear min-scan stays cheap.
+fn pivot_skip_wins<V>(lists: &[&[V]], k: usize) -> bool {
+    let n = lists.len();
+    if k < 2 || n < k || n - k + 1 > PIVOT_MAX_GENERATORS {
+        return false;
+    }
+    let excl = k - 1;
+    if excl > 8 {
+        // Unusual k: pay a sort rather than grow the fixed buffer.
+        let mut lengths: Vec<usize> = lists.iter().map(|l| l.len()).collect();
+        lengths.sort_unstable();
+        let kept: usize = lengths[..n - excl].iter().sum();
+        let excluded: usize = lengths[n - excl..].iter().sum();
+        return excluded >= PIVOT_DOMINANCE_RATIO * kept.max(1);
+    }
+    // Track the k−1 largest lengths in a tiny descending insertion buffer:
+    // zero allocation on the per-event path.
+    let mut top = [0usize; 8];
+    let mut total = 0usize;
+    for l in lists {
+        total += l.len();
+        let mut v = l.len();
+        for slot in top[..excl].iter_mut() {
+            if v > *slot {
+                std::mem::swap(&mut v, slot);
+            }
+        }
+    }
+    let excluded: usize = top[..excl].iter().sum();
+    excluded >= PIVOT_DOMINANCE_RATIO * (total - excluded).max(1)
+}
+
 /// Hash-count variant: one pass over every list, then filter by `k`.
-pub fn threshold_scan_count(lists: &[&[UserId]], k: usize, out: &mut Vec<(UserId, u32)>) {
+pub fn threshold_scan_count<V: Copy + Ord + Hash>(
+    lists: &[&[V]],
+    k: usize,
+    out: &mut Vec<(V, u32)>,
+) {
     if k == 0 || lists.len() < k {
         return;
     }
     let total: usize = lists.iter().map(|l| l.len()).sum();
-    let mut counts: FxHashMap<UserId, u32> = FxHashMap::default();
+    let mut counts: FxHashMap<V, u32> = FxHashMap::default();
     counts.reserve(total.min(1 << 16));
     for list in lists {
         for &v in *list {
@@ -72,21 +145,21 @@ pub fn threshold_scan_count(lists: &[&[UserId]], k: usize, out: &mut Vec<(UserId
         }
     }
     let base = out.len();
-    out.extend(
-        counts
-            .into_iter()
-            .filter(|&(_, c)| c as usize >= k),
-    );
+    out.extend(counts.into_iter().filter(|&(_, c)| c as usize >= k));
     out[base..].sort_unstable_by_key(|&(v, _)| v);
 }
 
 /// Heap-merge variant: pop runs of equal minimal values across lists.
-pub fn threshold_heap_merge(lists: &[&[UserId]], k: usize, out: &mut Vec<(UserId, u32)>) {
+pub fn threshold_heap_merge<V: Copy + Ord + Hash>(
+    lists: &[&[V]],
+    k: usize,
+    out: &mut Vec<(V, u32)>,
+) {
     if k == 0 || lists.len() < k {
         return;
     }
     // Heap of (next value, list index); cursors track per-list positions.
-    let mut heap: BinaryHeap<Reverse<(UserId, usize)>> = BinaryHeap::with_capacity(lists.len());
+    let mut heap: BinaryHeap<Reverse<(V, usize)>> = BinaryHeap::with_capacity(lists.len());
     let mut cursors = vec![0usize; lists.len()];
     for (i, list) in lists.iter().enumerate() {
         if let Some(&v) = list.first() {
@@ -112,9 +185,80 @@ pub fn threshold_heap_merge(lists: &[&[UserId]], k: usize, out: &mut Vec<(UserId
     }
 }
 
+/// Pivot-skipping threshold intersection — the skew specialist.
+///
+/// Any value present in at least `k` of `n` lists must appear in at least
+/// one of the `n − k + 1` **shortest** lists (only `k − 1` lists are
+/// excluded from that set). Those short lists therefore generate candidate
+/// pivots in ascending order; each pivot is counted across all lists from
+/// shortest to longest by galloping that list's cursor forward, and — the
+/// key win — counting stops the moment
+/// `(lists remaining) < (k − hits so far)`: the pivot can no longer reach
+/// `k`, so the longest (celebrity) lists are usually never probed at all.
+/// Cursors advance monotonically and lazily, so skipped suffixes cost
+/// nothing even across pivots.
+pub fn threshold_pivot_skip<V: Copy + Ord + Hash>(
+    lists: &[&[V]],
+    k: usize,
+    out: &mut Vec<(V, u32)>,
+) {
+    let n = lists.len();
+    if k == 0 || n < k {
+        return;
+    }
+    // Process lists shortest-first so the early-exit check trims the
+    // expensive tails.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by_key(|&i| lists[i].len());
+    let generators = n - k + 1;
+    let mut cursors = vec![0usize; n];
+
+    loop {
+        // Next pivot: the smallest un-consumed value across the generator
+        // lists. n is small (witness fan-in), so a linear min is cheaper
+        // than a heap.
+        let mut pivot: Option<V> = None;
+        for &li in &order[..generators] {
+            if let Some(&v) = lists[li].get(cursors[li]) {
+                pivot = Some(match pivot {
+                    Some(p) if p <= v => p,
+                    _ => v,
+                });
+            }
+        }
+        let Some(pivot) = pivot else { break };
+
+        let mut hits = 0u32;
+        for (pos, &li) in order.iter().enumerate() {
+            // Early exit: even if every remaining list matched, the pivot
+            // cannot reach k. Only non-generator (long) lists can be cut
+            // here, so every generator always advances past the pivot and
+            // the pivot sequence stays strictly increasing.
+            let remaining = n - pos;
+            if (hits as usize) + remaining < k {
+                break;
+            }
+            let c = gallop_to(lists[li], cursors[li], pivot);
+            if let Some(&v) = lists[li].get(c) {
+                if v == pivot {
+                    hits += 1;
+                    cursors[li] = c + 1;
+                    continue;
+                }
+            }
+            cursors[li] = c;
+        }
+        if hits as usize >= k {
+            // The counting loop only breaks below k, so reaching k means
+            // every list was probed: `hits` is the exact count.
+            out.push((pivot, hits));
+        }
+    }
+}
+
 /// Brute-force reference used by tests and property checks.
-pub fn threshold_naive(lists: &[&[UserId]], k: usize) -> Vec<(UserId, u32)> {
-    let mut counts: std::collections::BTreeMap<UserId, u32> = Default::default();
+pub fn threshold_naive<V: Copy + Ord>(lists: &[&[V]], k: usize) -> Vec<(V, u32)> {
+    let mut counts: std::collections::BTreeMap<V, u32> = Default::default();
     for list in lists {
         for &v in *list {
             *counts.entry(v).or_insert(0) += 1;
@@ -128,7 +272,7 @@ pub fn threshold_naive(lists: &[&[UserId]], k: usize) -> Vec<(UserId, u32)> {
 
 /// Recovers which lists contain `value` (indices ascending) — used by the
 /// detector to attach per-candidate witness sets after counting.
-pub fn lists_containing(lists: &[&[UserId]], value: UserId) -> Vec<u32> {
+pub fn lists_containing<V: Copy + Ord>(lists: &[&[V]], value: V) -> Vec<u32> {
     lists
         .iter()
         .enumerate()
@@ -140,6 +284,7 @@ pub fn lists_containing(lists: &[&[UserId]], value: UserId) -> Vec<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use magicrecs_types::UserId;
     use proptest::prelude::*;
 
     fn ids(v: &[u64]) -> Vec<UserId> {
@@ -154,9 +299,10 @@ mod tests {
         out.into_iter().map(|(v, c)| (v.raw(), c)).collect()
     }
 
-    const ALGOS: [ThresholdAlgo; 3] = [
+    const ALGOS: [ThresholdAlgo; 4] = [
         ThresholdAlgo::ScanCount,
         ThresholdAlgo::HeapMerge,
+        ThresholdAlgo::PivotSkip,
         ThresholdAlgo::Adaptive,
     ];
 
@@ -222,12 +368,45 @@ mod tests {
 
     #[test]
     fn many_lists_trigger_scan_count_path() {
-        // 20 lists > HEAP_MAX_LISTS: adaptive takes the scan-count branch.
+        // 20 equal-length lists > HEAP_MAX_LISTS, no skew: adaptive takes
+        // the scan-count branch.
         let lists: Vec<Vec<u64>> = (0..20).map(|i| vec![42, 100 + i]).collect();
         for algo in ALGOS {
             let got = run(algo, &lists, 20);
             assert_eq!(got, vec![(42, 20)], "{algo:?}");
         }
+    }
+
+    #[test]
+    fn pivot_skip_on_celebrity_skew() {
+        // Two tiny lists against one huge list; k = 2. The huge list's
+        // suffix past the last short-list hit must never matter.
+        let celeb: Vec<u64> = (0..100_000).map(|i| i * 2).collect();
+        // 10 is in all three lists; 1_001 and 50_001 are odd (not in the
+        // celebrity's even-stride list) and shared by the two short lists.
+        let lists = vec![vec![10, 1_001, 50_001], vec![10, 1_001, 50_001], celeb];
+        for algo in [ThresholdAlgo::PivotSkip, ThresholdAlgo::Adaptive] {
+            assert_eq!(
+                run(algo, &lists, 2),
+                vec![(10, 3), (1_001, 2), (50_001, 2)],
+                "{algo:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pivot_skip_exact_counts_on_duplicated_membership() {
+        // Values in all lists, some in exactly k, some in fewer.
+        let lists = vec![
+            vec![1, 5, 9],
+            vec![1, 5, 7, 9],
+            vec![1, 3, 9],
+            vec![1, 9, 11],
+        ];
+        assert_eq!(
+            run(ThresholdAlgo::PivotSkip, &lists, 2),
+            vec![(1, 4), (5, 2), (9, 4)]
+        );
     }
 
     #[test]
@@ -247,6 +426,23 @@ mod tests {
         threshold_intersect(ThresholdAlgo::Adaptive, &slices, 2, &mut out);
         assert_eq!(out[0], (UserId(99), 9));
         assert_eq!(out[1], (UserId(1), 2));
+    }
+
+    #[test]
+    fn gallop_to_frontier_cases() {
+        let list: Vec<u64> = vec![2, 4, 6, 8, 10, 12];
+        // Already at/past target.
+        assert_eq!(gallop_to(&list, 0, 1), 0);
+        assert_eq!(gallop_to(&list, 0, 2), 0);
+        // Mid-list, from various frontiers.
+        assert_eq!(gallop_to(&list, 0, 7), 3);
+        assert_eq!(gallop_to(&list, 2, 7), 3);
+        assert_eq!(gallop_to(&list, 3, 8), 3);
+        // Past the end.
+        assert_eq!(gallop_to(&list, 0, 13), 6);
+        assert_eq!(gallop_to(&list, 5, 13), 6);
+        // From == len.
+        assert_eq!(gallop_to(&list, 6, 1), 6);
     }
 
     proptest! {
@@ -275,6 +471,35 @@ mod tests {
             for algo in ALGOS {
                 prop_assert_eq!(&run(algo, &lists, k), &expect, "{:?}", algo);
             }
+        }
+
+        /// Pivot-skip against naive on adversarially skewed inputs: a few
+        /// short lists plus one long stride list, arbitrary k.
+        #[test]
+        fn pivot_skip_matches_naive_under_skew(
+            shorts in proptest::collection::vec(
+                proptest::collection::vec(0u64..4_000, 0..12),
+                1..5,
+            ),
+            stride in 1u64..7,
+            long_len in 100usize..2_000,
+            k in 1usize..6,
+        ) {
+            let mut lists: Vec<Vec<u64>> = shorts
+                .into_iter()
+                .map(|mut l| {
+                    l.sort_unstable();
+                    l.dedup();
+                    l
+                })
+                .collect();
+            lists.push((0..long_len as u64).map(|i| i * stride).collect());
+            let owned: Vec<Vec<UserId>> = lists.iter().map(|l| ids(l)).collect();
+            let slices: Vec<&[UserId]> = owned.iter().map(|l| l.as_slice()).collect();
+            let expect = threshold_naive(&slices, k);
+            let mut got = Vec::new();
+            threshold_pivot_skip(&slices, k, &mut got);
+            prop_assert_eq!(got, expect);
         }
     }
 }

@@ -40,6 +40,7 @@ proptest! {
         for algo in [
             ThresholdAlgo::ScanCount,
             ThresholdAlgo::HeapMerge,
+            ThresholdAlgo::PivotSkip,
             ThresholdAlgo::Adaptive,
         ] {
             let mut engine = Engine::with_algo(graph.clone(), cfg, algo).unwrap();
@@ -47,6 +48,7 @@ proptest! {
         }
         prop_assert_eq!(&outputs[0], &outputs[1]);
         prop_assert_eq!(&outputs[1], &outputs[2]);
+        prop_assert_eq!(&outputs[2], &outputs[3]);
     }
 
     /// Processing events one-by-one equals processing them as a trace

@@ -12,9 +12,7 @@
 use crate::dedup::DedupFilter;
 use crate::fatigue::FatigueController;
 use crate::quiet::QuietHours;
-use magicrecs_types::{
-    Candidate, Counter, FunnelConfig, Recommendation, Result, Timestamp,
-};
+use magicrecs_types::{Candidate, Counter, FunnelConfig, Recommendation, Result, Timestamp};
 use std::collections::BinaryHeap;
 
 /// Per-stage accounting.
@@ -128,11 +126,7 @@ impl Funnel {
     /// Releases deferred pushes due at or before `now`.
     pub fn poll_deferred(&mut self, now: Timestamp) -> Vec<Recommendation> {
         let mut out = Vec::new();
-        while self
-            .deferred
-            .peek()
-            .is_some_and(|d| d.release_at <= now)
-        {
+        while self.deferred.peek().is_some_and(|d| d.release_at <= now) {
             let d = self.deferred.pop().expect("peeked");
             if let Some(rec) = self.finalize(d.candidate, d.release_at) {
                 out.push(rec);
@@ -307,7 +301,7 @@ mod tests {
         let mut f = Funnel::new(FunnelConfig::production()).unwrap();
         f.offer(cand(1, 9, noon(0)), noon(0));
         f.compact(noon(30)); // far future: everything stale
-        // After compaction the pair can be delivered again.
+                             // After compaction the pair can be delivered again.
         assert!(f.offer(cand(1, 9, noon(31)), noon(31)).is_some());
     }
 }

@@ -73,9 +73,8 @@ impl QuietHours {
             return now;
         }
         let offset = *self.offsets.get(&user).unwrap_or(&self.default_offset);
-        let local_us =
-            (now.as_micros() as i128 + offset as i128 * HOUR_US as i128).rem_euclid(DAY_US as i128)
-                as u64;
+        let local_us = (now.as_micros() as i128 + offset as i128 * HOUR_US as i128)
+            .rem_euclid(DAY_US as i128) as u64;
         let end_us = self.end_hour as u64 * HOUR_US;
         let wait = if local_us < end_us {
             end_us - local_us
@@ -131,7 +130,7 @@ mod tests {
         let mut q = QuietHours::new(23, 8);
         q.set_offset(u(1), 5); // UTC+5
         q.set_offset(u(2), -5); // UTC−5
-        // 20:00 UTC = 01:00 local for UTC+5 (quiet), 15:00 for UTC−5 (not).
+                                // 20:00 UTC = 01:00 local for UTC+5 (quiet), 15:00 for UTC−5 (not).
         assert!(q.is_quiet(u(1), at(0, 20)));
         assert!(!q.is_quiet(u(2), at(0, 20)));
         assert_eq!(q.local_hour(u(1), at(0, 20)), 1);

@@ -179,9 +179,8 @@ impl Scenario {
         let events: Vec<EdgeEvent> = bs
             .into_iter()
             .map(|b| {
-                let offset = Duration::from_micros(
-                    rng.random_range(0..burst_len.as_micros().max(1)),
-                );
+                let offset =
+                    Duration::from_micros(rng.random_range(0..burst_len.as_micros().max(1)));
                 EdgeEvent::follow(b, celebrity, cfg.start + offset)
             })
             .collect();
@@ -204,9 +203,8 @@ impl Scenario {
         let events: Vec<EdgeEvent> = retweeters
             .into_iter()
             .map(|b| {
-                let offset = Duration::from_micros(
-                    rng.random_range(0..burst_len.as_micros().max(1)),
-                );
+                let offset =
+                    Duration::from_micros(rng.random_range(0..burst_len.as_micros().max(1)));
                 EdgeEvent {
                     src: b,
                     dst: author,
@@ -383,11 +381,7 @@ mod tests {
         let cfg = ScenarioConfig::small().with_duration(Duration::from_secs(120));
         let t = Scenario::mixed(&g, 1000, Duration::from_secs(40), 20, cfg);
         // Two bursts expected (t=40, t=80) on fresh accounts >= 1000.
-        let burst_events = t
-            .events()
-            .iter()
-            .filter(|e| e.dst.raw() >= 1000)
-            .count();
+        let burst_events = t.events().iter().filter(|e| e.dst.raw() >= 1000).count();
         assert_eq!(burst_events, 40);
     }
 

@@ -7,7 +7,8 @@
 
 use crate::csr::CsrGraph;
 use crate::follow::{CapStrategy, FollowGraph};
-use magicrecs_types::UserId;
+use crate::intern::UserInterner;
+use magicrecs_types::{DenseId, UserId};
 
 /// Accumulates follow edges and builds the static graph.
 #[derive(Debug, Default, Clone)]
@@ -72,12 +73,35 @@ impl GraphBuilder {
         FollowGraph::from_forward_rows(forward, cap)
     }
 
-    /// Builds only a single-direction CSR from the accumulated edges
-    /// (useful for tests and the batch baseline).
-    pub fn build_csr(mut self) -> CsrGraph {
+    /// Builds only a single-direction dense CSR plus its interner from the
+    /// accumulated edges (useful for tests and degree statistics).
+    pub fn build_csr_interned(mut self) -> (UserInterner, CsrGraph) {
         self.edges.sort_unstable();
         self.edges.dedup();
-        CsrGraph::from_rows(rows_from_sorted(&self.edges))
+        let mut vertices: Vec<UserId> = Vec::with_capacity(self.edges.len() * 2);
+        for &(a, b) in &self.edges {
+            vertices.push(a);
+            vertices.push(b);
+        }
+        let interner = UserInterner::from_users(vertices);
+        // Raw-sorted edges map to dense-sorted edges (order preservation).
+        let dense: Vec<(DenseId, DenseId)> = self
+            .edges
+            .iter()
+            .map(|&(a, b)| {
+                (
+                    interner.dense(a).expect("interned"),
+                    interner.dense(b).expect("interned"),
+                )
+            })
+            .collect();
+        let csr = CsrGraph::from_sorted_edges(interner.len(), &dense);
+        (interner, csr)
+    }
+
+    /// Builds only a single-direction dense CSR, discarding the interner.
+    pub fn build_csr(self) -> CsrGraph {
+        self.build_csr_interned().1
     }
 }
 
@@ -144,7 +168,13 @@ mod tests {
         let mut b = GraphBuilder::new();
         b.add_edge(u(1), u(9));
         b.add_edge(u(1), u(8));
-        let csr = b.build_csr();
-        assert_eq!(csr.neighbors(u(1)), &[u(8), u(9)]);
+        let (interner, csr) = b.build_csr_interned();
+        let d1 = interner.dense(u(1)).unwrap();
+        let dense_targets: Vec<UserId> = csr
+            .neighbors(d1)
+            .iter()
+            .map(|&d| interner.user(d))
+            .collect();
+        assert_eq!(dense_targets, vec![u(8), u(9)]);
     }
 }

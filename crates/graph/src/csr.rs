@@ -1,89 +1,126 @@
-//! Compressed-sparse-row adjacency over sparse user ids.
+//! True offset-array compressed-sparse-row adjacency over dense ids.
 //!
-//! Twitter user ids are sparse `u64`s, so a classic dense-offset CSR does
-//! not apply directly. We keep the CSR's cache-friendly contiguous target
-//! array and replace the offset array with an Fx-hashed index from source id
-//! to a `(start, len)` range. Target slices are **sorted ascending**, which
-//! is the property the whole detection pipeline relies on ("since S is a
-//! static data structure, we can easily keep the A's sorted and thus
-//! intersections can be implemented efficiently").
+//! The seed version of this module kept an Fx-hash index from sparse
+//! source id to a `(start, len)` range because "Twitter user ids are
+//! sparse u64s". With the [`crate::UserInterner`] assigning contiguous
+//! `u32` dense ids at build time, the classic CSR applies directly:
+//!
+//! ```text
+//! offsets: [0, 3, 3, 4, ...]   // n+1 entries, offsets[v]..offsets[v+1]
+//! targets: [d10, d20, d30, d20, ...]
+//! ```
+//!
+//! An `S[B]` lookup is now two array reads (`offsets[b]`, `offsets[b+1]`)
+//! instead of a hash probe, and targets are `u32`s — half the memory
+//! traffic of the old `u64` slices during intersections. Target slices
+//! remain **sorted ascending**, the invariant the whole detection pipeline
+//! relies on; because interning is order-preserving, dense-sorted and
+//! raw-id-sorted orders coincide.
 
-use magicrecs_types::{FxHashMap, UserId};
+use magicrecs_types::DenseId;
 
-/// Immutable sorted-adjacency graph.
+/// Immutable dense-vertex sorted-adjacency graph.
 ///
-/// Construct via [`crate::GraphBuilder`]; the invariants (per-source targets
-/// sorted and deduplicated) are established there.
+/// Construct via [`crate::GraphBuilder`] (which also builds the interner);
+/// the invariants (per-source targets sorted and deduplicated, all ids
+/// within the vertex space) are established there.
 #[derive(Debug, Clone, Default)]
 pub struct CsrGraph {
-    /// source id → (offset, len) into `targets`.
-    index: FxHashMap<UserId, (u32, u32)>,
+    /// `offsets[v]..offsets[v + 1]` bounds vertex `v`'s target slice.
+    /// Length is `num_vertices + 1`; `offsets[0] == 0`.
+    offsets: Vec<u32>,
     /// Concatenated, per-source-sorted target lists.
-    targets: Vec<UserId>,
+    targets: Vec<DenseId>,
+    /// Number of vertices with at least one out-edge.
+    sources: usize,
 }
 
 impl CsrGraph {
-    /// Builds from pre-grouped rows. Each row's target list must already be
-    /// sorted and deduplicated; `debug_assert`ed.
-    ///
-    /// This is the low-level constructor used by [`crate::GraphBuilder`];
-    /// prefer the builder in application code.
-    pub fn from_rows(rows: Vec<(UserId, Vec<UserId>)>) -> Self {
-        let total: usize = rows.iter().map(|(_, t)| t.len()).sum();
+    /// Builds from `(src, dst)` edges sorted by `(src, dst)` and
+    /// deduplicated (`debug_assert`ed), over a vertex space of
+    /// `num_vertices` dense ids.
+    pub fn from_sorted_edges(num_vertices: usize, edges: &[(DenseId, DenseId)]) -> Self {
         assert!(
-            total <= u32::MAX as usize,
+            edges.len() <= u32::MAX as usize,
             "CsrGraph supports up to 2^32-1 edges per instance"
         );
-        let mut index = FxHashMap::default();
-        index.reserve(rows.len());
-        let mut targets = Vec::with_capacity(total);
-        for (src, row) in rows {
-            debug_assert!(
-                row.windows(2).all(|w| w[0] < w[1]),
-                "row for {src:?} must be sorted and deduplicated"
-            );
-            if row.is_empty() {
-                continue;
+        debug_assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be sorted by (src, dst) and deduplicated"
+        );
+        let mut offsets = vec![0u32; num_vertices + 1];
+        let mut targets = Vec::with_capacity(edges.len());
+        for &(src, dst) in edges {
+            debug_assert!(src.index() < num_vertices, "source {src:?} out of range");
+            debug_assert!(dst.index() < num_vertices, "target {dst:?} out of range");
+            offsets[src.index() + 1] += 1;
+            targets.push(dst);
+        }
+        let mut sources = 0usize;
+        let mut running = 0u32;
+        for o in offsets.iter_mut().skip(1) {
+            if *o > 0 {
+                sources += 1;
             }
-            let start = targets.len() as u32;
-            targets.extend_from_slice(&row);
-            index.insert(src, (start, row.len() as u32));
+            running += *o;
+            *o = running;
         }
-        CsrGraph { index, targets }
-    }
-
-    /// The sorted out-neighbor slice of `src` (empty if absent).
-    #[inline]
-    pub fn neighbors(&self, src: UserId) -> &[UserId] {
-        match self.index.get(&src) {
-            Some(&(start, len)) => &self.targets[start as usize..(start + len) as usize],
-            None => &[],
+        CsrGraph {
+            offsets,
+            targets,
+            sources,
         }
     }
 
-    /// Out-degree of `src` (0 if absent).
+    /// The sorted out-neighbor slice of `v` — two array reads.
+    ///
+    /// Out-of-range ids (from a foreign graph's interner) return empty
+    /// rather than panicking, matching the old "absent source" behavior.
     #[inline]
-    pub fn degree(&self, src: UserId) -> usize {
-        self.index.get(&src).map_or(0, |&(_, len)| len as usize)
+    pub fn neighbors(&self, v: DenseId) -> &[DenseId] {
+        let i = v.index();
+        if i + 1 >= self.offsets.len() {
+            return &[];
+        }
+        // Both bounds come from the monotone offset array, so the slice is
+        // always in range.
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Out-degree of `v` (0 if absent or out of range).
+    #[inline]
+    pub fn degree(&self, v: DenseId) -> usize {
+        let i = v.index();
+        if i + 1 >= self.offsets.len() {
+            return 0;
+        }
+        (self.offsets[i + 1] - self.offsets[i]) as usize
     }
 
     /// Whether the edge `src → dst` exists (binary search over the sorted
     /// neighbor slice).
     #[inline]
-    pub fn contains_edge(&self, src: UserId, dst: UserId) -> bool {
+    pub fn contains_edge(&self, src: DenseId, dst: DenseId) -> bool {
         self.neighbors(src).binary_search(&dst).is_ok()
     }
 
     /// Whether `src` has any out-edges.
     #[inline]
-    pub fn contains_source(&self, src: UserId) -> bool {
-        self.index.contains_key(&src)
+    pub fn contains_source(&self, src: DenseId) -> bool {
+        self.degree(src) > 0
     }
 
-    /// Number of sources with at least one out-edge.
+    /// Size of the dense vertex space (interned vertices, with or without
+    /// out-edges).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of vertices with at least one out-edge.
     #[inline]
     pub fn num_sources(&self) -> usize {
-        self.index.len()
+        self.sources
     }
 
     /// Total number of edges.
@@ -92,31 +129,28 @@ impl CsrGraph {
         self.targets.len()
     }
 
-    /// Iterates `(source, sorted neighbor slice)` pairs in unspecified
-    /// order.
-    pub fn iter(&self) -> impl Iterator<Item = (UserId, &[UserId])> + '_ {
-        self.index.iter().map(move |(&src, &(start, len))| {
-            (
-                src,
-                &self.targets[start as usize..(start + len) as usize],
-            )
+    /// Iterates `(source, sorted neighbor slice)` pairs in ascending
+    /// source order, skipping sources with no out-edges.
+    pub fn iter(&self) -> impl Iterator<Item = (DenseId, &[DenseId])> + '_ {
+        (0..self.num_vertices()).filter_map(move |i| {
+            let s = &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize];
+            (!s.is_empty()).then_some((DenseId(i as u32), s))
         })
     }
 
-    /// Iterates all edges as `(src, dst)` pairs in unspecified source order
-    /// (targets in ascending order within a source).
-    pub fn edges(&self) -> impl Iterator<Item = (UserId, UserId)> + '_ {
+    /// Iterates all edges as `(src, dst)` pairs in ascending `(src, dst)`
+    /// order.
+    pub fn edges(&self) -> impl Iterator<Item = (DenseId, DenseId)> + '_ {
         self.iter()
             .flat_map(|(src, ts)| ts.iter().map(move |&dst| (src, dst)))
     }
 
-    /// Approximate resident bytes (index + target array), for the memory
-    /// experiments. The hash index is costed at the hashbrown table layout
-    /// (~1.1 × (key + value + 1 byte control) per slot at 7/8 load).
+    /// Resident bytes (offset + target arrays) — exact now that the hash
+    /// index is gone, which is itself part of the memory win the paper's
+    /// "S data structures held in memory" experiments track.
     pub fn memory_bytes(&self) -> usize {
-        let entry = std::mem::size_of::<(UserId, (u32, u32))>() + 1;
-        let index_bytes = (self.index.len() as f64 * entry as f64 * 8.0 / 7.0) as usize;
-        index_bytes + self.targets.len() * std::mem::size_of::<UserId>()
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.targets.len() * std::mem::size_of::<DenseId>()
     }
 }
 
@@ -124,90 +158,90 @@ impl CsrGraph {
 mod tests {
     use super::*;
 
-    fn u(n: u64) -> UserId {
-        UserId(n)
+    fn d(n: u32) -> DenseId {
+        DenseId(n)
     }
 
+    /// Vertex space {0..6}; 0 → {3,4,5}, 1 → {4}, 2 and 3..6 empty sources.
     fn sample() -> CsrGraph {
-        CsrGraph::from_rows(vec![
-            (u(1), vec![u(10), u(20), u(30)]),
-            (u(2), vec![u(20)]),
-            (u(3), vec![]),
-        ])
+        CsrGraph::from_sorted_edges(6, &[(d(0), d(3)), (d(0), d(4)), (d(0), d(5)), (d(1), d(4))])
     }
 
     #[test]
     fn neighbors_sorted_slices() {
         let g = sample();
-        assert_eq!(g.neighbors(u(1)), &[u(10), u(20), u(30)]);
-        assert_eq!(g.neighbors(u(2)), &[u(20)]);
-        assert_eq!(g.neighbors(u(3)), &[] as &[UserId]);
-        assert_eq!(g.neighbors(u(99)), &[] as &[UserId]);
+        assert_eq!(g.neighbors(d(0)), &[d(3), d(4), d(5)]);
+        assert_eq!(g.neighbors(d(1)), &[d(4)]);
+        assert_eq!(g.neighbors(d(2)), &[] as &[DenseId]);
+        assert_eq!(
+            g.neighbors(d(99)),
+            &[] as &[DenseId],
+            "out of range is empty"
+        );
     }
 
     #[test]
     fn degrees() {
         let g = sample();
-        assert_eq!(g.degree(u(1)), 3);
-        assert_eq!(g.degree(u(2)), 1);
-        assert_eq!(g.degree(u(99)), 0);
+        assert_eq!(g.degree(d(0)), 3);
+        assert_eq!(g.degree(d(1)), 1);
+        assert_eq!(g.degree(d(5)), 0);
+        assert_eq!(g.degree(d(99)), 0);
     }
 
     #[test]
     fn contains_edge_binary_search() {
         let g = sample();
-        assert!(g.contains_edge(u(1), u(20)));
-        assert!(!g.contains_edge(u(1), u(25)));
-        assert!(!g.contains_edge(u(99), u(20)));
+        assert!(g.contains_edge(d(0), d(4)));
+        assert!(!g.contains_edge(d(0), d(2)));
+        assert!(!g.contains_edge(d(99), d(4)));
     }
 
     #[test]
-    fn empty_rows_are_dropped() {
+    fn source_and_vertex_counts() {
         let g = sample();
-        assert!(!g.contains_source(u(3)));
+        assert!(!g.contains_source(d(2)));
         assert_eq!(g.num_sources(), 2);
+        assert_eq!(g.num_vertices(), 6);
         assert_eq!(g.num_edges(), 4);
     }
 
     #[test]
-    fn edges_iterator_covers_all() {
+    fn edges_iterator_covers_all_in_order() {
         let g = sample();
-        let mut edges: Vec<_> = g.edges().collect();
-        edges.sort();
+        let edges: Vec<_> = g.edges().collect();
         assert_eq!(
             edges,
-            vec![
-                (u(1), u(10)),
-                (u(1), u(20)),
-                (u(1), u(30)),
-                (u(2), u(20))
-            ]
+            vec![(d(0), d(3)), (d(0), d(4)), (d(0), d(5)), (d(1), d(4))]
         );
+    }
+
+    #[test]
+    fn iter_skips_empty_sources() {
+        let g = sample();
+        let sources: Vec<DenseId> = g.iter().map(|(s, _)| s).collect();
+        assert_eq!(sources, vec![d(0), d(1)]);
     }
 
     #[test]
     fn default_is_empty() {
         let g = CsrGraph::default();
         assert_eq!(g.num_edges(), 0);
-        assert_eq!(g.neighbors(u(1)), &[] as &[UserId]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.neighbors(d(0)), &[] as &[DenseId]);
     }
 
     #[test]
-    fn memory_accounting_scales_with_edges() {
-        let small = sample();
-        let rows: Vec<_> = (0..100)
-            .map(|i| (u(i), (1000..1100).map(u).collect::<Vec<_>>()))
-            .collect();
-        let big = CsrGraph::from_rows(rows);
-        assert!(big.memory_bytes() > small.memory_bytes());
-        // 100 sources * 100 targets * 8 bytes = 80 KB floor for targets.
-        assert!(big.memory_bytes() >= 80_000);
+    fn memory_accounting_is_exact() {
+        let g = sample();
+        // 7 offsets × 4 bytes + 4 targets × 4 bytes.
+        assert_eq!(g.memory_bytes(), 7 * 4 + 4 * 4);
     }
 
     #[test]
     #[should_panic(expected = "sorted")]
     #[cfg(debug_assertions)]
-    fn unsorted_rows_rejected_in_debug() {
-        let _ = CsrGraph::from_rows(vec![(u(1), vec![u(3), u(2)])]);
+    fn unsorted_edges_rejected_in_debug() {
+        let _ = CsrGraph::from_sorted_edges(4, &[(d(1), d(3)), (d(1), d(2))]);
     }
 }

@@ -1,7 +1,7 @@
 //! The bidirectional static follow graph.
 //!
 //! [`FollowGraph`] holds both directions of the offline-computed `A → B`
-//! edges:
+//! edges, interned into dense-id space (see [`crate::UserInterner`]):
 //!
 //! * **forward** — `A → [B]`: the accounts each user follows ("followings").
 //!   Used by baselines, the workload generator, and the influencer cap.
@@ -10,6 +10,12 @@
 //!   as an adjacency list … given a particular B, we can query S to look up
 //!   all A's that follow it."
 //!
+//! The hot path works exclusively in dense space ([`FollowGraph::followers_dense`],
+//! [`FollowGraph::follows_dense`]): an `S[B]` lookup is two array reads and
+//! intersections compare `u32`s. Id-level accessors remain for offline
+//! consumers (io, partitioning, baselines, tests); they translate at the
+//! boundary and allocate, so keep them off per-event paths.
+//!
 //! The influencer cap ([`CapStrategy`]) reproduces the paper's pruning:
 //! "for users who follow many accounts, we have found it more effective to
 //! limit the number of influencers each user can have. This has the
@@ -17,7 +23,8 @@
 //! memory."
 
 use crate::csr::CsrGraph;
-use magicrecs_types::{FxHashMap, UserId};
+use crate::intern::UserInterner;
+use magicrecs_types::{DenseId, FxHashMap, UserId};
 
 /// How to choose which followings to keep when a user exceeds the
 /// influencer cap.
@@ -42,24 +49,26 @@ impl CapStrategy {
     pub fn cap(&self) -> Option<usize> {
         match *self {
             CapStrategy::None => None,
-            CapStrategy::MostPopular(n)
-            | CapStrategy::LeastPopular(n)
-            | CapStrategy::Oldest(n) => Some(n),
+            CapStrategy::MostPopular(n) | CapStrategy::LeastPopular(n) | CapStrategy::Oldest(n) => {
+                Some(n)
+            }
         }
     }
 }
 
 /// The static bidirectional follow graph (structure `S` plus its forward
-/// view).
+/// view), interned to dense ids.
 #[derive(Debug, Clone, Default)]
 pub struct FollowGraph {
+    interner: UserInterner,
     forward: CsrGraph,
     inverse: CsrGraph,
 }
 
 impl FollowGraph {
-    /// Builds from forward rows (each row sorted + deduplicated), applying
-    /// the influencer cap before inverting.
+    /// Builds from forward rows (each row sorted + deduplicated, rows in
+    /// ascending source order), applying the influencer cap before
+    /// interning and inverting.
     pub(crate) fn from_forward_rows(
         mut forward_rows: Vec<(UserId, Vec<UserId>)>,
         cap: CapStrategy,
@@ -87,9 +96,8 @@ impl FollowGraph {
                         targets.truncate(n); // rows are sorted by id
                     }
                     CapStrategy::MostPopular(_) => {
-                        targets.sort_unstable_by_key(|b| {
-                            (std::cmp::Reverse(popularity[b]), b.raw())
-                        });
+                        targets
+                            .sort_unstable_by_key(|b| (std::cmp::Reverse(popularity[b]), b.raw()));
                         targets.truncate(n);
                         targets.sort_unstable();
                     }
@@ -102,43 +110,107 @@ impl FollowGraph {
             }
         }
 
-        // Invert: (A, B) → (B, A), grouped by B, A's sorted.
-        let mut inv_edges: Vec<(UserId, UserId)> = forward_rows
-            .iter()
-            .flat_map(|(a, bs)| bs.iter().map(move |&b| (b, *a)))
-            .collect();
-        inv_edges.sort_unstable();
-        let mut inv_rows: Vec<(UserId, Vec<UserId>)> = Vec::new();
-        for (b, a) in inv_edges {
-            match inv_rows.last_mut() {
-                Some((s, ts)) if *s == b => ts.push(a),
-                _ => inv_rows.push((b, vec![a])),
+        // Intern every vertex the (capped) graph references. Sources come
+        // sorted from the builder; merging in the targets and resorting
+        // yields the ascending id list the order-preserving interner needs.
+        let mut vertices: Vec<UserId> = Vec::new();
+        for (a, bs) in &forward_rows {
+            vertices.push(*a);
+            vertices.extend_from_slice(bs);
+        }
+        let interner = UserInterner::from_users(vertices);
+
+        // Forward edges in dense space. Rows arrive in ascending source
+        // order with ascending targets, and interning preserves order, so
+        // the edge list is already `(src, dst)`-sorted.
+        let mut fwd_edges: Vec<(DenseId, DenseId)> = Vec::new();
+        for (a, bs) in &forward_rows {
+            let da = interner.dense(*a).expect("source was interned");
+            for b in bs {
+                let db = interner.dense(*b).expect("target was interned");
+                fwd_edges.push((da, db));
             }
         }
+        debug_assert!(fwd_edges.windows(2).all(|w| w[0] < w[1]));
 
+        // Invert: (A, B) → (B, A), then sort to group by B with A's
+        // ascending (dense order == raw order).
+        let mut inv_edges: Vec<(DenseId, DenseId)> =
+            fwd_edges.iter().map(|&(a, b)| (b, a)).collect();
+        inv_edges.sort_unstable();
+
+        let n = interner.len();
         FollowGraph {
-            forward: CsrGraph::from_rows(forward_rows),
-            inverse: CsrGraph::from_rows(inv_rows),
+            forward: CsrGraph::from_sorted_edges(n, &fwd_edges),
+            inverse: CsrGraph::from_sorted_edges(n, &inv_edges),
+            interner,
         }
     }
 
-    /// The accounts `a` follows (sorted). Forward direction, `A → [B]`.
+    // ---- dense hot path ---------------------------------------------------
+
+    /// The interner mapping sparse ids to this graph's dense vertex space.
     #[inline]
-    pub fn followings(&self, a: UserId) -> &[UserId] {
+    pub fn interner(&self) -> &UserInterner {
+        &self.interner
+    }
+
+    /// Dense id of `user`, if it appears anywhere in the static graph.
+    #[inline]
+    pub fn dense_of(&self, user: UserId) -> Option<DenseId> {
+        self.interner.dense(user)
+    }
+
+    /// Raw id of dense vertex `d`.
+    #[inline]
+    pub fn user_of(&self, d: DenseId) -> UserId {
+        self.interner.user(d)
+    }
+
+    /// The followers of dense vertex `b` as a sorted dense slice — the
+    /// paper's `S` lookup, now two array reads. Ascending dense order
+    /// equals ascending raw-id order (order-preserving interning).
+    #[inline]
+    pub fn followers_dense(&self, b: DenseId) -> &[DenseId] {
+        self.inverse.neighbors(b)
+    }
+
+    /// The accounts dense vertex `a` follows, as a sorted dense slice.
+    #[inline]
+    pub fn followings_dense(&self, a: DenseId) -> &[DenseId] {
         self.forward.neighbors(a)
     }
 
-    /// The followers of `b` (sorted). This is the paper's `S` lookup:
-    /// "given a particular B, query S to look up all A's that follow it."
+    /// Whether dense vertex `a` follows dense vertex `b`.
     #[inline]
-    pub fn followers(&self, b: UserId) -> &[UserId] {
-        self.inverse.neighbors(b)
+    pub fn follows_dense(&self, a: DenseId, b: DenseId) -> bool {
+        self.forward.contains_edge(a, b)
+    }
+
+    // ---- id-level view (offline / boundary use) ---------------------------
+
+    /// The accounts `a` follows (sorted ascending). Allocates; offline use.
+    pub fn followings(&self, a: UserId) -> Vec<UserId> {
+        self.to_users(self.dense_of(a).map_or(&[], |d| self.forward.neighbors(d)))
+    }
+
+    /// The followers of `b` (sorted ascending). Allocates; offline use —
+    /// the detector uses [`FollowGraph::followers_dense`].
+    pub fn followers(&self, b: UserId) -> Vec<UserId> {
+        self.to_users(self.dense_of(b).map_or(&[], |d| self.inverse.neighbors(d)))
     }
 
     /// Whether `a` follows `b`.
     #[inline]
     pub fn follows(&self, a: UserId, b: UserId) -> bool {
-        self.forward.contains_edge(a, b)
+        match (self.dense_of(a), self.dense_of(b)) {
+            (Some(da), Some(db)) => self.forward.contains_edge(da, db),
+            _ => false,
+        }
+    }
+
+    fn to_users(&self, dense: &[DenseId]) -> Vec<UserId> {
+        dense.iter().map(|&d| self.interner.user(d)).collect()
     }
 
     /// Number of distinct follow edges.
@@ -153,47 +225,61 @@ impl FollowGraph {
         self.forward.num_sources()
     }
 
+    /// Number of interned vertices (dense vertex-space size).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.interner.len()
+    }
+
     /// Out-degree (following count) of `a`.
     #[inline]
     pub fn following_count(&self, a: UserId) -> usize {
-        self.forward.degree(a)
+        self.dense_of(a).map_or(0, |d| self.forward.degree(d))
     }
 
     /// In-degree (follower count) of `b`.
     #[inline]
     pub fn follower_count(&self, b: UserId) -> usize {
-        self.inverse.degree(b)
+        self.dense_of(b).map_or(0, |d| self.inverse.degree(d))
     }
 
-    /// Iterates `(A, followings)` rows.
-    pub fn iter_forward(&self) -> impl Iterator<Item = (UserId, &[UserId])> + '_ {
-        self.forward.iter()
+    /// Iterates `(A, followings)` rows in ascending id order (allocates
+    /// per row; offline use).
+    pub fn iter_forward(&self) -> impl Iterator<Item = (UserId, Vec<UserId>)> + '_ {
+        self.forward
+            .iter()
+            .map(|(d, ts)| (self.interner.user(d), self.to_users(ts)))
     }
 
-    /// Iterates `(B, followers)` rows — the `S` structure.
-    pub fn iter_inverse(&self) -> impl Iterator<Item = (UserId, &[UserId])> + '_ {
-        self.inverse.iter()
+    /// Iterates `(B, followers)` rows — the `S` structure — in ascending
+    /// id order (allocates per row; offline use).
+    pub fn iter_inverse(&self) -> impl Iterator<Item = (UserId, Vec<UserId>)> + '_ {
+        self.inverse
+            .iter()
+            .map(|(d, ts)| (self.interner.user(d), self.to_users(ts)))
     }
 
-    /// The forward CSR (for baselines that need raw access).
+    /// The forward CSR in dense space (for baselines that need raw access).
     pub fn forward_csr(&self) -> &CsrGraph {
         &self.forward
     }
 
-    /// The inverse CSR — structure `S` (for the detector's hot path).
+    /// The inverse CSR in dense space — structure `S` (the detector's hot
+    /// path).
     pub fn inverse_csr(&self) -> &CsrGraph {
         &self.inverse
     }
 
-    /// Approximate resident bytes of both directions.
+    /// Approximate resident bytes: both CSR directions plus the interner.
     pub fn memory_bytes(&self) -> usize {
-        self.forward.memory_bytes() + self.inverse.memory_bytes()
+        self.forward.memory_bytes() + self.inverse.memory_bytes() + self.interner.memory_bytes()
     }
 
-    /// Approximate resident bytes of the inverse index only — what a
-    /// partition actually serves from (forward is only needed offline).
+    /// Approximate resident bytes of what a partition actually serves
+    /// from: the inverse index plus the interner (forward is only needed
+    /// offline).
     pub fn s_memory_bytes(&self) -> usize {
-        self.inverse.memory_bytes()
+        self.inverse.memory_bytes() + self.interner.memory_bytes()
     }
 }
 
@@ -232,6 +318,43 @@ mod tests {
     }
 
     #[test]
+    fn dense_view_matches_id_view() {
+        let g = sample().build();
+        for (b, followers) in g.iter_inverse() {
+            let db = g.dense_of(b).unwrap();
+            let via_dense: Vec<UserId> = g
+                .followers_dense(db)
+                .iter()
+                .map(|&d| g.user_of(d))
+                .collect();
+            assert_eq!(via_dense, followers, "B={b:?}");
+        }
+        assert!(g.follows_dense(g.dense_of(u(1)).unwrap(), g.dense_of(u(11)).unwrap()));
+    }
+
+    #[test]
+    fn dense_ids_are_order_preserving() {
+        let g = sample().build();
+        let ids = [1u64, 2, 3, 11, 12, 13];
+        let dense: Vec<DenseId> = ids
+            .iter()
+            .map(|&n| g.dense_of(u(n)).expect("interned"))
+            .collect();
+        assert!(dense.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(g.num_vertices(), 6);
+    }
+
+    #[test]
+    fn unknown_users_resolve_empty() {
+        let g = sample().build();
+        assert_eq!(g.dense_of(u(99)), None);
+        assert_eq!(g.followers(u(99)), Vec::<UserId>::new());
+        assert_eq!(g.followings(u(99)), Vec::<UserId>::new());
+        assert!(!g.follows(u(99), u(11)));
+        assert!(!g.follows(u(1), u(99)));
+    }
+
+    #[test]
     fn inverse_edge_count_matches_forward() {
         let g = sample().build();
         let fwd: usize = g.iter_forward().map(|(_, t)| t.len()).sum();
@@ -253,8 +376,9 @@ mod tests {
     fn cap_oldest_keeps_smallest_ids() {
         let g = sample().build_capped_for_test(CapStrategy::Oldest(2));
         assert_eq!(g.followings(u(2)), &[u(11), u(12)]);
-        // B3 lost its only follower.
-        assert_eq!(g.followers(u(13)), &[] as &[UserId]);
+        // B3 lost its only follower — and with it, its dense id.
+        assert_eq!(g.followers(u(13)), Vec::<UserId>::new());
+        assert_eq!(g.dense_of(u(13)), None);
     }
 
     #[test]

@@ -84,11 +84,13 @@ pub fn save_graph<W: Write>(graph: &FollowGraph, w: &mut W) -> Result<()> {
     w.write_all(MAGIC).map_err(io_err)?;
     w.write_all(&VERSION.to_le_bytes()).map_err(io_err)?;
 
-    // Deterministic row order (hash-map iteration is not).
-    let mut rows: Vec<(UserId, &[UserId])> = graph.iter_forward().collect();
-    rows.sort_by_key(|&(src, _)| src);
+    // Rows arrive in ascending id order from the dense CSR, which is
+    // already the deterministic order the format wants.
+    let rows: Vec<(UserId, Vec<UserId>)> = graph.iter_forward().collect();
+    debug_assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
 
-    w.write_all(&(rows.len() as u64).to_le_bytes()).map_err(io_err)?;
+    w.write_all(&(rows.len() as u64).to_le_bytes())
+        .map_err(io_err)?;
     let mut check = Check::new();
     for (src, targets) in rows {
         check.mix(src.raw());

@@ -7,14 +7,22 @@
 //!
 //! Layout:
 //!
-//! * [`csr::CsrGraph`] — a compressed-sparse-row adjacency structure over
-//!   sparse `u64` user ids (hash index → contiguous sorted target slices).
-//! * [`builder::GraphBuilder`] — accumulates edges, dedups, sorts, builds.
-//! * [`follow::FollowGraph`] — the pair of CSRs the system needs: forward
-//!   (`A → [B]`, who each user follows) and inverse (`B → [A]`, structure
-//!   `S` in the paper: the followers of each `B`), plus the influencer cap.
+//! * [`intern::UserInterner`] — order-preserving map from sparse `u64` user
+//!   ids to contiguous `u32` [`magicrecs_types::DenseId`]s, built once per
+//!   graph load. Sparse ids exist only at the boundary (event ingestion,
+//!   candidate emission); everything inside runs dense.
+//! * [`csr::CsrGraph`] — a **true offset-array CSR** over dense ids
+//!   (`offsets: Vec<u32>` + `targets: Vec<DenseId>`): an `S[B]` lookup is
+//!   two array reads, no hash probe.
+//! * [`builder::GraphBuilder`] — accumulates edges, dedups, sorts, interns,
+//!   builds.
+//! * [`follow::FollowGraph`] — interner + the pair of CSRs the system
+//!   needs: forward (`A → [B]`, who each user follows) and inverse
+//!   (`B → [A]`, structure `S` in the paper: the followers of each `B`),
+//!   plus the influencer cap.
 //! * [`partition::partition_by_source`] — splits a [`FollowGraph`] into the
-//!   per-partition `S` structures of §2's distributed design.
+//!   per-partition `S` structures of §2's distributed design (each
+//!   partition gets its own compact interner).
 //! * [`stats`] — degree distributions and memory accounting for the
 //!   experiments.
 
@@ -24,13 +32,15 @@
 pub mod builder;
 pub mod csr;
 pub mod follow;
+pub mod intern;
 pub mod io;
 pub mod partition;
 pub mod stats;
 
 pub use builder::GraphBuilder;
-pub use io::{load_graph, save_graph};
 pub use csr::CsrGraph;
 pub use follow::{CapStrategy, FollowGraph};
+pub use intern::UserInterner;
+pub use io::{load_graph, save_graph};
 pub use partition::{partition_by_source, HashPartitioner, Partitioner};
 pub use stats::{DegreeStats, GraphStats};

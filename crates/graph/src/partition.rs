@@ -50,8 +50,7 @@ impl Partitioner for HashPartitioner {
     #[inline]
     fn partition_of(&self, a: UserId) -> PartitionId {
         let bh = magicrecs_types::FxBuildHasher::default();
-        
-        
+
         // Finalize with a xor-shift avalanche so modulo over small n is
         // unbiased even for sequential ids.
         let mut x = bh.hash_one(a);
@@ -76,7 +75,7 @@ pub fn partition_by_source<P: Partitioner>(graph: &FollowGraph, part: &P) -> Vec
     let mut builders: Vec<GraphBuilder> = (0..n).map(|_| GraphBuilder::new()).collect();
     for (a, followings) in graph.iter_forward() {
         let p = part.partition_of(a).index();
-        for &b in followings {
+        for b in followings {
             builders[p].add_edge(a, b);
         }
     }
@@ -143,17 +142,14 @@ mod tests {
     fn local_followers_are_subset_of_global() {
         let g = sample();
         let parts = partition_by_source(&g, &HashPartitioner::new(4));
-        let global: Vec<_> = g.followers(u(1000)).to_vec();
+        let global: Vec<_> = g.followers(u(1000));
         for p in &parts {
             for a in p.followers(u(1000)) {
-                assert!(global.contains(a));
+                assert!(global.contains(&a));
             }
         }
         // Union of locals == global.
-        let mut union: Vec<UserId> = parts
-            .iter()
-            .flat_map(|p| p.followers(u(1000)).to_vec())
-            .collect();
+        let mut union: Vec<UserId> = parts.iter().flat_map(|p| p.followers(u(1000))).collect();
         union.sort_unstable();
         assert_eq!(union, global);
     }
@@ -185,10 +181,7 @@ mod tests {
         for a in 0..8000u64 {
             counts[part.partition_of(u(a)).index()] += 1;
         }
-        let (min, max) = (
-            *counts.iter().min().unwrap(),
-            *counts.iter().max().unwrap(),
-        );
+        let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
         // Expect ~1000 per partition; allow ±15%.
         assert!(min > 850 && max < 1150, "imbalanced: {counts:?}");
     }

@@ -1,0 +1,148 @@
+//! Property tests for the dense-ID interning layer: the dense CSR view
+//! must match the old id-level semantics exactly, for arbitrary graphs
+//! and caps.
+
+use magicrecs_graph::{CapStrategy, FollowGraph, GraphBuilder};
+use magicrecs_types::{DenseId, UserId};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn u(n: u64) -> UserId {
+    UserId(n)
+}
+
+/// Brute-force model: forward and inverse adjacency as sorted sets.
+#[derive(Default)]
+struct Model {
+    forward: BTreeMap<u64, BTreeSet<u64>>,
+    inverse: BTreeMap<u64, BTreeSet<u64>>,
+}
+
+impl Model {
+    fn from_edges(edges: &[(u64, u64)]) -> Self {
+        let mut m = Model::default();
+        for &(a, b) in edges {
+            if a == b {
+                continue; // builder drops self-loops
+            }
+            m.forward.entry(a).or_default().insert(b);
+            m.inverse.entry(b).or_default().insert(a);
+        }
+        m
+    }
+}
+
+fn build(edges: &[(u64, u64)]) -> FollowGraph {
+    let mut b = GraphBuilder::new();
+    b.extend(edges.iter().map(|&(a, bb)| (u(a), u(bb))));
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `neighbors`/`followers` round-trip through dense space exactly
+    /// matches the old id-level semantics (sorted, deduplicated, complete).
+    #[test]
+    fn dense_csr_roundtrip_matches_id_semantics(
+        edges in proptest::collection::vec((0u64..40, 0u64..40), 0..150),
+    ) {
+        let g = build(&edges);
+        let model = Model::from_edges(&edges);
+
+        // Every id in the universe, present or not.
+        for id in 0u64..40 {
+            let expect_fwd: Vec<UserId> = model
+                .forward
+                .get(&id)
+                .map(|s| s.iter().map(|&x| u(x)).collect())
+                .unwrap_or_default();
+            let expect_inv: Vec<UserId> = model
+                .inverse
+                .get(&id)
+                .map(|s| s.iter().map(|&x| u(x)).collect())
+                .unwrap_or_default();
+            prop_assert_eq!(g.followings(u(id)), expect_fwd, "followings({})", id);
+            prop_assert_eq!(g.followers(u(id)), expect_inv, "followers({})", id);
+            prop_assert_eq!(
+                g.following_count(u(id)),
+                model.forward.get(&id).map_or(0, |s| s.len())
+            );
+            prop_assert_eq!(
+                g.follower_count(u(id)),
+                model.inverse.get(&id).map_or(0, |s| s.len())
+            );
+        }
+
+        // follows() agrees with the model for every pair in the universe.
+        for a in 0u64..40 {
+            for b in 0u64..40 {
+                let expect = model.forward.get(&a).is_some_and(|s| s.contains(&b));
+                prop_assert_eq!(g.follows(u(a), u(b)), expect, "follows({}, {})", a, b);
+            }
+        }
+    }
+
+    /// Dense ids are assigned to exactly the referenced vertices, are
+    /// order-preserving, and the dense slices translate element-for-element
+    /// to the id-level rows.
+    #[test]
+    fn interner_is_total_and_order_preserving(
+        edges in proptest::collection::vec((0u64..60, 0u64..60), 1..120),
+    ) {
+        let g = build(&edges);
+        let model = Model::from_edges(&edges);
+        let mut referenced: BTreeSet<u64> = BTreeSet::new();
+        for (&a, bs) in &model.forward {
+            referenced.insert(a);
+            referenced.extend(bs.iter());
+        }
+
+        prop_assert_eq!(g.num_vertices(), referenced.len());
+        // Ascending raw ids ⇒ ascending, contiguous dense ids.
+        for (expected_dense, &raw) in referenced.iter().enumerate() {
+            let d = g.dense_of(u(raw));
+            prop_assert_eq!(d, Some(DenseId(expected_dense as u32)), "raw {}", raw);
+            prop_assert_eq!(g.user_of(d.unwrap()), u(raw));
+        }
+
+        // Dense follower slices translate back to the id-level rows.
+        for (b, followers) in g.iter_inverse() {
+            let db = g.dense_of(b).unwrap();
+            let translated: Vec<UserId> = g
+                .followers_dense(db)
+                .iter()
+                .map(|&d| g.user_of(d))
+                .collect();
+            prop_assert_eq!(translated, followers);
+        }
+    }
+
+    /// The influencer cap commutes with interning: capped graphs also
+    /// round-trip, and no vertex outside the capped edge set keeps a
+    /// dense id.
+    #[test]
+    fn capped_graphs_roundtrip(
+        edges in proptest::collection::vec((0u64..20, 20u64..45), 1..150),
+        cap in 1usize..6,
+    ) {
+        let mut b = GraphBuilder::new();
+        b.extend(edges.iter().map(|&(a, bb)| (u(a), u(bb))));
+        let g = b.build_capped(CapStrategy::Oldest(cap));
+
+        for a in 0u64..20 {
+            let row = g.followings(u(a));
+            prop_assert!(row.len() <= cap);
+            prop_assert!(row.windows(2).all(|w| w[0] < w[1]), "row sorted");
+            // Every kept edge is visible from both directions.
+            for &bb in &row {
+                prop_assert!(g.followers(bb).contains(&u(a)));
+                prop_assert!(g.follows(u(a), bb));
+            }
+        }
+        // Edge count consistency between directions.
+        let fwd: usize = g.iter_forward().map(|(_, t)| t.len()).sum();
+        let inv: usize = g.iter_inverse().map(|(_, t)| t.len()).sum();
+        prop_assert_eq!(fwd, inv);
+    }
+}

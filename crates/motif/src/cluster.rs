@@ -32,11 +32,7 @@ pub struct MotifCluster {
 impl MotifCluster {
     /// Compiles each spec once per partition over the partition's local
     /// graph slice.
-    pub fn new(
-        graph: &FollowGraph,
-        num_partitions: u32,
-        specs: &[MotifSpec],
-    ) -> Result<Self> {
+    pub fn new(graph: &FollowGraph, num_partitions: u32, specs: &[MotifSpec]) -> Result<Self> {
         let partitioner = HashPartitioner::new(num_partitions.max(1));
         let parts = partition_by_source(graph, &partitioner);
         let names: Vec<String> = specs.iter().map(|s| s.name.clone()).collect();
@@ -55,11 +51,7 @@ impl MotifCluster {
     }
 
     /// Compiles textual specs (convenience).
-    pub fn from_texts(
-        graph: &FollowGraph,
-        num_partitions: u32,
-        sources: &[&str],
-    ) -> Result<Self> {
+    pub fn from_texts(graph: &FollowGraph, num_partitions: u32, sources: &[&str]) -> Result<Self> {
         let specs = sources
             .iter()
             .map(|src| crate::parse::parse_motif(src))
@@ -116,8 +108,7 @@ impl MotifCluster {
 
     /// Total candidates emitted per motif, across partitions.
     pub fn emitted_per_motif(&self) -> Vec<(String, u64)> {
-        let mut totals: Vec<(String, u64)> =
-            self.names.iter().map(|n| (n.clone(), 0)).collect();
+        let mut totals: Vec<(String, u64)> = self.names.iter().map(|n| (n.clone(), 0)).collect();
         for p in &self.partitions {
             for engine in &p.engines {
                 if let Some(slot) = totals.iter_mut().find(|(n, _)| n == engine.name()) {
@@ -231,7 +222,11 @@ mod tests {
         mc.on_event(EdgeEvent::follow(u(11), u(99), Timestamp::from_secs(1)));
         mc.advance(Timestamp::from_secs(100_000));
         // No panic and subsequent events start from clean windows.
-        let fired = mc.on_event(EdgeEvent::follow(u(12), u(99), Timestamp::from_secs(100_001)));
+        let fired = mc.on_event(EdgeEvent::follow(
+            u(12),
+            u(99),
+            Timestamp::from_secs(100_001),
+        ));
         assert!(fired.is_empty());
     }
 }

@@ -16,7 +16,7 @@ use crate::spec::MotifSpec;
 use magicrecs_core::threshold::{lists_containing, threshold_intersect, ThresholdAlgo};
 use magicrecs_graph::FollowGraph;
 use magicrecs_temporal::TemporalEdgeStore;
-use magicrecs_types::{Candidate, Counter, EdgeEvent, Result, Timestamp, UserId};
+use magicrecs_types::{Candidate, Counter, DenseId, EdgeEvent, Result, Timestamp, UserId};
 use std::sync::Arc;
 
 /// An executable motif program: plan + private dynamic store.
@@ -78,9 +78,12 @@ impl MotifEngine {
 
         let t = event.created_at;
         let mut witnesses: Vec<(UserId, Timestamp)> = Vec::new();
-        let mut lists: Vec<&[UserId]> = Vec::new();
-        let mut matches: Vec<(UserId, u32)> = Vec::new();
+        // Follower lists and match counting run in dense-id space, like
+        // the hand-written detector; raw ids reappear only at emission.
+        let mut lists: Vec<&[DenseId]> = Vec::new();
+        let mut matches: Vec<(DenseId, u32)> = Vec::new();
         let mut out: Vec<Candidate> = Vec::new();
+        let dense_dst = self.graph.dense_of(event.dst);
 
         // Interpreter registers are loaded lazily by the steps; each step
         // may abort the remainder of the plan.
@@ -116,7 +119,11 @@ impl MotifEngine {
                     }
                     lists = witnesses
                         .iter()
-                        .map(|&(b, _)| self.graph.followers(b))
+                        .map(|&(b, _)| {
+                            self.graph
+                                .dense_of(b)
+                                .map_or(&[] as &[DenseId], |db| self.graph.followers_dense(db))
+                        })
                         .collect();
                 }
                 PlanStep::ThresholdCount(k) => {
@@ -126,15 +133,18 @@ impl MotifEngine {
                     }
                 }
                 PlanStep::FilterSelf => {
-                    matches.retain(|&(a, _)| a != event.dst);
+                    matches.retain(|&(a, _)| Some(a) != dense_dst);
                 }
                 PlanStep::FilterWitnesses => {
                     matches.retain(|&(a, _)| {
-                        witnesses.binary_search_by_key(&a, |&(b, _)| b).is_err()
+                        let raw = self.graph.user_of(a);
+                        witnesses.binary_search_by_key(&raw, |&(b, _)| b).is_err()
                     });
                 }
                 PlanStep::FilterAlreadyFollowing => {
-                    matches.retain(|&(a, _)| !self.graph.follows(a, event.dst));
+                    matches.retain(|&(a, _)| {
+                        !dense_dst.is_some_and(|dc| self.graph.follows_dense(a, dc))
+                    });
                 }
                 PlanStep::EmitCandidates => {
                     for &(a, _) in &matches {
@@ -143,7 +153,7 @@ impl MotifEngine {
                             .map(|i| witnesses[i as usize].0)
                             .collect();
                         out.push(Candidate {
-                            user: a,
+                            user: self.graph.user_of(a),
                             target: event.dst,
                             witnesses: wit,
                             triggered_at: t,
@@ -248,7 +258,9 @@ mod tests {
     #[test]
     fn declarative_diamond_reproduces_figure1() {
         let mut m = MotifEngine::from_text(DIAMOND2, figure1()).unwrap();
-        assert!(m.on_event(EdgeEvent::follow(u(11), u(22), ts(10))).is_empty());
+        assert!(m
+            .on_event(EdgeEvent::follow(u(11), u(22), ts(10)))
+            .is_empty());
         let r = m.on_event(EdgeEvent::follow(u(12), u(22), ts(20)));
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].user, u(2));

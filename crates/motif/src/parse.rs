@@ -27,8 +27,8 @@ const DEFAULT_WINDOW_SECS: u64 = 600;
 enum Tok {
     Ident(String),
     Int(u64),
-    Arrow,  // ->
-    Ge,     // >=
+    Arrow, // ->
+    Ge,    // >=
     LBrace,
     RBrace,
     LParen,
@@ -181,9 +181,7 @@ impl<'a> Lexer<'a> {
                     }
                     Tok::Ident(s)
                 }
-                other => {
-                    return Err(self.err(format!("unexpected character `{}`", other as char)))
-                }
+                other => return Err(self.err(format!("unexpected character `{}`", other as char))),
             };
             out.push(Spanned { tok, line, col });
         }
@@ -354,9 +352,7 @@ impl Parser {
                                         let unit = self.ident("`s` unit suffix")?;
                                         if unit != "s" {
                                             self.pos -= 1;
-                                            return Err(
-                                                self.err_at("only seconds (`s`) supported")
-                                            );
+                                            return Err(self.err_at("only seconds (`s`) supported"));
                                         }
                                         window = Duration::from_secs(secs);
                                     }
@@ -538,9 +534,8 @@ mod tests {
 
     #[test]
     fn missing_emit_rejected() {
-        let err =
-            parse_motif("motif m { A -> B : static; B -> C : dynamic; trigger B -> C; }")
-                .unwrap_err();
+        let err = parse_motif("motif m { A -> B : static; B -> C : dynamic; trigger B -> C; }")
+            .unwrap_err();
         assert!(err.to_string().contains("emit"), "{err}");
     }
 

@@ -149,9 +149,7 @@ impl MotifSpec {
                     )));
                 }
                 if matches!(e.layer, Layer::Static) {
-                    return Err(Error::MotifPlan(
-                        "kinds only apply to dynamic edges".into(),
-                    ));
+                    return Err(Error::MotifPlan("kinds only apply to dynamic edges".into()));
                 }
             }
         }

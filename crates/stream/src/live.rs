@@ -128,8 +128,7 @@ mod tests {
 
     #[test]
     fn fanout_every_consumer_sees_full_stream() {
-        let counters: Vec<Arc<AtomicU64>> =
-            (0..4).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let counters: Vec<Arc<AtomicU64>> = (0..4).map(|_| Arc::new(AtomicU64::new(0))).collect();
         let cs = counters.clone();
         let report = run_fanout((0..1_000u64).collect(), 4, move |i| {
             let c = Arc::clone(&cs[i]);

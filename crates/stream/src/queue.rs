@@ -38,10 +38,7 @@ impl SimulatedQueue {
 
     /// An instant-delivery queue (for tests isolating detection logic).
     pub fn instant(seed: u64) -> Self {
-        SimulatedQueue::new(
-            DelayModel::Constant(magicrecs_types::Duration::ZERO),
-            seed,
-        )
+        SimulatedQueue::new(DelayModel::Constant(magicrecs_types::Duration::ZERO), seed)
     }
 
     /// Publishes an event at its origin time; it will be delivered at

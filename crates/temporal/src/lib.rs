@@ -21,6 +21,14 @@
 //!
 //! [`sharded::ShardedTemporalStore`] wraps the store in hash-sharded
 //! `RwLock`s for the multi-threaded ingest path used by the live pipeline.
+//!
+//! All structures are generic over the vertex key
+//! ([`magicrecs_types::VertexKey`]), defaulting to sparse
+//! [`magicrecs_types::UserId`] — the engine's choice, since the event
+//! stream references an unbounded vertex set. Closed-world deployments
+//! (replay, per-partition simulation over a fully interned population)
+//! can instantiate `TemporalEdgeStore<DenseId>` instead and halve key
+//! hash/compare width.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -7,17 +7,18 @@
 //! shard read lock; inserts a shard write lock.
 
 use crate::store::{PruneStrategy, StoreStats, TemporalEdgeStore};
-use magicrecs_types::{Duration, Timestamp, UserId};
+use magicrecs_types::{Duration, Timestamp, UserId, VertexKey};
 use parking_lot::RwLock;
 use std::hash::BuildHasher;
 
-/// Concurrent sharded `D` store.
-pub struct ShardedTemporalStore {
-    shards: Vec<RwLock<TemporalEdgeStore>>,
+/// Concurrent sharded `D` store (generic over the vertex key, like the
+/// per-shard stores it wraps).
+pub struct ShardedTemporalStore<K = UserId> {
+    shards: Vec<RwLock<TemporalEdgeStore<K>>>,
     mask: usize,
 }
 
-impl ShardedTemporalStore {
+impl<K: VertexKey> ShardedTemporalStore<K> {
     /// Creates a store with `shards` rounded up to a power of two.
     pub fn new(window: Duration, strategy: PruneStrategy, shards: usize) -> Self {
         let n = shards.max(1).next_power_of_two();
@@ -35,27 +36,26 @@ impl ShardedTemporalStore {
     }
 
     #[inline]
-    fn shard_of(&self, dst: UserId) -> usize {
+    fn shard_of(&self, dst: K) -> usize {
         let bh = magicrecs_types::FxBuildHasher::default();
-        
-        
+
         let mut x = bh.hash_one(dst);
         x ^= x >> 33;
         (x as usize) & self.mask
     }
 
     /// Inserts `src → dst` at `at`.
-    pub fn insert(&self, src: UserId, dst: UserId, at: Timestamp) {
+    pub fn insert(&self, src: K, dst: K, at: Timestamp) {
         self.shards[self.shard_of(dst)].write().insert(src, dst, at);
     }
 
     /// Removes edges `src → dst` (unfollow).
-    pub fn remove(&self, src: UserId, dst: UserId) {
+    pub fn remove(&self, src: K, dst: K) {
         self.shards[self.shard_of(dst)].write().remove(src, dst);
     }
 
     /// Distinct in-window witnesses for `dst` as of `now`.
-    pub fn witnesses(&self, dst: UserId, now: Timestamp) -> Vec<(UserId, Timestamp)> {
+    pub fn witnesses(&self, dst: K, now: Timestamp) -> Vec<(K, Timestamp)> {
         // Witness queries trim the touched list, so take the write lock.
         self.shards[self.shard_of(dst)].write().witnesses(dst, now)
     }
@@ -69,12 +69,18 @@ impl ShardedTemporalStore {
 
     /// Total resident entries across shards.
     pub fn resident_entries(&self) -> u64 {
-        self.shards.iter().map(|s| s.read().resident_entries()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.read().resident_entries())
+            .sum()
     }
 
     /// Total resident targets across shards.
     pub fn resident_targets(&self) -> usize {
-        self.shards.iter().map(|s| s.read().resident_targets()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.read().resident_targets())
+            .sum()
     }
 
     /// Merged statistics across shards.
@@ -118,9 +124,11 @@ mod tests {
 
     #[test]
     fn shard_count_rounds_to_power_of_two() {
-        let s = ShardedTemporalStore::new(Duration::from_secs(1), PruneStrategy::Eager, 5);
+        let s: ShardedTemporalStore =
+            ShardedTemporalStore::new(Duration::from_secs(1), PruneStrategy::Eager, 5);
         assert_eq!(s.shard_count(), 8);
-        let s1 = ShardedTemporalStore::new(Duration::from_secs(1), PruneStrategy::Eager, 0);
+        let s1: ShardedTemporalStore =
+            ShardedTemporalStore::new(Duration::from_secs(1), PruneStrategy::Eager, 0);
         assert_eq!(s1.shard_count(), 1);
     }
 

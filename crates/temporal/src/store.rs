@@ -7,7 +7,7 @@
 
 use crate::target_list::TargetList;
 use crate::wheel::EpochWheel;
-use magicrecs_types::{Duration, FxHashMap, Timestamp, UserId};
+use magicrecs_types::{Duration, FxHashMap, Timestamp, UserId, VertexKey};
 
 /// Global memory-reclamation discipline for expired targets (ablation B3).
 ///
@@ -48,26 +48,33 @@ pub struct StoreStats {
 }
 
 /// The dynamic edge store `D`.
+///
+/// Generic over the vertex key `K`. The engine keeps the default
+/// (`UserId`): dynamic events reference an unbounded, un-interned vertex
+/// set, so the sparse id is the honest key at ingestion. Deployments
+/// whose dynamic traffic is confined to an interned vertex space (e.g.
+/// closed-world replay, per-partition dense simulation) can instantiate
+/// `TemporalEdgeStore<DenseId>` and halve key-compare/hash cost.
 #[derive(Debug, Clone)]
-pub struct TemporalEdgeStore {
+pub struct TemporalEdgeStore<K = UserId> {
     window: Duration,
     strategy: PruneStrategy,
     /// Optional cap on entries retained per target (most recent win);
     /// the paper's "retain the most recent edges" pruning.
     entry_cap: Option<usize>,
-    lists: FxHashMap<UserId, TargetList>,
-    wheel: Option<EpochWheel>,
+    lists: FxHashMap<K, TargetList<K>>,
+    wheel: Option<EpochWheel<K>>,
     resident: u64,
     since_sweep: u64,
     stats: StoreStats,
 }
 
-impl TemporalEdgeStore {
+impl<K: VertexKey> TemporalEdgeStore<K> {
     /// Creates a store retaining edges for `window`, with the given pruning
     /// strategy.
     pub fn new(window: Duration, strategy: PruneStrategy) -> Self {
-        let wheel = matches!(strategy, PruneStrategy::Wheel)
-            .then(|| EpochWheel::for_window(window));
+        let wheel =
+            matches!(strategy, PruneStrategy::Wheel).then(|| EpochWheel::for_window(window));
         TemporalEdgeStore {
             window,
             strategy,
@@ -102,7 +109,7 @@ impl TemporalEdgeStore {
 
     /// Inserts the dynamic edge `src → dst` created at `at`, trimming the
     /// touched list to the window as a side effect.
-    pub fn insert(&mut self, src: UserId, dst: UserId, at: Timestamp) {
+    pub fn insert(&mut self, src: K, dst: K, at: Timestamp) {
         let cutoff = at.saturating_sub(self.window);
         let list = self.lists.entry(dst).or_default();
         list.insert(src, at);
@@ -127,7 +134,7 @@ impl TemporalEdgeStore {
     }
 
     /// Removes any stored edges `src → dst` (unfollow semantics).
-    pub fn remove(&mut self, src: UserId, dst: UserId) {
+    pub fn remove(&mut self, src: K, dst: K) {
         if let Some(list) = self.lists.get_mut(&dst) {
             let removed = list.remove_source(src) as u64;
             self.stats.unfollowed += removed;
@@ -148,12 +155,7 @@ impl TemporalEdgeStore {
     /// deliver out of order, and edges within τ of each other are
     /// temporally correlated regardless of which side of the query time
     /// they land on.
-    pub fn witnesses_into(
-        &mut self,
-        dst: UserId,
-        now: Timestamp,
-        out: &mut Vec<(UserId, Timestamp)>,
-    ) {
+    pub fn witnesses_into(&mut self, dst: K, now: Timestamp, out: &mut Vec<(K, Timestamp)>) {
         let cutoff = now.saturating_sub(self.window);
         if let Some(list) = self.lists.get_mut(&dst) {
             // Trim opportunistically — the query already pays for the scan.
@@ -170,7 +172,7 @@ impl TemporalEdgeStore {
     }
 
     /// Convenience wrapper returning a fresh vector (tests, examples).
-    pub fn witnesses(&mut self, dst: UserId, now: Timestamp) -> Vec<(UserId, Timestamp)> {
+    pub fn witnesses(&mut self, dst: K, now: Timestamp) -> Vec<(K, Timestamp)> {
         let mut out = Vec::new();
         self.witnesses_into(dst, now, &mut out);
         out
@@ -239,7 +241,7 @@ impl TemporalEdgeStore {
 
     /// Approximate heap bytes (lists + wheel + map overhead).
     pub fn memory_bytes(&self) -> usize {
-        let map_entry = std::mem::size_of::<(UserId, TargetList)>() + 1;
+        let map_entry = std::mem::size_of::<(K, TargetList<K>)>() + 1;
         let map_bytes = (self.lists.len() as f64 * map_entry as f64 * 8.0 / 7.0) as usize;
         let list_bytes: usize = self.lists.values().map(|l| l.memory_bytes()).sum();
         let wheel_bytes = self.wheel.as_ref().map_or(0, |w| w.memory_bytes());
@@ -391,6 +393,21 @@ mod tests {
     fn query_unknown_target_is_empty() {
         let mut d = TemporalEdgeStore::with_window(w(10));
         assert!(d.witnesses(u(42), ts(5)).is_empty());
+    }
+
+    #[test]
+    fn dense_keyed_store_instantiates() {
+        // The key type is generic: a closed-world deployment can run `D`
+        // over interned dense ids.
+        use magicrecs_types::DenseId;
+        let mut d: TemporalEdgeStore<DenseId> = TemporalEdgeStore::with_window(w(60));
+        d.insert(DenseId(1), DenseId(100), ts(10));
+        d.insert(DenseId(2), DenseId(100), ts(20));
+        let mut got = d.witnesses(DenseId(100), ts(30));
+        got.sort_unstable();
+        assert_eq!(got, vec![(DenseId(1), ts(10)), (DenseId(2), ts(20))]);
+        d.remove(DenseId(1), DenseId(100));
+        assert_eq!(d.witnesses(DenseId(100), ts(30)).len(), 1);
     }
 
     #[test]

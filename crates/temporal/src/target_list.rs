@@ -10,26 +10,35 @@
 //! query time, which is what the motif semantics need ("more than k *of
 //! them*" — distinct followings).
 
-use magicrecs_types::{Timestamp, UserId};
+use magicrecs_types::{Timestamp, UserId, VertexKey};
 use std::collections::VecDeque;
 
 /// Time-ordered recent edges into one target vertex.
-#[derive(Debug, Clone, Default)]
-pub struct TargetList {
+///
+/// Generic over the vertex key so the detector-facing store can be
+/// instantiated over sparse [`UserId`]s (default) or dense interned ids.
+#[derive(Debug, Clone)]
+pub struct TargetList<K = UserId> {
     /// `(source, created_at)` ordered by `created_at` ascending.
-    entries: VecDeque<(UserId, Timestamp)>,
+    entries: VecDeque<(K, Timestamp)>,
 }
 
-impl TargetList {
-    /// Creates an empty list.
-    pub fn new() -> Self {
+impl<K> Default for TargetList<K> {
+    fn default() -> Self {
         TargetList {
             entries: VecDeque::new(),
         }
     }
+}
+
+impl<K: VertexKey> TargetList<K> {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        TargetList::default()
+    }
 
     /// Inserts an edge, keeping timestamp order (stable for ties).
-    pub fn insert(&mut self, src: UserId, at: Timestamp) {
+    pub fn insert(&mut self, src: K, at: Timestamp) {
         // Fast path: in-order arrival.
         if self.entries.back().is_none_or(|&(_, t)| t <= at) {
             self.entries.push_back((src, at));
@@ -45,7 +54,7 @@ impl TargetList {
 
     /// Removes all entries from `src` (unfollow semantics). Returns how many
     /// entries were removed.
-    pub fn remove_source(&mut self, src: UserId) -> usize {
+    pub fn remove_source(&mut self, src: K) -> usize {
         let before = self.entries.len();
         self.entries.retain(|&(s, _)| s != src);
         before - self.entries.len()
@@ -68,10 +77,7 @@ impl TargetList {
 
     /// Iterates entries with `created_at ≥ cutoff` in time order
     /// (duplicates included).
-    pub fn entries_since(
-        &self,
-        cutoff: Timestamp,
-    ) -> impl Iterator<Item = (UserId, Timestamp)> + '_ {
+    pub fn entries_since(&self, cutoff: Timestamp) -> impl Iterator<Item = (K, Timestamp)> + '_ {
         // Binary search for the first in-window index over the two slices.
         let start = self.partition_point(cutoff);
         self.entries.iter().skip(start).copied()
@@ -96,11 +102,7 @@ impl TargetList {
     /// scan (cache-friendly, no allocation); hot targets switch to a hash
     /// map to stay O(n) — a celebrity's list can hold thousands of
     /// in-window entries and a quadratic scan would dominate event cost.
-    pub fn distinct_sources_since(
-        &self,
-        cutoff: Timestamp,
-        out: &mut Vec<(UserId, Timestamp)>,
-    ) {
+    pub fn distinct_sources_since(&self, cutoff: Timestamp, out: &mut Vec<(K, Timestamp)>) {
         const LINEAR_DEDUP_MAX: usize = 64;
         let start = self.partition_point(cutoff);
         let in_window = self.entries.len() - start;
@@ -114,7 +116,7 @@ impl TargetList {
                 }
             }
         } else {
-            let mut seen: magicrecs_types::FxHashMap<UserId, usize> =
+            let mut seen: magicrecs_types::FxHashMap<K, usize> =
                 magicrecs_types::FxHashMap::default();
             seen.reserve(in_window);
             for (src, at) in self.entries.iter().skip(start).copied() {
@@ -168,7 +170,7 @@ impl TargetList {
 
     /// Approximate heap bytes held by this list.
     pub fn memory_bytes(&self) -> usize {
-        self.entries.capacity() * std::mem::size_of::<(UserId, Timestamp)>()
+        self.entries.capacity() * std::mem::size_of::<(K, Timestamp)>()
     }
 }
 

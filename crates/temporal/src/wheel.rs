@@ -8,20 +8,21 @@
 //! only the targets in expired buckets — each of which plausibly has
 //! something to trim.
 
-use magicrecs_types::{Duration, FxHashMap, FxHashSet, Timestamp, UserId};
+use magicrecs_types::{Duration, FxHashMap, FxHashSet, Timestamp, UserId, VertexKey};
 
-/// Time-bucketed index of touched targets.
+/// Time-bucketed index of touched targets (generic over the vertex key,
+/// matching the store it indexes).
 #[derive(Debug, Clone)]
-pub struct EpochWheel {
+pub struct EpochWheel<K = UserId> {
     /// Bucket width in microseconds.
     bucket_us: u64,
     /// bucket index → targets touched during that bucket.
-    buckets: FxHashMap<u64, FxHashSet<UserId>>,
+    buckets: FxHashMap<u64, FxHashSet<K>>,
     /// First bucket index not yet expired.
     horizon: u64,
 }
 
-impl EpochWheel {
+impl<K: VertexKey> EpochWheel<K> {
     /// Creates a wheel with the given bucket width. A good width is
     /// `window / 16`: fine enough that expiry lag is small, coarse enough
     /// that the per-bucket sets amortize.
@@ -49,14 +50,14 @@ impl EpochWheel {
     /// Touches that land in already-expired buckets are clamped onto the
     /// horizon bucket so late arrivals are still re-examined on the next
     /// advance rather than leaking.
-    pub fn touch(&mut self, target: UserId, at: Timestamp) {
+    pub fn touch(&mut self, target: K, at: Timestamp) {
         let b = self.bucket_of(at).max(self.horizon);
         self.buckets.entry(b).or_default().insert(target);
     }
 
     /// Expires every bucket strictly older than `cutoff` and returns the
     /// union of their targets (each target reported once per call).
-    pub fn expire_before(&mut self, cutoff: Timestamp) -> Vec<UserId> {
+    pub fn expire_before(&mut self, cutoff: Timestamp) -> Vec<K> {
         let cutoff_bucket = self.bucket_of(cutoff);
         if cutoff_bucket <= self.horizon {
             return Vec::new();
@@ -91,7 +92,7 @@ impl EpochWheel {
 
     /// Approximate heap bytes of the wheel.
     pub fn memory_bytes(&self) -> usize {
-        let per_entry = std::mem::size_of::<UserId>() + 1;
+        let per_entry = std::mem::size_of::<K>() + 1;
         self.buckets
             .values()
             .map(|s| (s.capacity() as f64 * per_entry as f64 * 8.0 / 7.0) as usize)
@@ -174,13 +175,13 @@ mod tests {
 
     #[test]
     fn for_window_uses_sixteenth_buckets() {
-        let w = EpochWheel::for_window(Duration::from_secs(160));
+        let w: EpochWheel = EpochWheel::for_window(Duration::from_secs(160));
         assert_eq!(w.bucket_us, Duration::from_secs(10).as_micros());
     }
 
     #[test]
     fn tiny_window_clamps_bucket_width() {
-        let w = EpochWheel::for_window(Duration::from_micros(3));
+        let w: EpochWheel = EpochWheel::for_window(Duration::from_micros(3));
         assert!(w.bucket_us >= 1);
     }
 

@@ -96,8 +96,7 @@ mod tests {
 
     fn hash_one<T: Hash>(v: &T) -> u64 {
         let bh = FxBuildHasher::default();
-        
-        
+
         bh.hash_one(v)
     }
 
@@ -145,6 +144,10 @@ mod tests {
         for i in 0u64..256 {
             buckets.insert(hash_one(&i) & mask);
         }
-        assert!(buckets.len() > 128, "poor low-bit spread: {}", buckets.len());
+        assert!(
+            buckets.len() > 128,
+            "poor low-bit spread: {}",
+            buckets.len()
+        );
     }
 }

@@ -57,6 +57,73 @@ impl fmt::Display for UserId {
     }
 }
 
+/// Capability bundle for types that can key vertex-indexed structures
+/// (the temporal store `D`, per-target lists, the epoch wheel).
+///
+/// Blanket-implemented, so both sparse [`UserId`]s (the default — dynamic
+/// events reference an unbounded vertex set) and dense [`DenseId`]s (for
+/// deployments whose dynamic traffic is confined to an interned vertex
+/// space) qualify, as does any future key newtype.
+pub trait VertexKey: Copy + Eq + Ord + std::hash::Hash + fmt::Debug {}
+
+impl<T: Copy + Eq + Ord + std::hash::Hash + fmt::Debug> VertexKey for T {}
+
+/// A dense vertex index assigned by graph-build-time interning.
+///
+/// Twitter user ids are sparse `u64`s; the static graph `S` interns every
+/// vertex it references into a contiguous `0..n` range so adjacency can be
+/// held in a true offset-array CSR (`S[B]` becomes two array reads instead
+/// of a hash probe) and the hot intersection kernels compare `u32`s (half
+/// the memory traffic of raw ids).
+///
+/// **Ordering guarantee:** the interner assigns dense ids in ascending raw
+/// [`UserId`] order, so `dense(a) < dense(b) ⟺ a < b`. Sorted dense
+/// adjacency slices therefore correspond element-for-element to sorted
+/// raw-id lists, and the detector can work entirely in dense space,
+/// converting back only at the candidate-emission boundary.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DenseId(pub u32);
+
+impl DenseId {
+    /// Returns the raw index.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the index as a `usize`, for indexing offset arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for DenseId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        DenseId(v)
+    }
+}
+
+impl From<DenseId> for u32 {
+    #[inline]
+    fn from(v: DenseId) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Debug for DenseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl fmt::Display for DenseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
 /// Identifies one partition of the cluster (the paper runs 20).
 ///
 /// Partitions own a disjoint set of `A` vertices; see
@@ -122,6 +189,18 @@ mod tests {
         assert!(UserId::MIN < UserId::MAX);
         assert_eq!(UserId::MIN.raw(), 0);
         assert_eq!(UserId::MAX.raw(), u64::MAX);
+    }
+
+    #[test]
+    fn dense_id_roundtrip_and_order() {
+        let d = DenseId::from(9u32);
+        assert_eq!(d.raw(), 9);
+        assert_eq!(d.index(), 9usize);
+        assert_eq!(u32::from(d), 9);
+        assert_eq!(format!("{d:?}"), "d9");
+        let mut v = vec![DenseId(5), DenseId(1), DenseId(3)];
+        v.sort();
+        assert_eq!(v, vec![DenseId(1), DenseId(3), DenseId(5)]);
     }
 
     #[test]

@@ -314,7 +314,18 @@ mod tests {
 
     #[test]
     fn bucket_roundtrip_error_bounded() {
-        for v in [0u64, 1, 31, 32, 33, 100, 1_000, 65_535, 1 << 20, u32::MAX as u64] {
+        for v in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            100,
+            1_000,
+            65_535,
+            1 << 20,
+            u32::MAX as u64,
+        ] {
             let idx = Histogram::bucket_index(v);
             let rep = Histogram::bucket_value(idx);
             let err = (rep as f64 - v as f64).abs() / (v.max(1) as f64);

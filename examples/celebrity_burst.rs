@@ -32,8 +32,8 @@ fn main() {
 
     // ── The paper's deployment: 20 partitions, k = 3 ────────────────────
     let detector = DetectorConfig::production();
-    let mut broker = Broker::new(&graph, ClusterConfig::production(), detector)
-        .expect("valid configs");
+    let mut broker =
+        Broker::new(&graph, ClusterConfig::production(), detector).expect("valid configs");
     println!(
         "Cluster: {} partitions (partitioned by A, full D per partition)",
         broker.num_partitions()
@@ -115,7 +115,10 @@ fn main() {
         worst_p99 = worst_p99.max(p.engine().stats().detect_time.snapshot().p99_us);
     }
     println!("Worst per-partition detection p99: {worst_p99} µs");
-    assert!(celebrity_candidates > 0, "the burst should produce candidates");
+    assert!(
+        celebrity_candidates > 0,
+        "the burst should produce candidates"
+    );
     assert!(
         stats.delivered.get() > 0,
         "waking-hours pushes should be delivered"

@@ -54,8 +54,7 @@ fn main() {
 
         for _c in &candidates {
             // Delivery timestamp = arrival + measured query time.
-            let total =
-                queue_delay + Duration::from_micros(query_us);
+            let total = queue_delay + Duration::from_micros(query_us);
             end_to_end.record_duration(total);
         }
     }

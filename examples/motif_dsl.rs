@@ -25,7 +25,11 @@ fn main() {
         }
     "#;
     let spec = parse_motif(src).expect("well-formed spec");
-    println!("Parsed motif `{}` with roles {:?}", spec.name, spec.variables());
+    println!(
+        "Parsed motif `{}` with roles {:?}",
+        spec.name,
+        spec.variables()
+    );
 
     // ── EXPLAIN the compiled plan ────────────────────────────────────────
     let plan = plan_motif(&spec).expect("plannable");

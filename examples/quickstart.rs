@@ -26,13 +26,15 @@ fn main() {
     builder.add_edge(a3, b2);
     let graph = builder.build();
 
-    println!("Static graph loaded: {} follow edges", graph.num_follow_edges());
+    println!(
+        "Static graph loaded: {} follow edges",
+        graph.num_follow_edges()
+    );
     println!("  followers(B1) = {:?}", graph.followers(b1));
     println!("  followers(B2) = {:?}", graph.followers(b2));
 
     // ── Online engine, k = 2 (the paper's running example) ─────────────
-    let mut engine = Engine::new(graph, DetectorConfig::example())
-        .expect("valid config");
+    let mut engine = Engine::new(graph, DetectorConfig::example()).expect("valid config");
 
     // B1 → C2 arrives: one witness, no recommendation yet.
     let t0 = Timestamp::from_secs(100);

@@ -1,0 +1,81 @@
+//! `crossbeam`-shaped channels backed by `std::sync::mpsc`.
+//!
+//! The workspace uses multi-producer single-consumer topologies only
+//! (one receiver per worker thread; senders are cloned), which mpsc
+//! covers. Bounded channels map to `sync_channel`; `bounded(0)` keeps
+//! crossbeam's rendezvous semantics.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Unified sender over mpsc's split bounded/unbounded sender types.
+    pub struct Sender<T>(Inner<T>);
+
+    enum Inner<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                Inner::Unbounded(tx) => Inner::Unbounded(tx.clone()),
+                Inner::Bounded(tx) => Inner::Bounded(tx.clone()),
+            })
+        }
+    }
+
+    /// Error returned when the receiving side has disconnected.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> Sender<T> {
+        /// Blocking send; errors only if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Inner::Unbounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+                Inner::Bounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// Receiving half; iterate with [`Receiver::iter`].
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocking receive.
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Blocking iterator that ends when all senders are dropped.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Channel with unbounded buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Inner::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// Channel that blocks senders once `capacity` messages are queued.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(capacity);
+        (Sender(Inner::Bounded(tx)), Receiver(rx))
+    }
+}

@@ -1,0 +1,15 @@
+//! Marker-trait stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its value types but
+//! performs no serde-driven serialization (JSON output is hand-rolled), so
+//! marker traits + no-op derives satisfy every use site. See
+//! `shims/README.md` for the rationale.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (lifetime elided: the
+/// workspace only ever names the trait in derives).
+pub trait Deserialize {}

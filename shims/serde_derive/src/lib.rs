@@ -1,0 +1,42 @@
+//! No-op `Serialize`/`Deserialize` derives for the local `serde` shim.
+//!
+//! The workspace derives the serde traits for forward compatibility but
+//! never serializes through them (its one JSON emitter is hand-rolled), so
+//! the derives only need to emit marker impls. Only non-generic types are
+//! supported, which covers every derive site in the workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
+
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::{trait_name} for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
+
+/// Extracts the type identifier following the `struct`/`enum` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => return name.to_string(),
+                    other => panic!("expected type name after `{kw}`, got {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde shim derive: no struct/enum found in input")
+}

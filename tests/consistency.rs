@@ -30,10 +30,8 @@ fn sorted(mut v: Vec<Candidate>) -> Vec<Candidate> {
 /// and a random dynamic trace (Bs acting on Cs 40..50), with unfollows.
 fn graph_and_trace() -> impl Strategy<Value = (FollowGraph, Vec<EdgeEvent>)> {
     let edges = proptest::collection::vec((0u64..25, 25u64..40), 1..100);
-    let actions = proptest::collection::vec(
-        (25u64..40, 40u64..50, 0u64..1_500, prop::bool::ANY),
-        1..60,
-    );
+    let actions =
+        proptest::collection::vec((25u64..40, 40u64..50, 0u64..1_500, prop::bool::ANY), 1..60);
     (edges, actions).prop_map(|(edges, actions)| {
         let mut b = GraphBuilder::new();
         b.extend(edges.into_iter().map(|(x, y)| (u(x), u(y))));

@@ -33,13 +33,8 @@ fn replica_failure_mid_stream_loses_nothing() {
         .collect();
 
     let run = |fail_at: Option<usize>| -> Vec<Candidate> {
-        let mut rs = ReplicaSet::new(
-            PartitionId(0),
-            graph(),
-            DetectorConfig::example(),
-            3,
-        )
-        .unwrap();
+        let mut rs =
+            ReplicaSet::new(PartitionId(0), graph(), DetectorConfig::example(), 3).unwrap();
         let mut out = Vec::new();
         for (i, &e) in events.iter().enumerate() {
             if Some(i) == fail_at {
@@ -58,22 +53,22 @@ fn replica_failure_mid_stream_loses_nothing() {
 
 #[test]
 fn cascading_failures_until_last_replica() {
-    let mut rs = ReplicaSet::new(
-        PartitionId(0),
-        graph(),
-        DetectorConfig::example(),
-        3,
-    )
-    .unwrap();
-    rs.on_event(EdgeEvent::follow(u(100), u(900), ts(1))).unwrap();
+    let mut rs = ReplicaSet::new(PartitionId(0), graph(), DetectorConfig::example(), 3).unwrap();
+    rs.on_event(EdgeEvent::follow(u(100), u(900), ts(1)))
+        .unwrap();
     rs.fail(0);
-    rs.on_event(EdgeEvent::follow(u(101), u(900), ts(2))).unwrap();
+    rs.on_event(EdgeEvent::follow(u(101), u(900), ts(2)))
+        .unwrap();
     rs.fail(1);
     // Last replica still serves and still holds the full D.
-    let out = rs.on_event(EdgeEvent::follow(u(102), u(900), ts(3))).unwrap();
+    let out = rs
+        .on_event(EdgeEvent::follow(u(102), u(900), ts(3)))
+        .unwrap();
     assert!(!out.is_empty(), "last replica must still detect");
     rs.fail(2);
-    assert!(rs.on_event(EdgeEvent::follow(u(100), u(901), ts(4))).is_err());
+    assert!(rs
+        .on_event(EdgeEvent::follow(u(100), u(901), ts(4)))
+        .is_err());
 }
 
 #[test]

@@ -18,12 +18,7 @@ fn a(n: u64) -> UserId {
 /// A1→B1, A2→{B1,B2}, A3→B2 — the paper's schematic fragment.
 fn figure1_graph() -> FollowGraph {
     let mut g = GraphBuilder::new();
-    g.extend([
-        (a(1), a(11)),
-        (a(2), a(11)),
-        (a(2), a(12)),
-        (a(3), a(12)),
-    ]);
+    g.extend([(a(1), a(11)), (a(2), a(11)), (a(2), a(12)), (a(3), a(12))]);
     g.build()
 }
 
