@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster-812ac697e17c13f2.d: crates/bench/benches/cluster.rs
+
+/root/repo/target/debug/deps/cluster-812ac697e17c13f2: crates/bench/benches/cluster.rs
+
+crates/bench/benches/cluster.rs:

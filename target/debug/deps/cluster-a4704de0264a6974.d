@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cluster-a4704de0264a6974.d: crates/bench/benches/cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster-a4704de0264a6974.rmeta: crates/bench/benches/cluster.rs Cargo.toml
+
+crates/bench/benches/cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster-d3b51ee05a1b81e4.d: crates/bench/benches/cluster.rs
+
+/root/repo/target/debug/deps/cluster-d3b51ee05a1b81e4: crates/bench/benches/cluster.rs
+
+crates/bench/benches/cluster.rs:

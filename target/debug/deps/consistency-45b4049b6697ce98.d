@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consistency-45b4049b6697ce98.d: tests/consistency.rs
+
+/root/repo/target/debug/deps/consistency-45b4049b6697ce98: tests/consistency.rs
+
+tests/consistency.rs:

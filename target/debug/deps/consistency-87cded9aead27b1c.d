@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/consistency-87cded9aead27b1c.d: tests/consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsistency-87cded9aead27b1c.rmeta: tests/consistency.rs Cargo.toml
+
+tests/consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consistency-9147d88313b3adb8.d: tests/consistency.rs
+
+/root/repo/target/debug/deps/consistency-9147d88313b3adb8: tests/consistency.rs
+
+tests/consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-01d2c952c05e90ea.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-01d2c952c05e90ea: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-8686ff5202251b53.d: shims/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-8686ff5202251b53.rmeta: shims/criterion/src/lib.rs Cargo.toml
+
+shims/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-b199be7e19b011e9.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-b199be7e19b011e9.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-b199be7e19b011e9.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

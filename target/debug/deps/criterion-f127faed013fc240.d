@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-f127faed013fc240.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f127faed013fc240.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

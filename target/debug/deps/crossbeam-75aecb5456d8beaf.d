@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-75aecb5456d8beaf.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-75aecb5456d8beaf.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

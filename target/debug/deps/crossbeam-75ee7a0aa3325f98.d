@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-75ee7a0aa3325f98.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-75ee7a0aa3325f98.rlib: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-75ee7a0aa3325f98.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

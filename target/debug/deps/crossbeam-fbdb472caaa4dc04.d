@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-fbdb472caaa4dc04.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-fbdb472caaa4dc04: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

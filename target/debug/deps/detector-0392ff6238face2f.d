@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detector-0392ff6238face2f.d: crates/bench/benches/detector.rs
+
+/root/repo/target/debug/deps/detector-0392ff6238face2f: crates/bench/benches/detector.rs
+
+crates/bench/benches/detector.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/detector-ad8c4881be746fd1.d: crates/bench/benches/detector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdetector-ad8c4881be746fd1.rmeta: crates/bench/benches/detector.rs Cargo.toml
+
+crates/bench/benches/detector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detector-c6a479bbd4e316b2.d: crates/bench/benches/detector.rs
+
+/root/repo/target/debug/deps/detector-c6a479bbd4e316b2: crates/bench/benches/detector.rs
+
+crates/bench/benches/detector.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-621a3b5fa41774f9.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-621a3b5fa41774f9: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-c50e3c64423ffaf7.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-c50e3c64423ffaf7: tests/end_to_end.rs
+
+tests/end_to_end.rs:

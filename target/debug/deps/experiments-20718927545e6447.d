@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments-20718927545e6447.d: crates/bench/src/bin/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-20718927545e6447.rmeta: crates/bench/src/bin/experiments.rs Cargo.toml
+
+crates/bench/src/bin/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

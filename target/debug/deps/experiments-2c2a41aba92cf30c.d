@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-2c2a41aba92cf30c.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-2c2a41aba92cf30c: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-3de23a168cbc4157.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-3de23a168cbc4157: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

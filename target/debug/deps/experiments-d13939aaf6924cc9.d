@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-d13939aaf6924cc9.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-d13939aaf6924cc9.rmeta: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-e6a4968e477c3eb3.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-e6a4968e477c3eb3: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

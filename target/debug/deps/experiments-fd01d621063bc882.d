@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-fd01d621063bc882.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-fd01d621063bc882: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

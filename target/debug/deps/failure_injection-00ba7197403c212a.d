@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-00ba7197403c212a.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-00ba7197403c212a: tests/failure_injection.rs
+
+tests/failure_injection.rs:

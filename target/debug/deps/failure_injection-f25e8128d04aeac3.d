@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-f25e8128d04aeac3.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-f25e8128d04aeac3: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-3fe4cfdf2e7e3174.d: tests/figure1.rs
+
+/root/repo/target/debug/deps/figure1-3fe4cfdf2e7e3174: tests/figure1.rs
+
+tests/figure1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-6d811186dcbe7e0b.d: tests/figure1.rs
+
+/root/repo/target/debug/deps/figure1-6d811186dcbe7e0b: tests/figure1.rs
+
+tests/figure1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure1-addff84cc05ffe5b.d: tests/figure1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure1-addff84cc05ffe5b.rmeta: tests/figure1.rs Cargo.toml
+
+tests/figure1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

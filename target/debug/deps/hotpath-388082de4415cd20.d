@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hotpath-388082de4415cd20.d: crates/bench/src/bin/hotpath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhotpath-388082de4415cd20.rmeta: crates/bench/src/bin/hotpath.rs Cargo.toml
+
+crates/bench/src/bin/hotpath.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

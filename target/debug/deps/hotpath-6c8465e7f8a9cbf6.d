@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hotpath-6c8465e7f8a9cbf6.d: crates/bench/src/bin/hotpath.rs
+
+/root/repo/target/debug/deps/libhotpath-6c8465e7f8a9cbf6.rmeta: crates/bench/src/bin/hotpath.rs
+
+crates/bench/src/bin/hotpath.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hotpath-fd55d05cfcd3364f.d: crates/bench/src/bin/hotpath.rs
+
+/root/repo/target/debug/deps/hotpath-fd55d05cfcd3364f: crates/bench/src/bin/hotpath.rs
+
+crates/bench/src/bin/hotpath.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/intersect-15d5a55aaec5925d.d: crates/bench/benches/intersect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintersect-15d5a55aaec5925d.rmeta: crates/bench/benches/intersect.rs Cargo.toml
+
+crates/bench/benches/intersect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

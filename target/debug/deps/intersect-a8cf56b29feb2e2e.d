@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/intersect-a8cf56b29feb2e2e.d: crates/bench/benches/intersect.rs
+
+/root/repo/target/debug/deps/intersect-a8cf56b29feb2e2e: crates/bench/benches/intersect.rs
+
+crates/bench/benches/intersect.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/intersect-c84cc1225f572be8.d: crates/bench/benches/intersect.rs
+
+/root/repo/target/debug/deps/intersect-c84cc1225f572be8: crates/bench/benches/intersect.rs
+
+crates/bench/benches/intersect.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/magicrecs-0d009b928b878a7d.d: src/lib.rs
+
+/root/repo/target/debug/deps/magicrecs-0d009b928b878a7d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/magicrecs-2e3d25f33756d88b.d: src/lib.rs
+
+/root/repo/target/debug/deps/magicrecs-2e3d25f33756d88b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/magicrecs-37fac1c91315814b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmagicrecs-37fac1c91315814b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmagicrecs-37fac1c91315814b.rmeta: src/lib.rs
+
+src/lib.rs:

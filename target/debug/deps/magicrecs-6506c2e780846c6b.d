@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/magicrecs-6506c2e780846c6b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmagicrecs-6506c2e780846c6b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/magicrecs-ab1c3e2ce2dd9730.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmagicrecs-ab1c3e2ce2dd9730.rmeta: src/lib.rs
+
+src/lib.rs:

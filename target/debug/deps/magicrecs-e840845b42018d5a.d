@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/magicrecs-e840845b42018d5a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmagicrecs-e840845b42018d5a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmagicrecs-e840845b42018d5a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/magicrecs_baseline-0d5bba40e9c72716.d: crates/baseline/src/lib.rs crates/baseline/src/batch.rs crates/baseline/src/bloom.rs crates/baseline/src/polling.rs crates/baseline/src/two_hop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmagicrecs_baseline-0d5bba40e9c72716.rmeta: crates/baseline/src/lib.rs crates/baseline/src/batch.rs crates/baseline/src/bloom.rs crates/baseline/src/polling.rs crates/baseline/src/two_hop.rs Cargo.toml
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/batch.rs:
+crates/baseline/src/bloom.rs:
+crates/baseline/src/polling.rs:
+crates/baseline/src/two_hop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/magicrecs_baseline-4e384c04ba9f242b.d: crates/baseline/src/lib.rs crates/baseline/src/batch.rs crates/baseline/src/bloom.rs crates/baseline/src/polling.rs crates/baseline/src/two_hop.rs
+
+/root/repo/target/debug/deps/libmagicrecs_baseline-4e384c04ba9f242b.rlib: crates/baseline/src/lib.rs crates/baseline/src/batch.rs crates/baseline/src/bloom.rs crates/baseline/src/polling.rs crates/baseline/src/two_hop.rs
+
+/root/repo/target/debug/deps/libmagicrecs_baseline-4e384c04ba9f242b.rmeta: crates/baseline/src/lib.rs crates/baseline/src/batch.rs crates/baseline/src/bloom.rs crates/baseline/src/polling.rs crates/baseline/src/two_hop.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/batch.rs:
+crates/baseline/src/bloom.rs:
+crates/baseline/src/polling.rs:
+crates/baseline/src/two_hop.rs:

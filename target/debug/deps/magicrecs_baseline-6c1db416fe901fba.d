@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/magicrecs_baseline-6c1db416fe901fba.d: crates/baseline/src/lib.rs crates/baseline/src/batch.rs crates/baseline/src/bloom.rs crates/baseline/src/polling.rs crates/baseline/src/two_hop.rs
+
+/root/repo/target/debug/deps/magicrecs_baseline-6c1db416fe901fba: crates/baseline/src/lib.rs crates/baseline/src/batch.rs crates/baseline/src/bloom.rs crates/baseline/src/polling.rs crates/baseline/src/two_hop.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/batch.rs:
+crates/baseline/src/bloom.rs:
+crates/baseline/src/polling.rs:
+crates/baseline/src/two_hop.rs:

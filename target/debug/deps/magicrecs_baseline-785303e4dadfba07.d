@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/magicrecs_baseline-785303e4dadfba07.d: crates/baseline/src/lib.rs crates/baseline/src/batch.rs crates/baseline/src/bloom.rs crates/baseline/src/polling.rs crates/baseline/src/two_hop.rs
+
+/root/repo/target/debug/deps/libmagicrecs_baseline-785303e4dadfba07.rlib: crates/baseline/src/lib.rs crates/baseline/src/batch.rs crates/baseline/src/bloom.rs crates/baseline/src/polling.rs crates/baseline/src/two_hop.rs
+
+/root/repo/target/debug/deps/libmagicrecs_baseline-785303e4dadfba07.rmeta: crates/baseline/src/lib.rs crates/baseline/src/batch.rs crates/baseline/src/bloom.rs crates/baseline/src/polling.rs crates/baseline/src/two_hop.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/batch.rs:
+crates/baseline/src/bloom.rs:
+crates/baseline/src/polling.rs:
+crates/baseline/src/two_hop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/magicrecs_bench-621f7155c64ebb6e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmagicrecs_bench-621f7155c64ebb6e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

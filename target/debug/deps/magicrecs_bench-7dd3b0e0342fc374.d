@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/magicrecs_bench-7dd3b0e0342fc374.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmagicrecs_bench-7dd3b0e0342fc374.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmagicrecs_bench-7dd3b0e0342fc374.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/magicrecs_bench-88257f033cf5e9a0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmagicrecs_bench-88257f033cf5e9a0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmagicrecs_bench-88257f033cf5e9a0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/magicrecs_bench-887f8f958db81c26.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmagicrecs_bench-887f8f958db81c26.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

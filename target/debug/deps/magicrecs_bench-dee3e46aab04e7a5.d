@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/magicrecs_bench-dee3e46aab04e7a5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/magicrecs_bench-dee3e46aab04e7a5: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/magicrecs_bench-ecac0a50d59c4a82.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/magicrecs_bench-ecac0a50d59c4a82: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

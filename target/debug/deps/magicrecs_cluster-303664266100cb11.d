@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/magicrecs_cluster-303664266100cb11.d: crates/cluster/src/lib.rs crates/cluster/src/broker.rs crates/cluster/src/partition.rs crates/cluster/src/replica.rs crates/cluster/src/threaded.rs
+
+/root/repo/target/debug/deps/libmagicrecs_cluster-303664266100cb11.rlib: crates/cluster/src/lib.rs crates/cluster/src/broker.rs crates/cluster/src/partition.rs crates/cluster/src/replica.rs crates/cluster/src/threaded.rs
+
+/root/repo/target/debug/deps/libmagicrecs_cluster-303664266100cb11.rmeta: crates/cluster/src/lib.rs crates/cluster/src/broker.rs crates/cluster/src/partition.rs crates/cluster/src/replica.rs crates/cluster/src/threaded.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/broker.rs:
+crates/cluster/src/partition.rs:
+crates/cluster/src/replica.rs:
+crates/cluster/src/threaded.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/magicrecs_cluster-3f6130657d998314.d: crates/cluster/src/lib.rs crates/cluster/src/broker.rs crates/cluster/src/partition.rs crates/cluster/src/replica.rs crates/cluster/src/threaded.rs
+
+/root/repo/target/debug/deps/magicrecs_cluster-3f6130657d998314: crates/cluster/src/lib.rs crates/cluster/src/broker.rs crates/cluster/src/partition.rs crates/cluster/src/replica.rs crates/cluster/src/threaded.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/broker.rs:
+crates/cluster/src/partition.rs:
+crates/cluster/src/replica.rs:
+crates/cluster/src/threaded.rs:

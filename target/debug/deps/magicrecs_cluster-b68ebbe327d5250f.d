@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/magicrecs_cluster-b68ebbe327d5250f.d: crates/cluster/src/lib.rs crates/cluster/src/broker.rs crates/cluster/src/partition.rs crates/cluster/src/replica.rs crates/cluster/src/threaded.rs
+
+/root/repo/target/debug/deps/libmagicrecs_cluster-b68ebbe327d5250f.rmeta: crates/cluster/src/lib.rs crates/cluster/src/broker.rs crates/cluster/src/partition.rs crates/cluster/src/replica.rs crates/cluster/src/threaded.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/broker.rs:
+crates/cluster/src/partition.rs:
+crates/cluster/src/replica.rs:
+crates/cluster/src/threaded.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/magicrecs_cluster-f68e2fbcc283532d.d: crates/cluster/src/lib.rs crates/cluster/src/broker.rs crates/cluster/src/partition.rs crates/cluster/src/replica.rs crates/cluster/src/threaded.rs
+
+/root/repo/target/debug/deps/libmagicrecs_cluster-f68e2fbcc283532d.rlib: crates/cluster/src/lib.rs crates/cluster/src/broker.rs crates/cluster/src/partition.rs crates/cluster/src/replica.rs crates/cluster/src/threaded.rs
+
+/root/repo/target/debug/deps/libmagicrecs_cluster-f68e2fbcc283532d.rmeta: crates/cluster/src/lib.rs crates/cluster/src/broker.rs crates/cluster/src/partition.rs crates/cluster/src/replica.rs crates/cluster/src/threaded.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/broker.rs:
+crates/cluster/src/partition.rs:
+crates/cluster/src/replica.rs:
+crates/cluster/src/threaded.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/magicrecs_cluster-ff4e457022811f4c.d: crates/cluster/src/lib.rs crates/cluster/src/broker.rs crates/cluster/src/partition.rs crates/cluster/src/replica.rs crates/cluster/src/threaded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmagicrecs_cluster-ff4e457022811f4c.rmeta: crates/cluster/src/lib.rs crates/cluster/src/broker.rs crates/cluster/src/partition.rs crates/cluster/src/replica.rs crates/cluster/src/threaded.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/broker.rs:
+crates/cluster/src/partition.rs:
+crates/cluster/src/replica.rs:
+crates/cluster/src/threaded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/magicrecs_core-3f16c41455fa21c4.d: crates/core/src/lib.rs crates/core/src/detector.rs crates/core/src/engine.rs crates/core/src/intersect.rs crates/core/src/scoring.rs crates/core/src/threshold.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmagicrecs_core-3f16c41455fa21c4.rmeta: crates/core/src/lib.rs crates/core/src/detector.rs crates/core/src/engine.rs crates/core/src/intersect.rs crates/core/src/scoring.rs crates/core/src/threshold.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/detector.rs:
+crates/core/src/engine.rs:
+crates/core/src/intersect.rs:
+crates/core/src/scoring.rs:
+crates/core/src/threshold.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

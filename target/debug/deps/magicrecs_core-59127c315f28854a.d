@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/magicrecs_core-59127c315f28854a.d: crates/core/src/lib.rs crates/core/src/detector.rs crates/core/src/engine.rs crates/core/src/intersect.rs crates/core/src/scoring.rs crates/core/src/threshold.rs
+
+/root/repo/target/debug/deps/libmagicrecs_core-59127c315f28854a.rlib: crates/core/src/lib.rs crates/core/src/detector.rs crates/core/src/engine.rs crates/core/src/intersect.rs crates/core/src/scoring.rs crates/core/src/threshold.rs
+
+/root/repo/target/debug/deps/libmagicrecs_core-59127c315f28854a.rmeta: crates/core/src/lib.rs crates/core/src/detector.rs crates/core/src/engine.rs crates/core/src/intersect.rs crates/core/src/scoring.rs crates/core/src/threshold.rs
+
+crates/core/src/lib.rs:
+crates/core/src/detector.rs:
+crates/core/src/engine.rs:
+crates/core/src/intersect.rs:
+crates/core/src/scoring.rs:
+crates/core/src/threshold.rs:

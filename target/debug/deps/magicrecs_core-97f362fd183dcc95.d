@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/magicrecs_core-97f362fd183dcc95.d: crates/core/src/lib.rs crates/core/src/detector.rs crates/core/src/engine.rs crates/core/src/intersect.rs crates/core/src/scoring.rs crates/core/src/threshold.rs
+
+/root/repo/target/debug/deps/libmagicrecs_core-97f362fd183dcc95.rlib: crates/core/src/lib.rs crates/core/src/detector.rs crates/core/src/engine.rs crates/core/src/intersect.rs crates/core/src/scoring.rs crates/core/src/threshold.rs
+
+/root/repo/target/debug/deps/libmagicrecs_core-97f362fd183dcc95.rmeta: crates/core/src/lib.rs crates/core/src/detector.rs crates/core/src/engine.rs crates/core/src/intersect.rs crates/core/src/scoring.rs crates/core/src/threshold.rs
+
+crates/core/src/lib.rs:
+crates/core/src/detector.rs:
+crates/core/src/engine.rs:
+crates/core/src/intersect.rs:
+crates/core/src/scoring.rs:
+crates/core/src/threshold.rs:

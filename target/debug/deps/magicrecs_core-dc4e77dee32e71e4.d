@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/magicrecs_core-dc4e77dee32e71e4.d: crates/core/src/lib.rs crates/core/src/detector.rs crates/core/src/engine.rs crates/core/src/intersect.rs crates/core/src/scoring.rs crates/core/src/threshold.rs
+
+/root/repo/target/debug/deps/libmagicrecs_core-dc4e77dee32e71e4.rmeta: crates/core/src/lib.rs crates/core/src/detector.rs crates/core/src/engine.rs crates/core/src/intersect.rs crates/core/src/scoring.rs crates/core/src/threshold.rs
+
+crates/core/src/lib.rs:
+crates/core/src/detector.rs:
+crates/core/src/engine.rs:
+crates/core/src/intersect.rs:
+crates/core/src/scoring.rs:
+crates/core/src/threshold.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/magicrecs_delivery-39a02163355980a5.d: crates/delivery/src/lib.rs crates/delivery/src/dedup.rs crates/delivery/src/fatigue.rs crates/delivery/src/pipeline.rs crates/delivery/src/quiet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmagicrecs_delivery-39a02163355980a5.rmeta: crates/delivery/src/lib.rs crates/delivery/src/dedup.rs crates/delivery/src/fatigue.rs crates/delivery/src/pipeline.rs crates/delivery/src/quiet.rs Cargo.toml
+
+crates/delivery/src/lib.rs:
+crates/delivery/src/dedup.rs:
+crates/delivery/src/fatigue.rs:
+crates/delivery/src/pipeline.rs:
+crates/delivery/src/quiet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

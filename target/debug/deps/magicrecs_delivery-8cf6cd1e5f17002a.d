@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/magicrecs_delivery-8cf6cd1e5f17002a.d: crates/delivery/src/lib.rs crates/delivery/src/dedup.rs crates/delivery/src/fatigue.rs crates/delivery/src/pipeline.rs crates/delivery/src/quiet.rs
+
+/root/repo/target/debug/deps/libmagicrecs_delivery-8cf6cd1e5f17002a.rlib: crates/delivery/src/lib.rs crates/delivery/src/dedup.rs crates/delivery/src/fatigue.rs crates/delivery/src/pipeline.rs crates/delivery/src/quiet.rs
+
+/root/repo/target/debug/deps/libmagicrecs_delivery-8cf6cd1e5f17002a.rmeta: crates/delivery/src/lib.rs crates/delivery/src/dedup.rs crates/delivery/src/fatigue.rs crates/delivery/src/pipeline.rs crates/delivery/src/quiet.rs
+
+crates/delivery/src/lib.rs:
+crates/delivery/src/dedup.rs:
+crates/delivery/src/fatigue.rs:
+crates/delivery/src/pipeline.rs:
+crates/delivery/src/quiet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/magicrecs_delivery-d15b22fe13a40c0c.d: crates/delivery/src/lib.rs crates/delivery/src/dedup.rs crates/delivery/src/fatigue.rs crates/delivery/src/pipeline.rs crates/delivery/src/quiet.rs
+
+/root/repo/target/debug/deps/magicrecs_delivery-d15b22fe13a40c0c: crates/delivery/src/lib.rs crates/delivery/src/dedup.rs crates/delivery/src/fatigue.rs crates/delivery/src/pipeline.rs crates/delivery/src/quiet.rs
+
+crates/delivery/src/lib.rs:
+crates/delivery/src/dedup.rs:
+crates/delivery/src/fatigue.rs:
+crates/delivery/src/pipeline.rs:
+crates/delivery/src/quiet.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/magicrecs_delivery-dc35ad534713cfb9.d: crates/delivery/src/lib.rs crates/delivery/src/dedup.rs crates/delivery/src/fatigue.rs crates/delivery/src/pipeline.rs crates/delivery/src/quiet.rs
+
+/root/repo/target/debug/deps/libmagicrecs_delivery-dc35ad534713cfb9.rlib: crates/delivery/src/lib.rs crates/delivery/src/dedup.rs crates/delivery/src/fatigue.rs crates/delivery/src/pipeline.rs crates/delivery/src/quiet.rs
+
+/root/repo/target/debug/deps/libmagicrecs_delivery-dc35ad534713cfb9.rmeta: crates/delivery/src/lib.rs crates/delivery/src/dedup.rs crates/delivery/src/fatigue.rs crates/delivery/src/pipeline.rs crates/delivery/src/quiet.rs
+
+crates/delivery/src/lib.rs:
+crates/delivery/src/dedup.rs:
+crates/delivery/src/fatigue.rs:
+crates/delivery/src/pipeline.rs:
+crates/delivery/src/quiet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/magicrecs_delivery-e10f83b6f011d1bc.d: crates/delivery/src/lib.rs crates/delivery/src/dedup.rs crates/delivery/src/fatigue.rs crates/delivery/src/pipeline.rs crates/delivery/src/quiet.rs
+
+/root/repo/target/debug/deps/libmagicrecs_delivery-e10f83b6f011d1bc.rmeta: crates/delivery/src/lib.rs crates/delivery/src/dedup.rs crates/delivery/src/fatigue.rs crates/delivery/src/pipeline.rs crates/delivery/src/quiet.rs
+
+crates/delivery/src/lib.rs:
+crates/delivery/src/dedup.rs:
+crates/delivery/src/fatigue.rs:
+crates/delivery/src/pipeline.rs:
+crates/delivery/src/quiet.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/magicrecs_gen-00d4cb98a6c5ea22.d: crates/gen/src/lib.rs crates/gen/src/arrivals.rs crates/gen/src/graph_gen.rs crates/gen/src/scenario.rs crates/gen/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmagicrecs_gen-00d4cb98a6c5ea22.rmeta: crates/gen/src/lib.rs crates/gen/src/arrivals.rs crates/gen/src/graph_gen.rs crates/gen/src/scenario.rs crates/gen/src/zipf.rs Cargo.toml
+
+crates/gen/src/lib.rs:
+crates/gen/src/arrivals.rs:
+crates/gen/src/graph_gen.rs:
+crates/gen/src/scenario.rs:
+crates/gen/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/magicrecs_gen-5d5e1739eca0f1a5.d: crates/gen/src/lib.rs crates/gen/src/arrivals.rs crates/gen/src/graph_gen.rs crates/gen/src/scenario.rs crates/gen/src/zipf.rs
+
+/root/repo/target/debug/deps/libmagicrecs_gen-5d5e1739eca0f1a5.rlib: crates/gen/src/lib.rs crates/gen/src/arrivals.rs crates/gen/src/graph_gen.rs crates/gen/src/scenario.rs crates/gen/src/zipf.rs
+
+/root/repo/target/debug/deps/libmagicrecs_gen-5d5e1739eca0f1a5.rmeta: crates/gen/src/lib.rs crates/gen/src/arrivals.rs crates/gen/src/graph_gen.rs crates/gen/src/scenario.rs crates/gen/src/zipf.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/arrivals.rs:
+crates/gen/src/graph_gen.rs:
+crates/gen/src/scenario.rs:
+crates/gen/src/zipf.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/magicrecs_graph-5106ff96f5d72a68.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/follow.rs crates/graph/src/intern.rs crates/graph/src/io.rs crates/graph/src/partition.rs crates/graph/src/stats.rs
+
+/root/repo/target/debug/deps/libmagicrecs_graph-5106ff96f5d72a68.rmeta: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/follow.rs crates/graph/src/intern.rs crates/graph/src/io.rs crates/graph/src/partition.rs crates/graph/src/stats.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/follow.rs:
+crates/graph/src/intern.rs:
+crates/graph/src/io.rs:
+crates/graph/src/partition.rs:
+crates/graph/src/stats.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/magicrecs_graph-ec816b06fed78f6d.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/follow.rs crates/graph/src/intern.rs crates/graph/src/io.rs crates/graph/src/partition.rs crates/graph/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmagicrecs_graph-ec816b06fed78f6d.rmeta: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/follow.rs crates/graph/src/intern.rs crates/graph/src/io.rs crates/graph/src/partition.rs crates/graph/src/stats.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/follow.rs:
+crates/graph/src/intern.rs:
+crates/graph/src/io.rs:
+crates/graph/src/partition.rs:
+crates/graph/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

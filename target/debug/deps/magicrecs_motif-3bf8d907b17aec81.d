@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/magicrecs_motif-3bf8d907b17aec81.d: crates/motif/src/lib.rs crates/motif/src/cluster.rs crates/motif/src/exec.rs crates/motif/src/library.rs crates/motif/src/parse.rs crates/motif/src/plan.rs crates/motif/src/planner.rs crates/motif/src/spec.rs
+
+/root/repo/target/debug/deps/libmagicrecs_motif-3bf8d907b17aec81.rmeta: crates/motif/src/lib.rs crates/motif/src/cluster.rs crates/motif/src/exec.rs crates/motif/src/library.rs crates/motif/src/parse.rs crates/motif/src/plan.rs crates/motif/src/planner.rs crates/motif/src/spec.rs
+
+crates/motif/src/lib.rs:
+crates/motif/src/cluster.rs:
+crates/motif/src/exec.rs:
+crates/motif/src/library.rs:
+crates/motif/src/parse.rs:
+crates/motif/src/plan.rs:
+crates/motif/src/planner.rs:
+crates/motif/src/spec.rs:

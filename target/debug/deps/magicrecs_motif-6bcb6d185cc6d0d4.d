@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/magicrecs_motif-6bcb6d185cc6d0d4.d: crates/motif/src/lib.rs crates/motif/src/cluster.rs crates/motif/src/exec.rs crates/motif/src/library.rs crates/motif/src/parse.rs crates/motif/src/plan.rs crates/motif/src/planner.rs crates/motif/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmagicrecs_motif-6bcb6d185cc6d0d4.rmeta: crates/motif/src/lib.rs crates/motif/src/cluster.rs crates/motif/src/exec.rs crates/motif/src/library.rs crates/motif/src/parse.rs crates/motif/src/plan.rs crates/motif/src/planner.rs crates/motif/src/spec.rs Cargo.toml
+
+crates/motif/src/lib.rs:
+crates/motif/src/cluster.rs:
+crates/motif/src/exec.rs:
+crates/motif/src/library.rs:
+crates/motif/src/parse.rs:
+crates/motif/src/plan.rs:
+crates/motif/src/planner.rs:
+crates/motif/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

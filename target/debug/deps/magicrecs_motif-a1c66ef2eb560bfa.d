@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/magicrecs_motif-a1c66ef2eb560bfa.d: crates/motif/src/lib.rs crates/motif/src/cluster.rs crates/motif/src/exec.rs crates/motif/src/library.rs crates/motif/src/parse.rs crates/motif/src/plan.rs crates/motif/src/planner.rs crates/motif/src/spec.rs
+
+/root/repo/target/debug/deps/libmagicrecs_motif-a1c66ef2eb560bfa.rlib: crates/motif/src/lib.rs crates/motif/src/cluster.rs crates/motif/src/exec.rs crates/motif/src/library.rs crates/motif/src/parse.rs crates/motif/src/plan.rs crates/motif/src/planner.rs crates/motif/src/spec.rs
+
+/root/repo/target/debug/deps/libmagicrecs_motif-a1c66ef2eb560bfa.rmeta: crates/motif/src/lib.rs crates/motif/src/cluster.rs crates/motif/src/exec.rs crates/motif/src/library.rs crates/motif/src/parse.rs crates/motif/src/plan.rs crates/motif/src/planner.rs crates/motif/src/spec.rs
+
+crates/motif/src/lib.rs:
+crates/motif/src/cluster.rs:
+crates/motif/src/exec.rs:
+crates/motif/src/library.rs:
+crates/motif/src/parse.rs:
+crates/motif/src/plan.rs:
+crates/motif/src/planner.rs:
+crates/motif/src/spec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/magicrecs_stream-6adada7c0efac9f5.d: crates/stream/src/lib.rs crates/stream/src/delay.rs crates/stream/src/live.rs crates/stream/src/queue.rs crates/stream/src/sched.rs
+
+/root/repo/target/debug/deps/magicrecs_stream-6adada7c0efac9f5: crates/stream/src/lib.rs crates/stream/src/delay.rs crates/stream/src/live.rs crates/stream/src/queue.rs crates/stream/src/sched.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/delay.rs:
+crates/stream/src/live.rs:
+crates/stream/src/queue.rs:
+crates/stream/src/sched.rs:

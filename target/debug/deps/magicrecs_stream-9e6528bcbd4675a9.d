@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/magicrecs_stream-9e6528bcbd4675a9.d: crates/stream/src/lib.rs crates/stream/src/delay.rs crates/stream/src/live.rs crates/stream/src/queue.rs crates/stream/src/sched.rs
+
+/root/repo/target/debug/deps/libmagicrecs_stream-9e6528bcbd4675a9.rmeta: crates/stream/src/lib.rs crates/stream/src/delay.rs crates/stream/src/live.rs crates/stream/src/queue.rs crates/stream/src/sched.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/delay.rs:
+crates/stream/src/live.rs:
+crates/stream/src/queue.rs:
+crates/stream/src/sched.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/magicrecs_stream-bdd4a6bf8e2f4293.d: crates/stream/src/lib.rs crates/stream/src/delay.rs crates/stream/src/live.rs crates/stream/src/queue.rs crates/stream/src/sched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmagicrecs_stream-bdd4a6bf8e2f4293.rmeta: crates/stream/src/lib.rs crates/stream/src/delay.rs crates/stream/src/live.rs crates/stream/src/queue.rs crates/stream/src/sched.rs Cargo.toml
+
+crates/stream/src/lib.rs:
+crates/stream/src/delay.rs:
+crates/stream/src/live.rs:
+crates/stream/src/queue.rs:
+crates/stream/src/sched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/magicrecs_stream-d2ff811239f8e1ec.d: crates/stream/src/lib.rs crates/stream/src/delay.rs crates/stream/src/live.rs crates/stream/src/queue.rs crates/stream/src/sched.rs
+
+/root/repo/target/debug/deps/magicrecs_stream-d2ff811239f8e1ec: crates/stream/src/lib.rs crates/stream/src/delay.rs crates/stream/src/live.rs crates/stream/src/queue.rs crates/stream/src/sched.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/delay.rs:
+crates/stream/src/live.rs:
+crates/stream/src/queue.rs:
+crates/stream/src/sched.rs:

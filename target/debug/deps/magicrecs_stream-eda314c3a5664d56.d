@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/magicrecs_stream-eda314c3a5664d56.d: crates/stream/src/lib.rs crates/stream/src/delay.rs crates/stream/src/live.rs crates/stream/src/queue.rs crates/stream/src/sched.rs
+
+/root/repo/target/debug/deps/libmagicrecs_stream-eda314c3a5664d56.rlib: crates/stream/src/lib.rs crates/stream/src/delay.rs crates/stream/src/live.rs crates/stream/src/queue.rs crates/stream/src/sched.rs
+
+/root/repo/target/debug/deps/libmagicrecs_stream-eda314c3a5664d56.rmeta: crates/stream/src/lib.rs crates/stream/src/delay.rs crates/stream/src/live.rs crates/stream/src/queue.rs crates/stream/src/sched.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/delay.rs:
+crates/stream/src/live.rs:
+crates/stream/src/queue.rs:
+crates/stream/src/sched.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/magicrecs_temporal-07632c50461a7682.d: crates/temporal/src/lib.rs crates/temporal/src/sharded.rs crates/temporal/src/store.rs crates/temporal/src/target_list.rs crates/temporal/src/wheel.rs
+
+/root/repo/target/debug/deps/libmagicrecs_temporal-07632c50461a7682.rlib: crates/temporal/src/lib.rs crates/temporal/src/sharded.rs crates/temporal/src/store.rs crates/temporal/src/target_list.rs crates/temporal/src/wheel.rs
+
+/root/repo/target/debug/deps/libmagicrecs_temporal-07632c50461a7682.rmeta: crates/temporal/src/lib.rs crates/temporal/src/sharded.rs crates/temporal/src/store.rs crates/temporal/src/target_list.rs crates/temporal/src/wheel.rs
+
+crates/temporal/src/lib.rs:
+crates/temporal/src/sharded.rs:
+crates/temporal/src/store.rs:
+crates/temporal/src/target_list.rs:
+crates/temporal/src/wheel.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/magicrecs_temporal-664035787f614812.d: crates/temporal/src/lib.rs crates/temporal/src/sharded.rs crates/temporal/src/store.rs crates/temporal/src/target_list.rs crates/temporal/src/wheel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmagicrecs_temporal-664035787f614812.rmeta: crates/temporal/src/lib.rs crates/temporal/src/sharded.rs crates/temporal/src/store.rs crates/temporal/src/target_list.rs crates/temporal/src/wheel.rs Cargo.toml
+
+crates/temporal/src/lib.rs:
+crates/temporal/src/sharded.rs:
+crates/temporal/src/store.rs:
+crates/temporal/src/target_list.rs:
+crates/temporal/src/wheel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

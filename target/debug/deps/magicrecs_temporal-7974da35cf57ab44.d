@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/magicrecs_temporal-7974da35cf57ab44.d: crates/temporal/src/lib.rs crates/temporal/src/sharded.rs crates/temporal/src/store.rs crates/temporal/src/target_list.rs crates/temporal/src/wheel.rs
+
+/root/repo/target/debug/deps/magicrecs_temporal-7974da35cf57ab44: crates/temporal/src/lib.rs crates/temporal/src/sharded.rs crates/temporal/src/store.rs crates/temporal/src/target_list.rs crates/temporal/src/wheel.rs
+
+crates/temporal/src/lib.rs:
+crates/temporal/src/sharded.rs:
+crates/temporal/src/store.rs:
+crates/temporal/src/target_list.rs:
+crates/temporal/src/wheel.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/magicrecs_temporal-d3bb1a915b7441ab.d: crates/temporal/src/lib.rs crates/temporal/src/sharded.rs crates/temporal/src/store.rs crates/temporal/src/target_list.rs crates/temporal/src/wheel.rs
+
+/root/repo/target/debug/deps/libmagicrecs_temporal-d3bb1a915b7441ab.rlib: crates/temporal/src/lib.rs crates/temporal/src/sharded.rs crates/temporal/src/store.rs crates/temporal/src/target_list.rs crates/temporal/src/wheel.rs
+
+/root/repo/target/debug/deps/libmagicrecs_temporal-d3bb1a915b7441ab.rmeta: crates/temporal/src/lib.rs crates/temporal/src/sharded.rs crates/temporal/src/store.rs crates/temporal/src/target_list.rs crates/temporal/src/wheel.rs
+
+crates/temporal/src/lib.rs:
+crates/temporal/src/sharded.rs:
+crates/temporal/src/store.rs:
+crates/temporal/src/target_list.rs:
+crates/temporal/src/wheel.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/magicrecs_types-1520b4dc05e324df.d: crates/types/src/lib.rs crates/types/src/config.rs crates/types/src/error.rs crates/types/src/event.rs crates/types/src/hash.rs crates/types/src/ids.rs crates/types/src/metrics.rs crates/types/src/time.rs
+
+/root/repo/target/debug/deps/libmagicrecs_types-1520b4dc05e324df.rmeta: crates/types/src/lib.rs crates/types/src/config.rs crates/types/src/error.rs crates/types/src/event.rs crates/types/src/hash.rs crates/types/src/ids.rs crates/types/src/metrics.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/config.rs:
+crates/types/src/error.rs:
+crates/types/src/event.rs:
+crates/types/src/hash.rs:
+crates/types/src/ids.rs:
+crates/types/src/metrics.rs:
+crates/types/src/time.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/magicrecs_types-3935b9948ac788d6.d: crates/types/src/lib.rs crates/types/src/config.rs crates/types/src/error.rs crates/types/src/event.rs crates/types/src/hash.rs crates/types/src/ids.rs crates/types/src/metrics.rs crates/types/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmagicrecs_types-3935b9948ac788d6.rmeta: crates/types/src/lib.rs crates/types/src/config.rs crates/types/src/error.rs crates/types/src/event.rs crates/types/src/hash.rs crates/types/src/ids.rs crates/types/src/metrics.rs crates/types/src/time.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/config.rs:
+crates/types/src/error.rs:
+crates/types/src/event.rs:
+crates/types/src/hash.rs:
+crates/types/src/ids.rs:
+crates/types/src/metrics.rs:
+crates/types/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

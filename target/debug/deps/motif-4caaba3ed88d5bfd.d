@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/motif-4caaba3ed88d5bfd.d: crates/bench/benches/motif.rs
+
+/root/repo/target/debug/deps/motif-4caaba3ed88d5bfd: crates/bench/benches/motif.rs
+
+crates/bench/benches/motif.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/motif-97335f3b6a67dcee.d: crates/bench/benches/motif.rs
+
+/root/repo/target/debug/deps/motif-97335f3b6a67dcee: crates/bench/benches/motif.rs
+
+crates/bench/benches/motif.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/motif-c413349a8aa350a0.d: crates/bench/benches/motif.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmotif-c413349a8aa350a0.rmeta: crates/bench/benches/motif.rs Cargo.toml
+
+crates/bench/benches/motif.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

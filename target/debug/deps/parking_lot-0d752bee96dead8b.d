@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-0d752bee96dead8b.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-0d752bee96dead8b.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-0d752bee96dead8b.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

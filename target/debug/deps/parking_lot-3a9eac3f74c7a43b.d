@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parking_lot-3a9eac3f74c7a43b.d: shims/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparking_lot-3a9eac3f74c7a43b.rmeta: shims/parking_lot/src/lib.rs Cargo.toml
+
+shims/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-aa1fc8c9234cd9a3.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-aa1fc8c9234cd9a3.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

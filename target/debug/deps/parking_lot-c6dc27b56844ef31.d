@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-c6dc27b56844ef31.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-c6dc27b56844ef31: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-0079e38355bd515a.d: crates/gen/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-0079e38355bd515a.rmeta: crates/gen/tests/properties.rs Cargo.toml
+
+crates/gen/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-032bf370e2bbae0e.d: crates/gen/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-032bf370e2bbae0e: crates/gen/tests/properties.rs
+
+crates/gen/tests/properties.rs:

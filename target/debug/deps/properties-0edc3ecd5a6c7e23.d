@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0edc3ecd5a6c7e23.d: crates/graph/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0edc3ecd5a6c7e23: crates/graph/tests/properties.rs
+
+crates/graph/tests/properties.rs:

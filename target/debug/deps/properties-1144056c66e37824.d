@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1144056c66e37824.d: crates/types/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1144056c66e37824: crates/types/tests/properties.rs
+
+crates/types/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2f1e998981836b5e.d: crates/stream/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2f1e998981836b5e: crates/stream/tests/properties.rs
+
+crates/stream/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-38504a26f1861aa8.d: crates/types/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-38504a26f1861aa8.rmeta: crates/types/tests/properties.rs Cargo.toml
+
+crates/types/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3a45d3993338d64e.d: crates/stream/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3a45d3993338d64e: crates/stream/tests/properties.rs
+
+crates/stream/tests/properties.rs:

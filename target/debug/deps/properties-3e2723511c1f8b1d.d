@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3e2723511c1f8b1d.d: crates/gen/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3e2723511c1f8b1d: crates/gen/tests/properties.rs
+
+crates/gen/tests/properties.rs:

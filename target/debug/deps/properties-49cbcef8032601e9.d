@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-49cbcef8032601e9.d: crates/temporal/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-49cbcef8032601e9.rmeta: crates/temporal/tests/properties.rs Cargo.toml
+
+crates/temporal/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-4a4002055197326b.d: crates/delivery/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-4a4002055197326b.rmeta: crates/delivery/tests/properties.rs Cargo.toml
+
+crates/delivery/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

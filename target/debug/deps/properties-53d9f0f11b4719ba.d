@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-53d9f0f11b4719ba.d: crates/stream/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-53d9f0f11b4719ba.rmeta: crates/stream/tests/properties.rs Cargo.toml
+
+crates/stream/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

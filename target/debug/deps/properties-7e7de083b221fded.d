@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7e7de083b221fded.d: crates/types/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7e7de083b221fded: crates/types/tests/properties.rs
+
+crates/types/tests/properties.rs:

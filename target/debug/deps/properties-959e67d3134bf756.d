@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-959e67d3134bf756.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-959e67d3134bf756: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

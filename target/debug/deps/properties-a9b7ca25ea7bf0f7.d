@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a9b7ca25ea7bf0f7.d: crates/delivery/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a9b7ca25ea7bf0f7: crates/delivery/tests/properties.rs
+
+crates/delivery/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-bc37d405333b4033.d: crates/temporal/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-bc37d405333b4033: crates/temporal/tests/properties.rs
+
+crates/temporal/tests/properties.rs:

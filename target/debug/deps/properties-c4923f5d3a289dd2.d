@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c4923f5d3a289dd2.d: crates/temporal/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c4923f5d3a289dd2: crates/temporal/tests/properties.rs
+
+crates/temporal/tests/properties.rs:

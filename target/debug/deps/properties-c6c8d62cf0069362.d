@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c6c8d62cf0069362.d: crates/delivery/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c6c8d62cf0069362: crates/delivery/tests/properties.rs
+
+crates/delivery/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f309c27979db0592.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f309c27979db0592: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-0696dca017171fd0.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-0696dca017171fd0.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-0696dca017171fd0.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

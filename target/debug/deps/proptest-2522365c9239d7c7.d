@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-2522365c9239d7c7.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-2522365c9239d7c7.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

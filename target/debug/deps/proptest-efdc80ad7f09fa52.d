@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-efdc80ad7f09fa52.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-efdc80ad7f09fa52: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-29b5bc9bec199173.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-29b5bc9bec199173: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-619d4ac06e921393.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-619d4ac06e921393.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

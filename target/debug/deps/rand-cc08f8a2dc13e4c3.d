@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-cc08f8a2dc13e4c3.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-cc08f8a2dc13e4c3.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-cc08f8a2dc13e4c3.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

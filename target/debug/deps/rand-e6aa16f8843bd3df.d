@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-e6aa16f8843bd3df.d: shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-e6aa16f8843bd3df.rmeta: shims/rand/src/lib.rs Cargo.toml
+
+shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-a081148dfdfd822c.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-a081148dfdfd822c.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-a081148dfdfd822c.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-d211bed3a4002532.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-d211bed3a4002532.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

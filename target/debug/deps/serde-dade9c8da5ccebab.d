@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-dade9c8da5ccebab.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-dade9c8da5ccebab.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-dade9c8da5ccebab.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

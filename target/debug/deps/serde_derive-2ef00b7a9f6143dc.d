@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-2ef00b7a9f6143dc.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-2ef00b7a9f6143dc: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

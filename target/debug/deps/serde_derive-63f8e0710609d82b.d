@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-63f8e0710609d82b.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-63f8e0710609d82b.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

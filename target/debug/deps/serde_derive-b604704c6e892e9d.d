@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-b604704c6e892e9d.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-b604704c6e892e9d.rmeta: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/temporal-11bb60f9c078ecf7.d: crates/bench/benches/temporal.rs
+
+/root/repo/target/debug/deps/temporal-11bb60f9c078ecf7: crates/bench/benches/temporal.rs
+
+crates/bench/benches/temporal.rs:

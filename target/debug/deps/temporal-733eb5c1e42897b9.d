@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/temporal-733eb5c1e42897b9.d: crates/bench/benches/temporal.rs
+
+/root/repo/target/debug/deps/temporal-733eb5c1e42897b9: crates/bench/benches/temporal.rs
+
+crates/bench/benches/temporal.rs:

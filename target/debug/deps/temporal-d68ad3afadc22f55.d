@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/temporal-d68ad3afadc22f55.d: crates/bench/benches/temporal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtemporal-d68ad3afadc22f55.rmeta: crates/bench/benches/temporal.rs Cargo.toml
+
+crates/bench/benches/temporal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/celebrity_burst-05133781bc5e0a40.d: examples/celebrity_burst.rs
+
+/root/repo/target/debug/examples/celebrity_burst-05133781bc5e0a40: examples/celebrity_burst.rs
+
+examples/celebrity_burst.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/celebrity_burst-710d887870ecc2db.d: examples/celebrity_burst.rs
+
+/root/repo/target/debug/examples/celebrity_burst-710d887870ecc2db: examples/celebrity_burst.rs
+
+examples/celebrity_burst.rs:

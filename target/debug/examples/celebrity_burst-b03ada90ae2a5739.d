@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/celebrity_burst-b03ada90ae2a5739.d: examples/celebrity_burst.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcelebrity_burst-b03ada90ae2a5739.rmeta: examples/celebrity_burst.rs Cargo.toml
+
+examples/celebrity_burst.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

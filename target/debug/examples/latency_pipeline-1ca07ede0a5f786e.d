@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/latency_pipeline-1ca07ede0a5f786e.d: examples/latency_pipeline.rs
+
+/root/repo/target/debug/examples/latency_pipeline-1ca07ede0a5f786e: examples/latency_pipeline.rs
+
+examples/latency_pipeline.rs:

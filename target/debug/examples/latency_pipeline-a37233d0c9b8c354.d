@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/latency_pipeline-a37233d0c9b8c354.d: examples/latency_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblatency_pipeline-a37233d0c9b8c354.rmeta: examples/latency_pipeline.rs Cargo.toml
+
+examples/latency_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/latency_pipeline-ebc02880b377e4af.d: examples/latency_pipeline.rs
+
+/root/repo/target/debug/examples/latency_pipeline-ebc02880b377e4af: examples/latency_pipeline.rs
+
+examples/latency_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/motif_dsl-a6d34f47e250bf8b.d: examples/motif_dsl.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmotif_dsl-a6d34f47e250bf8b.rmeta: examples/motif_dsl.rs Cargo.toml
+
+examples/motif_dsl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

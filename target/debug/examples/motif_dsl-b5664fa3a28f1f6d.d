@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/motif_dsl-b5664fa3a28f1f6d.d: examples/motif_dsl.rs
+
+/root/repo/target/debug/examples/motif_dsl-b5664fa3a28f1f6d: examples/motif_dsl.rs
+
+examples/motif_dsl.rs:

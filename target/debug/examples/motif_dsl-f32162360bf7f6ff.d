@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/motif_dsl-f32162360bf7f6ff.d: examples/motif_dsl.rs
+
+/root/repo/target/debug/examples/motif_dsl-f32162360bf7f6ff: examples/motif_dsl.rs
+
+examples/motif_dsl.rs:

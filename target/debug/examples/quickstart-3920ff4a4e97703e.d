@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3920ff4a4e97703e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3920ff4a4e97703e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-83209b280d02631e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-83209b280d02631e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libcrossbeam.rlib: /root/repo/shims/crossbeam/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libproptest.rlib: /root/repo/shims/proptest/src/lib.rs

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-1c00206d1f02c7e6.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-1c00206d1f02c7e6.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-1c00206d1f02c7e6.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

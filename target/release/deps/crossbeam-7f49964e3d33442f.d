@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-7f49964e3d33442f.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-7f49964e3d33442f.rlib: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-7f49964e3d33442f.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

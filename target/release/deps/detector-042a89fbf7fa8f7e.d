@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/detector-042a89fbf7fa8f7e.d: crates/bench/benches/detector.rs
+
+/root/repo/target/release/deps/detector-042a89fbf7fa8f7e: crates/bench/benches/detector.rs
+
+crates/bench/benches/detector.rs:

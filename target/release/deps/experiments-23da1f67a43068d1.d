@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-23da1f67a43068d1.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-23da1f67a43068d1: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hotpath-ef9ebdab8a282ec8.d: crates/bench/src/bin/hotpath.rs
+
+/root/repo/target/release/deps/hotpath-ef9ebdab8a282ec8: crates/bench/src/bin/hotpath.rs
+
+crates/bench/src/bin/hotpath.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/intersect-feb8ee2bffb2d811.d: crates/bench/benches/intersect.rs
+
+/root/repo/target/release/deps/intersect-feb8ee2bffb2d811: crates/bench/benches/intersect.rs
+
+crates/bench/benches/intersect.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/magicrecs-4a404a75c479afbb.d: src/lib.rs
+
+/root/repo/target/release/deps/libmagicrecs-4a404a75c479afbb.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmagicrecs-4a404a75c479afbb.rmeta: src/lib.rs
+
+src/lib.rs:

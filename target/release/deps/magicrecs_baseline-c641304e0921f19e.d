@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/magicrecs_baseline-c641304e0921f19e.d: crates/baseline/src/lib.rs crates/baseline/src/batch.rs crates/baseline/src/bloom.rs crates/baseline/src/polling.rs crates/baseline/src/two_hop.rs
+
+/root/repo/target/release/deps/libmagicrecs_baseline-c641304e0921f19e.rlib: crates/baseline/src/lib.rs crates/baseline/src/batch.rs crates/baseline/src/bloom.rs crates/baseline/src/polling.rs crates/baseline/src/two_hop.rs
+
+/root/repo/target/release/deps/libmagicrecs_baseline-c641304e0921f19e.rmeta: crates/baseline/src/lib.rs crates/baseline/src/batch.rs crates/baseline/src/bloom.rs crates/baseline/src/polling.rs crates/baseline/src/two_hop.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/batch.rs:
+crates/baseline/src/bloom.rs:
+crates/baseline/src/polling.rs:
+crates/baseline/src/two_hop.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/magicrecs_bench-8252c85954d6f532.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmagicrecs_bench-8252c85954d6f532.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmagicrecs_bench-8252c85954d6f532.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/magicrecs_core-2a39e16fddcc4e70.d: crates/core/src/lib.rs crates/core/src/detector.rs crates/core/src/engine.rs crates/core/src/intersect.rs crates/core/src/scoring.rs crates/core/src/threshold.rs
+
+/root/repo/target/release/deps/libmagicrecs_core-2a39e16fddcc4e70.rlib: crates/core/src/lib.rs crates/core/src/detector.rs crates/core/src/engine.rs crates/core/src/intersect.rs crates/core/src/scoring.rs crates/core/src/threshold.rs
+
+/root/repo/target/release/deps/libmagicrecs_core-2a39e16fddcc4e70.rmeta: crates/core/src/lib.rs crates/core/src/detector.rs crates/core/src/engine.rs crates/core/src/intersect.rs crates/core/src/scoring.rs crates/core/src/threshold.rs
+
+crates/core/src/lib.rs:
+crates/core/src/detector.rs:
+crates/core/src/engine.rs:
+crates/core/src/intersect.rs:
+crates/core/src/scoring.rs:
+crates/core/src/threshold.rs:

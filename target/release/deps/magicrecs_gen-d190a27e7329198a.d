@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/magicrecs_gen-d190a27e7329198a.d: crates/gen/src/lib.rs crates/gen/src/arrivals.rs crates/gen/src/graph_gen.rs crates/gen/src/scenario.rs crates/gen/src/zipf.rs
+
+/root/repo/target/release/deps/libmagicrecs_gen-d190a27e7329198a.rlib: crates/gen/src/lib.rs crates/gen/src/arrivals.rs crates/gen/src/graph_gen.rs crates/gen/src/scenario.rs crates/gen/src/zipf.rs
+
+/root/repo/target/release/deps/libmagicrecs_gen-d190a27e7329198a.rmeta: crates/gen/src/lib.rs crates/gen/src/arrivals.rs crates/gen/src/graph_gen.rs crates/gen/src/scenario.rs crates/gen/src/zipf.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/arrivals.rs:
+crates/gen/src/graph_gen.rs:
+crates/gen/src/scenario.rs:
+crates/gen/src/zipf.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/magicrecs_graph-509623cdd07d8305.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/follow.rs crates/graph/src/intern.rs crates/graph/src/io.rs crates/graph/src/partition.rs crates/graph/src/stats.rs
+
+/root/repo/target/release/deps/libmagicrecs_graph-509623cdd07d8305.rlib: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/follow.rs crates/graph/src/intern.rs crates/graph/src/io.rs crates/graph/src/partition.rs crates/graph/src/stats.rs
+
+/root/repo/target/release/deps/libmagicrecs_graph-509623cdd07d8305.rmeta: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/follow.rs crates/graph/src/intern.rs crates/graph/src/io.rs crates/graph/src/partition.rs crates/graph/src/stats.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/follow.rs:
+crates/graph/src/intern.rs:
+crates/graph/src/io.rs:
+crates/graph/src/partition.rs:
+crates/graph/src/stats.rs:

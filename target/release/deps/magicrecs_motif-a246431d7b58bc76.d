@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/magicrecs_motif-a246431d7b58bc76.d: crates/motif/src/lib.rs crates/motif/src/cluster.rs crates/motif/src/exec.rs crates/motif/src/library.rs crates/motif/src/parse.rs crates/motif/src/plan.rs crates/motif/src/planner.rs crates/motif/src/spec.rs
+
+/root/repo/target/release/deps/libmagicrecs_motif-a246431d7b58bc76.rlib: crates/motif/src/lib.rs crates/motif/src/cluster.rs crates/motif/src/exec.rs crates/motif/src/library.rs crates/motif/src/parse.rs crates/motif/src/plan.rs crates/motif/src/planner.rs crates/motif/src/spec.rs
+
+/root/repo/target/release/deps/libmagicrecs_motif-a246431d7b58bc76.rmeta: crates/motif/src/lib.rs crates/motif/src/cluster.rs crates/motif/src/exec.rs crates/motif/src/library.rs crates/motif/src/parse.rs crates/motif/src/plan.rs crates/motif/src/planner.rs crates/motif/src/spec.rs
+
+crates/motif/src/lib.rs:
+crates/motif/src/cluster.rs:
+crates/motif/src/exec.rs:
+crates/motif/src/library.rs:
+crates/motif/src/parse.rs:
+crates/motif/src/plan.rs:
+crates/motif/src/planner.rs:
+crates/motif/src/spec.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/magicrecs_stream-e9beba341519b9d0.d: crates/stream/src/lib.rs crates/stream/src/delay.rs crates/stream/src/live.rs crates/stream/src/queue.rs crates/stream/src/sched.rs
+
+/root/repo/target/release/deps/libmagicrecs_stream-e9beba341519b9d0.rlib: crates/stream/src/lib.rs crates/stream/src/delay.rs crates/stream/src/live.rs crates/stream/src/queue.rs crates/stream/src/sched.rs
+
+/root/repo/target/release/deps/libmagicrecs_stream-e9beba341519b9d0.rmeta: crates/stream/src/lib.rs crates/stream/src/delay.rs crates/stream/src/live.rs crates/stream/src/queue.rs crates/stream/src/sched.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/delay.rs:
+crates/stream/src/live.rs:
+crates/stream/src/queue.rs:
+crates/stream/src/sched.rs:

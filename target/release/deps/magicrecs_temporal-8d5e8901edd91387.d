@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/magicrecs_temporal-8d5e8901edd91387.d: crates/temporal/src/lib.rs crates/temporal/src/sharded.rs crates/temporal/src/store.rs crates/temporal/src/target_list.rs crates/temporal/src/wheel.rs
+
+/root/repo/target/release/deps/libmagicrecs_temporal-8d5e8901edd91387.rlib: crates/temporal/src/lib.rs crates/temporal/src/sharded.rs crates/temporal/src/store.rs crates/temporal/src/target_list.rs crates/temporal/src/wheel.rs
+
+/root/repo/target/release/deps/libmagicrecs_temporal-8d5e8901edd91387.rmeta: crates/temporal/src/lib.rs crates/temporal/src/sharded.rs crates/temporal/src/store.rs crates/temporal/src/target_list.rs crates/temporal/src/wheel.rs
+
+crates/temporal/src/lib.rs:
+crates/temporal/src/sharded.rs:
+crates/temporal/src/store.rs:
+crates/temporal/src/target_list.rs:
+crates/temporal/src/wheel.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/magicrecs_types-b009e6953b00dad6.d: crates/types/src/lib.rs crates/types/src/config.rs crates/types/src/error.rs crates/types/src/event.rs crates/types/src/hash.rs crates/types/src/ids.rs crates/types/src/metrics.rs crates/types/src/time.rs
+
+/root/repo/target/release/deps/libmagicrecs_types-b009e6953b00dad6.rlib: crates/types/src/lib.rs crates/types/src/config.rs crates/types/src/error.rs crates/types/src/event.rs crates/types/src/hash.rs crates/types/src/ids.rs crates/types/src/metrics.rs crates/types/src/time.rs
+
+/root/repo/target/release/deps/libmagicrecs_types-b009e6953b00dad6.rmeta: crates/types/src/lib.rs crates/types/src/config.rs crates/types/src/error.rs crates/types/src/event.rs crates/types/src/hash.rs crates/types/src/ids.rs crates/types/src/metrics.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/config.rs:
+crates/types/src/error.rs:
+crates/types/src/event.rs:
+crates/types/src/hash.rs:
+crates/types/src/ids.rs:
+crates/types/src/metrics.rs:
+crates/types/src/time.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-14158ffccc875d75.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-14158ffccc875d75.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-14158ffccc875d75.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

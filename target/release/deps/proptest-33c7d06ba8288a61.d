@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-33c7d06ba8288a61.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-33c7d06ba8288a61.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-33c7d06ba8288a61.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

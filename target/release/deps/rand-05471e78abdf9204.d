@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-05471e78abdf9204.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-05471e78abdf9204.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-05471e78abdf9204.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-18036b3becf4f495.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-18036b3becf4f495.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-18036b3becf4f495.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-306af5c3887b30a7.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-306af5c3887b30a7.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-705cad3ceff8d49c.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-705cad3ceff8d49c.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

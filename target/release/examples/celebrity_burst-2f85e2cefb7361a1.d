@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/celebrity_burst-2f85e2cefb7361a1.d: examples/celebrity_burst.rs
+
+/root/repo/target/release/examples/celebrity_burst-2f85e2cefb7361a1: examples/celebrity_burst.rs
+
+examples/celebrity_burst.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/latency_pipeline-2d2d9501d2cab82a.d: examples/latency_pipeline.rs
+
+/root/repo/target/release/examples/latency_pipeline-2d2d9501d2cab82a: examples/latency_pipeline.rs
+
+examples/latency_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/motif_dsl-5b42d133ee88ae6d.d: examples/motif_dsl.rs
+
+/root/repo/target/release/examples/motif_dsl-5b42d133ee88ae6d: examples/motif_dsl.rs
+
+examples/motif_dsl.rs:

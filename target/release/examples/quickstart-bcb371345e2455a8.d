@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-bcb371345e2455a8.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-bcb371345e2455a8: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libcriterion.rlib: /root/repo/shims/criterion/src/lib.rs
