@@ -3,9 +3,12 @@
 //!
 //! Usage:
 //!   cargo run -p magicrecs-bench --release --bin hotpath
+//!   cargo run -p magicrecs-bench --release --bin hotpath -- \
+//!       --concurrent-only --threads 2   # CI smoke: scaling arm only,
+//!                                       # no JSON rewrite
 //!
-//! Covers the three layers this PR optimized plus an emulation of the
-//! seed's data structures for an honest before/after:
+//! Covers the layers PR 1 optimized (with an emulation of the seed's data
+//! structures for an honest before/after) plus PR 2's shared-state engine:
 //!
 //! * `s_lookup` — dense offset-array CSR `S[B]` fetch vs the seed's
 //!   Fx-hash-indexed CSR probe (emulated over the same adjacency).
@@ -14,8 +17,14 @@
 //!   witness lists ("seed adaptive" = the old heap/scan switch).
 //! * `detector_*` — end-to-end engine ns/event on a Zipf trace and on a
 //!   synthetic celebrity workload, per threshold arm.
+//! * `concurrent_*` — thread-scaling curve of `ConcurrentEngine` (one
+//!   shared `S` + sharded `D`, stream hash-routed by target) on the
+//!   celebrity workload, events/sec at 1→N workers. `bench_cores` records
+//!   how many hardware threads the box actually had — on a single-core
+//!   container the curve is honest but flat.
 
 use magicrecs_bench::{bench_trace, small_graph};
+use magicrecs_cluster::SharedEngineCluster;
 use magicrecs_core::intersect::{intersect_adaptive, intersect_gallop, intersect_merge};
 use magicrecs_core::threshold::{threshold_intersect, ThresholdAlgo};
 use magicrecs_core::Engine;
@@ -83,6 +92,122 @@ impl Json {
     }
 }
 
+/// Command-line options (CI smoke vs full baseline rewrite).
+struct Args {
+    /// Run only the concurrent scaling arm and skip the JSON rewrite.
+    concurrent_only: bool,
+    /// Largest worker count on the scaling curve (1 is always measured).
+    max_threads: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        concurrent_only: false,
+        max_threads: 4,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--concurrent-only" => args.concurrent_only = true,
+            "--threads" => {
+                args.max_threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a positive integer");
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    assert!(args.max_threads >= 1, "--threads must be >= 1");
+    args
+}
+
+/// The celebrity workload graph: 512 As follow 4 ordinary Bs and the
+/// celebrity; 200k extra users follow the celebrity too, so every closing
+/// event forces a k-of-5 threshold against a 200k-follower list.
+fn celebrity_graph() -> FollowGraph {
+    let mut gb = GraphBuilder::new();
+    let celeb = UserId(9_000_000);
+    for a in 0..512u64 {
+        for b in 0..4u64 {
+            gb.add_edge(UserId(a), UserId(1_000_000 + b));
+        }
+        gb.add_edge(UserId(a), celeb);
+    }
+    for extra in 0..200_000u64 {
+        gb.add_edge(UserId(10_000 + extra), celeb);
+    }
+    gb.build()
+}
+
+/// The celebrity workload as an event trace: per round, the 4 ordinary Bs
+/// act on a fresh C and the celebrity closes the diamond. Timestamps stay
+/// inside one τ window so the work per event is identical no matter how
+/// rounds interleave across worker threads — the scaling curve measures
+/// threading, not accidental expiry.
+fn celebrity_trace(rounds: u64) -> Vec<EdgeEvent> {
+    let celeb = UserId(9_000_000);
+    let mut events = Vec::with_capacity(rounds as usize * 5);
+    for round in 0..rounds {
+        let c = UserId(20_000_000 + round);
+        let t = Timestamp::from_secs(43_200 + round % 300);
+        for b in 0..4u64 {
+            events.push(EdgeEvent::follow(UserId(1_000_000 + b), c, t));
+        }
+        events.push(EdgeEvent::follow(celeb, c, t));
+    }
+    events
+}
+
+/// Thread-scaling curve of the shared-state engine on the celebrity
+/// workload. Appends `concurrent_*` keys to `json`.
+fn run_concurrent(json: &mut Json, max_threads: usize) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("# concurrent engine scaling, celebrity workload ({cores} cores)");
+    let graph = celebrity_graph();
+    let trace = celebrity_trace(2_000);
+
+    let mut fields: Vec<(&str, f64)> = Vec::new();
+    let rate_at = |threads: usize| -> f64 {
+        let cluster = SharedEngineCluster::new(&graph, threads, DetectorConfig::production())
+            .expect("valid cluster config");
+        // One untimed run first: the arm that happens to go first must not
+        // eat the page-cache/allocator warm-up for everyone else.
+        cluster.run_trace(&trace).expect("warm-up run");
+        let mut samples: Vec<f64> = (0..3)
+            .map(|_| {
+                let report = cluster.run_trace(&trace).expect("run_trace");
+                report.stream_events_per_sec()
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        samples[samples.len() / 2]
+    };
+    for (label, threads) in [("t1", 1usize), ("t2", 2), ("t4", 4)] {
+        if threads > max_threads {
+            continue;
+        }
+        let rate = rate_at(threads);
+        println!("  {threads} thread(s): {rate:.0} events/sec");
+        fields.push((label, rate));
+    }
+    json.obj("concurrent_celebrity_events_per_sec", &fields);
+    json.num("concurrent_bench_cores", cores as f64);
+    if let (Some(&(_, r1)), Some(&(last, rn))) = (
+        fields.iter().find(|(l, _)| *l == "t1"),
+        fields.last().filter(|(l, _)| *l != "t1"),
+    ) {
+        let speedup = rn / r1;
+        let key = if last == "t4" {
+            "concurrent_speedup_t4_over_t1"
+        } else {
+            "concurrent_speedup_t2_over_t1"
+        };
+        json.num(key, speedup);
+        println!("  speedup at max threads vs 1: {speedup:.2}x");
+    }
+}
+
 /// The seed's CSR layout: Fx-hash index from sparse id to a range over a
 /// shared u64 target array. Rebuilt here so the dense rewrite has an
 /// in-repo baseline to race against.
@@ -113,6 +238,15 @@ impl SeedHashCsr {
 }
 
 fn main() {
+    let args = parse_args();
+    if args.concurrent_only {
+        // CI smoke: run the scaling arm, print, leave the committed
+        // baseline untouched.
+        let mut json = Json::new();
+        run_concurrent(&mut json, args.max_threads);
+        return;
+    }
+
     let mut json = Json::new();
     json.str("units", "ns_per_op");
     json.str(
@@ -276,18 +410,8 @@ fn main() {
     // celebrity acts, forcing a k-of-5 threshold against the 200k-follower
     // list on every closing event.
     println!("# detector on celebrity workload (k=3)");
-    let mut gb = GraphBuilder::new();
     let celeb = UserId(9_000_000);
-    for a in 0..512u64 {
-        for b in 0..4u64 {
-            gb.add_edge(UserId(a), UserId(1_000_000 + b));
-        }
-        gb.add_edge(UserId(a), celeb);
-    }
-    for extra in 0..200_000u64 {
-        gb.add_edge(UserId(10_000 + extra), celeb);
-    }
-    let celeb_graph = gb.build();
+    let celeb_graph = celebrity_graph();
     let mut fields: Vec<(&str, f64)> = Vec::new();
     for (name, algo) in [
         ("scan_count", ThresholdAlgo::ScanCount),
@@ -339,6 +463,9 @@ fn main() {
     let e2e_speedup = seed_e2e / new_e2e;
     json.num("speedup_detector_celebrity_seed_over_new", e2e_speedup);
     println!("  end-to-end speedup vs seed adaptive: {e2e_speedup:.1}x");
+
+    // ---- concurrent engine scaling --------------------------------------
+    run_concurrent(&mut json, args.max_threads);
 
     // ---- write ----------------------------------------------------------
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))

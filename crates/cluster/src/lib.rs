@@ -24,6 +24,10 @@
 //!   routing and failure injection.
 //! * [`threaded::ThreadedCluster`] — real-thread deployment (one thread per
 //!   partition over crossbeam channels) for the scaling experiments.
+//! * [`threaded::SharedEngineCluster`] — the shared-state alternative: N
+//!   worker threads hash-route the stream by target into one
+//!   `magicrecs_core::ConcurrentEngine` (one `S`, one sharded `D`) instead
+//!   of N share-nothing partition clones.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,4 +40,4 @@ pub mod threaded;
 pub use broker::Broker;
 pub use partition::Partition;
 pub use replica::ReplicaSet;
-pub use threaded::ThreadedCluster;
+pub use threaded::{SharedEngineCluster, ThreadedCluster};

@@ -1,17 +1,30 @@
-//! Real-thread cluster deployment: one worker thread per partition.
+//! Real-thread cluster deployments.
 //!
-//! Every worker consumes the full event stream from its own bounded channel
-//! (the fan-out the paper describes) and runs local detection; candidates
-//! flow back through a shared gather channel. This is the configuration the
-//! scaling experiment (E6) measures: aggregate ingest+detect throughput as
-//! partitions are added.
+//! Two modes, one report type:
+//!
+//! * **Partitioned** ([`ThreadedCluster`]) — one worker thread per
+//!   partition; every worker consumes the *full* event stream from its own
+//!   bounded channel (the fan-out the paper describes) and runs local
+//!   detection over its share-nothing slice of `S` plus a private complete
+//!   `D`. This is the configuration the scaling experiment (E6) measures:
+//!   aggregate ingest+detect throughput as partitions are added.
+//! * **Shared** ([`SharedEngineCluster`]) — N worker threads drive *one*
+//!   [`ConcurrentEngine`] (full `S` behind an `Arc` snapshot slot, one
+//!   sharded `D`). The stream is hash-routed by target, so each event is
+//!   processed exactly once and same-target events keep their relative
+//!   order — which makes per-event candidates identical to a sequential
+//!   engine run. Where partitioned mode buys throughput by duplicating
+//!   event-processing N times, shared mode buys it by overlapping ingest
+//!   and detection on one copy of the state.
 
 use crate::partition::Partition;
 use crossbeam::channel;
+use magicrecs_core::ConcurrentEngine;
 use magicrecs_graph::{partition_by_source, FollowGraph, HashPartitioner};
 use magicrecs_types::{
     Candidate, ClusterConfig, DetectorConfig, EdgeEvent, Error, PartitionId, Result,
 };
+use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
 
@@ -132,6 +145,109 @@ impl ThreadedCluster {
     }
 }
 
+/// N worker threads sharing one [`ConcurrentEngine`].
+///
+/// Events are hash-routed by target (`dst`), so every event is processed
+/// exactly once and all events for a given target are handled by the same
+/// worker in stream order. Candidates for an event therefore match what a
+/// sequential engine produces on the same trace (they depend only on `S`
+/// and on `D[target]`, which sees the same update sequence).
+pub struct SharedEngineCluster {
+    graph: FollowGraph,
+    workers: usize,
+    detector_config: DetectorConfig,
+}
+
+impl SharedEngineCluster {
+    /// Prepares a shared-engine cluster with `workers` threads.
+    pub fn new(
+        graph: &FollowGraph,
+        workers: usize,
+        detector_config: DetectorConfig,
+    ) -> Result<Self> {
+        if workers == 0 {
+            return Err(Error::InvalidConfig("workers must be >= 1".into()));
+        }
+        detector_config.validate()?;
+        Ok(SharedEngineCluster {
+            graph: graph.clone(),
+            workers,
+            detector_config,
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Routes `dst` to a worker: same target, same worker, every time.
+    ///
+    /// Uses the workspace routing mix ([`magicrecs_types::route_mix`]) —
+    /// the same value `ShardedTemporalStore` masks for its shard choice,
+    /// so each worker's targets map onto a stable subset of `D` shards and
+    /// cross-worker shard contention stays low by construction.
+    fn route(dst: magicrecs_types::UserId, workers: usize) -> usize {
+        (magicrecs_types::route_mix(&dst) as usize) % workers
+    }
+
+    /// Runs a trace through a fresh shared engine, gathering all
+    /// candidates. Deterministic output (same sort as partitioned mode).
+    pub fn run_trace(&self, events: &[EdgeEvent]) -> Result<ThreadedRunReport> {
+        let engine = Arc::new(ConcurrentEngine::new(
+            self.graph.clone(),
+            self.detector_config,
+        )?);
+        let (result_tx, result_rx) = channel::unbounded::<Vec<Candidate>>();
+        let mut senders = Vec::with_capacity(self.workers);
+        let mut joins = Vec::with_capacity(self.workers);
+
+        for _ in 0..self.workers {
+            let (tx, rx) = channel::bounded::<EdgeEvent>(4096);
+            let engine = Arc::clone(&engine);
+            let result_tx = result_tx.clone();
+            senders.push(tx);
+            joins.push(thread::spawn(move || {
+                let mut local_out = Vec::new();
+                let mut scratch = Vec::new();
+                for event in rx.iter() {
+                    scratch.clear();
+                    engine.on_event_into(event, &mut scratch);
+                    local_out.append(&mut scratch);
+                }
+                let _ = result_tx.send(local_out);
+            }));
+        }
+        drop(result_tx);
+
+        let start = Instant::now();
+        for &event in events {
+            senders[Self::route(event.dst, self.workers)]
+                .send(event)
+                .map_err(|_| Error::ChannelClosed("shared-engine ingest"))?;
+        }
+        drop(senders);
+
+        let mut candidates = Vec::new();
+        for batch in result_rx.iter() {
+            candidates.extend(batch);
+        }
+        let wall = start.elapsed();
+        for j in joins {
+            j.join()
+                .map_err(|_| Error::ChannelClosed("shared-engine worker panicked"))?;
+        }
+        candidates.sort_by(|a, b| {
+            (a.triggered_at, a.user, a.target).cmp(&(b.triggered_at, b.user, b.target))
+        });
+        Ok(ThreadedRunReport {
+            candidates,
+            events: events.len() as u64,
+            wall,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,5 +332,78 @@ mod tests {
         .unwrap();
         let report = cluster.run_trace(&[]).unwrap();
         assert!(report.candidates.is_empty());
+    }
+
+    /// Shared-engine mode produces exactly the sequential engine's
+    /// candidates: hash-routing by target keeps `D[target]` update order,
+    /// and detection depends on nothing else.
+    #[test]
+    fn shared_engine_matches_sequential_engine() {
+        let g = GraphGen::new(GraphGenConfig::small()).generate();
+        // Trace duration ≪ τ (10 min), so no expiry races the comparison.
+        let trace = Scenario::steady(
+            1_000,
+            ScenarioConfig::small().with_duration(magicrecs_types::Duration::from_secs(20)),
+        );
+        let dc = DetectorConfig {
+            max_witnesses: Some(8),
+            ..DetectorConfig::example()
+        };
+
+        let mut engine = magicrecs_core::Engine::new(g.clone(), dc).unwrap();
+        let mut expected = engine.process_trace(trace.events().iter().copied());
+        expected.sort_by(|a, b| {
+            (a.triggered_at, a.user, a.target).cmp(&(b.triggered_at, b.user, b.target))
+        });
+
+        for workers in [1usize, 4] {
+            let cluster = SharedEngineCluster::new(&g, workers, dc).unwrap();
+            let report = cluster.run_trace(trace.events()).unwrap();
+            assert_eq!(report.candidates, expected, "workers={workers}");
+            assert_eq!(report.events as usize, trace.len());
+        }
+    }
+
+    /// Shared mode and partitioned mode agree on the candidate multiset
+    /// (partitioning by `A` splits `S` without losing any intersections).
+    #[test]
+    fn shared_engine_matches_partitioned_cluster() {
+        let g = GraphGen::new(GraphGenConfig::small()).generate();
+        let trace = Scenario::steady(
+            800,
+            ScenarioConfig::small().with_duration(magicrecs_types::Duration::from_secs(20)),
+        );
+        let dc = DetectorConfig {
+            max_witnesses: Some(8),
+            ..DetectorConfig::example()
+        };
+
+        let partitioned = ThreadedCluster::new(&g, ClusterConfig::single().with_partitions(4), dc)
+            .unwrap()
+            .run_trace(trace.events())
+            .unwrap();
+        let shared = SharedEngineCluster::new(&g, 2, dc)
+            .unwrap()
+            .run_trace(trace.events())
+            .unwrap();
+        assert_eq!(shared.candidates, partitioned.candidates);
+    }
+
+    #[test]
+    fn shared_engine_reusable_and_deterministic() {
+        let g = GraphGen::new(GraphGenConfig::small()).generate();
+        let short = ScenarioConfig::small().with_duration(magicrecs_types::Duration::from_secs(15));
+        let t = Scenario::steady(400, short);
+        let cluster = SharedEngineCluster::new(&g, 3, DetectorConfig::example()).unwrap();
+        let a = cluster.run_trace(t.events()).unwrap();
+        let b = cluster.run_trace(t.events()).unwrap();
+        // Fresh engine per run: identical inputs give identical outputs.
+        assert_eq!(a.candidates, b.candidates);
+    }
+
+    #[test]
+    fn shared_engine_rejects_zero_workers() {
+        let g = GraphGen::new(GraphGenConfig::small()).generate();
+        assert!(SharedEngineCluster::new(&g, 0, DetectorConfig::example()).is_err());
     }
 }

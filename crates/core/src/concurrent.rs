@@ -1,0 +1,451 @@
+//! The shared-state engine: N ingest/detect workers over one `S` + one
+//! sharded `D`.
+//!
+//! The paper's deployment keeps `D` as a concurrently-updated recent-edge
+//! structure while detection queries race against ingest — the throughput
+//! of streaming-motif systems comes precisely from overlapping updates with
+//! subgraph queries. [`ConcurrentEngine`] is that shape:
+//!
+//! * **`S`** — an immutable [`FollowGraph`] behind a swappable
+//!   [`Arc`] slot. Workers clone the `Arc` per event (one brief read
+//!   lock), so a detection in flight keeps its snapshot while
+//!   [`ConcurrentEngine::swap_graph`] publishes the periodic offline
+//!   reload. No detection ever observes a half-loaded graph.
+//! * **`D`** — a [`ShardedTemporalStore`]: hash-sharded per-target lists
+//!   behind per-shard locks, mutated through `&self`. Same-target events
+//!   serialize on one shard; the firehose's spread keeps the rest
+//!   uncontended.
+//! * **Detection scratch** — each worker thread lazily materializes its own
+//!   [`DiamondDetector`] (witness/match buffers), so the hot path shares
+//!   no mutable state beyond the store shards.
+//!
+//! The result is `on_event(&self)`: clone the engine's [`Arc`] into N
+//! threads and call it from all of them. Per-event semantics match the
+//! sequential [`crate::Engine`] exactly as long as same-target events keep
+//! their relative order (candidates depend only on `S` and `D[target]`) —
+//! which is what hash-routing a stream by target gives a worker pool; see
+//! `magicrecs_cluster::SharedEngineCluster`. One caveat on a stream whose
+//! timestamps skew heavily *across* targets: the periodic wheel expiry
+//! advances with the engine-wide newest-seen timestamp, so entries more
+//! than τ older than that high-water mark may be reclaimed while a lagging
+//! worker still holds older-stamped events — the same trade the sequential
+//! engine makes when its own out-of-order stream crosses an advance
+//! boundary. Within-τ traffic (the only traffic that can form motifs) is
+//! never affected.
+
+use crate::detector::DiamondDetector;
+use crate::engine::{entry_cap_for, ADVANCE_EVERY};
+use crate::threshold::ThresholdAlgo;
+use magicrecs_graph::FollowGraph;
+use magicrecs_temporal::{PruneStrategy, ShardedTemporalStore, StoreStats};
+use magicrecs_types::{
+    Candidate, DetectorConfig, EdgeEvent, Histogram, Result, Snapshot, Timestamp,
+};
+use parking_lot::{Mutex, RwLock};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default shard count for the concurrent `D` (power of two).
+const DEFAULT_SHARDS: usize = 16;
+
+/// Stripes for the latency histogram: threads land on distinct stripes,
+/// so recording a sample never contends across workers; `stats()` merges.
+const TIME_STRIPES: usize = 16;
+
+/// Most detectors a thread caches before evicting the oldest — bounds the
+/// scratch kept alive by long-lived worker pools that outlive engines
+/// (blue/green swaps, test suites).
+const MAX_CACHED_DETECTORS: usize = 8;
+
+/// Engine ids distinguish thread-local detector scratch when several
+/// engines live in one process (tests, benches, blue/green swaps).
+static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Monotonic thread numbers, used only to spread threads over histogram
+/// stripes.
+static NEXT_THREAD_NO: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Per-thread detector scratch, keyed by engine id. One entry per
+    /// engine this thread has driven recently; lookup is a short linear
+    /// scan, capped at [`MAX_CACHED_DETECTORS`].
+    static DETECTORS: RefCell<Vec<(u64, DiamondDetector)>> = const { RefCell::new(Vec::new()) };
+
+    /// This thread's histogram stripe.
+    static THREAD_STRIPE: usize =
+        NEXT_THREAD_NO.fetch_add(1, Ordering::Relaxed) as usize % TIME_STRIPES;
+}
+
+/// Aggregate counters for a [`ConcurrentEngine`], snapshotted at read time.
+#[derive(Debug, Clone)]
+pub struct ConcurrentStats {
+    /// Events processed (insertions + unfollows), across all threads.
+    pub events: u64,
+    /// Candidates emitted (pre-funnel).
+    pub candidates: u64,
+    /// Events that produced at least one candidate.
+    pub firing_events: u64,
+    /// Wall-clock detection latency per event, µs.
+    pub detect_time: Snapshot,
+}
+
+/// The shared-state engine: one `S` snapshot slot + one sharded `D`,
+/// driven through `&self` by any number of worker threads.
+pub struct ConcurrentEngine {
+    id: u64,
+    graph: RwLock<Arc<FollowGraph>>,
+    store: ShardedTemporalStore,
+    config: DetectorConfig,
+    algo: ThresholdAlgo,
+    events: AtomicU64,
+    candidates: AtomicU64,
+    firing_events: AtomicU64,
+    since_advance: AtomicU64,
+    /// High-water mark of event timestamps seen (µs): wheel expiry always
+    /// advances with this, never with one thread's possibly-stale event
+    /// time, so a lagging worker cannot be out-advanced by more than the
+    /// stream's own timestamp skew.
+    clock: AtomicU64,
+    detect_time: Vec<Mutex<Histogram>>,
+}
+
+impl std::fmt::Debug for ConcurrentEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentEngine")
+            .field("id", &self.id)
+            .field("shards", &self.store.shard_count())
+            .field("events", &self.events.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl ConcurrentEngine {
+    /// Creates an engine over `graph` with a default-sharded wheel-pruned
+    /// store (entry caps mirroring [`crate::Engine::new`]).
+    pub fn new(graph: FollowGraph, config: DetectorConfig) -> Result<Self> {
+        ConcurrentEngine::with_algo(graph, config, ThresholdAlgo::Adaptive)
+    }
+
+    /// Creates an engine pinned to a threshold algorithm (ablation B2).
+    pub fn with_algo(
+        graph: FollowGraph,
+        config: DetectorConfig,
+        algo: ThresholdAlgo,
+    ) -> Result<Self> {
+        let store = ShardedTemporalStore::new(config.tau, PruneStrategy::Wheel, DEFAULT_SHARDS)
+            .with_entry_cap(entry_cap_for(config.max_witnesses));
+        ConcurrentEngine::with_store(graph, store, config, algo)
+    }
+
+    /// Creates an engine over a caller-configured sharded store.
+    pub fn with_store(
+        graph: FollowGraph,
+        store: ShardedTemporalStore,
+        config: DetectorConfig,
+        algo: ThresholdAlgo,
+    ) -> Result<Self> {
+        config.validate()?;
+        Ok(ConcurrentEngine {
+            id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
+            graph: RwLock::new(Arc::new(graph)),
+            store,
+            config,
+            algo,
+            events: AtomicU64::new(0),
+            candidates: AtomicU64::new(0),
+            firing_events: AtomicU64::new(0),
+            since_advance: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+            detect_time: (0..TIME_STRIPES)
+                .map(|_| Mutex::new(Histogram::new()))
+                .collect(),
+        })
+    }
+
+    /// Runs `f` against this thread's detector scratch for this engine,
+    /// creating the detector on first use.
+    fn with_detector<R>(&self, f: impl FnOnce(&mut DiamondDetector) -> R) -> R {
+        DETECTORS.with(|cell| {
+            let mut dets = cell.borrow_mut();
+            let idx = match dets.iter().position(|&(id, _)| id == self.id) {
+                Some(i) => i,
+                None => {
+                    // Evict the longest-cached entry first: a worker pool
+                    // that outlives engines must not accumulate scratch
+                    // for every engine it ever drove.
+                    if dets.len() >= MAX_CACHED_DETECTORS {
+                        dets.remove(0);
+                    }
+                    let det = DiamondDetector::with_algo(self.config, self.algo)
+                        .expect("config validated at engine construction");
+                    dets.push((self.id, det));
+                    dets.len() - 1
+                }
+            };
+            f(&mut dets[idx].1)
+        })
+    }
+
+    /// Processes one event, appending any candidates to `out`. Returns the
+    /// number appended.
+    ///
+    /// Callable from any number of threads sharing one engine: the `D`
+    /// mutation takes one shard lock, the witness copy-out takes the same
+    /// lock, and detection runs lock-free against this event's `S`
+    /// snapshot.
+    pub fn on_event_into(&self, event: EdgeEvent, out: &mut Vec<Candidate>) -> usize {
+        let start = std::time::Instant::now();
+        let t = event.created_at;
+        let emitted = if !event.kind.is_insertion() {
+            self.store.remove(event.src, event.dst);
+            0
+        } else {
+            self.store.insert(event.src, event.dst, t);
+            // Snapshot `S` for the remainder of this event: a concurrent
+            // `swap_graph` must not change the graph mid-detection.
+            let graph = self.graph.read().clone();
+            self.with_detector(|det| {
+                det.detect_into(
+                    &graph,
+                    event.dst,
+                    t,
+                    |buf| self.store.witnesses_into(event.dst, t, buf),
+                    out,
+                )
+            })
+        };
+        let elapsed = start.elapsed().as_micros() as u64;
+
+        self.events.fetch_add(1, Ordering::Relaxed);
+        THREAD_STRIPE.with(|&s| self.detect_time[s].lock().record(elapsed));
+        if emitted > 0 {
+            self.firing_events.fetch_add(1, Ordering::Relaxed);
+            self.candidates.fetch_add(emitted as u64, Ordering::Relaxed);
+        }
+
+        // Wheel-expiry cadence, like the sequential engine's: whichever
+        // thread lands on the boundary pays for the advance — always with
+        // the engine-wide timestamp high-water mark, not this thread's
+        // event time (which may trail other workers on a skewed stream).
+        self.clock.fetch_max(t.as_micros(), Ordering::Relaxed);
+        let n = self.since_advance.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(ADVANCE_EVERY) {
+            self.store
+                .advance(Timestamp::from_micros(self.clock.load(Ordering::Relaxed)));
+        }
+        emitted
+    }
+
+    /// Processes one event, returning any candidates.
+    pub fn on_event(&self, event: EdgeEvent) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        self.on_event_into(event, &mut out);
+        out
+    }
+
+    /// Applies an event's `D` mutation without running detection or
+    /// touching stats (replica state-maintenance mode).
+    pub fn apply_to_store(&self, event: EdgeEvent) {
+        if event.kind.is_insertion() {
+            self.store.insert(event.src, event.dst, event.created_at);
+        } else {
+            self.store.remove(event.src, event.dst);
+        }
+    }
+
+    /// Hot-swaps the static graph, returning the previous snapshot.
+    ///
+    /// The paper: "the A → B edges are computed offline and loaded into
+    /// the system periodically." In-flight detections finish against the
+    /// snapshot they cloned; every later event sees the new graph. `D` is
+    /// untouched, so in-window witnesses keep counting against the
+    /// refreshed follower lists.
+    pub fn swap_graph(&self, new_graph: FollowGraph) -> Arc<FollowGraph> {
+        std::mem::replace(&mut *self.graph.write(), Arc::new(new_graph))
+    }
+
+    /// The current `S` snapshot.
+    pub fn graph(&self) -> Arc<FollowGraph> {
+        self.graph.read().clone()
+    }
+
+    /// Forces dynamic-store expiry up to `now`.
+    pub fn advance(&self, now: Timestamp) {
+        self.store.advance(now);
+    }
+
+    /// The sharded dynamic store.
+    pub fn store(&self) -> &ShardedTemporalStore {
+        &self.store
+    }
+
+    /// Merged store statistics.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// Engine metrics, snapshotted across threads (histogram stripes are
+    /// merged at read time).
+    pub fn stats(&self) -> ConcurrentStats {
+        let mut merged = Histogram::new();
+        for stripe in &self.detect_time {
+            merged.merge(&stripe.lock());
+        }
+        ConcurrentStats {
+            events: self.events.load(Ordering::Relaxed),
+            candidates: self.candidates.load(Ordering::Relaxed),
+            firing_events: self.firing_events.load(Ordering::Relaxed),
+            detect_time: merged.snapshot(),
+        }
+    }
+
+    /// The detector configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// The pinned threshold algorithm.
+    pub fn algo(&self) -> ThresholdAlgo {
+        self.algo
+    }
+
+    /// Approximate resident bytes: `S` (inverse index) + `D`.
+    pub fn memory_bytes(&self) -> usize {
+        self.graph.read().s_memory_bytes() + self.store.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+    use magicrecs_graph::GraphBuilder;
+    use magicrecs_types::UserId;
+    use std::thread;
+
+    fn u(n: u64) -> UserId {
+        UserId(n)
+    }
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn small_graph() -> FollowGraph {
+        let mut g = GraphBuilder::new();
+        g.extend([
+            (u(1), u(11)),
+            (u(1), u(12)),
+            (u(2), u(11)),
+            (u(2), u(12)),
+            (u(3), u(12)),
+        ]);
+        g.build()
+    }
+
+    #[test]
+    fn quickstart_flow_through_shared_ref() {
+        let engine = ConcurrentEngine::new(small_graph(), DetectorConfig::example()).unwrap();
+        let c = u(99);
+        assert!(engine
+            .on_event(EdgeEvent::follow(u(11), c, ts(100)))
+            .is_empty());
+        let recs = engine.on_event(EdgeEvent::follow(u(12), c, ts(105)));
+        let users: Vec<UserId> = recs.iter().map(|r| r.user).collect();
+        assert_eq!(users, vec![u(1), u(2)]);
+        let s = engine.stats();
+        assert_eq!(s.events, 2);
+        assert_eq!(s.firing_events, 1);
+        assert_eq!(s.candidates, 2);
+        assert_eq!(s.detect_time.count, 2);
+    }
+
+    #[test]
+    fn matches_sequential_engine_on_single_thread() {
+        let trace: Vec<EdgeEvent> = (0..200u64)
+            .map(|i| EdgeEvent::follow(u(11 + i % 2), u(1000 + i % 20), ts(10 + i)))
+            .collect();
+        let mut seq = Engine::new(small_graph(), DetectorConfig::example()).unwrap();
+        let conc = ConcurrentEngine::new(small_graph(), DetectorConfig::example()).unwrap();
+        for &e in &trace {
+            assert_eq!(seq.on_event(e), conc.on_event(e));
+        }
+    }
+
+    #[test]
+    fn on_event_is_callable_from_n_threads() {
+        // Distinct targets per thread: each thread closes its own diamonds.
+        let engine =
+            Arc::new(ConcurrentEngine::new(small_graph(), DetectorConfig::example()).unwrap());
+        let handles: Vec<_> = (0..4u64)
+            .map(|w| {
+                let engine = Arc::clone(&engine);
+                thread::spawn(move || {
+                    let mut fired = 0usize;
+                    for i in 0..50u64 {
+                        let c = u(10_000 + w * 1_000 + i);
+                        engine.on_event(EdgeEvent::follow(u(11), c, ts(100)));
+                        fired += engine.on_event(EdgeEvent::follow(u(12), c, ts(105))).len();
+                    }
+                    fired
+                })
+            })
+            .collect();
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        // Every pair fires for A1 and A2.
+        assert_eq!(total, 4 * 50 * 2);
+        assert_eq!(engine.stats().events, 4 * 50 * 2);
+    }
+
+    #[test]
+    fn swap_graph_publishes_to_all_threads() {
+        let mut sparse = GraphBuilder::new();
+        sparse.add_edge(u(1), u(11));
+        let engine = ConcurrentEngine::new(sparse.build(), DetectorConfig::example()).unwrap();
+        let c = u(99);
+        engine.on_event(EdgeEvent::follow(u(11), c, ts(10)));
+        assert!(engine
+            .on_event(EdgeEvent::follow(u(12), c, ts(11)))
+            .is_empty());
+
+        let old = engine.swap_graph(small_graph());
+        assert_eq!(old.num_follow_edges(), 1);
+        let after = engine.on_event(EdgeEvent::follow(u(12), c, ts(12)));
+        assert!(!after.is_empty(), "swap should enable the motif");
+        assert_eq!(after[0].user, u(1));
+    }
+
+    #[test]
+    fn unfollow_removes_witness() {
+        let engine = ConcurrentEngine::new(small_graph(), DetectorConfig::example()).unwrap();
+        let c = u(99);
+        engine.on_event(EdgeEvent::follow(u(11), c, ts(10)));
+        engine.on_event(EdgeEvent::unfollow(u(11), c, ts(11)));
+        assert!(engine
+            .on_event(EdgeEvent::follow(u(12), c, ts(12)))
+            .is_empty());
+    }
+
+    #[test]
+    fn advance_reclaims_store_memory() {
+        let engine = ConcurrentEngine::new(small_graph(), DetectorConfig::example()).unwrap();
+        for i in 0..100u64 {
+            engine.on_event(EdgeEvent::follow(u(11), u(1000 + i), ts(1)));
+        }
+        assert!(engine.store().resident_entries() > 0);
+        engine.advance(ts(100_000));
+        assert_eq!(engine.store().resident_entries(), 0);
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let engine = ConcurrentEngine::new(small_graph(), DetectorConfig::example()).unwrap();
+        assert!(engine.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(ConcurrentEngine::new(small_graph(), DetectorConfig::example().with_k(0)).is_err());
+    }
+}

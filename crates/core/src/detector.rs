@@ -15,6 +15,16 @@
 //! inserted into the D data structures … but these updates are not
 //! propagated to the S data structures").
 //!
+//! **State/kernel split.** Step 1 (and the unfollow path) is the only part
+//! that mutates `D`; steps 2–4 are read-only. [`DiamondDetector::detect_into`]
+//! exposes exactly that read-only kernel, taking the witness list through a
+//! fill callback instead of touching the store itself — the seam that lets
+//! `ConcurrentEngine` run detection against an immutable `S` snapshot while
+//! other threads keep inserting, and lets alternate state layers (the
+//! dense-keyed [`crate::ingest::InterningIngest`], replayed logs) feed the
+//! same kernel. [`DiamondDetector::on_event_into`] is the assembled
+//! sequential flow, generic over any [`EdgeStore`].
+//!
 //! **Dense hot path.** Steps 3–4 run entirely in dense-id space: each
 //! witness `B` is interned once (`S.dense_of`, one hash probe — the only
 //! probe left per witness), its follower list is a dense `u32` slice
@@ -28,7 +38,7 @@
 
 use crate::threshold::{lists_containing, threshold_intersect, ThresholdAlgo};
 use magicrecs_graph::FollowGraph;
-use magicrecs_temporal::TemporalEdgeStore;
+use magicrecs_temporal::EdgeStore;
 use magicrecs_types::{Candidate, DenseId, DetectorConfig, EdgeEvent, Result, Timestamp, UserId};
 
 /// Stateless-per-event detector with reusable scratch buffers.
@@ -71,10 +81,18 @@ impl DiamondDetector {
     ///
     /// Candidates are sorted by user id; each carries the subset of
     /// witnesses that user actually follows.
-    pub fn on_event_into(
+    ///
+    /// Generic over the store: a single-owner [`TemporalEdgeStore`]
+    /// (sequential engine), a [`ShardedTemporalStore`] by value, or a
+    /// `&ShardedTemporalStore` handle shared across threads — any
+    /// [`EdgeStore`] works.
+    ///
+    /// [`TemporalEdgeStore`]: magicrecs_temporal::TemporalEdgeStore
+    /// [`ShardedTemporalStore`]: magicrecs_temporal::ShardedTemporalStore
+    pub fn on_event_into<D: EdgeStore<UserId>>(
         &mut self,
         s: &FollowGraph,
-        d: &mut TemporalEdgeStore,
+        d: &mut D,
         event: EdgeEvent,
         out: &mut Vec<Candidate>,
     ) -> usize {
@@ -84,10 +102,40 @@ impl DiamondDetector {
         }
         let t = event.created_at;
         d.insert(event.src, event.dst, t);
+        self.detect_into(
+            s,
+            event.dst,
+            t,
+            |buf| d.witnesses_into(event.dst, t, buf),
+            out,
+        )
+    }
 
+    /// The read-only detection kernel: steps 2–4 of the paper's algorithm,
+    /// with step 2's result supplied by the caller.
+    ///
+    /// `fill_witnesses` appends the distinct in-window `B`s for `target`
+    /// (each with its latest timestamp) into the detector's scratch — a
+    /// visitor borrow, so the kernel itself never holds store access. This
+    /// is the seam `ConcurrentEngine` uses: the store lookup happens under
+    /// a shard lock inside the callback, and everything after runs against
+    /// the immutable `S` snapshot only. Callers with witnesses from
+    /// elsewhere (a dense-keyed ingest adapter, a replayed log) plug in the
+    /// same way.
+    pub fn detect_into<F>(
+        &mut self,
+        s: &FollowGraph,
+        target: UserId,
+        t: Timestamp,
+        fill_witnesses: F,
+        out: &mut Vec<Candidate>,
+    ) -> usize
+    where
+        F: FnOnce(&mut Vec<(UserId, Timestamp)>),
+    {
         // Top half of the diamond: distinct in-window Bs pointing at C.
         self.witnesses.clear();
-        d.witnesses_into(event.dst, t, &mut self.witnesses);
+        fill_witnesses(&mut self.witnesses);
         if self.witnesses.len() < self.config.k {
             return 0;
         }
@@ -126,7 +174,7 @@ impl DiamondDetector {
 
         // `C` may be unknown to the static graph; then nobody follows it
         // statically and it can never equal an interned match.
-        let dense_dst = s.dense_of(event.dst);
+        let dense_dst = s.dense_of(target);
 
         let mut emitted = 0usize;
         // Order-preserving interning keeps matches ascending by raw id, so
@@ -156,7 +204,7 @@ impl DiamondDetector {
                 .collect();
             out.push(Candidate {
                 user: a,
-                target: event.dst,
+                target,
                 witnesses: witness_ids,
                 triggered_at: t,
             });
@@ -166,10 +214,10 @@ impl DiamondDetector {
     }
 
     /// Convenience wrapper returning a fresh vector.
-    pub fn on_event(
+    pub fn on_event<D: EdgeStore<UserId>>(
         &mut self,
         s: &FollowGraph,
-        d: &mut TemporalEdgeStore,
+        d: &mut D,
         event: EdgeEvent,
     ) -> Vec<Candidate> {
         let mut out = Vec::new();
@@ -182,6 +230,7 @@ impl DiamondDetector {
 mod tests {
     use super::*;
     use magicrecs_graph::GraphBuilder;
+    use magicrecs_temporal::TemporalEdgeStore;
     use magicrecs_types::{Duration, EdgeKind};
 
     fn u(n: u64) -> UserId {

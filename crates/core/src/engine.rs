@@ -14,13 +14,21 @@
 use crate::detector::DiamondDetector;
 use crate::threshold::ThresholdAlgo;
 use magicrecs_graph::FollowGraph;
-use magicrecs_temporal::{PruneStrategy, TemporalEdgeStore};
+use magicrecs_temporal::{EdgeStore, PruneStrategy, TemporalEdgeStore};
 use magicrecs_types::{
-    Candidate, Counter, DetectorConfig, EdgeEvent, Histogram, Result, Timestamp,
+    Candidate, Counter, DetectorConfig, EdgeEvent, Histogram, Result, Timestamp, UserId,
 };
 
 /// How many events between `D.advance()` calls (wheel expiry).
-const ADVANCE_EVERY: u64 = 1024;
+pub(crate) const ADVANCE_EVERY: u64 = 1024;
+
+/// The per-target entry cap derived from a witness cap: 16× headroom (the
+/// paper's "retain the most recent edges" pruning) — only the most recent
+/// witnesses can matter, so older entries on ultra-hot targets are dead
+/// weight.
+pub(crate) fn entry_cap_for(max_witnesses: Option<usize>) -> Option<usize> {
+    max_witnesses.map(|w| (w * 16).max(1024))
+}
 
 /// Counters and timings for an [`Engine`].
 #[derive(Debug, Clone, Default)]
@@ -37,10 +45,16 @@ pub struct EngineStats {
 }
 
 /// One partition's engine: `S` + `D` + detector + metrics.
+///
+/// Generic over the `D` store (any [`EdgeStore`] keyed by `UserId`); the
+/// default is the single-owner [`TemporalEdgeStore`]. The engine itself
+/// stays `&mut self` — it is *one* partition's exclusively-owned state.
+/// For the shared-state deployment where N threads drive one engine, see
+/// [`crate::concurrent::ConcurrentEngine`].
 #[derive(Debug)]
-pub struct Engine {
+pub struct Engine<D = TemporalEdgeStore> {
     graph: FollowGraph,
-    store: TemporalEdgeStore,
+    store: D,
     detector: DiamondDetector,
     stats: EngineStats,
     since_advance: u64,
@@ -56,24 +70,8 @@ impl Engine {
     /// ultra-hot targets are dead weight.
     pub fn new(graph: FollowGraph, config: DetectorConfig) -> Result<Self> {
         let store = TemporalEdgeStore::new(config.tau, PruneStrategy::Wheel)
-            .with_entry_cap(config.max_witnesses.map(|w| (w * 16).max(1024)));
+            .with_entry_cap(entry_cap_for(config.max_witnesses));
         Engine::with_store(graph, store, config)
-    }
-
-    /// Creates an engine with a caller-configured store (pruning ablation).
-    pub fn with_store(
-        graph: FollowGraph,
-        store: TemporalEdgeStore,
-        config: DetectorConfig,
-    ) -> Result<Self> {
-        Ok(Engine {
-            graph,
-            store,
-            detector: DiamondDetector::new(config)?,
-            stats: EngineStats::default(),
-            since_advance: 0,
-            scratch: Vec::new(),
-        })
     }
 
     /// Creates an engine pinned to a threshold algorithm (ablation B2).
@@ -83,11 +81,26 @@ impl Engine {
         algo: ThresholdAlgo,
     ) -> Result<Self> {
         let store = TemporalEdgeStore::new(config.tau, PruneStrategy::Wheel)
-            .with_entry_cap(config.max_witnesses.map(|w| (w * 16).max(1024)));
+            .with_entry_cap(entry_cap_for(config.max_witnesses));
         Ok(Engine {
             graph,
             store,
             detector: DiamondDetector::with_algo(config, algo)?,
+            stats: EngineStats::default(),
+            since_advance: 0,
+            scratch: Vec::new(),
+        })
+    }
+}
+
+impl<D: EdgeStore<UserId>> Engine<D> {
+    /// Creates an engine with a caller-configured store (pruning ablation,
+    /// or a non-default store implementation).
+    pub fn with_store(graph: FollowGraph, store: D, config: DetectorConfig) -> Result<Self> {
+        Ok(Engine {
+            graph,
+            store,
+            detector: DiamondDetector::new(config)?,
             stats: EngineStats::default(),
             since_advance: 0,
             scratch: Vec::new(),
@@ -161,7 +174,7 @@ impl Engine {
     }
 
     /// The dynamic store.
-    pub fn store(&self) -> &TemporalEdgeStore {
+    pub fn store(&self) -> &D {
         &self.store
     }
 

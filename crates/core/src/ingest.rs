@@ -1,0 +1,296 @@
+//! Dense-keyed `D` ingest for closed worlds.
+//!
+//! The engine keeps `D` keyed by sparse [`UserId`] because the live event
+//! stream references an unbounded vertex set. Replay and simulation
+//! traffic is different: its vertices are (almost) all interned into the
+//! static graph already, so the store can run over dense `u32` ids and
+//! halve key hash/compare cost (ROADMAP: "Dense-keyed `D` for closed
+//! worlds").
+//!
+//! [`InterningIngest`] is the thin adapter that makes that safe for the
+//! open-world edge cases too: it seeds its id map from the graph's
+//! [`UserInterner`](magicrecs_graph::UserInterner) and assigns fresh dense
+//! ids past the interned range to any vertex the stream invents. Witness
+//! queries translate back to sparse ids at the boundary, so the detector's
+//! read-only kernel ([`DiamondDetector::detect_into`]) consumes them
+//! unchanged — candidate-for-candidate parity with the sparse-keyed path.
+//!
+//! Generic over the dense store: a single-owner
+//! [`TemporalEdgeStore<DenseId>`] or a sharded
+//! [`ShardedTemporalStore<DenseId>`](magicrecs_temporal::ShardedTemporalStore)
+//! both satisfy the [`EdgeStore`] bound.
+
+use crate::detector::DiamondDetector;
+use magicrecs_graph::FollowGraph;
+use magicrecs_temporal::{EdgeStore, TemporalEdgeStore};
+use magicrecs_types::{Candidate, DenseId, EdgeEvent, FxHashMap, Timestamp, UserId};
+
+/// Maps raw [`UserId`] events into a dense-keyed `D` store.
+#[derive(Debug)]
+pub struct InterningIngest<D = TemporalEdgeStore<DenseId>> {
+    dense: FxHashMap<UserId, DenseId>,
+    users: Vec<UserId>,
+    store: D,
+    /// Reused per-query witness buffer (dense space), so the adapter adds
+    /// no per-event allocation on top of the detector's own scratch.
+    scratch: Vec<(DenseId, Timestamp)>,
+}
+
+impl<D: EdgeStore<DenseId>> InterningIngest<D> {
+    /// Creates an adapter seeded from `graph`'s interner (ids `0..n` map
+    /// exactly as the graph's dense ids; stream-invented vertices extend
+    /// past `n`).
+    pub fn new(graph: &FollowGraph, store: D) -> Self {
+        let mut dense = FxHashMap::default();
+        let mut users = Vec::with_capacity(graph.interner().len());
+        for (d, u) in graph.interner().iter() {
+            debug_assert_eq!(d.index(), users.len(), "interner ids are contiguous");
+            dense.insert(u, d);
+            users.push(u);
+        }
+        InterningIngest {
+            dense,
+            users,
+            store,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Creates an adapter with an empty seed (every vertex is
+    /// stream-assigned).
+    pub fn with_store(store: D) -> Self {
+        InterningIngest {
+            dense: FxHashMap::default(),
+            users: Vec::new(),
+            store,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Interns `user`, assigning the next free dense id on first sight.
+    #[inline]
+    pub fn intern(&mut self, user: UserId) -> DenseId {
+        if let Some(&d) = self.dense.get(&user) {
+            return d;
+        }
+        let d = DenseId(u32::try_from(self.users.len()).expect("dense id space exhausted"));
+        self.dense.insert(user, d);
+        self.users.push(user);
+        d
+    }
+
+    /// The sparse id behind a dense id handed out by this adapter.
+    #[inline]
+    pub fn user_of(&self, d: DenseId) -> UserId {
+        self.users[d.index()]
+    }
+
+    /// Applies one event's `D` mutation in dense space.
+    pub fn on_event(&mut self, event: EdgeEvent) {
+        let src = self.intern(event.src);
+        let dst = self.intern(event.dst);
+        if event.kind.is_insertion() {
+            self.store.insert(src, dst, event.created_at);
+        } else {
+            self.store.remove(src, dst);
+        }
+    }
+
+    /// Appends the distinct in-window witnesses for `dst` (translated back
+    /// to sparse ids) to `out` — the same contract as
+    /// [`EdgeStore::witnesses_into`] on a sparse-keyed store.
+    pub fn witnesses_into(
+        &mut self,
+        dst: UserId,
+        now: Timestamp,
+        out: &mut Vec<(UserId, Timestamp)>,
+    ) {
+        let Some(&dd) = self.dense.get(&dst) else {
+            return; // never-seen target: no witnesses by construction
+        };
+        self.scratch.clear();
+        self.store.witnesses_into(dd, now, &mut self.scratch);
+        out.extend(
+            self.scratch
+                .iter()
+                .map(|&(d, at)| (self.users[d.index()], at)),
+        );
+    }
+
+    /// Full event path: `D` mutation plus detection through the read-only
+    /// kernel. Mirrors [`DiamondDetector::on_event_into`] over a
+    /// sparse-keyed store.
+    pub fn on_event_detect_into(
+        &mut self,
+        detector: &mut DiamondDetector,
+        s: &FollowGraph,
+        event: EdgeEvent,
+        out: &mut Vec<Candidate>,
+    ) -> usize {
+        self.on_event(event);
+        if !event.kind.is_insertion() {
+            return 0;
+        }
+        let t = event.created_at;
+        // Split borrows: the closure captures `store` + translation tables
+        // + the reused dense buffer, not `self`, so the detector scratch
+        // borrow stays disjoint.
+        let (store, dense, users, scratch) =
+            (&mut self.store, &self.dense, &self.users, &mut self.scratch);
+        detector.detect_into(
+            s,
+            event.dst,
+            t,
+            |buf| {
+                let Some(&dd) = dense.get(&event.dst) else {
+                    return;
+                };
+                scratch.clear();
+                store.witnesses_into(dd, t, scratch);
+                buf.extend(scratch.iter().map(|&(d, at)| (users[d.index()], at)));
+            },
+            out,
+        )
+    }
+
+    /// The wrapped dense-keyed store.
+    pub fn store(&self) -> &D {
+        &self.store
+    }
+
+    /// Vertices interned so far (graph seed + stream-assigned).
+    pub fn interned(&self) -> usize {
+        self.users.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magicrecs_graph::GraphBuilder;
+    use magicrecs_temporal::{PruneStrategy, ShardedTemporalStore};
+    use magicrecs_types::{DetectorConfig, Duration};
+
+    fn u(n: u64) -> UserId {
+        UserId(n)
+    }
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn graph() -> FollowGraph {
+        let mut g = GraphBuilder::new();
+        g.extend([
+            (u(1), u(11)),
+            (u(1), u(12)),
+            (u(2), u(11)),
+            (u(2), u(12)),
+            (u(3), u(12)),
+        ]);
+        g.build()
+    }
+
+    /// A small deterministic trace with repeats, unfollows, unknown
+    /// vertices, and several targets.
+    fn trace() -> Vec<EdgeEvent> {
+        let mut events = Vec::new();
+        for i in 0..120u64 {
+            let b = u(11 + i % 3); // 11, 12, 13 (13 is unknown to S)
+            let c = u(900 + i % 5);
+            events.push(EdgeEvent::follow(b, c, ts(10 + i)));
+            if i % 17 == 0 {
+                events.push(EdgeEvent::unfollow(u(11), c, ts(10 + i)));
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn seeded_ids_match_graph_interner() {
+        let g = graph();
+        let ingest: InterningIngest =
+            InterningIngest::new(&g, TemporalEdgeStore::with_window(Duration::from_mins(10)));
+        for (d, user) in g.interner().iter() {
+            assert_eq!(ingest.user_of(d), user);
+        }
+    }
+
+    #[test]
+    fn unknown_vertices_get_fresh_ids() {
+        let g = graph();
+        let mut ingest: InterningIngest =
+            InterningIngest::new(&g, TemporalEdgeStore::with_window(Duration::from_mins(10)));
+        let before = ingest.interned();
+        let d1 = ingest.intern(u(777));
+        let d2 = ingest.intern(u(777));
+        assert_eq!(d1, d2);
+        assert_eq!(d1.index(), before);
+        assert_eq!(ingest.interned(), before + 1);
+    }
+
+    /// The satellite's parity requirement: dense-keyed `D` behind the
+    /// adapter produces the same candidates, event for event, as the
+    /// sparse-keyed path.
+    #[test]
+    fn candidate_parity_with_sparse_path() {
+        let g = graph();
+        let config = DetectorConfig::example();
+
+        let mut sparse_store = TemporalEdgeStore::with_window(config.tau);
+        let mut sparse_det = DiamondDetector::new(config).unwrap();
+
+        let mut ingest: InterningIngest =
+            InterningIngest::new(&g, TemporalEdgeStore::with_window(config.tau));
+        let mut dense_det = DiamondDetector::new(config).unwrap();
+
+        for event in trace() {
+            let expect = sparse_det.on_event(&g, &mut sparse_store, event);
+            let mut got = Vec::new();
+            ingest.on_event_detect_into(&mut dense_det, &g, event, &mut got);
+            assert_eq!(got, expect, "diverged at {event:?}");
+        }
+        assert_eq!(
+            ingest.store().resident_entries(),
+            sparse_store.resident_entries()
+        );
+    }
+
+    #[test]
+    fn parity_holds_over_sharded_dense_store() {
+        let g = graph();
+        let config = DetectorConfig::example();
+
+        let mut sparse_store = TemporalEdgeStore::with_window(config.tau);
+        let mut sparse_det = DiamondDetector::new(config).unwrap();
+
+        let store: ShardedTemporalStore<DenseId> =
+            ShardedTemporalStore::new(config.tau, PruneStrategy::Wheel, 4);
+        let mut ingest = InterningIngest::new(&g, store);
+        let mut dense_det = DiamondDetector::new(config).unwrap();
+
+        for event in trace() {
+            let expect = sparse_det.on_event(&g, &mut sparse_store, event);
+            let mut got = Vec::new();
+            ingest.on_event_detect_into(&mut dense_det, &g, event, &mut got);
+            assert_eq!(got, expect, "diverged at {event:?}");
+        }
+    }
+
+    #[test]
+    fn witnesses_translate_back_to_sparse_ids() {
+        let g = graph();
+        let mut ingest: InterningIngest =
+            InterningIngest::new(&g, TemporalEdgeStore::with_window(Duration::from_mins(10)));
+        ingest.on_event(EdgeEvent::follow(u(11), u(99), ts(10)));
+        ingest.on_event(EdgeEvent::follow(u(12), u(99), ts(20)));
+        let mut out = Vec::new();
+        ingest.witnesses_into(u(99), ts(30), &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![(u(11), ts(10)), (u(12), ts(20))]);
+        // Unknown target: empty, like the sparse store.
+        let mut none = Vec::new();
+        ingest.witnesses_into(u(123_456), ts(30), &mut none);
+        assert!(none.is_empty());
+    }
+}

@@ -13,7 +13,29 @@
 //! > the A's in S to compute an intersection, which is whom we're making
 //! > the recommendation to."
 //!
-//! Modules:
+//! ## Architecture: read-only kernel, swappable state
+//!
+//! Since PR 2 the crate is split along the paper's own seam. Detection
+//! (steps 2–4: witness threshold, follower intersection, candidate
+//! emission) is a **read-only kernel** — [`DiamondDetector::detect_into`]
+//! touches only the immutable `S` and a witness list borrowed through a
+//! fill callback. Everything mutable (`D` upserts, witness lookup,
+//! expiry) lives behind the [`magicrecs_temporal::EdgeStore`] trait.
+//! That split yields two engines over one code path:
+//!
+//! * [`Engine`] — `&mut self`, one exclusively-owned partition: the
+//!   share-nothing unit the paper deploys 20 of. Generic over its store
+//!   (plain [`magicrecs_temporal::TemporalEdgeStore`] by default).
+//! * [`ConcurrentEngine`] — `&self`, one *shared* engine: an immutable
+//!   `Arc<FollowGraph>` snapshot slot (hot-swappable for the periodic
+//!   offline `S` reload), a hash-sharded `D`
+//!   ([`magicrecs_temporal::ShardedTemporalStore`]) mutated under
+//!   per-shard locks, and per-thread detector scratch. N ingest/detect
+//!   workers call `on_event(&self)` on one engine instead of cloning
+//!   share-nothing partitions — the overlap of updates and subgraph
+//!   queries that streaming-motif systems get their throughput from.
+//!
+//! ## Modules
 //!
 //! * [`intersect`] — two-sorted-list intersection: merge, galloping, and an
 //!   adaptive switch (ablation B1). Generic over the element type; the hot
@@ -23,20 +45,30 @@
 //!   heap merge, pivot-skipping with count-based early exit (the
 //!   celebrity-skew specialist), or an adaptive switch (ablation B2).
 //! * [`detector`] — [`DiamondDetector`]: one event in, candidates out,
-//!   working in dense-id space from witness lookup to candidate emission.
-//! * [`engine`] — [`Engine`]: graph + store + detector + metrics; the
-//!   single-node system (one partition of the paper's deployment).
+//!   working in dense-id space from witness lookup to candidate emission;
+//!   hosts the read-only kernel.
+//! * [`engine`] — [`Engine`]: the single-owner engine (one partition of
+//!   the paper's deployment).
+//! * [`concurrent`] — [`ConcurrentEngine`]: the shared-state engine for
+//!   multi-threaded ingest + detection.
+//! * [`ingest`] — [`InterningIngest`]: dense-keyed `D` for closed-world
+//!   (replay/simulation) traffic, feeding the same kernel.
+//! * [`scoring`] — candidate ranking ([`Scorer`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrent;
 pub mod detector;
 pub mod engine;
+pub mod ingest;
 pub mod intersect;
 pub mod scoring;
 pub mod threshold;
 
+pub use concurrent::{ConcurrentEngine, ConcurrentStats};
 pub use detector::DiamondDetector;
 pub use engine::{Engine, EngineStats};
+pub use ingest::InterningIngest;
 pub use scoring::{Scorer, ScoringConfig};
 pub use threshold::ThresholdAlgo;

@@ -23,8 +23,10 @@ pub mod dedup;
 pub mod fatigue;
 pub mod pipeline;
 pub mod quiet;
+pub mod shared;
 
 pub use dedup::DedupFilter;
 pub use fatigue::FatigueController;
 pub use pipeline::{Funnel, FunnelStats};
 pub use quiet::QuietHours;
+pub use shared::SharedFunnel;

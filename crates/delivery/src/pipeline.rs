@@ -8,6 +8,12 @@
 //!
 //! [`FunnelStats`] gives the per-stage reduction counts that experiment E4
 //! compares against the paper's "billions → millions" claim.
+//!
+//! The funnel is `&mut self` (its stages are sequential per user). When
+//! candidates arrive from N concurrent detection threads — the
+//! shared-state engine's emitters — wrap it in
+//! [`crate::shared::SharedFunnel`], which serializes `offer`s behind a
+//! `&self` front.
 
 use crate::dedup::DedupFilter;
 use crate::fatigue::FatigueController;

@@ -1,0 +1,167 @@
+//! Funnel front-end for concurrent candidate emitters.
+//!
+//! The funnel's stages are inherently sequential per user (dedup horizons,
+//! fatigue quotas, deferred heaps), so [`Funnel`] is `&mut self`. With the
+//! shared-state engine, candidates arrive from N detection threads at
+//! once; [`SharedFunnel`] is the thin `&self` front that serializes offers
+//! into one funnel without the emitters having to coordinate. The lock is
+//! held per offer — candidate volume is orders of magnitude below event
+//! volume (that is the funnel's whole point), so this stage is never the
+//! bottleneck the engine is.
+
+use crate::pipeline::{Funnel, FunnelStats};
+use magicrecs_types::{Candidate, FunnelConfig, Recommendation, Result, Timestamp, UserId};
+use std::sync::Mutex;
+
+/// A [`Funnel`] callable from any number of emitter threads.
+pub struct SharedFunnel {
+    inner: Mutex<Funnel>,
+}
+
+impl SharedFunnel {
+    /// Builds a shared funnel from configuration.
+    pub fn new(config: FunnelConfig) -> Result<Self> {
+        Ok(SharedFunnel {
+            inner: Mutex::new(Funnel::new(config)?),
+        })
+    }
+
+    /// Wraps an existing funnel (e.g. one with timezones registered).
+    pub fn from_funnel(funnel: Funnel) -> Self {
+        SharedFunnel {
+            inner: Mutex::new(funnel),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Funnel> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers a user's UTC offset for quiet-hour computation.
+    pub fn set_timezone(&self, user: UserId, offset_hours: i8) {
+        self.lock().set_timezone(user, offset_hours);
+    }
+
+    /// Offers one candidate at `now` (see [`Funnel::offer`]).
+    pub fn offer(&self, candidate: Candidate, now: Timestamp) -> Option<Recommendation> {
+        self.lock().offer(candidate, now)
+    }
+
+    /// Offers a batch under one lock acquisition — what a detection worker
+    /// does with the candidates of one event.
+    pub fn offer_batch<I>(&self, candidates: I, now: Timestamp) -> Vec<Recommendation>
+    where
+        I: IntoIterator<Item = Candidate>,
+    {
+        let mut funnel = self.lock();
+        candidates
+            .into_iter()
+            .filter_map(|c| funnel.offer(c, now))
+            .collect()
+    }
+
+    /// Releases deferred pushes due at or before `now`.
+    pub fn poll_deferred(&self, now: Timestamp) -> Vec<Recommendation> {
+        self.lock().poll_deferred(now)
+    }
+
+    /// Pushes currently held for quiet hours.
+    pub fn pending_deferred(&self) -> usize {
+        self.lock().pending_deferred()
+    }
+
+    /// Snapshot of the funnel accounting.
+    pub fn stats(&self) -> FunnelStats {
+        self.lock().stats().clone()
+    }
+
+    /// Compacts internal maps (dedup horizon, fatigue periods).
+    pub fn compact(&self, now: Timestamp) {
+        self.lock().compact(now);
+    }
+
+    /// Unwraps the inner funnel (end of stream).
+    pub fn into_inner(self) -> Funnel {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn u(n: u64) -> UserId {
+        UserId(n)
+    }
+
+    fn cand(user: u64, target: u64, at: Timestamp) -> Candidate {
+        Candidate {
+            user: u(user),
+            target: u(target),
+            witnesses: vec![u(100), u(101)],
+            triggered_at: at,
+        }
+    }
+
+    fn noon() -> Timestamp {
+        Timestamp::from_secs(12 * 3_600)
+    }
+
+    #[test]
+    fn single_threaded_behaves_like_funnel() {
+        let f = SharedFunnel::new(FunnelConfig::production()).unwrap();
+        assert!(f.offer(cand(1, 9, noon()), noon()).is_some());
+        assert!(f.offer(cand(1, 9, noon()), noon()).is_none());
+        let s = f.stats();
+        assert_eq!(s.offered.get(), 2);
+        assert_eq!(s.delivered.get(), 1);
+        assert_eq!(s.dedup_dropped.get(), 1);
+    }
+
+    /// Concurrent emitters offering overlapping candidates: exactly one
+    /// delivery per distinct (user, target) pair survives the funnel, no
+    /// matter which thread wins the race.
+    #[test]
+    fn concurrent_emitters_dedup_exactly_once() {
+        let config = FunnelConfig {
+            fatigue_limit: 1_000,
+            ..FunnelConfig::production()
+        };
+        let f = Arc::new(SharedFunnel::new(config).unwrap());
+        let pairs = 50u64;
+        let emitters = 4;
+        let handles: Vec<_> = (0..emitters)
+            .map(|_| {
+                let f = Arc::clone(&f);
+                thread::spawn(move || {
+                    let mut delivered = 0usize;
+                    for p in 0..pairs {
+                        let batch = f.offer_batch([cand(p % 5, 1_000 + p, noon())], noon());
+                        delivered += batch.len();
+                    }
+                    delivered
+                })
+            })
+            .collect();
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total as u64, pairs, "one delivery per distinct pair");
+        let s = f.stats();
+        assert_eq!(s.offered.get(), pairs * emitters as u64);
+        assert_eq!(s.delivered.get(), pairs);
+        assert_eq!(s.dedup_dropped.get(), pairs * (emitters as u64 - 1));
+    }
+
+    #[test]
+    fn deferred_flow_works_through_shared_front() {
+        let f = SharedFunnel::new(FunnelConfig::production()).unwrap();
+        let night = Timestamp::from_secs(86_400 + 2 * 3_600);
+        assert!(f.offer(cand(1, 9, night), night).is_none());
+        assert_eq!(f.pending_deferred(), 1);
+        let released = f.poll_deferred(Timestamp::from_secs(86_400 + 9 * 3_600));
+        assert_eq!(released.len(), 1);
+        let inner = f.into_inner();
+        assert_eq!(inner.stats().delivered.get(), 1);
+    }
+}

@@ -15,6 +15,11 @@
 //!   deterministically and without wall-clock waiting.
 //! * **Live** ([`live`]) — real threads over crossbeam channels, used by the
 //!   throughput experiments where actual machine speed is the measurement.
+//!   [`live::run_fanout`] broadcasts the stream to share-nothing consumers
+//!   (the paper's every-partition-sees-everything topology);
+//!   [`live::run_sharded`] hash-routes it into one shared handler — the
+//!   transport that drives `magicrecs_core::ConcurrentEngine` from N
+//!   threads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -9,13 +9,13 @@
 use crate::store::{PruneStrategy, StoreStats, TemporalEdgeStore};
 use magicrecs_types::{Duration, Timestamp, UserId, VertexKey};
 use parking_lot::RwLock;
-use std::hash::BuildHasher;
 
 /// Concurrent sharded `D` store (generic over the vertex key, like the
 /// per-shard stores it wraps).
 pub struct ShardedTemporalStore<K = UserId> {
     shards: Vec<RwLock<TemporalEdgeStore<K>>>,
     mask: usize,
+    window: Duration,
 }
 
 impl<K: VertexKey> ShardedTemporalStore<K> {
@@ -27,6 +27,7 @@ impl<K: VertexKey> ShardedTemporalStore<K> {
                 .map(|_| RwLock::new(TemporalEdgeStore::new(window, strategy)))
                 .collect(),
             mask: n - 1,
+            window,
         }
     }
 
@@ -35,13 +36,30 @@ impl<K: VertexKey> ShardedTemporalStore<K> {
         ShardedTemporalStore::new(window, PruneStrategy::Wheel, 16)
     }
 
+    /// Sets a per-target entry cap on every shard (see
+    /// [`TemporalEdgeStore::with_entry_cap`]). Targets live entirely inside
+    /// one shard, so the cap's per-target semantics are identical to the
+    /// plain store's.
+    pub fn with_entry_cap(mut self, cap: Option<usize>) -> Self {
+        for s in &mut self.shards {
+            let store = std::mem::replace(
+                s.get_mut(),
+                TemporalEdgeStore::new(self.window, PruneStrategy::Eager),
+            );
+            *s.get_mut() = store.with_entry_cap(cap);
+        }
+        self
+    }
+
+    /// The retention window τ.
+    #[inline]
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
     #[inline]
     fn shard_of(&self, dst: K) -> usize {
-        let bh = magicrecs_types::FxBuildHasher::default();
-
-        let mut x = bh.hash_one(dst);
-        x ^= x >> 33;
-        (x as usize) & self.mask
+        (magicrecs_types::route_mix(&dst) as usize) & self.mask
     }
 
     /// Inserts `src → dst` at `at`.
@@ -58,6 +76,15 @@ impl<K: VertexKey> ShardedTemporalStore<K> {
     pub fn witnesses(&self, dst: K, now: Timestamp) -> Vec<(K, Timestamp)> {
         // Witness queries trim the touched list, so take the write lock.
         self.shards[self.shard_of(dst)].write().witnesses(dst, now)
+    }
+
+    /// Appends the distinct in-window witnesses for `dst` to `out`,
+    /// reusing the caller's buffer (the detector hot path). Only the one
+    /// shard holding `dst` is locked, and only for the copy-out.
+    pub fn witnesses_into(&self, dst: K, now: Timestamp, out: &mut Vec<(K, Timestamp)>) {
+        self.shards[self.shard_of(dst)]
+            .write()
+            .witnesses_into(dst, now, out);
     }
 
     /// Advances all shards (wheel expiry).

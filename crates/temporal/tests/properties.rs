@@ -202,4 +202,150 @@ proptest! {
             sharded.resident_entries()
         );
     }
+
+    /// Cross-shard consistency (PR 2 satellite): for arbitrary event
+    /// traces the sharded store reports identical witnesses,
+    /// `resident_entries`/`resident_targets`, and pruning *statistics*
+    /// (pruned / unfollowed / reclaimed counters) to the plain store —
+    /// with the production entry cap engaged, so cap enforcement is also
+    /// covered. Targets live entirely inside one shard, which is why the
+    /// per-target disciplines cannot diverge.
+    #[test]
+    fn sharded_prune_behavior_matches_plain(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        cap in 1usize..6,
+    ) {
+        let plain = std::cell::RefCell::new(
+            TemporalEdgeStore::new(Duration::from_secs(WINDOW_SECS), PruneStrategy::Wheel)
+                .with_entry_cap(Some(cap)),
+        );
+        let sharded =
+            ShardedTemporalStore::new(Duration::from_secs(WINDOW_SECS), PruneStrategy::Wheel, 8)
+                .with_entry_cap(Some(cap));
+        let mut hwm = 0u64;
+        for &op in &ops {
+            match op {
+                Op::Insert { src, dst, at } => {
+                    let at = at.max(hwm);
+                    hwm = at;
+                    plain
+                        .borrow_mut()
+                        .insert(UserId(src), UserId(dst), Timestamp::from_secs(at));
+                    sharded.insert(UserId(src), UserId(dst), Timestamp::from_secs(at));
+                }
+                Op::Remove { src, dst } => {
+                    plain.borrow_mut().remove(UserId(src), UserId(dst));
+                    sharded.remove(UserId(src), UserId(dst));
+                }
+                Op::Query { dst, now } => {
+                    let now = now.max(hwm);
+                    hwm = now;
+                    let mut a = plain
+                        .borrow_mut()
+                        .witnesses(UserId(dst), Timestamp::from_secs(now));
+                    let mut b = sharded.witnesses(UserId(dst), Timestamp::from_secs(now));
+                    a.sort_unstable();
+                    b.sort_unstable();
+                    prop_assert_eq!(a, b);
+                }
+                Op::Advance { now } => {
+                    let now = now.max(hwm);
+                    hwm = now;
+                    plain.borrow_mut().advance(Timestamp::from_secs(now));
+                    sharded.advance(Timestamp::from_secs(now));
+                }
+            }
+            // Aggregate state must agree after *every* op, not just at the
+            // end: pruning is incremental.
+            prop_assert_eq!(plain.borrow().resident_entries(), sharded.resident_entries());
+            prop_assert_eq!(plain.borrow().resident_targets(), sharded.resident_targets());
+            let (ps, ss) = (plain.borrow().stats(), sharded.stats());
+            prop_assert_eq!(ps.inserted, ss.inserted);
+            prop_assert_eq!(ps.unfollowed, ss.unfollowed);
+            prop_assert_eq!(ps.pruned, ss.pruned);
+            prop_assert_eq!(ps.lists_reclaimed, ss.lists_reclaimed);
+        }
+    }
+}
+
+/// Barrier-driven torn-read check: writer threads insert entries whose
+/// timestamp is a pure function of the source id while reader threads
+/// hammer `witnesses` on the same targets. Every witness a reader ever
+/// observes must satisfy that function — a torn or half-applied insert
+/// would surface as a mismatched `(src, ts)` pair — and the final state
+/// must account for every insert.
+#[test]
+fn concurrent_insert_and_witnesses_never_tear() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Barrier};
+
+    const WRITERS: u64 = 4;
+    const READERS: usize = 3;
+    const PER_WRITER: u64 = 2_000;
+    const TARGETS: u64 = 16;
+
+    // ts = src * 3 + 7, far inside one window so nothing is trimmed.
+    fn ts_for(src: u64) -> u64 {
+        src * 3 + 7
+    }
+
+    let store: Arc<ShardedTemporalStore> = Arc::new(ShardedTemporalStore::new(
+        Duration::from_secs(10_000_000), // ≫ any ts_for value: nothing trims
+        PruneStrategy::Eager,
+        8,
+    ));
+    let barrier = Arc::new(Barrier::new(WRITERS as usize + READERS));
+    let violations = Arc::new(AtomicU64::new(0));
+
+    let mut handles = Vec::new();
+    for w in 0..WRITERS {
+        let store = Arc::clone(&store);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            for i in 0..PER_WRITER {
+                let src = w * PER_WRITER + i;
+                store.insert(
+                    UserId(src),
+                    UserId(src % TARGETS),
+                    Timestamp::from_secs(ts_for(src)),
+                );
+            }
+        }));
+    }
+    for _ in 0..READERS {
+        let store = Arc::clone(&store);
+        let barrier = Arc::clone(&barrier);
+        let violations = Arc::clone(&violations);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            let query_at = Timestamp::from_secs(ts_for(WRITERS * PER_WRITER));
+            for round in 0..400u64 {
+                let dst = round % TARGETS;
+                for (src, at) in store.witnesses(UserId(dst), query_at) {
+                    let src = src.raw();
+                    let consistent = src % TARGETS == dst
+                        && src < WRITERS * PER_WRITER
+                        && at == Timestamp::from_secs(ts_for(src));
+                    if !consistent {
+                        violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    assert_eq!(violations.load(Ordering::Relaxed), 0, "torn read observed");
+    assert_eq!(store.stats().inserted, WRITERS * PER_WRITER);
+    assert_eq!(store.resident_entries(), WRITERS * PER_WRITER);
+    // Every entry is a distinct source: the final witness sets partition
+    // the id space by `src % TARGETS`.
+    let query_at = Timestamp::from_secs(ts_for(WRITERS * PER_WRITER));
+    let total: usize = (0..TARGETS)
+        .map(|dst| store.witnesses(UserId(dst), query_at).len())
+        .sum();
+    assert_eq!(total as u64, WRITERS * PER_WRITER);
 }

@@ -88,6 +88,22 @@ pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
 /// A `HashSet` using the Fx hasher. Drop-in for `std::collections::HashSet`.
 pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;
 
+/// Fx-hashes `value` and folds the high bits down, for routing a key to a
+/// shard or worker by masking/modulo the low bits.
+///
+/// Fx's multiply-rotate finish leaves its low bits weak; the xor-shift
+/// mixes the strong high bits in. This is *the* routing recipe for the
+/// workspace — `ShardedTemporalStore::shard_of` and the shared-engine
+/// cluster's worker router both use it, which gives them the useful
+/// correlated property that one worker's targets touch a stable subset of
+/// shards. Change it in one place or not at all.
+#[inline]
+pub fn route_mix<T: std::hash::Hash>(value: &T) -> u64 {
+    use std::hash::BuildHasher;
+    let x = FxBuildHasher::default().hash_one(value);
+    x ^ (x >> 33)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -30,7 +30,7 @@ pub mod time;
 pub use config::{ClusterConfig, DetectorConfig, FunnelConfig};
 pub use error::{Error, Result};
 pub use event::{Candidate, EdgeEvent, EdgeKind, Recommendation};
-pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use hash::{route_mix, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{DenseId, PartitionId, UserId, VertexKey};
 pub use metrics::{Counter, Histogram, Snapshot};
 pub use time::{Duration, Timestamp};

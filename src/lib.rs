@@ -79,9 +79,9 @@ pub use magicrecs_types as types;
 
 /// Commonly used items, for `use magicrecs::prelude::*`.
 pub mod prelude {
-    pub use magicrecs_core::{DiamondDetector, Engine};
+    pub use magicrecs_core::{ConcurrentEngine, DiamondDetector, Engine, InterningIngest};
     pub use magicrecs_graph::{FollowGraph, GraphBuilder};
-    pub use magicrecs_temporal::TemporalEdgeStore;
+    pub use magicrecs_temporal::{EdgeStore, ShardedTemporalStore, TemporalEdgeStore};
     pub use magicrecs_types::{
         Candidate, ClusterConfig, DetectorConfig, Duration, EdgeEvent, EdgeKind, FunnelConfig,
         PartitionId, Recommendation, Timestamp, UserId,
