@@ -95,6 +95,7 @@ fn bench_threshold_algo_at_engine(c: &mut Criterion) {
         ("scan_count", ThresholdAlgo::ScanCount),
         ("heap_merge", ThresholdAlgo::HeapMerge),
         ("pivot_skip", ThresholdAlgo::PivotSkip),
+        ("loser_tree", ThresholdAlgo::PivotTree),
         ("adaptive", ThresholdAlgo::Adaptive),
     ] {
         group.bench_function(name, |b| {

@@ -2,17 +2,24 @@
 //!
 //! B1: merge vs gallop vs adaptive across length ratios — follower lists
 //! range from a dozen entries to millions, so the detector's adaptive
-//! switch matters.
-//! B2: scan-count vs heap-merge vs adaptive across fan-in (number of
-//! witness lists).
+//! switch matters. The `b1_intersect_simd` group races the
+//! runtime-dispatched SIMD arms against their scalar twins on the same
+//! data as dense `u32` lanes (run with `MAGICRECS_FORCE_SCALAR=1` to see
+//! the dispatch fall back).
+//! B2: scan-count vs heap-merge vs pivot kernels vs adaptive across
+//! fan-in (number of witness lists); `loser_tree` is the
+//! tournament-pivot-generation arm.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use magicrecs_core::intersect::{intersect_adaptive, intersect_gallop, intersect_merge};
-use magicrecs_core::threshold::{
-    threshold_heap_merge, threshold_intersect, threshold_pivot_skip, threshold_scan_count,
-    ThresholdAlgo,
+use magicrecs_core::intersect::{
+    intersect_adaptive, intersect_gallop, intersect_gallop_simd, intersect_merge,
+    intersect_merge_simd,
 };
-use magicrecs_types::UserId;
+use magicrecs_core::threshold::{
+    threshold_heap_merge, threshold_intersect, threshold_pivot_skip, threshold_pivot_tree,
+    threshold_scan_count, ThresholdAlgo,
+};
+use magicrecs_types::{DenseId, UserId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -22,6 +29,13 @@ fn sorted_ids(n: usize, range: u64, rng: &mut StdRng) -> Vec<UserId> {
     v.sort_unstable();
     v.dedup();
     v
+}
+
+fn sorted_dense(n: usize, range: u64, rng: &mut StdRng) -> Vec<DenseId> {
+    sorted_ids(n, range.min(u32::MAX as u64), rng)
+        .into_iter()
+        .map(|u| DenseId(u.raw() as u32))
+        .collect()
 }
 
 fn bench_two_list(c: &mut Criterion) {
@@ -48,6 +62,50 @@ fn bench_two_list(c: &mut Criterion) {
             ),
             ("gallop", intersect_gallop),
             ("adaptive", intersect_adaptive),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("ratio_{ratio}x")),
+                &(&a, &b),
+                |bench, (a, b)| {
+                    let mut out = Vec::with_capacity(short);
+                    bench.iter(|| {
+                        out.clear();
+                        f(black_box(a), black_box(b), &mut out);
+                        black_box(out.len())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// The SIMD ablation: scalar vs dispatched kernels over dense `u32`
+/// lanes, across the same length-ratio sweep as `b1_intersect`.
+fn bench_two_list_simd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b1_intersect_simd");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(0xB1);
+    for (short, long) in [
+        (4_096usize, 4_096usize),
+        (512, 8_192),
+        (64, 16_384),
+        (8, 32_768),
+    ] {
+        let a = sorted_dense(short, 1_000_000, &mut rng);
+        let b = sorted_dense(long, 1_000_000, &mut rng);
+        let ratio = long / short;
+        group.throughput(Throughput::Elements((short + long) as u64));
+        for (name, f) in [
+            (
+                "merge_scalar",
+                intersect_merge as fn(&[DenseId], &[DenseId], &mut Vec<DenseId>),
+            ),
+            ("merge_simd", intersect_merge_simd),
+            ("gallop_scalar", intersect_gallop),
+            ("gallop_simd", intersect_gallop_simd),
         ] {
             group.bench_with_input(
                 BenchmarkId::new(name, format!("ratio_{ratio}x")),
@@ -117,6 +175,18 @@ fn bench_threshold(c: &mut Criterion) {
             },
         );
         group.bench_with_input(
+            BenchmarkId::new("loser_tree", lists_n),
+            &slices,
+            |bench, s| {
+                let mut out = Vec::new();
+                bench.iter(|| {
+                    out.clear();
+                    threshold_pivot_tree(black_box(s), k, &mut out);
+                    black_box(out.len())
+                });
+            },
+        );
+        group.bench_with_input(
             BenchmarkId::new("adaptive", lists_n),
             &slices,
             |bench, s| {
@@ -158,6 +228,7 @@ fn bench_threshold_celebrity(c: &mut Criterion) {
             ("seed_heap_merge", ThresholdAlgo::HeapMerge),
             ("seed_scan_count", ThresholdAlgo::ScanCount),
             ("pivot_skip", ThresholdAlgo::PivotSkip),
+            ("loser_tree", ThresholdAlgo::PivotTree),
             ("adaptive", ThresholdAlgo::Adaptive),
         ] {
             group.bench_with_input(BenchmarkId::new(name, &tag), &slices, |bench, s| {
@@ -176,6 +247,7 @@ fn bench_threshold_celebrity(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_two_list,
+    bench_two_list_simd,
     bench_threshold,
     bench_threshold_celebrity
 );

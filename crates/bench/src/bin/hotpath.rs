@@ -6,17 +6,33 @@
 //!   cargo run -p magicrecs-bench --release --bin hotpath -- \
 //!       --concurrent-only --threads 2   # CI smoke: scaling arm only,
 //!                                       # no JSON rewrite
+//!   cargo run -p magicrecs-bench --release --bin hotpath -- \
+//!       --no-concurrent --out /tmp/b.json  # partial run, custom path
+//!
+//! The JSON is **merged, not clobbered**: keys measured by this run
+//! overwrite their previous values (field-by-field for grouped arms), and
+//! keys this run did not measure — e.g. the concurrent curve during a
+//! `--no-concurrent` run, or arms recorded by a fuller run on better
+//! hardware — survive untouched.
 //!
 //! Covers the layers PR 1 optimized (with an emulation of the seed's data
-//! structures for an honest before/after) plus PR 2's shared-state engine:
+//! structures for an honest before/after), PR 2's shared-state engine, and
+//! PR 3's SIMD/loser-tree/dense-witness arms:
 //!
 //! * `s_lookup` — dense offset-array CSR `S[B]` fetch vs the seed's
 //!   Fx-hash-indexed CSR probe (emulated over the same adjacency).
-//! * `intersect` — two-list kernels at celebrity skew.
+//! * `intersect` — two-list kernels at celebrity skew: the scalar u64-id
+//!   arms (baseline continuity), the same data as dense `u32` ids, and
+//!   the runtime-dispatched SIMD arms on those dense ids (`*_simd` vs
+//!   `*_dense` is the honest same-width comparison).
 //! * `threshold_*` — k-of-n kernels on balanced and celebrity-skewed
-//!   witness lists ("seed adaptive" = the old heap/scan switch).
+//!   witness lists ("seed adaptive" = the old heap/scan switch), plus the
+//!   `loser_tree` pivot-generation arm. A guard asserts Adaptive lands
+//!   within 1.2× of the best arm on both fixtures.
 //! * `detector_*` — end-to-end engine ns/event on a Zipf trace and on a
-//!   synthetic celebrity workload, per threshold arm.
+//!   synthetic celebrity workload, per threshold arm, plus the
+//!   `dense_witness` replay arm (dense-keyed `D` feeding
+//!   `detect_dense_into`, no per-witness interner probe).
 //! * `concurrent_*` — thread-scaling curve of `ConcurrentEngine` (one
 //!   shared `S` + sharded `D`, stream hash-routed by target) on the
 //!   celebrity workload, events/sec at 1→N workers. `bench_cores` records
@@ -25,10 +41,14 @@
 
 use magicrecs_bench::{bench_trace, small_graph};
 use magicrecs_cluster::SharedEngineCluster;
-use magicrecs_core::intersect::{intersect_adaptive, intersect_gallop, intersect_merge};
+use magicrecs_core::intersect::{
+    intersect_adaptive, intersect_gallop, intersect_gallop_simd, intersect_merge,
+    intersect_merge_simd,
+};
 use magicrecs_core::threshold::{threshold_intersect, ThresholdAlgo};
-use magicrecs_core::Engine;
+use magicrecs_core::{simd_level, DiamondDetector, Engine, InterningIngest, SimdLevel};
 use magicrecs_graph::{FollowGraph, GraphBuilder};
+use magicrecs_temporal::{PruneStrategy, TemporalEdgeStore};
 use magicrecs_types::{DenseId, DetectorConfig, EdgeEvent, FxHashMap, Timestamp, UserId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -62,63 +82,201 @@ fn sorted_ids(n: usize, range: u64, rng: &mut StdRng) -> Vec<UserId> {
     v
 }
 
-struct Json(Vec<(String, String)>);
+/// The same id values as dense `u32` lanes (the fixture ranges stay below
+/// `u32::MAX`, so this is a width change, not a data change).
+fn as_dense(ids: &[UserId]) -> Vec<DenseId> {
+    ids.iter()
+        .map(|u| DenseId(u32::try_from(u.raw()).expect("fixture ids fit u32")))
+        .collect()
+}
+
+// ---- JSON: ordered, flat, merge-don't-clobber ------------------------------
+
+/// A top-level value: a raw scalar/string token, or a one-level group of
+/// named numbers (an arm set).
+#[derive(Clone, Debug)]
+enum Val {
+    Raw(String),
+    Obj(Vec<(String, String)>),
+}
+
+/// Ordered flat JSON document (the only shape this recorder reads/writes).
+struct Json(Vec<(String, Val)>);
 
 impl Json {
     fn new() -> Self {
         Json(Vec::new())
     }
+
+    fn set(&mut self, key: &str, v: Val) {
+        match self.0.iter_mut().find(|(k, _)| k == key) {
+            Some(slot) => slot.1 = v,
+            None => self.0.push((key.to_string(), v)),
+        }
+    }
+
     fn num(&mut self, key: &str, v: f64) {
-        self.0.push((key.to_string(), format!("{v:.1}")));
+        self.set(key, Val::Raw(format!("{v:.1}")));
     }
-    fn obj(&mut self, key: &str, fields: &[(&str, f64)]) {
-        let body: Vec<String> = fields
-            .iter()
-            .map(|(k, v)| format!("\"{k}\": {v:.1}"))
-            .collect();
-        self.0
-            .push((key.to_string(), format!("{{{}}}", body.join(", "))));
+
+    /// An integer scalar (e.g. a core count) — no trailing `.0`.
+    fn int(&mut self, key: &str, v: u64) {
+        self.set(key, Val::Raw(format!("{v}")));
     }
+
     fn str(&mut self, key: &str, v: &str) {
-        self.0.push((key.to_string(), format!("\"{v}\"")));
+        self.set(key, Val::Raw(format!("\"{v}\"")));
     }
+
+    fn obj(&mut self, key: &str, fields: &[(&str, f64)]) {
+        self.set(
+            key,
+            Val::Obj(
+                fields
+                    .iter()
+                    .map(|&(k, v)| (k.to_string(), format!("{v:.1}")))
+                    .collect(),
+            ),
+        );
+    }
+
     fn render(&self) -> String {
         let body: Vec<String> = self
             .0
             .iter()
-            .map(|(k, v)| format!("  \"{k}\": {v}"))
+            .map(|(k, v)| match v {
+                Val::Raw(s) => format!("  \"{k}\": {s}"),
+                Val::Obj(fields) => {
+                    let inner: Vec<String> = fields
+                        .iter()
+                        .map(|(fk, fv)| format!("\"{fk}\": {fv}"))
+                        .collect();
+                    format!("  \"{k}\": {{{}}}", inner.join(", "))
+                }
+            })
             .collect();
         format!("{{\n{}\n}}\n", body.join(",\n"))
     }
+
+    /// Merges this run's entries over `existing`: scalars replace,
+    /// grouped arms merge field-by-field (fields not re-measured
+    /// survive), unknown keys from the previous file are preserved in
+    /// their original order.
+    fn merge_over(self, mut existing: Json) -> Json {
+        for (key, new_val) in self.0 {
+            let slot = existing.0.iter_mut().find(|(k, _)| *k == key);
+            match (slot, new_val) {
+                (Some((_, Val::Obj(old))), Val::Obj(new)) => {
+                    for (fk, fv) in new {
+                        match old.iter_mut().find(|(k, _)| *k == fk) {
+                            Some(f) => f.1 = fv,
+                            None => old.push((fk, fv)),
+                        }
+                    }
+                }
+                (Some(slot), v) => slot.1 = v,
+                (None, v) => existing.0.push((key, v)),
+            }
+        }
+        existing
+    }
+
+    /// Parses a document this recorder previously rendered (flat keys,
+    /// one-level groups, no escaped strings). Returns `None` on any shape
+    /// it does not recognize — the caller then starts fresh.
+    fn parse(text: &str) -> Option<Json> {
+        let body = text.trim().strip_prefix('{')?.strip_suffix('}')?;
+        let mut out = Json::new();
+        let mut rest = body.trim();
+        while !rest.is_empty() {
+            rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+            if rest.is_empty() {
+                break;
+            }
+            let (key, after) = parse_key(rest)?;
+            rest = after.trim_start();
+            if let Some(obj_rest) = rest.strip_prefix('{') {
+                let end = obj_rest.find('}')?;
+                let mut fields = Vec::new();
+                for part in obj_rest[..end].split(',') {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        continue;
+                    }
+                    let (fk, fv) = parse_key(part)?;
+                    fields.push((fk, fv.trim().to_string()));
+                }
+                out.0.push((key, Val::Obj(fields)));
+                rest = obj_rest[end + 1..].trim_start();
+            } else if let Some(str_rest) = rest.strip_prefix('"') {
+                let end = str_rest.find('"')?;
+                out.0
+                    .push((key, Val::Raw(format!("\"{}\"", &str_rest[..end]))));
+                rest = str_rest[end + 1..].trim_start();
+            } else {
+                let end = rest.find(',').unwrap_or(rest.len());
+                out.0.push((key, Val::Raw(rest[..end].trim().to_string())));
+                rest = &rest[end..];
+            }
+        }
+        Some(out)
+    }
 }
 
-/// Command-line options (CI smoke vs full baseline rewrite).
+/// Splits `"key": value…` into the key and the text after the colon.
+fn parse_key(text: &str) -> Option<(String, &str)> {
+    let rest = text.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    let key = rest[..end].to_string();
+    let after = rest[end + 1..].trim_start().strip_prefix(':')?;
+    Some((key, after))
+}
+
+// ---- command line ----------------------------------------------------------
+
+/// Command-line options (CI smoke vs full/partial baseline runs).
 struct Args {
     /// Run only the concurrent scaling arm and skip the JSON rewrite.
     concurrent_only: bool,
+    /// Skip the concurrent scaling arm (its previous keys survive the
+    /// merge).
+    no_concurrent: bool,
     /// Largest worker count on the scaling curve (1 is always measured).
     max_threads: usize,
+    /// Output path; defaults to `BENCH_hotpath.json` at the workspace
+    /// root.
+    out: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         concurrent_only: false,
+        no_concurrent: false,
         max_threads: 4,
+        out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--concurrent-only" => args.concurrent_only = true,
+            "--no-concurrent" => args.no_concurrent = true,
             "--threads" => {
                 args.max_threads = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--threads needs a positive integer");
             }
+            "--out" => {
+                args.out = Some(PathBuf::from(it.next().expect("--out needs a path")));
+            }
             other => panic!("unknown argument {other:?}"),
         }
     }
     assert!(args.max_threads >= 1, "--threads must be >= 1");
+    assert!(
+        !(args.concurrent_only && args.no_concurrent),
+        "--concurrent-only and --no-concurrent are mutually exclusive"
+    );
     args
 }
 
@@ -192,7 +350,7 @@ fn run_concurrent(json: &mut Json, max_threads: usize) {
         fields.push((label, rate));
     }
     json.obj("concurrent_celebrity_events_per_sec", &fields);
-    json.num("concurrent_bench_cores", cores as f64);
+    json.int("concurrent_bench_cores", cores as u64);
     if let (Some(&(_, r1)), Some(&(last, rn))) = (
         fields.iter().find(|(l, _)| *l == "t1"),
         fields.last().filter(|(l, _)| *l != "t1"),
@@ -237,6 +395,87 @@ impl SeedHashCsr {
     }
 }
 
+/// The threshold-arm matrix every threshold/detector fixture runs.
+const THRESHOLD_ARMS: [(&str, ThresholdAlgo); 5] = [
+    ("scan_count", ThresholdAlgo::ScanCount),
+    ("heap_merge", ThresholdAlgo::HeapMerge),
+    ("pivot_skip", ThresholdAlgo::PivotSkip),
+    ("loser_tree", ThresholdAlgo::PivotTree),
+    ("adaptive", ThresholdAlgo::Adaptive),
+];
+
+/// Interleaved round-robin sampler shared by every multi-arm fixture:
+/// `run(round, arm)` produces one ns measurement; round 0 is per-arm
+/// warm-up (discarded), rounds 1..6 are timed, and the per-arm median is
+/// returned. Arms that are compared against each other (the 1.2× adaptive
+/// guard) must see slow box-level frequency drift equally, which is what
+/// the interleaving buys over timing each arm to completion in turn.
+fn interleaved_medians(n_arms: usize, mut run: impl FnMut(usize, usize) -> f64) -> Vec<f64> {
+    let mut samples: Vec<Vec<f64>> = vec![Vec::new(); n_arms];
+    for round in 0..6 {
+        for (ai, s) in samples.iter_mut().enumerate() {
+            let ns = run(round, ai);
+            if round > 0 {
+                s.push(ns);
+            }
+        }
+    }
+    samples
+        .into_iter()
+        .map(|mut s| {
+            s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            s[s.len() / 2]
+        })
+        .collect()
+}
+
+/// The bench-smoke guard for the Adaptive picker: within `limit`× of the
+/// best pinned arm on this fixture, or the run aborts (CI runs this bin).
+///
+/// A single failure triggers one full re-measurement via `remeasure`
+/// before aborting: the interleaving already equalizes slow drift across
+/// arms, but one asymmetric noisy-neighbor spike on a shared runner can
+/// still land in one arm's median, and a hard guard must not fail an
+/// unrelated build over it. Two independent measurements both past the
+/// limit is a real regression.
+fn guard_adaptive<F>(
+    fixture: &str,
+    mut arms: Vec<(&'static str, f64)>,
+    limit: f64,
+    mut remeasure: F,
+) where
+    F: FnMut() -> Vec<(&'static str, f64)>,
+{
+    for attempt in 0..2 {
+        let adaptive = arms
+            .iter()
+            .find(|(n, _)| *n == "adaptive")
+            .expect("adaptive arm present")
+            .1;
+        let (best_name, best) = arms
+            .iter()
+            .filter(|(n, _)| *n != "adaptive")
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+            .map(|&(n, v)| (n, v))
+            .expect("pinned arms present");
+        let ratio = adaptive / best;
+        println!("  adaptive/best({best_name}) = {ratio:.2}x");
+        if ratio <= limit {
+            return;
+        }
+        if attempt == 0 {
+            println!("  above the {limit}x guard — remeasuring once to rule out a noise spike");
+            arms = remeasure();
+        } else {
+            panic!(
+                "{fixture}: adaptive ({adaptive:.0} ns) is {ratio:.2}x the best arm \
+                 {best_name} ({best:.0} ns), above the {limit}x guard in two \
+                 independent measurements"
+            );
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
     if args.concurrent_only {
@@ -251,8 +490,10 @@ fn main() {
     json.str("units", "ns_per_op");
     json.str(
         "note",
-        "hot-path baseline written by `cargo run -p magicrecs-bench --release --bin hotpath`",
+        "hot-path baseline written by `cargo run -p magicrecs-bench --release --bin hotpath` \
+         (merge semantics: unmeasured keys survive)",
     );
+    json.str("simd_level", &format!("{:?}", simd_level()));
 
     // ---- S lookup: dense CSR vs seed hash-CSR ---------------------------
     println!("# s_lookup");
@@ -289,10 +530,11 @@ fn main() {
     println!("  dense {dense_ns:.1} ns vs seed hash {seed_ns:.1} ns");
 
     // ---- two-list intersection at celebrity skew ------------------------
-    println!("# intersect (256 vs 1M)");
+    println!("# intersect (256 vs 1M), SIMD level {:?}", simd_level());
     let mut rng = StdRng::seed_from_u64(0xB1);
     let short = sorted_ids(256, 10_000_000, &mut rng);
     let long = sorted_ids(1_000_000, 10_000_000, &mut rng);
+    let (short_d, long_d) = (as_dense(&short), as_dense(&long));
     let mut out: Vec<UserId> = Vec::with_capacity(short.len());
     let mut arm = |f: fn(&[UserId], &[UserId], &mut Vec<UserId>)| {
         time_ns(64, 5, || {
@@ -306,32 +548,77 @@ fn main() {
         arm(intersect_gallop),
         arm(intersect_adaptive),
     );
+    let mut out_d: Vec<DenseId> = Vec::with_capacity(short_d.len());
+    let mut arm_d = |f: fn(&[DenseId], &[DenseId], &mut Vec<DenseId>)| {
+        time_ns(64, 5, || {
+            out_d.clear();
+            f(black_box(&short_d), black_box(&long_d), &mut out_d);
+            black_box(out_d.len());
+        })
+    };
+    let (merge_dense, gallop_dense, merge_simd, gallop_simd) = (
+        arm_d(intersect_merge),
+        arm_d(intersect_gallop),
+        arm_d(intersect_merge_simd),
+        arm_d(intersect_gallop_simd),
+    );
     json.obj(
         "intersect_256_vs_1m",
-        &[("merge", merge), ("gallop", gallop), ("adaptive", adaptive)],
+        &[
+            ("merge", merge),
+            ("gallop", gallop),
+            ("adaptive", adaptive),
+            ("merge_dense", merge_dense),
+            ("gallop_dense", gallop_dense),
+            ("merge_simd", merge_simd),
+            ("gallop_simd", gallop_simd),
+        ],
     );
-    println!("  merge {merge:.0} gallop {gallop:.0} adaptive {adaptive:.0}");
+    println!("  u64:  merge {merge:.0} gallop {gallop:.0} adaptive {adaptive:.0}");
+    println!(
+        "  u32:  merge {merge_dense:.0} gallop {gallop_dense:.0} \
+         merge_simd {merge_simd:.0} gallop_simd {gallop_simd:.0}"
+    );
+    println!(
+        "  simd merge speedup: {:.1}x vs u64 merge, {:.1}x vs u32 merge",
+        merge / merge_simd,
+        merge_dense / merge_simd
+    );
+    // Under forced-scalar dispatch (or on non-x86-64) merge_simd *is* the
+    // scalar merge, so the comparison would be pure noise — only assert
+    // when a vector tier actually ran.
+    if simd_level() != SimdLevel::Scalar {
+        assert!(
+            merge_simd < merge,
+            "SIMD merge ({merge_simd:.0} ns) must beat scalar intersect_merge ({merge:.0} ns) \
+             on the 256-vs-1M fixture"
+        );
+    }
 
     // ---- threshold kernels ----------------------------------------------
+    // Arms are interleaved round-robin across sample batches: the 1.2×
+    // adaptive guard compares arms against each other, so slow frequency
+    // drift must hit every arm equally rather than whichever ran last.
     let threshold_arms = |lists: &[Vec<UserId>], k: usize, iters: u64| -> Vec<(&str, f64)> {
         let slices: Vec<&[UserId]> = lists.iter().map(|l| l.as_slice()).collect();
         let mut out: Vec<(UserId, u32)> = Vec::new();
-        [
-            ("scan_count", ThresholdAlgo::ScanCount),
-            ("heap_merge", ThresholdAlgo::HeapMerge),
-            ("pivot_skip", ThresholdAlgo::PivotSkip),
-            ("adaptive", ThresholdAlgo::Adaptive),
-        ]
-        .into_iter()
-        .map(|(name, algo)| {
-            let ns = time_ns(iters, 5, || {
+        let medians = interleaved_medians(THRESHOLD_ARMS.len(), |round, ai| {
+            let algo = THRESHOLD_ARMS[ai].1;
+            // Shorter warm-up round for the expensive arms.
+            let iters = if round == 0 { iters.min(8) } else { iters };
+            let start = Instant::now();
+            for _ in 0..iters {
                 out.clear();
                 threshold_intersect(algo, black_box(&slices), k, &mut out);
                 black_box(out.len());
-            });
-            (name, ns)
-        })
-        .collect()
+            }
+            start.elapsed().as_secs_f64() * 1e9 / iters as f64
+        });
+        THRESHOLD_ARMS
+            .iter()
+            .zip(medians)
+            .map(|(&(name, _), ns)| (name, ns))
+            .collect()
     };
 
     println!("# threshold balanced (8 x 2000, k=2)");
@@ -344,6 +631,9 @@ fn main() {
     for (n, v) in &arms {
         println!("  {n} {v:.0}");
     }
+    guard_adaptive("threshold_balanced_8x2000_k2", arms, 1.2, || {
+        threshold_arms(&balanced, 2, 128)
+    });
 
     println!("# threshold celebrity (4 x 256 + 1 x 1M, k=3)");
     let mut rng = StdRng::seed_from_u64(0xCE1E);
@@ -372,33 +662,46 @@ fn main() {
         println!("  {n} {v:.0}");
     }
     println!("  kernel speedup vs seed adaptive: {kernel_speedup:.1}x");
+    guard_adaptive("threshold_celebrity_4x256_1x1m_k3", arms, 1.2, || {
+        threshold_arms(&celeb_lists, 3, 32)
+    });
+
+    // ---- high-fan-in threshold: where the loser tree earns its keep -----
+    // 40 witness lists, k=2 → 39 generator lists (2.4× the old 16-generator
+    // cap), one celebrity tail. The linear min-scan pays O(39) per pivot;
+    // the tree pays O(log 39).
+    println!("# threshold high fan-in (39 x 512 + 1 x 1M, k=2)");
+    let mut rng = StdRng::seed_from_u64(0xFA91);
+    let mut fan_lists: Vec<Vec<UserId>> = (0..39)
+        .map(|_| sorted_ids(512, 10_000_000, &mut rng))
+        .collect();
+    fan_lists.push(sorted_ids(1_000_000, 10_000_000, &mut rng));
+    let arms = threshold_arms(&fan_lists, 2, 16);
+    json.obj("threshold_fanin_39x512_1x1m_k2", &arms);
+    for (n, v) in &arms {
+        println!("  {n} {v:.0}");
+    }
 
     // ---- end-to-end detector, Zipf steady trace -------------------------
+    // Like the threshold fixtures, arm samples interleave round-robin so
+    // box-level frequency drift cannot favor whichever arm ran last.
     println!("# detector on Zipf steady trace (20k users, k=3)");
     let trace = bench_trace(20_000, 2_000.0, 10, 0xD1);
+    // Engine construction (graph clone, store build) stays untimed.
+    let run_zipf = |algo: ThresholdAlgo| -> f64 {
+        let mut engine =
+            Engine::with_algo(graph.clone(), DetectorConfig::production(), algo).unwrap();
+        let mut n = 0usize;
+        let start = Instant::now();
+        for &e in trace.events() {
+            n += engine.on_event(e).len();
+        }
+        black_box(n);
+        start.elapsed().as_secs_f64() * 1e9 / trace.len() as f64
+    };
+    let medians = interleaved_medians(THRESHOLD_ARMS.len(), |_, ai| run_zipf(THRESHOLD_ARMS[ai].1));
     let mut fields: Vec<(&str, f64)> = Vec::new();
-    for (name, algo) in [
-        ("scan_count", ThresholdAlgo::ScanCount),
-        ("heap_merge", ThresholdAlgo::HeapMerge),
-        ("pivot_skip", ThresholdAlgo::PivotSkip),
-        ("adaptive", ThresholdAlgo::Adaptive),
-    ] {
-        // Engine construction (graph clone, store build) stays untimed.
-        let mut samples: Vec<f64> = (0..5)
-            .map(|_| {
-                let mut engine =
-                    Engine::with_algo(graph.clone(), DetectorConfig::production(), algo).unwrap();
-                let mut n = 0usize;
-                let start = Instant::now();
-                for &e in trace.events() {
-                    n += engine.on_event(e).len();
-                }
-                black_box(n);
-                start.elapsed().as_secs_f64() * 1e9 / trace.len() as f64
-            })
-            .collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-        let ns = samples[samples.len() / 2];
+    for (&(name, _), ns) in THRESHOLD_ARMS.iter().zip(medians) {
         println!("  {name} {ns:.0} ns/event");
         fields.push((name, ns));
     }
@@ -412,40 +715,79 @@ fn main() {
     println!("# detector on celebrity workload (k=3)");
     let celeb = UserId(9_000_000);
     let celeb_graph = celebrity_graph();
+    let rounds = 200u64;
+    let run_celeb = |algo: ThresholdAlgo| -> f64 {
+        let mut engine =
+            Engine::with_algo(celeb_graph.clone(), DetectorConfig::production(), algo).unwrap();
+        let mut n = 0usize;
+        let start = Instant::now();
+        for round in 0..rounds {
+            let c = UserId(20_000_000 + round);
+            let t = Timestamp::from_secs(round * 3600);
+            for b in 0..4u64 {
+                n += engine
+                    .on_event(EdgeEvent::follow(UserId(1_000_000 + b), c, t))
+                    .len();
+            }
+            n += engine.on_event(EdgeEvent::follow(celeb, c, t)).len();
+        }
+        black_box(n);
+        start.elapsed().as_secs_f64() * 1e9 / (rounds * 5) as f64
+    };
+    // The dense-witness replay arm: the same celebrity trace through a
+    // dense-keyed `D` (`InterningIngest` seeded from the graph) feeding
+    // `detect_dense_into` — no per-witness interner probe, no
+    // dense→sparse→dense round trip. Adaptive algorithm, like the engine
+    // default it races.
+    let run_dense_witness = || -> f64 {
+        let config = DetectorConfig::production();
+        let store: TemporalEdgeStore<DenseId> =
+            TemporalEdgeStore::new(config.tau, PruneStrategy::Wheel);
+        let mut ingest = InterningIngest::new(&celeb_graph, store);
+        let mut det = DiamondDetector::new(config).unwrap();
+        let mut out = Vec::new();
+        let mut n = 0usize;
+        let start = Instant::now();
+        for round in 0..rounds {
+            let c = UserId(20_000_000 + round);
+            let t = Timestamp::from_secs(round * 3600);
+            for b in 0..4u64 {
+                out.clear();
+                n += ingest.on_event_detect_dense_into(
+                    &mut det,
+                    &celeb_graph,
+                    EdgeEvent::follow(UserId(1_000_000 + b), c, t),
+                    &mut out,
+                );
+            }
+            out.clear();
+            n += ingest.on_event_detect_dense_into(
+                &mut det,
+                &celeb_graph,
+                EdgeEvent::follow(celeb, c, t),
+                &mut out,
+            );
+        }
+        black_box(n);
+        start.elapsed().as_secs_f64() * 1e9 / (rounds * 5) as f64
+    };
+    // Interleaved like the other arm sets; `dense_witness` rides as a
+    // sixth arm so it shares every drift the engine arms see.
+    let medians = interleaved_medians(THRESHOLD_ARMS.len() + 1, |_, ai| match ai {
+        i if i < THRESHOLD_ARMS.len() => run_celeb(THRESHOLD_ARMS[i].1),
+        _ => run_dense_witness(),
+    });
+    let arm_names: Vec<&str> = THRESHOLD_ARMS
+        .iter()
+        .map(|&(n, _)| n)
+        .chain(["dense_witness"])
+        .collect();
     let mut fields: Vec<(&str, f64)> = Vec::new();
-    for (name, algo) in [
-        ("scan_count", ThresholdAlgo::ScanCount),
-        ("heap_merge", ThresholdAlgo::HeapMerge),
-        ("pivot_skip", ThresholdAlgo::PivotSkip),
-        ("adaptive", ThresholdAlgo::Adaptive),
-    ] {
-        let rounds = 200u64;
-        let mut samples: Vec<f64> = (0..5)
-            .map(|_| {
-                let mut engine =
-                    Engine::with_algo(celeb_graph.clone(), DetectorConfig::production(), algo)
-                        .unwrap();
-                let mut n = 0usize;
-                let start = Instant::now();
-                for round in 0..rounds {
-                    let c = UserId(20_000_000 + round);
-                    let t = Timestamp::from_secs(round * 3600);
-                    for b in 0..4u64 {
-                        n += engine
-                            .on_event(EdgeEvent::follow(UserId(1_000_000 + b), c, t))
-                            .len();
-                    }
-                    n += engine.on_event(EdgeEvent::follow(celeb, c, t)).len();
-                }
-                black_box(n);
-                start.elapsed().as_secs_f64() * 1e9 / (rounds * 5) as f64
-            })
-            .collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-        let ns = samples[samples.len() / 2];
+    for (name, ns) in arm_names.iter().zip(medians) {
         println!("  {name} {ns:.0} ns/event");
         fields.push((name, ns));
     }
+
     // The seed's adaptive at this fan-in (5 ≤ 8 lists) was the heap.
     let seed_e2e = fields
         .iter()
@@ -465,14 +807,33 @@ fn main() {
     println!("  end-to-end speedup vs seed adaptive: {e2e_speedup:.1}x");
 
     // ---- concurrent engine scaling --------------------------------------
-    run_concurrent(&mut json, args.max_threads);
+    if !args.no_concurrent {
+        run_concurrent(&mut json, args.max_threads);
+    }
 
-    // ---- write ----------------------------------------------------------
-    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .canonicalize()
-        .expect("workspace root exists");
-    let path = root.join("BENCH_hotpath.json");
-    std::fs::write(&path, json.render()).expect("write BENCH_hotpath.json");
+    // ---- merge + write --------------------------------------------------
+    let path = args.out.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .expect("workspace root exists")
+            .join("BENCH_hotpath.json")
+    });
+    let merged = match std::fs::read_to_string(&path)
+        .ok()
+        .as_deref()
+        .map(Json::parse)
+    {
+        Some(Some(existing)) => json.merge_over(existing),
+        Some(None) => {
+            eprintln!(
+                "warning: {} exists but did not parse; rewriting from this run only",
+                path.display()
+            );
+            json
+        }
+        None => json,
+    };
+    std::fs::write(&path, merged.render()).expect("write hot-path baseline json");
     println!("\nwrote {}", path.display());
 }

@@ -35,8 +35,20 @@
 //! dynamic events reference an unbounded vertex set the interner has never
 //! seen (its key type is generic for closed-world deployments; see
 //! `magicrecs_temporal`).
+//!
+//! **Dense-witness fast path.** For closed worlds where `D` itself is
+//! dense-keyed ([`crate::ingest::InterningIngest`], seeded from the same
+//! graph), even that last per-witness hash probe is deletable:
+//! [`DiamondDetector::detect_dense_into`] consumes witnesses already in
+//! dense-id space — graph-seeded ids coincide with `S`'s dense ids, so
+//! the follower lookup indexes the CSR directly and the only translation
+//! left is one array read per witness for the candidate-facing sparse id.
+//! Both kernels canonicalize into the same witness rows and share one
+//! bottom half, so their outputs are identical by construction (and
+//! test-enforced).
 
-use crate::threshold::{lists_containing, threshold_intersect, ThresholdAlgo};
+use crate::intersect::gallop_to_simd;
+use crate::threshold::{threshold_intersect, ThresholdAlgo};
 use magicrecs_graph::FollowGraph;
 use magicrecs_temporal::EdgeStore;
 use magicrecs_types::{Candidate, DenseId, DetectorConfig, EdgeEvent, Result, Timestamp, UserId};
@@ -48,7 +60,19 @@ pub struct DiamondDetector {
     algo: ThresholdAlgo,
     // Scratch buffers, reused across events to avoid per-event allocation.
     witnesses: Vec<(UserId, Timestamp)>,
+    dense_witnesses: Vec<(DenseId, Timestamp)>,
+    dense_rows: Vec<(UserId, DenseId, Timestamp)>,
+    /// Canonicalized witnesses both kernels converge on: sorted ascending
+    /// by sparse id, each with its graph-dense id when the witness is a
+    /// vertex of `S` (and `None` — empty follower list — when not).
+    rows: Vec<(UserId, Option<DenseId>)>,
     matches: Vec<(DenseId, u32)>,
+    /// Per-list frontier for witness recovery at emission: matches emit in
+    /// ascending dense order, so one monotone galloping cursor per list
+    /// replaces the per-candidate binary searches `lists_containing` paid
+    /// (a fresh O(log |S[B]|) against every celebrity-sized list, per
+    /// candidate).
+    witness_cursors: Vec<usize>,
 }
 
 impl DiamondDetector {
@@ -59,7 +83,11 @@ impl DiamondDetector {
             config,
             algo: ThresholdAlgo::Adaptive,
             witnesses: Vec::with_capacity(64),
+            dense_witnesses: Vec::with_capacity(64),
+            dense_rows: Vec::with_capacity(64),
+            rows: Vec::with_capacity(64),
             matches: Vec::with_capacity(64),
+            witness_cursors: Vec::with_capacity(64),
         })
     }
 
@@ -154,17 +182,94 @@ impl DiamondDetector {
         // per-candidate witness ids, but keep everything canonical).
         self.witnesses.sort_unstable_by_key(|&(b, _)| b);
 
-        // Bottom half, in dense space: one interner probe per witness,
-        // then every `S[B]` lookup is two array reads on u32 slices.
-        // Witnesses outside `S` (no interned followers) contribute empty
-        // lists, exactly as the old id-level lookup returned empty.
+        // One interner probe per witness — the sparse boundary this path
+        // pays and the dense-witness kernel deletes. Witnesses outside `S`
+        // (no interned followers) contribute empty lists, exactly as the
+        // old id-level lookup returned empty.
+        self.rows.clear();
+        let (rows, witnesses) = (&mut self.rows, &self.witnesses);
+        rows.extend(witnesses.iter().map(|&(b, _)| (b, s.dense_of(b))));
+        self.finish_into(s, target, t, out)
+    }
+
+    /// The dense-witness fast path: the same read-only kernel, consuming
+    /// witnesses already in dense-id space.
+    ///
+    /// A closed-world ingest adapter ([`crate::ingest::InterningIngest`])
+    /// keys `D` by dense ids *seeded from `s`'s interner*, so a witness id
+    /// below `s.num_vertices()` **is** the graph's dense id (that seeding
+    /// is the dense-witness contract) and its follower list needs no
+    /// interner probe at all; ids past the range are stream-invented
+    /// vertices with no list in `S`. `user_of` translates any witness id
+    /// back to its sparse id — an array read in the adapter, replacing the
+    /// per-witness hash probe plus the dense→sparse→dense round trip the
+    /// sparse path pays.
+    ///
+    /// Output is candidate-for-candidate identical to [`detect_into`] over
+    /// the equivalent sparse witness list (test-enforced): recency capping
+    /// and canonical ordering use the translated sparse ids, so
+    /// stream-invented vertices (whose dense order is arrival order, not
+    /// id order) cannot reorder anything.
+    ///
+    /// [`detect_into`]: DiamondDetector::detect_into
+    pub fn detect_dense_into<F, U>(
+        &mut self,
+        s: &FollowGraph,
+        target: UserId,
+        t: Timestamp,
+        fill_witnesses: F,
+        user_of: U,
+        out: &mut Vec<Candidate>,
+    ) -> usize
+    where
+        F: FnOnce(&mut Vec<(DenseId, Timestamp)>),
+        U: Fn(DenseId) -> UserId,
+    {
+        self.dense_witnesses.clear();
+        fill_witnesses(&mut self.dense_witnesses);
+        if self.dense_witnesses.len() < self.config.k {
+            return 0;
+        }
+
+        // Translate up front (array reads): the recency cap's tiebreak and
+        // the canonical order are defined on sparse ids.
+        self.dense_rows.clear();
+        let (dense_rows, dense_witnesses) = (&mut self.dense_rows, &self.dense_witnesses);
+        dense_rows.extend(dense_witnesses.iter().map(|&(d, at)| (user_of(d), d, at)));
+        if let Some(cap) = self.config.max_witnesses {
+            if self.dense_rows.len() > cap {
+                self.dense_rows
+                    .sort_unstable_by_key(|&(b, _, at)| (std::cmp::Reverse(at), b));
+                self.dense_rows.truncate(cap);
+            }
+        }
+        self.dense_rows.sort_unstable_by_key(|&(b, _, _)| b);
+
+        self.rows.clear();
+        let (rows, dense_rows) = (&mut self.rows, &self.dense_rows);
+        rows.extend(
+            dense_rows
+                .iter()
+                .map(|&(b, d, _)| (b, s.contains_dense(d).then_some(d))),
+        );
+        self.finish_into(s, target, t, out)
+    }
+
+    /// Shared bottom half: threshold-count the follower lists of the
+    /// canonicalized witnesses in `self.rows`, then filter and emit
+    /// candidates. Both the sparse and the dense-witness kernels end here.
+    fn finish_into(
+        &mut self,
+        s: &FollowGraph,
+        target: UserId,
+        t: Timestamp,
+        out: &mut Vec<Candidate>,
+    ) -> usize {
+        // Every `S[B]` lookup is two array reads on u32 slices.
         let lists: Vec<&[DenseId]> = self
-            .witnesses
+            .rows
             .iter()
-            .map(|&(b, _)| {
-                s.dense_of(b)
-                    .map_or(&[] as &[DenseId], |db| s.followers_dense(db))
-            })
+            .map(|&(_, d)| d.map_or(&[] as &[DenseId], |db| s.followers_dense(db)))
             .collect();
         self.matches.clear();
         threshold_intersect(self.algo, &lists, self.config.k, &mut self.matches);
@@ -177,9 +282,12 @@ impl DiamondDetector {
         let dense_dst = s.dense_of(target);
 
         let mut emitted = 0usize;
+        self.witness_cursors.clear();
+        self.witness_cursors.resize(lists.len(), 0);
         // Order-preserving interning keeps matches ascending by raw id, so
-        // candidates emit in the same order the id-level path produced.
-        for &(da, _count) in self.matches.iter() {
+        // candidates emit in the same order the id-level path produced —
+        // and the witness-recovery cursors below only ever move forward.
+        for &(da, count) in self.matches.iter() {
             if Some(da) == dense_dst {
                 continue; // never recommend an account to itself
             }
@@ -187,7 +295,7 @@ impl DiamondDetector {
             if self.config.skip_existing {
                 // A witness already follows C (dynamically); a static
                 // follower of C already knows it.
-                if self.witnesses.binary_search_by_key(&a, |&(b, _)| b).is_ok()
+                if self.rows.binary_search_by_key(&a, |&(b, _)| b).is_ok()
                     || dense_dst.is_some_and(|dc| s.follows_dense(da, dc))
                 {
                     continue;
@@ -198,10 +306,24 @@ impl DiamondDetector {
                     break;
                 }
             }
-            let witness_ids: Vec<UserId> = lists_containing(&lists, da)
-                .into_iter()
-                .map(|i| self.witnesses[i as usize].0)
-                .collect();
+            // Recover which witnesses this candidate follows by advancing
+            // each list's frontier to the candidate; the threshold count
+            // says exactly how many lists will hit, so the scan stops as
+            // soon as the last one is found.
+            let mut witness_ids: Vec<UserId> = Vec::with_capacity(count as usize);
+            for (i, list) in lists.iter().enumerate() {
+                let c = gallop_to_simd(list, self.witness_cursors[i], da);
+                if list.get(c).copied() == Some(da) {
+                    witness_ids.push(self.rows[i].0);
+                    self.witness_cursors[i] = c + 1;
+                    if witness_ids.len() == count as usize {
+                        break;
+                    }
+                } else {
+                    self.witness_cursors[i] = c;
+                }
+            }
+            debug_assert_eq!(witness_ids.len(), count as usize);
             out.push(Candidate {
                 user: a,
                 target,

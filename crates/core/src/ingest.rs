@@ -31,6 +31,12 @@ pub struct InterningIngest<D = TemporalEdgeStore<DenseId>> {
     dense: FxHashMap<UserId, DenseId>,
     users: Vec<UserId>,
     store: D,
+    /// How many ids were seeded from a graph interner at construction
+    /// (`0` for [`InterningIngest::with_store`]). The dense-witness fast
+    /// path asserts this against the graph it detects over: ids below the
+    /// seed count coincide with that graph's dense ids *only* when the
+    /// adapter was seeded from it.
+    graph_seed: usize,
     /// Reused per-query witness buffer (dense space), so the adapter adds
     /// no per-event allocation on top of the detector's own scratch.
     scratch: Vec<(DenseId, Timestamp)>,
@@ -49,6 +55,7 @@ impl<D: EdgeStore<DenseId>> InterningIngest<D> {
             users.push(u);
         }
         InterningIngest {
+            graph_seed: users.len(),
             dense,
             users,
             store,
@@ -57,12 +64,16 @@ impl<D: EdgeStore<DenseId>> InterningIngest<D> {
     }
 
     /// Creates an adapter with an empty seed (every vertex is
-    /// stream-assigned).
+    /// stream-assigned). Such an adapter supports the translating
+    /// detection path ([`InterningIngest::on_event_detect_into`]) but
+    /// **not** the dense-witness fast path, whose ids must coincide with
+    /// a graph's.
     pub fn with_store(store: D) -> Self {
         InterningIngest {
             dense: FxHashMap::default(),
             users: Vec::new(),
             store,
+            graph_seed: 0,
             scratch: Vec::new(),
         }
     }
@@ -117,6 +128,74 @@ impl<D: EdgeStore<DenseId>> InterningIngest<D> {
         );
     }
 
+    /// Full event path through the **dense-witness kernel**: `D` mutation
+    /// plus [`DiamondDetector::detect_dense_into`], with witnesses handed
+    /// to the detector still in dense-id space.
+    ///
+    /// This is the closed-world payoff path: where
+    /// [`InterningIngest::on_event_detect_into`] translates every witness
+    /// dense→sparse here only for the detector to immediately probe
+    /// sparse→dense again (one interner hash probe per witness per
+    /// event), this route passes the store's dense ids straight through —
+    /// graph-seeded ids coincide with `S`'s dense ids by construction, so
+    /// the only per-witness translation left is one array read for the
+    /// candidate-facing sparse id. Candidate-for-candidate parity with
+    /// both the sparse-keyed path and `on_event_detect_into` is
+    /// test-enforced.
+    ///
+    /// # Panics
+    /// If this adapter was not seeded from `s` — e.g. built via
+    /// [`InterningIngest::with_store`], or detected over a
+    /// different/swapped graph. Stream-assigned ids would then collide
+    /// with unrelated graph vertices and the kernel would intersect the
+    /// wrong follower lists; the id spaces genuinely coinciding is the
+    /// contract these cheap per-event checks (seed size plus first/last
+    /// seeded id spot-check) enforce.
+    pub fn on_event_detect_dense_into(
+        &mut self,
+        detector: &mut DiamondDetector,
+        s: &FollowGraph,
+        event: EdgeEvent,
+        out: &mut Vec<Candidate>,
+    ) -> usize {
+        // Size alone would accept a different graph that happens to have
+        // as many vertices; the endpoint ids are order-preserving interner
+        // output, so matching first and last seeded ids pins the seed to
+        // this graph for all practical purposes.
+        let seeded_from_s = self.graph_seed == s.num_vertices()
+            && (self.graph_seed == 0
+                || (s.user_of_checked(DenseId(0)) == Some(self.users[0])
+                    && s.user_of_checked(DenseId(self.graph_seed as u32 - 1))
+                        == Some(self.users[self.graph_seed - 1])));
+        assert!(
+            seeded_from_s,
+            "dense-witness contract violation: adapter (seed size {}) was not seeded from \
+             the graph it is detecting over ({} vertices) — seed this InterningIngest from \
+             that graph (InterningIngest::new), or use on_event_detect_into",
+            self.graph_seed,
+            s.num_vertices(),
+        );
+        self.on_event(event);
+        if !event.kind.is_insertion() {
+            return 0;
+        }
+        let t = event.created_at;
+        let (store, dense, users) = (&mut self.store, &self.dense, &self.users);
+        detector.detect_dense_into(
+            s,
+            event.dst,
+            t,
+            |buf| {
+                let Some(&dd) = dense.get(&event.dst) else {
+                    return;
+                };
+                store.witnesses_into(dd, t, buf);
+            },
+            |d| users[d.index()],
+            out,
+        )
+    }
+
     /// Full event path: `D` mutation plus detection through the read-only
     /// kernel. Mirrors [`DiamondDetector::on_event_into`] over a
     /// sparse-keyed store.
@@ -151,6 +230,13 @@ impl<D: EdgeStore<DenseId>> InterningIngest<D> {
             },
             out,
         )
+    }
+
+    /// Forces store expiry up to `now` — the same cadence hook
+    /// [`magicrecs_core::Engine::advance`](crate::Engine::advance) exposes,
+    /// so long replays can reclaim dead `D` entries.
+    pub fn advance(&mut self, now: Timestamp) {
+        self.store.advance(now);
     }
 
     /// The wrapped dense-keyed store.
@@ -275,6 +361,144 @@ mod tests {
             ingest.on_event_detect_into(&mut dense_det, &g, event, &mut got);
             assert_eq!(got, expect, "diverged at {event:?}");
         }
+    }
+
+    /// The dense-witness kernel's parity requirement: routing witnesses to
+    /// the detector *without* the dense→sparse→dense round trip produces
+    /// the same candidates, event for event, as the sparse-keyed path —
+    /// including events whose witnesses are stream-invented vertices the
+    /// graph has never interned.
+    #[test]
+    fn dense_witness_kernel_parity_with_sparse_path() {
+        let g = graph();
+        let config = DetectorConfig::example();
+
+        let mut sparse_store = TemporalEdgeStore::with_window(config.tau);
+        let mut sparse_det = DiamondDetector::new(config).unwrap();
+
+        let mut ingest: InterningIngest =
+            InterningIngest::new(&g, TemporalEdgeStore::with_window(config.tau));
+        let mut dense_det = DiamondDetector::new(config).unwrap();
+
+        for event in trace() {
+            let expect = sparse_det.on_event(&g, &mut sparse_store, event);
+            let mut got = Vec::new();
+            ingest.on_event_detect_dense_into(&mut dense_det, &g, event, &mut got);
+            assert_eq!(got, expect, "diverged at {event:?}");
+        }
+        assert_eq!(
+            ingest.store().resident_entries(),
+            sparse_store.resident_entries()
+        );
+    }
+
+    /// Same parity over a sharded dense store, and against the
+    /// translating adapter route (all three paths must agree).
+    #[test]
+    fn dense_witness_kernel_parity_over_sharded_store() {
+        let g = graph();
+        let config = DetectorConfig::example();
+
+        let store: ShardedTemporalStore<DenseId> =
+            ShardedTemporalStore::new(config.tau, PruneStrategy::Wheel, 4);
+        let mut fast = InterningIngest::new(&g, store);
+        let mut fast_det = DiamondDetector::new(config).unwrap();
+
+        let mut translating: InterningIngest =
+            InterningIngest::new(&g, TemporalEdgeStore::with_window(config.tau));
+        let mut translating_det = DiamondDetector::new(config).unwrap();
+
+        for event in trace() {
+            let mut expect = Vec::new();
+            translating.on_event_detect_into(&mut translating_det, &g, event, &mut expect);
+            let mut got = Vec::new();
+            fast.on_event_detect_dense_into(&mut fast_det, &g, event, &mut got);
+            assert_eq!(got, expect, "diverged at {event:?}");
+        }
+    }
+
+    /// A witness cap exercises the recency-sort parity: the dense path
+    /// must cap and tie-break on sparse ids even for stream-invented
+    /// vertices whose dense order is arrival order.
+    #[test]
+    fn dense_witness_kernel_parity_under_witness_cap() {
+        let g = graph();
+        let config = DetectorConfig {
+            max_witnesses: Some(2),
+            ..DetectorConfig::example()
+        };
+
+        let mut sparse_store = TemporalEdgeStore::with_window(config.tau);
+        let mut sparse_det = DiamondDetector::new(config).unwrap();
+
+        let mut ingest: InterningIngest =
+            InterningIngest::new(&g, TemporalEdgeStore::with_window(config.tau));
+        let mut dense_det = DiamondDetector::new(config).unwrap();
+
+        // Interleave graph-known Bs with never-interned ones arriving in
+        // descending raw-id order (dense order ≠ sparse order), with tied
+        // timestamps so the cap's tiebreak decides.
+        let mut events = Vec::new();
+        for (i, b) in [900u64, 12, 850, 11, 800].into_iter().enumerate() {
+            events.push(EdgeEvent::follow(u(b), u(77), ts(10 + (i as u64 / 2))));
+        }
+        for event in events {
+            let expect = sparse_det.on_event(&g, &mut sparse_store, event);
+            let mut got = Vec::new();
+            ingest.on_event_detect_dense_into(&mut dense_det, &g, event, &mut got);
+            assert_eq!(got, expect, "diverged at {event:?}");
+        }
+    }
+
+    /// A same-sized but different graph must also be rejected — size
+    /// equality alone is not the contract, id-space identity is.
+    #[test]
+    #[should_panic(expected = "dense-witness contract violation")]
+    fn dense_witness_path_rejects_same_size_different_graph() {
+        let g = graph();
+        let mut other = GraphBuilder::new();
+        // Same vertex count (6) as `graph()`, different ids.
+        other.extend([
+            (u(101), u(111)),
+            (u(101), u(112)),
+            (u(102), u(111)),
+            (u(102), u(112)),
+            (u(103), u(112)),
+        ]);
+        let other = other.build();
+        assert_eq!(other.num_vertices(), g.num_vertices());
+        let mut ingest: InterningIngest = InterningIngest::new(
+            &other,
+            TemporalEdgeStore::with_window(Duration::from_mins(10)),
+        );
+        let mut det = DiamondDetector::new(DetectorConfig::example()).unwrap();
+        let mut out = Vec::new();
+        ingest.on_event_detect_dense_into(
+            &mut det,
+            &g,
+            EdgeEvent::follow(u(11), u(99), ts(10)),
+            &mut out,
+        );
+    }
+
+    /// The dense-witness contract is enforced, not assumed: an adapter
+    /// whose id space does not coincide with the graph's (empty seed)
+    /// must refuse the fast path instead of intersecting the wrong
+    /// follower lists.
+    #[test]
+    #[should_panic(expected = "dense-witness contract violation")]
+    fn dense_witness_path_rejects_unseeded_adapter() {
+        let g = graph();
+        let mut ingest: InterningIngest =
+            InterningIngest::with_store(TemporalEdgeStore::with_window(Duration::from_mins(10)));
+        let mut det = DiamondDetector::new(DetectorConfig::example()).unwrap();
+        let mut out = Vec::new();
+        ingest.on_event_detect_dense_into(
+            &mut det,
+            &g,
+            EdgeEvent::follow(u(11), u(99), ts(10)),
+            &mut out,
+        );
     }
 
     #[test]

@@ -14,8 +14,34 @@
 //! * [`intersect_adaptive`] — picks between them by length ratio; ablation
 //!   B1 measures the crossover.
 //!
-//! All variants append to a caller-provided buffer so the detector's hot
-//! path performs zero allocation per query.
+//! ## SIMD arms and the runtime-dispatch story
+//!
+//! Each scalar kernel has a `_simd` twin ([`intersect_merge_simd`],
+//! [`intersect_count_simd`], [`intersect_gallop_simd`], and the frontier
+//! advance [`gallop_to_simd`] the threshold kernels probe through). The
+//! twins are *dispatchers*, not separate algorithms:
+//!
+//! 1. [`crate::simd::SimdElem::as_lanes`] asks whether the element type is
+//!    layout-identical to `u32` (dense ids are; raw `u64` ids are not);
+//! 2. [`crate::simd::simd_level`] reports the instruction tier detected
+//!    once per process (AVX2 → SSE2 → scalar, with
+//!    `MAGICRECS_FORCE_SCALAR=1` pinning scalar for the CI matrix);
+//! 3. if either check fails, the call falls through to the scalar twin on
+//!    this page — the portable code *is* the fallback, there is no second
+//!    implementation to keep in sync.
+//!
+//! To add an arm (AVX-512, NEON): implement the inner loop in
+//! [`crate::simd`], teach `detect()` the new tier, and the dispatchers on
+//! this page pick it up — callers never change. The differential proptests
+//! below pin every dispatcher to its scalar twin over adversarial inputs
+//! (lane-boundary remainders, matches straddling block edges, empty and
+//! singleton lists, all-equal runs).
+//!
+//! All variants require sorted, deduplicated inputs, and append to a
+//! caller-provided buffer so the detector's hot path performs zero
+//! allocation per query.
+
+use crate::simd::{self, SimdElem, SimdLevel};
 
 /// Length ratio above which galloping beats merging. Empirically the
 /// crossover sits between 8× and 64×; 16 is a robust middle (see ablation
@@ -121,14 +147,82 @@ pub fn intersect_count<V: Copy + Ord>(a: &[V], b: &[V]) -> usize {
     n
 }
 
+// ---- SIMD dispatchers -----------------------------------------------------
+//
+// Same contracts as the scalar kernels above; see the module docs for the
+// two-gate dispatch (lane view + detected tier) and the fallback story.
+
+/// [`intersect_merge`] through the vector block loop when the element type
+/// exposes `u32` lanes and the CPU tier allows; scalar merge otherwise.
+pub fn intersect_merge_simd<V: SimdElem>(a: &[V], b: &[V], out: &mut Vec<V>) {
+    // Lane check first: for non-lane types `as_lanes` is a compile-time
+    // `None`, so the whole SIMD branch folds away to the scalar call.
+    if let (Some(la), Some(lb)) = (V::as_lanes(a), V::as_lanes(b)) {
+        if simd::simd_level() != SimdLevel::Scalar {
+            simd::intersect_u32(la, lb, |lane| out.push(V::from_lane(lane)));
+            return;
+        }
+    }
+    intersect_merge(a, b, out);
+}
+
+/// [`intersect_count`] through the vector block loop; scalar otherwise.
+pub fn intersect_count_simd<V: SimdElem>(a: &[V], b: &[V]) -> usize {
+    if let (Some(la), Some(lb)) = (V::as_lanes(a), V::as_lanes(b)) {
+        if simd::simd_level() != SimdLevel::Scalar {
+            let mut n = 0usize;
+            simd::intersect_u32(la, lb, |_| n += 1);
+            return n;
+        }
+    }
+    intersect_count(a, b)
+}
+
+/// [`intersect_gallop`] with the vector bracket finish on each probe;
+/// scalar galloping otherwise.
+pub fn intersect_gallop_simd<V: SimdElem>(a: &[V], b: &[V], out: &mut Vec<V>) {
+    if let (Some(la), Some(lb)) = (V::as_lanes(a), V::as_lanes(b)) {
+        if simd::simd_level() != SimdLevel::Scalar {
+            simd::intersect_gallop_u32(la, lb, |lane| out.push(V::from_lane(lane)));
+            return;
+        }
+    }
+    intersect_gallop(a, b, out);
+}
+
+/// [`gallop_to`] with the final bracket resolved by a vector count-below
+/// scan when lanes and tier allow — the probe primitive the pivot-skipping
+/// threshold kernels advance their per-list cursors through.
+#[inline]
+pub fn gallop_to_simd<V: SimdElem>(list: &[V], from: usize, target: V) -> usize {
+    // O(1) fast path ahead of any dispatch: in the pivot kernels the
+    // overwhelming share of probes find the cursor already at or past the
+    // target (every non-matching list per pivot), and paying even a
+    // cached tier check per probe measurably drags the balanced-workload
+    // arms.
+    if from >= list.len() || list[from] >= target {
+        return from;
+    }
+    if let Some(lanes) = V::as_lanes(list) {
+        if simd::simd_level() != SimdLevel::Scalar {
+            return simd::gallop_to_u32(lanes, from, target.to_lane());
+        }
+    }
+    gallop_to(list, from, target)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use magicrecs_types::UserId;
+    use magicrecs_types::{DenseId, UserId};
     use proptest::prelude::*;
 
     fn ids(v: &[u64]) -> Vec<UserId> {
         v.iter().map(|&n| UserId(n)).collect()
+    }
+
+    fn dense(v: &[u32]) -> Vec<DenseId> {
+        v.iter().map(|&n| DenseId(n)).collect()
     }
 
     fn run(f: fn(&[UserId], &[UserId], &mut Vec<UserId>), a: &[u64], b: &[u64]) -> Vec<u64> {
@@ -238,7 +332,115 @@ mod tests {
         );
     }
 
+    /// The SIMD dispatchers on a non-lane element type (raw u64 ids) must
+    /// silently take the scalar fallback and agree with the scalar twins.
+    #[test]
+    fn simd_dispatchers_fall_back_for_u64_ids() {
+        let a = ids(&[1, 3, 5, 7, 9, 11, 13, 15, 17]);
+        let b = ids(&[2, 3, 5, 8, 13, 21]);
+        let mut out = Vec::new();
+        intersect_merge_simd(&a, &b, &mut out);
+        assert_eq!(out, ids(&[3, 5, 13]));
+        out.clear();
+        intersect_gallop_simd(&a, &b, &mut out);
+        assert_eq!(out, ids(&[3, 5, 13]));
+        assert_eq!(intersect_count_simd(&a, &b), 3);
+        assert_eq!(gallop_to_simd(&a, 0, UserId(8)), 4);
+    }
+
+    /// Hand-picked adversarial shapes for the vector block loops: empty
+    /// and singleton lists, exact-block lengths, lane-boundary remainders
+    /// (lengths ±1 around 4 and 8), matches straddling chunk edges, and
+    /// all-equal runs (identical lists).
+    #[test]
+    fn simd_arms_match_scalar_on_lane_boundaries() {
+        let shapes: Vec<(Vec<u32>, Vec<u32>)> = vec![
+            (vec![], vec![]),
+            (vec![], vec![1, 2, 3]),
+            (vec![7], vec![7]),
+            (vec![7], vec![8]),
+            // Lengths straddling the 4- and 8-lane block sizes.
+            ((0..3).collect(), (1..4).collect()),
+            ((0..4).collect(), (2..6).collect()),
+            ((0..5).collect(), (4..9).collect()),
+            ((0..7).collect(), (6..13).collect()),
+            ((0..8).collect(), (7..15).collect()),
+            ((0..9).collect(), (8..17).collect()),
+            // All-equal runs: identical lists, exactly one block and a
+            // remainder.
+            ((0..12).collect(), (0..12).collect()),
+            // Matches placed exactly at chunk edges (indices 3, 4, 7, 8).
+            (
+                vec![3, 4, 7, 8, 100, 101, 102, 103, 104],
+                vec![0, 1, 2, 3, 4, 7, 8, 104],
+            ),
+            // Disjoint blocks then a late match.
+            (
+                (0..40).map(|v| v * 2).chain([985]).collect(),
+                (0..40).map(|v| v * 2 + 1).chain([985]).collect(),
+            ),
+        ];
+        for (a, b) in shapes {
+            let (da, db) = (dense(&a), dense(&b));
+            let mut expect = Vec::new();
+            intersect_merge(&da, &db, &mut expect);
+            let mut got = Vec::new();
+            intersect_merge_simd(&da, &db, &mut got);
+            assert_eq!(got, expect, "merge_simd a={a:?} b={b:?}");
+            got.clear();
+            intersect_gallop_simd(&da, &db, &mut got);
+            assert_eq!(got, expect, "gallop_simd a={a:?} b={b:?}");
+            assert_eq!(
+                intersect_count_simd(&da, &db),
+                expect.len(),
+                "count_simd a={a:?} b={b:?}"
+            );
+        }
+    }
+
     proptest! {
+        /// Differential pin: every SIMD dispatcher equals its scalar twin
+        /// on arbitrary dense inputs (dense ids take the vector path when
+        /// the CPU tier allows; under MAGICRECS_FORCE_SCALAR this still
+        /// runs, trivially, against the fallback).
+        #[test]
+        fn simd_arms_match_scalar_twins(
+            mut a in proptest::collection::vec(0u32..700, 0..260),
+            mut b in proptest::collection::vec(0u32..700, 0..260),
+        ) {
+            a.sort_unstable(); a.dedup();
+            b.sort_unstable(); b.dedup();
+            let (da, db) = (dense(&a), dense(&b));
+            let mut expect = Vec::new();
+            intersect_merge(&da, &db, &mut expect);
+            let mut got = Vec::new();
+            intersect_merge_simd(&da, &db, &mut got);
+            prop_assert_eq!(&got, &expect, "merge_simd");
+            got.clear();
+            intersect_gallop_simd(&da, &db, &mut got);
+            prop_assert_eq!(&got, &expect, "gallop_simd");
+            prop_assert_eq!(intersect_count_simd(&da, &db), expect.len());
+        }
+
+        /// The SIMD frontier advance agrees with the scalar `gallop_to` on
+        /// every (frontier, target) pair, including targets beyond the
+        /// list and frontiers at the end.
+        #[test]
+        fn gallop_to_simd_matches_scalar(
+            mut list in proptest::collection::vec(0u32..100_000, 0..400),
+            from in 0usize..420,
+            target in 0u32..110_000,
+        ) {
+            list.sort_unstable();
+            list.dedup();
+            let dl = dense(&list);
+            let from = from.min(dl.len());
+            prop_assert_eq!(
+                gallop_to_simd(&dl, from, DenseId(target)),
+                gallop_to(&dl, from, DenseId(target))
+            );
+        }
+
         #[test]
         fn all_algorithms_agree_with_naive(
             mut a in proptest::collection::vec(0u64..500, 0..200),

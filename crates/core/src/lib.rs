@@ -37,13 +37,18 @@
 //!
 //! ## Modules
 //!
-//! * [`intersect`] — two-sorted-list intersection: merge, galloping, and an
-//!   adaptive switch (ablation B1). Generic over the element type; the hot
-//!   path runs them over dense `u32` ids.
+//! * [`intersect`] — two-sorted-list intersection: merge, galloping, an
+//!   adaptive switch (ablation B1), and runtime-dispatched SIMD variants.
+//!   Generic over the element type; the hot path runs them over dense
+//!   `u32` ids, which is what the SIMD arms vectorize.
+//! * [`simd`] — the x86-64 vector inner loops (SSE2 baseline, AVX2 by
+//!   runtime detection, scalar everywhere else) plus the per-process
+//!   dispatch and the [`simd::SimdElem`] lane-view trait.
 //! * [`threshold`] — the general `k`-of-`n` form ("more than k of them"):
 //!   values appearing in at least `k` of `n` sorted lists, via scan-count,
 //!   heap merge, pivot-skipping with count-based early exit (the
-//!   celebrity-skew specialist), or an adaptive switch (ablation B2).
+//!   celebrity-skew specialist), its loser-tree variant for high fan-in,
+//!   or an adaptive switch (ablation B2).
 //! * [`detector`] — [`DiamondDetector`]: one event in, candidates out,
 //!   working in dense-id space from witness lookup to candidate emission;
 //!   hosts the read-only kernel.
@@ -55,7 +60,10 @@
 //!   (replay/simulation) traffic, feeding the same kernel.
 //! * [`scoring`] — candidate ranking ([`Scorer`]).
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the SIMD module carries a scoped `allow` for its
+// intrinsics and the `repr(transparent)` lane view — everything else in
+// the crate stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod concurrent;
@@ -64,6 +72,7 @@ pub mod engine;
 pub mod ingest;
 pub mod intersect;
 pub mod scoring;
+pub mod simd;
 pub mod threshold;
 
 pub use concurrent::{ConcurrentEngine, ConcurrentStats};
@@ -71,4 +80,5 @@ pub use detector::DiamondDetector;
 pub use engine::{Engine, EngineStats};
 pub use ingest::InterningIngest;
 pub use scoring::{Scorer, ScoringConfig};
+pub use simd::{simd_level, SimdElem, SimdLevel};
 pub use threshold::ThresholdAlgo;

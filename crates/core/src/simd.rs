@@ -1,0 +1,572 @@
+//! Runtime-dispatched x86-64 SIMD kernels over `u32` lanes.
+//!
+//! The detector's hot kernels compare dense `u32` ids (PR 1 made that so
+//! precisely to unlock vectorization). This module holds the vector inner
+//! loops and the dispatch that picks them:
+//!
+//! * **Detection** happens once per process ([`simd_level`]): AVX2 via
+//!   `is_x86_feature_detected!`, SSE2 as the x86-64 baseline, scalar
+//!   everywhere else. Setting `MAGICRECS_FORCE_SCALAR=1` (any value but
+//!   `"0"`) pins the process to the scalar fallbacks — the CI matrix uses
+//!   this to keep the portable code from rotting.
+//! * **Lane views** come from [`SimdElem`]: element types that are
+//!   layout-identical to `u32` (the dense ids) expose their slices as raw
+//!   lanes; everything else (`u64`, [`UserId`]) reports no view and the
+//!   callers in [`crate::intersect`] fall back to the scalar generics.
+//! * **Kernels**: a block all-pairs equality intersection
+//!   ([`intersect_u32`]: compare 4/8 elements of each side at once via
+//!   rotated `cmpeq`, advance like a merge), and a galloping frontier
+//!   advance ([`gallop_to_u32`]) whose final bracket is resolved by a
+//!   vectorized count-below scan instead of the last ~6 rounds of branchy
+//!   binary search.
+//!
+//! All kernels require the same input contract as their scalar twins in
+//! [`crate::intersect`]: slices sorted ascending and deduplicated. The
+//! differential proptests in `intersect.rs` pin every vector path to its
+//! scalar twin over adversarial inputs.
+//!
+//! **Adding an arm**: implement the `#[target_feature]` inner loop, extend
+//! [`SimdLevel`] and `detect()`, and add the dispatch branch in the three
+//! `match simd_level()` sites. Keep the scalar tail shared — the vector
+//! loops only handle full blocks.
+#![allow(unsafe_code)]
+
+use magicrecs_types::{DenseId, UserId};
+use std::sync::OnceLock;
+
+/// Highest instruction-set tier the dispatcher will use in this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Portable scalar fallbacks only (non-x86-64, or forced via
+    /// `MAGICRECS_FORCE_SCALAR`).
+    Scalar,
+    /// 128-bit kernels (x86-64 baseline — always available there).
+    Sse2,
+    /// 256-bit kernels (runtime-detected).
+    Avx2,
+}
+
+/// The tier selected for this process (cached after first call).
+pub fn simd_level() -> SimdLevel {
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(detect)
+}
+
+fn detect() -> SimdLevel {
+    if std::env::var_os("MAGICRECS_FORCE_SCALAR").is_some_and(|v| v != *"0") {
+        return SimdLevel::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            SimdLevel::Avx2
+        } else {
+            SimdLevel::Sse2
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        SimdLevel::Scalar
+    }
+}
+
+/// Element types the sorted-list kernels accept, with an optional view of
+/// slices as packed `u32` lanes for the SIMD paths.
+///
+/// The default implementation reports no lane view, which routes every
+/// call through the scalar generics — implementors only override the three
+/// methods when the type is layout-identical to `u32` (enforced with
+/// `repr(transparent)` on [`DenseId`]). `to_lane`/`from_lane` are only
+/// ever invoked on types whose `as_lanes` returns `Some`.
+pub trait SimdElem: Copy + Ord {
+    /// Reinterpret a slice as its raw `u32` lanes, if layout-identical.
+    #[inline]
+    fn as_lanes(_slice: &[Self]) -> Option<&[u32]> {
+        None
+    }
+
+    /// The raw lane of one element. Only called when [`SimdElem::as_lanes`]
+    /// returns `Some` for this type.
+    #[inline]
+    fn to_lane(self) -> u32 {
+        unreachable!("to_lane on an element type without a lane view")
+    }
+
+    /// Rebuild an element from a lane read out of an accepted slice.
+    #[inline]
+    fn from_lane(_lane: u32) -> Self {
+        unreachable!("from_lane on an element type without a lane view")
+    }
+}
+
+impl SimdElem for u32 {
+    #[inline]
+    fn as_lanes(slice: &[Self]) -> Option<&[u32]> {
+        Some(slice)
+    }
+    #[inline]
+    fn to_lane(self) -> u32 {
+        self
+    }
+    #[inline]
+    fn from_lane(lane: u32) -> Self {
+        lane
+    }
+}
+
+impl SimdElem for DenseId {
+    #[inline]
+    fn as_lanes(slice: &[Self]) -> Option<&[u32]> {
+        // SAFETY: `DenseId` is `repr(transparent)` over `u32` (asserted at
+        // its definition precisely for this view), so the slices have
+        // identical layout, alignment, and length.
+        Some(unsafe { std::slice::from_raw_parts(slice.as_ptr() as *const u32, slice.len()) })
+    }
+    #[inline]
+    fn to_lane(self) -> u32 {
+        self.0
+    }
+    #[inline]
+    fn from_lane(lane: u32) -> Self {
+        DenseId(lane)
+    }
+}
+
+impl SimdElem for u64 {}
+impl SimdElem for UserId {}
+
+/// Bracket size below which a vectorized count-below scan replaces the
+/// tail of the binary search in [`gallop_to_u32`]. 64 lanes = 8 AVX2
+/// blocks: small enough to stay cache-resident, large enough to absorb
+/// the ~6 branch-missing search rounds it replaces.
+const SCAN_WINDOW: usize = 64;
+
+/// Number of elements of `window` strictly below `target`.
+///
+/// On a sorted window this is the lower-bound index; the caller keeps the
+/// window small (≤ [`SCAN_WINDOW`] on the hot path) so the linear scan is
+/// a handful of vector compares.
+#[inline]
+fn count_lt(window: &[u32], target: u32) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    match simd_level() {
+        // SAFETY: AVX2 verified by the dispatcher for this process.
+        SimdLevel::Avx2 => unsafe { count_lt_avx2(window, target) },
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        SimdLevel::Sse2 => unsafe { count_lt_sse2(window, target) },
+        SimdLevel::Scalar => count_lt_scalar(window, target),
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    count_lt_scalar(window, target)
+}
+
+fn count_lt_scalar(window: &[u32], target: u32) -> usize {
+    window.iter().filter(|&&v| v < target).count()
+}
+
+/// First index `i ≥ from` with `list[i] ≥ target` — the SIMD twin of
+/// [`crate::intersect::gallop_to`], sharing its frontier invariant.
+///
+/// Exponential probing brackets the answer exactly as the scalar version
+/// does; the bracket is then narrowed by binary search only down to
+/// [`SCAN_WINDOW`] lanes and finished with [`count_lt`], trading the most
+/// misprediction-prone search rounds for a few wide compares.
+pub(crate) fn gallop_to_u32(list: &[u32], from: usize, target: u32) -> usize {
+    if from >= list.len() || list[from] >= target {
+        return from;
+    }
+    // Invariant: list[prev] < target (see the scalar twin).
+    let mut prev = from;
+    let mut step = 1usize;
+    while from + step < list.len() && list[from + step] < target {
+        prev = from + step;
+        step <<= 1;
+    }
+    let bound = (from + step).min(list.len());
+    let mut lo = prev + 1;
+    let mut hi = bound;
+    while hi - lo > SCAN_WINDOW {
+        let mid = lo + (hi - lo) / 2;
+        if list[mid] < target {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo + count_lt(&list[lo..hi], target)
+}
+
+/// Merge-shaped intersection of two sorted deduplicated lane slices,
+/// invoking `emit` for each common value in ascending order.
+///
+/// Full 4/8-lane blocks run through the all-pairs vector loops; the
+/// remainder falls through to a scalar two-pointer merge, so lane-boundary
+/// stragglers follow exactly the scalar semantics.
+pub(crate) fn intersect_u32(a: &[u32], b: &[u32], mut emit: impl FnMut(u32)) {
+    #[cfg(target_arch = "x86_64")]
+    let (i, j) = match simd_level() {
+        // SAFETY: AVX2 verified by the dispatcher for this process.
+        SimdLevel::Avx2 => unsafe { intersect_blocks_avx2(a, b, &mut emit) },
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        SimdLevel::Sse2 => unsafe { intersect_blocks_sse2(a, b, &mut emit) },
+        SimdLevel::Scalar => (0, 0),
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let (i, j) = (0, 0);
+    merge_tail(a, b, i, j, &mut emit);
+}
+
+/// Scalar two-pointer merge from the positions a block loop stopped at —
+/// also the whole input under forced-scalar dispatch. One definition so
+/// the dispatched path and the tier-pinned tests cannot drift apart.
+fn merge_tail(a: &[u32], b: &[u32], mut i: usize, mut j: usize, emit: &mut impl FnMut(u32)) {
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                emit(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Galloping intersection over lane slices: vector bracket finish per
+/// probe ([`gallop_to_u32`]), `emit` per common value in ascending order.
+pub(crate) fn intersect_gallop_u32(a: &[u32], b: &[u32], mut emit: impl FnMut(u32)) {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut frontier = 0usize;
+    for &x in small {
+        frontier = gallop_to_u32(large, frontier, x);
+        if frontier >= large.len() {
+            break;
+        }
+        if large[frontier] == x {
+            emit(x);
+            frontier += 1;
+        }
+    }
+}
+
+// ---- x86-64 inner loops ---------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    /// All-pairs block intersection, 4 lanes per side (SSE2).
+    ///
+    /// Each round compares an aligned-length block of `a` against every
+    /// rotation of a block of `b` (`cmpeq` × 4); the movemask names the
+    /// matching `a` lanes in ascending order. Blocks advance on their max
+    /// element exactly like a two-pointer merge advances on single
+    /// elements, which is what makes the scan exhaustive: a block pair is
+    /// only retired when nothing later on the other side can match it.
+    /// Equality compares are sign-agnostic, so no bias is needed here.
+    ///
+    /// Returns the scalar-tail resume positions `(i, j)`.
+    ///
+    /// # Safety
+    /// Caller must ensure SSE2 is available (x86-64 baseline).
+    pub(super) unsafe fn intersect_blocks_sse2(
+        a: &[u32],
+        b: &[u32],
+        emit: &mut impl FnMut(u32),
+    ) -> (usize, usize) {
+        let (mut i, mut j) = (0usize, 0usize);
+        let (an, bn) = (a.len() & !3, b.len() & !3);
+        while i < an && j < bn {
+            // Cheap block reject: under length skew most blocks of the
+            // longer list fall entirely below the other side's frontier —
+            // two scalar compares retire 4 lanes without any vector work.
+            if b[j + 3] < a[i] {
+                j += 4;
+                continue;
+            }
+            if a[i + 3] < b[j] {
+                i += 4;
+                continue;
+            }
+            let va = _mm_loadu_si128(a.as_ptr().add(i) as *const __m128i);
+            let vb = _mm_loadu_si128(b.as_ptr().add(j) as *const __m128i);
+            let eq0 = _mm_cmpeq_epi32(va, vb);
+            let eq1 = _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0b00_11_10_01));
+            let eq2 = _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0b01_00_11_10));
+            let eq3 = _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0b10_01_00_11));
+            let any = _mm_or_si128(_mm_or_si128(eq0, eq1), _mm_or_si128(eq2, eq3));
+            let mut mask = _mm_movemask_ps(_mm_castsi128_ps(any)) as u32;
+            while mask != 0 {
+                let lane = mask.trailing_zeros() as usize;
+                emit(a[i + lane]);
+                mask &= mask - 1;
+            }
+            let amax = a[i + 3];
+            let bmax = b[j + 3];
+            if amax <= bmax {
+                i += 4;
+            }
+            if bmax <= amax {
+                j += 4;
+            }
+        }
+        (i, j)
+    }
+
+    /// Rotation index tables for the AVX2 all-pairs compare (rotation r
+    /// maps lane k to lane (k + r) mod 8).
+    const ROT8: [[i32; 8]; 7] = [
+        [1, 2, 3, 4, 5, 6, 7, 0],
+        [2, 3, 4, 5, 6, 7, 0, 1],
+        [3, 4, 5, 6, 7, 0, 1, 2],
+        [4, 5, 6, 7, 0, 1, 2, 3],
+        [5, 6, 7, 0, 1, 2, 3, 4],
+        [6, 7, 0, 1, 2, 3, 4, 5],
+        [7, 0, 1, 2, 3, 4, 5, 6],
+    ];
+
+    /// All-pairs block intersection, 8 lanes per side (AVX2). Same
+    /// structure and advance rule as the SSE2 loop.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn intersect_blocks_avx2(
+        a: &[u32],
+        b: &[u32],
+        emit: &mut impl FnMut(u32),
+    ) -> (usize, usize) {
+        let (mut i, mut j) = (0usize, 0usize);
+        let (an, bn) = (a.len() & !7, b.len() & !7);
+        while i < an && j < bn {
+            // Cheap block reject (see the SSE2 loop): skip non-overlapping
+            // blocks before paying for the 8-rotation compare.
+            if b[j + 7] < a[i] {
+                j += 8;
+                continue;
+            }
+            if a[i + 7] < b[j] {
+                i += 8;
+                continue;
+            }
+            let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+            let vb = _mm256_loadu_si256(b.as_ptr().add(j) as *const __m256i);
+            let mut any = _mm256_cmpeq_epi32(va, vb);
+            for idx in &ROT8 {
+                let perm =
+                    _mm256_permutevar8x32_epi32(vb, _mm256_loadu_si256(idx.as_ptr() as *const _));
+                any = _mm256_or_si256(any, _mm256_cmpeq_epi32(va, perm));
+            }
+            let mut mask = _mm256_movemask_ps(_mm256_castsi256_ps(any)) as u32;
+            while mask != 0 {
+                let lane = mask.trailing_zeros() as usize;
+                emit(a[i + lane]);
+                mask &= mask - 1;
+            }
+            let amax = a[i + 7];
+            let bmax = b[j + 7];
+            if amax <= bmax {
+                i += 8;
+            }
+            if bmax <= amax {
+                j += 8;
+            }
+        }
+        (i, j)
+    }
+
+    /// Vector count-below over ≤ a-few-blocks windows. x86 integer
+    /// compares are signed, so lanes are biased by `i32::MIN` to preserve
+    /// unsigned order.
+    ///
+    /// # Safety
+    /// Caller must ensure SSE2 is available (x86-64 baseline).
+    pub(super) unsafe fn count_lt_sse2(window: &[u32], target: u32) -> usize {
+        let bias = _mm_set1_epi32(i32::MIN);
+        let t = _mm_xor_si128(_mm_set1_epi32(target as i32), bias);
+        let mut n = 0usize;
+        let mut i = 0usize;
+        while i + 4 <= window.len() {
+            let v = _mm_xor_si128(
+                _mm_loadu_si128(window.as_ptr().add(i) as *const __m128i),
+                bias,
+            );
+            let lt = _mm_cmplt_epi32(v, t);
+            n += (_mm_movemask_ps(_mm_castsi128_ps(lt)) as u32).count_ones() as usize;
+            i += 4;
+        }
+        n + count_lt_scalar(&window[i..], target)
+    }
+
+    /// 8-lane variant of [`count_lt_sse2`].
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn count_lt_avx2(window: &[u32], target: u32) -> usize {
+        let bias = _mm256_set1_epi32(i32::MIN);
+        let t = _mm256_xor_si256(_mm256_set1_epi32(target as i32), bias);
+        let mut n = 0usize;
+        let mut i = 0usize;
+        while i + 8 <= window.len() {
+            let v = _mm256_xor_si256(
+                _mm256_loadu_si256(window.as_ptr().add(i) as *const __m256i),
+                bias,
+            );
+            // v < t  ⟺  t > v.
+            let lt = _mm256_cmpgt_epi32(t, v);
+            n += (_mm256_movemask_ps(_mm256_castsi256_ps(lt)) as u32).count_ones() as usize;
+            i += 8;
+        }
+        n + count_lt_scalar(&window[i..], target)
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use x86::{count_lt_avx2, count_lt_sse2, intersect_blocks_avx2, intersect_blocks_sse2};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+        a.iter().copied().filter(|x| b.contains(x)).collect()
+    }
+
+    /// A tier-pinned block inner loop under test.
+    #[cfg(target_arch = "x86_64")]
+    type BlockKernel = unsafe fn(&[u32], &[u32], &mut dyn FnMut(u32)) -> (usize, usize);
+
+    /// Runs one inner loop plus the shared scalar tail, like
+    /// [`intersect_u32`] but pinned to a specific tier (so both vector
+    /// paths are exercised regardless of the process dispatch level).
+    #[cfg(target_arch = "x86_64")]
+    fn run_pinned(a: &[u32], b: &[u32], blocks: BlockKernel) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut emit = |v: u32| out.push(v);
+        // SAFETY: callers pass kernels whose features they verified.
+        let (i, j) = unsafe { blocks(a, b, &mut emit) };
+        merge_tail(a, b, i, j, &mut emit);
+        out
+    }
+
+    fn cases() -> Vec<(Vec<u32>, Vec<u32>)> {
+        let mut cases = vec![
+            (vec![], vec![]),
+            (vec![5], vec![5]),
+            (vec![5], vec![6]),
+            (vec![1, 3, 5, 7], vec![2, 3, 5, 8]),
+            // Exactly one block per side, all equal.
+            ((0..8).collect(), (0..8).collect()),
+            // Matches straddling the 4- and 8-lane block edges.
+            ((0..37).collect(), (3..41).step_by(1).collect()),
+            (
+                (0..64).map(|v| v * 3).collect(),
+                (0..64).map(|v| v * 2).collect(),
+            ),
+            // Values above i32::MAX: unsigned-order stress for count_lt.
+            (
+                vec![1, u32::MAX - 9, u32::MAX - 1, u32::MAX],
+                vec![0, 2, u32::MAX - 9, u32::MAX],
+            ),
+            // Long disjoint stretches then a match at the very end.
+            (
+                (0..100).map(|v| v * 2).chain([1001]).collect(),
+                (0..100).map(|v| v * 2 + 1).chain([1001]).collect(),
+            ),
+        ];
+        // Skewed: short probe list against a long strided list.
+        cases.push((
+            vec![3, 299, 2_997, 50_000, 1_000_000],
+            (0..200_000u32).map(|v| v * 3).collect(),
+        ));
+        cases
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn sse2_blocks_match_scalar() {
+        for (a, b) in cases() {
+            let expect = scalar_intersect(&a, &b);
+            let got = run_pinned(&a, &b, |a, b, e| unsafe {
+                x86::intersect_blocks_sse2(a, b, &mut |v| e(v))
+            });
+            assert_eq!(got, expect, "a={a:?} b={b:?}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_blocks_match_scalar() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return;
+        }
+        for (a, b) in cases() {
+            let expect = scalar_intersect(&a, &b);
+            let got = run_pinned(&a, &b, |a, b, e| unsafe {
+                x86::intersect_blocks_avx2(a, b, &mut |v| e(v))
+            });
+            assert_eq!(got, expect, "a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn dispatched_intersect_matches_scalar() {
+        for (a, b) in cases() {
+            let expect = scalar_intersect(&a, &b);
+            let mut got = Vec::new();
+            intersect_u32(&a, &b, |v| got.push(v));
+            assert_eq!(got, expect, "a={a:?} b={b:?}");
+            let mut gallop = Vec::new();
+            intersect_gallop_u32(&a, &b, |v| gallop.push(v));
+            assert_eq!(gallop, expect, "gallop a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn gallop_to_u32_matches_partition_point() {
+        let lists: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![7],
+            (0..500).map(|v| v * 7).collect(),
+            (0..2_000).collect(),
+            (0..300).map(|v| v * v).collect(),
+            vec![0, 1, 2, u32::MAX - 2, u32::MAX],
+        ];
+        for list in &lists {
+            for &target in &[0u32, 1, 6, 7, 8, 499, 3_500, 90_000, u32::MAX - 2, u32::MAX] {
+                for from in [0usize, 1, list.len() / 2, list.len()] {
+                    let from = from.min(list.len());
+                    let expect = from
+                        + list[from..]
+                            .partition_point(|&v| v < target)
+                            .min(list.len() - from);
+                    assert_eq!(
+                        gallop_to_u32(list, from, target),
+                        expect,
+                        "list_len={} from={from} target={target}",
+                        list.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_id_lane_view_roundtrips() {
+        let ids: Vec<DenseId> = (0..9u32).map(DenseId).collect();
+        let lanes = <DenseId as SimdElem>::as_lanes(&ids).expect("dense ids are lanes");
+        assert_eq!(lanes, (0..9u32).collect::<Vec<_>>().as_slice());
+        assert_eq!(DenseId::from_lane(DenseId(7).to_lane()), DenseId(7));
+        // u64-shaped ids expose no lane view.
+        assert!(<UserId as SimdElem>::as_lanes(&[UserId(1)]).is_none());
+        assert!(<u64 as SimdElem>::as_lanes(&[1u64]).is_none());
+    }
+
+    #[test]
+    fn level_is_stable_across_calls() {
+        assert_eq!(simd_level(), simd_level());
+    }
+}

@@ -81,7 +81,12 @@ impl<T: Copy + Eq + Ord + std::hash::Hash + fmt::Debug> VertexKey for T {}
 /// adjacency slices therefore correspond element-for-element to sorted
 /// raw-id lists, and the detector can work entirely in dense space,
 /// converting back only at the candidate-emission boundary.
+///
+/// `repr(transparent)` is load-bearing: the SIMD intersection kernels in
+/// `magicrecs-core` reinterpret `&[DenseId]` as `&[u32]` lanes, which is
+/// only sound while this type is layout-identical to its `u32` payload.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct DenseId(pub u32);
 
 impl DenseId {
