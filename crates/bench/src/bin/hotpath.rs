@@ -38,8 +38,13 @@
 //!   celebrity workload, events/sec at 1→N workers. `bench_cores` records
 //!   how many hardware threads the box actually had — on a single-core
 //!   container the curve is honest but flat.
+//! * `snapshot_*` / `wal_*` / `recovery_*` — the persistence subsystem
+//!   (PR 4): full `S` rebuild vs `GraphDelta` apply on a ~1%-changed
+//!   graph, WAL append cost under the batched-fsync default, and the
+//!   crash-recovery replay rate. `--no-persist` skips these arms (their
+//!   previous keys survive the merge).
 
-use magicrecs_bench::{bench_trace, small_graph};
+use magicrecs_bench::{bench_graph, bench_trace, small_graph};
 use magicrecs_cluster::SharedEngineCluster;
 use magicrecs_core::intersect::{
     intersect_adaptive, intersect_gallop, intersect_gallop_simd, intersect_merge,
@@ -243,6 +248,12 @@ struct Args {
     no_concurrent: bool,
     /// Largest worker count on the scaling curve (1 is always measured).
     max_threads: usize,
+    /// Skip the persistence arms (their previous keys survive the
+    /// merge).
+    no_persist: bool,
+    /// Run only the persistence arms and skip the JSON rewrite (the
+    /// persist-smoke CI job).
+    persist_only: bool,
     /// Output path; defaults to `BENCH_hotpath.json` at the workspace
     /// root.
     out: Option<PathBuf>,
@@ -253,6 +264,8 @@ fn parse_args() -> Args {
         concurrent_only: false,
         no_concurrent: false,
         max_threads: 4,
+        no_persist: false,
+        persist_only: false,
         out: None,
     };
     let mut it = std::env::args().skip(1);
@@ -260,6 +273,8 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--concurrent-only" => args.concurrent_only = true,
             "--no-concurrent" => args.no_concurrent = true,
+            "--no-persist" => args.no_persist = true,
+            "--persist-only" => args.persist_only = true,
             "--threads" => {
                 args.max_threads = it
                     .next()
@@ -276,6 +291,14 @@ fn parse_args() -> Args {
     assert!(
         !(args.concurrent_only && args.no_concurrent),
         "--concurrent-only and --no-concurrent are mutually exclusive"
+    );
+    assert!(
+        !(args.persist_only && args.no_persist),
+        "--persist-only and --no-persist are mutually exclusive"
+    );
+    assert!(
+        !(args.persist_only && args.concurrent_only),
+        "--persist-only and --concurrent-only are mutually exclusive"
     );
     args
 }
@@ -476,6 +499,154 @@ fn guard_adaptive<F>(
     }
 }
 
+/// Persistence arms: snapshot refresh (full rebuild vs delta apply on a
+/// ~1%-changed graph), WAL append cost, and crash-recovery replay rate.
+/// Keys are merge-recorded like everything else; `--no-persist` keeps the
+/// previous values.
+fn run_persist(json: &mut Json) {
+    use magicrecs_core::ConcurrentEngine;
+    use magicrecs_graph::GraphDelta;
+    use magicrecs_persist::{
+        FsyncPolicy, PersistOptions, PersistentEngine, TempDir, Wal, WalOptions,
+    };
+
+    println!("# persistence (snapshot refresh / wal / recovery)");
+    let base = bench_graph();
+    // A refreshed world touching ~1% of edges: drop every 200th edge
+    // (0.5%) and add as many fresh follows (new users included).
+    let mut edges: Vec<(UserId, UserId)> = base
+        .iter_forward()
+        .flat_map(|(a, ts)| ts.into_iter().map(move |b| (a, b)))
+        .collect();
+    let total = edges.len();
+    let mut keep = Vec::with_capacity(total);
+    for (i, e) in edges.drain(..).enumerate() {
+        if i % 200 != 0 {
+            keep.push(e);
+        }
+    }
+    let dropped = total - keep.len();
+    for i in 0..dropped as u64 {
+        // Half the additions come from brand-new (higher-id) users, half
+        // re-wire existing ones.
+        let src = if i % 2 == 0 {
+            UserId(30_000_000 + i)
+        } else {
+            UserId(1 + i % 20_000)
+        };
+        keep.push((src, UserId(40_000_000 + i % 500)));
+    }
+    let new_graph = {
+        let mut gb = GraphBuilder::with_capacity(keep.len());
+        gb.extend(keep.iter().copied());
+        gb.build()
+    };
+    let delta = GraphDelta::between(&base, &new_graph, 0, 1).expect("valid refresh delta");
+    let changed_pct = 100.0 * delta.len() as f64 / total as f64;
+    println!(
+        "  delta: {} of {} edges changed ({changed_pct:.2}%)",
+        delta.len(),
+        total
+    );
+
+    // Both arms measure "construct the refreshed S" — the engine publish
+    // itself (swap_graph / swap_graph_delta) is a pointer swap common to
+    // both and is exercised for correctness below, not timed separately.
+    let full_ns = time_ns(1, 5, || {
+        let mut gb = GraphBuilder::with_capacity(keep.len());
+        gb.extend(keep.iter().copied());
+        black_box(gb.build());
+    });
+    let delta_ns = time_ns(1, 5, || {
+        black_box(base.apply_delta(&delta).expect("delta applies"));
+    });
+    json.num("snapshot_full_refresh_ns", full_ns);
+    json.num("snapshot_delta_refresh_ns", delta_ns);
+    json.num("snapshot_delta_changed_pct", changed_pct);
+    json.num("speedup_snapshot_delta_over_full", full_ns / delta_ns);
+    println!(
+        "  full rebuild {:.1} ms vs delta apply {:.1} ms ({:.1}x)",
+        full_ns / 1e6,
+        delta_ns / 1e6,
+        full_ns / delta_ns
+    );
+    assert!(
+        delta_ns < full_ns,
+        "delta refresh ({delta_ns:.0} ns) must beat the full rebuild ({full_ns:.0} ns) \
+         on a {changed_pct:.2}% delta"
+    );
+    // And the engine-level publish path agrees with the full swap.
+    let engine =
+        ConcurrentEngine::new(base.clone(), DetectorConfig::production()).expect("engine builds");
+    engine.swap_graph_delta(&delta).expect("delta swap");
+    assert_eq!(
+        engine.graph().num_follow_edges(),
+        new_graph.num_follow_edges()
+    );
+
+    // WAL append cost (EveryN batched fsync, the production default).
+    let wal_trace = bench_trace(20_000, 2_000.0, 25, 0x3A1);
+    let wal_events = wal_trace.events();
+    let tmp = TempDir::new("bench-wal");
+    let mut wal = Wal::create(
+        tmp.path(),
+        "wal-",
+        WalOptions {
+            fsync: FsyncPolicy::EveryN(256),
+            segment_bytes: 4 << 20,
+        },
+    )
+    .expect("wal create");
+    let start = Instant::now();
+    for &e in wal_events {
+        wal.append(e).expect("append");
+    }
+    wal.close().expect("close");
+    let wal_ns = start.elapsed().as_secs_f64() * 1e9 / wal_events.len() as f64;
+    json.num("wal_append_ns_per_event", wal_ns);
+    println!(
+        "  wal append {:.0} ns/event ({} events, fsync every 256)",
+        wal_ns,
+        wal_events.len()
+    );
+
+    // Crash-recovery replay rate: a full run's WAL replayed through the
+    // store with emission suppressed.
+    let tmp = TempDir::new("bench-recovery");
+    let mut pe = PersistentEngine::create(
+        tmp.path(),
+        base.clone(),
+        0,
+        DetectorConfig::production(),
+        PersistOptions {
+            fsync: FsyncPolicy::Never,
+            segment_bytes: 4 << 20,
+            checkpoint_every: 0, // replay the whole log
+        },
+    )
+    .expect("create");
+    for &e in wal_events {
+        pe.on_event(e).expect("ingest");
+    }
+    pe.close().expect("close");
+    let start = Instant::now();
+    let (_, report) = PersistentEngine::open(
+        tmp.path(),
+        DetectorConfig::production(),
+        magicrecs_graph::CapStrategy::None,
+        PersistOptions::default(),
+    )
+    .expect("recover");
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(report.replayed as usize, wal_events.len());
+    let rate = report.replayed as f64 / secs;
+    json.num("recovery_events_per_sec", rate);
+    println!(
+        "  recovery replayed {} events in {:.2}s ({:.0} events/sec, snapshot load included)",
+        report.replayed, secs, rate
+    );
+}
+
 fn main() {
     let args = parse_args();
     if args.concurrent_only {
@@ -483,6 +654,13 @@ fn main() {
         // baseline untouched.
         let mut json = Json::new();
         run_concurrent(&mut json, args.max_threads);
+        return;
+    }
+    if args.persist_only {
+        // CI persist-smoke: persistence arms (including the delta<full
+        // hard assert), no JSON rewrite.
+        let mut json = Json::new();
+        run_persist(&mut json);
         return;
     }
 
@@ -809,6 +987,11 @@ fn main() {
     // ---- concurrent engine scaling --------------------------------------
     if !args.no_concurrent {
         run_concurrent(&mut json, args.max_threads);
+    }
+
+    // ---- persistence: delta refresh, WAL append, recovery replay --------
+    if !args.no_persist {
+        run_persist(&mut json);
     }
 
     // ---- merge + write --------------------------------------------------

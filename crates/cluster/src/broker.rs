@@ -11,7 +11,10 @@
 //! [`crate::ThreadedCluster`] is in turn tested against it.
 
 use crate::partition::Partition;
-use magicrecs_graph::{partition_by_source, FollowGraph, HashPartitioner, Partitioner};
+use magicrecs_graph::{
+    partition_by_source, partition_delta_by_source, FollowGraph, GraphDelta, HashPartitioner,
+    Partitioner,
+};
 use magicrecs_types::{
     Candidate, ClusterConfig, DetectorConfig, EdgeEvent, PartitionId, Result, Timestamp,
 };
@@ -78,11 +81,35 @@ impl Broker {
     /// periodic offline load: "the A → B edges are computed offline and
     /// loaded into the system periodically"). Dynamic state (`D`) is
     /// preserved; each partition receives its re-partitioned slice.
+    ///
+    /// This is the **full-rebuild fallback**; when the offline pipeline
+    /// ships a delta chain, [`Broker::reload_graph_delta`] refreshes each
+    /// partition for the cost of its touched rows instead.
     pub fn reload_graph(&mut self, graph: &FollowGraph) {
         let parts = partition_by_source(graph, &self.partitioner);
         for (p, local) in self.partitions.iter_mut().zip(parts) {
             p.swap_graph(local);
         }
+    }
+
+    /// Reloads via a snapshot delta: the global delta is split by `A`
+    /// ownership ([`partition_delta_by_source`]) and each partition
+    /// applies only its slice — equivalent to
+    /// [`Broker::reload_graph`] with the fully-applied graph
+    /// (test-enforced), without any partition paying a full interner+CSR
+    /// rebuild.
+    ///
+    /// On error (e.g. a delta applied out of chain order) partitions
+    /// already refreshed keep the new epoch while the failing one keeps
+    /// its old slice — callers should fall back to
+    /// [`Broker::reload_graph`] with a full snapshot, which
+    /// unconditionally restores a consistent cluster.
+    pub fn reload_graph_delta(&mut self, delta: &GraphDelta) -> Result<()> {
+        let slices = partition_delta_by_source(delta, &self.partitioner);
+        for (p, slice) in self.partitions.iter_mut().zip(&slices) {
+            p.swap_graph_delta(slice)?;
+        }
+        Ok(())
     }
 
     /// Forces expiry on every partition.
@@ -269,6 +296,55 @@ mod tests {
         let r = broker.on_event(EdgeEvent::follow(u(12), u(22), ts(12)));
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].user, u(1));
+    }
+
+    #[test]
+    fn reload_graph_delta_matches_full_reload() {
+        // Two brokers over the same base graph and trace; one refreshes
+        // via the delta path, the other via the full-rebuild fallback.
+        // Their candidate streams must stay identical afterwards.
+        let g = GraphGen::new(GraphGenConfig::small()).generate();
+        let mut refreshed = magicrecs_graph::GraphBuilder::new();
+        let mut dropped = 0;
+        for (a, targets) in g.iter_forward() {
+            for (i, b) in targets.into_iter().enumerate() {
+                // Drop a sprinkling of edges, keep the rest.
+                if (a.raw() + i as u64).is_multiple_of(37) {
+                    dropped += 1;
+                    continue;
+                }
+                refreshed.add_edge(a, b);
+            }
+        }
+        // And add a few brand-new follows (new As and Bs included).
+        for a in 0..20u64 {
+            refreshed.add_edge(u(5_000_000 + a), u(6_000_000 + a % 3));
+        }
+        let new_graph = refreshed.build();
+        assert!(dropped > 0, "fixture must actually remove edges");
+        let delta = GraphDelta::between(&g, &new_graph, 0, 1).unwrap();
+
+        let cfg = DetectorConfig {
+            max_witnesses: Some(8),
+            ..DetectorConfig::example()
+        };
+        let cc = ClusterConfig::single().with_partitions(4);
+        let mut via_delta = Broker::new(&g, cc, cfg).unwrap();
+        let mut via_full = Broker::new(&g, cc, cfg).unwrap();
+
+        let trace = Scenario::steady(
+            600,
+            ScenarioConfig::small().with_duration(magicrecs_types::Duration::from_secs(20)),
+        );
+        let half = trace.len() / 2;
+        for &e in &trace.events()[..half] {
+            assert_eq!(via_delta.on_event(e), via_full.on_event(e));
+        }
+        via_delta.reload_graph_delta(&delta).unwrap();
+        via_full.reload_graph(&new_graph);
+        for &e in &trace.events()[half..] {
+            assert_eq!(via_delta.on_event(e), via_full.on_event(e));
+        }
     }
 
     #[test]

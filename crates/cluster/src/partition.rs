@@ -5,7 +5,7 @@
 //! [`Engine`] and tags it with a [`PartitionId`].
 
 use magicrecs_core::Engine;
-use magicrecs_graph::FollowGraph;
+use magicrecs_graph::{FollowGraph, GraphDelta};
 use magicrecs_types::{Candidate, DetectorConfig, EdgeEvent, PartitionId, Result, Timestamp};
 
 /// One partition of the cluster.
@@ -45,9 +45,18 @@ impl Partition {
         self.engine.apply_to_store(event);
     }
 
-    /// Hot-swaps this partition's static slice (periodic offline reload).
+    /// Hot-swaps this partition's static slice (periodic offline reload,
+    /// full rebuild — the fallback when no delta chain is available).
     pub fn swap_graph(&mut self, local_graph: FollowGraph) {
         self.engine.swap_graph(local_graph);
+    }
+
+    /// Refreshes this partition's static slice from its slice of a global
+    /// snapshot delta (see
+    /// [`magicrecs_graph::partition_delta_by_source`]): touched rows only,
+    /// no re-interning of the whole slice.
+    pub fn swap_graph_delta(&mut self, delta: &GraphDelta) -> Result<()> {
+        self.engine.swap_graph_delta(delta)
     }
 
     /// Forces dynamic-store expiry.

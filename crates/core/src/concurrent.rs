@@ -36,7 +36,7 @@
 use crate::detector::DiamondDetector;
 use crate::engine::{entry_cap_for, ADVANCE_EVERY};
 use crate::threshold::ThresholdAlgo;
-use magicrecs_graph::FollowGraph;
+use magicrecs_graph::{FollowGraph, GraphDelta};
 use magicrecs_temporal::{PruneStrategy, ShardedTemporalStore, StoreStats};
 use magicrecs_types::{
     Candidate, DetectorConfig, EdgeEvent, Histogram, Result, Snapshot, Timestamp,
@@ -265,6 +265,34 @@ impl ConcurrentEngine {
         std::mem::replace(&mut *self.graph.write(), Arc::new(new_graph))
     }
 
+    /// Refreshes the static graph by applying a snapshot delta — the cheap
+    /// periodic reload: only touched CSR rows are rebuilt and the interner
+    /// is extended (see [`FollowGraph::apply_delta`]).
+    ///
+    /// The delta is applied **outside** any lock against the current
+    /// snapshot and the result is published through the same `Arc` slot as
+    /// [`ConcurrentEngine::swap_graph`], so in-flight detections keep the
+    /// snapshot they cloned and never observe a half-applied graph. If
+    /// another swap publishes between the base read and this publish, the
+    /// delta would silently apply to a stale base — that race is detected
+    /// (the slot must still hold the base the delta was applied to) and
+    /// reported as an error; snapshot refresh is a single-loader activity
+    /// by design.
+    pub fn swap_graph_delta(&self, delta: &GraphDelta) -> Result<Arc<FollowGraph>> {
+        let base = self.graph.read().clone();
+        let refreshed = Arc::new(base.apply_delta(delta)?);
+        let mut slot = self.graph.write();
+        if !Arc::ptr_eq(&slot, &base) {
+            return Err(magicrecs_types::Error::Invariant(
+                "concurrent graph swap raced swap_graph_delta: delta was applied to a \
+                 superseded snapshot"
+                    .into(),
+            ));
+        }
+        let old = std::mem::replace(&mut *slot, refreshed);
+        Ok(old)
+    }
+
     /// The current `S` snapshot.
     pub fn graph(&self) -> Arc<FollowGraph> {
         self.graph.read().clone()
@@ -414,6 +442,55 @@ mod tests {
         let after = engine.on_event(EdgeEvent::follow(u(12), c, ts(12)));
         assert!(!after.is_empty(), "swap should enable the motif");
         assert_eq!(after[0].user, u(1));
+    }
+
+    #[test]
+    fn swap_graph_delta_publishes_refreshed_snapshot() {
+        let mut sparse = GraphBuilder::new();
+        sparse.add_edge(u(1), u(11));
+        let base = sparse.build();
+        let delta = GraphDelta::between(&base, &small_graph(), 0, 1).unwrap();
+        let engine = ConcurrentEngine::new(base, DetectorConfig::example()).unwrap();
+        let c = u(99);
+        engine.on_event(EdgeEvent::follow(u(11), c, ts(10)));
+        assert!(engine
+            .on_event(EdgeEvent::follow(u(12), c, ts(11)))
+            .is_empty());
+
+        let old = engine.swap_graph_delta(&delta).unwrap();
+        assert_eq!(old.num_follow_edges(), 1);
+        let after = engine.on_event(EdgeEvent::follow(u(12), c, ts(12)));
+        assert!(!after.is_empty(), "delta swap should enable the motif");
+        assert_eq!(after[0].user, u(1));
+        assert_eq!(
+            engine.graph().num_follow_edges(),
+            small_graph().num_follow_edges()
+        );
+    }
+
+    #[test]
+    fn swap_graph_delta_applies_in_order_chain() {
+        let g0 = {
+            let mut b = GraphBuilder::new();
+            b.add_edge(u(1), u(11));
+            b.build()
+        };
+        let g1 = {
+            let mut b = GraphBuilder::new();
+            b.extend([(u(1), u(11)), (u(1), u(12))]);
+            b.build()
+        };
+        let d01 = GraphDelta::between(&g0, &g1, 0, 1).unwrap();
+        let d12 = GraphDelta::between(&g1, &small_graph(), 1, 2).unwrap();
+        let engine = ConcurrentEngine::new(g0, DetectorConfig::example()).unwrap();
+        engine.swap_graph_delta(&d01).unwrap();
+        engine.swap_graph_delta(&d12).unwrap();
+        assert_eq!(
+            engine.graph().num_follow_edges(),
+            small_graph().num_follow_edges()
+        );
+        // Replaying the first delta out of order must fail loudly.
+        assert!(engine.swap_graph_delta(&d01).is_err());
     }
 
     #[test]

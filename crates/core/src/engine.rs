@@ -13,7 +13,7 @@
 
 use crate::detector::DiamondDetector;
 use crate::threshold::ThresholdAlgo;
-use magicrecs_graph::FollowGraph;
+use magicrecs_graph::{FollowGraph, GraphDelta};
 use magicrecs_temporal::{EdgeStore, PruneStrategy, TemporalEdgeStore};
 use magicrecs_types::{
     Candidate, Counter, DetectorConfig, EdgeEvent, Histogram, Result, Timestamp, UserId,
@@ -161,6 +161,17 @@ impl<D: EdgeStore<UserId>> Engine<D> {
     /// lists from the next event on.
     pub fn swap_graph(&mut self, new_graph: FollowGraph) -> FollowGraph {
         std::mem::replace(&mut self.graph, new_graph)
+    }
+
+    /// Refreshes the static graph by applying a snapshot delta in place of
+    /// a full reload: only touched CSR rows are rebuilt and the interner
+    /// is extended, not rebuilt (see
+    /// [`FollowGraph::apply_delta`]). `D` is untouched, like
+    /// [`Engine::swap_graph`].
+    pub fn swap_graph_delta(&mut self, delta: &GraphDelta) -> Result<()> {
+        let refreshed = self.graph.apply_delta(delta)?;
+        self.graph = refreshed;
+        Ok(())
     }
 
     /// Forces dynamic-store expiry up to `now`.
@@ -319,6 +330,34 @@ mod tests {
         let after = engine.on_event(EdgeEvent::follow(u(12), c, ts(12)));
         assert!(!after.is_empty(), "swap should enable the motif");
         assert_eq!(after[0].user, u(1));
+    }
+
+    #[test]
+    fn swap_graph_delta_matches_full_swap() {
+        let mut sparse = GraphBuilder::new();
+        sparse.add_edge(u(1), u(11));
+        let base = sparse.build();
+        let delta = GraphDelta::between(&base, &small_graph(), 0, 1).unwrap();
+
+        let mut engine = Engine::new(base, DetectorConfig::example()).unwrap();
+        let c = u(99);
+        engine.on_event(EdgeEvent::follow(u(11), c, ts(10)));
+        assert!(engine
+            .on_event(EdgeEvent::follow(u(12), c, ts(11)))
+            .is_empty());
+
+        engine.swap_graph_delta(&delta).unwrap();
+        // D survived the refresh; the refreshed rows complete the motif.
+        let after = engine.on_event(EdgeEvent::follow(u(12), c, ts(12)));
+        assert!(!after.is_empty(), "delta swap should enable the motif");
+        assert_eq!(after[0].user, u(1));
+
+        // Against the full-swap reference: identical candidate stream.
+        let mut reference = Engine::new(small_graph(), DetectorConfig::example()).unwrap();
+        reference.on_event(EdgeEvent::follow(u(11), c, ts(10)));
+        reference.on_event(EdgeEvent::follow(u(12), c, ts(11)));
+        let want = reference.on_event(EdgeEvent::follow(u(12), c, ts(12)));
+        assert_eq!(after, want);
     }
 
     #[test]

@@ -154,6 +154,77 @@ impl CsrGraph {
     }
 }
 
+/// Row-sequential CSR assembly, for rebuilds that splice existing rows
+/// with per-row edits (the snapshot-delta path: untouched rows are copied
+/// as whole slices, touched rows are merged in place — no global edge
+/// sort, no per-edge interner probe).
+#[derive(Debug)]
+pub struct CsrRowBuilder {
+    offsets: Vec<u32>,
+    targets: Vec<DenseId>,
+    sources: usize,
+}
+
+impl CsrRowBuilder {
+    /// Starts a builder for `num_vertices` rows, reserving room for about
+    /// `edges_hint` targets.
+    pub fn new(num_vertices: usize, edges_hint: usize) -> Self {
+        let mut offsets = Vec::with_capacity(num_vertices + 1);
+        offsets.push(0);
+        CsrRowBuilder {
+            offsets,
+            targets: Vec::with_capacity(edges_hint),
+            sources: 0,
+        }
+    }
+
+    /// Appends the next vertex's sorted target slice (rows must arrive in
+    /// ascending dense order; sortedness is `debug_assert`ed).
+    pub fn push_row(&mut self, targets: &[DenseId]) {
+        debug_assert!(targets.windows(2).all(|w| w[0] < w[1]));
+        self.targets.extend_from_slice(targets);
+        if !targets.is_empty() {
+            self.sources += 1;
+        }
+        self.offsets.push(self.targets.len() as u32);
+    }
+
+    /// Extends the current row one target at a time; finish it with
+    /// [`CsrRowBuilder::end_row`].
+    pub fn push_target(&mut self, target: DenseId) {
+        self.targets.push(target);
+    }
+
+    /// Closes a row built via [`CsrRowBuilder::push_target`].
+    pub fn end_row(&mut self) {
+        let start = *self.offsets.last().expect("offsets never empty") as usize;
+        debug_assert!(self.targets[start..].windows(2).all(|w| w[0] < w[1]));
+        if self.targets.len() > start {
+            self.sources += 1;
+        }
+        self.offsets.push(self.targets.len() as u32);
+    }
+
+    /// Number of rows pushed so far.
+    pub fn rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Finishes the graph; `rows()` must equal the vertex-space size the
+    /// consumer expects.
+    pub fn finish(self) -> CsrGraph {
+        assert!(
+            self.targets.len() <= u32::MAX as usize,
+            "CsrGraph supports up to 2^32-1 edges per instance"
+        );
+        CsrGraph {
+            offsets: self.offsets,
+            targets: self.targets,
+            sources: self.sources,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,5 +314,37 @@ mod tests {
     #[cfg(debug_assertions)]
     fn unsorted_edges_rejected_in_debug() {
         let _ = CsrGraph::from_sorted_edges(4, &[(d(1), d(3)), (d(1), d(2))]);
+    }
+
+    #[test]
+    fn row_builder_matches_edge_builder() {
+        let reference = sample();
+        let mut b = CsrRowBuilder::new(6, 4);
+        b.push_row(&[d(3), d(4), d(5)]);
+        b.push_row(&[d(4)]);
+        for _ in 2..6 {
+            b.push_row(&[]);
+        }
+        assert_eq!(b.rows(), 6);
+        let g = b.finish();
+        assert_eq!(g.num_vertices(), reference.num_vertices());
+        assert_eq!(g.num_edges(), reference.num_edges());
+        assert_eq!(g.num_sources(), reference.num_sources());
+        for v in 0..6u32 {
+            assert_eq!(g.neighbors(d(v)), reference.neighbors(d(v)), "row {v}");
+        }
+    }
+
+    #[test]
+    fn row_builder_incremental_rows() {
+        let mut b = CsrRowBuilder::new(2, 3);
+        b.push_target(d(1));
+        b.push_target(d(7));
+        b.end_row();
+        b.end_row(); // empty second row
+        let g = b.finish();
+        assert_eq!(g.neighbors(d(0)), &[d(1), d(7)]);
+        assert_eq!(g.degree(d(1)), 0);
+        assert_eq!(g.num_sources(), 1);
     }
 }

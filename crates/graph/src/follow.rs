@@ -147,6 +147,20 @@ impl FollowGraph {
         }
     }
 
+    /// Assembles a graph from parts whose invariants the caller has
+    /// already established (the delta-application path: interner
+    /// ascending, both CSRs over the interner's vertex space with sorted
+    /// rows, inverse the exact transpose of forward).
+    pub(crate) fn from_parts(interner: UserInterner, forward: CsrGraph, inverse: CsrGraph) -> Self {
+        debug_assert_eq!(forward.num_vertices(), interner.len());
+        debug_assert_eq!(inverse.num_vertices(), interner.len());
+        FollowGraph {
+            interner,
+            forward,
+            inverse,
+        }
+    }
+
     // ---- dense hot path ---------------------------------------------------
 
     /// The interner mapping sparse ids to this graph's dense vertex space.

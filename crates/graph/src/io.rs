@@ -12,11 +12,24 @@
 //! version u32 LE           4 bytes
 //! rows    u64 LE           8 bytes
 //! per row:
-//!   src        varint u64
+//!   src        varint u64, delta-encoded ascending across rows
 //!   degree     varint u64
 //!   targets    varint u64 × degree, delta-encoded ascending
 //! checksum u64 LE (FxHash of all decoded values)
 //! ```
+//!
+//! (Row sources were written raw in format v1; v2 delta-encodes them like
+//! targets and the loader **rejects** non-monotone sources and targets
+//! instead of silently merging them — a corrupted length byte can no
+//! longer smear one row into another unnoticed.)
+//!
+//! **Failure containment.** Loading never panics on hostile input: every
+//! malformed shape — wrong magic, unsupported version, short read,
+//! varint overflow, non-monotone delta targets, checksum mismatch — comes
+//! back as [`magicrecs_types::Error::Corrupt`], and OS-level read failures
+//! as [`magicrecs_types::Error::Io`]. The varint helpers are `pub` so the
+//! snapshot-delta codec ([`crate::delta`]) and the persistence subsystem
+//! (`magicrecs-persist`) reuse one encoding.
 
 use crate::builder::GraphBuilder;
 use crate::follow::{CapStrategy, FollowGraph};
@@ -25,9 +38,10 @@ use std::hash::{BuildHasher, Hasher};
 use std::io::{Read, Write};
 
 const MAGIC: &[u8; 4] = b"MGRS";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
-fn write_varint<W: Write>(w: &mut W, mut v: u64) -> std::io::Result<()> {
+/// Writes `v` as a little-endian base-128 varint (1–10 bytes).
+pub fn write_varint<W: Write>(w: &mut W, mut v: u64) -> std::io::Result<()> {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -39,7 +53,10 @@ fn write_varint<W: Write>(w: &mut W, mut v: u64) -> std::io::Result<()> {
     }
 }
 
-fn read_varint<R: Read>(r: &mut R) -> std::io::Result<u64> {
+/// Reads a varint written by [`write_varint`]. Overflow (more than 64
+/// payload bits) and truncation surface as `io::Error`s; callers going
+/// through [`read_varint_checked`] get them as typed [`Error`]s.
+pub fn read_varint<R: Read>(r: &mut R) -> std::io::Result<u64> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
@@ -60,27 +77,110 @@ fn read_varint<R: Read>(r: &mut R) -> std::io::Result<u64> {
     }
 }
 
-struct Check {
+/// Classifies an `io::Error` from a *read* path: truncation and malformed
+/// varints are data corruption; anything else is an OS-level failure.
+pub fn read_err(context: &str, e: std::io::Error) -> Error {
+    match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => Error::Corrupt(format!("{context}: truncated input")),
+        std::io::ErrorKind::InvalidData => Error::Corrupt(format!("{context}: {e}")),
+        _ => Error::Io(format!("{context}: {e}")),
+    }
+}
+
+/// [`read_varint`] with typed errors.
+pub fn read_varint_checked<R: Read>(r: &mut R, context: &str) -> Result<u64> {
+    read_varint(r).map_err(|e| read_err(context, e))
+}
+
+/// Reads exactly `buf.len()` bytes with typed errors.
+pub fn read_exact_checked<R: Read>(r: &mut R, buf: &mut [u8], context: &str) -> Result<()> {
+    r.read_exact(buf).map_err(|e| read_err(context, e))
+}
+
+/// Order-insensitive-free checksum accumulator shared by the graph and
+/// delta codecs: an FxHash over every decoded value in decode order.
+pub struct Check {
     h: magicrecs_types::FxHasher,
 }
 
+impl Default for Check {
+    fn default() -> Self {
+        Check::new()
+    }
+}
+
 impl Check {
-    fn new() -> Self {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
         Check {
             h: magicrecs_types::FxBuildHasher::default().build_hasher(),
         }
     }
-    fn mix(&mut self, v: u64) {
+
+    /// Folds one value into the checksum.
+    pub fn mix(&mut self, v: u64) {
         self.h.write_u64(v);
     }
-    fn finish(&self) -> u64 {
+
+    /// The accumulated checksum.
+    pub fn finish(&self) -> u64 {
         self.h.finish()
     }
 }
 
+/// Writes one delta-encoded ascending row (strictly increasing `ids`)
+/// as `count, delta…`, mixing every id into `check`.
+pub(crate) fn write_ascending_row<W: Write>(
+    w: &mut W,
+    ids: &[UserId],
+    check: &mut Check,
+) -> std::io::Result<()> {
+    write_varint(w, ids.len() as u64)?;
+    let mut prev = 0u64;
+    for (i, t) in ids.iter().enumerate() {
+        check.mix(t.raw());
+        let delta = if i == 0 { t.raw() } else { t.raw() - prev };
+        write_varint(w, delta)?;
+        prev = t.raw();
+    }
+    Ok(())
+}
+
+/// Reads a row written by [`write_ascending_row`], enforcing strict
+/// monotonicity (a zero delta past the first entry, or an overflowing
+/// one, is corruption — the format never produces either).
+pub(crate) fn read_ascending_row<R: Read>(
+    r: &mut R,
+    check: &mut Check,
+    context: &str,
+    mut push: impl FnMut(UserId),
+) -> Result<()> {
+    let count = read_varint_checked(r, context)?;
+    let mut prev = 0u64;
+    for i in 0..count {
+        let delta = read_varint_checked(r, context)?;
+        if i > 0 && delta == 0 {
+            return Err(Error::Corrupt(format!(
+                "{context}: non-monotone delta target (duplicate after {prev})"
+            )));
+        }
+        let t = if i == 0 {
+            delta
+        } else {
+            prev.checked_add(delta).ok_or_else(|| {
+                Error::Corrupt(format!("{context}: delta target overflows past {prev}"))
+            })?
+        };
+        check.mix(t);
+        push(UserId(t));
+        prev = t;
+    }
+    Ok(())
+}
+
 /// Writes the forward rows of `graph` to `w`.
 pub fn save_graph<W: Write>(graph: &FollowGraph, w: &mut W) -> Result<()> {
-    let io_err = |e: std::io::Error| Error::Invariant(format!("graph write failed: {e}"));
+    let io_err = |e: std::io::Error| Error::Io(format!("graph write failed: {e}"));
     w.write_all(MAGIC).map_err(io_err)?;
     w.write_all(&VERSION.to_le_bytes()).map_err(io_err)?;
 
@@ -92,17 +192,17 @@ pub fn save_graph<W: Write>(graph: &FollowGraph, w: &mut W) -> Result<()> {
     w.write_all(&(rows.len() as u64).to_le_bytes())
         .map_err(io_err)?;
     let mut check = Check::new();
-    for (src, targets) in rows {
+    let mut prev_src = 0u64;
+    for (i, (src, targets)) in rows.iter().enumerate() {
         check.mix(src.raw());
-        write_varint(w, src.raw()).map_err(io_err)?;
-        write_varint(w, targets.len() as u64).map_err(io_err)?;
-        let mut prev = 0u64;
-        for (i, t) in targets.iter().enumerate() {
-            check.mix(t.raw());
-            let delta = if i == 0 { t.raw() } else { t.raw() - prev };
-            write_varint(w, delta).map_err(io_err)?;
-            prev = t.raw();
-        }
+        let delta = if i == 0 {
+            src.raw()
+        } else {
+            src.raw() - prev_src
+        };
+        write_varint(w, delta).map_err(io_err)?;
+        prev_src = src.raw();
+        write_ascending_row(w, targets, &mut check).map_err(io_err)?;
     }
     w.write_all(&check.finish().to_le_bytes()).map_err(io_err)?;
     Ok(())
@@ -110,44 +210,57 @@ pub fn save_graph<W: Write>(graph: &FollowGraph, w: &mut W) -> Result<()> {
 
 /// Reads a graph previously written by [`save_graph`], optionally applying
 /// an influencer cap at load time (the offline pipeline's pruning hook).
+///
+/// Corrupt or truncated input is rejected with [`Error::Corrupt`] — bad
+/// magic, unsupported version, short reads, non-monotone sources or delta
+/// targets, and checksum mismatches all refuse to load rather than
+/// producing a silently wrong graph.
 pub fn load_graph<R: Read>(r: &mut R, cap: CapStrategy) -> Result<FollowGraph> {
-    let io_err = |e: std::io::Error| Error::Invariant(format!("graph read failed: {e}"));
+    let ctx = "graph load";
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic).map_err(io_err)?;
+    read_exact_checked(r, &mut magic, ctx)?;
     if &magic != MAGIC {
-        return Err(Error::Invariant("bad magic: not a magicrecs graph".into()));
+        return Err(Error::Corrupt("bad magic: not a magicrecs graph".into()));
     }
     let mut v4 = [0u8; 4];
-    r.read_exact(&mut v4).map_err(io_err)?;
+    read_exact_checked(r, &mut v4, ctx)?;
     let version = u32::from_le_bytes(v4);
     if version != VERSION {
-        return Err(Error::Invariant(format!(
+        return Err(Error::Corrupt(format!(
             "unsupported graph version {version} (expected {VERSION})"
         )));
     }
     let mut n8 = [0u8; 8];
-    r.read_exact(&mut n8).map_err(io_err)?;
+    read_exact_checked(r, &mut n8, ctx)?;
     let rows = u64::from_le_bytes(n8);
 
     let mut builder = GraphBuilder::new();
     let mut check = Check::new();
-    for _ in 0..rows {
-        let src = read_varint(r).map_err(io_err)?;
-        check.mix(src);
-        let degree = read_varint(r).map_err(io_err)?;
-        let mut prev = 0u64;
-        for i in 0..degree {
-            let delta = read_varint(r).map_err(io_err)?;
-            let t = if i == 0 { delta } else { prev + delta };
-            check.mix(t);
-            builder.add_edge(UserId(src), UserId(t));
-            prev = t;
+    let mut prev_src = 0u64;
+    for i in 0..rows {
+        let delta = read_varint_checked(r, ctx)?;
+        if i > 0 && delta == 0 {
+            return Err(Error::Corrupt(format!(
+                "{ctx}: non-monotone row source (duplicate after {prev_src})"
+            )));
         }
+        let src = if i == 0 {
+            delta
+        } else {
+            prev_src.checked_add(delta).ok_or_else(|| {
+                Error::Corrupt(format!("{ctx}: row source overflows past {prev_src}"))
+            })?
+        };
+        check.mix(src);
+        prev_src = src;
+        read_ascending_row(r, &mut check, ctx, |t| {
+            builder.add_edge(UserId(src), t);
+        })?;
     }
     let mut c8 = [0u8; 8];
-    r.read_exact(&mut c8).map_err(io_err)?;
+    read_exact_checked(r, &mut c8, ctx)?;
     if u64::from_le_bytes(c8) != check.finish() {
-        return Err(Error::Invariant("graph checksum mismatch".into()));
+        return Err(Error::Corrupt("graph checksum mismatch".into()));
     }
     Ok(builder.build_capped(cap))
 }
@@ -211,6 +324,7 @@ mod tests {
     fn bad_magic_rejected() {
         let buf = b"NOPE\x01\x00\x00\x00".to_vec();
         let err = load_graph(&mut buf.as_slice(), CapStrategy::None).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err:?}");
         assert!(err.to_string().contains("magic"), "{err}");
     }
 
@@ -222,6 +336,7 @@ mod tests {
         buf.extend_from_slice(&0u64.to_le_bytes());
         buf.extend_from_slice(&0u64.to_le_bytes());
         let err = load_graph(&mut buf.as_slice(), CapStrategy::None).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err:?}");
         assert!(err.to_string().contains("version"), "{err}");
     }
 
@@ -234,7 +349,10 @@ mod tests {
         let mid = buf.len() / 2;
         buf[mid] ^= 0x01;
         let result = load_graph(&mut buf.as_slice(), CapStrategy::None);
-        assert!(result.is_err(), "corruption must not load silently");
+        assert!(
+            matches!(result, Err(Error::Corrupt(_))),
+            "corruption must not load silently: {result:?}"
+        );
     }
 
     #[test]
@@ -243,7 +361,55 @@ mod tests {
         let mut buf = Vec::new();
         save_graph(&g, &mut buf).unwrap();
         buf.truncate(buf.len() - 4);
-        assert!(load_graph(&mut buf.as_slice(), CapStrategy::None).is_err());
+        let err = load_graph(&mut buf.as_slice(), CapStrategy::None).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err:?}");
+    }
+
+    #[test]
+    fn every_truncation_point_is_a_typed_error() {
+        let g = sample();
+        let mut full = Vec::new();
+        save_graph(&g, &mut full).unwrap();
+        for len in 0..full.len() {
+            let result = load_graph(&mut &full[..len], CapStrategy::None);
+            assert!(
+                matches!(result, Err(Error::Corrupt(_))),
+                "truncation at {len}/{} must be Corrupt, got {result:?}",
+                full.len()
+            );
+        }
+    }
+
+    #[test]
+    fn non_monotone_delta_target_rejected() {
+        // One row, two targets, second delta == 0 (duplicate target).
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        write_varint(&mut buf, 1).unwrap(); // src
+        write_varint(&mut buf, 2).unwrap(); // degree
+        write_varint(&mut buf, 5).unwrap(); // first target
+        write_varint(&mut buf, 0).unwrap(); // zero delta: non-monotone
+        buf.extend_from_slice(&0u64.to_le_bytes()); // (never reaches checksum)
+        let err = load_graph(&mut buf.as_slice(), CapStrategy::None).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err:?}");
+        assert!(err.to_string().contains("non-monotone"), "{err}");
+    }
+
+    #[test]
+    fn overflowing_delta_target_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        write_varint(&mut buf, 1).unwrap(); // src
+        write_varint(&mut buf, 2).unwrap(); // degree
+        write_varint(&mut buf, u64::MAX).unwrap(); // first target = MAX
+        write_varint(&mut buf, 10).unwrap(); // would overflow
+        let err = load_graph(&mut buf.as_slice(), CapStrategy::None).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err:?}");
+        assert!(err.to_string().contains("overflow"), "{err}");
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   needs: forward (`A → [B]`, who each user follows) and inverse
 //!   (`B → [A]`, structure `S` in the paper: the followers of each `B`),
 //!   plus the influencer cap.
+//! * [`delta::GraphDelta`] — versioned snapshot deltas (`MGRD`) and
+//!   [`follow::FollowGraph::apply_delta`]: the periodic offline refresh
+//!   for the cost of its touched rows instead of a world rebuild
+//!   (`magicrecs-persist` chains these on disk).
 //! * [`partition::partition_by_source`] — splits a [`FollowGraph`] into the
 //!   per-partition `S` structures of §2's distributed design (each
 //!   partition gets its own compact interner).
@@ -31,6 +35,7 @@
 
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod follow;
 pub mod intern;
 pub mod io;
@@ -39,8 +44,9 @@ pub mod stats;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
+pub use delta::{load_delta, save_delta, GraphDelta};
 pub use follow::{CapStrategy, FollowGraph};
 pub use intern::UserInterner;
 pub use io::{load_graph, save_graph};
-pub use partition::{partition_by_source, HashPartitioner, Partitioner};
+pub use partition::{partition_by_source, partition_delta_by_source, HashPartitioner, Partitioner};
 pub use stats::{DegreeStats, GraphStats};

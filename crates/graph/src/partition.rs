@@ -85,6 +85,36 @@ pub fn partition_by_source<P: Partitioner>(graph: &FollowGraph, part: &P) -> Vec
         .collect()
 }
 
+/// Splits a [`GraphDelta`] by the same `A`-ownership rule as
+/// [`partition_by_source`]: partition `p` receives the added/removed edges
+/// of every `A` it owns, so applying slice `p` to partition `p`'s local
+/// graph is equivalent to re-partitioning the fully-applied global graph.
+///
+/// Epochs carry over unchanged — the chain is global, each partition just
+/// applies its slice of it.
+pub fn partition_delta_by_source<P: Partitioner>(
+    delta: &crate::delta::GraphDelta,
+    part: &P,
+) -> Vec<crate::delta::GraphDelta> {
+    let n = part.partitions() as usize;
+    let mut added: Vec<Vec<(UserId, UserId)>> = vec![Vec::new(); n];
+    let mut removed: Vec<Vec<(UserId, UserId)>> = vec![Vec::new(); n];
+    for &(a, b) in delta.added() {
+        added[part.partition_of(a).index()].push((a, b));
+    }
+    for &(a, b) in delta.removed() {
+        removed[part.partition_of(a).index()].push((a, b));
+    }
+    added
+        .into_iter()
+        .zip(removed)
+        .map(|(add, rm)| {
+            crate::delta::GraphDelta::new(delta.base_epoch, delta.target_epoch, add, rm)
+                .expect("slices of a valid delta stay sorted and disjoint")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,5 +220,36 @@ mod tests {
     #[should_panic(expected = "at least one partition")]
     fn zero_partitions_rejected() {
         let _ = HashPartitioner::new(0);
+    }
+
+    #[test]
+    fn partitioned_delta_matches_repartitioned_graph() {
+        let old = sample();
+        let mut nb = GraphBuilder::new();
+        for a in 0..40u64 {
+            if a != 3 {
+                nb.add_edge(u(a), u(1000)); // A3 unfollows B1000
+            }
+            nb.add_edge(u(a), u(1000 + a % 5));
+        }
+        nb.add_edge(u(41), u(2000)); // brand-new A and B
+        nb.add_edge(u(7), u(2000));
+        let new = nb.build();
+
+        let part = HashPartitioner::new(4);
+        let delta = crate::delta::GraphDelta::between(&old, &new, 0, 1).unwrap();
+        let slices = partition_delta_by_source(&delta, &part);
+        assert_eq!(slices.len(), 4);
+        let total: usize = slices.iter().map(|d| d.len()).sum();
+        assert_eq!(total, delta.len());
+
+        let old_parts = partition_by_source(&old, &part);
+        let want_parts = partition_by_source(&new, &part);
+        for (i, (local, slice)) in old_parts.iter().zip(&slices).enumerate() {
+            let applied = local.apply_delta(slice).unwrap();
+            let got: Vec<_> = applied.iter_forward().collect();
+            let want: Vec<_> = want_parts[i].iter_forward().collect();
+            assert_eq!(got, want, "partition {i}");
+        }
     }
 }

@@ -1,0 +1,66 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) for WAL record
+//! framing.
+//!
+//! The graph/checkpoint codecs checksum with the workspace FxHash — fine
+//! for whole-file validation, where the checksum sits after a
+//! known-complete payload. WAL records need the opposite property:
+//! deciding whether the *tail* of a file is a complete record, where a
+//! torn write leaves arbitrary prefixes. CRC-32 is the standard,
+//! byte-order-free answer, and a table-driven implementation is dependency
+//! free.
+
+/// The 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let data = b"the quick brown fox".to_vec();
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at {i}.{bit} undetected");
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Shared filesystem plumbing: durable publish (write → fsync → rename)
+//! and crash-artifact cleanup.
+
+use magicrecs_types::{Error, Result};
+use std::io::Write;
+use std::path::Path;
+
+/// Publishes `bytes` at `final_path` durably: write to `tmp_path`,
+/// `fsync` the file, then atomically rename over the final name.
+///
+/// The fsync **before** the rename is load-bearing: checkpoints and
+/// snapshots immediately authorize deleting their predecessors (and, for
+/// checkpoints, reclaiming WAL segments), so a rename that lands before
+/// the data blocks reach disk could survive a power loss as an empty
+/// file while everything it superseded is already gone.
+pub(crate) fn publish_durably(tmp_path: &Path, final_path: &Path, bytes: &[u8]) -> Result<()> {
+    let io_err = |stage: &str, e: std::io::Error| Error::Io(format!("{stage}: {e}"));
+    let mut f = std::fs::File::create(tmp_path).map_err(|e| io_err("durable write create", e))?;
+    f.write_all(bytes).map_err(|e| io_err("durable write", e))?;
+    f.sync_all().map_err(|e| io_err("durable write fsync", e))?;
+    drop(f);
+    std::fs::rename(tmp_path, final_path).map_err(|e| io_err("durable write rename", e))?;
+    Ok(())
+}
+
+/// Removes orphaned `*.tmp` files — the leftovers of a crash between a
+/// durable write and its rename. Called from recovery/creation paths,
+/// which own crash-artifact cleanup (single-writer directories by
+/// design, so a live publish can never race this).
+pub(crate) fn sweep_tmp_files(dir: &Path) -> Result<()> {
+    let entries = std::fs::read_dir(dir).map_err(|e| Error::Io(format!("tmp sweep: {e}")))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| Error::Io(format!("tmp sweep: {e}")))?;
+        if entry.file_name().to_string_lossy().ends_with(".tmp") {
+            std::fs::remove_file(entry.path()).map_err(|e| Error::Io(format!("tmp sweep: {e}")))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+
+    #[test]
+    fn publish_lands_atomically_and_sweep_cleans_orphans() {
+        let t = TempDir::new("fsutil");
+        let final_path = t.path().join("out.bin");
+        publish_durably(&t.path().join("out.bin.tmp"), &final_path, b"payload").unwrap();
+        assert_eq!(std::fs::read(&final_path).unwrap(), b"payload");
+        assert!(!t.path().join("out.bin.tmp").exists());
+
+        std::fs::write(t.path().join("orphan.mgck.tmp"), b"junk").unwrap();
+        sweep_tmp_files(t.path()).unwrap();
+        assert!(!t.path().join("orphan.mgck.tmp").exists());
+        assert!(final_path.exists(), "sweep must not touch published files");
+    }
+}

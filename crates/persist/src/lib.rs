@@ -1,0 +1,84 @@
+//! # magicrecs-persist
+//!
+//! Persistence & recovery for the paper's two state halves. The design
+//! splits state into an offline-computed follow graph `S` "loaded into the
+//! system periodically" and an in-memory recent-edge store `D` — which
+//! means a naïve deployment loses `D` (and every in-flight recommendation
+//! window) on any restart, and pays a full interner+CSR rebuild on every
+//! `S` refresh. This crate supplies the missing durability primitives:
+//!
+//! * **Delta-loaded `S` snapshots** ([`snapshot::SnapshotStore`]) — a
+//!   directory of full-graph bases (`magicrecs_graph::io`, `MGRS`) plus
+//!   [`magicrecs_graph::GraphDelta`] chain files (`MGRD`); startup loads
+//!   the newest base and folds the chain with
+//!   `FollowGraph::apply_delta`, so the periodic refresh costs its
+//!   touched rows, not the world.
+//! * **Write-ahead-logged `D`** ([`wal`]) — an append-only segmented log
+//!   of stream events with CRC-32-checked records, a batched fsync policy,
+//!   epoch-aligned [`checkpoint`]s of the temporal store, and segment
+//!   reclamation once the store's own window pruning passes a segment's
+//!   max timestamp.
+//! * **Crash recovery** ([`recovery`]) — [`recovery::PersistentEngine`]
+//!   (sequential) and [`recovery::PersistentConcurrentEngine`] (shared
+//!   `S` + sharded `D`, per-partition WALs keyed by the hash route)
+//!   restore the snapshot chain and the latest checkpoint, replay the WAL
+//!   tail with notification emission suppressed (no duplicate
+//!   deliveries), then hand off to live ingest. After a crash at *any*
+//!   record boundary, the recovered candidate stream is byte-identical to
+//!   an uninterrupted run's (test-enforced by the kill-point matrix).
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <dir>/
+//!   s-base-00000000000000000007.mgrs        full S snapshot, epoch 7
+//!   s-delta-…0007-…0008.mgrd                GraphDelta 7 → 8
+//!   d-ckpt-00000000000000004096.mgck        D checkpoint through seq 4096
+//!   wal-00000000000000000000.wal            sequential WAL segments …
+//!   wal-p3-00000000000000001042.wal         … or per-partition (route 3)
+//! ```
+//!
+//! WAL segment format (`MGWL`):
+//!
+//! ```text
+//! magic "MGWL"  4 bytes | version u32 LE | first_seq u64 LE
+//! per record:
+//!   len   u32 LE        payload byte count
+//!   crc32 u32 LE        CRC-32 (IEEE) of the payload
+//!   payload:
+//!     seq  varint u64   strictly ascending within a segment
+//!     kind u8           0 follow · 1 unfollow · 2 retweet · 3 favorite
+//!     src  varint u64
+//!     dst  varint u64
+//!     at   varint u64   event timestamp, µs
+//! ```
+//!
+//! A torn tail (crash mid-write) is detected by length/CRC and repaired at
+//! open; torn bytes in the *middle* of the log are refused as
+//! [`magicrecs_types::Error::Corrupt`]. `D` checkpoint format (`MGCK`):
+//!
+//! ```text
+//! magic "MGCK" | version u32 LE | last_seq u64 LE | targets u64 LE
+//! per target (ascending dst):
+//!   dst     varint u64, delta-encoded across targets
+//!   count   varint u64
+//!   entries count × (src varint u64, at varint u64 delta from previous)
+//! checksum u64 LE (FxHash of all decoded values)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod crc;
+mod fsutil;
+pub mod recovery;
+pub mod snapshot;
+pub mod tempdir;
+pub mod wal;
+
+pub use checkpoint::{load_latest_checkpoint, write_checkpoint, Checkpoint};
+pub use recovery::{PersistOptions, PersistentConcurrentEngine, PersistentEngine, RecoveryReport};
+pub use snapshot::SnapshotStore;
+pub use tempdir::TempDir;
+pub use wal::{FsyncPolicy, RecordBoundary, ReplayStats, SharedWal, Wal, WalOptions};

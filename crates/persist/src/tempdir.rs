@@ -1,0 +1,62 @@
+//! Self-cleaning scratch directories for tests and benches.
+//!
+//! The workspace is hermetic (no `tempfile` crate); this is the minimal
+//! equivalent: a uniquely-named directory under the OS temp dir, removed
+//! on drop (best effort — a leaked directory under `/tmp` is annoying,
+//! not incorrect).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely-named scratch directory, recursively deleted on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `<os tmp>/magicrecs-<tag>-<pid>-<n>`.
+    pub fn new(tag: &str) -> TempDir {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("magicrecs-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_cleans_up() {
+        let kept;
+        {
+            let t = TempDir::new("t");
+            kept = t.path().to_path_buf();
+            std::fs::write(t.path().join("x"), b"y").unwrap();
+            assert!(kept.exists());
+        }
+        assert!(!kept.exists(), "dropped TempDir must remove its directory");
+    }
+
+    #[test]
+    fn two_dirs_are_distinct() {
+        let a = TempDir::new("t");
+        let b = TempDir::new("t");
+        assert_ne!(a.path(), b.path());
+    }
+}

@@ -1,0 +1,1101 @@
+//! The write-ahead log for `D`: append-only segments of stream events.
+//!
+//! Every event is framed as `len | crc32 | payload` (see the crate docs
+//! for the byte layout) and carries an explicit, strictly-ascending
+//! sequence number, so the recovery replay can resume exactly after the
+//! last checkpointed event. Segments roll at a byte threshold; fsync is
+//! batched by policy; and segments whose every record is both past the
+//! store's retention window **and** covered by a `D` checkpoint are
+//! reclaimed — the log is bounded by `τ` + checkpoint cadence, not by
+//! uptime.
+//!
+//! Crash semantics: a torn record at the very end of the newest segment is
+//! the expected signature of a crash mid-append — scanning stops there and
+//! [`Wal::open`] truncates it away before appending resumes. Torn or
+//! corrupt bytes anywhere *before* the tail mean lost history and are
+//! refused as [`Error::Corrupt`].
+
+use crate::crc::crc32;
+use magicrecs_graph::io::{read_varint, write_varint};
+use magicrecs_types::{EdgeEvent, EdgeKind, Error, Result, Timestamp, UserId};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const MAGIC: &[u8; 4] = b"MGWL";
+const VERSION: u32 = 1;
+const HEADER_LEN: u64 = 16;
+/// Sanity bound on a record's payload (real records are ~30 bytes); a
+/// bigger length field is torn/corrupt framing, not a huge record.
+const MAX_RECORD_LEN: u32 = 1 << 16;
+
+/// When appended records are pushed to durable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every append. Maximal durability, minimal
+    /// throughput.
+    Always,
+    /// `fdatasync` every `n` appends and on segment roll/close — the
+    /// production default; at most `n` events (minus what the OS already
+    /// wrote back) are exposed to power loss.
+    EveryN(u64),
+    /// Never sync explicitly; the OS flushes on its own schedule. For
+    /// tests and benches.
+    Never,
+}
+
+/// Tuning knobs for a [`Wal`].
+#[derive(Debug, Clone, Copy)]
+pub struct WalOptions {
+    /// Durability policy.
+    pub fsync: FsyncPolicy,
+    /// Roll to a new segment once the active one exceeds this many bytes.
+    pub segment_bytes: u64,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            fsync: FsyncPolicy::EveryN(256),
+            segment_bytes: 1 << 20,
+        }
+    }
+}
+
+/// One decoded WAL record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Global sequence number.
+    pub seq: u64,
+    /// The logged event.
+    pub event: EdgeEvent,
+}
+
+/// Outcome of a replay scan.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplayStats {
+    /// Complete records visited.
+    pub records: u64,
+    /// Sequence of the last complete record, if any.
+    pub last_seq: Option<u64>,
+    /// Whether the newest segment ended in a torn (incomplete) record.
+    pub torn_tail: bool,
+}
+
+/// A record boundary: the file prefix length that ends exactly after the
+/// record with sequence `seq` — the kill-point matrix truncates here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordBoundary {
+    /// Segment file holding the record.
+    pub path: PathBuf,
+    /// Byte length of the file prefix ending at this record's end.
+    pub offset_after: u64,
+    /// The record's sequence number.
+    pub seq: u64,
+}
+
+fn io_err(context: &str, e: std::io::Error) -> Error {
+    Error::Io(format!("{context}: {e}"))
+}
+
+fn encode_payload(buf: &mut Vec<u8>, seq: u64, event: EdgeEvent) {
+    buf.clear();
+    write_varint(buf, seq).expect("vec write is infallible");
+    let kind = match event.kind {
+        EdgeKind::Follow => 0u8,
+        EdgeKind::Unfollow => 1,
+        EdgeKind::Retweet => 2,
+        EdgeKind::Favorite => 3,
+    };
+    buf.push(kind);
+    write_varint(buf, event.src.raw()).expect("vec write is infallible");
+    write_varint(buf, event.dst.raw()).expect("vec write is infallible");
+    write_varint(buf, event.created_at.as_micros()).expect("vec write is infallible");
+}
+
+fn decode_payload(mut payload: &[u8]) -> Option<WalRecord> {
+    let r = &mut payload;
+    let seq = read_varint(r).ok()?;
+    let mut k = [0u8; 1];
+    r.read_exact(&mut k).ok()?;
+    let kind = match k[0] {
+        0 => EdgeKind::Follow,
+        1 => EdgeKind::Unfollow,
+        2 => EdgeKind::Retweet,
+        3 => EdgeKind::Favorite,
+        _ => return None,
+    };
+    let src = read_varint(r).ok()?;
+    let dst = read_varint(r).ok()?;
+    let at = read_varint(r).ok()?;
+    if !r.is_empty() {
+        return None; // trailing garbage inside a crc-valid frame
+    }
+    Some(WalRecord {
+        seq,
+        event: EdgeEvent {
+            src: UserId(src),
+            dst: UserId(dst),
+            created_at: Timestamp::from_micros(at),
+            kind,
+        },
+    })
+}
+
+/// Everything a scan learns about one segment file.
+#[derive(Debug)]
+struct SegmentScan {
+    last_seq: Option<u64>,
+    max_ts: Timestamp,
+    /// File length up to (and including) the last complete record.
+    valid_bytes: u64,
+    /// Whether bytes past `valid_bytes` exist (torn tail / corruption).
+    torn: bool,
+}
+
+/// Reads `buf.len()` bytes if available; returns how many were read
+/// (short only at EOF).
+fn read_fully<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut n = 0;
+    while n < buf.len() {
+        let got = r.read(&mut buf[n..])?;
+        if got == 0 {
+            break;
+        }
+        n += got;
+    }
+    Ok(n)
+}
+
+/// Scans one segment, calling `on_record` for every complete record.
+fn scan_segment(path: &Path, mut on_record: impl FnMut(WalRecord, u64)) -> Result<SegmentScan> {
+    let ctx = || format!("wal segment {}", path.display());
+    let file = File::open(path).map_err(|e| io_err(&ctx(), e))?;
+    let mut r = std::io::BufReader::new(file);
+
+    let mut header = [0u8; HEADER_LEN as usize];
+    let got = read_fully(&mut r, &mut header).map_err(|e| io_err(&ctx(), e))?;
+    if got < header.len() {
+        // A crash can tear even the header of a freshly-rolled segment.
+        return Ok(SegmentScan {
+            last_seq: None,
+            max_ts: Timestamp::ZERO,
+            valid_bytes: 0,
+            torn: true,
+        });
+    }
+    if &header[0..4] != MAGIC {
+        return Err(Error::Corrupt(format!("{}: bad segment magic", ctx())));
+    }
+    let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(Error::Corrupt(format!(
+            "{}: unsupported segment version {version}",
+            ctx()
+        )));
+    }
+    let first_seq = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+
+    let mut offset = HEADER_LEN;
+    let mut last_seq: Option<u64> = None;
+    let mut max_ts = Timestamp::ZERO;
+    let mut payload = Vec::new();
+    loop {
+        let mut frame = [0u8; 8];
+        let got = read_fully(&mut r, &mut frame).map_err(|e| io_err(&ctx(), e))?;
+        if got == 0 {
+            // Clean end on a record boundary.
+            return Ok(SegmentScan {
+                last_seq,
+                max_ts,
+                valid_bytes: offset,
+                torn: false,
+            });
+        }
+        let torn = |offset| {
+            Ok(SegmentScan {
+                last_seq,
+                max_ts,
+                valid_bytes: offset,
+                torn: true,
+            })
+        };
+        if got < frame.len() {
+            return torn(offset);
+        }
+        let len = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_LEN {
+            return torn(offset);
+        }
+        payload.resize(len as usize, 0);
+        let got = read_fully(&mut r, &mut payload).map_err(|e| io_err(&ctx(), e))?;
+        if got < payload.len() || crc32(&payload) != crc {
+            return torn(offset);
+        }
+        let Some(record) = decode_payload(&payload) else {
+            return torn(offset);
+        };
+        // A crc-valid record with out-of-order sequencing is not a torn
+        // write — it is lost or reordered history.
+        if record.seq < first_seq || last_seq.is_some_and(|l| record.seq <= l) {
+            return Err(Error::Corrupt(format!(
+                "{}: non-monotone sequence {} after {:?}",
+                ctx(),
+                record.seq,
+                last_seq
+            )));
+        }
+        offset += 8 + len as u64;
+        last_seq = Some(record.seq);
+        max_ts = max_ts.max(record.event.created_at);
+        on_record(record, offset);
+    }
+}
+
+/// Lists the segment files for `prefix` in `dir`, sorted by first
+/// sequence (encoded zero-padded in the name). The match is anchored to
+/// the exact segment-name shape — `<prefix><20 digits>.wal` — so the
+/// sequential prefix `wal-` does not swallow a `SharedWal`'s `wal-p3-`
+/// partition files living in the same directory.
+fn list_segments(dir: &Path, prefix: &str) -> Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err("wal dir", e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("wal dir", e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let is_segment = name
+            .strip_prefix(prefix)
+            .and_then(|rest| rest.strip_suffix(".wal"))
+            .is_some_and(|digits| digits.len() == 20 && digits.bytes().all(|b| b.is_ascii_digit()));
+        if is_segment {
+            out.push(entry.path());
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Partition indices for which `SharedWal`-shaped segment files
+/// (`wal-p<i>-…`) exist in `dir`.
+fn existing_wal_partitions(dir: &Path) -> Result<Vec<usize>> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err("wal dir", e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("wal dir", e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(i) = name
+            .strip_prefix("wal-p")
+            .and_then(|rest| rest.split_once('-'))
+            .and_then(|(idx, rest)| rest.ends_with(".wal").then(|| idx.parse::<usize>().ok())?)
+        {
+            out.push(i);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+/// Replays every complete record with `seq >= min_seq` for one WAL
+/// prefix in sequence order, tolerating (and reporting) a torn tail on
+/// the newest segment only. A checkpoint covering through sequence `c`
+/// resumes with `min_seq = c + 1`; a fresh recovery passes 0.
+pub fn replay(
+    dir: &Path,
+    prefix: &str,
+    min_seq: u64,
+    mut f: impl FnMut(WalRecord),
+) -> Result<ReplayStats> {
+    let segments = list_segments(dir, prefix)?;
+    let mut stats = ReplayStats::default();
+    for (i, path) in segments.iter().enumerate() {
+        let scan = scan_segment(path, |record, _| {
+            if record.seq >= min_seq {
+                f(record);
+                stats.records += 1;
+            }
+            stats.last_seq = Some(record.seq);
+        })?;
+        if scan.torn {
+            if i + 1 != segments.len() {
+                return Err(Error::Corrupt(format!(
+                    "wal segment {} has a torn tail but is not the newest segment — \
+                     history after it would be lost",
+                    path.display()
+                )));
+            }
+            stats.torn_tail = true;
+        }
+    }
+    Ok(stats)
+}
+
+/// [`replay`] for a **dense-sequence** WAL (the sequential engine's,
+/// where every sequence from 0 was appended to this one prefix):
+/// additionally enforces that the replayed records are exactly
+/// `min_seq, min_seq+1, …` with no holes. A hole means a lost or deleted
+/// middle segment — silently rebuilding `D` without those events would
+/// break the recovery parity contract, so it is refused as
+/// [`Error::Corrupt`]. (Reclaimed segments never create holes here: they
+/// are only deleted up to a checkpoint, i.e. strictly below `min_seq`.)
+pub fn replay_contiguous(
+    dir: &Path,
+    prefix: &str,
+    min_seq: u64,
+    mut f: impl FnMut(WalRecord),
+) -> Result<ReplayStats> {
+    let mut expected = min_seq;
+    let stats = replay(dir, prefix, min_seq, |record| {
+        // Defer the error: replay's callback is infallible, so flag via
+        // the closure and re-check after. Records are seq-sorted, so the
+        // first mismatch is the smallest hole.
+        if record.seq == expected {
+            expected += 1;
+        }
+        f(record);
+    })?;
+    if let Some(last) = stats.last_seq {
+        if last >= min_seq && expected != last + 1 {
+            return Err(Error::Corrupt(format!(
+                "wal gap: expected contiguous sequences from {min_seq}, but replay jumped \
+                 at {expected} (log ends at {last}) — a middle segment is missing"
+            )));
+        }
+    }
+    Ok(stats)
+}
+
+/// Every record boundary for one WAL prefix, in sequence order — the
+/// kill-point matrix truncates the file(s) at each of these.
+pub fn record_boundaries(dir: &Path, prefix: &str) -> Result<Vec<RecordBoundary>> {
+    let mut out = Vec::new();
+    for path in list_segments(dir, prefix)? {
+        scan_segment(&path, |record, offset_after| {
+            out.push(RecordBoundary {
+                path: path.clone(),
+                offset_after,
+                seq: record.seq,
+            });
+        })?;
+    }
+    out.sort_by_key(|b| b.seq);
+    Ok(out)
+}
+
+/// Metadata for a closed (no longer written) segment.
+#[derive(Debug, Clone)]
+struct ClosedSegment {
+    path: PathBuf,
+    last_seq: u64,
+    max_ts: Timestamp,
+}
+
+struct ActiveSegment {
+    file: File,
+    path: PathBuf,
+    bytes: u64,
+    last_seq: u64,
+    max_ts: Timestamp,
+}
+
+/// A single-writer write-ahead log over one segment prefix.
+pub struct Wal {
+    dir: PathBuf,
+    prefix: String,
+    opts: WalOptions,
+    active: Option<ActiveSegment>,
+    closed: Vec<ClosedSegment>,
+    next_seq: u64,
+    appends_since_sync: u64,
+    scratch: Vec<u8>,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("dir", &self.dir)
+            .field("prefix", &self.prefix)
+            .field("next_seq", &self.next_seq)
+            .field("closed_segments", &self.closed.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Wal {
+    /// Creates a fresh WAL in `dir` (created if missing). Refuses to
+    /// create over existing segments of the same prefix — recovering into
+    /// an existing log goes through [`Wal::open`].
+    pub fn create(dir: &Path, prefix: &str, opts: WalOptions) -> Result<Wal> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err("wal dir create", e))?;
+        if !list_segments(dir, prefix)?.is_empty() {
+            return Err(Error::Invariant(format!(
+                "wal segments with prefix {prefix:?} already exist in {} — use Wal::open",
+                dir.display()
+            )));
+        }
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            prefix: prefix.to_string(),
+            opts,
+            active: None,
+            closed: Vec::new(),
+            next_seq: 0,
+            appends_since_sync: 0,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Opens an existing WAL for appending: scans the segments, **repairs
+    /// the torn tail** of the newest one (truncating incomplete trailing
+    /// bytes — the crash signature recovery already accounted for), and
+    /// positions `next_seq` after the last surviving record.
+    ///
+    /// Callers replay first ([`replay`]), then open; the torn bytes the
+    /// replay skipped are the same bytes this truncates.
+    pub fn open(dir: &Path, prefix: &str, opts: WalOptions) -> Result<Wal> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err("wal dir create", e))?;
+        let segments = list_segments(dir, prefix)?;
+        let mut closed = Vec::new();
+        let mut next_seq = 0u64;
+        for (i, path) in segments.iter().enumerate() {
+            let scan = scan_segment(path, |_, _| {})?;
+            let newest = i + 1 == segments.len();
+            if scan.torn && !newest {
+                return Err(Error::Corrupt(format!(
+                    "wal segment {} has a torn tail but is not the newest segment",
+                    path.display()
+                )));
+            }
+            if scan.torn {
+                if scan.valid_bytes == 0 {
+                    // Even the header was torn: drop the file entirely.
+                    std::fs::remove_file(path).map_err(|e| io_err("wal repair", e))?;
+                    continue;
+                }
+                let f = OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .map_err(|e| io_err("wal repair", e))?;
+                f.set_len(scan.valid_bytes)
+                    .map_err(|e| io_err("wal repair", e))?;
+                f.sync_all().map_err(|e| io_err("wal repair", e))?;
+            }
+            match scan.last_seq {
+                Some(last) => {
+                    next_seq = next_seq.max(last + 1);
+                    closed.push(ClosedSegment {
+                        path: path.clone(),
+                        last_seq: last,
+                        max_ts: scan.max_ts,
+                    });
+                }
+                None => {
+                    // Header-only segment: no records to keep.
+                    std::fs::remove_file(path).map_err(|e| io_err("wal repair", e))?;
+                }
+            }
+        }
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            prefix: prefix.to_string(),
+            opts,
+            active: None,
+            closed,
+            next_seq,
+            appends_since_sync: 0,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// The sequence the next append will receive (also: 1 + the last
+    /// appended sequence, or 0 on a fresh log).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Appends `event` with the next sequence number, returning it.
+    pub fn append(&mut self, event: EdgeEvent) -> Result<u64> {
+        let seq = self.next_seq;
+        self.append_with_seq(seq, event)?;
+        Ok(seq)
+    }
+
+    /// Appends `event` under an externally-assigned sequence (the shared
+    /// engine's global counter). Sequences must be strictly ascending per
+    /// WAL.
+    pub fn append_with_seq(&mut self, seq: u64, event: EdgeEvent) -> Result<()> {
+        if seq < self.next_seq {
+            return Err(Error::Invariant(format!(
+                "wal sequence must ascend: got {seq}, expected >= {}",
+                self.next_seq
+            )));
+        }
+        if self
+            .active
+            .as_ref()
+            .is_none_or(|a| a.bytes >= self.opts.segment_bytes)
+        {
+            self.roll(seq)?;
+        }
+        let active = self.active.as_mut().expect("rolled above");
+        let scratch = &mut self.scratch;
+        encode_payload(scratch, seq, event);
+        let mut frame = Vec::with_capacity(8 + scratch.len());
+        frame.extend_from_slice(&(scratch.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(scratch).to_le_bytes());
+        frame.extend_from_slice(scratch);
+        active
+            .file
+            .write_all(&frame)
+            .map_err(|e| io_err("wal append", e))?;
+        active.bytes += frame.len() as u64;
+        active.last_seq = seq;
+        active.max_ts = active.max_ts.max(event.created_at);
+        self.next_seq = seq + 1;
+
+        self.appends_since_sync += 1;
+        match self.opts.fsync {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                if self.appends_since_sync >= n.max(1) {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Forces an `fdatasync` of the active segment.
+    pub fn sync(&mut self) -> Result<()> {
+        if let Some(active) = self.active.as_mut() {
+            active
+                .file
+                .sync_data()
+                .map_err(|e| io_err("wal fsync", e))?;
+        }
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    fn roll(&mut self, first_seq: u64) -> Result<()> {
+        self.close_active()?;
+        let path = self
+            .dir
+            .join(format!("{}{:020}.wal", self.prefix, first_seq));
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| io_err("wal segment create", e))?;
+        let mut header = Vec::with_capacity(HEADER_LEN as usize);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&first_seq.to_le_bytes());
+        file.write_all(&header)
+            .map_err(|e| io_err("wal header", e))?;
+        self.active = Some(ActiveSegment {
+            file,
+            path,
+            bytes: HEADER_LEN,
+            last_seq: first_seq,
+            max_ts: Timestamp::ZERO,
+        });
+        Ok(())
+    }
+
+    fn close_active(&mut self) -> Result<()> {
+        if let Some(active) = self.active.take() {
+            if !matches!(self.opts.fsync, FsyncPolicy::Never) {
+                active
+                    .file
+                    .sync_data()
+                    .map_err(|e| io_err("wal fsync", e))?;
+            }
+            if active.bytes > HEADER_LEN {
+                self.closed.push(ClosedSegment {
+                    path: active.path,
+                    last_seq: active.last_seq,
+                    max_ts: active.max_ts,
+                });
+            } else {
+                // Never received a record: drop the empty shell.
+                let _ = std::fs::remove_file(&active.path);
+            }
+        }
+        Ok(())
+    }
+
+    /// Deletes closed segments that are fully reclaimable: every record
+    /// is older than `cutoff` (the store's own window pruning has already
+    /// discarded those entries) **and** covered by the checkpoint at
+    /// `checkpoint_seq` (replay will never need them). Returns how many
+    /// segments were deleted.
+    pub fn reclaim_before(&mut self, cutoff: Timestamp, checkpoint_seq: u64) -> Result<usize> {
+        let mut removed = 0usize;
+        let mut keep = Vec::with_capacity(self.closed.len());
+        for seg in self.closed.drain(..) {
+            if seg.max_ts < cutoff && seg.last_seq <= checkpoint_seq {
+                std::fs::remove_file(&seg.path).map_err(|e| io_err("wal reclaim", e))?;
+                removed += 1;
+            } else {
+                keep.push(seg);
+            }
+        }
+        self.closed = keep;
+        Ok(removed)
+    }
+
+    /// Number of on-disk segments (closed + active).
+    pub fn segment_count(&self) -> usize {
+        self.closed.len() + usize::from(self.active.is_some())
+    }
+
+    /// Flushes and syncs (per policy) without consuming the WAL.
+    pub fn close(mut self) -> Result<()> {
+        self.close_active()
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        let _ = self.close_active();
+    }
+}
+
+/// Per-partition WALs behind one global sequence — the shared-engine
+/// deployment's log. Events are routed to a partition by the same
+/// [`magicrecs_types::route_mix`] hash the sharded store and worker pool
+/// use, so each worker's appends land in "its" partition log and
+/// contention stays within the route.
+///
+/// Sequence assignment happens **under the partition lock**, so each
+/// partition's log is strictly ascending (the per-segment invariant) and
+/// same-target events get sequence order matching their processing order.
+pub struct SharedWal {
+    parts: Vec<Mutex<Wal>>,
+    seq: AtomicU64,
+}
+
+impl SharedWal {
+    /// Prefix for partition `i`.
+    fn prefix(i: usize) -> String {
+        format!("wal-p{i}-")
+    }
+
+    /// Creates `parts` fresh per-partition WALs in `dir`.
+    pub fn create(dir: &Path, parts: usize, opts: WalOptions) -> Result<SharedWal> {
+        assert!(parts >= 1, "need at least one wal partition");
+        let parts = (0..parts)
+            .map(|i| Ok(Mutex::new(Wal::create(dir, &Self::prefix(i), opts)?)))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(SharedWal {
+            parts,
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Opens `parts` existing per-partition WALs (repairing torn tails);
+    /// the global sequence resumes after the maximum across partitions.
+    ///
+    /// The partition count is part of the log's identity (targets route
+    /// by `hash % parts`): opening with fewer partitions than files
+    /// exist for would silently drop the excess partitions' history, so
+    /// it is refused.
+    pub fn open(dir: &Path, parts: usize, opts: WalOptions) -> Result<SharedWal> {
+        assert!(parts >= 1, "need at least one wal partition");
+        Self::check_partition_count(dir, parts)?;
+        let parts = (0..parts)
+            .map(|i| Ok(Mutex::new(Wal::open(dir, &Self::prefix(i), opts)?)))
+            .collect::<Result<Vec<_>>>()?;
+        let next = parts.iter().map(|p| p.lock().next_seq()).max().unwrap_or(0);
+        Ok(SharedWal {
+            parts,
+            seq: AtomicU64::new(next),
+        })
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Refuses a partition count smaller than what the directory's
+    /// `wal-p<i>-` files imply.
+    fn check_partition_count(dir: &Path, parts: usize) -> Result<()> {
+        if let Some(&max_idx) = existing_wal_partitions(dir)?.last() {
+            if max_idx >= parts {
+                return Err(Error::Invariant(format!(
+                    "wal directory {} holds segments for partition {max_idx} but only \
+                     {parts} partition(s) were requested — opening would silently drop \
+                     the excess partitions' history",
+                    dir.display()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends `event` to the partition its target routes to, returning
+    /// the assigned global sequence.
+    pub fn append(&self, event: EdgeEvent) -> Result<u64> {
+        let p = (magicrecs_types::route_mix(&event.dst) as usize) % self.parts.len();
+        let mut wal = self.parts[p].lock();
+        // Assign inside the lock: this partition's sequences stay
+        // ascending no matter how appends interleave across partitions.
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        wal.append_with_seq(seq, event)?;
+        Ok(seq)
+    }
+
+    /// The next global sequence to be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Syncs every partition.
+    pub fn sync_all(&self) -> Result<()> {
+        for p in &self.parts {
+            p.lock().sync()?;
+        }
+        Ok(())
+    }
+
+    /// Reclaims fully-pruned, fully-checkpointed segments on every
+    /// partition. Returns segments deleted.
+    pub fn reclaim_before(&self, cutoff: Timestamp, checkpoint_seq: u64) -> Result<usize> {
+        let mut removed = 0;
+        for p in &self.parts {
+            removed += p.lock().reclaim_before(cutoff, checkpoint_seq)?;
+        }
+        Ok(removed)
+    }
+
+    /// Replays all partitions' records with `seq >= min_seq`, merged into
+    /// global sequence order. Per-target order is what `D` semantics need
+    /// and per-partition order already provides it (targets are
+    /// partition-sticky); the global sort additionally makes replay
+    /// deterministic.
+    pub fn replay_merged(
+        dir: &Path,
+        parts: usize,
+        min_seq: u64,
+        mut f: impl FnMut(WalRecord),
+    ) -> Result<ReplayStats> {
+        Self::check_partition_count(dir, parts)?;
+        let mut records: Vec<WalRecord> = Vec::new();
+        let mut merged = ReplayStats::default();
+        for i in 0..parts {
+            let stats = replay(dir, &Self::prefix(i), min_seq, |r| records.push(r))?;
+            merged.torn_tail |= stats.torn_tail;
+            merged.last_seq = merged.last_seq.max(stats.last_seq);
+        }
+        records.sort_by_key(|r| r.seq);
+        merged.records = records.len() as u64;
+        for r in records {
+            f(r);
+        }
+        Ok(merged)
+    }
+
+    /// Record boundaries across all partitions, sorted by global
+    /// sequence.
+    pub fn record_boundaries(dir: &Path, parts: usize) -> Result<Vec<RecordBoundary>> {
+        let mut out = Vec::new();
+        for i in 0..parts {
+            out.extend(record_boundaries(dir, &Self::prefix(i))?);
+        }
+        out.sort_by_key(|b| b.seq);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+
+    fn u(n: u64) -> UserId {
+        UserId(n)
+    }
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn ev(i: u64) -> EdgeEvent {
+        EdgeEvent::follow(u(i), u(1000 + i % 7), ts(i))
+    }
+
+    fn collect(dir: &Path, prefix: &str, from: u64) -> (Vec<WalRecord>, ReplayStats) {
+        let mut out = Vec::new();
+        let stats = replay(dir, prefix, from, |r| out.push(r)).unwrap();
+        (out, stats)
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let t = TempDir::new("wal");
+        let mut wal = Wal::create(t.path(), "wal-", WalOptions::default()).unwrap();
+        for i in 0..100 {
+            assert_eq!(wal.append(ev(i)).unwrap(), i);
+        }
+        wal.close().unwrap();
+        let (records, stats) = collect(t.path(), "wal-", 0);
+        assert_eq!(records.len(), 100);
+        assert_eq!(stats.last_seq, Some(99));
+        assert!(!stats.torn_tail);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+            assert_eq!(r.event, ev(i as u64));
+        }
+        // min_seq is inclusive: resuming after checkpoint c passes c+1.
+        let (tail, _) = collect(t.path(), "wal-", 60);
+        assert_eq!(tail.len(), 40);
+        assert_eq!(tail[0].seq, 60);
+        let (none, _) = collect(t.path(), "wal-", u64::MAX);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn segments_roll_and_replay_in_order() {
+        let t = TempDir::new("wal");
+        let opts = WalOptions {
+            segment_bytes: 256,
+            ..WalOptions::default()
+        };
+        let mut wal = Wal::create(t.path(), "wal-", opts).unwrap();
+        for i in 0..200 {
+            wal.append(ev(i)).unwrap();
+        }
+        assert!(wal.segment_count() > 1, "should have rolled");
+        wal.close().unwrap();
+        let mut seqs = Vec::new();
+        replay(t.path(), "wal-", 0, |r| seqs.push(r.seq)).unwrap();
+        assert_eq!(seqs, (0..200).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn truncated_tail_is_detected_and_repaired_on_open() {
+        let t = TempDir::new("wal");
+        let mut wal = Wal::create(t.path(), "wal-", WalOptions::default()).unwrap();
+        for i in 0..10 {
+            wal.append(ev(i)).unwrap();
+        }
+        wal.close().unwrap();
+        let seg = list_segments(t.path(), "wal-").unwrap().pop().unwrap();
+        let len = std::fs::metadata(&seg).unwrap().len();
+        // Chop 3 bytes off the last record.
+        OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+        let (records, stats) = collect(t.path(), "wal-", u64::MAX);
+        assert!(records.is_empty());
+        assert!(stats.torn_tail);
+        assert_eq!(stats.last_seq, Some(8), "only 9 complete records remain");
+
+        let mut reopened = Wal::open(t.path(), "wal-", WalOptions::default()).unwrap();
+        assert_eq!(reopened.next_seq(), 9);
+        reopened.append(ev(100)).unwrap();
+        reopened.close().unwrap();
+        let (_, stats) = collect(t.path(), "wal-", 0);
+        assert!(!stats.torn_tail, "open must have repaired the tear");
+        assert_eq!(stats.last_seq, Some(9));
+    }
+
+    #[test]
+    fn corrupt_middle_segment_is_refused() {
+        let t = TempDir::new("wal");
+        let opts = WalOptions {
+            segment_bytes: 128,
+            ..WalOptions::default()
+        };
+        let mut wal = Wal::create(t.path(), "wal-", opts).unwrap();
+        for i in 0..100 {
+            wal.append(ev(i)).unwrap();
+        }
+        wal.close().unwrap();
+        let segments = list_segments(t.path(), "wal-").unwrap();
+        assert!(segments.len() >= 3);
+        // Flip one payload byte in a middle segment.
+        let victim = &segments[1];
+        let mut bytes = std::fs::read(victim).unwrap();
+        let n = bytes.len();
+        bytes[n - 2] ^= 0xFF;
+        std::fs::write(victim, bytes).unwrap();
+        let err = replay(t.path(), "wal-", 0, |_| {}).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err:?}");
+        assert!(Wal::open(t.path(), "wal-", opts).is_err());
+    }
+
+    #[test]
+    fn reclaim_respects_window_and_checkpoint() {
+        let t = TempDir::new("wal");
+        let opts = WalOptions {
+            segment_bytes: 128,
+            ..WalOptions::default()
+        };
+        let mut wal = Wal::create(t.path(), "wal-", opts).unwrap();
+        for i in 0..100 {
+            wal.append(ev(i)).unwrap(); // timestamps 0..100 s
+        }
+        let before = wal.segment_count();
+        // Not checkpointed: nothing reclaimable even when far past τ.
+        assert_eq!(wal.reclaim_before(ts(1_000), 0).unwrap(), 0);
+        // Checkpointed through seq 50: only segments fully before both
+        // bounds go.
+        let removed = wal.reclaim_before(ts(1_000), 50).unwrap();
+        assert!(removed > 0);
+        assert!(wal.segment_count() < before);
+        // Everything past the checkpoint still replays.
+        wal.close().unwrap();
+        let mut seqs = Vec::new();
+        replay(t.path(), "wal-", 51, |r| seqs.push(r.seq)).unwrap();
+        assert_eq!(seqs, (51..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn create_refuses_existing_segments() {
+        let t = TempDir::new("wal");
+        let mut wal = Wal::create(t.path(), "wal-", WalOptions::default()).unwrap();
+        wal.append(ev(0)).unwrap();
+        wal.close().unwrap();
+        assert!(Wal::create(t.path(), "wal-", WalOptions::default()).is_err());
+        // A different prefix is fine.
+        assert!(Wal::create(t.path(), "other-", WalOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn record_boundaries_cover_every_record() {
+        let t = TempDir::new("wal");
+        let opts = WalOptions {
+            segment_bytes: 200,
+            ..WalOptions::default()
+        };
+        let mut wal = Wal::create(t.path(), "wal-", opts).unwrap();
+        for i in 0..50 {
+            wal.append(ev(i)).unwrap();
+        }
+        wal.close().unwrap();
+        let bounds = record_boundaries(t.path(), "wal-").unwrap();
+        assert_eq!(bounds.len(), 50);
+        let seqs: Vec<u64> = bounds.iter().map(|b| b.seq).collect();
+        assert_eq!(seqs, (0..50).collect::<Vec<u64>>());
+        assert!(bounds
+            .windows(2)
+            .all(|w| w[0].path != w[1].path || w[0].offset_after < w[1].offset_after));
+    }
+
+    #[test]
+    fn shared_wal_routes_and_merges() {
+        let t = TempDir::new("wal");
+        let shared = SharedWal::create(t.path(), 4, WalOptions::default()).unwrap();
+        for i in 0..500 {
+            shared.append(ev(i)).unwrap();
+        }
+        assert_eq!(shared.next_seq(), 500);
+        shared.sync_all().unwrap();
+        drop(shared);
+        let mut records = Vec::new();
+        let stats = SharedWal::replay_merged(t.path(), 4, 0, |r| records.push(r)).unwrap();
+        assert_eq!(stats.records, 500);
+        assert!(records.windows(2).all(|w| w[0].seq < w[1].seq));
+        // Per-target stickiness: each target's records live in one prefix.
+        let bounds = SharedWal::record_boundaries(t.path(), 4).unwrap();
+        assert_eq!(bounds.len(), 500);
+        let reopened = SharedWal::open(t.path(), 4, WalOptions::default()).unwrap();
+        assert_eq!(reopened.next_seq(), 500);
+    }
+
+    #[test]
+    fn missing_middle_segment_is_a_gap_for_contiguous_replay() {
+        let t = TempDir::new("wal");
+        let opts = WalOptions {
+            segment_bytes: 128,
+            ..WalOptions::default()
+        };
+        let mut wal = Wal::create(t.path(), "wal-", opts).unwrap();
+        for i in 0..100 {
+            wal.append(ev(i)).unwrap();
+        }
+        wal.close().unwrap();
+        let segments = list_segments(t.path(), "wal-").unwrap();
+        assert!(segments.len() >= 3);
+        std::fs::remove_file(&segments[1]).unwrap();
+        // Plain replay (the sparse-sequence per-partition primitive)
+        // cannot see the hole…
+        assert!(replay(t.path(), "wal-", 0, |_| {}).is_ok());
+        // …but the dense-sequence recovery path refuses it.
+        let err = replay_contiguous(t.path(), "wal-", 0, |_| {}).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err:?}");
+        assert!(err.to_string().contains("gap"), "{err}");
+    }
+
+    #[test]
+    fn sequential_prefix_does_not_swallow_partition_segments() {
+        let t = TempDir::new("wal");
+        let shared = SharedWal::create(t.path(), 2, WalOptions::default()).unwrap();
+        for i in 0..20 {
+            shared.append(ev(i)).unwrap();
+        }
+        drop(shared);
+        // `wal-` must not match `wal-p0-…`: a sequential WAL can be
+        // created beside partition logs and sees only its own records.
+        let mut seq = Wal::create(t.path(), "wal-", WalOptions::default()).unwrap();
+        seq.append(ev(0)).unwrap();
+        seq.close().unwrap();
+        let (records, _) = collect(t.path(), "wal-", 0);
+        assert_eq!(records.len(), 1, "partition segments leaked into wal-");
+    }
+
+    #[test]
+    fn shared_wal_refuses_shrunken_partition_count() {
+        let t = TempDir::new("wal");
+        let shared = SharedWal::create(t.path(), 4, WalOptions::default()).unwrap();
+        for i in 0..100 {
+            shared.append(ev(i)).unwrap();
+        }
+        drop(shared);
+        // Fewer partitions than the directory holds: silently dropping
+        // p2/p3's history is refused…
+        assert!(SharedWal::open(t.path(), 2, WalOptions::default()).is_err());
+        assert!(SharedWal::replay_merged(t.path(), 2, 0, |_| {}).is_err());
+        // …while the true count (or a larger one) still opens.
+        assert!(SharedWal::open(t.path(), 4, WalOptions::default()).is_ok());
+        assert!(SharedWal::open(t.path(), 8, WalOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn fsync_policies_accept_appends() {
+        for policy in [
+            FsyncPolicy::Always,
+            FsyncPolicy::EveryN(8),
+            FsyncPolicy::Never,
+        ] {
+            let t = TempDir::new("wal");
+            let mut wal = Wal::create(
+                t.path(),
+                "wal-",
+                WalOptions {
+                    fsync: policy,
+                    ..WalOptions::default()
+                },
+            )
+            .unwrap();
+            for i in 0..30 {
+                wal.append(ev(i)).unwrap();
+            }
+            wal.close().unwrap();
+            let (records, _) = collect(t.path(), "wal-", 0);
+            assert_eq!(records.len(), 30, "{policy:?}");
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! Crash-recovery kill-point matrix: truncate the WAL at **every** record
+//! boundary of a long replay, recover, and assert candidate-stream parity
+//! with an uninterrupted run — for both the sequential [`Engine`] path
+//! ([`PersistentEngine`]) and the shared-state [`ConcurrentEngine`] path
+//! ([`PersistentConcurrentEngine`], per-partition WALs).
+//!
+//! Parity argument: recovery at boundary `k` must be semantically
+//! identical to an uninterrupted engine that has processed exactly `k`
+//! events. The matrix therefore probes every boundary with the next
+//! event (`k`'s candidates must match the reference run's event-`k`
+//! output byte for byte — any state divergence the next event can see is
+//! caught at the boundary that introduces it), and additionally feeds the
+//! **entire remaining suffix** at sampled boundaries. Checkpoints every
+//! 512 events bound each recovery's replay, which keeps the full matrix
+//! O(boundaries × checkpoint cadence) instead of O(boundaries × history).
+//!
+//! Crash modelling: a prefix of the log survives; the boundary cut is
+//! made **mid-record** (not on the clean frame edge) for most `k`, so the
+//! torn-tail repair path is exercised across the whole matrix too.
+//!
+//! Event count: 10k+ in release (the CI `persist-smoke` job runs this),
+//! reduced in debug so tier-1 `cargo test` stays fast.
+//! `MAGICRECS_KILLPOINT_FULL=1` forces the full matrix anywhere.
+
+use magicrecs_core::{ConcurrentEngine, Engine};
+use magicrecs_graph::{CapStrategy, FollowGraph, GraphBuilder};
+use magicrecs_persist::wal::record_boundaries;
+use magicrecs_persist::{
+    FsyncPolicy, PersistOptions, PersistentConcurrentEngine, PersistentEngine, RecordBoundary,
+    SharedWal, TempDir,
+};
+use magicrecs_types::{Candidate, DetectorConfig, EdgeEvent, Timestamp, UserId};
+use std::fs::OpenOptions;
+use std::path::Path;
+
+fn u(n: u64) -> UserId {
+    UserId(n)
+}
+
+fn ts(s: u64) -> Timestamp {
+    Timestamp::from_secs(s)
+}
+
+fn matrix_events() -> u64 {
+    if std::env::var_os("MAGICRECS_KILLPOINT_FULL").is_some() || !cfg!(debug_assertions) {
+        10_000
+    } else {
+        2_000
+    }
+}
+
+/// A graph dense enough that a large fraction of events fire candidates:
+/// 40 As each following 6 of 10 Bs.
+fn motif_graph() -> FollowGraph {
+    let mut g = GraphBuilder::new();
+    for a in 0..40u64 {
+        for j in 0..6u64 {
+            g.add_edge(u(a), u(100 + (a + j) % 10));
+        }
+    }
+    g.build()
+}
+
+/// Monotone-timestamp trace over a rotating set of targets, with
+/// unfollows sprinkled in. Monotone time is the engines' own documented
+/// parity condition for expiry under out-of-order streams; recovery
+/// inherits exactly that contract.
+fn matrix_trace(n: u64) -> Vec<EdgeEvent> {
+    let mut events = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let b = u(100 + i % 10);
+        let c = u(1_000 + (i / 7) % 31);
+        if i % 41 == 13 {
+            events.push(EdgeEvent::unfollow(b, c, ts(10 + i / 4)));
+        } else {
+            events.push(EdgeEvent::follow(b, c, ts(10 + i / 4)));
+        }
+    }
+    events
+}
+
+fn config() -> DetectorConfig {
+    DetectorConfig {
+        max_witnesses: Some(6),
+        ..DetectorConfig::example()
+    }
+}
+
+fn opts() -> PersistOptions {
+    PersistOptions {
+        fsync: FsyncPolicy::Never, // crash = truncation; sync irrelevant
+        segment_bytes: 16 << 10,
+        checkpoint_every: 512,
+    }
+}
+
+/// Wipes `to` and re-copies every file from `from`.
+fn resync_dir(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(to).unwrap() {
+        std::fs::remove_file(entry.unwrap().path()).unwrap();
+    }
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
+    }
+}
+
+/// Simulates a crash at boundary `k` inside `scratch`: records with
+/// sequence `>= k` are cut from their segment files, the cut lands
+/// `tear` bytes *into* record `k` (0 = clean boundary cut), and the
+/// checkpoint on disk becomes the one that actually existed at that
+/// moment (the newest archived checkpoint covering `< k`).
+fn crash_at(
+    scratch: &Path,
+    boundaries: &[RecordBoundary],
+    k: usize,
+    tear: u64,
+    archive: &[(u64, std::path::PathBuf)],
+) {
+    use std::collections::HashMap;
+    let mut keep: HashMap<&Path, u64> = HashMap::new();
+    for b in &boundaries[k..] {
+        keep.entry(b.path.as_path()).or_insert_with(|| {
+            boundaries[..k]
+                .iter()
+                .rev()
+                .find(|p| p.path == b.path)
+                .map_or(0, |p| p.offset_after)
+        });
+    }
+    if k < boundaries.len() && tear > 0 {
+        let b = &boundaries[k];
+        let base = keep[b.path.as_path()];
+        let record_len = b.offset_after - base;
+        // Strictly inside record k: a complete record would not be a
+        // crash at this boundary.
+        *keep.get_mut(b.path.as_path()).unwrap() = base + tear.min(record_len - 1);
+    }
+    for (path, len) in keep {
+        let p = scratch.join(path.file_name().unwrap());
+        if len == 0 {
+            std::fs::remove_file(&p).unwrap();
+        } else {
+            OpenOptions::new()
+                .write(true)
+                .open(&p)
+                .unwrap()
+                .set_len(len)
+                .unwrap();
+        }
+    }
+    // Swap in the checkpoint that existed at crash time: the live run's
+    // final checkpoint (copied by resync) covers sequences the crash has
+    // not reached, and `write_checkpoint` prunes superseded files, so the
+    // historically-correct one comes from the archive.
+    for entry in std::fs::read_dir(scratch).unwrap() {
+        let entry = entry.unwrap();
+        if entry.file_name().to_string_lossy().ends_with(".mgck") {
+            std::fs::remove_file(entry.path()).unwrap();
+        }
+    }
+    if let Some((covered, path)) = archive
+        .iter()
+        .rev()
+        .find(|&&(covered, _)| covered < k as u64)
+    {
+        std::fs::copy(path, scratch.join(format!("d-ckpt-{covered:020}.mgck"))).unwrap();
+    }
+}
+
+/// Copies the (single, newest) checkpoint file out of `dir` into the
+/// archive, recording the sequence it covers.
+fn archive_checkpoint(
+    dir: &Path,
+    archive_dir: &Path,
+    archive: &mut Vec<(u64, std::path::PathBuf)>,
+) {
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let entry = entry.unwrap();
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(covered) = name
+            .strip_prefix("d-ckpt-")
+            .and_then(|s| s.strip_suffix(".mgck"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            if archive.iter().all(|&(c, _)| c != covered) {
+                let dst = archive_dir.join(name);
+                std::fs::copy(entry.path(), &dst).unwrap();
+                archive.push((covered, dst));
+            }
+        }
+    }
+    archive.sort_by_key(|&(c, _)| c);
+}
+
+/// The sequential kill-point matrix: every boundary, next-event parity;
+/// sampled boundaries, full-suffix parity.
+#[test]
+fn kill_point_matrix_sequential() {
+    let n = matrix_events() as usize;
+    let events = matrix_trace(n as u64);
+    let cfg = config();
+
+    // Uninterrupted reference run, per-event candidates recorded.
+    let mut reference = Engine::new(motif_graph(), cfg).unwrap();
+    let per_event: Vec<Vec<Candidate>> = events.iter().map(|&e| reference.on_event(e)).collect();
+    let fired = per_event.iter().filter(|c| !c.is_empty()).count();
+    assert!(
+        fired * 5 > n,
+        "fixture too sparse: only {fired}/{n} events fire"
+    );
+
+    // The persistent run whose directory the matrix will crash.
+    // Checkpoints are manual so each can be archived the moment it
+    // exists — `write_checkpoint` prunes superseded files, but the
+    // matrix must reconstruct the exact on-disk state at every k.
+    let live = TempDir::new("kp-seq");
+    let manual = PersistOptions {
+        checkpoint_every: 0,
+        ..opts()
+    };
+    let archive_dir = TempDir::new("kp-seq-ckpts");
+    let mut archive: Vec<(u64, std::path::PathBuf)> = Vec::new();
+    let mut pe = PersistentEngine::create(live.path(), motif_graph(), 0, cfg, manual).unwrap();
+    for (i, &e) in events.iter().enumerate() {
+        let got = pe.on_event(e).unwrap();
+        assert_eq!(got, per_event[i], "pre-crash divergence at event {i}");
+        if (i + 1) % opts().checkpoint_every as usize == 0 {
+            pe.checkpoint().unwrap();
+            archive_checkpoint(live.path(), archive_dir.path(), &mut archive);
+        }
+    }
+    pe.close().unwrap();
+
+    let boundaries = record_boundaries(live.path(), "wal-").unwrap();
+    assert_eq!(boundaries.len(), n, "every event logs one record");
+
+    let scratch = TempDir::new("kp-seq-scratch");
+    let suffix_stride = (n / 7).max(1);
+    for k in 0..=n {
+        resync_dir(live.path(), scratch.path());
+        // Vary the tear offset across the matrix; every third boundary
+        // cuts cleanly on the frame edge.
+        let tear = if k % 3 == 0 {
+            0
+        } else {
+            1 + (k as u64 * 7) % 20
+        };
+        crash_at(scratch.path(), &boundaries, k, tear, &archive);
+
+        let (mut recovered, report) =
+            PersistentEngine::open(scratch.path(), cfg, CapStrategy::None, manual).unwrap();
+        assert_eq!(report.next_seq, k as u64, "k={k}: wrong resume point");
+        let expect_replay = k as u64 - report.checkpoint_seq.map_or(0, |c| c + 1);
+        assert_eq!(report.replayed, expect_replay, "k={k}: {report:?}");
+        assert!(
+            report.replayed <= opts().checkpoint_every,
+            "k={k}: checkpoint failed to bound replay"
+        );
+
+        if k < n {
+            // The single-event probe: recovery at k ≡ uninterrupted
+            // prefix of k events, so event k's candidates must match.
+            let got = recovered.on_event(events[k]).unwrap();
+            assert_eq!(got, per_event[k], "post-recovery divergence at k={k}");
+        }
+        if k % suffix_stride == 0 || k + 1 >= n {
+            let start = (k + usize::from(k < n)).min(n);
+            for (i, &e) in events[start..].iter().enumerate() {
+                let got = recovered.on_event(e).unwrap();
+                assert_eq!(
+                    got,
+                    per_event[start + i],
+                    "suffix divergence at k={k}, event {}",
+                    start + i
+                );
+            }
+        }
+    }
+}
+
+/// The concurrent (sharded `D`, per-partition WAL) kill-point matrix:
+/// crash at global sequence `k`, full-suffix parity at every sampled
+/// point, next-event parity at every point.
+#[test]
+fn kill_point_matrix_concurrent() {
+    let n = (matrix_events() / 2) as usize; // two engines share the budget
+    let events = matrix_trace(n as u64);
+    let cfg = config();
+    const PARTS: usize = 4;
+
+    let reference = ConcurrentEngine::new(motif_graph(), cfg).unwrap();
+    let per_event: Vec<Vec<Candidate>> = events.iter().map(|&e| reference.on_event(e)).collect();
+
+    let live = TempDir::new("kp-conc");
+    let archive_dir = TempDir::new("kp-conc-ckpts");
+    let mut archive: Vec<(u64, std::path::PathBuf)> = Vec::new();
+    let pe = PersistentConcurrentEngine::create(live.path(), motif_graph(), 0, cfg, PARTS, opts())
+        .unwrap();
+    // Single-threaded drive: a deterministic global sequence makes
+    // "crash at k" well defined (thread-safety of the shared path is
+    // covered by the crate's unit tests; candidates don't depend on the
+    // thread count, only on per-target order).
+    for (i, &e) in events.iter().enumerate() {
+        let got = pe.on_event(e).unwrap();
+        assert_eq!(got, per_event[i], "pre-crash divergence at event {i}");
+        if (i + 1) % opts().checkpoint_every as usize == 0 {
+            pe.checkpoint().unwrap();
+            archive_checkpoint(live.path(), archive_dir.path(), &mut archive);
+        }
+    }
+    drop(pe);
+
+    let boundaries = SharedWal::record_boundaries(live.path(), PARTS).unwrap();
+    assert_eq!(boundaries.len(), n);
+
+    let scratch = TempDir::new("kp-conc-scratch");
+    let suffix_stride = (n / 11).max(1);
+    for k in 0..=n {
+        resync_dir(live.path(), scratch.path());
+        let tear = if k % 4 == 0 {
+            0
+        } else {
+            1 + (k as u64 * 5) % 16
+        };
+        crash_at(scratch.path(), &boundaries, k, tear, &archive);
+
+        let (recovered, report) =
+            PersistentConcurrentEngine::open(scratch.path(), cfg, CapStrategy::None, PARTS, opts())
+                .unwrap();
+        assert_eq!(report.next_seq, k as u64, "k={k}");
+        assert!(
+            report.replayed <= opts().checkpoint_every,
+            "k={k}: checkpoint failed to bound replay ({report:?})"
+        );
+
+        if k < n {
+            let got = recovered.on_event(events[k]).unwrap();
+            assert_eq!(got, per_event[k], "post-recovery divergence at k={k}");
+        }
+        if k % suffix_stride == 0 || k + 1 >= n {
+            let start = (k + usize::from(k < n)).min(n);
+            for (i, &e) in events[start..].iter().enumerate() {
+                let got = recovered.on_event(e).unwrap();
+                assert_eq!(
+                    got,
+                    per_event[start + i],
+                    "concurrent suffix divergence at k={k}, event {}",
+                    start + i
+                );
+            }
+        }
+    }
+}
+
+/// Mixed per-partition truncation: different partitions lose different
+/// amounts of unsynced tail. Recovery must come back up cleanly on the
+/// surviving per-partition prefixes (per-target history is
+/// partition-sticky, so `D` stays per-target consistent) and resume live
+/// ingest past the highest surviving sequence.
+#[test]
+fn concurrent_recovery_with_uneven_partition_loss() {
+    let n = 1_000u64;
+    let events = matrix_trace(n);
+    let cfg = config();
+    const PARTS: usize = 4;
+
+    let live = TempDir::new("kp-uneven");
+    let pe = PersistentConcurrentEngine::create(live.path(), motif_graph(), 0, cfg, PARTS, opts())
+        .unwrap();
+    for &e in &events {
+        pe.on_event(e).unwrap();
+    }
+    drop(pe);
+
+    // Chop a different number of tail records off each partition's
+    // newest segment.
+    let mut survivors = 0u64;
+    let mut surviving_inserts = 0u64;
+    let mut max_surviving_seq = 0u64;
+    for part in 0..PARTS {
+        let prefix = format!("wal-p{part}-");
+        let bs = record_boundaries(live.path(), &prefix).unwrap();
+        let cut = (part * 3) % 7; // 0, 3, 6, 2 records lost
+        let keep_idx = bs.len().saturating_sub(cut);
+        survivors += keep_idx as u64;
+        surviving_inserts += bs[..keep_idx]
+            .iter()
+            .filter(|b| events[b.seq as usize].kind.is_insertion())
+            .count() as u64;
+        // Records in a partition file are ordered but carry sparse global
+        // seqs; the surviving max is the last kept record's seq.
+        if keep_idx > 0 {
+            max_surviving_seq = max_surviving_seq.max(bs[keep_idx - 1].seq);
+            if cut > 0 {
+                // All cut records live in the newest (last) segment file
+                // for these sizes; truncate it at the last kept boundary
+                // that shares its file.
+                let last_file = &bs[bs.len() - 1].path;
+                let keep = bs[..keep_idx]
+                    .iter()
+                    .rev()
+                    .find(|b| &b.path == last_file)
+                    .map_or(0, |b| b.offset_after);
+                let f = OpenOptions::new().write(true).open(last_file).unwrap();
+                f.set_len(keep.max(16)).unwrap();
+            }
+        }
+    }
+    for entry in std::fs::read_dir(live.path()).unwrap() {
+        let entry = entry.unwrap();
+        if entry.file_name().to_string_lossy().ends_with(".mgck") {
+            std::fs::remove_file(entry.path()).unwrap();
+        }
+    }
+
+    let (recovered, report) =
+        PersistentConcurrentEngine::open(live.path(), cfg, CapStrategy::None, PARTS, opts())
+            .unwrap();
+    assert_eq!(report.replayed, survivors);
+    let stats = recovered.engine().store().stats();
+    assert_eq!(
+        stats.inserted, surviving_inserts,
+        "every surviving insertion must reach the store"
+    );
+    assert_eq!(report.next_seq, max_surviving_seq + 1);
+    recovered
+        .on_event(EdgeEvent::follow(u(100), u(5_000), ts(10_000)))
+        .unwrap();
+}

@@ -135,6 +135,42 @@ where
     R: Fn(&T) -> u64,
     F: Fn(usize, T) + Send + Sync + 'static,
 {
+    // The stateless transport is the stateful one with unit state.
+    let (report, _) = run_sharded_stateful(
+        items,
+        n_workers,
+        |_| (),
+        route,
+        move |w, (), item| handler(w, item),
+    )?;
+    Ok(report)
+}
+
+/// [`run_sharded`] with per-worker state: `make_state(i)` builds worker
+/// `i`'s private value on the producer thread before the workers spawn,
+/// and the handler receives `&mut state` alongside each item.
+///
+/// This is the transport seam for per-partition side effects keyed by the
+/// hash route — e.g. each worker owning the write-ahead-log segment for
+/// its slice of the stream (`magicrecs-persist`), a private metrics
+/// shard, or a connection. Same ordering contract as [`run_sharded`]:
+/// items with equal routing keys stay ordered on one worker. The final
+/// states are returned in worker order after the stream drains, so
+/// callers can flush/inspect them.
+pub fn run_sharded_stateful<T, S, M, R, F>(
+    items: Vec<T>,
+    n_workers: usize,
+    make_state: M,
+    route: R,
+    handler: F,
+) -> Result<(LiveRunReport, Vec<S>)>
+where
+    T: Send + 'static,
+    S: Send + 'static,
+    M: Fn(usize) -> S,
+    R: Fn(&T) -> u64,
+    F: Fn(usize, &mut S, T) + Send + Sync + 'static,
+{
     assert!(n_workers >= 1, "need at least one worker");
     let n = items.len() as u64;
     let handler = Arc::new(handler);
@@ -143,11 +179,13 @@ where
     for i in 0..n_workers {
         let (tx, rx) = channel::bounded::<T>(1024);
         let handler = Arc::clone(&handler);
+        let mut state = make_state(i);
         senders.push(tx);
         joins.push(thread::spawn(move || {
             for item in rx.iter() {
-                handler(i, item);
+                handler(i, &mut state, item);
             }
+            state
         }));
     }
     let start = Instant::now();
@@ -155,17 +193,23 @@ where
         let w = (route(&item) % n_workers as u64) as usize;
         senders[w]
             .send(item)
-            .map_err(|_| Error::ChannelClosed("sharded"))?;
+            .map_err(|_| Error::ChannelClosed("sharded-stateful"))?;
     }
     drop(senders);
+    let mut states = Vec::with_capacity(n_workers);
     for j in joins {
-        j.join()
-            .map_err(|_| Error::ChannelClosed("sharded worker panicked"))?;
+        states.push(
+            j.join()
+                .map_err(|_| Error::ChannelClosed("sharded-stateful worker panicked"))?,
+        );
     }
-    Ok(LiveRunReport {
-        events: n,
-        wall: start.elapsed(),
-    })
+    Ok((
+        LiveRunReport {
+            events: n,
+            wall: start.elapsed(),
+        },
+        states,
+    ))
 }
 
 #[cfg(test)]
@@ -281,6 +325,46 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn sharded_zero_workers_rejected() {
         let _ = run_sharded(vec![1u64], 0, |&v| v, |_, _| {});
+    }
+
+    #[test]
+    fn sharded_stateful_threads_state_and_returns_it() {
+        // Each worker accumulates the items it saw; the union must be the
+        // full stream and routing must be key-sticky.
+        let items: Vec<u64> = (0..4_000).collect();
+        let (report, states) = run_sharded_stateful(
+            items,
+            3,
+            |i| (i, Vec::<u64>::new()),
+            |&v| v,
+            |w, (sw, seen), v| {
+                assert_eq!(w, *sw, "state handed to the wrong worker");
+                assert_eq!(v % 3, w as u64, "item routed to the wrong worker");
+                seen.push(v);
+            },
+        )
+        .unwrap();
+        assert_eq!(report.events, 4_000);
+        let mut all: Vec<u64> = states.into_iter().flat_map(|(_, v)| v).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..4_000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn sharded_stateful_preserves_per_key_order() {
+        let items: Vec<(u64, u64)> = (0..3_000u64).map(|i| (i % 5, i / 5)).collect();
+        let (_, states) = run_sharded_stateful(
+            items,
+            2,
+            |_| std::collections::HashMap::<u64, u64>::new(),
+            |&(k, _)| k,
+            |_, last, (k, seq)| {
+                let prev = last.insert(k, seq);
+                assert!(prev.is_none_or(|p| p < seq), "order violated for key {k}");
+            },
+        )
+        .unwrap();
+        assert_eq!(states.len(), 2);
     }
 
     #[test]

@@ -94,6 +94,15 @@ impl<K: VertexKey> ShardedTemporalStore<K> {
         }
     }
 
+    /// Appends every resident entry as `(dst, src, created_at)` across all
+    /// shards (see [`TemporalEdgeStore::export_entries`]); per-target time
+    /// order is preserved, target order is unspecified.
+    pub fn export_entries(&self, out: &mut Vec<(K, K, Timestamp)>) {
+        for s in &self.shards {
+            s.read().export_entries(out);
+        }
+    }
+
     /// Total resident entries across shards.
     pub fn resident_entries(&self) -> u64 {
         self.shards

@@ -221,6 +221,18 @@ impl<K: VertexKey> TemporalEdgeStore<K> {
         self.since_sweep = 0;
     }
 
+    /// Appends every resident entry as `(dst, src, created_at)` to `out` —
+    /// the checkpoint serializer's export. Entries within one target come
+    /// out in stored time order (so re-inserting in export order rebuilds
+    /// each list identically); target order follows map iteration and is
+    /// **unspecified** — deterministic consumers sort by target.
+    pub fn export_entries(&self, out: &mut Vec<(K, K, Timestamp)>) {
+        out.reserve(self.resident as usize);
+        for (&dst, list) in &self.lists {
+            out.extend(list.iter().map(|(src, at)| (dst, src, at)));
+        }
+    }
+
     /// Number of resident (stored, possibly stale) entries.
     #[inline]
     pub fn resident_entries(&self) -> u64 {
@@ -387,6 +399,28 @@ mod tests {
         d.advance(ts(1000));
         assert!(d.memory_bytes() < before);
         assert_eq!(d.resident_entries(), 0);
+    }
+
+    #[test]
+    fn export_reinsert_roundtrips_state() {
+        let mut d = TemporalEdgeStore::with_window(w(600));
+        d.insert(u(1), u(100), ts(10));
+        d.insert(u(2), u(100), ts(5)); // out of order: stored sorted
+        d.insert(u(1), u(100), ts(20)); // duplicate source kept
+        d.insert(u(3), u(200), ts(15));
+        let mut dump = Vec::new();
+        d.export_entries(&mut dump);
+        assert_eq!(dump.len() as u64, d.resident_entries());
+
+        let mut d2 = TemporalEdgeStore::with_window(w(600));
+        for &(dst, src, at) in &dump {
+            d2.insert(src, dst, at);
+        }
+        assert_eq!(d2.resident_entries(), d.resident_entries());
+        assert_eq!(d2.resident_targets(), d.resident_targets());
+        for target in [u(100), u(200)] {
+            assert_eq!(d2.witnesses(target, ts(30)), d.witnesses(target, ts(30)));
+        }
     }
 
     #[test]

@@ -158,6 +158,14 @@ impl<K: VertexKey> TargetList<K> {
         self.entries.is_empty()
     }
 
+    /// Iterates every stored entry in time order (duplicates and
+    /// not-yet-trimmed expired entries included) — the checkpoint
+    /// serializer's view: re-inserting these in order reproduces the list
+    /// byte for byte.
+    pub fn iter(&self) -> impl Iterator<Item = (K, Timestamp)> + '_ {
+        self.entries.iter().copied()
+    }
+
     /// Timestamp of the most recent entry.
     pub fn newest(&self) -> Option<Timestamp> {
         self.entries.back().map(|&(_, t)| t)

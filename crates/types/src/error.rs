@@ -34,6 +34,14 @@ pub enum Error {
     },
     /// A motif specification is well-formed but not plannable.
     MotifPlan(String),
+    /// Persisted data failed validation while loading: bad magic, version
+    /// or format mismatch, short read / truncation, checksum mismatch, or
+    /// non-monotone delta-encoded values. Loading corrupt input must
+    /// surface this variant, never panic.
+    Corrupt(String),
+    /// An operating-system I/O failure (open, read, write, fsync, rename)
+    /// while persisting or loading state.
+    Io(String),
     /// Generic invariant violation with context.
     Invariant(String),
 }
@@ -52,6 +60,8 @@ impl fmt::Display for Error {
                 write!(f, "motif parse error at {line}:{col}: {msg}")
             }
             Error::MotifPlan(msg) => write!(f, "motif planning error: {msg}"),
+            Error::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            Error::Io(msg) => write!(f, "io error: {msg}"),
             Error::Invariant(msg) => write!(f, "invariant violation: {msg}"),
         }
     }
@@ -81,6 +91,14 @@ mod tests {
         assert_eq!(
             Error::ChannelClosed("ingest").to_string(),
             "channel closed at stage `ingest`"
+        );
+        assert_eq!(
+            Error::Corrupt("bad magic".into()).to_string(),
+            "corrupt data: bad magic"
+        );
+        assert_eq!(
+            Error::Io("fsync failed".into()).to_string(),
+            "io error: fsync failed"
         );
         assert_eq!(
             Error::MotifParse {
