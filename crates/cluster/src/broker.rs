@@ -99,15 +99,21 @@ impl Broker {
     /// (test-enforced), without any partition paying a full interner+CSR
     /// rebuild.
     ///
-    /// On error (e.g. a delta applied out of chain order) partitions
-    /// already refreshed keep the new epoch while the failing one keeps
-    /// its old slice — callers should fall back to
-    /// [`Broker::reload_graph`] with a full snapshot, which
-    /// unconditionally restores a consistent cluster.
+    /// All-or-nothing: [`FollowGraph::apply_delta`] is pure, so every
+    /// partition's refreshed graph is computed first and the swaps only
+    /// happen once all slices succeed — an error (e.g. a delta applied
+    /// out of chain order) leaves the whole cluster on its old epoch
+    /// rather than split across two.
     pub fn reload_graph_delta(&mut self, delta: &GraphDelta) -> Result<()> {
         let slices = partition_delta_by_source(delta, &self.partitioner);
-        for (p, slice) in self.partitions.iter_mut().zip(&slices) {
-            p.swap_graph_delta(slice)?;
+        let refreshed = self
+            .partitions
+            .iter()
+            .zip(&slices)
+            .map(|(p, slice)| p.compute_graph_delta(slice))
+            .collect::<Result<Vec<_>>>()?;
+        for (p, graph) in self.partitions.iter_mut().zip(refreshed) {
+            p.swap_graph(graph);
         }
         Ok(())
     }

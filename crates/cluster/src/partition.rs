@@ -51,12 +51,15 @@ impl Partition {
         self.engine.swap_graph(local_graph);
     }
 
-    /// Refreshes this partition's static slice from its slice of a global
-    /// snapshot delta (see
-    /// [`magicrecs_graph::partition_delta_by_source`]): touched rows only,
-    /// no re-interning of the whole slice.
-    pub fn swap_graph_delta(&mut self, delta: &GraphDelta) -> Result<()> {
-        self.engine.swap_graph_delta(delta)
+    /// Computes this partition's refreshed static slice from its slice
+    /// of a global snapshot delta (see
+    /// [`magicrecs_graph::partition_delta_by_source`]) **without
+    /// committing it**: touched rows only, no re-interning of the whole
+    /// slice. The broker's all-or-nothing reload computes every
+    /// partition's slice first and commits via
+    /// [`Partition::swap_graph`] only if all succeed.
+    pub fn compute_graph_delta(&self, delta: &GraphDelta) -> Result<FollowGraph> {
+        self.engine.graph().apply_delta(delta)
     }
 
     /// Forces dynamic-store expiry.

@@ -39,7 +39,7 @@
 use crate::csr::{CsrGraph, CsrRowBuilder};
 use crate::follow::FollowGraph;
 use crate::io::{
-    read_ascending_row, read_exact_checked, read_varint_checked, write_ascending_row, write_varint,
+    read_ascending_row, read_ascending_step, read_exact_checked, write_ascending_row, write_varint,
     Check,
 };
 use magicrecs_types::{DenseId, Error, FxHashMap, Result, UserId};
@@ -237,19 +237,7 @@ fn read_edge_rows<R: Read>(
     let rows = u64::from_le_bytes(n8);
     let mut prev_src = 0u64;
     for i in 0..rows {
-        let delta = read_varint_checked(r, context)?;
-        if i > 0 && delta == 0 {
-            return Err(Error::Corrupt(format!(
-                "{context}: non-monotone row source (duplicate after {prev_src})"
-            )));
-        }
-        let src = if i == 0 {
-            delta
-        } else {
-            prev_src.checked_add(delta).ok_or_else(|| {
-                Error::Corrupt(format!("{context}: row source overflows past {prev_src}"))
-            })?
-        };
+        let src = read_ascending_step(r, i == 0, prev_src, context, "row source")?;
         check.mix(src);
         prev_src = src;
         read_ascending_row(r, check, context, |t| out.push((UserId(src), t)))?;

@@ -21,7 +21,10 @@
 //! (Row sources were written raw in format v1; v2 delta-encodes them like
 //! targets and the loader **rejects** non-monotone sources and targets
 //! instead of silently merging them — a corrupted length byte can no
-//! longer smear one row into another unnoticed.)
+//! longer smear one row into another unnoticed. The loader still reads
+//! v1 files — base snapshots published by earlier releases must keep
+//! loading — with the same monotonicity enforcement; the writer only
+//! emits v2.)
 //!
 //! **Failure containment.** Loading never panics on hostile input: every
 //! malformed shape — wrong magic, unsupported version, short read,
@@ -128,6 +131,33 @@ impl Check {
     }
 }
 
+/// Reads one element of a strictly-ascending delta-encoded sequence:
+/// the first element is the raw value, later ones add a non-zero varint
+/// delta to `prev` with overflow checking (a zero or overflowing delta
+/// is corruption — the writers never produce either). `what` names the
+/// decoded value in error messages; this is the single decode shared by
+/// the graph, delta, and checkpoint codecs so their monotonicity
+/// enforcement cannot drift apart.
+pub fn read_ascending_step<R: Read>(
+    r: &mut R,
+    first: bool,
+    prev: u64,
+    context: &str,
+    what: &str,
+) -> Result<u64> {
+    let delta = read_varint_checked(r, context)?;
+    if first {
+        return Ok(delta);
+    }
+    if delta == 0 {
+        return Err(Error::Corrupt(format!(
+            "{context}: non-monotone {what} (duplicate after {prev})"
+        )));
+    }
+    prev.checked_add(delta)
+        .ok_or_else(|| Error::Corrupt(format!("{context}: {what} overflows past {prev}")))
+}
+
 /// Writes one delta-encoded ascending row (strictly increasing `ids`)
 /// as `count, delta…`, mixing every id into `check`.
 pub(crate) fn write_ascending_row<W: Write>(
@@ -158,19 +188,7 @@ pub(crate) fn read_ascending_row<R: Read>(
     let count = read_varint_checked(r, context)?;
     let mut prev = 0u64;
     for i in 0..count {
-        let delta = read_varint_checked(r, context)?;
-        if i > 0 && delta == 0 {
-            return Err(Error::Corrupt(format!(
-                "{context}: non-monotone delta target (duplicate after {prev})"
-            )));
-        }
-        let t = if i == 0 {
-            delta
-        } else {
-            prev.checked_add(delta).ok_or_else(|| {
-                Error::Corrupt(format!("{context}: delta target overflows past {prev}"))
-            })?
-        };
+        let t = read_ascending_step(r, i == 0, prev, context, "delta target")?;
         check.mix(t);
         push(UserId(t));
         prev = t;
@@ -225,9 +243,9 @@ pub fn load_graph<R: Read>(r: &mut R, cap: CapStrategy) -> Result<FollowGraph> {
     let mut v4 = [0u8; 4];
     read_exact_checked(r, &mut v4, ctx)?;
     let version = u32::from_le_bytes(v4);
-    if version != VERSION {
+    if version == 0 || version > VERSION {
         return Err(Error::Corrupt(format!(
-            "unsupported graph version {version} (expected {VERSION})"
+            "unsupported graph version {version} (expected 1..={VERSION})"
         )));
     }
     let mut n8 = [0u8; 8];
@@ -238,18 +256,19 @@ pub fn load_graph<R: Read>(r: &mut R, cap: CapStrategy) -> Result<FollowGraph> {
     let mut check = Check::new();
     let mut prev_src = 0u64;
     for i in 0..rows {
-        let delta = read_varint_checked(r, ctx)?;
-        if i > 0 && delta == 0 {
-            return Err(Error::Corrupt(format!(
-                "{ctx}: non-monotone row source (duplicate after {prev_src})"
-            )));
-        }
-        let src = if i == 0 {
-            delta
+        // v1 wrote sources raw; v2 delta-encodes them. Both are strictly
+        // ascending on disk (the writer walks the dense CSR in id order),
+        // so monotonicity is enforced for both.
+        let src = if version == 1 {
+            let src = read_varint_checked(r, ctx)?;
+            if i > 0 && src <= prev_src {
+                return Err(Error::Corrupt(format!(
+                    "{ctx}: non-monotone row source ({src} after {prev_src})"
+                )));
+            }
+            src
         } else {
-            prev_src.checked_add(delta).ok_or_else(|| {
-                Error::Corrupt(format!("{ctx}: row source overflows past {prev_src}"))
-            })?
+            read_ascending_step(r, i == 0, prev_src, ctx, "row source")?
         };
         check.mix(src);
         prev_src = src;
@@ -318,6 +337,56 @@ mod tests {
         save_graph(&g, &mut buf).unwrap();
         let capped = load_graph(&mut buf.as_slice(), CapStrategy::Oldest(5)).unwrap();
         assert_eq!(capped.following_count(u(1)), 5);
+    }
+
+    /// Serializes a graph in the v1 layout (raw varint row sources,
+    /// delta-encoded targets, same checksum) — what pre-v2 releases
+    /// published as base snapshots.
+    fn save_graph_v1(graph: &FollowGraph) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        let rows: Vec<(UserId, Vec<UserId>)> = graph.iter_forward().collect();
+        buf.extend_from_slice(&(rows.len() as u64).to_le_bytes());
+        let mut check = Check::new();
+        for (src, targets) in rows {
+            check.mix(src.raw());
+            write_varint(&mut buf, src.raw()).unwrap();
+            write_ascending_row(&mut buf, &targets, &mut check).unwrap();
+        }
+        buf.extend_from_slice(&check.finish().to_le_bytes());
+        buf
+    }
+
+    #[test]
+    fn v1_snapshot_still_loads() {
+        let g = sample();
+        let buf = save_graph_v1(&g);
+        let g2 = load_graph(&mut buf.as_slice(), CapStrategy::None).unwrap();
+        assert_eq!(g.num_follow_edges(), g2.num_follow_edges());
+        for (src, targets) in g.iter_forward() {
+            assert_eq!(targets, g2.followings(src), "row {src:?}");
+        }
+    }
+
+    #[test]
+    fn v1_non_monotone_row_source_rejected() {
+        // Two rows, second src <= first: v1 files were written ascending,
+        // so this is corruption, not a legal v1 file.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        write_varint(&mut buf, 5).unwrap(); // src
+        write_varint(&mut buf, 1).unwrap(); // degree
+        write_varint(&mut buf, 9).unwrap(); // target
+        write_varint(&mut buf, 5).unwrap(); // duplicate src
+        write_varint(&mut buf, 1).unwrap();
+        write_varint(&mut buf, 9).unwrap();
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let err = load_graph(&mut buf.as_slice(), CapStrategy::None).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err:?}");
+        assert!(err.to_string().contains("non-monotone"), "{err}");
     }
 
     #[test]

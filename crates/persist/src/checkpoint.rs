@@ -12,7 +12,9 @@
 //! mid-checkpoint leaves the previous checkpoint intact; the loader walks
 //! newest → oldest and skips corrupt files.
 
-use magicrecs_graph::io::{read_exact_checked, read_varint_checked, write_varint, Check};
+use magicrecs_graph::io::{
+    read_ascending_step, read_exact_checked, read_varint_checked, write_varint, Check,
+};
 use magicrecs_types::{Error, Result, Timestamp, UserId};
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -104,19 +106,7 @@ pub fn load_checkpoint<R: std::io::Read>(r: &mut R) -> Result<Checkpoint> {
     let mut entries = Vec::new();
     let mut prev_dst = 0u64;
     for t in 0..targets {
-        let delta = read_varint_checked(r, ctx)?;
-        if t > 0 && delta == 0 {
-            return Err(Error::Corrupt(format!(
-                "{ctx}: non-monotone target (duplicate after {prev_dst})"
-            )));
-        }
-        let dst = if t == 0 {
-            delta
-        } else {
-            prev_dst
-                .checked_add(delta)
-                .ok_or_else(|| Error::Corrupt(format!("{ctx}: target overflows past {prev_dst}")))?
-        };
+        let dst = read_ascending_step(r, t == 0, prev_dst, ctx, "target")?;
         check.mix(dst);
         prev_dst = dst;
         let count = read_varint_checked(r, ctx)?;

@@ -6,13 +6,17 @@ use std::io::Write;
 use std::path::Path;
 
 /// Publishes `bytes` at `final_path` durably: write to `tmp_path`,
-/// `fsync` the file, then atomically rename over the final name.
+/// `fsync` the file, atomically rename over the final name, then `fsync`
+/// the parent directory.
 ///
 /// The fsync **before** the rename is load-bearing: checkpoints and
 /// snapshots immediately authorize deleting their predecessors (and, for
 /// checkpoints, reclaiming WAL segments), so a rename that lands before
 /// the data blocks reach disk could survive a power loss as an empty
-/// file while everything it superseded is already gone.
+/// file while everything it superseded is already gone. The directory
+/// fsync **after** the rename is equally load-bearing: POSIX only makes
+/// a rename durable once the containing directory's entry reaches disk,
+/// and the same authorize-deletions argument applies to the name itself.
 pub(crate) fn publish_durably(tmp_path: &Path, final_path: &Path, bytes: &[u8]) -> Result<()> {
     let io_err = |stage: &str, e: std::io::Error| Error::Io(format!("{stage}: {e}"));
     let mut f = std::fs::File::create(tmp_path).map_err(|e| io_err("durable write create", e))?;
@@ -20,6 +24,25 @@ pub(crate) fn publish_durably(tmp_path: &Path, final_path: &Path, bytes: &[u8]) 
     f.sync_all().map_err(|e| io_err("durable write fsync", e))?;
     drop(f);
     std::fs::rename(tmp_path, final_path).map_err(|e| io_err("durable write rename", e))?;
+    if let Some(parent) = final_path.parent() {
+        fsync_dir(parent)?;
+    }
+    Ok(())
+}
+
+/// Fsyncs a directory so entry mutations inside it (create, rename,
+/// unlink) survive power loss. No-op on platforms where directories
+/// cannot be opened for syncing.
+pub(crate) fn fsync_dir(dir: &Path) -> Result<()> {
+    #[cfg(unix)]
+    {
+        let d = std::fs::File::open(dir)
+            .map_err(|e| Error::Io(format!("dir open for fsync {}: {e}", dir.display())))?;
+        d.sync_all()
+            .map_err(|e| Error::Io(format!("dir fsync {}: {e}", dir.display())))?;
+    }
+    #[cfg(not(unix))]
+    let _ = dir;
     Ok(())
 }
 

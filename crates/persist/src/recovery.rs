@@ -48,6 +48,13 @@ pub struct PersistOptions {
     pub segment_bytes: u64,
     /// Events between automatic `D` checkpoints (0 disables — the WAL
     /// then replays from its beginning and is never reclaimed).
+    ///
+    /// **Sequential engine only.** [`PersistentConcurrentEngine`] cannot
+    /// checkpoint mid-ingest (a checkpoint needs a quiescent moment, see
+    /// its type docs), so there this knob is inert: call
+    /// [`PersistentConcurrentEngine::checkpoint`] from the maintenance
+    /// thread between drained batches, or segments are reclaimed only up
+    /// to the sealing checkpoint recovery itself writes.
     pub checkpoint_every: u64,
 }
 
@@ -93,6 +100,52 @@ pub struct RecoveryReport {
 
 const SEQ_WAL_PREFIX: &str = "wal-";
 
+/// Restores the newest `D` checkpoint through `apply`, returning
+/// `(min_seq, checkpoint_seq, entries_restored)` — the WAL replay bound
+/// shared by both engines' recovery paths.
+fn restore_checkpoint(
+    dir: &Path,
+    mut apply: impl FnMut(EdgeEvent),
+) -> Result<(u64, Option<u64>, u64)> {
+    Ok(match load_latest_checkpoint(dir)? {
+        Some(ck) => {
+            let n = ck.entries.len() as u64;
+            for (dst, src, at) in ck.entries {
+                apply(EdgeEvent::follow(src, dst, at));
+            }
+            (ck.last_seq + 1, Some(ck.last_seq), n)
+        }
+        None => (0, None, 0),
+    })
+}
+
+/// Refuses to create a fresh engine over a directory that already holds
+/// persistence state. A fully-reclaimed directory legitimately holds
+/// *zero* WAL segments while its checkpoint still covers sequence `N`:
+/// creating there would restart sequences at 0, new checkpoints at
+/// `covered < N` would never displace the stale one (pruning only
+/// deletes *older* files), and the next recovery would restore the
+/// previous incarnation's `D` and silently filter out every new record.
+/// Same hazard for a stale higher-epoch snapshot base shadowing the new
+/// one. WAL segments are checked here too — before anything is
+/// published — so create() never mutates a directory it is about to
+/// refuse.
+fn ensure_no_stale_state(dir: &Path, snapshots: &SnapshotStore) -> Result<()> {
+    if !crate::checkpoint::list_checkpoints(dir)?.is_empty()
+        || snapshots.has_artifacts()?
+        || wal::any_segments(dir)?
+    {
+        return Err(Error::Invariant(format!(
+            "{} already holds persistence state (WAL segments, checkpoints, or \
+             snapshots) — a fresh engine created over it would be shadowed by the \
+             stale files on the next recovery; recover with open() or start in an \
+             empty directory",
+            dir.display()
+        )));
+    }
+    Ok(())
+}
+
 /// The sequential engine with durability: `Engine` + snapshot store +
 /// write-ahead log + checkpoints.
 #[derive(Debug)]
@@ -111,7 +164,8 @@ pub struct PersistentEngine {
 impl PersistentEngine {
     /// Creates a fresh persistent engine in `dir`: publishes `graph` as
     /// the base snapshot for `epoch` and starts an empty WAL. Refuses a
-    /// directory that already holds WAL segments.
+    /// directory that already holds any persistence state (WAL segments,
+    /// checkpoints, or snapshots).
     pub fn create(
         dir: &Path,
         graph: FollowGraph,
@@ -120,6 +174,9 @@ impl PersistentEngine {
         opts: PersistOptions,
     ) -> Result<Self> {
         let snapshots = SnapshotStore::new(dir)?;
+        // Refuse before sweeping: a refused directory keeps even its
+        // .tmp crash artifacts for open()-based recovery or inspection.
+        ensure_no_stale_state(dir, &snapshots)?;
         crate::fsutil::sweep_tmp_files(dir)?;
         snapshots.publish_base(epoch, &graph)?;
         let wal = Wal::create(dir, SEQ_WAL_PREFIX, opts.wal())?;
@@ -150,17 +207,8 @@ impl PersistentEngine {
         let loaded = snapshots.load_latest(cap)?;
         let mut engine = Engine::new(loaded.graph, config)?;
 
-        let checkpoint = load_latest_checkpoint(dir)?;
-        let (min_seq, checkpoint_seq, checkpoint_entries) = match checkpoint {
-            Some(ck) => {
-                let n = ck.entries.len() as u64;
-                for (dst, src, at) in ck.entries {
-                    engine.apply_to_store(EdgeEvent::follow(src, dst, at));
-                }
-                (ck.last_seq + 1, Some(ck.last_seq), n)
-            }
-            None => (0, None, 0),
-        };
+        let (min_seq, checkpoint_seq, checkpoint_entries) =
+            restore_checkpoint(dir, |e| engine.apply_to_store(e))?;
 
         let mut replayed = 0u64;
         // Contiguity-checked: the sequential log is dense from seq 0, so
@@ -170,7 +218,10 @@ impl PersistentEngine {
             engine.apply_to_store(record.event);
             replayed += 1;
         })?;
-        let wal = Wal::open(dir, SEQ_WAL_PREFIX, opts.wal())?;
+        // Floor at the checkpoint's coverage: a fully-reclaimed log must
+        // not restart sequences at 0 below what the checkpoint claims —
+        // a later recovery's `min_seq` filter would silently skip them.
+        let wal = Wal::open_with_floor(dir, SEQ_WAL_PREFIX, opts.wal(), min_seq)?;
         let report = RecoveryReport {
             snapshot_epoch: loaded.epoch,
             deltas_applied: loaded.deltas_applied,
@@ -319,6 +370,7 @@ impl PersistentConcurrentEngine {
         opts: PersistOptions,
     ) -> Result<Self> {
         let snapshots = SnapshotStore::new(dir)?;
+        ensure_no_stale_state(dir, &snapshots)?;
         crate::fsutil::sweep_tmp_files(dir)?;
         snapshots.publish_base(epoch, &graph)?;
         let wal = SharedWal::create(dir, parts, opts.wal())?;
@@ -349,24 +401,42 @@ impl PersistentConcurrentEngine {
         let loaded = snapshots.load_latest(cap)?;
         let engine = ConcurrentEngine::new(loaded.graph, config)?;
 
-        let checkpoint = load_latest_checkpoint(dir)?;
-        let (min_seq, checkpoint_seq, checkpoint_entries) = match checkpoint {
-            Some(ck) => {
-                let n = ck.entries.len() as u64;
-                for (dst, src, at) in ck.entries {
-                    engine.apply_to_store(EdgeEvent::follow(src, dst, at));
-                }
-                (ck.last_seq + 1, Some(ck.last_seq), n)
-            }
-            None => (0, None, 0),
-        };
+        let (min_seq, checkpoint_seq, checkpoint_entries) =
+            restore_checkpoint(dir, |e| engine.apply_to_store(e))?;
 
         let mut replayed = 0u64;
         let stats = SharedWal::replay_merged(dir, parts, min_seq, |record| {
             engine.apply_to_store(record.event);
             replayed += 1;
         })?;
-        let wal = SharedWal::open(dir, parts, opts.wal())?;
+        // Same floor rationale as the sequential path: never resume the
+        // global sequence below what the checkpoint covers.
+        let wal = SharedWal::open_with_floor(dir, parts, opts.wal(), min_seq)?;
+        // Seal the recovered state behind a fresh checkpoint before any
+        // live append *when replay tolerated damage*. A tolerated hole
+        // (a partition's unsynced tail lost in the crash, or a sequence
+        // burned by a failed append) is benign now, but once ingest
+        // grows that partition's log past it, the next recovery would
+        // read it as an interior gap and refuse the whole directory;
+        // covering everything assigned so far moves `min_seq` past every
+        // hole. Clean restarts skip the O(|D|) durable write: a dense
+        // replayed range with no torn tail has nothing to seal (holes
+        // above the newest surviving record need no seal either — those
+        // sequences are simply reassigned to new events).
+        let dense_span = stats
+            .last_seq
+            .map_or(0, |last| (last + 1).saturating_sub(min_seq));
+        let tolerated_damage = stats.torn_tail || replayed < dense_span;
+        let sealed_seq = match wal.next_seq() {
+            0 => None,
+            next if !tolerated_damage || checkpoint_seq == Some(next - 1) => checkpoint_seq,
+            next => {
+                let mut entries = Vec::new();
+                engine.store().export_entries(&mut entries);
+                write_checkpoint(dir, entries, next - 1)?;
+                Some(next - 1)
+            }
+        };
         let report = RecoveryReport {
             snapshot_epoch: loaded.epoch,
             deltas_applied: loaded.deltas_applied,
@@ -384,7 +454,7 @@ impl PersistentConcurrentEngine {
                 dir: dir.to_path_buf(),
                 state: Mutex::new(ConcurrentPersistState {
                     epoch: loaded.epoch,
-                    checkpoint_seq,
+                    checkpoint_seq: sealed_seq,
                 }),
             },
             report,
@@ -394,6 +464,17 @@ impl PersistentConcurrentEngine {
     /// Processes one event durably through `&self` (callable from any
     /// number of worker threads): WAL append to the target's route
     /// partition first, then detection. Returns candidates appended.
+    ///
+    /// **Per-target submission must be single-threaded** — the same
+    /// precondition the parity contract states (see the module docs):
+    /// the WAL sequence is assigned under the partition lock, but the
+    /// store apply happens after it is released, so two threads racing
+    /// events *for the same target* could log one order and apply the
+    /// other, and a post-crash replay would then rebuild a different
+    /// `D` than the live run held. A route-sticky transport (the
+    /// cluster's hash routing, where each target's events land on one
+    /// worker) provides this by construction; events for *different*
+    /// targets may race freely.
     pub fn on_event_into(&self, event: EdgeEvent, out: &mut Vec<Candidate>) -> Result<usize> {
         self.wal.append(event)?;
         Ok(self.engine.on_event_into(event, out))
@@ -637,6 +718,127 @@ mod tests {
         .unwrap();
         // Replay is bounded by the checkpoint, not the whole history.
         assert!(report.replayed < 500, "replayed {}", report.replayed);
+    }
+
+    #[test]
+    fn create_refuses_stale_persistence_state() {
+        // A reclaimed-empty WAL directory still holds a checkpoint: a
+        // fresh engine created there would restart sequences at 0 and
+        // the stale checkpoint would shadow its state on recovery.
+        let t = TempDir::new("pe");
+        crate::checkpoint::write_checkpoint(t.path(), vec![(u(1), u(2), ts(3))], 100).unwrap();
+        assert!(PersistentEngine::create(
+            t.path(),
+            small_graph(),
+            0,
+            DetectorConfig::example(),
+            opts()
+        )
+        .is_err());
+        assert!(PersistentConcurrentEngine::create(
+            t.path(),
+            small_graph(),
+            0,
+            DetectorConfig::example(),
+            2,
+            opts()
+        )
+        .is_err());
+
+        // Same for a leftover snapshot base (a stale higher epoch would
+        // win the newest-base scan over the freshly published one).
+        let t = TempDir::new("pe");
+        SnapshotStore::new(t.path())
+            .unwrap()
+            .publish_base(5, &small_graph())
+            .unwrap();
+        assert!(PersistentEngine::create(
+            t.path(),
+            small_graph(),
+            0,
+            DetectorConfig::example(),
+            opts()
+        )
+        .is_err());
+
+        // And for leftover WAL segments alone: create must refuse
+        // *before* publishing anything (a base published first would
+        // make open() merge the old WAL into a fresh graph).
+        let t = TempDir::new("pe");
+        {
+            let shared = crate::wal::SharedWal::create(t.path(), 2, opts().wal()).unwrap();
+            shared
+                .append(EdgeEvent::follow(u(1), u(2), ts(3)))
+                .unwrap();
+        }
+        assert!(PersistentEngine::create(
+            t.path(),
+            small_graph(),
+            0,
+            DetectorConfig::example(),
+            opts()
+        )
+        .is_err());
+        let published: Vec<_> = std::fs::read_dir(t.path())
+            .unwrap()
+            .filter_map(|e| {
+                let name = e.unwrap().file_name().to_string_lossy().into_owned();
+                (!name.ends_with(".wal")).then_some(name)
+            })
+            .collect();
+        assert!(published.is_empty(), "refusal must not publish: {published:?}");
+    }
+
+    #[test]
+    fn sequence_survives_full_wal_reclamation() {
+        let t = TempDir::new("pe");
+        let o = PersistOptions {
+            segment_bytes: 512,
+            checkpoint_every: 50,
+            ..opts()
+        };
+        let mut pe =
+            PersistentEngine::create(t.path(), small_graph(), 0, DetectorConfig::example(), o)
+                .unwrap();
+        for &e in &trace(200) {
+            pe.on_event(e).unwrap();
+        }
+        pe.checkpoint().unwrap();
+        let n = pe.next_seq();
+        pe.close().unwrap();
+
+        // Idle period, then advance: the checkpoint covers every record
+        // and the window has passed, so reclamation empties the log.
+        let (mut pe, _) =
+            PersistentEngine::open(t.path(), DetectorConfig::example(), CapStrategy::None, o)
+                .unwrap();
+        pe.advance(ts(10_000_000)).unwrap();
+        assert_eq!(pe.wal_segments(), 0, "fully reclaimed");
+        assert_eq!(pe.next_seq(), n);
+        pe.close().unwrap();
+
+        // Zero segment files on disk: the checkpoint floor must keep the
+        // sequence from restarting at 0 below what the checkpoint covers.
+        let (mut pe, report) =
+            PersistentEngine::open(t.path(), DetectorConfig::example(), CapStrategy::None, o)
+                .unwrap();
+        assert_eq!(report.next_seq, n, "sequence regressed below checkpoint");
+        let extra: Vec<EdgeEvent> = (0..40)
+            .map(|i| EdgeEvent::follow(u(11 + i % 2), u(700 + i % 7), ts(10_000_100 + i)))
+            .collect();
+        for &e in &extra {
+            pe.on_event(e).unwrap();
+        }
+        pe.close().unwrap();
+
+        // Post-reclaim ingest landed above the checkpoint, so the next
+        // recovery replays all of it (a regressed sequence would have
+        // filtered every record out as "already covered").
+        let (_, report) =
+            PersistentEngine::open(t.path(), DetectorConfig::example(), CapStrategy::None, o)
+                .unwrap();
+        assert_eq!(report.replayed, extra.len() as u64);
+        assert_eq!(report.next_seq, n + extra.len() as u64);
     }
 
     #[test]

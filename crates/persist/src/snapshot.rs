@@ -104,6 +104,14 @@ impl SnapshotStore {
         Ok((bases, deltas))
     }
 
+    /// Whether the directory already holds any base or delta files —
+    /// creation paths refuse such directories (a stale higher-epoch base
+    /// would shadow a freshly published one on the next load).
+    pub(crate) fn has_artifacts(&self) -> Result<bool> {
+        let (bases, deltas) = self.scan()?;
+        Ok(!bases.is_empty() || !deltas.is_empty())
+    }
+
     /// Reconstructs the newest snapshot: load the highest-epoch base,
     /// then fold the delta chain rooted at it. `cap` is the load-time
     /// influencer cap for the base ([`magicrecs_graph::io::load_graph`]);

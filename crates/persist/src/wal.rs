@@ -20,7 +20,7 @@ use magicrecs_graph::io::{read_varint, write_varint};
 use magicrecs_types::{EdgeEvent, EdgeKind, Error, Result, Timestamp, UserId};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -100,8 +100,11 @@ fn io_err(context: &str, e: std::io::Error) -> Error {
     Error::Io(format!("{context}: {e}"))
 }
 
-fn encode_payload(buf: &mut Vec<u8>, seq: u64, event: EdgeEvent) {
+/// Encodes a full `len | crc32 | payload` frame into `buf` (reused
+/// across appends — one buffer, no per-event allocation).
+fn encode_frame(buf: &mut Vec<u8>, seq: u64, event: EdgeEvent) {
     buf.clear();
+    buf.extend_from_slice(&[0u8; 8]); // len + crc backfilled below
     write_varint(buf, seq).expect("vec write is infallible");
     let kind = match event.kind {
         EdgeKind::Follow => 0u8,
@@ -113,6 +116,10 @@ fn encode_payload(buf: &mut Vec<u8>, seq: u64, event: EdgeEvent) {
     write_varint(buf, event.src.raw()).expect("vec write is infallible");
     write_varint(buf, event.dst.raw()).expect("vec write is infallible");
     write_varint(buf, event.created_at.as_micros()).expect("vec write is infallible");
+    let len = (buf.len() - 8) as u32;
+    let crc = crc32(&buf[8..]);
+    buf[0..4].copy_from_slice(&len.to_le_bytes());
+    buf[4..8].copy_from_slice(&crc.to_le_bytes());
 }
 
 fn decode_payload(mut payload: &[u8]) -> Option<WalRecord> {
@@ -301,6 +308,13 @@ fn existing_wal_partitions(dir: &Path) -> Result<Vec<usize>> {
     Ok(out)
 }
 
+/// Whether `dir` holds any WAL segment files at all — sequential
+/// (`wal-…`) or partitioned (`wal-p<i>-…`). Creation paths refuse such
+/// directories before publishing anything into them.
+pub(crate) fn any_segments(dir: &Path) -> Result<bool> {
+    Ok(!list_segments(dir, "wal-")?.is_empty() || !existing_wal_partitions(dir)?.is_empty())
+}
+
 /// Replays every complete record with `seq >= min_seq` for one WAL
 /// prefix in sequence order, tolerating (and reporting) a torn tail on
 /// the newest segment only. A checkpoint covering through sequence `c`
@@ -413,6 +427,14 @@ pub struct Wal {
     next_seq: u64,
     appends_since_sync: u64,
     scratch: Vec<u8>,
+    /// Set when a failed append left the active segment in a state this
+    /// process cannot repair (garbage bytes past the last record
+    /// boundary, or a sequence that was assigned but never landed).
+    /// Further appends are refused: writing a valid record *after* the
+    /// damage would make every later record — even acknowledged, fsynced
+    /// ones — unrecoverable, because the replay scan stops at the first
+    /// bad frame and treats the rest as a torn tail.
+    poisoned: bool,
 }
 
 impl std::fmt::Debug for Wal {
@@ -447,6 +469,7 @@ impl Wal {
             next_seq: 0,
             appends_since_sync: 0,
             scratch: Vec::new(),
+            poisoned: false,
         })
     }
 
@@ -458,6 +481,18 @@ impl Wal {
     /// Callers replay first ([`replay`]), then open; the torn bytes the
     /// replay skipped are the same bytes this truncates.
     pub fn open(dir: &Path, prefix: &str, opts: WalOptions) -> Result<Wal> {
+        Self::open_with_floor(dir, prefix, opts, 0)
+    }
+
+    /// [`Wal::open`] with a lower bound on the resumed sequence. Recovery
+    /// passes `checkpoint.last_seq + 1`: if every segment the checkpoint
+    /// covered has been reclaimed (an idle, fully-checkpointed log can
+    /// legitimately hold zero files), a plain scan would restart at 0 —
+    /// and new appends below the checkpoint's `last_seq` would be
+    /// silently skipped by the *next* recovery's `min_seq` filter. The
+    /// floor pins `next_seq` at or above what on-disk checkpoints claim
+    /// to cover, so sequences never regress.
+    pub fn open_with_floor(dir: &Path, prefix: &str, opts: WalOptions, floor: u64) -> Result<Wal> {
         std::fs::create_dir_all(dir).map_err(|e| io_err("wal dir create", e))?;
         let segments = list_segments(dir, prefix)?;
         let mut closed = Vec::new();
@@ -506,9 +541,10 @@ impl Wal {
             opts,
             active: None,
             closed,
-            next_seq,
+            next_seq: next_seq.max(floor),
             appends_since_sync: 0,
             scratch: Vec::new(),
+            poisoned: false,
         })
     }
 
@@ -528,7 +564,24 @@ impl Wal {
     /// Appends `event` under an externally-assigned sequence (the shared
     /// engine's global counter). Sequences must be strictly ascending per
     /// WAL.
+    ///
+    /// A failed *write* leaves the log positioned back at the last
+    /// record boundary, so retrying with the same sequence is safe. If
+    /// the boundary cannot be restored (the rewind itself fails), the
+    /// WAL poisons itself and refuses all further appends — appending
+    /// valid records after garbage bytes would strand everything behind
+    /// a mid-log tear the replay scan cannot cross. A failed *fsync*
+    /// after a successful write also poisons (see [`Wal::sync`]): the
+    /// record's durability is then indeterminate — it may resurface at
+    /// recovery even though the caller saw an error — and the only safe
+    /// continuation is a restart through recovery, which reconciles
+    /// against what the disk actually holds.
     pub fn append_with_seq(&mut self, seq: u64, event: EdgeEvent) -> Result<()> {
+        if self.poisoned {
+            return Err(Error::Invariant(
+                "wal is poisoned by an earlier failed append — reopen to repair".into(),
+            ));
+        }
         if seq < self.next_seq {
             return Err(Error::Invariant(format!(
                 "wal sequence must ascend: got {seq}, expected >= {}",
@@ -543,16 +596,19 @@ impl Wal {
             self.roll(seq)?;
         }
         let active = self.active.as_mut().expect("rolled above");
-        let scratch = &mut self.scratch;
-        encode_payload(scratch, seq, event);
-        let mut frame = Vec::with_capacity(8 + scratch.len());
-        frame.extend_from_slice(&(scratch.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(scratch).to_le_bytes());
-        frame.extend_from_slice(scratch);
-        active
-            .file
-            .write_all(&frame)
-            .map_err(|e| io_err("wal append", e))?;
+        let frame = &mut self.scratch;
+        encode_frame(frame, seq, event);
+        if let Err(e) = active.file.write_all(frame) {
+            // A short write left partial frame bytes after the last
+            // record; rewind to the boundary so the next append does not
+            // bury them under a valid frame.
+            let rewound = active.file.set_len(active.bytes).is_ok()
+                && active.file.seek(SeekFrom::Start(active.bytes)).is_ok();
+            if !rewound {
+                self.poisoned = true;
+            }
+            return Err(io_err("wal append", e));
+        }
         active.bytes += frame.len() as u64;
         active.last_seq = seq;
         active.max_ts = active.max_ts.max(event.created_at);
@@ -571,13 +627,31 @@ impl Wal {
         Ok(())
     }
 
+    /// Marks the log unusable for further appends (see
+    /// [`Wal::append_with_seq`]); used by [`SharedWal`] when a globally
+    /// assigned sequence could not be written even after a retry — the
+    /// partition's durable tail must then end *below* the burned
+    /// sequence, so [`SharedWal::replay_merged`]'s gap check classifies
+    /// it as a tolerable tail loss instead of refusing recovery.
+    fn poison(&mut self) {
+        self.poisoned = true;
+    }
+
     /// Forces an `fdatasync` of the active segment.
+    ///
+    /// A reported fsync failure poisons the log: the kernel consumes the
+    /// error state, so whether already-written records reached disk is
+    /// unknowable afterwards — continuing to append (and acknowledge)
+    /// on top of maybe-lost bytes would silently break the recovery
+    /// contract. The caller must treat in-flight events as indeterminate
+    /// and restart through recovery, which trusts only what actually
+    /// survives on disk.
     pub fn sync(&mut self) -> Result<()> {
         if let Some(active) = self.active.as_mut() {
-            active
-                .file
-                .sync_data()
-                .map_err(|e| io_err("wal fsync", e))?;
+            if let Err(e) = active.file.sync_data() {
+                self.poisoned = true;
+                return Err(io_err("wal fsync", e));
+            }
         }
         self.appends_since_sync = 0;
         Ok(())
@@ -597,8 +671,23 @@ impl Wal {
         header.extend_from_slice(MAGIC);
         header.extend_from_slice(&VERSION.to_le_bytes());
         header.extend_from_slice(&first_seq.to_le_bytes());
-        file.write_all(&header)
-            .map_err(|e| io_err("wal header", e))?;
+        if let Err(e) = file.write_all(&header) {
+            // Remove the half-headered shell so a retried roll can
+            // create_new the same path instead of hitting EEXIST forever.
+            let _ = std::fs::remove_file(&path);
+            return Err(io_err("wal header", e));
+        }
+        // The new segment's *name* must survive power loss too — fsyncing
+        // record bytes into a file the directory forgot is lost history.
+        if !matches!(self.opts.fsync, FsyncPolicy::Never) {
+            if let Err(e) = crate::fsutil::fsync_dir(&self.dir) {
+                // Same retryability contract as the header-write branch:
+                // leave no orphan shell behind, or the retried roll hits
+                // create_new EEXIST forever.
+                let _ = std::fs::remove_file(&path);
+                return Err(e);
+            }
+        }
         self.active = Some(ActiveSegment {
             file,
             path,
@@ -610,13 +699,18 @@ impl Wal {
     }
 
     fn close_active(&mut self) -> Result<()> {
-        if let Some(active) = self.active.take() {
+        // Sync before taking: a failed sync must leave the segment
+        // tracked as active (not silently dropped from both the active
+        // slot and the closed list, where reclaim could never find it).
+        if let Some(active) = self.active.as_mut() {
             if !matches!(self.opts.fsync, FsyncPolicy::Never) {
-                active
-                    .file
-                    .sync_data()
-                    .map_err(|e| io_err("wal fsync", e))?;
+                if let Err(e) = active.file.sync_data() {
+                    self.poisoned = true;
+                    return Err(io_err("wal fsync", e));
+                }
             }
+        }
+        if let Some(active) = self.active.take() {
             if active.bytes > HEADER_LEN {
                 self.closed.push(ClosedSegment {
                     path: active.path,
@@ -638,17 +732,37 @@ impl Wal {
     /// segments were deleted.
     pub fn reclaim_before(&mut self, cutoff: Timestamp, checkpoint_seq: u64) -> Result<usize> {
         let mut removed = 0usize;
-        let mut keep = Vec::with_capacity(self.closed.len());
-        for seg in self.closed.drain(..) {
-            if seg.max_ts < cutoff && seg.last_seq <= checkpoint_seq {
-                std::fs::remove_file(&seg.path).map_err(|e| io_err("wal reclaim", e))?;
-                removed += 1;
-            } else {
-                keep.push(seg);
+        // Retain-style so a failed unlink keeps every undeleted segment
+        // tracked (an early return mid-drain would forget them all and
+        // make them unreclaimable until reopen).
+        let mut first_err: Option<Error> = None;
+        self.closed.retain(|seg| {
+            if first_err.is_some() || !(seg.max_ts < cutoff && seg.last_seq <= checkpoint_seq) {
+                return true;
             }
+            match std::fs::remove_file(&seg.path) {
+                Ok(()) => {
+                    removed += 1;
+                    false
+                }
+                // Already gone is already reclaimed.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    removed += 1;
+                    false
+                }
+                Err(e) => {
+                    first_err = Some(io_err("wal reclaim", e));
+                    true
+                }
+            }
+        });
+        if removed > 0 && !matches!(self.opts.fsync, FsyncPolicy::Never) {
+            crate::fsutil::fsync_dir(&self.dir)?;
         }
-        self.closed = keep;
-        Ok(removed)
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(removed),
+        }
     }
 
     /// Number of on-disk segments (closed + active).
@@ -708,6 +822,19 @@ impl SharedWal {
     /// exist for would silently drop the excess partitions' history, so
     /// it is refused.
     pub fn open(dir: &Path, parts: usize, opts: WalOptions) -> Result<SharedWal> {
+        Self::open_with_floor(dir, parts, opts, 0)
+    }
+
+    /// [`SharedWal::open`] with a lower bound on the resumed global
+    /// sequence — same contract as [`Wal::open_with_floor`]: recovery
+    /// passes `checkpoint.last_seq + 1` so fully-reclaimed partition logs
+    /// can never restart the sequence below what a checkpoint covers.
+    pub fn open_with_floor(
+        dir: &Path,
+        parts: usize,
+        opts: WalOptions,
+        floor: u64,
+    ) -> Result<SharedWal> {
         assert!(parts >= 1, "need at least one wal partition");
         Self::check_partition_count(dir, parts)?;
         let parts = (0..parts)
@@ -716,7 +843,7 @@ impl SharedWal {
         let next = parts.iter().map(|p| p.lock().next_seq()).max().unwrap_or(0);
         Ok(SharedWal {
             parts,
-            seq: AtomicU64::new(next),
+            seq: AtomicU64::new(next.max(floor)),
         })
     }
 
@@ -749,8 +876,28 @@ impl SharedWal {
         // Assign inside the lock: this partition's sequences stay
         // ascending no matter how appends interleave across partitions.
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        wal.append_with_seq(seq, event)?;
-        Ok(seq)
+        match wal.append_with_seq(seq, event) {
+            Ok(()) => Ok(seq),
+            Err(first) => {
+                // The global sequence is already consumed (other
+                // partitions may hold higher ones), so it must either
+                // land or become this partition's *permanent tail*: one
+                // retry against the rewound record boundary, and on a
+                // second failure the partition is poisoned. A poisoned
+                // partition's durable log ends below the burned
+                // sequence, which `replay_merged`'s gap check tolerates
+                // as a tail loss — without the poison, a later
+                // successful append above the hole would make recovery
+                // refuse the whole log as corrupt.
+                match wal.append_with_seq(seq, event) {
+                    Ok(()) => Ok(seq),
+                    Err(_) => {
+                        wal.poison();
+                        Err(first)
+                    }
+                }
+            }
+        }
     }
 
     /// The next global sequence to be assigned.
@@ -781,6 +928,27 @@ impl SharedWal {
     /// and per-partition order already provides it (targets are
     /// partition-sticky); the global sort additionally makes replay
     /// deterministic.
+    ///
+    /// Gap detection: global sequences are assigned densely across
+    /// partitions, so after merging, every sequence in
+    /// `[min_seq, min-over-partitions(last durable seq)]` must be
+    /// present. A sequence missing from that range cannot be any
+    /// partition's torn/unsynced tail (every partition's log provably
+    /// extends past it), so it means a lost or deleted middle segment —
+    /// refused as [`Error::Corrupt`] rather than silently rebuilding `D`
+    /// without that history. Gaps *above* the minimum tail are tolerated:
+    /// they are exactly the crash signature of independently-synced
+    /// partition tails. The check only runs when every partition holds at
+    /// least one surviving record — a record-less partition's losses are
+    /// indistinguishable from never-routed silence, so any hole could be
+    /// its lost tail.
+    ///
+    /// Memory: the merge materializes every replayed record before
+    /// sorting, so peak memory is O(records past the checkpoint) —
+    /// bounded by the checkpoint cadence in any reclaiming deployment.
+    /// With checkpoints disabled (`checkpoint_every = 0`) it is the whole
+    /// history; a streaming k-way merge is the upgrade path if that
+    /// configuration ever needs large logs.
     pub fn replay_merged(
         dir: &Path,
         parts: usize,
@@ -790,12 +958,37 @@ impl SharedWal {
         Self::check_partition_count(dir, parts)?;
         let mut records: Vec<WalRecord> = Vec::new();
         let mut merged = ReplayStats::default();
+        let mut min_tail: Option<u64> = None;
+        let mut all_partitions_have_records = true;
         for i in 0..parts {
             let stats = replay(dir, &Self::prefix(i), min_seq, |r| records.push(r))?;
             merged.torn_tail |= stats.torn_tail;
             merged.last_seq = merged.last_seq.max(stats.last_seq);
+            match stats.last_seq {
+                Some(last) => min_tail = Some(min_tail.map_or(last, |t: u64| t.min(last))),
+                // A record-less partition disables the check entirely: its
+                // durable floor is unknowable, so *any* missing sequence
+                // could be its lost tail (e.g. a burned first append on a
+                // cold partition) — refusing would brick an undamaged
+                // directory. The post-recovery sealing checkpoint restores
+                // full checking for everything after this open.
+                None => all_partitions_have_records = false,
+            }
         }
         records.sort_by_key(|r| r.seq);
+        if let Some(min_tail) = min_tail.filter(|_| all_partitions_have_records) {
+            let mut expected = min_seq;
+            for r in records.iter().take_while(|r| r.seq <= min_tail) {
+                if r.seq != expected {
+                    return Err(Error::Corrupt(format!(
+                        "shared wal gap: sequence {expected} is missing but every \
+                         partition's log extends through {min_tail} — a middle segment \
+                         was lost"
+                    )));
+                }
+                expected += 1;
+            }
+        }
         merged.records = records.len() as u64;
         for r in records {
             f(r);
@@ -1037,6 +1230,146 @@ mod tests {
         let err = replay_contiguous(t.path(), "wal-", 0, |_| {}).unwrap_err();
         assert!(matches!(err, Error::Corrupt(_)), "{err:?}");
         assert!(err.to_string().contains("gap"), "{err}");
+    }
+
+    #[test]
+    fn open_floor_prevents_sequence_regression_after_full_reclaim() {
+        let t = TempDir::new("wal");
+        let opts = WalOptions {
+            segment_bytes: 128,
+            ..WalOptions::default()
+        };
+        let mut wal = Wal::create(t.path(), "wal-", opts).unwrap();
+        for i in 0..50 {
+            wal.append(ev(i)).unwrap();
+        }
+        wal.close().unwrap();
+        // Checkpoint covered everything, window long passed: every
+        // segment is reclaimable and the directory legitimately empties.
+        let mut wal = Wal::open(t.path(), "wal-", opts).unwrap();
+        assert!(wal.reclaim_before(ts(1_000), 49).unwrap() > 0);
+        assert_eq!(wal.segment_count(), 0);
+        drop(wal);
+        assert!(list_segments(t.path(), "wal-").unwrap().is_empty());
+        // A plain scan restarts at 0 — that is the hazard the floor
+        // exists for: new appends below the checkpoint's coverage would
+        // be skipped by the next recovery's min_seq filter.
+        assert_eq!(Wal::open(t.path(), "wal-", opts).unwrap().next_seq(), 0);
+        let mut wal = Wal::open_with_floor(t.path(), "wal-", opts, 50).unwrap();
+        assert_eq!(wal.next_seq(), 50);
+        assert_eq!(wal.append(ev(50)).unwrap(), 50);
+        wal.close().unwrap();
+        // The new record is visible to a replay resuming past the
+        // checkpoint, and the floor is a no-op when the scan is ahead.
+        let (records, _) = collect(t.path(), "wal-", 50);
+        assert_eq!(records.len(), 1);
+        let wal = Wal::open_with_floor(t.path(), "wal-", opts, 7).unwrap();
+        assert_eq!(wal.next_seq(), 51);
+    }
+
+    #[test]
+    fn merged_replay_refuses_lost_middle_partition_segment() {
+        let t = TempDir::new("wal");
+        let opts = WalOptions {
+            segment_bytes: 128,
+            ..WalOptions::default()
+        };
+        let shared = SharedWal::create(t.path(), 4, opts).unwrap();
+        for i in 0..500 {
+            shared.append(ev(i)).unwrap();
+        }
+        shared.sync_all().unwrap();
+        drop(shared);
+        // Delete a middle segment of one partition. Per-partition replay
+        // cannot see the hole (its sequences are sparse by nature)…
+        let victim = (0..4)
+            .map(|i| list_segments(t.path(), &SharedWal::prefix(i)).unwrap())
+            .find(|segs| segs.len() >= 3)
+            .expect("some partition rolled at least thrice");
+        std::fs::remove_file(&victim[1]).unwrap();
+        // …but the merged view knows the lost records sit below every
+        // partition's durable tail and refuses.
+        let err = SharedWal::replay_merged(t.path(), 4, 0, |_| {}).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err:?}");
+        assert!(err.to_string().contains("gap"), "{err}");
+    }
+
+    #[test]
+    fn merged_replay_tolerates_lost_partition_tail() {
+        let t = TempDir::new("wal");
+        let opts = WalOptions {
+            segment_bytes: 128,
+            ..WalOptions::default()
+        };
+        let shared = SharedWal::create(t.path(), 4, opts).unwrap();
+        for i in 0..500 {
+            shared.append(ev(i)).unwrap();
+        }
+        shared.sync_all().unwrap();
+        drop(shared);
+        // Losing the *newest* segment of one partition is exactly the
+        // crash signature of an unsynced tail — replay must proceed with
+        // the surviving records rather than refuse.
+        let segs = list_segments(t.path(), &SharedWal::prefix(0)).unwrap();
+        assert!(segs.len() >= 2);
+        std::fs::remove_file(segs.last().unwrap()).unwrap();
+        let mut n = 0u64;
+        let stats = SharedWal::replay_merged(t.path(), 4, 0, |_| n += 1).unwrap();
+        assert!(n < 500, "tail records are gone");
+        assert_eq!(stats.records, n);
+    }
+
+    #[test]
+    fn merged_replay_skips_gap_check_when_a_partition_has_no_records() {
+        let t = TempDir::new("wal");
+        let opts = WalOptions {
+            segment_bytes: 128,
+            ..WalOptions::default()
+        };
+        let shared = SharedWal::create(t.path(), 4, opts).unwrap();
+        for i in 0..500 {
+            shared.append(ev(i)).unwrap();
+        }
+        shared.sync_all().unwrap();
+        drop(shared);
+        // A partition with zero surviving records (all segments gone —
+        // the extreme of a cold partition whose only assigned sequence
+        // was burned) leaves every hole attributable to it, so the
+        // contiguity check must stand down rather than refuse.
+        for seg in list_segments(t.path(), &SharedWal::prefix(0)).unwrap() {
+            std::fs::remove_file(seg).unwrap();
+        }
+        let mut n = 0u64;
+        let stats = SharedWal::replay_merged(t.path(), 4, 0, |_| n += 1).unwrap();
+        assert!(n > 0 && n < 500);
+        assert_eq!(stats.records, n);
+    }
+
+    #[test]
+    fn reclaim_failure_keeps_remaining_segments_tracked() {
+        let t = TempDir::new("wal");
+        let opts = WalOptions {
+            segment_bytes: 128,
+            ..WalOptions::default()
+        };
+        let mut wal = Wal::create(t.path(), "wal-", opts).unwrap();
+        for i in 0..100 {
+            wal.append(ev(i)).unwrap();
+        }
+        let before = wal.segment_count();
+        assert!(before >= 3);
+        // Sabotage one reclaimable segment so its unlink fails (a
+        // directory cannot be removed as a file).
+        let segs = list_segments(t.path(), "wal-").unwrap();
+        std::fs::remove_file(&segs[1]).unwrap();
+        std::fs::create_dir(&segs[1]).unwrap();
+        assert!(wal.reclaim_before(ts(1_000), 99).is_err());
+        // The failed segment (and everything after it) is still tracked:
+        // once the obstruction clears, a second pass reclaims the rest
+        // instead of leaking them into limbo until reopen.
+        std::fs::remove_dir(&segs[1]).unwrap();
+        assert!(wal.reclaim_before(ts(1_000), 99).unwrap() > 0);
+        assert_eq!(wal.segment_count(), 1, "only the active segment survives");
     }
 
     #[test]
