@@ -43,6 +43,11 @@
 //!   graph, WAL append cost under the batched-fsync default, and the
 //!   crash-recovery replay rate. `--no-persist` skips these arms (their
 //!   previous keys survive the merge).
+//! * `wal_group_append_ns_per_event` / `batched_celebrity_events_per_sec`
+//!   — the batched ingest hot path (PR 5): group commit at batch sizes
+//!   8/64/256 vs single appends (hard-asserted faster at 64 —
+//!   `--wal-only` runs just this guard for CI), and the shared cluster's
+//!   micro-batch queue drain vs the one-item-per-recv transport.
 
 use magicrecs_bench::{bench_graph, bench_trace, small_graph};
 use magicrecs_cluster::SharedEngineCluster;
@@ -254,6 +259,10 @@ struct Args {
     /// Run only the persistence arms and skip the JSON rewrite (the
     /// persist-smoke CI job).
     persist_only: bool,
+    /// Run only the WAL single-vs-group-commit arms (with the
+    /// group-commit guard) and skip the JSON rewrite — the bench-smoke
+    /// CI job's cheap durability guard.
+    wal_only: bool,
     /// Output path; defaults to `BENCH_hotpath.json` at the workspace
     /// root.
     out: Option<PathBuf>,
@@ -266,6 +275,7 @@ fn parse_args() -> Args {
         max_threads: 4,
         no_persist: false,
         persist_only: false,
+        wal_only: false,
         out: None,
     };
     let mut it = std::env::args().skip(1);
@@ -275,6 +285,7 @@ fn parse_args() -> Args {
             "--no-concurrent" => args.no_concurrent = true,
             "--no-persist" => args.no_persist = true,
             "--persist-only" => args.persist_only = true,
+            "--wal-only" => args.wal_only = true,
             "--threads" => {
                 args.max_threads = it
                     .next()
@@ -299,6 +310,10 @@ fn parse_args() -> Args {
     assert!(
         !(args.persist_only && args.concurrent_only),
         "--persist-only and --concurrent-only are mutually exclusive"
+    );
+    assert!(
+        !(args.wal_only && (args.persist_only || args.concurrent_only || args.no_persist)),
+        "--wal-only runs exactly the WAL arms; other selectors conflict"
     );
     args
 }
@@ -349,9 +364,10 @@ fn run_concurrent(json: &mut Json, max_threads: usize) {
     let trace = celebrity_trace(2_000);
 
     let mut fields: Vec<(&str, f64)> = Vec::new();
-    let rate_at = |threads: usize| -> f64 {
+    let rate_at = |threads: usize, max_batch: usize| -> f64 {
         let cluster = SharedEngineCluster::new(&graph, threads, DetectorConfig::production())
-            .expect("valid cluster config");
+            .expect("valid cluster config")
+            .with_max_batch(max_batch);
         // One untimed run first: the arm that happens to go first must not
         // eat the page-cache/allocator warm-up for everyone else.
         cluster.run_trace(&trace).expect("warm-up run");
@@ -368,12 +384,33 @@ fn run_concurrent(json: &mut Json, max_threads: usize) {
         if threads > max_threads {
             continue;
         }
-        let rate = rate_at(threads);
+        let rate = rate_at(threads, magicrecs_cluster::DEFAULT_MAX_BATCH);
         println!("  {threads} thread(s): {rate:.0} events/sec");
         fields.push((label, rate));
     }
     json.obj("concurrent_celebrity_events_per_sec", &fields);
     json.int("concurrent_bench_cores", cores as u64);
+
+    // Batched vs single-item queue drains, same engine and thread count:
+    // max_batch 1 reproduces the pre-batching transport (one snapshot
+    // pin + detector lookup + stats flush per event), the default drains
+    // micro-batches.
+    let threads = 2.min(max_threads);
+    let single_drain = rate_at(threads, 1);
+    let batched_drain = rate_at(threads, magicrecs_cluster::DEFAULT_MAX_BATCH);
+    json.obj(
+        "batched_celebrity_events_per_sec",
+        &[("single", single_drain), ("b64", batched_drain)],
+    );
+    json.num(
+        "speedup_batched_drain_over_single",
+        batched_drain / single_drain,
+    );
+    println!(
+        "  drain at {threads} thread(s): single {single_drain:.0} vs batched {batched_drain:.0} \
+         events/sec ({:.2}x)",
+        batched_drain / single_drain
+    );
     if let (Some(&(_, r1)), Some(&(last, rn))) = (
         fields.iter().find(|(l, _)| *l == "t1"),
         fields.last().filter(|(l, _)| *l != "t1"),
@@ -499,16 +536,75 @@ fn guard_adaptive<F>(
     }
 }
 
+/// The WAL arms: single-append cost vs group commit at batch sizes
+/// 8/64/256, same 20k-event trace, production fsync default
+/// (`EveryN(256)`). Group commit encodes a batch's frames into one
+/// reused buffer and lands them with one `write(2)`, so the per-event
+/// cost is dominated by encoding instead of syscalls. **Guard**: batch
+/// 64 must beat single appends outright, or the run aborts (bench-smoke
+/// runs this via `--wal-only`).
+fn run_wal(json: &mut Json) {
+    use magicrecs_persist::{FsyncPolicy, TempDir, Wal, WalOptions};
+
+    println!("# wal append: single vs group commit (fsync every 256)");
+    let wal_trace = bench_trace(20_000, 2_000.0, 25, 0x3A1);
+    let wal_events = wal_trace.events();
+    let opts = WalOptions {
+        fsync: FsyncPolicy::EveryN(256),
+        segment_bytes: 4 << 20,
+    };
+    // Median of 3 full log writes per arm; each run appends into a fresh
+    // directory so segment state never leaks between samples.
+    let measure = |batch: usize| -> f64 {
+        let mut samples: Vec<f64> = (0..3)
+            .map(|_| {
+                let tmp = TempDir::new("bench-wal");
+                let mut wal = Wal::create(tmp.path(), "wal-", opts).expect("wal create");
+                let start = Instant::now();
+                if batch <= 1 {
+                    for &e in wal_events {
+                        wal.append(e).expect("append");
+                    }
+                } else {
+                    for chunk in wal_events.chunks(batch) {
+                        wal.append_batch(chunk).expect("append_batch");
+                    }
+                }
+                wal.close().expect("close");
+                start.elapsed().as_secs_f64() * 1e9 / wal_events.len() as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        samples[samples.len() / 2]
+    };
+    let single = measure(1);
+    let arms: Vec<(&str, f64)> = [("b8", 8usize), ("b64", 64), ("b256", 256)]
+        .iter()
+        .map(|&(name, batch)| (name, measure(batch)))
+        .collect();
+    json.num("wal_append_ns_per_event", single);
+    json.obj("wal_group_append_ns_per_event", &arms);
+    let b64 = arms.iter().find(|(n, _)| *n == "b64").expect("arm").1;
+    json.num("speedup_wal_group64_over_single", single / b64);
+    println!("  single {single:.0} ns/event");
+    for (name, ns) in &arms {
+        println!("  {name} {ns:.0} ns/event ({:.1}x)", single / ns);
+    }
+    assert!(
+        b64 < single,
+        "group commit at batch 64 ({b64:.0} ns/event) must beat single appends \
+         ({single:.0} ns/event) — one write(2) per batch is the whole point"
+    );
+}
+
 /// Persistence arms: snapshot refresh (full rebuild vs delta apply on a
-/// ~1%-changed graph), WAL append cost, and crash-recovery replay rate.
-/// Keys are merge-recorded like everything else; `--no-persist` keeps the
-/// previous values.
+/// ~1%-changed graph), WAL single-vs-group-commit append cost, and
+/// crash-recovery replay rate. Keys are merge-recorded like everything
+/// else; `--no-persist` keeps the previous values.
 fn run_persist(json: &mut Json) {
     use magicrecs_core::ConcurrentEngine;
     use magicrecs_graph::GraphDelta;
-    use magicrecs_persist::{
-        FsyncPolicy, PersistOptions, PersistentEngine, TempDir, Wal, WalOptions,
-    };
+    use magicrecs_persist::{FsyncPolicy, PersistOptions, PersistentEngine, TempDir};
 
     println!("# persistence (snapshot refresh / wal / recovery)");
     let base = bench_graph();
@@ -584,34 +680,15 @@ fn run_persist(json: &mut Json) {
         new_graph.num_follow_edges()
     );
 
-    // WAL append cost (EveryN batched fsync, the production default).
-    let wal_trace = bench_trace(20_000, 2_000.0, 25, 0x3A1);
-    let wal_events = wal_trace.events();
-    let tmp = TempDir::new("bench-wal");
-    let mut wal = Wal::create(
-        tmp.path(),
-        "wal-",
-        WalOptions {
-            fsync: FsyncPolicy::EveryN(256),
-            segment_bytes: 4 << 20,
-        },
-    )
-    .expect("wal create");
-    let start = Instant::now();
-    for &e in wal_events {
-        wal.append(e).expect("append");
-    }
-    wal.close().expect("close");
-    let wal_ns = start.elapsed().as_secs_f64() * 1e9 / wal_events.len() as f64;
-    json.num("wal_append_ns_per_event", wal_ns);
-    println!(
-        "  wal append {:.0} ns/event ({} events, fsync every 256)",
-        wal_ns,
-        wal_events.len()
-    );
+    // WAL append cost, single vs group commit.
+    run_wal(json);
 
     // Crash-recovery replay rate: a full run's WAL replayed through the
-    // store with emission suppressed.
+    // store with emission suppressed. Ingest goes through the batched
+    // path (the deployment hot path); the log is byte-identical either
+    // way.
+    let wal_trace = bench_trace(20_000, 2_000.0, 25, 0x3A1);
+    let wal_events = wal_trace.events();
     let tmp = TempDir::new("bench-recovery");
     let mut pe = PersistentEngine::create(
         tmp.path(),
@@ -622,11 +699,12 @@ fn run_persist(json: &mut Json) {
             fsync: FsyncPolicy::Never,
             segment_bytes: 4 << 20,
             checkpoint_every: 0, // replay the whole log
+            ..PersistOptions::default()
         },
     )
     .expect("create");
-    for &e in wal_events {
-        pe.on_event(e).expect("ingest");
+    for chunk in wal_events.chunks(64) {
+        pe.on_events(chunk).expect("ingest");
     }
     pe.close().expect("close");
     let start = Instant::now();
@@ -661,6 +739,12 @@ fn main() {
         // hard assert), no JSON rewrite.
         let mut json = Json::new();
         run_persist(&mut json);
+        return;
+    }
+    if args.wal_only {
+        // CI bench-smoke: the group-commit guard alone, no JSON rewrite.
+        let mut json = Json::new();
+        run_wal(&mut json);
         return;
     }
 

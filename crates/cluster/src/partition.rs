@@ -35,6 +35,15 @@ impl Partition {
         self.engine.on_event(event)
     }
 
+    /// Ingests a micro-batch in stream order, appending candidates
+    /// (grouped by event, in event order) to `out`; returns the number
+    /// appended. Identical candidates to N [`Partition::on_event`] calls
+    /// (the engine's batch-vs-single contract) — this is what the
+    /// threaded cluster's workers drain their queues into.
+    pub fn on_events_into(&mut self, events: &[EdgeEvent], out: &mut Vec<Candidate>) -> usize {
+        self.engine.on_events_into(events, out)
+    }
+
     /// Ingests one event *without* running detection (replica in
     /// state-maintenance mode: it keeps `D` fresh but another replica
     /// serves the detection for this event).

@@ -24,7 +24,20 @@
 //! sequential [`crate::Engine`] exactly as long as same-target events keep
 //! their relative order (candidates depend only on `S` and `D[target]`) —
 //! which is what hash-routing a stream by target gives a worker pool; see
-//! `magicrecs_cluster::SharedEngineCluster`. One caveat on a stream whose
+//! `magicrecs_cluster::SharedEngineCluster`.
+//!
+//! ## Batched ingest
+//!
+//! [`ConcurrentEngine::on_events_into`] is the micro-batch fast path the
+//! cluster transports drain into: one pinned `S` snapshot, one detector
+//! lookup, one stats flush, and at most one shard-lock acquisition per
+//! shard per distinct-target run, for a whole slice of events.
+//! **Batch-vs-single contract**: the candidate stream, aggregate stats,
+//! and store contents are identical to calling
+//! [`ConcurrentEngine::on_event`] N times (test-enforced by differential
+//! proptests); batching changes *where fixed costs are paid*, never what
+//! is detected. The single-event entry points are thin wrappers kept for
+//! per-event callers. One caveat on a stream whose
 //! timestamps skew heavily *across* targets: the periodic wheel expiry
 //! advances with the engine-wide newest-seen timestamp, so entries more
 //! than τ older than that high-water mark may be reclaimed while a lagging
@@ -39,7 +52,7 @@ use crate::threshold::ThresholdAlgo;
 use magicrecs_graph::{FollowGraph, GraphDelta};
 use magicrecs_temporal::{PruneStrategy, ShardedTemporalStore, StoreStats};
 use magicrecs_types::{
-    Candidate, DetectorConfig, EdgeEvent, Histogram, Result, Snapshot, Timestamp,
+    Candidate, DetectorConfig, EdgeEvent, Histogram, Result, Snapshot, Timestamp, UserId,
 };
 use parking_lot::{Mutex, RwLock};
 use std::cell::RefCell;
@@ -48,6 +61,14 @@ use std::sync::Arc;
 
 /// Default shard count for the concurrent `D` (power of two).
 const DEFAULT_SHARDS: usize = 16;
+
+/// Longest distinct-target run `on_events_into` batch-applies at once.
+/// Run membership is a linear `contains` scan, so the cap bounds run
+/// construction at O(cap) per event (an uncapped all-distinct batch
+/// would pay O(len²)); splitting a run is semantically free — runs are
+/// purely a lock-batching optimization — and past ~64 edges per shard
+/// pass the lock savings are already amortized to noise.
+const MAX_RUN: usize = 64;
 
 /// Stripes for the latency histogram: threads land on distinct stripes,
 /// so recording a sample never contends across workers; `stats()` merges.
@@ -244,6 +265,136 @@ impl ConcurrentEngine {
         out
     }
 
+    /// Processes a micro-batch in stream order through **one pinned `S`
+    /// snapshot**, appending candidates (grouped by event, in event
+    /// order) to `out`; returns the number appended.
+    ///
+    /// Batch-level costs are paid once instead of once per event: the
+    /// `S` snapshot slot is read (and its `Arc` cloned) once, the
+    /// thread's detector scratch is looked up once, stats land as one
+    /// atomic add per counter and one histogram-stripe lock, and `D`
+    /// mutations for runs of *distinct-target* events take each shard
+    /// lock at most once via [`ShardedTemporalStore::insert_batch`].
+    ///
+    /// **Batch-vs-single contract** (test-enforced): under the same
+    /// per-target single-submitter precondition the engine already
+    /// documents, the candidate stream, aggregate stats, and store
+    /// contents are identical to N [`ConcurrentEngine::on_event`] calls.
+    /// Why run batching is safe: detection for event *i* reads only
+    /// `D[target_i]`, so mutations of *other* targets in the same run
+    /// cannot perturb it, and a repeated target starts a new run, so no
+    /// same-target mutation ever jumps ahead of an earlier detection.
+    /// Two cross-thread differences are inherent and intended: the whole
+    /// batch detects against the snapshot pinned at batch start (a
+    /// concurrent [`ConcurrentEngine::swap_graph`] reaches the *next*
+    /// batch), and the wheel-expiry boundary fires between events at the
+    /// same cadence but is evaluated per batch segment.
+    pub fn on_events_into(&self, events: &[EdgeEvent], out: &mut Vec<Candidate>) -> usize {
+        if events.is_empty() {
+            return 0;
+        }
+        let appended_start = out.len();
+        // Pin `S` once for the whole batch.
+        let graph = self.graph.read().clone();
+        let n = events.len() as u64;
+        // Reserve the batch's advance ticks up front; boundary positions
+        // inside the batch follow from the reserved start.
+        let start_count = self.since_advance.fetch_add(n, Ordering::Relaxed);
+
+        let mut inserts: Vec<(UserId, UserId, Timestamp)> = Vec::with_capacity(events.len());
+        let mut run_targets: Vec<UserId> = Vec::with_capacity(events.len().min(MAX_RUN));
+        let mut firing = 0u64;
+        let mut emitted_total = 0u64;
+        let mut times = Histogram::new();
+
+        self.with_detector(|det| {
+            let mut i = 0usize;
+            while i < events.len() {
+                // Segment: events up to (and including) the next
+                // wheel-expiry boundary — the advance must fire between
+                // the same two events it would under single-event ingest.
+                let until_adv = ADVANCE_EVERY - ((start_count + i as u64) % ADVANCE_EVERY);
+                let seg_end = (i + until_adv as usize).min(events.len());
+                let mut r = i;
+                while r < seg_end {
+                    // Maximal distinct-target run.
+                    run_targets.clear();
+                    inserts.clear();
+                    let mut run_end = r;
+                    while run_end < seg_end
+                        && run_targets.len() < MAX_RUN
+                        && !run_targets.contains(&events[run_end].dst)
+                    {
+                        let e = events[run_end];
+                        run_targets.push(e.dst);
+                        if e.kind.is_insertion() {
+                            inserts.push((e.src, e.dst, e.created_at));
+                        }
+                        run_end += 1;
+                    }
+                    // Mutations first — targets are pairwise distinct, so
+                    // cross-target apply order is free and each shard
+                    // lock is taken at most once.
+                    self.store.insert_batch(&inserts);
+                    for &e in &events[r..run_end] {
+                        if !e.kind.is_insertion() {
+                            self.store.remove(e.src, e.dst);
+                        }
+                    }
+                    // Then detection, per event, in stream order.
+                    for &e in &events[r..run_end] {
+                        let start = std::time::Instant::now();
+                        let emitted = if e.kind.is_insertion() {
+                            det.detect_into(
+                                &graph,
+                                e.dst,
+                                e.created_at,
+                                |buf| self.store.witnesses_into(e.dst, e.created_at, buf),
+                                out,
+                            )
+                        } else {
+                            0
+                        };
+                        times.record(start.elapsed().as_micros() as u64);
+                        if emitted > 0 {
+                            firing += 1;
+                            emitted_total += emitted as u64;
+                        }
+                    }
+                    r = run_end;
+                }
+                // Fold the segment into the clock high-water mark, then
+                // fire the boundary advance if the segment ends on one.
+                let mut seg_max = 0u64;
+                for &e in &events[i..seg_end] {
+                    seg_max = seg_max.max(e.created_at.as_micros());
+                }
+                self.clock.fetch_max(seg_max, Ordering::Relaxed);
+                if (start_count + seg_end as u64).is_multiple_of(ADVANCE_EVERY) {
+                    self.store
+                        .advance(Timestamp::from_micros(self.clock.load(Ordering::Relaxed)));
+                }
+                i = seg_end;
+            }
+        });
+
+        self.events.fetch_add(n, Ordering::Relaxed);
+        THREAD_STRIPE.with(|&s| self.detect_time[s].lock().merge(&times));
+        if emitted_total > 0 {
+            self.firing_events.fetch_add(firing, Ordering::Relaxed);
+            self.candidates.fetch_add(emitted_total, Ordering::Relaxed);
+        }
+        out.len() - appended_start
+    }
+
+    /// [`ConcurrentEngine::on_events_into`] collecting into a fresh
+    /// vector.
+    pub fn on_events(&self, events: &[EdgeEvent]) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        self.on_events_into(events, &mut out);
+        out
+    }
+
     /// Applies an event's `D` mutation without running detection or
     /// touching stats (replica state-maintenance mode).
     pub fn apply_to_store(&self, event: EdgeEvent) {
@@ -252,6 +403,17 @@ impl ConcurrentEngine {
         } else {
             self.store.remove(event.src, event.dst);
         }
+    }
+
+    /// [`ConcurrentEngine::apply_to_store`] for a micro-batch: insertion
+    /// runs take each shard lock at most once
+    /// ([`ShardedTemporalStore::insert_batch`]); a removal flushes the
+    /// pending run first so per-target op order is preserved. The
+    /// recovery-replay fast path.
+    pub fn apply_to_store_batch(&self, events: &[EdgeEvent]) {
+        let mut scratch = Vec::with_capacity(events.len());
+        let mut handle = &self.store;
+        magicrecs_temporal::apply_events_batch(&mut handle, events, &mut scratch);
     }
 
     /// Hot-swaps the static graph, returning the previous snapshot.
@@ -399,6 +561,95 @@ mod tests {
         for &e in &trace {
             assert_eq!(seq.on_event(e), conc.on_event(e));
         }
+    }
+
+    #[test]
+    fn on_events_matches_single_events() {
+        // Same-target repeats (run splits), unfollows, and uneven chunk
+        // sizes: candidate stream, stats, and store contents must equal
+        // the single-event twin's.
+        let trace: Vec<EdgeEvent> = (0..600u64)
+            .map(|i| {
+                if i % 31 == 0 {
+                    EdgeEvent::unfollow(u(11), u(900 + i % 5), ts(10 + i))
+                } else {
+                    EdgeEvent::follow(u(11 + i % 3), u(900 + i % 5), ts(10 + i))
+                }
+            })
+            .collect();
+        let single = ConcurrentEngine::new(small_graph(), DetectorConfig::example()).unwrap();
+        let batched = ConcurrentEngine::new(small_graph(), DetectorConfig::example()).unwrap();
+        let mut want = Vec::new();
+        for &e in &trace {
+            single.on_event_into(e, &mut want);
+        }
+        let mut got = Vec::new();
+        for chunk in trace.chunks(41) {
+            batched.on_events_into(chunk, &mut got);
+        }
+        assert_eq!(got, want);
+        let (s, b) = (single.stats(), batched.stats());
+        assert_eq!(s.events, b.events);
+        assert_eq!(s.candidates, b.candidates);
+        assert_eq!(s.firing_events, b.firing_events);
+        assert_eq!(s.detect_time.count, b.detect_time.count);
+        assert_eq!(
+            single.store().resident_entries(),
+            batched.store().resident_entries()
+        );
+        assert_eq!(
+            single.store().stats().inserted,
+            batched.store().stats().inserted
+        );
+        assert_eq!(
+            single.store().stats().unfollowed,
+            batched.store().stats().unfollowed
+        );
+    }
+
+    #[test]
+    fn on_events_crosses_advance_boundary_like_single_events() {
+        let trace: Vec<EdgeEvent> = (0..2100u64)
+            .map(|i| EdgeEvent::follow(u(11), u(10_000 + i), ts(i * 10)))
+            .collect();
+        let single = ConcurrentEngine::new(small_graph(), DetectorConfig::example()).unwrap();
+        let batched = ConcurrentEngine::new(small_graph(), DetectorConfig::example()).unwrap();
+        for &e in &trace {
+            single.on_event(e);
+        }
+        batched.on_events(&trace);
+        assert_eq!(
+            single.store().resident_targets(),
+            batched.store().resident_targets()
+        );
+        assert!(batched.store().resident_targets() < 200, "advance must run");
+    }
+
+    #[test]
+    fn apply_to_store_batch_matches_single_applies() {
+        let trace: Vec<EdgeEvent> = (0..300u64)
+            .map(|i| {
+                if i % 13 == 0 {
+                    EdgeEvent::unfollow(u(1 + i % 5), u(100 + i % 9), ts(i))
+                } else {
+                    EdgeEvent::follow(u(1 + i % 5), u(100 + i % 9), ts(i))
+                }
+            })
+            .collect();
+        let single = ConcurrentEngine::new(small_graph(), DetectorConfig::example()).unwrap();
+        let batched = ConcurrentEngine::new(small_graph(), DetectorConfig::example()).unwrap();
+        for &e in &trace {
+            single.apply_to_store(e);
+        }
+        batched.apply_to_store_batch(&trace);
+        assert_eq!(
+            single.store().resident_entries(),
+            batched.store().resident_entries()
+        );
+        assert_eq!(
+            single.store().stats().inserted,
+            batched.store().stats().inserted
+        );
     }
 
     #[test]

@@ -58,7 +58,6 @@ pub struct Engine<D = TemporalEdgeStore> {
     detector: DiamondDetector,
     stats: EngineStats,
     since_advance: u64,
-    scratch: Vec<Candidate>,
 }
 
 impl Engine {
@@ -88,7 +87,6 @@ impl Engine {
             detector: DiamondDetector::with_algo(config, algo)?,
             stats: EngineStats::default(),
             since_advance: 0,
-            scratch: Vec::new(),
         })
     }
 }
@@ -103,23 +101,58 @@ impl<D: EdgeStore<UserId>> Engine<D> {
             detector: DiamondDetector::new(config)?,
             stats: EngineStats::default(),
             since_advance: 0,
-            scratch: Vec::new(),
         })
     }
 
-    /// Processes one event, returning any candidates.
+    /// Processes one event, returning any candidates — the thin
+    /// single-event wrapper over the same per-event core
+    /// [`Engine::on_events_into`] runs.
     pub fn on_event(&mut self, event: EdgeEvent) -> Vec<Candidate> {
-        self.scratch.clear();
+        let mut out = Vec::new();
+        self.event_into(event, &mut out);
+        out
+    }
+
+    /// Processes a micro-batch in stream order, appending every candidate
+    /// (grouped by event, in event order) to `out`; returns the number
+    /// appended.
+    ///
+    /// **Batch-vs-single contract**: the candidate stream, engine stats,
+    /// and store contents are identical to N [`Engine::on_event`] calls —
+    /// the batch API exists so batch-level costs can be paid once per
+    /// batch by the layers above (one WAL group commit in
+    /// `magicrecs-persist`, one channel drain in the cluster transports),
+    /// not to change semantics. The wheel-expiry cadence ticks per event,
+    /// exactly as the single-event path does.
+    pub fn on_events_into(&mut self, events: &[EdgeEvent], out: &mut Vec<Candidate>) -> usize {
+        let start = out.len();
+        for &event in events {
+            self.event_into(event, out);
+        }
+        out.len() - start
+    }
+
+    /// [`Engine::on_events_into`] collecting into a fresh vector.
+    pub fn on_events(&mut self, events: &[EdgeEvent]) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        self.on_events_into(events, &mut out);
+        out
+    }
+
+    /// The per-event core shared by the single and batched entry points.
+    fn event_into(&mut self, event: EdgeEvent, out: &mut Vec<Candidate>) {
+        let before = out.len();
         let start = std::time::Instant::now();
         self.detector
-            .on_event_into(&self.graph, &mut self.store, event, &mut self.scratch);
+            .on_event_into(&self.graph, &mut self.store, event, out);
         let elapsed = start.elapsed().as_micros() as u64;
+        let emitted = out.len() - before;
 
         self.stats.events.incr();
         self.stats.detect_time.record(elapsed);
-        if !self.scratch.is_empty() {
+        if emitted > 0 {
             self.stats.firing_events.incr();
-            self.stats.candidates.add(self.scratch.len() as u64);
+            self.stats.candidates.add(emitted as u64);
         }
 
         self.since_advance += 1;
@@ -127,7 +160,6 @@ impl<D: EdgeStore<UserId>> Engine<D> {
             self.store.advance(event.created_at);
             self.since_advance = 0;
         }
-        std::mem::take(&mut self.scratch)
     }
 
     /// Processes a whole trace, collecting all candidates.
@@ -151,6 +183,15 @@ impl<D: EdgeStore<UserId>> Engine<D> {
         } else {
             self.store.remove(event.src, event.dst);
         }
+    }
+
+    /// [`Engine::apply_to_store`] for a micro-batch: maximal insertion
+    /// runs go through [`EdgeStore::insert_batch`] (a removal flushes the
+    /// pending run first, so per-target op order is preserved). This is
+    /// the recovery-replay and replica fast path.
+    pub fn apply_to_store_batch(&mut self, events: &[EdgeEvent]) {
+        let mut scratch = Vec::with_capacity(events.len());
+        magicrecs_temporal::apply_events_batch(&mut self.store, events, &mut scratch);
     }
 
     /// Hot-swaps the static graph, returning the previous one.
@@ -358,6 +399,97 @@ mod tests {
         reference.on_event(EdgeEvent::follow(u(12), c, ts(11)));
         let want = reference.on_event(EdgeEvent::follow(u(12), c, ts(12)));
         assert_eq!(after, want);
+    }
+
+    #[test]
+    fn on_events_matches_single_events() {
+        // Candidate stream, stats, and store contents must be identical
+        // whether a trace goes through one on_events call per chunk or
+        // one on_event call per event — including same-target repeats
+        // inside a chunk.
+        let trace: Vec<EdgeEvent> = (0..500u64)
+            .map(|i| {
+                if i % 29 == 0 {
+                    EdgeEvent::unfollow(u(11), u(900 + i % 7), ts(10 + i))
+                } else {
+                    EdgeEvent::follow(u(11 + i % 3), u(900 + i % 7), ts(10 + i))
+                }
+            })
+            .collect();
+        let mut single = Engine::new(small_graph(), DetectorConfig::example()).unwrap();
+        let mut batched = Engine::new(small_graph(), DetectorConfig::example()).unwrap();
+        let mut want = Vec::new();
+        for &e in &trace {
+            want.extend(single.on_event(e));
+        }
+        let mut got = Vec::new();
+        for chunk in trace.chunks(37) {
+            batched.on_events_into(chunk, &mut got);
+        }
+        assert_eq!(got, want);
+        assert_eq!(single.stats().events.get(), batched.stats().events.get());
+        assert_eq!(
+            single.stats().candidates.get(),
+            batched.stats().candidates.get()
+        );
+        assert_eq!(
+            single.stats().firing_events.get(),
+            batched.stats().firing_events.get()
+        );
+        assert_eq!(
+            single.stats().detect_time.count(),
+            batched.stats().detect_time.count()
+        );
+        assert_eq!(
+            single.store().resident_entries(),
+            batched.store().resident_entries()
+        );
+        assert_eq!(single.store().stats(), batched.store().stats());
+    }
+
+    #[test]
+    fn on_events_crosses_advance_boundary_like_single_events() {
+        // > ADVANCE_EVERY events in one call: the periodic advance must
+        // fire mid-batch at the same cadence the single path uses.
+        let trace: Vec<EdgeEvent> = (0..2100u64)
+            .map(|i| EdgeEvent::follow(u(11), u(10_000 + i), ts(i * 10)))
+            .collect();
+        let mut single = Engine::new(small_graph(), DetectorConfig::example()).unwrap();
+        let mut batched = Engine::new(small_graph(), DetectorConfig::example()).unwrap();
+        for &e in &trace {
+            single.on_event(e);
+        }
+        batched.on_events(&trace);
+        assert_eq!(
+            single.store().resident_targets(),
+            batched.store().resident_targets()
+        );
+        assert_eq!(single.store().stats(), batched.store().stats());
+        assert!(batched.store().resident_targets() < 200, "advance must run");
+    }
+
+    #[test]
+    fn apply_to_store_batch_matches_single_applies() {
+        let trace: Vec<EdgeEvent> = (0..300u64)
+            .map(|i| {
+                if i % 13 == 0 {
+                    EdgeEvent::unfollow(u(1 + i % 5), u(100 + i % 9), ts(i))
+                } else {
+                    EdgeEvent::follow(u(1 + i % 5), u(100 + i % 9), ts(i))
+                }
+            })
+            .collect();
+        let mut single = Engine::new(small_graph(), DetectorConfig::example()).unwrap();
+        let mut batched = Engine::new(small_graph(), DetectorConfig::example()).unwrap();
+        for &e in &trace {
+            single.apply_to_store(e);
+        }
+        batched.apply_to_store_batch(&trace);
+        assert_eq!(
+            single.store().resident_entries(),
+            batched.store().resident_entries()
+        );
+        assert_eq!(single.store().stats(), batched.store().stats());
     }
 
     #[test]

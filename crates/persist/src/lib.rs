@@ -79,6 +79,6 @@ pub mod wal;
 
 pub use checkpoint::{load_latest_checkpoint, write_checkpoint, Checkpoint};
 pub use recovery::{PersistOptions, PersistentConcurrentEngine, PersistentEngine, RecoveryReport};
-pub use snapshot::SnapshotStore;
+pub use snapshot::{RebasePolicy, SnapshotStore};
 pub use tempdir::TempDir;
 pub use wal::{FsyncPolicy, RecordBoundary, ReplayStats, SharedWal, Wal, WalOptions};

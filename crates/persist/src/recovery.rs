@@ -31,7 +31,7 @@
 //! partition — and targets are route-sticky — for the shared engine).
 
 use crate::checkpoint::{load_latest_checkpoint, write_checkpoint};
-use crate::snapshot::SnapshotStore;
+use crate::snapshot::{RebasePolicy, SnapshotStore};
 use crate::wal::{self, FsyncPolicy, SharedWal, Wal, WalOptions};
 use magicrecs_core::{ConcurrentEngine, Engine};
 use magicrecs_graph::{CapStrategy, FollowGraph, GraphDelta};
@@ -56,6 +56,10 @@ pub struct PersistOptions {
     /// thread between drained batches, or segments are reclaimed only up
     /// to the sealing checkpoint recovery itself writes.
     pub checkpoint_every: u64,
+    /// When `publish_graph_delta` folds the delta chain into a fresh
+    /// base automatically (see [`RebasePolicy`]);
+    /// [`RebasePolicy::DISABLED`] leaves compaction to the operator.
+    pub rebase: RebasePolicy,
 }
 
 impl Default for PersistOptions {
@@ -64,6 +68,7 @@ impl Default for PersistOptions {
             fsync: FsyncPolicy::EveryN(256),
             segment_bytes: 1 << 20,
             checkpoint_every: 4096,
+            rebase: RebasePolicy::default(),
         }
     }
 }
@@ -100,18 +105,34 @@ pub struct RecoveryReport {
 
 const SEQ_WAL_PREFIX: &str = "wal-";
 
-/// Restores the newest `D` checkpoint through `apply`, returning
+/// How many replayed events accumulate before a batched store apply —
+/// bounds the replay buffer while still amortizing shard locking.
+const REPLAY_APPLY_CHUNK: usize = 4096;
+
+/// Restores the newest `D` checkpoint through `apply_batch` in
+/// [`REPLAY_APPLY_CHUNK`]-bounded batches (checkpoint entries are all
+/// insertions, so each chunk is one
+/// [`magicrecs_temporal::EdgeStore::insert_batch`]-shaped apply without
+/// ever materializing a second full copy of the checkpoint), returning
 /// `(min_seq, checkpoint_seq, entries_restored)` — the WAL replay bound
 /// shared by both engines' recovery paths.
 fn restore_checkpoint(
     dir: &Path,
-    mut apply: impl FnMut(EdgeEvent),
+    mut apply_batch: impl FnMut(&[EdgeEvent]),
 ) -> Result<(u64, Option<u64>, u64)> {
     Ok(match load_latest_checkpoint(dir)? {
         Some(ck) => {
             let n = ck.entries.len() as u64;
-            for (dst, src, at) in ck.entries {
-                apply(EdgeEvent::follow(src, dst, at));
+            let mut buf: Vec<EdgeEvent> =
+                Vec::with_capacity(REPLAY_APPLY_CHUNK.min(ck.entries.len()));
+            for chunk in ck.entries.chunks(REPLAY_APPLY_CHUNK) {
+                buf.clear();
+                buf.extend(
+                    chunk
+                        .iter()
+                        .map(|&(dst, src, at)| EdgeEvent::follow(src, dst, at)),
+                );
+                apply_batch(&buf);
             }
             (ck.last_seq + 1, Some(ck.last_seq), n)
         }
@@ -157,6 +178,7 @@ pub struct PersistentEngine {
     epoch: u64,
     checkpoint_every: u64,
     since_checkpoint: u64,
+    rebase: RebasePolicy,
     /// WAL sequence the newest on-disk checkpoint covers.
     checkpoint_seq: Option<u64>,
 }
@@ -188,6 +210,7 @@ impl PersistentEngine {
             epoch,
             checkpoint_every: opts.checkpoint_every,
             since_checkpoint: 0,
+            rebase: opts.rebase,
             checkpoint_seq: None,
         })
     }
@@ -208,16 +231,24 @@ impl PersistentEngine {
         let mut engine = Engine::new(loaded.graph, config)?;
 
         let (min_seq, checkpoint_seq, checkpoint_entries) =
-            restore_checkpoint(dir, |e| engine.apply_to_store(e))?;
+            restore_checkpoint(dir, |events| engine.apply_to_store_batch(events))?;
 
         let mut replayed = 0u64;
         // Contiguity-checked: the sequential log is dense from seq 0, so
         // a hole (lost middle segment) must refuse recovery rather than
-        // silently rebuild `D` without those events.
+        // silently rebuild `D` without those events. Applies land in
+        // bounded batches (the replay fast path — no per-event store
+        // round trip).
+        let mut replay_buf: Vec<EdgeEvent> = Vec::with_capacity(REPLAY_APPLY_CHUNK);
         let stats = wal::replay_contiguous(dir, SEQ_WAL_PREFIX, min_seq, |record| {
-            engine.apply_to_store(record.event);
+            replay_buf.push(record.event);
             replayed += 1;
+            if replay_buf.len() >= REPLAY_APPLY_CHUNK {
+                engine.apply_to_store_batch(&replay_buf);
+                replay_buf.clear();
+            }
         })?;
+        engine.apply_to_store_batch(&replay_buf);
         // Floor at the checkpoint's coverage: a fully-reclaimed log must
         // not restart sequences at 0 below what the checkpoint claims —
         // a later recovery's `min_seq` filter would silently skip them.
@@ -240,6 +271,7 @@ impl PersistentEngine {
                 epoch: loaded.epoch,
                 checkpoint_every: opts.checkpoint_every,
                 since_checkpoint: 0,
+                rebase: opts.rebase,
                 checkpoint_seq,
             },
             report,
@@ -248,14 +280,42 @@ impl PersistentEngine {
 
     /// Processes one event durably: WAL append first (write-ahead), then
     /// detection; an automatic checkpoint lands every `checkpoint_every`
-    /// events.
+    /// events. The single-event wrapper over
+    /// [`PersistentEngine::on_events_into`].
     pub fn on_event(&mut self, event: EdgeEvent) -> Result<Vec<Candidate>> {
-        self.wal.append(event)?;
-        let out = self.engine.on_event(event);
-        self.since_checkpoint += 1;
+        let mut out = Vec::new();
+        self.on_events_into(std::slice::from_ref(&event), &mut out)?;
+        Ok(out)
+    }
+
+    /// Processes a micro-batch durably: the **whole batch is
+    /// written ahead with one group commit** ([`Wal::append_batch`] — one
+    /// `write(2)`, one fsync-policy pass) before any detection runs, so
+    /// the batch is a single durability point; then the engine detects
+    /// the slice ([`Engine::on_events_into`], identical candidates to N
+    /// single events). Checkpoint cadence is counted in *events*, not
+    /// batches — a batch that crosses the cadence boundary checkpoints at
+    /// its end (the cadence is a replay-cost bound, not a semantic
+    /// boundary; the kill-point matrix covers batches straddling it).
+    pub fn on_events_into(
+        &mut self,
+        events: &[EdgeEvent],
+        out: &mut Vec<Candidate>,
+    ) -> Result<usize> {
+        self.wal.append_batch(events)?;
+        let emitted = self.engine.on_events_into(events, out);
+        self.since_checkpoint += events.len() as u64;
         if self.checkpoint_every > 0 && self.since_checkpoint >= self.checkpoint_every {
             self.checkpoint()?;
         }
+        Ok(emitted)
+    }
+
+    /// [`PersistentEngine::on_events_into`] collecting into a fresh
+    /// vector.
+    pub fn on_events(&mut self, events: &[EdgeEvent]) -> Result<Vec<Candidate>> {
+        let mut out = Vec::new();
+        self.on_events_into(events, &mut out)?;
         Ok(out)
     }
 
@@ -294,6 +354,12 @@ impl PersistentEngine {
     /// joins the chain on disk, then the in-memory `S` refreshes via
     /// [`Engine::swap_graph_delta`]. The delta must extend the current
     /// epoch.
+    ///
+    /// When the chain outgrows the configured [`RebasePolicy`], the
+    /// current graph is republished as a fresh base at the new epoch and
+    /// the superseded files are compacted — recovery cost stays bounded
+    /// by the policy, and orphaned (delta-removed) vertices leave the
+    /// on-disk interner with the rebase.
     pub fn publish_graph_delta(&mut self, delta: &GraphDelta) -> Result<()> {
         if delta.base_epoch != self.epoch {
             return Err(Error::Invariant(format!(
@@ -304,6 +370,11 @@ impl PersistentEngine {
         self.snapshots.publish_delta(delta)?;
         self.engine.swap_graph_delta(delta)?;
         self.epoch = delta.target_epoch;
+        if self.snapshots.should_rebase(self.rebase)? {
+            self.snapshots
+                .publish_base(self.epoch, self.engine.graph())?;
+            self.snapshots.compact()?;
+        }
         Ok(())
     }
 
@@ -349,6 +420,7 @@ pub struct PersistentConcurrentEngine {
     wal: SharedWal,
     snapshots: SnapshotStore,
     dir: PathBuf,
+    rebase: RebasePolicy,
     state: Mutex<ConcurrentPersistState>,
 }
 
@@ -379,6 +451,7 @@ impl PersistentConcurrentEngine {
             wal,
             snapshots,
             dir: dir.to_path_buf(),
+            rebase: opts.rebase,
             state: Mutex::new(ConcurrentPersistState {
                 epoch,
                 checkpoint_seq: None,
@@ -402,13 +475,19 @@ impl PersistentConcurrentEngine {
         let engine = ConcurrentEngine::new(loaded.graph, config)?;
 
         let (min_seq, checkpoint_seq, checkpoint_entries) =
-            restore_checkpoint(dir, |e| engine.apply_to_store(e))?;
+            restore_checkpoint(dir, |events| engine.apply_to_store_batch(events))?;
 
         let mut replayed = 0u64;
+        let mut replay_buf: Vec<EdgeEvent> = Vec::with_capacity(REPLAY_APPLY_CHUNK);
         let stats = SharedWal::replay_merged(dir, parts, min_seq, |record| {
-            engine.apply_to_store(record.event);
+            replay_buf.push(record.event);
             replayed += 1;
+            if replay_buf.len() >= REPLAY_APPLY_CHUNK {
+                engine.apply_to_store_batch(&replay_buf);
+                replay_buf.clear();
+            }
         })?;
+        engine.apply_to_store_batch(&replay_buf);
         // Same floor rationale as the sequential path: never resume the
         // global sequence below what the checkpoint covers.
         let wal = SharedWal::open_with_floor(dir, parts, opts.wal(), min_seq)?;
@@ -452,6 +531,7 @@ impl PersistentConcurrentEngine {
                 wal,
                 snapshots,
                 dir: dir.to_path_buf(),
+                rebase: opts.rebase,
                 state: Mutex::new(ConcurrentPersistState {
                     epoch: loaded.epoch,
                     checkpoint_seq: sealed_seq,
@@ -484,6 +564,31 @@ impl PersistentConcurrentEngine {
     pub fn on_event(&self, event: EdgeEvent) -> Result<Vec<Candidate>> {
         let mut out = Vec::new();
         self.on_event_into(event, &mut out)?;
+        Ok(out)
+    }
+
+    /// Processes a micro-batch durably through `&self`: the whole batch
+    /// is **written ahead with one group commit**
+    /// ([`SharedWal::append_batch`] — each touched partition lock taken
+    /// once, one `write(2)` and a dense global-sequence run per
+    /// partition) before any detection runs, then the engine detects the
+    /// slice against one pinned `S` snapshot
+    /// ([`ConcurrentEngine::on_events_into`]).
+    ///
+    /// Same precondition as [`PersistentConcurrentEngine::on_event_into`]:
+    /// per-target submission must be single-threaded (a route-sticky
+    /// transport gives this by construction — and batches drained from
+    /// one route's queue trivially preserve it).
+    pub fn on_events_into(&self, events: &[EdgeEvent], out: &mut Vec<Candidate>) -> Result<usize> {
+        self.wal.append_batch(events)?;
+        Ok(self.engine.on_events_into(events, out))
+    }
+
+    /// [`PersistentConcurrentEngine::on_events_into`] collecting into a
+    /// fresh vector.
+    pub fn on_events(&self, events: &[EdgeEvent]) -> Result<Vec<Candidate>> {
+        let mut out = Vec::new();
+        self.on_events_into(events, &mut out)?;
         Ok(out)
     }
 
@@ -520,8 +625,9 @@ impl PersistentConcurrentEngine {
     }
 
     /// Applies and durably publishes a snapshot delta (see
-    /// [`PersistentEngine::publish_graph_delta`]; publication is
-    /// serialized on the internal state lock).
+    /// [`PersistentEngine::publish_graph_delta`], including the automatic
+    /// rebase when the chain outgrows the configured [`RebasePolicy`];
+    /// publication is serialized on the internal state lock).
     pub fn publish_graph_delta(&self, delta: &GraphDelta) -> Result<()> {
         let mut state = self.state.lock();
         if delta.base_epoch != state.epoch {
@@ -533,6 +639,11 @@ impl PersistentConcurrentEngine {
         self.snapshots.publish_delta(delta)?;
         self.engine.swap_graph_delta(delta)?;
         state.epoch = delta.target_epoch;
+        if self.snapshots.should_rebase(self.rebase)? {
+            self.snapshots
+                .publish_base(state.epoch, &self.engine.graph())?;
+            self.snapshots.compact()?;
+        }
         Ok(())
     }
 
@@ -589,6 +700,7 @@ mod tests {
             fsync: FsyncPolicy::Never,
             segment_bytes: 4096,
             checkpoint_every: 64,
+            rebase: RebasePolicy::DISABLED,
         }
     }
 
@@ -767,9 +879,7 @@ mod tests {
         let t = TempDir::new("pe");
         {
             let shared = crate::wal::SharedWal::create(t.path(), 2, opts().wal()).unwrap();
-            shared
-                .append(EdgeEvent::follow(u(1), u(2), ts(3)))
-                .unwrap();
+            shared.append(EdgeEvent::follow(u(1), u(2), ts(3))).unwrap();
         }
         assert!(PersistentEngine::create(
             t.path(),
@@ -786,7 +896,10 @@ mod tests {
                 (!name.ends_with(".wal")).then_some(name)
             })
             .collect();
-        assert!(published.is_empty(), "refusal must not publish: {published:?}");
+        assert!(
+            published.is_empty(),
+            "refusal must not publish: {published:?}"
+        );
     }
 
     #[test]
@@ -878,6 +991,208 @@ mod tests {
             reopened.engine().graph().num_follow_edges(),
             small_graph().num_follow_edges()
         );
+    }
+
+    /// Edge list of a graph, as raw id pairs.
+    fn edges_of(g: &FollowGraph) -> Vec<(u64, u64)> {
+        g.iter_forward()
+            .flat_map(|(a, ts)| {
+                ts.into_iter()
+                    .map(move |b| (a.raw(), b.raw()))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    fn build(edges: &[(u64, u64)]) -> FollowGraph {
+        let mut b = GraphBuilder::new();
+        b.extend(edges.iter().map(|&(a, bb)| (u(a), u(bb))));
+        b.build()
+    }
+
+    #[test]
+    fn long_delta_chain_triggers_rebase_and_drops_orphans() {
+        let t = TempDir::new("pe");
+        let o = PersistOptions {
+            rebase: RebasePolicy {
+                max_chain_len: 3,
+                max_delta_bytes_ratio: 0.0,
+            },
+            ..opts()
+        };
+        // Vertex 9 → 99 exists only in the base; the first delta removes
+        // it, orphaning both endpoints in the interner until a rebase.
+        let g0 = build(&[(1, 11), (1, 12), (9, 99)]);
+        let mut pe =
+            PersistentEngine::create(t.path(), g0.clone(), 0, DetectorConfig::example(), o)
+                .unwrap();
+        let mut current = g0;
+        for epoch in 0..3u64 {
+            let mut edges = edges_of(&current);
+            if epoch == 0 {
+                edges.retain(|&(a, _)| a != 9);
+            }
+            edges.push((10 + epoch, 500 + epoch));
+            let next = build(&edges);
+            let delta = GraphDelta::between(&current, &next, epoch, epoch + 1).unwrap();
+            pe.publish_graph_delta(&delta).unwrap();
+            current = next;
+        }
+        assert_eq!(pe.epoch(), 3);
+        // In memory the orphan stays interned (dense ids must not move
+        // mid-flight) …
+        assert!(pe.engine().graph().dense_of(u(9)).is_some());
+
+        // … but the third publish crossed the chain-length threshold, so
+        // the chain was folded into a fresh base and compacted: exactly
+        // one base, no deltas, and the orphan is gone from the on-disk
+        // interner.
+        let store = SnapshotStore::new(t.path()).unwrap();
+        assert!(!store
+            .should_rebase(RebasePolicy {
+                max_chain_len: 1,
+                max_delta_bytes_ratio: 0.0,
+            })
+            .unwrap());
+        let loaded = store.load_latest(CapStrategy::None).unwrap();
+        assert_eq!(loaded.epoch, 3);
+        assert_eq!(loaded.deltas_applied, 0, "chain must be folded away");
+        assert!(loaded.graph.dense_of(u(9)).is_none(), "orphan interned");
+        assert!(loaded.graph.dense_of(u(99)).is_none(), "orphan interned");
+        assert_eq!(loaded.graph.num_follow_edges(), current.num_follow_edges());
+        pe.close().unwrap();
+
+        // Recovery picks up the rebased base and continues.
+        let (reopened, report) =
+            PersistentEngine::open(t.path(), DetectorConfig::example(), CapStrategy::None, o)
+                .unwrap();
+        assert_eq!(report.snapshot_epoch, 3);
+        assert_eq!(report.deltas_applied, 0);
+        assert!(reopened.engine().graph().dense_of(u(9)).is_none());
+    }
+
+    #[test]
+    fn on_events_batch_is_one_durability_unit_with_candidate_parity() {
+        let t_single = TempDir::new("pe-s");
+        let t_batch = TempDir::new("pe-b");
+        let o = PersistOptions {
+            segment_bytes: 2048,  // batches straddle segment rolls
+            checkpoint_every: 70, // and checkpoint cadence boundaries
+            ..opts()
+        };
+        let events = trace(400);
+        let mut single = PersistentEngine::create(
+            t_single.path(),
+            small_graph(),
+            0,
+            DetectorConfig::example(),
+            o,
+        )
+        .unwrap();
+        let mut batched = PersistentEngine::create(
+            t_batch.path(),
+            small_graph(),
+            0,
+            DetectorConfig::example(),
+            o,
+        )
+        .unwrap();
+        let mut want = Vec::new();
+        for &e in &events {
+            want.extend(single.on_event(e).unwrap());
+        }
+        let mut got = Vec::new();
+        for chunk in events.chunks(33) {
+            batched.on_events_into(chunk, &mut got).unwrap();
+        }
+        assert_eq!(got, want, "batched candidate stream diverges");
+        assert_eq!(single.next_seq(), batched.next_seq());
+        single.close().unwrap();
+        batched.close().unwrap();
+
+        // Both logs recover to identical continuations.
+        let (mut rs, rep_s) = PersistentEngine::open(
+            t_single.path(),
+            DetectorConfig::example(),
+            CapStrategy::None,
+            o,
+        )
+        .unwrap();
+        let (mut rb, rep_b) = PersistentEngine::open(
+            t_batch.path(),
+            DetectorConfig::example(),
+            CapStrategy::None,
+            o,
+        )
+        .unwrap();
+        assert_eq!(rep_s.next_seq, rep_b.next_seq);
+        let next = EdgeEvent::follow(u(12), u(900), ts(2_000));
+        assert_eq!(rs.on_event(next).unwrap(), rb.on_event(next).unwrap());
+    }
+
+    #[test]
+    fn concurrent_on_events_matches_single_and_recovers() {
+        let o = opts();
+        let events = trace(300);
+        let t_single = TempDir::new("pce-s");
+        let t_batch = TempDir::new("pce-b");
+        let single = PersistentConcurrentEngine::create(
+            t_single.path(),
+            small_graph(),
+            0,
+            DetectorConfig::example(),
+            4,
+            o,
+        )
+        .unwrap();
+        let batched = PersistentConcurrentEngine::create(
+            t_batch.path(),
+            small_graph(),
+            0,
+            DetectorConfig::example(),
+            4,
+            o,
+        )
+        .unwrap();
+        let mut want = Vec::new();
+        for &e in &events {
+            single.on_event_into(e, &mut want).unwrap();
+        }
+        let mut got = Vec::new();
+        for chunk in events.chunks(29) {
+            batched.on_events_into(chunk, &mut got).unwrap();
+        }
+        assert_eq!(got, want);
+        assert_eq!(single.next_seq(), batched.next_seq());
+        single.sync().unwrap();
+        batched.sync().unwrap();
+        drop(single);
+        drop(batched);
+
+        // The batched log replays to the same store state.
+        let (rs, rep_s) = PersistentConcurrentEngine::open(
+            t_single.path(),
+            DetectorConfig::example(),
+            CapStrategy::None,
+            4,
+            o,
+        )
+        .unwrap();
+        let (rb, rep_b) = PersistentConcurrentEngine::open(
+            t_batch.path(),
+            DetectorConfig::example(),
+            CapStrategy::None,
+            4,
+            o,
+        )
+        .unwrap();
+        assert_eq!(rep_s.replayed, rep_b.replayed);
+        assert_eq!(
+            rs.engine().store().resident_entries(),
+            rb.engine().store().resident_entries()
+        );
+        let next = EdgeEvent::follow(u(12), u(901), ts(2_000));
+        assert_eq!(rs.on_event(next).unwrap(), rb.on_event(next).unwrap());
     }
 
     #[test]

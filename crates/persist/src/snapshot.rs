@@ -20,6 +20,43 @@ use std::path::{Path, PathBuf};
 /// A delta file entry discovered by the directory scan.
 type DeltaFile = (u64, u64, PathBuf);
 
+/// When a delta chain should be folded into a fresh base (rebase
+/// cadence). Nothing rebases while both thresholds hold; crossing either
+/// one makes [`SnapshotStore::should_rebase`] answer `true`, and
+/// `PersistentEngine::publish_graph_delta` then republishes the current
+/// graph as a base and [`SnapshotStore::compact`]s the superseded files —
+/// which is also the moment orphaned (delta-removed, edge-less) vertices
+/// leave the on-disk interner: a base is saved from its edge rows, so a
+/// reload after rebase no longer interns them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebasePolicy {
+    /// Rebase once the chain holds this many delta links (`0` disables
+    /// the length check). Each link is a startup-apply cost, so this
+    /// bounds recovery time.
+    pub max_chain_len: usize,
+    /// Rebase once the chain's delta files total this fraction of the
+    /// base file's size (`0.0` disables the size check). Past ~1× the
+    /// chain costs more disk and apply time than the base it amends.
+    pub max_delta_bytes_ratio: f64,
+}
+
+impl RebasePolicy {
+    /// Never rebase automatically (the operator compacts by hand).
+    pub const DISABLED: RebasePolicy = RebasePolicy {
+        max_chain_len: 0,
+        max_delta_bytes_ratio: 0.0,
+    };
+}
+
+impl Default for RebasePolicy {
+    fn default() -> Self {
+        RebasePolicy {
+            max_chain_len: 8,
+            max_delta_bytes_ratio: 0.5,
+        }
+    }
+}
+
 /// A directory of `S` snapshot bases and deltas.
 #[derive(Debug, Clone)]
 pub struct SnapshotStore {
@@ -171,6 +208,50 @@ impl SnapshotStore {
         })
     }
 
+    /// Whether the current delta chain has outgrown `policy` and should
+    /// be folded into a fresh base (see [`RebasePolicy`]). Walks file
+    /// names and sizes only — no snapshot bytes are decoded. A directory
+    /// with no base (or no chain) never wants a rebase.
+    pub fn should_rebase(&self, policy: RebasePolicy) -> Result<bool> {
+        if policy == RebasePolicy::DISABLED {
+            return Ok(false);
+        }
+        let (bases, deltas) = self.scan()?;
+        let Some(&base_epoch) = bases.last() else {
+            return Ok(false);
+        };
+        let file_len = |p: &Path| -> Result<u64> {
+            Ok(std::fs::metadata(p)
+                .map_err(|e| Error::Io(format!("snapshot stat: {e}")))?
+                .len())
+        };
+        // Follow the chain rooted at the newest base, by name. Ambiguous
+        // chains (two deltas off one epoch) are a load-time error; here
+        // the first match is enough — the walk only sizes the chain.
+        let mut by_base: BTreeMap<u64, (u64, PathBuf)> = BTreeMap::new();
+        for (base, target, path) in deltas.into_iter().filter(|&(b, _, _)| b >= base_epoch) {
+            by_base.entry(base).or_insert((target, path));
+        }
+        let mut epoch = base_epoch;
+        let mut chain_len = 0usize;
+        let mut delta_bytes = 0u64;
+        while let Some((target, path)) = by_base.remove(&epoch) {
+            chain_len += 1;
+            delta_bytes += file_len(&path)?;
+            epoch = target;
+        }
+        if policy.max_chain_len > 0 && chain_len >= policy.max_chain_len {
+            return Ok(true);
+        }
+        if policy.max_delta_bytes_ratio > 0.0 && chain_len > 0 {
+            let base_bytes = file_len(&self.base_path(base_epoch))?;
+            if delta_bytes as f64 >= policy.max_delta_bytes_ratio * base_bytes as f64 {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
     /// Deletes bases older than the newest and deltas that can no longer
     /// participate in its chain. Returns files removed.
     pub fn compact(&self) -> Result<usize> {
@@ -282,6 +363,63 @@ mod tests {
         let err = store.load_latest(CapStrategy::None).unwrap_err();
         assert!(matches!(err, Error::Corrupt(_)), "{err:?}");
         assert!(err.to_string().contains("gap"), "{err}");
+    }
+
+    #[test]
+    fn should_rebase_tracks_chain_length_and_bytes() {
+        let t = TempDir::new("snap");
+        let store = SnapshotStore::new(t.path()).unwrap();
+        let len_only = RebasePolicy {
+            max_chain_len: 3,
+            max_delta_bytes_ratio: 0.0,
+        };
+        // No base, no chain: never.
+        assert!(!store.should_rebase(len_only).unwrap());
+        assert!(!store.should_rebase(RebasePolicy::default()).unwrap());
+
+        let mut graphs = vec![build(&[(1, 11), (2, 12), (3, 13), (4, 14)])];
+        store.publish_base(0, &graphs[0]).unwrap();
+        assert!(!store.should_rebase(len_only).unwrap());
+        for i in 1..=3u64 {
+            let next = {
+                let mut edges: Vec<(u64, u64)> = graphs[i as usize - 1]
+                    .iter_forward()
+                    .flat_map(|(a, ts)| {
+                        ts.into_iter()
+                            .map(move |b| (a.raw(), b.raw()))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                edges.push((100 + i, 200 + i));
+                build(&edges)
+            };
+            store
+                .publish_delta(
+                    &GraphDelta::between(&graphs[i as usize - 1], &next, i - 1, i).unwrap(),
+                )
+                .unwrap();
+            graphs.push(next);
+            let want = i as usize >= 3;
+            assert_eq!(
+                store.should_rebase(len_only).unwrap(),
+                want,
+                "chain length {i}"
+            );
+        }
+        // The bytes-ratio check fires for a chain whose files rival the
+        // base: a tiny base with three deltas easily crosses 0.1×.
+        let ratio_only = RebasePolicy {
+            max_chain_len: 0,
+            max_delta_bytes_ratio: 0.1,
+        };
+        assert!(store.should_rebase(ratio_only).unwrap());
+        // DISABLED short-circuits no matter what the directory holds.
+        assert!(!store.should_rebase(RebasePolicy::DISABLED).unwrap());
+        // After compacting onto a fresh base the chain is gone.
+        store.publish_base(3, &graphs[3]).unwrap();
+        store.compact().unwrap();
+        assert!(!store.should_rebase(len_only).unwrap());
+        assert!(!store.should_rebase(ratio_only).unwrap());
     }
 
     #[test]

@@ -9,6 +9,32 @@
 //! reclaimed — the log is bounded by `τ` + checkpoint cadence, not by
 //! uptime.
 //!
+//! ## Group commit
+//!
+//! [`Wal::append_batch`] is the hot-path entry point: it encodes all N
+//! frames of a micro-batch into the one reused buffer, assigns a dense
+//! run of sequences, and lands them with a **single `write(2)`** —
+//! [`Wal::append`] is the N = 1 special case of the same code path, so a
+//! batch's segment bytes are byte-identical to N single appends. The
+//! only places a batch's write splits are a segment roll or an interior
+//! [`FsyncPolicy::EveryN`] `n`-record mark (huge batches only).
+//!
+//! Durability is what batching actually amortizes: **a batch is one
+//! durability unit** — the [`FsyncPolicy`] ticks once per append *call*,
+//! so `EveryN(n)` syncs every `n` batches instead of every `n` records
+//! (per-event appends are one-record batches, keeping the historical
+//! per-record cadence exactly). What a batch may never do is defer more
+//! than `n` records inside one call: an `EveryN(n)` batch of `N ≥ n`
+//! records syncs at every interior `n`-record boundary — `⌈N/n⌉` syncs
+//! for an `n`-aligned batch, each on a record boundary, never mid-frame
+//! (regression-tested). See [`FsyncPolicy`] for the exposure-bound
+//! contract this trades.
+//!
+//! [`SharedWal::append_batch`] pre-partitions a batch by the hash route,
+//! takes each partition lock **at most once**, and assigns each
+//! partition's sub-batch a dense run of global sequences under that one
+//! lock hold.
+//!
 //! Crash semantics: a torn record at the very end of the newest segment is
 //! the expected signature of a crash mid-append — scanning stops there and
 //! [`Wal::open`] truncates it away before appending resumes. Torn or
@@ -32,14 +58,27 @@ const HEADER_LEN: u64 = 16;
 const MAX_RECORD_LEN: u32 = 1 << 16;
 
 /// When appended records are pushed to durable storage.
+///
+/// The policy counts **durability units**, not records: one
+/// [`Wal::append`] is one unit, and one [`Wal::append_batch`] is one
+/// unit no matter how many records it carries (group commit — the batch
+/// succeeds or tears as a whole, so syncing inside it buys nothing).
+/// With per-event appends this is exactly the historical per-record
+/// behavior; with micro-batches the caller chooses its own exposure by
+/// choosing the batch size. One cap keeps huge batches honest: a single
+/// call never defers more than `n` records — an [`FsyncPolicy::EveryN`]
+/// batch of `N ≥ n` records syncs at every interior `n`-record boundary
+/// (`⌈N/n⌉` syncs for an `n`-aligned batch), always on a record
+/// boundary, never mid-frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FsyncPolicy {
-    /// `fdatasync` after every append. Maximal durability, minimal
-    /// throughput.
+    /// `fdatasync` after every append call (a batch is one call — the
+    /// classic group commit). Maximal durability, minimal throughput.
     Always,
-    /// `fdatasync` every `n` appends and on segment roll/close — the
-    /// production default; at most `n` events (minus what the OS already
-    /// wrote back) are exposed to power loss.
+    /// `fdatasync` every `n` durability units and on segment roll/close —
+    /// the production default; at most `n` un-synced units (minus what
+    /// the OS already wrote back) are exposed to power loss: `n` events
+    /// under per-event appends, `n` micro-batches under batched ingest.
     EveryN(u64),
     /// Never sync explicitly; the OS flushes on its own schedule. For
     /// tests and benches.
@@ -100,10 +139,11 @@ fn io_err(context: &str, e: std::io::Error) -> Error {
     Error::Io(format!("{context}: {e}"))
 }
 
-/// Encodes a full `len | crc32 | payload` frame into `buf` (reused
-/// across appends — one buffer, no per-event allocation).
+/// Appends a full `len | crc32 | payload` frame at `buf`'s current end
+/// (the buffer is reused across appends and shared by a whole batch —
+/// one buffer, one eventual `write(2)`, no per-event allocation).
 fn encode_frame(buf: &mut Vec<u8>, seq: u64, event: EdgeEvent) {
-    buf.clear();
+    let base = buf.len();
     buf.extend_from_slice(&[0u8; 8]); // len + crc backfilled below
     write_varint(buf, seq).expect("vec write is infallible");
     let kind = match event.kind {
@@ -116,10 +156,10 @@ fn encode_frame(buf: &mut Vec<u8>, seq: u64, event: EdgeEvent) {
     write_varint(buf, event.src.raw()).expect("vec write is infallible");
     write_varint(buf, event.dst.raw()).expect("vec write is infallible");
     write_varint(buf, event.created_at.as_micros()).expect("vec write is infallible");
-    let len = (buf.len() - 8) as u32;
-    let crc = crc32(&buf[8..]);
-    buf[0..4].copy_from_slice(&len.to_le_bytes());
-    buf[4..8].copy_from_slice(&crc.to_le_bytes());
+    let len = (buf.len() - base - 8) as u32;
+    let crc = crc32(&buf[base + 8..]);
+    buf[base..base + 4].copy_from_slice(&len.to_le_bytes());
+    buf[base + 4..base + 8].copy_from_slice(&crc.to_le_bytes());
 }
 
 fn decode_payload(mut payload: &[u8]) -> Option<WalRecord> {
@@ -426,6 +466,7 @@ pub struct Wal {
     closed: Vec<ClosedSegment>,
     next_seq: u64,
     appends_since_sync: u64,
+    syncs: u64,
     scratch: Vec<u8>,
     /// Set when a failed append left the active segment in a state this
     /// process cannot repair (garbage bytes past the last record
@@ -468,6 +509,7 @@ impl Wal {
             closed: Vec::new(),
             next_seq: 0,
             appends_since_sync: 0,
+            syncs: 0,
             scratch: Vec::new(),
             poisoned: false,
         })
@@ -543,6 +585,7 @@ impl Wal {
             closed,
             next_seq: next_seq.max(floor),
             appends_since_sync: 0,
+            syncs: 0,
             scratch: Vec::new(),
             poisoned: false,
         })
@@ -561,6 +604,30 @@ impl Wal {
         Ok(seq)
     }
 
+    /// Group commit: appends a whole micro-batch under dense sequences
+    /// `first..first+N`, returning the first. The batch's frames are
+    /// encoded back-to-back into the one reused buffer and land with a
+    /// **single `write(2)`**, splitting only where a single-append stream
+    /// would have acted anyway (a segment roll, or an
+    /// [`FsyncPolicy::EveryN`] sync point — see the module docs): the
+    /// on-disk bytes are identical to N [`Wal::append`] calls, for ~1/N
+    /// of the syscall and policy-bookkeeping cost.
+    ///
+    /// Error contract: a failure before anything landed leaves the log
+    /// at the prior record boundary and is safely retryable, exactly
+    /// like a failed single append. A failure *after* part of the batch
+    /// landed **poisons the WAL** — the call is then half-committed, and
+    /// a retried slice would re-append the landed prefix under fresh
+    /// sequences (recovery would double-apply those events); restart
+    /// through recovery instead, which replays the landed prefix exactly
+    /// once. The fsync-failure poison rules of [`Wal::append_with_seq`]
+    /// apply unchanged.
+    pub fn append_batch(&mut self, events: &[EdgeEvent]) -> Result<u64> {
+        let first = self.next_seq;
+        self.append_batch_with_first_seq(first, events)?;
+        Ok(first)
+    }
+
     /// Appends `event` under an externally-assigned sequence (the shared
     /// engine's global counter). Sequences must be strictly ascending per
     /// WAL.
@@ -577,49 +644,132 @@ impl Wal {
     /// continuation is a restart through recovery, which reconciles
     /// against what the disk actually holds.
     pub fn append_with_seq(&mut self, seq: u64, event: EdgeEvent) -> Result<()> {
+        self.append_batch_with_first_seq(seq, std::slice::from_ref(&event))
+    }
+
+    /// [`Wal::append_batch`] under externally-assigned dense sequences
+    /// `first_seq..first_seq+N` (the shared engine's global counter —
+    /// [`SharedWal::append_batch`] grabs one dense run per partition
+    /// under that partition's lock). This is also the single-append code
+    /// path (`N = 1`), which is what guarantees batch-vs-single byte
+    /// parity of the segment files.
+    ///
+    /// The batch is written in maximal chunks: a chunk ends only where a
+    /// segment roll is due or where a huge batch crosses an interior
+    /// [`FsyncPolicy::EveryN`] `n`-record mark (a single call never
+    /// defers more than `n` records; the interior sync lands on that
+    /// record boundary — never mid-frame). With batch ≤ n and no roll,
+    /// that is one `write(2)` for the whole batch, and the whole call
+    /// counts as **one** fsync-policy durability unit (see
+    /// [`FsyncPolicy`]).
+    pub fn append_batch_with_first_seq(
+        &mut self,
+        first_seq: u64,
+        events: &[EdgeEvent],
+    ) -> Result<()> {
+        // Poison check FIRST, even for an empty slice: `SharedWal`'s
+        // once-retry re-submits the un-landed remainder of a failed
+        // batch, which is empty exactly when everything landed but the
+        // batch-end fsync failed (a poisoning error). An Ok on that
+        // empty retry would swallow the sync failure and acknowledge a
+        // batch whose durability is indeterminate.
         if self.poisoned {
             return Err(Error::Invariant(
                 "wal is poisoned by an earlier failed append — reopen to repair".into(),
             ));
         }
-        if seq < self.next_seq {
+        if events.is_empty() {
+            return Ok(());
+        }
+        if first_seq < self.next_seq {
             return Err(Error::Invariant(format!(
-                "wal sequence must ascend: got {seq}, expected >= {}",
+                "wal sequence must ascend: got {first_seq}, expected >= {}",
                 self.next_seq
             )));
         }
-        if self
-            .active
-            .as_ref()
-            .is_none_or(|a| a.bytes >= self.opts.segment_bytes)
-        {
-            self.roll(seq)?;
-        }
-        let active = self.active.as_mut().expect("rolled above");
-        let frame = &mut self.scratch;
-        encode_frame(frame, seq, event);
-        if let Err(e) = active.file.write_all(frame) {
-            // A short write left partial frame bytes after the last
-            // record; rewind to the boundary so the next append does not
-            // bury them under a valid frame.
-            let rewound = active.file.set_len(active.bytes).is_ok()
-                && active.file.seek(SeekFrom::Start(active.bytes)).is_ok();
-            if !rewound {
-                self.poisoned = true;
+        let period = match self.opts.fsync {
+            FsyncPolicy::EveryN(n) => n.max(1),
+            _ => u64::MAX,
+        };
+        let mut i = 0usize;
+        let mut synced_at_mark = false;
+        while i < events.len() {
+            if self
+                .active
+                .as_ref()
+                .is_none_or(|a| a.bytes >= self.opts.segment_bytes)
+            {
+                if let Err(e) = self.roll(first_seq + i as u64) {
+                    // Same partial-commit rule as the write path below: a
+                    // roll failure *between* landed chunks leaves the call
+                    // half-committed, which a retry would duplicate.
+                    if i > 0 {
+                        self.poisoned = true;
+                    }
+                    return Err(e);
+                }
             }
-            return Err(io_err("wal append", e));
-        }
-        active.bytes += frame.len() as u64;
-        active.last_seq = seq;
-        active.max_ts = active.max_ts.max(event.created_at);
-        self.next_seq = seq + 1;
+            // Records this chunk may hold before the call's next interior
+            // n-record mark (counted from the call start).
+            let until_mark = period - (i as u64 % period);
+            let active = self.active.as_mut().expect("rolled above");
+            let frame = &mut self.scratch;
+            frame.clear();
+            let mut count = 0usize;
+            let mut max_ts = Timestamp::ZERO;
+            while i + count < events.len()
+                && (count as u64) < until_mark
+                && (count == 0 || active.bytes + (frame.len() as u64) < self.opts.segment_bytes)
+            {
+                let event = events[i + count];
+                encode_frame(frame, first_seq + (i + count) as u64, event);
+                max_ts = max_ts.max(event.created_at);
+                count += 1;
+            }
+            if let Err(e) = active.file.write_all(frame) {
+                // A short write left partial frame bytes after the last
+                // record; rewind to the boundary so the next append does
+                // not bury them under a valid frame.
+                let rewound = active.file.set_len(active.bytes).is_ok()
+                    && active.file.seek(SeekFrom::Start(active.bytes)).is_ok();
+                // Partial-commit rule: if *earlier chunks of this call*
+                // already landed, the call is half-committed — a caller
+                // retrying the same slice (safe for single appends, whose
+                // failure leaves nothing behind) would re-append the
+                // landed prefix under fresh sequences, and recovery would
+                // replay those events twice. Poisoning makes the
+                // half-committed state unrepresentable: the caller must
+                // restart through recovery, which replays the landed
+                // prefix exactly once. A first-chunk failure keeps the
+                // single-append contract — nothing landed, retry is safe.
+                if !rewound || i > 0 {
+                    self.poisoned = true;
+                }
+                return Err(io_err("wal append", e));
+            }
+            active.bytes += frame.len() as u64;
+            active.last_seq = first_seq + (i + count - 1) as u64;
+            active.max_ts = active.max_ts.max(max_ts);
+            self.next_seq = first_seq + (i + count) as u64;
+            i += count;
 
-        self.appends_since_sync += 1;
+            // Interior forced sync: a single call crossing an n-record
+            // mark syncs there (⌈N/n⌉ syncs for an n-aligned batch).
+            synced_at_mark = period != u64::MAX && (i as u64).is_multiple_of(period);
+            if synced_at_mark {
+                self.sync()?;
+            }
+        }
+        // The call-end policy tick: the whole batch was one durability
+        // unit (unless an interior mark just synced it).
         match self.opts.fsync {
             FsyncPolicy::Always => self.sync()?,
             FsyncPolicy::EveryN(n) => {
-                if self.appends_since_sync >= n.max(1) {
-                    self.sync()?;
+                if !synced_at_mark {
+                    self.appends_since_sync += 1;
+                    if self.appends_since_sync >= n.max(1) {
+                        self.sync()?;
+                    }
                 }
             }
             FsyncPolicy::Never => {}
@@ -652,9 +802,21 @@ impl Wal {
                 self.poisoned = true;
                 return Err(io_err("wal fsync", e));
             }
+            self.syncs += 1;
         }
         self.appends_since_sync = 0;
         Ok(())
+    }
+
+    /// Number of `fdatasync` calls issued against active segments so far
+    /// (policy-triggered and explicit alike) — the observable the group
+    /// commit regression tests pin: [`FsyncPolicy::EveryN`] counts
+    /// durability *units* (append calls), so batching may only make
+    /// syncs rarer — per-event appends keep the historical per-record
+    /// cadence exactly, a stream of batches syncs every `n` batches, and
+    /// a batched log never syncs more often than its single-append twin.
+    pub fn sync_count(&self) -> u64 {
+        self.syncs
     }
 
     fn roll(&mut self, first_seq: u64) -> Result<()> {
@@ -900,6 +1062,70 @@ impl SharedWal {
         }
     }
 
+    /// Group commit across partitions: routes every event of `events` to
+    /// its target's partition, takes each partition lock **at most
+    /// once**, and appends each partition's sub-batch (in stream order)
+    /// under a dense run of global sequences assigned under that one
+    /// lock hold — one `write(2)` and one fsync-policy pass per touched
+    /// partition instead of one per event. Returns the number of events
+    /// appended.
+    ///
+    /// Per-target order is preserved (targets are route-sticky and each
+    /// sub-batch keeps stream order), which is all `D` semantics need;
+    /// *cross*-partition sequence interleaving differs from N single
+    /// [`SharedWal::append`] calls — dense runs instead of round-robin —
+    /// but [`SharedWal::replay_merged`] orders by global sequence, so
+    /// replay is deterministic either way.
+    ///
+    /// A failed sub-batch is retried once from the exact record boundary
+    /// it reached; on a second failure the partition is poisoned so its
+    /// burned sequences read as that partition's tail loss at recovery
+    /// (same rationale as [`SharedWal::append`]). Earlier partitions'
+    /// sub-batches stay committed; like a failed single append, the
+    /// caller must treat the batch as indeterminate and restart through
+    /// recovery.
+    pub fn append_batch(&self, events: &[EdgeEvent]) -> Result<u64> {
+        if events.is_empty() {
+            return Ok(0);
+        }
+        // Pre-partition by route, preserving stream order within each
+        // bucket. One pass; bucket storage is per call (amortized over
+        // the batch).
+        let mut buckets: Vec<Vec<EdgeEvent>> = vec![Vec::new(); self.parts.len()];
+        for &event in events {
+            let p = (magicrecs_types::route_mix(&event.dst) as usize) % self.parts.len();
+            buckets[p].push(event);
+        }
+        for (p, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut wal = self.parts[p].lock();
+            // Assign the dense run inside the lock: this partition's
+            // sequences stay ascending no matter how batches interleave
+            // across partitions.
+            let first = self.seq.fetch_add(bucket.len() as u64, Ordering::Relaxed);
+            if let Err(first_err) = wal.append_batch_with_first_seq(first, bucket) {
+                // If nothing landed the partition is unpoisoned and the
+                // whole run retries once (the single-append contract). A
+                // *partial* landing already poisoned the partition, so
+                // the retry below fails immediately and the second
+                // poison() is a no-op — either way a still-failing run's
+                // burned tail becomes this partition's permanent durable
+                // end, which recovery tolerates (see `SharedWal::append`).
+                let landed = (wal.next_seq().saturating_sub(first) as usize).min(bucket.len());
+                if wal
+                    .append_batch_with_first_seq(first + landed as u64, &bucket[landed..])
+                    .is_err()
+                {
+                    wal.poison();
+                    return Err(first_err);
+                }
+            }
+        }
+        Ok(events.len() as u64)
+    }
+
     /// The next global sequence to be assigned.
     pub fn next_seq(&self) -> u64 {
         self.seq.load(Ordering::Relaxed)
@@ -977,8 +1203,7 @@ impl SharedWal {
         }
         records.sort_by_key(|r| r.seq);
         if let Some(min_tail) = min_tail.filter(|_| all_partitions_have_records) {
-            let mut expected = min_seq;
-            for r in records.iter().take_while(|r| r.seq <= min_tail) {
+            for (expected, r) in (min_seq..).zip(records.iter().take_while(|r| r.seq <= min_tail)) {
                 if r.seq != expected {
                     return Err(Error::Corrupt(format!(
                         "shared wal gap: sequence {expected} is missing but every \
@@ -986,7 +1211,6 @@ impl SharedWal {
                          was lost"
                     )));
                 }
-                expected += 1;
             }
         }
         merged.records = records.len() as u64;
@@ -1404,6 +1628,195 @@ mod tests {
         // …while the true count (or a larger one) still opens.
         assert!(SharedWal::open(t.path(), 4, WalOptions::default()).is_ok());
         assert!(SharedWal::open(t.path(), 8, WalOptions::default()).is_ok());
+    }
+
+    /// Segment files (name, bytes) for a prefix, sorted by name.
+    fn segment_bytes(dir: &Path, prefix: &str) -> Vec<(String, Vec<u8>)> {
+        list_segments(dir, prefix)
+            .unwrap()
+            .into_iter()
+            .map(|p| {
+                (
+                    p.file_name().unwrap().to_string_lossy().into_owned(),
+                    std::fs::read(&p).unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn append_batch_matches_single_appends_byte_for_byte() {
+        // Across fsync policies and segment rolls, a batched log must be
+        // byte-identical to a single-append log: same segment names, same
+        // bytes, same number of durability points.
+        for policy in [
+            FsyncPolicy::Never,
+            FsyncPolicy::EveryN(5),
+            FsyncPolicy::Always,
+        ] {
+            let opts = WalOptions {
+                fsync: policy,
+                segment_bytes: 200, // rolls every ~6 records
+            };
+            let events: Vec<EdgeEvent> = (0..100).map(ev).collect();
+
+            let t_single = TempDir::new("wal-single");
+            let mut single = Wal::create(t_single.path(), "wal-", opts).unwrap();
+            for &e in &events {
+                single.append(e).unwrap();
+            }
+            let single_syncs = single.sync_count();
+            single.close().unwrap();
+
+            let t_batch = TempDir::new("wal-batch");
+            let mut batched = Wal::create(t_batch.path(), "wal-", opts).unwrap();
+            // Uneven batch sizes, several straddling rolls and sync points.
+            let mut rest: &[EdgeEvent] = &events;
+            for size in [1usize, 7, 2, 13, 29, 3, 64, 100] {
+                let take = size.min(rest.len());
+                let (head, tail) = rest.split_at(take);
+                let first = batched.next_seq();
+                assert_eq!(batched.append_batch(head).unwrap(), first, "{policy:?}");
+                rest = tail;
+            }
+            assert!(rest.is_empty());
+            assert_eq!(batched.next_seq(), 100);
+            // Group commit may only *reduce* durability points (a batch
+            // is one unit); it never syncs more than the single path.
+            assert!(batched.sync_count() <= single_syncs, "{policy:?}");
+            batched.close().unwrap();
+
+            assert_eq!(
+                segment_bytes(t_single.path(), "wal-"),
+                segment_bytes(t_batch.path(), "wal-"),
+                "segments diverge under {policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn group_commit_syncs_at_policy_boundaries_only() {
+        // EveryN(n) counts durability units (append calls): a batch is
+        // ONE unit, so n *batches* — not n records — make a sync.
+        let opts = WalOptions {
+            fsync: FsyncPolicy::EveryN(8),
+            segment_bytes: 1 << 20,
+        };
+        let t = TempDir::new("wal");
+        let mut wal = Wal::create(t.path(), "wal-", opts).unwrap();
+        for batch_no in 0..16u64 {
+            let first = wal.next_seq();
+            let events: Vec<EdgeEvent> = (first..first + 5).map(ev).collect();
+            wal.append_batch(&events).unwrap();
+            assert_eq!(
+                wal.sync_count(),
+                (batch_no + 1) / 8,
+                "sync cadence must count batches"
+            );
+        }
+        // 80 records over 16 batches: 2 syncs (units), where the
+        // per-record reading would have made 10.
+        assert_eq!(wal.sync_count(), 2);
+        // Single appends are one-record batches: the historical
+        // per-record cadence is unchanged.
+        for i in 0..8u64 {
+            wal.append(ev(80 + i)).unwrap();
+        }
+        assert_eq!(wal.sync_count(), 3);
+
+        // A policy-aligned batch of N = 4n performs ⌈N/n⌉ syncs, each on
+        // a record boundary inside the batched write sequence.
+        let t = TempDir::new("wal");
+        let mut wal = Wal::create(
+            t.path(),
+            "wal-",
+            WalOptions {
+                fsync: FsyncPolicy::EveryN(256),
+                segment_bytes: 1 << 20,
+            },
+        )
+        .unwrap();
+        let events: Vec<EdgeEvent> = (0..1024).map(ev).collect();
+        wal.append_batch(&events).unwrap();
+        assert_eq!(wal.sync_count(), 4, "⌈1024/256⌉ syncs");
+        // And the trailing partial group carries: 100 more events → no
+        // sync until the next period fills.
+        let more: Vec<EdgeEvent> = (1024..1124).map(ev).collect();
+        wal.append_batch(&more).unwrap();
+        assert_eq!(wal.sync_count(), 4);
+        wal.close().unwrap();
+        let (records, _) = collect(t.path(), "wal-", 0);
+        assert_eq!(records.len(), 1124);
+    }
+
+    #[test]
+    fn append_batch_straddles_segment_rolls() {
+        let opts = WalOptions {
+            segment_bytes: 256,
+            ..WalOptions::default()
+        };
+        let t = TempDir::new("wal");
+        let mut wal = Wal::create(t.path(), "wal-", opts).unwrap();
+        let events: Vec<EdgeEvent> = (0..200).map(ev).collect();
+        assert_eq!(wal.append_batch(&events).unwrap(), 0);
+        assert!(wal.segment_count() > 1, "batch must roll segments");
+        wal.close().unwrap();
+        let mut seqs = Vec::new();
+        let stats = replay(t.path(), "wal-", 0, |r| seqs.push(r.seq)).unwrap();
+        assert_eq!(seqs, (0..200).collect::<Vec<u64>>());
+        assert!(!stats.torn_tail);
+        // Empty batch is a no-op at the current sequence.
+        assert_eq!(Wal::open(t.path(), "wal-", opts).unwrap().next_seq(), 200);
+    }
+
+    #[test]
+    fn shared_wal_append_batch_routes_and_replays() {
+        let opts = WalOptions {
+            segment_bytes: 512,
+            ..WalOptions::default()
+        };
+        let events: Vec<EdgeEvent> = (0..500).map(ev).collect();
+
+        let t_single = TempDir::new("wal-s");
+        let single = SharedWal::create(t_single.path(), 4, opts).unwrap();
+        for &e in &events {
+            single.append(e).unwrap();
+        }
+        single.sync_all().unwrap();
+        drop(single);
+
+        let t_batch = TempDir::new("wal-b");
+        let batched = SharedWal::create(t_batch.path(), 4, opts).unwrap();
+        for chunk in events.chunks(37) {
+            assert_eq!(batched.append_batch(chunk).unwrap(), chunk.len() as u64);
+        }
+        assert_eq!(batched.next_seq(), 500);
+        batched.sync_all().unwrap();
+        drop(batched);
+
+        // Global sequence runs differ (dense per-partition runs vs
+        // round-robin), but each partition must hold the same events in
+        // the same stream order — per-target order is the contract.
+        for p in 0..4 {
+            let mut single_events = Vec::new();
+            replay(t_single.path(), &SharedWal::prefix(p), 0, |r| {
+                single_events.push(r.event)
+            })
+            .unwrap();
+            let mut batch_events = Vec::new();
+            replay(t_batch.path(), &SharedWal::prefix(p), 0, |r| {
+                batch_events.push(r.event)
+            })
+            .unwrap();
+            assert_eq!(single_events, batch_events, "partition {p}");
+        }
+        // Merged replay is gap-free and complete.
+        let mut n = 0u64;
+        let stats = SharedWal::replay_merged(t_batch.path(), 4, 0, |_| n += 1).unwrap();
+        assert_eq!(n, 500);
+        assert!(!stats.torn_tail);
+        let reopened = SharedWal::open(t_batch.path(), 4, opts).unwrap();
+        assert_eq!(reopened.next_seq(), 500);
     }
 
     #[test]

@@ -91,6 +91,7 @@ fn opts() -> PersistOptions {
         fsync: FsyncPolicy::Never, // crash = truncation; sync irrelevant
         segment_bytes: 16 << 10,
         checkpoint_every: 512,
+        rebase: magicrecs_persist::RebasePolicy::DISABLED,
     }
 }
 
@@ -278,6 +279,88 @@ fn kill_point_matrix_sequential() {
                 );
             }
         }
+    }
+}
+
+/// The batched kill-point slice: the same crash model as the sequential
+/// matrix, but the log is written by **group-committed `on_events`
+/// batches** and the sampled cuts land *inside* batches (the boundary
+/// stride is coprime to the batch size, so cuts hit every in-batch
+/// offset, most of them tearing mid-record through a batch's single
+/// `write(2)`). Recovery must treat a torn group commit exactly like a
+/// torn single append: keep the batch's complete prefix records, repair
+/// the tear, and continue with candidate parity.
+#[test]
+fn kill_point_slice_batched_group_commit() {
+    let n = (matrix_events() / 2) as usize;
+    let events = matrix_trace(n as u64);
+    let cfg = config();
+    const BATCH: usize = 7;
+
+    let mut reference = Engine::new(motif_graph(), cfg).unwrap();
+    let per_event: Vec<Vec<Candidate>> = events.iter().map(|&e| reference.on_event(e)).collect();
+
+    let live = TempDir::new("kp-gc");
+    let manual = PersistOptions {
+        checkpoint_every: 0,
+        ..opts()
+    };
+    let archive_dir = TempDir::new("kp-gc-ckpts");
+    let mut archive: Vec<(u64, std::path::PathBuf)> = Vec::new();
+    let mut pe = PersistentEngine::create(live.path(), motif_graph(), 0, cfg, manual).unwrap();
+    let mut out = Vec::new();
+    let mut done = 0usize;
+    for chunk in events.chunks(BATCH) {
+        out.clear();
+        pe.on_events_into(chunk, &mut out).unwrap();
+        let want: Vec<Candidate> = per_event[done..done + chunk.len()]
+            .iter()
+            .flat_map(|c| c.iter().cloned())
+            .collect();
+        assert_eq!(out, want, "pre-crash batch divergence at event {done}");
+        done += chunk.len();
+        // Manual cadence at chunk granularity, archived like the matrix.
+        if done % (opts().checkpoint_every as usize) < BATCH {
+            pe.checkpoint().unwrap();
+            archive_checkpoint(live.path(), archive_dir.path(), &mut archive);
+        }
+    }
+    pe.close().unwrap();
+
+    // Group commit is byte-compatible with single appends, so the
+    // boundary scan sees one record per event, exactly like the matrix.
+    let boundaries = record_boundaries(live.path(), "wal-").unwrap();
+    assert_eq!(boundaries.len(), n);
+
+    let scratch = TempDir::new("kp-gc-scratch");
+    let stride = 13; // coprime to BATCH: cuts sweep every in-batch offset
+    let mut k = 0usize;
+    while k <= n {
+        resync_dir(live.path(), scratch.path());
+        let tear = if k.is_multiple_of(3) {
+            0
+        } else {
+            1 + (k as u64 * 11) % 24
+        };
+        crash_at(scratch.path(), &boundaries, k, tear, &archive);
+
+        let (mut recovered, report) =
+            PersistentEngine::open(scratch.path(), cfg, CapStrategy::None, manual).unwrap();
+        assert_eq!(report.next_seq, k as u64, "k={k}: wrong resume point");
+
+        if k < n {
+            // Continue with a group-committed batch, not a single event:
+            // the recovered log must accept batched appends at the exact
+            // resume sequence and keep candidate parity.
+            let end = (k + BATCH).min(n);
+            let got = recovered.on_events(&events[k..end]).unwrap();
+            let want: Vec<Candidate> = per_event[k..end]
+                .iter()
+                .flat_map(|c| c.iter().cloned())
+                .collect();
+            assert_eq!(got, want, "post-recovery batch divergence at k={k}");
+        }
+        k += stride;
     }
 }
 

@@ -22,7 +22,7 @@
 
 use crate::sharded::ShardedTemporalStore;
 use crate::store::{StoreStats, TemporalEdgeStore};
-use magicrecs_types::{Duration, Timestamp, VertexKey};
+use magicrecs_types::{Duration, EdgeEvent, Timestamp, UserId, VertexKey};
 
 /// The dynamic edge structure `D`, as seen by detection engines.
 ///
@@ -33,6 +33,17 @@ use magicrecs_types::{Duration, Timestamp, VertexKey};
 pub trait EdgeStore<K: VertexKey> {
     /// Inserts the dynamic edge `src → dst` created at `at`.
     fn insert(&mut self, src: K, dst: K, at: Timestamp);
+
+    /// Inserts a micro-batch of `(src, dst, at)` edges, preserving slice
+    /// order per target. The default is the per-edge loop, so existing
+    /// implementations keep compiling; stores with per-operation costs
+    /// worth amortizing override it — [`ShardedTemporalStore`] takes each
+    /// shard lock **at most once** per batch instead of once per edge.
+    fn insert_batch(&mut self, edges: &[(K, K, Timestamp)]) {
+        for &(src, dst, at) in edges {
+            self.insert(src, dst, at);
+        }
+    }
 
     /// Removes any stored edges `src → dst` (unfollow semantics).
     fn remove(&mut self, src: K, dst: K);
@@ -114,6 +125,11 @@ impl<K: VertexKey> EdgeStore<K> for ShardedTemporalStore<K> {
     }
 
     #[inline]
+    fn insert_batch(&mut self, edges: &[(K, K, Timestamp)]) {
+        ShardedTemporalStore::insert_batch(self, edges);
+    }
+
+    #[inline]
     fn remove(&mut self, src: K, dst: K) {
         ShardedTemporalStore::remove(self, src, dst);
     }
@@ -154,6 +170,35 @@ impl<K: VertexKey> EdgeStore<K> for ShardedTemporalStore<K> {
     }
 }
 
+/// Applies a micro-batch of stream events to a store without detection:
+/// maximal insertion runs go through [`EdgeStore::insert_batch`] (one
+/// shard-lock pass on a sharded store), and a removal flushes the pending
+/// run before applying, so **per-target operation order is preserved**
+/// exactly as N single applies would. `scratch` is the caller's reusable
+/// `(src, dst, at)` buffer; it is left cleared.
+///
+/// This is the replay fast path: crash recovery and replica
+/// state-maintenance rebuild `D` from event sequences with emission
+/// suppressed, where nothing forces a per-event store round trip.
+pub fn apply_events_batch<D: EdgeStore<UserId>>(
+    store: &mut D,
+    events: &[EdgeEvent],
+    scratch: &mut Vec<(UserId, UserId, Timestamp)>,
+) {
+    scratch.clear();
+    for &e in events {
+        if e.kind.is_insertion() {
+            scratch.push((e.src, e.dst, e.created_at));
+        } else {
+            store.insert_batch(scratch);
+            scratch.clear();
+            store.remove(e.src, e.dst);
+        }
+    }
+    store.insert_batch(scratch);
+    scratch.clear();
+}
+
 /// The concurrency seam: a shared reference to a sharded store is itself a
 /// store. N worker threads each materialize a `&mut &ShardedTemporalStore`
 /// and run the same engine code a single-owner store runs exclusively.
@@ -161,6 +206,11 @@ impl<K: VertexKey> EdgeStore<K> for &ShardedTemporalStore<K> {
     #[inline]
     fn insert(&mut self, src: K, dst: K, at: Timestamp) {
         ShardedTemporalStore::insert(self, src, dst, at);
+    }
+
+    #[inline]
+    fn insert_batch(&mut self, edges: &[(K, K, Timestamp)]) {
+        ShardedTemporalStore::insert_batch(self, edges);
     }
 
     #[inline]
@@ -259,6 +309,56 @@ mod tests {
         h2.insert(u(4), u(100), ts(20));
         // Sources 1,2 from `drive` plus 4 from the second handle.
         assert_eq!(drive(&mut h1).len(), 3);
+    }
+
+    #[test]
+    fn insert_batch_matches_single_inserts() {
+        // Per-target list state and witness answers must be identical
+        // whether a batch goes through `insert_batch` or N inserts —
+        // for the default (loop) impl and the sharded lock-batched one.
+        let edges: Vec<(UserId, UserId, Timestamp)> = (0..200u64)
+            .map(|i| (u(i % 17), u(1000 + i % 23), ts(10 + i % 40)))
+            .collect();
+
+        fn drive_both<A: EdgeStore<UserId>, B: EdgeStore<UserId>>(
+            single: &mut A,
+            batched: &mut B,
+            edges: &[(UserId, UserId, Timestamp)],
+        ) {
+            for &(src, dst, at) in edges {
+                single.insert(src, dst, at);
+            }
+            batched.insert_batch(edges);
+            assert_eq!(single.resident_entries(), batched.resident_entries());
+            assert_eq!(single.stats().inserted, batched.stats().inserted);
+            for t in 1000..1023u64 {
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                single.witnesses_into(u(t), ts(60), &mut a);
+                batched.witnesses_into(u(t), ts(60), &mut b);
+                assert_eq!(a, b, "target {t}");
+            }
+        }
+
+        let mut plain_single = TemporalEdgeStore::with_window(Duration::from_secs(600));
+        let mut plain_batched = TemporalEdgeStore::with_window(Duration::from_secs(600));
+        drive_both(&mut plain_single, &mut plain_batched, &edges);
+
+        let mut sharded_single: ShardedTemporalStore =
+            ShardedTemporalStore::new(Duration::from_secs(600), PruneStrategy::Wheel, 8);
+        let mut sharded_batched: ShardedTemporalStore =
+            ShardedTemporalStore::new(Duration::from_secs(600), PruneStrategy::Wheel, 8);
+        drive_both(&mut sharded_single, &mut sharded_batched, &edges);
+
+        // The concurrency seam batches too.
+        let sharded_ref: ShardedTemporalStore =
+            ShardedTemporalStore::new(Duration::from_secs(600), PruneStrategy::Wheel, 8);
+        let mut handle = &sharded_ref;
+        EdgeStore::insert_batch(&mut handle, &edges);
+        assert_eq!(
+            sharded_ref.resident_entries(),
+            sharded_batched.resident_entries()
+        );
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod store;
 pub mod target_list;
 pub mod wheel;
 
-pub use edge_store::EdgeStore;
+pub use edge_store::{apply_events_batch, EdgeStore};
 pub use sharded::ShardedTemporalStore;
 pub use store::{PruneStrategy, StoreStats, TemporalEdgeStore};
 pub use target_list::TargetList;

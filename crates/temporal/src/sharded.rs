@@ -72,6 +72,60 @@ impl<K: VertexKey> ShardedTemporalStore<K> {
         self.shards[self.shard_of(dst)].write().remove(src, dst);
     }
 
+    /// Inserts a micro-batch, taking each **touched** shard's write lock
+    /// at most once (the batched-ingest hot path). Each edge's shard is
+    /// hashed exactly once into a per-call index; only shards the batch
+    /// actually touches are visited, each with one pass over the indices
+    /// (integer compares, no re-hashing), so per-target slice order is
+    /// preserved exactly as N single [`ShardedTemporalStore::insert`]
+    /// calls would.
+    ///
+    /// Tiny batches fall back to per-edge inserts — below a few edges the
+    /// index allocation costs more than the locks it saves.
+    pub fn insert_batch(&self, edges: &[(K, K, Timestamp)]) {
+        if edges.len() <= 2 {
+            for &(src, dst, at) in edges {
+                self.insert(src, dst, at);
+            }
+            return;
+        }
+        let idx: Vec<u32> = edges
+            .iter()
+            .map(|&(_, dst, _)| self.shard_of(dst) as u32)
+            .collect();
+        // Touched-shard set: a bitmap when the shard count fits a word
+        // (the common case — shard counts are small powers of two), else
+        // a small dedup'd list.
+        if self.shards.len() <= u64::BITS as usize {
+            let mut touched = 0u64;
+            for &s in &idx {
+                touched |= 1u64 << s;
+            }
+            while touched != 0 {
+                let s = touched.trailing_zeros();
+                touched &= touched - 1;
+                let mut guard = self.shards[s as usize].write();
+                for (&(src, dst, at), &i) in edges.iter().zip(&idx) {
+                    if i == s {
+                        guard.insert(src, dst, at);
+                    }
+                }
+            }
+        } else {
+            let mut touched: Vec<u32> = idx.clone();
+            touched.sort_unstable();
+            touched.dedup();
+            for s in touched {
+                let mut guard = self.shards[s as usize].write();
+                for (&(src, dst, at), &i) in edges.iter().zip(&idx) {
+                    if i == s {
+                        guard.insert(src, dst, at);
+                    }
+                }
+            }
+        }
+    }
+
     /// Distinct in-window witnesses for `dst` as of `now`.
     pub fn witnesses(&self, dst: K, now: Timestamp) -> Vec<(K, Timestamp)> {
         // Witness queries trim the touched list, so take the write lock.
