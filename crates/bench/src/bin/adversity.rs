@@ -1,0 +1,511 @@
+//! Adversity experiment runner: a declarative scenario × fault matrix
+//! over the persistent engine, with per-cell invariants and one
+//! machine-readable JSON trajectory per run.
+//!
+//! Each cell pairs an adversity scenario (flash crowd on a dormant
+//! vertex, unfollow/refollow churn storm, Zipf-exponent sweep) with a
+//! fault column (none, crash, injected fsync failure, injected torn
+//! write). The run drives a [`PersistentEngine`] through the scenario
+//! trace via the stream playback seam, injects the fault at a scheduled
+//! event index, crash-recovers with a clean I/O backend, resumes over
+//! the tail, and checks three invariants against a fault-free twin:
+//!
+//! 1. **Parity** — pre-fault + post-recovery candidates must equal the
+//!    twin's candidates for the acknowledged prefix plus the resumed
+//!    tail, in order.
+//! 2. **No duplicate emissions** — `next_seq ≥ acked`: an event whose
+//!    ingest was acknowledged is never re-emitted after recovery
+//!    (replay suppresses emission; the resume tail starts at
+//!    `next_seq`).
+//! 3. **Typed errors only** — an injected fault surfaces as
+//!    `Error::Io`/`Corrupt`/`Invariant`; any panic fails the harness.
+//!
+//! Usage: `adversity [out_dir]` (default `target/adversity`). Exits
+//! non-zero if any cell is red. `MAGICRECS_ADVERSITY_SEED` overrides
+//! the base seed (recorded in every trajectory for exact replay).
+
+use magicrecs_bench::{header, row};
+use magicrecs_core::Engine;
+use magicrecs_gen::adversity::{AdversitySpec, Episode};
+use magicrecs_graph::CapStrategy;
+use magicrecs_persist::{
+    FaultPlan, FaultVfs, FsyncPolicy, PersistOptions, PersistentEngine, RebasePolicy, TempDir,
+};
+use magicrecs_stream::playback::{play, PlaybackControl};
+use magicrecs_types::{Candidate, DetectorConfig, Duration, Error, Timestamp};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const SCENARIOS: [&str; 4] = ["flash_crowd", "churn_storm", "skew_low", "skew_high"];
+const FAULTS: [Fault; 4] = [
+    Fault::None,
+    Fault::Crash,
+    Fault::FsyncFail,
+    Fault::TornWrite,
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    /// Uninterrupted run (the engine-under-harness control cell).
+    None,
+    /// Ungraceful kill at the injection point, then recover + resume.
+    Crash,
+    /// Armed `FaultPlan::fail_nth_sync` — the fsync the policy promised
+    /// cannot be delivered; the WAL must poison, never lie.
+    FsyncFail,
+    /// Armed `FaultPlan::torn_nth_write` — a prefix of the write lands,
+    /// then the device errors.
+    TornWrite,
+}
+
+impl Fault {
+    fn name(self) -> &'static str {
+        match self {
+            Fault::None => "none",
+            Fault::Crash => "crash",
+            Fault::FsyncFail => "fsync_fail",
+            Fault::TornWrite => "torn_write",
+        }
+    }
+}
+
+/// Deterministic per-cell seed: base seed mixed with the cell's matrix
+/// coordinates (splitmix64 finalizer).
+fn cell_seed(base: u64, scenario_idx: usize, fault_idx: usize) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(1 + scenario_idx as u64 * 7))
+        .wrapping_add(0xBF58_476D_1CE4_E5B9u64.wrapping_mul(1 + fault_idx as u64));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The scenario half of a cell: a seeded [`AdversitySpec`].
+fn spec_for(scenario: &str, seed: u64) -> AdversitySpec {
+    let base = AdversitySpec::new(scenario, seed)
+        .with_users(800)
+        .with_rate(40.0)
+        .with_duration(Duration::from_secs(30));
+    match scenario {
+        "flash_crowd" => base.episode(Episode::FlashCrowd {
+            at: Timestamp::from_secs(10),
+            len: Duration::from_secs(5),
+            followers: 120,
+        }),
+        "churn_storm" => base.episode(Episode::ChurnStorm {
+            at: Timestamp::from_secs(8),
+            len: Duration::from_secs(15),
+            churners: 40,
+            rounds: 6,
+        }),
+        // The Zipf sweep: same background shape, opposite skew extremes.
+        "skew_low" => base.with_alpha(0.6),
+        "skew_high" => base.with_alpha(1.4),
+        other => panic!("unknown scenario {other}"),
+    }
+}
+
+fn engine_opts(fault: Fault) -> PersistOptions {
+    PersistOptions {
+        // FsyncFail cells sync on every durability unit so the injected
+        // nth-sync failure lands deterministically inside ingest; the
+        // rest run the batched default the paper-scale deployment uses.
+        fsync: if fault == Fault::FsyncFail {
+            FsyncPolicy::Always
+        } else {
+            FsyncPolicy::EveryN(8)
+        },
+        segment_bytes: 32 * 1024,
+        checkpoint_every: 256,
+        rebase: RebasePolicy::DISABLED,
+    }
+}
+
+fn detector_config() -> DetectorConfig {
+    DetectorConfig {
+        max_witnesses: Some(8),
+        ..DetectorConfig::example()
+    }
+}
+
+/// FNV-1a over the candidate stream — a cheap order-sensitive digest so
+/// trajectories can be compared across runs without storing the stream.
+fn digest(candidates: &[Candidate]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_0000_01b3);
+        }
+    };
+    for c in candidates {
+        mix(c.user.raw());
+        mix(c.target.raw());
+        mix(c.triggered_at.as_micros());
+    }
+    h
+}
+
+fn err_kind(e: &Error) -> &'static str {
+    match e {
+        Error::Io(_) => "Io",
+        Error::Corrupt(_) => "Corrupt",
+        Error::Invariant(_) => "Invariant",
+        _ => "other",
+    }
+}
+
+/// Minimal JSON escaping for the strings this harness emits.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Ordered flat JSON document (one trajectory per run).
+#[derive(Default)]
+struct Json(Vec<(String, String)>);
+
+impl Json {
+    fn raw(&mut self, key: &str, v: impl std::fmt::Display) {
+        self.0.push((key.to_string(), v.to_string()));
+    }
+    fn str(&mut self, key: &str, v: &str) {
+        self.0.push((key.to_string(), json_str(v)));
+    }
+    fn render(&self) -> String {
+        let body: Vec<String> = self
+            .0
+            .iter()
+            .map(|(k, v)| format!("  {}: {v}", json_str(k)))
+            .collect();
+        format!("{{\n{}\n}}\n", body.join(",\n"))
+    }
+}
+
+/// The playback context: the engine under test plus the fault backend.
+struct Ctx {
+    engine: Option<PersistentEngine>,
+    fault_vfs: Option<FaultVfs>,
+    candidates: Vec<Candidate>,
+}
+
+struct CellResult {
+    scenario: &'static str,
+    fault: Fault,
+    green: bool,
+    notes: Vec<String>,
+    json_path: PathBuf,
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_cell(
+    scenario: &'static str,
+    scenario_idx: usize,
+    fault: Fault,
+    fault_idx: usize,
+    base_seed: u64,
+    out_dir: &Path,
+) -> CellResult {
+    let seed = cell_seed(base_seed, scenario_idx, fault_idx);
+    let spec = spec_for(scenario, seed);
+    let trace = spec.build();
+    let events = trace.events();
+    let at_event = events.len() * 2 / 5;
+    let graph = magicrecs_bench::small_graph(spec.users);
+    let opts = engine_opts(fault);
+    let config = detector_config();
+
+    // Fault-free twin: per-event candidates from a plain in-memory
+    // engine (same detection semantics; no disk in the reference).
+    let mut twin = Engine::new(graph.clone(), config).expect("twin engine");
+    let twin_per_event: Vec<Vec<Candidate>> = events.iter().map(|&e| twin.on_event(e)).collect();
+
+    // The fault half of the cell: which plan arms at the breakpoint.
+    let plan = match fault {
+        Fault::None | Fault::Crash => FaultPlan::none(),
+        Fault::FsyncFail => FaultPlan::fail_nth_sync(1 + seed % 3),
+        Fault::TornWrite => FaultPlan::torn_nth_write(1 + seed % 5, seed % 48),
+    };
+
+    let dir = TempDir::new("adversity");
+    let mut ctx = Ctx {
+        engine: None,
+        fault_vfs: None,
+        candidates: Vec::new(),
+    };
+    if plan.specs.is_empty() {
+        ctx.engine = Some(
+            PersistentEngine::create(dir.path(), graph.clone(), 1, config, opts)
+                .expect("create engine"),
+        );
+    } else {
+        let fv = FaultVfs::new_disarmed(plan.clone());
+        ctx.engine = Some(
+            PersistentEngine::create_with_vfs(
+                dir.path(),
+                graph.clone(),
+                1,
+                config,
+                opts,
+                Arc::new(fv.clone()),
+            )
+            .expect("create engine"),
+        );
+        ctx.fault_vfs = Some(fv);
+    }
+
+    // Segment 1: play until the scheduled injection point does its
+    // damage (crash cells stop; fault cells arm and continue until the
+    // injected error surfaces).
+    let breakpoints = [at_event];
+    let report = play(
+        events,
+        &breakpoints,
+        &mut ctx,
+        |c, _, e| {
+            let out = c.engine.as_mut().expect("engine alive").on_event(*e)?;
+            c.candidates.extend(out);
+            Ok(())
+        },
+        |c, _| match fault {
+            Fault::Crash => PlaybackControl::Stop,
+            Fault::FsyncFail | Fault::TornWrite => {
+                c.fault_vfs.as_ref().expect("fault backend").set_armed(true);
+                PlaybackControl::Continue
+            }
+            Fault::None => PlaybackControl::Continue,
+        },
+    );
+    let acked = report.ingested;
+    let pre_candidates = std::mem::take(&mut ctx.candidates);
+
+    let mut notes: Vec<String> = Vec::new();
+    let mut green = true;
+    let check = |ok: bool, what: &str, notes: &mut Vec<String>| {
+        if !ok {
+            notes.push(format!("FAIL: {what}"));
+        }
+        ok
+    };
+
+    let fired = ctx.fault_vfs.as_ref().map(|f| f.fired_count()).unwrap_or(0);
+    let error_kind = report.error.as_ref().map(|(_, e)| err_kind(e));
+    let error_text = report
+        .error
+        .as_ref()
+        .map(|(i, e)| format!("event {i}: {e}"));
+
+    // Expected end-of-segment shape per fault column.
+    match fault {
+        Fault::None => {
+            green &= check(
+                report.completed(),
+                "fault-free run must complete",
+                &mut notes,
+            );
+        }
+        Fault::Crash => {
+            green &= check(
+                report.stopped,
+                "crash cell must stop at breakpoint",
+                &mut notes,
+            );
+        }
+        Fault::FsyncFail | Fault::TornWrite => {
+            green &= check(
+                report.error.is_some(),
+                "injected fault must surface as an ingest error",
+                &mut notes,
+            );
+            green &= check(fired >= 1, "fault plan must have fired", &mut notes);
+            if let Some(kind) = error_kind {
+                green &= check(
+                    matches!(kind, "Io" | "Corrupt" | "Invariant"),
+                    "fault error must be typed Io/Corrupt/Invariant",
+                    &mut notes,
+                );
+            }
+        }
+    }
+
+    // Segment 2 (all columns but None): ungraceful drop, clean-backend
+    // recovery, resume over the tail from the recovered sequence.
+    let (next_seq, torn_tail, replayed, post_candidates) = if fault == Fault::None {
+        (acked as u64, false, 0u64, Vec::new())
+    } else {
+        drop(ctx.engine.take()); // the crash: no close(), no final sync
+        match PersistentEngine::open(dir.path(), config, CapStrategy::None, opts) {
+            Ok((mut recovered, rec)) => {
+                let mut post = Vec::new();
+                let mut resume_err = None;
+                for &e in &events[rec.next_seq as usize..] {
+                    match recovered.on_event(e) {
+                        Ok(out) => post.extend(out),
+                        Err(e) => {
+                            resume_err = Some(e);
+                            break;
+                        }
+                    }
+                }
+                green &= check(
+                    resume_err.is_none(),
+                    "resume over the tail must run clean",
+                    &mut notes,
+                );
+                if let Some(e) = resume_err {
+                    notes.push(format!("resume error: {e}"));
+                }
+                (rec.next_seq, rec.torn_tail, rec.replayed, post)
+            }
+            Err(e) => {
+                notes.push(format!("FAIL: recovery failed: {e}"));
+                green = false;
+                (0, false, 0, Vec::new())
+            }
+        }
+    };
+
+    // Invariant: no duplicate emissions — everything acknowledged
+    // before the fault is covered by replay (emission-suppressed),
+    // never re-fed.
+    green &= check(
+        next_seq >= acked as u64,
+        "next_seq must cover the acknowledged prefix (duplicate emission hazard)",
+        &mut notes,
+    );
+
+    // Invariant: post-recovery candidate parity with the fault-free
+    // twin. Events in [acked, next_seq) were durable but never
+    // acknowledged — their emissions are lost by design (at-most-once
+    // on an unacknowledged append), so the expectation skips them.
+    let mut expected: Vec<Candidate> = Vec::new();
+    for per in twin_per_event.iter().take(acked) {
+        expected.extend(per.iter().cloned());
+    }
+    if (next_seq as usize) < events.len() {
+        for per in twin_per_event.iter().skip(next_seq as usize) {
+            expected.extend(per.iter().cloned());
+        }
+    }
+    let mut got = pre_candidates.clone();
+    got.extend(post_candidates.iter().cloned());
+    green &= check(
+        got == expected,
+        "candidate parity with fault-free twin",
+        &mut notes,
+    );
+
+    // Trajectory: one machine-readable JSON per run.
+    let mut j = Json::default();
+    j.str("scenario", scenario);
+    j.str("fault", fault.name());
+    j.raw("base_seed", base_seed);
+    j.raw("seed", seed);
+    j.raw("users", spec.users);
+    j.raw("alpha", spec.popularity_alpha);
+    j.raw("events", events.len());
+    j.raw("at_event", at_event);
+    j.str("fsync", &format!("{:?}", opts.fsync));
+    j.raw("checkpoint_every", opts.checkpoint_every);
+    j.str(
+        "fault_plan",
+        &plan
+            .specs
+            .iter()
+            .map(|s| format!("{s:?}"))
+            .collect::<Vec<_>>()
+            .join("; "),
+    );
+    j.raw("fired", fired);
+    j.raw("acked", acked);
+    j.raw("next_seq", next_seq);
+    j.raw("torn_tail", torn_tail);
+    j.raw("replayed", replayed);
+    j.raw("pre_candidates", pre_candidates.len());
+    j.raw("post_candidates", post_candidates.len());
+    j.raw("expected_candidates", expected.len());
+    j.raw("digest", format!("\"{:016x}\"", digest(&got)));
+    j.raw("expected_digest", format!("\"{:016x}\"", digest(&expected)));
+    match &error_text {
+        Some(t) => j.str("error", t),
+        None => j.raw("error", "null"),
+    }
+    j.raw("green", green);
+
+    let json_path = out_dir.join(format!("{}-{}.json", scenario, fault.name()));
+    if let Err(e) = std::fs::write(&json_path, j.render()) {
+        notes.push(format!("FAIL: trajectory write: {e}"));
+        green = false;
+    }
+
+    CellResult {
+        scenario,
+        fault,
+        green,
+        notes,
+        json_path,
+    }
+}
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/adversity"));
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let base_seed = std::env::var("MAGICRECS_ADVERSITY_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xAD5E_5EED_u64);
+
+    println!("# Adversity matrix (base seed {base_seed:#x})\n");
+    println!("{}", header(&["scenario", "fault", "status", "trajectory"]));
+
+    let mut all_green = true;
+    let mut failures: Vec<(String, Vec<String>)> = Vec::new();
+    for (si, scenario) in SCENARIOS.iter().enumerate() {
+        for (fi, &fault) in FAULTS.iter().enumerate() {
+            let r = run_cell(scenario, si, fault, fi, base_seed, &out_dir);
+            println!(
+                "{}",
+                row(&[
+                    r.scenario.to_string(),
+                    r.fault.name().to_string(),
+                    if r.green {
+                        "green".into()
+                    } else {
+                        "RED".into()
+                    },
+                    r.json_path.display().to_string(),
+                ])
+            );
+            if !r.green {
+                all_green = false;
+                failures.push((format!("{}-{}", r.scenario, r.fault.name()), r.notes));
+            }
+        }
+    }
+
+    if all_green {
+        println!("\nall {} cells green", SCENARIOS.len() * FAULTS.len());
+    } else {
+        println!("\nRED cells:");
+        for (cell, notes) in &failures {
+            for n in notes {
+                println!("  {cell}: {n}");
+            }
+        }
+        std::process::exit(1);
+    }
+}

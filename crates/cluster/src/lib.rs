@@ -40,4 +40,4 @@ pub mod threaded;
 pub use broker::Broker;
 pub use partition::Partition;
 pub use replica::ReplicaSet;
-pub use threaded::{SharedEngineCluster, ThreadedCluster, DEFAULT_MAX_BATCH};
+pub use threaded::{IngestControl, SharedEngineCluster, ThreadedCluster, DEFAULT_MAX_BATCH};

@@ -63,6 +63,19 @@ fn drain_batch<T>(rx: &channel::Receiver<T>, batch: &mut Vec<T>, max: usize) -> 
     true
 }
 
+/// Directive returned by an ingest hook: keep broadcasting, or kill the
+/// coordinator mid-stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestControl {
+    /// Keep sending events.
+    Continue,
+    /// Simulate coordinator death: stop sending immediately. Events
+    /// already queued still drain — workers must shut down cleanly and
+    /// the gathered candidates must equal a run over exactly the sent
+    /// prefix (no partial-event corruption, no hung worker).
+    Kill,
+}
+
 /// Outcome of a threaded trace run.
 #[derive(Debug, Clone)]
 pub struct ThreadedRunReport {
@@ -139,6 +152,25 @@ impl ThreadedCluster {
     /// Runs a trace through fresh partition workers, gathering all
     /// candidates. Deterministic output ordering.
     pub fn run_trace(&self, events: &[EdgeEvent]) -> Result<ThreadedRunReport> {
+        self.run_trace_hooked(events, |_| IngestControl::Continue)
+    }
+
+    /// [`ThreadedCluster::run_trace`] with a coordinator-side crash
+    /// hook: `hook(i)` runs before event `i` is broadcast and may
+    /// [`IngestControl::Kill`] the coordinator. A kill closes every
+    /// ingest channel mid-stream; workers drain what was already queued
+    /// and exit, so the report covers exactly the sent prefix —
+    /// identical to a clean run over `events[..i]` (test-enforced).
+    /// This is the adversity harness's seam for overload-then-die
+    /// scenarios at the cluster layer.
+    pub fn run_trace_hooked<F>(
+        &self,
+        events: &[EdgeEvent],
+        mut hook: F,
+    ) -> Result<ThreadedRunReport>
+    where
+        F: FnMut(usize) -> IngestControl,
+    {
         let (result_tx, result_rx) = channel::unbounded::<Vec<Candidate>>();
         let mut senders = Vec::with_capacity(self.partitions);
         let mut joins = Vec::with_capacity(self.partitions);
@@ -166,11 +198,16 @@ impl ThreadedCluster {
         drop(result_tx);
 
         let start = Instant::now();
-        for &event in events {
+        let mut sent = 0u64;
+        for (i, &event) in events.iter().enumerate() {
+            if hook(i) == IngestControl::Kill {
+                break;
+            }
             for tx in &senders {
                 tx.send(event)
                     .map_err(|_| Error::ChannelClosed("cluster ingest"))?;
             }
+            sent += 1;
         }
         drop(senders);
 
@@ -188,7 +225,7 @@ impl ThreadedCluster {
         });
         Ok(ThreadedRunReport {
             candidates,
-            events: events.len() as u64,
+            events: sent,
             wall,
         })
     }
@@ -381,6 +418,38 @@ mod tests {
         let r1b = cluster.run_trace(t1.events()).unwrap();
         // Fresh workers per run: identical inputs give identical outputs.
         assert_eq!(r1a.candidates, r1b.candidates);
+    }
+
+    /// Killing the coordinator mid-broadcast loses nothing already sent
+    /// and hangs nothing: workers drain the queued prefix and exit, and
+    /// the gathered candidates equal a clean run over exactly that
+    /// prefix.
+    #[test]
+    fn coordinator_kill_yields_exact_prefix() {
+        let g = GraphGen::new(GraphGenConfig::small()).generate();
+        let trace = Scenario::steady(
+            800,
+            ScenarioConfig::small().with_duration(magicrecs_types::Duration::from_secs(20)),
+        );
+        let dc = DetectorConfig {
+            max_witnesses: Some(8),
+            ..DetectorConfig::example()
+        };
+        let cluster =
+            ThreadedCluster::new(&g, ClusterConfig::single().with_partitions(3), dc).unwrap();
+        let kill_at = trace.len() / 2;
+        let killed = cluster
+            .run_trace_hooked(trace.events(), |i| {
+                if i == kill_at {
+                    IngestControl::Kill
+                } else {
+                    IngestControl::Continue
+                }
+            })
+            .unwrap();
+        assert_eq!(killed.events as usize, kill_at);
+        let clean = cluster.run_trace(&trace.events()[..kill_at]).unwrap();
+        assert_eq!(killed.candidates, clean.candidates);
     }
 
     #[test]

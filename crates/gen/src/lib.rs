@@ -17,6 +17,10 @@
 //! * [`scenario`] — full event traces: steady-state background follows plus
 //!   the motif-rich episodes that make recommendations fire (a celebrity
 //!   joining, breaking news rippling through a community).
+//! * [`adversity`] — declarative adversity specs: background traffic plus
+//!   scheduled flash crowds, churn storms, and rate bursts, with
+//!   engine-agnostic crash/fault injection points for robustness
+//!   experiments.
 //!
 //! Everything takes an explicit seed; identical seeds give identical
 //! workloads on every platform.
@@ -24,11 +28,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversity;
 pub mod arrivals;
 pub mod graph_gen;
 pub mod scenario;
 pub mod zipf;
 
+pub use adversity::{AdversitySpec, Episode, Injection};
 pub use arrivals::PoissonProcess;
 pub use graph_gen::{GraphGen, GraphGenConfig};
 pub use scenario::{Scenario, ScenarioConfig, Trace};

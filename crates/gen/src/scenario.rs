@@ -249,6 +249,70 @@ impl Scenario {
         trace
     }
 
+    /// A flash crowd converges on a **dormant** vertex: `follower_count`
+    /// distinct sources drawn uniformly from `0..users` follow `target`
+    /// within `burst_len` starting at `cfg.start`. Unlike
+    /// [`Scenario::celebrity_join`] this needs no pre-built graph — the
+    /// point is a vertex with *zero* prior traffic suddenly receiving the
+    /// densest fan-in in the trace, the paper's motivating overload case.
+    pub fn flash_crowd(
+        users: u64,
+        target: UserId,
+        follower_count: usize,
+        burst_len: Duration,
+        cfg: ScenarioConfig,
+    ) -> Trace {
+        assert!(users >= 2, "need at least two users");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut sources: Vec<UserId> = (0..users).map(UserId).filter(|u| *u != target).collect();
+        sources.shuffle(&mut rng);
+        sources.truncate(follower_count);
+        let events: Vec<EdgeEvent> = sources
+            .into_iter()
+            .map(|b| {
+                let offset =
+                    Duration::from_micros(rng.random_range(0..burst_len.as_micros().max(1)));
+                EdgeEvent::follow(b, target, cfg.start + offset)
+            })
+            .collect();
+        Trace::new(events)
+    }
+
+    /// An unfollow/refollow churn storm: `churners` accounts each flip
+    /// their edge to `target` `rounds` times (follow, unfollow, follow, …)
+    /// at evenly spread instants across `len`. Exercises the engine's
+    /// dynamic-edge removal path under maximal thrash — every other event
+    /// retracts state the previous one created.
+    pub fn churn_storm(
+        users: u64,
+        target: UserId,
+        churners: usize,
+        rounds: usize,
+        len: Duration,
+        cfg: ScenarioConfig,
+    ) -> Trace {
+        assert!(users >= 2, "need at least two users");
+        assert!(rounds >= 1, "need at least one churn round");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut sources: Vec<UserId> = (0..users).map(UserId).filter(|u| *u != target).collect();
+        sources.shuffle(&mut rng);
+        sources.truncate(churners);
+        let slot = Duration::from_micros(len.as_micros().max(1) / rounds as u64);
+        let mut events = Vec::new();
+        for b in sources {
+            for r in 0..rounds {
+                let jitter = Duration::from_micros(rng.random_range(0..slot.as_micros().max(1)));
+                let at = cfg.start + Duration::from_micros(slot.as_micros() * r as u64) + jitter;
+                if r % 2 == 0 {
+                    events.push(EdgeEvent::follow(b, target, at));
+                } else {
+                    events.push(EdgeEvent::unfollow(b, target, at));
+                }
+            }
+        }
+        Trace::new(events)
+    }
+
     /// Steady traffic with a mid-trace rate burst (for throughput stress):
     /// the burst multiplies the base rate by `factor` for `burst_len`.
     pub fn steady_with_burst(
@@ -398,6 +462,69 @@ mod tests {
         assert!(merged.len() > a.len());
         for w in merged.events().windows(2) {
             assert!(w[0].created_at <= w[1].created_at);
+        }
+    }
+
+    #[test]
+    fn flash_crowd_hits_only_the_dormant_target() {
+        let target = UserId(42);
+        let t = Scenario::flash_crowd(
+            1000,
+            target,
+            80,
+            Duration::from_secs(20),
+            ScenarioConfig::small(),
+        );
+        assert_eq!(t.len(), 80);
+        let mut srcs: Vec<_> = t.events().iter().map(|e| e.src).collect();
+        for e in t.events() {
+            assert_eq!(e.dst, target);
+            assert_eq!(e.kind, EdgeKind::Follow);
+            assert_ne!(e.src, target);
+            assert!(e.created_at < Timestamp::ZERO + Duration::from_secs(20));
+        }
+        srcs.sort_unstable();
+        srcs.dedup();
+        assert_eq!(srcs.len(), 80, "sources must be distinct");
+        // Determinism.
+        let t2 = Scenario::flash_crowd(
+            1000,
+            target,
+            80,
+            Duration::from_secs(20),
+            ScenarioConfig::small(),
+        );
+        assert_eq!(t.events(), t2.events());
+    }
+
+    #[test]
+    fn churn_storm_alternates_follow_unfollow_per_churner() {
+        let target = UserId(7);
+        let t = Scenario::churn_storm(
+            500,
+            target,
+            12,
+            5,
+            Duration::from_secs(50),
+            ScenarioConfig::small(),
+        );
+        assert_eq!(t.len(), 12 * 5);
+        let mut per_src: std::collections::HashMap<UserId, Vec<EdgeKind>> = Default::default();
+        for e in t.events() {
+            assert_eq!(e.dst, target);
+            per_src.entry(e.src).or_default().push(e.kind);
+        }
+        assert_eq!(per_src.len(), 12);
+        for (src, kinds) in per_src {
+            assert_eq!(kinds.len(), 5);
+            for (i, k) in kinds.iter().enumerate() {
+                let want = if i % 2 == 0 {
+                    EdgeKind::Follow
+                } else {
+                    EdgeKind::Unfollow
+                };
+                assert_eq!(*k, want, "churner {src} round {i}");
+            }
         }
     }
 

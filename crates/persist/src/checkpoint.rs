@@ -150,14 +150,41 @@ pub fn write_checkpoint(
     entries: Vec<(UserId, UserId, Timestamp)>,
     last_seq: u64,
 ) -> Result<PathBuf> {
+    write_checkpoint_with(dir, entries, last_seq, &crate::vfs::StdVfs)
+}
+
+/// [`write_checkpoint`] on an explicit I/O backend (see [`crate::Vfs`]).
+///
+/// A failed *pruning* unlink propagates as [`Error::Io`] even though the
+/// new checkpoint is already durable at that point: the newest-wins
+/// loader keeps recovery correct either way, but swallowing the error
+/// would silently leak one stale file per cadence tick forever.
+/// Retrying the checkpoint (the caller's natural response) re-attempts
+/// the same pruning, so transient failures self-heal. `NotFound` is
+/// tolerated — already gone is already pruned.
+pub fn write_checkpoint_with(
+    dir: &Path,
+    entries: Vec<(UserId, UserId, Timestamp)>,
+    last_seq: u64,
+    vfs: &dyn crate::vfs::Vfs,
+) -> Result<PathBuf> {
     let final_path = ckpt_path(dir, last_seq);
     let tmp_path = final_path.with_extension("mgck.tmp");
     let mut buf = Vec::new();
     save_checkpoint(entries, last_seq, &mut buf)?;
-    crate::fsutil::publish_durably(&tmp_path, &final_path, &buf)?;
+    crate::fsutil::publish_durably(vfs, &tmp_path, &final_path, &buf)?;
     for (path, seq) in list_checkpoints(dir)? {
         if seq < last_seq {
-            let _ = std::fs::remove_file(path);
+            match vfs.remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    return Err(Error::Io(format!(
+                        "checkpoint prune {}: {e}",
+                        path.display()
+                    )))
+                }
+            }
         }
     }
     Ok(final_path)

@@ -1,8 +1,9 @@
 //! Shared filesystem plumbing: durable publish (write → fsync → rename)
-//! and crash-artifact cleanup.
+//! and crash-artifact cleanup. All mutations go through the caller's
+//! [`Vfs`] so fault injection sees every step.
 
+use crate::vfs::Vfs;
 use magicrecs_types::{Error, Result};
-use std::io::Write;
 use std::path::Path;
 
 /// Publishes `bytes` at `final_path` durably: write to `tmp_path`,
@@ -17,32 +18,29 @@ use std::path::Path;
 /// fsync **after** the rename is equally load-bearing: POSIX only makes
 /// a rename durable once the containing directory's entry reaches disk,
 /// and the same authorize-deletions argument applies to the name itself.
-pub(crate) fn publish_durably(tmp_path: &Path, final_path: &Path, bytes: &[u8]) -> Result<()> {
+///
+/// Failure at any step surfaces as a typed [`Error::Io`] with nothing
+/// published: the worst leftover is the `.tmp` file, which the recovery
+/// paths' [`sweep_tmp_files`] deletes.
+pub(crate) fn publish_durably(
+    vfs: &dyn Vfs,
+    tmp_path: &Path,
+    final_path: &Path,
+    bytes: &[u8],
+) -> Result<()> {
     let io_err = |stage: &str, e: std::io::Error| Error::Io(format!("{stage}: {e}"));
-    let mut f = std::fs::File::create(tmp_path).map_err(|e| io_err("durable write create", e))?;
+    let mut f = vfs
+        .create(tmp_path)
+        .map_err(|e| io_err("durable write create", e))?;
     f.write_all(bytes).map_err(|e| io_err("durable write", e))?;
     f.sync_all().map_err(|e| io_err("durable write fsync", e))?;
     drop(f);
-    std::fs::rename(tmp_path, final_path).map_err(|e| io_err("durable write rename", e))?;
+    vfs.rename(tmp_path, final_path)
+        .map_err(|e| io_err("durable write rename", e))?;
     if let Some(parent) = final_path.parent() {
-        fsync_dir(parent)?;
+        vfs.sync_dir(parent)
+            .map_err(|e| io_err(&format!("dir fsync {}", parent.display()), e))?;
     }
-    Ok(())
-}
-
-/// Fsyncs a directory so entry mutations inside it (create, rename,
-/// unlink) survive power loss. No-op on platforms where directories
-/// cannot be opened for syncing.
-pub(crate) fn fsync_dir(dir: &Path) -> Result<()> {
-    #[cfg(unix)]
-    {
-        let d = std::fs::File::open(dir)
-            .map_err(|e| Error::Io(format!("dir open for fsync {}: {e}", dir.display())))?;
-        d.sync_all()
-            .map_err(|e| Error::Io(format!("dir fsync {}: {e}", dir.display())))?;
-    }
-    #[cfg(not(unix))]
-    let _ = dir;
     Ok(())
 }
 
@@ -50,12 +48,13 @@ pub(crate) fn fsync_dir(dir: &Path) -> Result<()> {
 /// durable write and its rename. Called from recovery/creation paths,
 /// which own crash-artifact cleanup (single-writer directories by
 /// design, so a live publish can never race this).
-pub(crate) fn sweep_tmp_files(dir: &Path) -> Result<()> {
+pub(crate) fn sweep_tmp_files(vfs: &dyn Vfs, dir: &Path) -> Result<()> {
     let entries = std::fs::read_dir(dir).map_err(|e| Error::Io(format!("tmp sweep: {e}")))?;
     for entry in entries {
         let entry = entry.map_err(|e| Error::Io(format!("tmp sweep: {e}")))?;
         if entry.file_name().to_string_lossy().ends_with(".tmp") {
-            std::fs::remove_file(entry.path()).map_err(|e| Error::Io(format!("tmp sweep: {e}")))?;
+            vfs.remove_file(&entry.path())
+                .map_err(|e| Error::Io(format!("tmp sweep: {e}")))?;
         }
     }
     Ok(())
@@ -65,18 +64,51 @@ pub(crate) fn sweep_tmp_files(dir: &Path) -> Result<()> {
 mod tests {
     use super::*;
     use crate::tempdir::TempDir;
+    use crate::vfs::{FaultPlan, FaultVfs, StdVfs};
 
     #[test]
     fn publish_lands_atomically_and_sweep_cleans_orphans() {
         let t = TempDir::new("fsutil");
         let final_path = t.path().join("out.bin");
-        publish_durably(&t.path().join("out.bin.tmp"), &final_path, b"payload").unwrap();
+        publish_durably(
+            &StdVfs,
+            &t.path().join("out.bin.tmp"),
+            &final_path,
+            b"payload",
+        )
+        .unwrap();
         assert_eq!(std::fs::read(&final_path).unwrap(), b"payload");
         assert!(!t.path().join("out.bin.tmp").exists());
 
         std::fs::write(t.path().join("orphan.mgck.tmp"), b"junk").unwrap();
-        sweep_tmp_files(t.path()).unwrap();
+        sweep_tmp_files(&StdVfs, t.path()).unwrap();
         assert!(!t.path().join("orphan.mgck.tmp").exists());
         assert!(final_path.exists(), "sweep must not touch published files");
+    }
+
+    #[test]
+    fn failed_publish_steps_surface_typed_and_publish_nothing() {
+        // Each injected failure point: typed error, no final file.
+        for (plan, stage) in [
+            (FaultPlan::fail_nth_write(1), "write"),
+            (FaultPlan::fail_nth_sync(1), "fsync"),
+            (FaultPlan::fail_nth_rename(1), "rename"),
+            (FaultPlan::fail_nth_sync_dir(1), "dir fsync"),
+        ] {
+            let t = TempDir::new("fsutil");
+            let final_path = t.path().join("out.bin");
+            let fv = FaultVfs::new(plan);
+            let err = publish_durably(&fv, &t.path().join("out.bin.tmp"), &final_path, b"payload")
+                .unwrap_err();
+            assert!(
+                matches!(err, Error::Io(_)),
+                "stage {stage} must fail typed: {err:?}"
+            );
+            assert_eq!(fv.fired_count(), 1, "stage {stage} fault did not fire");
+            // A failed dir fsync is the only stage past the commit point.
+            if stage != "dir fsync" {
+                assert!(!final_path.exists(), "stage {stage} published anyway");
+            }
+        }
     }
 }

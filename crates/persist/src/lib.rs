@@ -65,6 +65,45 @@
 //!   entries count × (src varint u64, at varint u64 delta from previous)
 //! checksum u64 LE (FxHash of all decoded values)
 //! ```
+//!
+//! ## Crash-consistency contract
+//!
+//! Every mutation of the persistence directory flows through a swappable
+//! I/O backend ([`vfs::Vfs`]; production uses the zero-cost [`StdVfs`],
+//! tests inject failures with [`FaultVfs`]). Under *any* interleaving of
+//! crashes, failed writes/fsyncs/renames, and torn writes at those call
+//! sites, the crate guarantees:
+//!
+//! 1. **Typed failure or poison — never a panic, never silent loss.** An
+//!    I/O fault surfaces to the caller as [`magicrecs_types::Error::Io`]
+//!    (or `Corrupt`/`Invariant` on the consuming side). If a WAL append
+//!    fails after bytes may have partially landed, or an fsync the
+//!    [`FsyncPolicy`] promised cannot be delivered, the WAL **poisons**
+//!    itself: every later append is refused with a typed error so an
+//!    application can never acknowledge an event the log will not
+//!    remember. What was durably appended *before* the poison point
+//!    remains replayable.
+//! 2. **Acknowledged means recoverable.** An event whose append (and
+//!    policy-mandated fsync) returned `Ok` is replayed by
+//!    [`recovery::PersistentEngine::open`] /
+//!    [`recovery::PersistentConcurrentEngine::open`] after a crash, and
+//!    the recovered candidate stream is byte-identical to an
+//!    uninterrupted run's — no duplicates (replay suppresses emission up
+//!    to the recovered sequence), no gaps (merged replay refuses
+//!    sequence holes below the durable tail as `Corrupt`).
+//! 3. **Publishes are atomic.** Checkpoints and snapshots land via
+//!    write-temp → fsync → rename → dir-fsync; a fault at any step
+//!    leaves at worst a `.tmp` orphan which recovery sweeps. Readers
+//!    pick newest-valid, so a half-published file is never loaded.
+//! 4. **Cleanup failures are loud, not lossy.** Checkpoint pruning and
+//!    WAL segment reclamation propagate unlink/dir-fsync errors (except
+//!    benign `NotFound`); the retained state is always a superset of
+//!    what correctness requires, so a failed cleanup can only leak disk,
+//!    never drop acknowledged data.
+//!
+//! These guarantees are enforced by the kill-point matrix
+//! (`tests/recovery.rs`), fault-plan property tests (`tests/faults.rs`),
+//! and the adversity harness (`magicrecs-bench`, `bin/adversity`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -75,10 +114,12 @@ mod fsutil;
 pub mod recovery;
 pub mod snapshot;
 pub mod tempdir;
+pub mod vfs;
 pub mod wal;
 
 pub use checkpoint::{load_latest_checkpoint, write_checkpoint, Checkpoint};
 pub use recovery::{PersistOptions, PersistentConcurrentEngine, PersistentEngine, RecoveryReport};
 pub use snapshot::{RebasePolicy, SnapshotStore};
 pub use tempdir::TempDir;
+pub use vfs::{std_vfs, FaultMode, FaultOp, FaultPlan, FaultSpec, FaultVfs, StdVfs, Vfs, VfsFile};
 pub use wal::{FsyncPolicy, RecordBoundary, ReplayStats, SharedWal, Wal, WalOptions};

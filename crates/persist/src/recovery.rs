@@ -30,14 +30,16 @@
 //! per target (globally for the sequential engine; per hash-route
 //! partition — and targets are route-sticky — for the shared engine).
 
-use crate::checkpoint::{load_latest_checkpoint, write_checkpoint};
+use crate::checkpoint::{load_latest_checkpoint, write_checkpoint_with};
 use crate::snapshot::{RebasePolicy, SnapshotStore};
+use crate::vfs::{std_vfs, Vfs};
 use crate::wal::{self, FsyncPolicy, SharedWal, Wal, WalOptions};
 use magicrecs_core::{ConcurrentEngine, Engine};
 use magicrecs_graph::{CapStrategy, FollowGraph, GraphDelta};
 use magicrecs_types::{Candidate, DetectorConfig, EdgeEvent, Error, Result, Timestamp};
 use parking_lot::Mutex;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Tuning for the persistence subsystem.
 #[derive(Debug, Clone, Copy)]
@@ -174,6 +176,7 @@ pub struct PersistentEngine {
     engine: Engine,
     wal: Wal,
     snapshots: SnapshotStore,
+    vfs: Arc<dyn Vfs>,
     dir: PathBuf,
     epoch: u64,
     checkpoint_every: u64,
@@ -195,17 +198,33 @@ impl PersistentEngine {
         config: DetectorConfig,
         opts: PersistOptions,
     ) -> Result<Self> {
-        let snapshots = SnapshotStore::new(dir)?;
+        Self::create_with_vfs(dir, graph, epoch, config, opts, std_vfs())
+    }
+
+    /// [`PersistentEngine::create`] on an explicit I/O backend: every
+    /// durable mutation (WAL appends, checkpoints, snapshot publishes,
+    /// reclamation) goes through `vfs`. The default constructor threads
+    /// the [`crate::StdVfs`] passthrough.
+    pub fn create_with_vfs(
+        dir: &Path,
+        graph: FollowGraph,
+        epoch: u64,
+        config: DetectorConfig,
+        opts: PersistOptions,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Self> {
+        let snapshots = SnapshotStore::with_vfs(dir, Arc::clone(&vfs))?;
         // Refuse before sweeping: a refused directory keeps even its
         // .tmp crash artifacts for open()-based recovery or inspection.
         ensure_no_stale_state(dir, &snapshots)?;
-        crate::fsutil::sweep_tmp_files(dir)?;
+        crate::fsutil::sweep_tmp_files(vfs.as_ref(), dir)?;
         snapshots.publish_base(epoch, &graph)?;
-        let wal = Wal::create(dir, SEQ_WAL_PREFIX, opts.wal())?;
+        let wal = Wal::create_with_vfs(dir, SEQ_WAL_PREFIX, opts.wal(), Arc::clone(&vfs))?;
         Ok(PersistentEngine {
             engine: Engine::new(graph, config)?,
             wal,
             snapshots,
+            vfs,
             dir: dir.to_path_buf(),
             epoch,
             checkpoint_every: opts.checkpoint_every,
@@ -223,10 +242,22 @@ impl PersistentEngine {
         cap: CapStrategy,
         opts: PersistOptions,
     ) -> Result<(Self, RecoveryReport)> {
-        let snapshots = SnapshotStore::new(dir)?;
+        Self::open_with_vfs(dir, config, cap, opts, std_vfs())
+    }
+
+    /// [`PersistentEngine::open`] on an explicit I/O backend (recovery
+    /// repairs — tail truncation, tmp sweeps — go through it too).
+    pub fn open_with_vfs(
+        dir: &Path,
+        config: DetectorConfig,
+        cap: CapStrategy,
+        opts: PersistOptions,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<(Self, RecoveryReport)> {
+        let snapshots = SnapshotStore::with_vfs(dir, Arc::clone(&vfs))?;
         // Crash artifacts (interrupted durable publishes) die here, at
         // the point that owns recovery cleanup.
-        crate::fsutil::sweep_tmp_files(dir)?;
+        crate::fsutil::sweep_tmp_files(vfs.as_ref(), dir)?;
         let loaded = snapshots.load_latest(cap)?;
         let mut engine = Engine::new(loaded.graph, config)?;
 
@@ -252,7 +283,8 @@ impl PersistentEngine {
         // Floor at the checkpoint's coverage: a fully-reclaimed log must
         // not restart sequences at 0 below what the checkpoint claims —
         // a later recovery's `min_seq` filter would silently skip them.
-        let wal = Wal::open_with_floor(dir, SEQ_WAL_PREFIX, opts.wal(), min_seq)?;
+        let wal =
+            Wal::open_with_floor_vfs(dir, SEQ_WAL_PREFIX, opts.wal(), min_seq, Arc::clone(&vfs))?;
         let report = RecoveryReport {
             snapshot_epoch: loaded.epoch,
             deltas_applied: loaded.deltas_applied,
@@ -267,6 +299,7 @@ impl PersistentEngine {
                 engine,
                 wal,
                 snapshots,
+                vfs,
                 dir: dir.to_path_buf(),
                 epoch: loaded.epoch,
                 checkpoint_every: opts.checkpoint_every,
@@ -331,7 +364,7 @@ impl PersistentEngine {
         self.wal.sync()?;
         let mut entries = Vec::new();
         self.engine.store().export_entries(&mut entries);
-        write_checkpoint(&self.dir, entries, covered)?;
+        write_checkpoint_with(&self.dir, entries, covered, self.vfs.as_ref())?;
         self.checkpoint_seq = Some(covered);
         self.since_checkpoint = 0;
         Ok(())
@@ -419,6 +452,7 @@ pub struct PersistentConcurrentEngine {
     engine: ConcurrentEngine,
     wal: SharedWal,
     snapshots: SnapshotStore,
+    vfs: Arc<dyn Vfs>,
     dir: PathBuf,
     rebase: RebasePolicy,
     state: Mutex<ConcurrentPersistState>,
@@ -441,15 +475,30 @@ impl PersistentConcurrentEngine {
         parts: usize,
         opts: PersistOptions,
     ) -> Result<Self> {
-        let snapshots = SnapshotStore::new(dir)?;
+        Self::create_with_vfs(dir, graph, epoch, config, parts, opts, std_vfs())
+    }
+
+    /// [`PersistentConcurrentEngine::create`] on an explicit I/O backend
+    /// shared by every partition WAL, checkpoint, and snapshot publish.
+    pub fn create_with_vfs(
+        dir: &Path,
+        graph: FollowGraph,
+        epoch: u64,
+        config: DetectorConfig,
+        parts: usize,
+        opts: PersistOptions,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Self> {
+        let snapshots = SnapshotStore::with_vfs(dir, Arc::clone(&vfs))?;
         ensure_no_stale_state(dir, &snapshots)?;
-        crate::fsutil::sweep_tmp_files(dir)?;
+        crate::fsutil::sweep_tmp_files(vfs.as_ref(), dir)?;
         snapshots.publish_base(epoch, &graph)?;
-        let wal = SharedWal::create(dir, parts, opts.wal())?;
+        let wal = SharedWal::create_with_vfs(dir, parts, opts.wal(), Arc::clone(&vfs))?;
         Ok(PersistentConcurrentEngine {
             engine: ConcurrentEngine::new(graph, config)?,
             wal,
             snapshots,
+            vfs,
             dir: dir.to_path_buf(),
             rebase: opts.rebase,
             state: Mutex::new(ConcurrentPersistState {
@@ -469,8 +518,20 @@ impl PersistentConcurrentEngine {
         parts: usize,
         opts: PersistOptions,
     ) -> Result<(Self, RecoveryReport)> {
-        let snapshots = SnapshotStore::new(dir)?;
-        crate::fsutil::sweep_tmp_files(dir)?;
+        Self::open_with_vfs(dir, config, cap, parts, opts, std_vfs())
+    }
+
+    /// [`PersistentConcurrentEngine::open`] on an explicit I/O backend.
+    pub fn open_with_vfs(
+        dir: &Path,
+        config: DetectorConfig,
+        cap: CapStrategy,
+        parts: usize,
+        opts: PersistOptions,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<(Self, RecoveryReport)> {
+        let snapshots = SnapshotStore::with_vfs(dir, Arc::clone(&vfs))?;
+        crate::fsutil::sweep_tmp_files(vfs.as_ref(), dir)?;
         let loaded = snapshots.load_latest(cap)?;
         let engine = ConcurrentEngine::new(loaded.graph, config)?;
 
@@ -490,7 +551,8 @@ impl PersistentConcurrentEngine {
         engine.apply_to_store_batch(&replay_buf);
         // Same floor rationale as the sequential path: never resume the
         // global sequence below what the checkpoint covers.
-        let wal = SharedWal::open_with_floor(dir, parts, opts.wal(), min_seq)?;
+        let wal =
+            SharedWal::open_with_floor_vfs(dir, parts, opts.wal(), min_seq, Arc::clone(&vfs))?;
         // Seal the recovered state behind a fresh checkpoint before any
         // live append *when replay tolerated damage*. A tolerated hole
         // (a partition's unsynced tail lost in the crash, or a sequence
@@ -512,7 +574,7 @@ impl PersistentConcurrentEngine {
             next => {
                 let mut entries = Vec::new();
                 engine.store().export_entries(&mut entries);
-                write_checkpoint(dir, entries, next - 1)?;
+                write_checkpoint_with(dir, entries, next - 1, vfs.as_ref())?;
                 Some(next - 1)
             }
         };
@@ -530,6 +592,7 @@ impl PersistentConcurrentEngine {
                 engine,
                 wal,
                 snapshots,
+                vfs,
                 dir: dir.to_path_buf(),
                 rebase: opts.rebase,
                 state: Mutex::new(ConcurrentPersistState {
@@ -605,7 +668,7 @@ impl PersistentConcurrentEngine {
         self.wal.sync_all()?;
         let mut entries = Vec::new();
         self.engine.store().export_entries(&mut entries);
-        write_checkpoint(&self.dir, entries, covered)?;
+        write_checkpoint_with(&self.dir, entries, covered, self.vfs.as_ref())?;
         self.state.lock().checkpoint_seq = Some(covered);
         Ok(())
     }

@@ -11,11 +11,13 @@
 //! load as [`Error::Corrupt`]; ambiguous chains (two deltas sharing a
 //! base) are refused the same way.
 
+use crate::vfs::{std_vfs, Vfs};
 use magicrecs_graph::{load_delta, load_graph, save_delta, save_graph};
 use magicrecs_graph::{CapStrategy, FollowGraph, GraphDelta};
 use magicrecs_types::{Error, Result};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// A delta file entry discovered by the directory scan.
 type DeltaFile = (u64, u64, PathBuf);
@@ -61,6 +63,7 @@ impl Default for RebasePolicy {
 #[derive(Debug, Clone)]
 pub struct SnapshotStore {
     dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
 }
 
 /// What [`SnapshotStore::load_latest`] reconstructed.
@@ -77,9 +80,17 @@ pub struct LoadedSnapshot {
 impl SnapshotStore {
     /// Opens (creating if missing) the snapshot directory.
     pub fn new(dir: &Path) -> Result<SnapshotStore> {
+        Self::with_vfs(dir, std_vfs())
+    }
+
+    /// [`SnapshotStore::new`] on an explicit I/O backend: publishes and
+    /// compaction go through it (loads are read-only and stay on
+    /// `std::fs`).
+    pub fn with_vfs(dir: &Path, vfs: Arc<dyn Vfs>) -> Result<SnapshotStore> {
         std::fs::create_dir_all(dir).map_err(|e| Error::Io(format!("snapshot dir: {e}")))?;
         Ok(SnapshotStore {
             dir: dir.to_path_buf(),
+            vfs,
         })
     }
 
@@ -101,7 +112,7 @@ impl SnapshotStore {
         let tmp = final_path.with_extension("mgrs.tmp");
         let mut buf = Vec::new();
         save_graph(graph, &mut buf)?;
-        crate::fsutil::publish_durably(&tmp, &final_path, &buf)
+        crate::fsutil::publish_durably(self.vfs.as_ref(), &tmp, &final_path, &buf)
     }
 
     /// Publishes one delta link (temp-file, fsync, atomic rename).
@@ -110,7 +121,7 @@ impl SnapshotStore {
         let tmp = final_path.with_extension("mgrd.tmp");
         let mut buf = Vec::new();
         save_delta(delta, &mut buf)?;
-        crate::fsutil::publish_durably(&tmp, &final_path, &buf)
+        crate::fsutil::publish_durably(self.vfs.as_ref(), &tmp, &final_path, &buf)
     }
 
     fn scan(&self) -> Result<(Vec<u64>, Vec<DeltaFile>)> {
@@ -261,13 +272,16 @@ impl SnapshotStore {
         };
         let mut removed = 0;
         for &epoch in bases.iter().filter(|&&e| e < latest) {
-            std::fs::remove_file(self.base_path(epoch))
+            self.vfs
+                .remove_file(&self.base_path(epoch))
                 .map_err(|e| Error::Io(format!("snapshot compact: {e}")))?;
             removed += 1;
         }
         for (base, _, path) in deltas.iter().filter(|&&(b, _, _)| b < latest) {
             let _ = base;
-            std::fs::remove_file(path).map_err(|e| Error::Io(format!("snapshot compact: {e}")))?;
+            self.vfs
+                .remove_file(path)
+                .map_err(|e| Error::Io(format!("snapshot compact: {e}")))?;
             removed += 1;
         }
         Ok(removed)

@@ -42,13 +42,15 @@
 //! refused as [`Error::Corrupt`].
 
 use crate::crc::crc32;
+use crate::vfs::{std_vfs, Vfs, VfsFile};
 use magicrecs_graph::io::{read_varint, write_varint};
 use magicrecs_types::{EdgeEvent, EdgeKind, Error, Result, Timestamp, UserId};
 use parking_lot::Mutex;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::fs::File;
+use std::io::{Read, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"MGWL";
 const VERSION: u32 = 1;
@@ -450,7 +452,7 @@ struct ClosedSegment {
 }
 
 struct ActiveSegment {
-    file: File,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     bytes: u64,
     last_seq: u64,
@@ -462,6 +464,7 @@ pub struct Wal {
     dir: PathBuf,
     prefix: String,
     opts: WalOptions,
+    vfs: Arc<dyn Vfs>,
     active: Option<ActiveSegment>,
     closed: Vec<ClosedSegment>,
     next_seq: u64,
@@ -494,6 +497,17 @@ impl Wal {
     /// create over existing segments of the same prefix — recovering into
     /// an existing log goes through [`Wal::open`].
     pub fn create(dir: &Path, prefix: &str, opts: WalOptions) -> Result<Wal> {
+        Self::create_with_vfs(dir, prefix, opts, std_vfs())
+    }
+
+    /// [`Wal::create`] on an explicit I/O backend (see [`Vfs`]); the
+    /// default constructor threads [`crate::StdVfs`].
+    pub fn create_with_vfs(
+        dir: &Path,
+        prefix: &str,
+        opts: WalOptions,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Wal> {
         std::fs::create_dir_all(dir).map_err(|e| io_err("wal dir create", e))?;
         if !list_segments(dir, prefix)?.is_empty() {
             return Err(Error::Invariant(format!(
@@ -505,6 +519,7 @@ impl Wal {
             dir: dir.to_path_buf(),
             prefix: prefix.to_string(),
             opts,
+            vfs,
             active: None,
             closed: Vec::new(),
             next_seq: 0,
@@ -535,6 +550,20 @@ impl Wal {
     /// floor pins `next_seq` at or above what on-disk checkpoints claim
     /// to cover, so sequences never regress.
     pub fn open_with_floor(dir: &Path, prefix: &str, opts: WalOptions, floor: u64) -> Result<Wal> {
+        Self::open_with_floor_vfs(dir, prefix, opts, floor, std_vfs())
+    }
+
+    /// [`Wal::open_with_floor`] on an explicit I/O backend (see [`Vfs`]).
+    /// Tail repair (truncation + fsync of the torn newest segment) runs
+    /// through the backend, so injected repair failures surface typed
+    /// here instead of panicking later.
+    pub fn open_with_floor_vfs(
+        dir: &Path,
+        prefix: &str,
+        opts: WalOptions,
+        floor: u64,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Wal> {
         std::fs::create_dir_all(dir).map_err(|e| io_err("wal dir create", e))?;
         let segments = list_segments(dir, prefix)?;
         let mut closed = Vec::new();
@@ -551,13 +580,10 @@ impl Wal {
             if scan.torn {
                 if scan.valid_bytes == 0 {
                     // Even the header was torn: drop the file entirely.
-                    std::fs::remove_file(path).map_err(|e| io_err("wal repair", e))?;
+                    vfs.remove_file(path).map_err(|e| io_err("wal repair", e))?;
                     continue;
                 }
-                let f = OpenOptions::new()
-                    .write(true)
-                    .open(path)
-                    .map_err(|e| io_err("wal repair", e))?;
+                let mut f = vfs.open_write(path).map_err(|e| io_err("wal repair", e))?;
                 f.set_len(scan.valid_bytes)
                     .map_err(|e| io_err("wal repair", e))?;
                 f.sync_all().map_err(|e| io_err("wal repair", e))?;
@@ -573,7 +599,7 @@ impl Wal {
                 }
                 None => {
                     // Header-only segment: no records to keep.
-                    std::fs::remove_file(path).map_err(|e| io_err("wal repair", e))?;
+                    vfs.remove_file(path).map_err(|e| io_err("wal repair", e))?;
                 }
             }
         }
@@ -581,6 +607,7 @@ impl Wal {
             dir: dir.to_path_buf(),
             prefix: prefix.to_string(),
             opts,
+            vfs,
             active: None,
             closed,
             next_seq: next_seq.max(floor),
@@ -824,10 +851,9 @@ impl Wal {
         let path = self
             .dir
             .join(format!("{}{:020}.wal", self.prefix, first_seq));
-        let mut file = OpenOptions::new()
-            .create_new(true)
-            .write(true)
-            .open(&path)
+        let mut file = self
+            .vfs
+            .create_new(&path)
             .map_err(|e| io_err("wal segment create", e))?;
         let mut header = Vec::with_capacity(HEADER_LEN as usize);
         header.extend_from_slice(MAGIC);
@@ -836,18 +862,18 @@ impl Wal {
         if let Err(e) = file.write_all(&header) {
             // Remove the half-headered shell so a retried roll can
             // create_new the same path instead of hitting EEXIST forever.
-            let _ = std::fs::remove_file(&path);
+            let _ = self.vfs.remove_file(&path);
             return Err(io_err("wal header", e));
         }
         // The new segment's *name* must survive power loss too — fsyncing
         // record bytes into a file the directory forgot is lost history.
         if !matches!(self.opts.fsync, FsyncPolicy::Never) {
-            if let Err(e) = crate::fsutil::fsync_dir(&self.dir) {
+            if let Err(e) = self.vfs.sync_dir(&self.dir) {
                 // Same retryability contract as the header-write branch:
                 // leave no orphan shell behind, or the retried roll hits
                 // create_new EEXIST forever.
-                let _ = std::fs::remove_file(&path);
-                return Err(e);
+                let _ = self.vfs.remove_file(&path);
+                return Err(io_err("wal dir fsync", e));
             }
         }
         self.active = Some(ActiveSegment {
@@ -880,8 +906,11 @@ impl Wal {
                     max_ts: active.max_ts,
                 });
             } else {
-                // Never received a record: drop the empty shell.
-                let _ = std::fs::remove_file(&active.path);
+                // Never received a record: drop the empty shell. A
+                // failed unlink here is deliberately swallowed — the
+                // header-only leftover carries no history and the next
+                // open() removes it (audited under fault injection).
+                let _ = self.vfs.remove_file(&active.path);
             }
         }
         Ok(())
@@ -902,7 +931,7 @@ impl Wal {
             if first_err.is_some() || !(seg.max_ts < cutoff && seg.last_seq <= checkpoint_seq) {
                 return true;
             }
-            match std::fs::remove_file(&seg.path) {
+            match self.vfs.remove_file(&seg.path) {
                 Ok(()) => {
                     removed += 1;
                     false
@@ -919,7 +948,17 @@ impl Wal {
             }
         });
         if removed > 0 && !matches!(self.opts.fsync, FsyncPolicy::Never) {
-            crate::fsutil::fsync_dir(&self.dir)?;
+            // A failed directory fsync here is loud but not lossy: the
+            // unlinked segments were all checkpoint-covered, so even a
+            // power loss that resurrects their names replays nothing new
+            // (records below `min_seq` are filtered). Propagating beats
+            // swallowing — the caller learns reclamation durability is
+            // unconfirmed — and takes precedence over a per-segment
+            // unlink error, which the retained list already preserves
+            // for the next reclaim pass to retry.
+            self.vfs
+                .sync_dir(&self.dir)
+                .map_err(|e| io_err("wal reclaim dir fsync", e))?;
         }
         match first_err {
             Some(e) => Err(e),
@@ -966,9 +1005,27 @@ impl SharedWal {
 
     /// Creates `parts` fresh per-partition WALs in `dir`.
     pub fn create(dir: &Path, parts: usize, opts: WalOptions) -> Result<SharedWal> {
+        Self::create_with_vfs(dir, parts, opts, std_vfs())
+    }
+
+    /// [`SharedWal::create`] on an explicit I/O backend shared by every
+    /// partition WAL.
+    pub fn create_with_vfs(
+        dir: &Path,
+        parts: usize,
+        opts: WalOptions,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<SharedWal> {
         assert!(parts >= 1, "need at least one wal partition");
         let parts = (0..parts)
-            .map(|i| Ok(Mutex::new(Wal::create(dir, &Self::prefix(i), opts)?)))
+            .map(|i| {
+                Ok(Mutex::new(Wal::create_with_vfs(
+                    dir,
+                    &Self::prefix(i),
+                    opts,
+                    Arc::clone(&vfs),
+                )?))
+            })
             .collect::<Result<Vec<_>>>()?;
         Ok(SharedWal {
             parts,
@@ -997,10 +1054,30 @@ impl SharedWal {
         opts: WalOptions,
         floor: u64,
     ) -> Result<SharedWal> {
+        Self::open_with_floor_vfs(dir, parts, opts, floor, std_vfs())
+    }
+
+    /// [`SharedWal::open_with_floor`] on an explicit I/O backend shared
+    /// by every partition WAL.
+    pub fn open_with_floor_vfs(
+        dir: &Path,
+        parts: usize,
+        opts: WalOptions,
+        floor: u64,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<SharedWal> {
         assert!(parts >= 1, "need at least one wal partition");
         Self::check_partition_count(dir, parts)?;
         let parts = (0..parts)
-            .map(|i| Ok(Mutex::new(Wal::open(dir, &Self::prefix(i), opts)?)))
+            .map(|i| {
+                Ok(Mutex::new(Wal::open_with_floor_vfs(
+                    dir,
+                    &Self::prefix(i),
+                    opts,
+                    0,
+                    Arc::clone(&vfs),
+                )?))
+            })
             .collect::<Result<Vec<_>>>()?;
         let next = parts.iter().map(|p| p.lock().next_seq()).max().unwrap_or(0);
         Ok(SharedWal {
@@ -1236,6 +1313,7 @@ impl SharedWal {
 mod tests {
     use super::*;
     use crate::tempdir::TempDir;
+    use std::fs::OpenOptions;
 
     fn u(n: u64) -> UserId {
         UserId(n)

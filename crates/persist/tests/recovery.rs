@@ -26,12 +26,13 @@ use magicrecs_core::{ConcurrentEngine, Engine};
 use magicrecs_graph::{CapStrategy, FollowGraph, GraphBuilder};
 use magicrecs_persist::wal::record_boundaries;
 use magicrecs_persist::{
-    FsyncPolicy, PersistOptions, PersistentConcurrentEngine, PersistentEngine, RecordBoundary,
-    SharedWal, TempDir,
+    FaultMode, FaultOp, FaultPlan, FaultSpec, FaultVfs, FsyncPolicy, PersistOptions,
+    PersistentConcurrentEngine, PersistentEngine, RecordBoundary, SharedWal, TempDir,
 };
-use magicrecs_types::{Candidate, DetectorConfig, EdgeEvent, Timestamp, UserId};
+use magicrecs_types::{Candidate, DetectorConfig, EdgeEvent, Error, Timestamp, UserId};
 use std::fs::OpenOptions;
 use std::path::Path;
+use std::sync::Arc;
 
 fn u(n: u64) -> UserId {
     UserId(n)
@@ -512,4 +513,192 @@ fn concurrent_recovery_with_uneven_partition_loss() {
     recovered
         .on_event(EdgeEvent::follow(u(100), u(5_000), ts(10_000)))
         .unwrap();
+}
+
+/// Shared driver for the injected-fault kill points below: feeds the
+/// matrix trace in group-committed batches of 10 through a
+/// [`FaultVfs`], arms `plan` after `arm_after` events, and returns
+/// `(acked, per_event_reference, pre_fault_candidates, dir, fault_vfs)`
+/// once the injected fault has surfaced as a typed error and poisoned
+/// the engine end-to-end.
+fn drive_until_injected_fault(
+    dir: &Path,
+    plan: FaultPlan,
+    arm_after: usize,
+    events: &[EdgeEvent],
+    per_event: &[Vec<Candidate>],
+) -> (usize, Vec<Candidate>, FaultVfs) {
+    const BATCH: usize = 10;
+    // EveryN(4) puts an interior policy sync *inside* every batch: each
+    // group commit lands as chunks of 4/4/2, so both a failed interior
+    // sync and a torn second-chunk write hit AFTER a prefix of the call
+    // has landed — the poison-after-landed-prefix shape.
+    let opts = PersistOptions {
+        fsync: FsyncPolicy::EveryN(4),
+        segment_bytes: 16 << 10,
+        checkpoint_every: 0, // isolate the WAL path from checkpoint I/O
+        rebase: magicrecs_persist::RebasePolicy::DISABLED,
+    };
+    let fv = FaultVfs::new_disarmed(plan);
+    let mut engine = PersistentEngine::create_with_vfs(
+        dir,
+        motif_graph(),
+        0,
+        config(),
+        opts,
+        Arc::new(fv.clone()),
+    )
+    .unwrap();
+
+    let mut pre: Vec<Candidate> = Vec::new();
+    let mut acked = 0usize;
+    let mut fault_error: Option<Error> = None;
+    for chunk in events.chunks(BATCH) {
+        if acked >= arm_after {
+            fv.set_armed(true);
+        }
+        match engine.on_events(chunk) {
+            Ok(out) => {
+                pre.extend(out);
+                acked += chunk.len();
+                assert_eq!(
+                    pre.len(),
+                    per_event[..acked].iter().map(Vec::len).sum::<usize>(),
+                    "pre-fault divergence by event {acked}"
+                );
+            }
+            Err(e) => {
+                fault_error = Some(e);
+                break;
+            }
+        }
+    }
+    let err = fault_error.expect("injected fault must surface before the trace ends");
+    assert!(
+        matches!(err, Error::Io(_) | Error::Corrupt(_) | Error::Invariant(_)),
+        "injected fault must be typed: {err:?}"
+    );
+    assert!(fv.fired_count() >= 1, "error without a fired fault");
+
+    // Poisoned end-to-end: the landed prefix makes the failed call
+    // half-committed, so the engine must refuse everything afterwards —
+    // acknowledging on top of it would double-replay the prefix.
+    let refused = engine.on_event(events[acked]);
+    assert!(
+        matches!(refused, Err(Error::Invariant(_))),
+        "poison must refuse later appends end-to-end: {refused:?}"
+    );
+    drop(engine); // the crash
+    (acked, pre, fv)
+}
+
+/// Recovers `dir` on a clean backend, resumes over the tail, and
+/// asserts candidate parity: acknowledged prefix + resumed tail, with
+/// the durable-but-unacknowledged window `[acked, next_seq)` replayed
+/// emission-suppressed.
+fn assert_recovery_parity(
+    dir: &Path,
+    events: &[EdgeEvent],
+    per_event: &[Vec<Candidate>],
+    acked: usize,
+    pre: Vec<Candidate>,
+    expect_landed_prefix: u64,
+    expect_torn_tail: bool,
+) {
+    let opts = PersistOptions {
+        fsync: FsyncPolicy::EveryN(4),
+        segment_bytes: 16 << 10,
+        checkpoint_every: 0,
+        rebase: magicrecs_persist::RebasePolicy::DISABLED,
+    };
+    let (mut recovered, report) =
+        PersistentEngine::open(dir, config(), CapStrategy::None, opts).unwrap();
+    assert_eq!(
+        report.next_seq,
+        acked as u64 + expect_landed_prefix,
+        "recovery must land exactly on the durable prefix"
+    );
+    assert_eq!(report.torn_tail, expect_torn_tail);
+    assert_eq!(
+        report.replayed, report.next_seq,
+        "no checkpoint: full replay"
+    );
+
+    let mut got = pre;
+    for &e in &events[report.next_seq as usize..] {
+        got.extend(recovered.on_event(e).unwrap());
+    }
+    let mut expected: Vec<Candidate> = Vec::new();
+    for per in per_event.iter().take(acked) {
+        expected.extend(per.iter().cloned());
+    }
+    for per in per_event.iter().skip(report.next_seq as usize) {
+        expected.extend(per.iter().cloned());
+    }
+    assert_eq!(got, expected, "post-recovery candidate parity");
+}
+
+/// Kill point: the *interior policy fsync* of a group commit fails
+/// after the batch's first chunk landed. The WAL must poison (the call
+/// is half-committed), the error must be typed, and recovery must
+/// replay exactly the landed 4-record chunk with emission suppressed.
+#[test]
+fn kill_point_fsync_failure_poisons_after_landed_prefix() {
+    let events = matrix_trace(400);
+    let mut reference = Engine::new(motif_graph(), config()).unwrap();
+    let per_event: Vec<Vec<Candidate>> = events.iter().map(|&e| reference.on_event(e)).collect();
+
+    let dir = TempDir::new("kp-fsync-fault");
+    // First sync after arming = the interior EveryN(4) mark of the next
+    // batch: 4 records land, then their promised fsync fails.
+    let (acked, pre, fv) = drive_until_injected_fault(
+        dir.path(),
+        FaultPlan::fail_nth_sync(1),
+        100,
+        &events,
+        &per_event,
+    );
+    assert_eq!(acked, 100, "fault fires inside the first armed batch");
+    assert_eq!(fv.fired_count(), 1, "exactly the planned sync fault fires");
+    assert!(fv.ops_seen(FaultOp::Sync) >= 1);
+    // The bytes of the synced-then-failed chunk are still in the file
+    // (no physical crash), so recovery replays them: a clean tail, 4
+    // records past the acknowledged prefix.
+    assert_recovery_parity(dir.path(), &events, &per_event, acked, pre, 4, false);
+}
+
+/// Kill point: the *second chunk* of a group commit tears — a prefix of
+/// its frame bytes lands, then the device errors — and the WAL's
+/// rewind-to-boundary truncation fails too (a sick device stays sick).
+/// The first chunk is already durable (landed prefix ⇒ poison), the
+/// torn bytes stay on disk, and recovery must repair the torn tail and
+/// replay exactly the intact 4 records.
+#[test]
+fn kill_point_torn_write_poisons_after_landed_prefix() {
+    let events = matrix_trace(400);
+    let mut reference = Engine::new(motif_graph(), config()).unwrap();
+    let per_event: Vec<Vec<Candidate>> = events.iter().map(|&e| reference.on_event(e)).collect();
+
+    let dir = TempDir::new("kp-torn-fault");
+    // Write #1 after arming = chunk 1 (4 records, lands clean, interior
+    // sync passes); write #2 = chunk 2, torn 7 bytes in — strictly
+    // inside chunk 2's first frame, so no record of it survives. The
+    // paired
+    // SetLen fault kills the in-process rewind, so the tear survives to
+    // recovery instead of being truncated away by the error path.
+    let plan = FaultPlan::torn_nth_write(2, 7).and(FaultSpec {
+        op: FaultOp::SetLen,
+        nth: 1,
+        mode: FaultMode::Fail,
+    });
+    let (acked, pre, fv) = drive_until_injected_fault(dir.path(), plan, 100, &events, &per_event);
+    assert_eq!(acked, 100, "fault fires inside the first armed batch");
+    assert_eq!(
+        fv.fired_count(),
+        2,
+        "torn write AND failed rewind both fire"
+    );
+    // Chunk 1's records survive; chunk 2's torn bytes are repaired at
+    // open (the crash signature the report surfaces as `torn_tail`).
+    assert_recovery_parity(dir.path(), &events, &per_event, acked, pre, 4, true);
 }

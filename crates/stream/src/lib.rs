@@ -20,15 +20,22 @@
 //!   [`live::run_sharded`] hash-routes it into one shared handler — the
 //!   transport that drives `magicrecs_core::ConcurrentEngine` from N
 //!   threads.
+//!
+//! Plus [`playback`] — the deterministic scenario-playback driver used
+//! by robustness experiments: it feeds a trace into a fallible sink and
+//! yields control at scheduled breakpoints (crash here, arm faults
+//! there).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod delay;
 pub mod live;
+pub mod playback;
 pub mod queue;
 pub mod sched;
 
 pub use delay::DelayModel;
+pub use playback::{play, PlaybackControl, PlaybackReport};
 pub use queue::SimulatedQueue;
 pub use sched::Scheduler;

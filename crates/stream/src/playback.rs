@@ -1,0 +1,232 @@
+//! Scenario playback: feed a time-ordered event slice into a fallible
+//! sink, yielding control at scheduled indices.
+//!
+//! This is the seam between a declarative adversity scenario (built by
+//! `magicrecs_gen::adversity`) and the engine under test. The harness
+//! owns a context `C` (typically the engine plus its experiment
+//! bookkeeping); the driver calls back into it for every event and at
+//! every scheduled *breakpoint* — where the harness can arm an I/O fault
+//! plan, crash-and-recover the engine, or stop the run. Keeping the
+//! loop here, rather than in each experiment binary, means every
+//! harness interprets "crash after event N" identically.
+
+use magicrecs_types::Error;
+
+/// What the harness wants after a breakpoint fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaybackControl {
+    /// Keep feeding events.
+    Continue,
+    /// Stop the run here (e.g. a simulated crash the harness will
+    /// recover from with a fresh playback over the remaining events).
+    Stop,
+}
+
+/// Outcome of a playback run.
+#[derive(Debug)]
+pub struct PlaybackReport {
+    /// Events successfully ingested (sink returned `Ok`).
+    pub ingested: usize,
+    /// Breakpoint indices that fired, in order.
+    pub breaks_hit: Vec<usize>,
+    /// The sink error that ended the run, with the index of the event
+    /// that triggered it, if any.
+    pub error: Option<(usize, Error)>,
+    /// Whether a breakpoint's [`PlaybackControl::Stop`] ended the run.
+    pub stopped: bool,
+}
+
+impl PlaybackReport {
+    /// True when every event was ingested without error or stop.
+    pub fn completed(&self) -> bool {
+        !self.stopped && self.error.is_none()
+    }
+}
+
+/// Plays `events` into `sink`, pausing at each index in `breakpoints`.
+///
+/// For each event `i` (in order): first, if `i` is a breakpoint,
+/// `at_break(ctx, i)` runs and may stop the run; then `sink(ctx, i,
+/// &events[i])` ingests the event. A breakpoint equal to `events.len()`
+/// fires after the final event (useful for end-of-trace assertions).
+/// A sink error records `(i, error)` and ends the run — the harness
+/// decides whether that means recovery (typed fault) or failure.
+///
+/// Breakpoints are visited in sorted order regardless of input order;
+/// duplicates fire once. Both callbacks receive `&mut C`, so the engine
+/// under test lives in one place and the breakpoint handler can replace
+/// it (crash-and-recover) between segments.
+pub fn play<T, C, S, B>(
+    events: &[T],
+    breakpoints: &[usize],
+    ctx: &mut C,
+    mut sink: S,
+    mut at_break: B,
+) -> PlaybackReport
+where
+    S: FnMut(&mut C, usize, &T) -> Result<(), Error>,
+    B: FnMut(&mut C, usize) -> PlaybackControl,
+{
+    let mut breaks: Vec<usize> = breakpoints.to_vec();
+    breaks.sort_unstable();
+    breaks.dedup();
+    let mut next_break = 0usize;
+
+    let mut report = PlaybackReport {
+        ingested: 0,
+        breaks_hit: Vec::new(),
+        error: None,
+        stopped: false,
+    };
+
+    for (i, event) in events.iter().enumerate() {
+        while next_break < breaks.len() && breaks[next_break] <= i {
+            let b = breaks[next_break];
+            next_break += 1;
+            report.breaks_hit.push(b);
+            if at_break(ctx, b) == PlaybackControl::Stop {
+                report.stopped = true;
+                return report;
+            }
+        }
+        if let Err(e) = sink(ctx, i, event) {
+            report.error = Some((i, e));
+            return report;
+        }
+        report.ingested += 1;
+    }
+    // Trailing breakpoints (>= events.len()) fire after the last event.
+    while next_break < breaks.len() {
+        let b = breaks[next_break];
+        next_break += 1;
+        report.breaks_hit.push(b);
+        if at_break(ctx, b) == PlaybackControl::Stop {
+            report.stopped = true;
+            return report;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plays_everything_without_breakpoints() {
+        let events = [10u64, 20, 30];
+        let mut seen = Vec::new();
+        let r = play(
+            &events,
+            &[],
+            &mut seen,
+            |ctx, i, e| {
+                ctx.push((i, *e));
+                Ok(())
+            },
+            |_, _| PlaybackControl::Continue,
+        );
+        assert!(r.completed());
+        assert_eq!(r.ingested, 3);
+        assert_eq!(seen, vec![(0, 10), (1, 20), (2, 30)]);
+    }
+
+    #[test]
+    fn breakpoints_fire_before_their_event_in_sorted_order() {
+        let events = [0u64; 6];
+        let mut log = Vec::new();
+        let r = play(
+            &events,
+            &[4, 2, 4, 6], // unsorted + duplicate + trailing
+            &mut log,
+            |ctx, i, _| {
+                ctx.push(format!("ev{i}"));
+                Ok(())
+            },
+            |ctx, b| {
+                ctx.push(format!("brk{b}"));
+                PlaybackControl::Continue
+            },
+        );
+        assert!(r.completed());
+        assert_eq!(r.breaks_hit, vec![2, 4, 6]);
+        assert_eq!(
+            log,
+            vec!["ev0", "ev1", "brk2", "ev2", "ev3", "brk4", "ev4", "ev5", "brk6"]
+        );
+    }
+
+    #[test]
+    fn stop_at_breakpoint_halts_before_the_event() {
+        let events = [0u64; 5];
+        let mut ingested = 0usize;
+        let r = play(
+            &events,
+            &[3],
+            &mut ingested,
+            |ctx, _, _| {
+                *ctx += 1;
+                Ok(())
+            },
+            |_, _| PlaybackControl::Stop,
+        );
+        assert!(r.stopped);
+        assert!(!r.completed());
+        assert_eq!(r.ingested, 3);
+        assert_eq!(ingested, 3, "event at the stop index must not ingest");
+    }
+
+    #[test]
+    fn sink_error_records_index_and_halts() {
+        let events = [0u64; 5];
+        let r = play(
+            &events,
+            &[],
+            &mut (),
+            |_, i, _| {
+                if i == 2 {
+                    Err(Error::Io("injected".into()))
+                } else {
+                    Ok(())
+                }
+            },
+            |_, _| PlaybackControl::Continue,
+        );
+        assert_eq!(r.ingested, 2);
+        let (at, err) = r.error.unwrap();
+        assert_eq!(at, 2);
+        assert!(matches!(err, Error::Io(_)));
+    }
+
+    #[test]
+    fn context_can_be_swapped_at_a_breakpoint() {
+        // The crash-and-recover shape: the breakpoint handler replaces
+        // the "engine" inside the context and playback keeps going.
+        struct Ctx {
+            engine: Vec<usize>,
+            generation: u32,
+        }
+        let events = [0u64; 4];
+        let mut ctx = Ctx {
+            engine: Vec::new(),
+            generation: 0,
+        };
+        let r = play(
+            &events,
+            &[2],
+            &mut ctx,
+            |c, i, _| {
+                c.engine.push(i);
+                Ok(())
+            },
+            |c, _| {
+                c.engine = Vec::new(); // "recovered" engine
+                c.generation += 1;
+                PlaybackControl::Continue
+            },
+        );
+        assert!(r.completed());
+        assert_eq!(ctx.generation, 1);
+        assert_eq!(ctx.engine, vec![2, 3], "post-crash engine saw the tail");
+    }
+}
