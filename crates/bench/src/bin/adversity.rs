@@ -20,6 +20,13 @@
 //! 3. **Typed errors only** — an injected fault surfaces as
 //!    `Error::Io`/`Corrupt`/`Invariant`; any panic fails the harness.
 //!
+//! Two extra cells (`checkpoint_under_flash_crowd`, fault columns none
+//! and fsync_fail) drive a [`PersistentConcurrentEngine`] with a live
+//! [`CheckpointDriver`] cutting non-quiescent incremental checkpoints
+//! *while* the flash-crowd storm runs, then crash-recover the directory
+//! and hold the same invariants — the checkpoint chain taken mid-storm
+//! must restore to candidate parity.
+//!
 //! Usage: `adversity [out_dir]` (default `target/adversity`). Exits
 //! non-zero if any cell is red. `MAGICRECS_ADVERSITY_SEED` overrides
 //! the base seed (recorded in every trajectory for exact replay).
@@ -29,7 +36,8 @@ use magicrecs_core::Engine;
 use magicrecs_gen::adversity::{AdversitySpec, Episode};
 use magicrecs_graph::CapStrategy;
 use magicrecs_persist::{
-    FaultPlan, FaultVfs, FsyncPolicy, PersistOptions, PersistentEngine, RebasePolicy, TempDir,
+    CheckpointDriver, FaultPlan, FaultVfs, FsyncPolicy, PersistOptions, PersistentConcurrentEngine,
+    PersistentEngine, RebasePolicy, TempDir,
 };
 use magicrecs_stream::playback::{play, PlaybackControl};
 use magicrecs_types::{Candidate, DetectorConfig, Duration, Error, Timestamp};
@@ -458,6 +466,326 @@ fn run_cell(
     }
 }
 
+/// Blocks until the driver has brought the chain tip within one cadence
+/// of the assigned tail (bounded by a 10 s deadline — missing it is not
+/// fatal, the chain tip is merely staler and `replayed` larger).
+fn await_cadence(engine: &PersistentConcurrentEngine, every: u64) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let lag = match engine.checkpoint_tip() {
+            Some(tip) => engine.next_seq().saturating_sub(tip + 1),
+            None => engine.next_seq(),
+        };
+        if lag < every || std::time::Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+
+/// The non-quiescent checkpoint cell: a [`PersistentConcurrentEngine`]
+/// ingests the flash-crowd storm while a [`CheckpointDriver`] cuts
+/// incremental fence-vector checkpoints concurrently. The fsync column
+/// arms a single failing fsync mid-storm; the race decides whether it
+/// lands in the WAL path (ingest poisons — crash, recover, resume the
+/// tail) or in a checkpoint publish (driver counts a failure, the
+/// previous chain tip stays authoritative, ingest never notices). Both
+/// outcomes must recover to candidate parity.
+#[allow(clippy::too_many_lines)]
+fn run_checkpoint_cell(
+    fault: Fault,
+    fault_idx: usize,
+    base_seed: u64,
+    out_dir: &Path,
+) -> CellResult {
+    const SCENARIO: &str = "checkpoint_under_flash_crowd";
+    const PARTS: usize = 2;
+    let seed = cell_seed(base_seed, SCENARIOS.len(), fault_idx);
+    let spec = spec_for("flash_crowd", seed);
+    let trace = spec.build();
+    let events = trace.events();
+    let at_event = events.len() * 2 / 5;
+    let graph = magicrecs_bench::small_graph(spec.users);
+    let config = detector_config();
+    // Incremental chain: driver cuts rebase to a full checkpoint every
+    // 4 deltas; a 128-event cadence fires many times over the storm.
+    let opts = PersistOptions {
+        checkpoint_every: 128,
+        rebase: RebasePolicy {
+            max_chain_len: 4,
+            max_delta_bytes_ratio: 0.0,
+        },
+        ..engine_opts(fault)
+    };
+
+    let mut twin = Engine::new(graph.clone(), config).expect("twin engine");
+    let twin_per_event: Vec<Vec<Candidate>> = events.iter().map(|&e| twin.on_event(e)).collect();
+
+    let plan = match fault {
+        Fault::FsyncFail => FaultPlan::fail_nth_sync(1 + seed % 3),
+        _ => FaultPlan::none(),
+    };
+
+    struct CkptCtx {
+        engine: Arc<PersistentConcurrentEngine>,
+        fault_vfs: Option<FaultVfs>,
+        candidates: Vec<Candidate>,
+    }
+
+    let dir = TempDir::new("adversity-ckpt");
+    let mut ctx = if plan.specs.is_empty() {
+        CkptCtx {
+            engine: Arc::new(
+                PersistentConcurrentEngine::create(
+                    dir.path(),
+                    graph.clone(),
+                    1,
+                    config,
+                    PARTS,
+                    opts,
+                )
+                .expect("create engine"),
+            ),
+            fault_vfs: None,
+            candidates: Vec::new(),
+        }
+    } else {
+        let fv = FaultVfs::new_disarmed(plan.clone());
+        CkptCtx {
+            engine: Arc::new(
+                PersistentConcurrentEngine::create_with_vfs(
+                    dir.path(),
+                    graph.clone(),
+                    1,
+                    config,
+                    PARTS,
+                    opts,
+                    Arc::new(fv.clone()),
+                )
+                .expect("create engine"),
+            ),
+            fault_vfs: Some(fv),
+            candidates: Vec::new(),
+        }
+    };
+    let driver = CheckpointDriver::spawn(
+        Arc::clone(&ctx.engine),
+        opts.checkpoint_every,
+        std::time::Duration::from_millis(1),
+    );
+
+    // Segment 1: the storm plays on the main thread while the driver
+    // checkpoints from its own; the fault (if any) arms mid-storm.
+    let report = play(
+        events,
+        &[at_event],
+        &mut ctx,
+        |c, _, e| {
+            let out = c.engine.on_event(*e)?;
+            c.candidates.extend(out);
+            Ok(())
+        },
+        |c, _| {
+            if let Some(fv) = &c.fault_vfs {
+                fv.set_armed(true);
+            }
+            PlaybackControl::Continue
+        },
+    );
+    let acked = report.ingested;
+    let pre_candidates = std::mem::take(&mut ctx.candidates);
+
+    let mut notes: Vec<String> = Vec::new();
+    let mut green = true;
+    let check = |ok: bool, what: &str, notes: &mut Vec<String>| {
+        if !ok {
+            notes.push(format!("FAIL: {what}"));
+        }
+        ok
+    };
+
+    let fired = ctx.fault_vfs.as_ref().map(|f| f.fired_count()).unwrap_or(0);
+    let error_kind = report.error.as_ref().map(|(_, e)| err_kind(e));
+    let error_text = report
+        .error
+        .as_ref()
+        .map(|(i, e)| format!("event {i}: {e}"));
+
+    // Let the driver close the cadence gap while the engine is idle —
+    // unless the WAL is poisoned, where every further cut fails by
+    // design and waiting would only burn the deadline.
+    if report.error.is_none() {
+        await_cadence(&ctx.engine, opts.checkpoint_every);
+    }
+    let (driver_completed, driver_failures) = driver.stop();
+
+    match fault {
+        Fault::None => {
+            green &= check(
+                report.completed(),
+                "fault-free run must complete",
+                &mut notes,
+            );
+            green &= check(
+                driver_completed >= 1,
+                "driver must checkpoint at least once during the storm",
+                &mut notes,
+            );
+            green &= check(driver_failures == 0, "no driver failures", &mut notes);
+        }
+        Fault::FsyncFail => {
+            green &= check(fired >= 1, "fault plan must have fired", &mut notes);
+            if let Some(kind) = error_kind {
+                // WAL-path landing: ingest must refuse with a typed error.
+                green &= check(
+                    matches!(kind, "Io" | "Corrupt" | "Invariant"),
+                    "fault error must be typed Io/Corrupt/Invariant",
+                    &mut notes,
+                );
+            } else {
+                // Checkpoint-path landing: ingest is untouched, the
+                // driver absorbed the failure and retried.
+                green &= check(
+                    report.completed() && driver_failures >= 1,
+                    "checkpoint-path fault must be absorbed by the driver",
+                    &mut notes,
+                );
+            }
+        }
+        Fault::Crash | Fault::TornWrite => unreachable!("not a checkpoint-cell column"),
+    }
+
+    // Segment 2: ungraceful drop (driver already joined, so our Arc is
+    // the last), clean-backend recovery, resume over the tail.
+    drop(ctx);
+    let (next_seq, replayed, checkpoint_seq, post_candidates) =
+        match PersistentConcurrentEngine::open(dir.path(), config, CapStrategy::None, PARTS, opts) {
+            Ok((recovered, rec)) => {
+                let mut post = Vec::new();
+                let mut resume_err = None;
+                for &e in &events[rec.next_seq as usize..] {
+                    match recovered.on_event(e) {
+                        Ok(out) => post.extend(out),
+                        Err(e) => {
+                            resume_err = Some(e);
+                            break;
+                        }
+                    }
+                }
+                green &= check(
+                    resume_err.is_none(),
+                    "resume over the tail must run clean",
+                    &mut notes,
+                );
+                if let Some(e) = resume_err {
+                    notes.push(format!("resume error: {e}"));
+                }
+                (rec.next_seq, rec.replayed, rec.checkpoint_seq, post)
+            }
+            Err(e) => {
+                notes.push(format!("FAIL: recovery failed: {e}"));
+                green = false;
+                (0, 0, None, Vec::new())
+            }
+        };
+
+    green &= check(
+        next_seq >= acked as u64,
+        "next_seq must cover the acknowledged prefix (duplicate emission hazard)",
+        &mut notes,
+    );
+    green &= check(
+        checkpoint_seq.is_some(),
+        "a mid-storm checkpoint chain must be restorable",
+        &mut notes,
+    );
+    // The cadence catch-up bounds the WAL tail the chain leaves behind;
+    // 2× slack covers events that land on already-fenced partitions
+    // while the final cut is in flight.
+    if report.error.is_none() {
+        green &= check(
+            replayed <= 2 * opts.checkpoint_every,
+            "chain tip must bound tail replay to the cadence",
+            &mut notes,
+        );
+    }
+
+    // Candidate parity, same skip-window math as the sequential cells:
+    // events in [acked, next_seq) were durable but unacknowledged.
+    let mut expected: Vec<Candidate> = Vec::new();
+    for per in twin_per_event.iter().take(acked) {
+        expected.extend(per.iter().cloned());
+    }
+    if (next_seq as usize) < events.len() {
+        for per in twin_per_event.iter().skip(next_seq as usize) {
+            expected.extend(per.iter().cloned());
+        }
+    }
+    let mut got = pre_candidates.clone();
+    got.extend(post_candidates.iter().cloned());
+    green &= check(
+        got == expected,
+        "candidate parity with fault-free twin",
+        &mut notes,
+    );
+
+    let mut j = Json::default();
+    j.str("scenario", SCENARIO);
+    j.str("fault", fault.name());
+    j.raw("base_seed", base_seed);
+    j.raw("seed", seed);
+    j.raw("users", spec.users);
+    j.raw("events", events.len());
+    j.raw("at_event", at_event);
+    j.raw("wal_partitions", PARTS);
+    j.str("fsync", &format!("{:?}", opts.fsync));
+    j.raw("checkpoint_every", opts.checkpoint_every);
+    j.raw("rebase_max_chain_len", opts.rebase.max_chain_len);
+    j.str(
+        "fault_plan",
+        &plan
+            .specs
+            .iter()
+            .map(|s| format!("{s:?}"))
+            .collect::<Vec<_>>()
+            .join("; "),
+    );
+    j.raw("fired", fired);
+    j.raw("driver_completed", driver_completed);
+    j.raw("driver_failures", driver_failures);
+    j.raw("acked", acked);
+    j.raw("next_seq", next_seq);
+    j.raw("replayed", replayed);
+    j.raw(
+        "checkpoint_seq",
+        checkpoint_seq.map_or("null".into(), |s| s.to_string()),
+    );
+    j.raw("pre_candidates", pre_candidates.len());
+    j.raw("post_candidates", post_candidates.len());
+    j.raw("expected_candidates", expected.len());
+    j.raw("digest", format!("\"{:016x}\"", digest(&got)));
+    j.raw("expected_digest", format!("\"{:016x}\"", digest(&expected)));
+    match &error_text {
+        Some(t) => j.str("error", t),
+        None => j.raw("error", "null"),
+    }
+    j.raw("green", green);
+
+    let json_path = out_dir.join(format!("{}-{}.json", SCENARIO, fault.name()));
+    if let Err(e) = std::fs::write(&json_path, j.render()) {
+        notes.push(format!("FAIL: trajectory write: {e}"));
+        green = false;
+    }
+
+    CellResult {
+        scenario: SCENARIO,
+        fault,
+        green,
+        notes,
+        json_path,
+    }
+}
+
 fn main() {
     let out_dir = std::env::args()
         .nth(1)
@@ -497,8 +825,34 @@ fn main() {
         }
     }
 
+    // The non-quiescent checkpoint cells: live driver under the storm,
+    // with and without an injected fsync failure.
+    for (fi, &fault) in FAULTS.iter().enumerate() {
+        if !matches!(fault, Fault::None | Fault::FsyncFail) {
+            continue;
+        }
+        let r = run_checkpoint_cell(fault, fi, base_seed, &out_dir);
+        println!(
+            "{}",
+            row(&[
+                r.scenario.to_string(),
+                r.fault.name().to_string(),
+                if r.green {
+                    "green".into()
+                } else {
+                    "RED".into()
+                },
+                r.json_path.display().to_string(),
+            ])
+        );
+        if !r.green {
+            all_green = false;
+            failures.push((format!("{}-{}", r.scenario, r.fault.name()), r.notes));
+        }
+    }
+
     if all_green {
-        println!("\nall {} cells green", SCENARIOS.len() * FAULTS.len());
+        println!("\nall {} cells green", SCENARIOS.len() * FAULTS.len() + 2);
     } else {
         println!("\nRED cells:");
         for (cell, notes) in &failures {

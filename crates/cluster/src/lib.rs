@@ -40,4 +40,6 @@ pub mod threaded;
 pub use broker::Broker;
 pub use partition::Partition;
 pub use replica::ReplicaSet;
-pub use threaded::{IngestControl, SharedEngineCluster, ThreadedCluster, DEFAULT_MAX_BATCH};
+pub use threaded::{
+    IngestControl, PersistentRunReport, SharedEngineCluster, ThreadedCluster, DEFAULT_MAX_BATCH,
+};

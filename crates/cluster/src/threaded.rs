@@ -17,6 +17,16 @@
 //!   event-processing N times, shared mode buys it by overlapping ingest
 //!   and detection on one copy of the state.
 //!
+//! Shared mode can also run **durably**
+//! ([`SharedEngineCluster::run_trace_persistent`]): the workers drive a
+//! [`PersistentConcurrentEngine`] instead, and a background
+//! [`CheckpointDriver`] cuts non-quiescent checkpoints on a cadence while
+//! the workers keep ingesting — no worker ever waits for a checkpoint, a
+//! fence stalls only the one WAL partition being cut. Because workers and
+//! WAL partitions share the same routing mix, worker *i*'s targets land
+//! on WAL partition *i* exactly, so a partition fence never blocks a
+//! worker other than the one whose targets it covers.
+//!
 //! Both modes drain their worker queues in **bounded micro-batches**
 //! (configurable via `with_max_batch`, default [`DEFAULT_MAX_BATCH`])
 //! rather than one item per `recv`: a worker blocks for the first item,
@@ -30,12 +40,14 @@ use crate::partition::Partition;
 use crossbeam::channel;
 use magicrecs_core::ConcurrentEngine;
 use magicrecs_graph::{partition_by_source, FollowGraph, HashPartitioner};
+use magicrecs_persist::{CheckpointDriver, PersistOptions, PersistentConcurrentEngine};
 use magicrecs_types::{
     Candidate, ClusterConfig, DetectorConfig, EdgeEvent, Error, PartitionId, Result,
 };
+use std::path::Path;
 use std::sync::Arc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Default micro-batch bound for worker queue drains. Tuned by the
 /// hotpath bench (`batched_celebrity_events_per_sec`): past ~64 the
@@ -108,6 +120,23 @@ impl ThreadedRunReport {
             f64::INFINITY
         }
     }
+}
+
+/// Outcome of a durable shared-engine run
+/// ([`SharedEngineCluster::run_trace_persistent`]).
+#[derive(Debug, Clone)]
+pub struct PersistentRunReport {
+    /// The threaded run outcome (candidates, events, wall).
+    pub run: ThreadedRunReport,
+    /// Checkpoints the background [`CheckpointDriver`] completed while
+    /// the workers ingested (plus the catch-up cut at drain, if the
+    /// cadence demanded one).
+    pub checkpoints_completed: u64,
+    /// Driver checkpoint attempts that failed. A failure leaves the
+    /// previous chain tip intact and is retried on the next cadence
+    /// poll, so a non-zero count with a clean run means degraded
+    /// reclamation, not lost data.
+    pub checkpoint_failures: u64,
 }
 
 /// A cluster of partition worker threads.
@@ -345,6 +374,146 @@ impl SharedEngineCluster {
             wall,
         })
     }
+
+    /// [`SharedEngineCluster::run_trace`] on a durable engine: creates a
+    /// fresh [`PersistentConcurrentEngine`] in `dir` with one WAL
+    /// partition per worker, and — when `opts.checkpoint_every > 0` —
+    /// attaches a background [`CheckpointDriver`] that cuts fence-vector
+    /// checkpoints *while the workers ingest*. Workers never pause for a
+    /// cut: a fence stalls appends to one WAL partition, and worker
+    /// routing equals partition routing, so at most the one worker whose
+    /// targets are being exported waits.
+    ///
+    /// After the stream drains, the driver is given a bounded grace
+    /// period to bring the chain tip within one cadence of the durable
+    /// tail (so a restart replays at most `checkpoint_every` events),
+    /// then the WAL is synced. Candidates are identical to
+    /// [`SharedEngineCluster::run_trace`] and to a sequential engine.
+    pub fn run_trace_persistent(
+        &self,
+        dir: &Path,
+        opts: PersistOptions,
+        events: &[EdgeEvent],
+    ) -> Result<PersistentRunReport> {
+        let engine = Arc::new(PersistentConcurrentEngine::create(
+            dir,
+            self.graph.clone(),
+            0,
+            self.detector_config,
+            self.workers,
+            opts,
+        )?);
+        // A 10 ms cadence-check granularity is far below any sensible
+        // `checkpoint_every`, and on a saturated box the poll wakeups
+        // themselves time-slice against the workers — poll coarsely.
+        let driver = (opts.checkpoint_every > 0).then(|| {
+            CheckpointDriver::spawn(
+                Arc::clone(&engine),
+                opts.checkpoint_every,
+                Duration::from_millis(10),
+            )
+        });
+
+        let (result_tx, result_rx) = channel::unbounded::<Result<Vec<Candidate>>>();
+        let mut senders = Vec::with_capacity(self.workers);
+        let mut joins = Vec::with_capacity(self.workers);
+        for _ in 0..self.workers {
+            let (tx, rx) = channel::bounded::<EdgeEvent>(4096);
+            let engine = Arc::clone(&engine);
+            let result_tx = result_tx.clone();
+            let max_batch = self.max_batch;
+            senders.push(tx);
+            joins.push(thread::spawn(move || {
+                let mut local_out = Vec::new();
+                let mut batch = Vec::with_capacity(max_batch);
+                let mut outcome = Ok(());
+                while drain_batch(&rx, &mut batch, max_batch) {
+                    // WAL append + store apply. A persistence fault
+                    // poisons the WAL (every later append is refused), so
+                    // stop draining and surface the first error.
+                    if let Err(e) = engine.on_events_into(&batch, &mut local_out) {
+                        outcome = Err(e);
+                        break;
+                    }
+                }
+                let _ = result_tx.send(outcome.map(|()| local_out));
+            }));
+        }
+        drop(result_tx);
+
+        let start = Instant::now();
+        let mut sent = 0u64;
+        let mut ingest_closed = false;
+        for &event in events {
+            if senders[Self::route(event.dst, self.workers)]
+                .send(event)
+                .is_err()
+            {
+                // A worker died mid-stream (WAL poison); its error is in
+                // the result channel — finish the gather to surface it.
+                ingest_closed = true;
+                break;
+            }
+            sent += 1;
+        }
+        drop(senders);
+
+        let mut candidates = Vec::new();
+        let mut first_err = None;
+        for outcome in result_rx.iter() {
+            match outcome {
+                Ok(out) => candidates.extend(out),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        let wall = start.elapsed();
+        for j in joins {
+            j.join()
+                .map_err(|_| Error::ChannelClosed("persistent shared-engine worker panicked"))?;
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        if ingest_closed {
+            return Err(Error::ChannelClosed("persistent shared-engine ingest"));
+        }
+
+        let (checkpoints_completed, checkpoint_failures) = match driver {
+            Some(driver) => {
+                // The engine is idle now; give the driver a bounded
+                // window to close the cadence gap so a restart replays at
+                // most `checkpoint_every` events. Missing the window is
+                // not an error — the chain tip is merely staler.
+                let deadline = Instant::now() + Duration::from_secs(10);
+                loop {
+                    let lag = match engine.checkpoint_tip() {
+                        Some(tip) => engine.next_seq().saturating_sub(tip + 1),
+                        None => engine.next_seq(),
+                    };
+                    if lag < opts.checkpoint_every || Instant::now() >= deadline {
+                        break;
+                    }
+                    thread::sleep(Duration::from_millis(1));
+                }
+                driver.stop()
+            }
+            None => (0, 0),
+        };
+        engine.sync()?;
+
+        candidates.sort_by(|a, b| {
+            (a.triggered_at, a.user, a.target).cmp(&(b.triggered_at, b.user, b.target))
+        });
+        Ok(PersistentRunReport {
+            run: ThreadedRunReport {
+                candidates,
+                events: sent,
+                wall,
+            },
+            checkpoints_completed,
+            checkpoint_failures,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -530,6 +699,84 @@ mod tests {
         let b = cluster.run_trace(t.events()).unwrap();
         // Fresh engine per run: identical inputs give identical outputs.
         assert_eq!(a.candidates, b.candidates);
+    }
+
+    /// The durable shared run produces exactly the sequential engine's
+    /// candidates while a background driver checkpoints mid-ingest, and
+    /// the directory it leaves behind recovers to the same live state
+    /// with at most one cadence of WAL replay.
+    #[test]
+    fn persistent_shared_run_checkpoints_live_and_recovers() {
+        use magicrecs_persist::{FsyncPolicy, PersistOptions, RebasePolicy, TempDir};
+
+        let g = GraphGen::new(GraphGenConfig::small()).generate();
+        let trace = Scenario::steady(
+            1_000,
+            ScenarioConfig::small().with_duration(magicrecs_types::Duration::from_secs(20)),
+        );
+        let dc = DetectorConfig {
+            max_witnesses: Some(8),
+            ..DetectorConfig::example()
+        };
+
+        let mut engine = magicrecs_core::Engine::new(g.clone(), dc).unwrap();
+        let mut expected = engine.process_trace(trace.events().iter().copied());
+        expected.sort_by(|a, b| {
+            (a.triggered_at, a.user, a.target).cmp(&(b.triggered_at, b.user, b.target))
+        });
+
+        let dir = TempDir::new("cluster-persist");
+        let opts = PersistOptions {
+            fsync: FsyncPolicy::Never,
+            checkpoint_every: 128,
+            rebase: RebasePolicy {
+                max_chain_len: 8,
+                max_delta_bytes_ratio: 0.0,
+            },
+            ..PersistOptions::default()
+        };
+        const WORKERS: usize = 2;
+        let cluster = SharedEngineCluster::new(&g, WORKERS, dc).unwrap();
+        let report = cluster
+            .run_trace_persistent(dir.path(), opts, trace.events())
+            .unwrap();
+        assert_eq!(report.run.candidates, expected);
+        assert_eq!(report.run.events as usize, trace.len());
+        // 1000 events at a 128-event cadence: the driver must have cut at
+        // least once (the post-drain grace period guarantees it).
+        assert!(report.checkpoints_completed >= 1, "{report:?}");
+        assert_eq!(report.checkpoint_failures, 0, "{report:?}");
+
+        // Recover the directory and probe: the restored engine matches a
+        // fault-free twin fed the same trace.
+        let (pe, rec) = magicrecs_persist::PersistentConcurrentEngine::open(
+            dir.path(),
+            dc,
+            magicrecs_graph::CapStrategy::None,
+            WORKERS,
+            opts,
+        )
+        .unwrap();
+        assert_eq!(rec.next_seq, trace.len() as u64);
+        assert!(rec.checkpoint_seq.is_some(), "{rec:?}");
+        assert!(
+            rec.replayed < opts.checkpoint_every,
+            "tail replay exceeds one cadence: {rec:?}"
+        );
+
+        let twin = ConcurrentEngine::new(g.clone(), dc).unwrap();
+        twin.on_events(trace.events());
+        let probe = Scenario::steady(
+            40,
+            ScenarioConfig::small()
+                .with_duration(magicrecs_types::Duration::from_secs(20))
+                .with_seed(7),
+        );
+        assert_eq!(
+            pe.on_events(probe.events()).unwrap(),
+            twin.on_events(probe.events()),
+            "post-recovery candidates diverge from fault-free twin"
+        );
     }
 
     #[test]

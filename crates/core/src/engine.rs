@@ -230,6 +230,13 @@ impl<D: EdgeStore<UserId>> Engine<D> {
         &self.store
     }
 
+    /// Mutable access to the temporal store `D` — the persistence layer
+    /// uses this to enable and drain dirty-target tracking for
+    /// incremental checkpoints.
+    pub fn store_mut(&mut self) -> &mut D {
+        &mut self.store
+    }
+
     /// Engine metrics.
     pub fn stats(&self) -> &EngineStats {
         &self.stats

@@ -21,11 +21,21 @@
 //! * **Crash recovery** ([`recovery`]) — [`recovery::PersistentEngine`]
 //!   (sequential) and [`recovery::PersistentConcurrentEngine`] (shared
 //!   `S` + sharded `D`, per-partition WALs keyed by the hash route)
-//!   restore the snapshot chain and the latest checkpoint, replay the WAL
-//!   tail with notification emission suppressed (no duplicate
+//!   restore the snapshot chain and the latest checkpoint chain, replay
+//!   the WAL tail with notification emission suppressed (no duplicate
 //!   deliveries), then hand off to live ingest. After a crash at *any*
 //!   record boundary, the recovered candidate stream is byte-identical to
 //!   an uninterrupted run's (test-enforced by the kill-point matrix).
+//! * **Non-quiescent checkpoints** — the shared engine checkpoints `D`
+//!   *while ingest runs*: each WAL partition is cut behind its own brief
+//!   fence (appends to that route stall for the export, every other
+//!   partition keeps ingesting) and the file records a **fence vector**;
+//!   recovery replays each partition's tail from its own fence. With a
+//!   non-disabled [`RebasePolicy`], checkpoints are **incremental**
+//!   ([`checkpoint::DeltaCheckpoint`], `MGCI`): only targets dirtied
+//!   since the previous cut are written, chained onto the last full
+//!   checkpoint and rebased per the policy — mirroring the `S`
+//!   base+delta chain.
 //!
 //! ## On-disk layout
 //!
@@ -33,7 +43,8 @@
 //! <dir>/
 //!   s-base-00000000000000000007.mgrs        full S snapshot, epoch 7
 //!   s-delta-…0007-…0008.mgrd                GraphDelta 7 → 8
-//!   d-ckpt-00000000000000004096.mgck        D checkpoint through seq 4096
+//!   d-ckpt-00000000000000004096.mgck        full D checkpoint through seq 4096
+//!   d-ckpt-00000000000000005120.mgci        incremental delta, base 4096
 //!   wal-00000000000000000000.wal            sequential WAL segments …
 //!   wal-p3-00000000000000001042.wal         … or per-partition (route 3)
 //! ```
@@ -55,16 +66,33 @@
 //!
 //! A torn tail (crash mid-write) is detected by length/CRC and repaired at
 //! open; torn bytes in the *middle* of the log are refused as
-//! [`magicrecs_types::Error::Corrupt`]. `D` checkpoint format (`MGCK`):
+//! [`magicrecs_types::Error::Corrupt`]. `D` checkpoint format (`MGCK`,
+//! full):
 //!
 //! ```text
-//! magic "MGCK" | version u32 LE | last_seq u64 LE | targets u64 LE
+//! magic "MGCK" | version u32 LE (=2) | last_seq u64 LE
+//! fences  u64 LE count, then count × u64 LE   per-partition replay fences
+//! targets u64 LE
 //! per target (ascending dst):
 //!   dst     varint u64, delta-encoded across targets
 //!   count   varint u64
 //!   entries count × (src varint u64, at varint u64 delta from previous)
 //! checksum u64 LE (FxHash of all decoded values)
 //! ```
+//!
+//! (Version-1 files — no fence block — still load, with a uniform fence
+//! at `last_seq + 1`.) Incremental checkpoints (`MGCI`) share the group
+//! encoding, add `id`/`base_id` linking the file to the chain below it,
+//! and write a zero entry-count as a **tombstone** (the target vanished
+//! from `D` since the base). Chain rules: a delta is only valid atop the
+//! exact checkpoint `base_id` names; loading merges the newest full plus
+//! its strictly-ascending linked deltas (delta lists replace the base's
+//! per-target lists; tombstones remove them). Only a *full* checkpoint
+//! prunes — writing one deletes every older full and every delta at or
+//! below its id, so a delta's predecessors stay on disk (load-bearing)
+//! until the next full supersedes the chain. WAL reclamation is
+//! authorized by the chain tip's fence vector: partition `p` may drop
+//! segments strictly below `fences[p]`.
 //!
 //! ## Crash-consistency contract
 //!
@@ -117,8 +145,13 @@ pub mod tempdir;
 pub mod vfs;
 pub mod wal;
 
-pub use checkpoint::{load_latest_checkpoint, write_checkpoint, Checkpoint};
-pub use recovery::{PersistOptions, PersistentConcurrentEngine, PersistentEngine, RecoveryReport};
+pub use checkpoint::{
+    load_latest_chain, load_latest_checkpoint, write_checkpoint, Checkpoint, CheckpointChain,
+    DeltaCheckpoint,
+};
+pub use recovery::{
+    CheckpointDriver, PersistOptions, PersistentConcurrentEngine, PersistentEngine, RecoveryReport,
+};
 pub use snapshot::{RebasePolicy, SnapshotStore};
 pub use tempdir::TempDir;
 pub use vfs::{std_vfs, FaultMode, FaultOp, FaultPlan, FaultSpec, FaultVfs, StdVfs, Vfs, VfsFile};

@@ -12,10 +12,11 @@
 //!    reclaims WAL segments the window pruning + checkpoint have both
 //!    passed;
 //! 3. **open** (after a crash or restart) — reload base + delta chain,
-//!    restore the newest `D` checkpoint, replay the WAL tail through the
-//!    store with **notification emission suppressed** (replay mutates `D`
-//!    only — no candidate is ever delivered twice), then hand off to live
-//!    ingest at the exact sequence the log ends.
+//!    restore the newest `D` checkpoint **chain** (full + incremental
+//!    deltas), replay each WAL partition's tail above its fence through
+//!    the store with **notification emission suppressed** (replay mutates
+//!    `D` only — no candidate is ever delivered twice), then hand off to
+//!    live ingest at the exact sequence the log ends.
 //!
 //! ## The parity contract
 //!
@@ -29,16 +30,49 @@
 //! only on the per-target insert/remove sequence, which the WAL preserves
 //! per target (globally for the sequential engine; per hash-route
 //! partition — and targets are route-sticky — for the shared engine).
+//!
+//! ## The fence-vector consistency contract
+//!
+//! Checkpoints never require quiescing ingest. A checkpoint is assembled
+//! one WAL partition at a time: partition `p` is briefly fenced (its
+//! appends stall, every in-flight store apply drains, the log syncs),
+//! its targets are exported at that instant, and the cut records
+//! `fences[p]` — the first sequence the export does **not** reflect —
+//! while every other partition keeps ingesting. The resulting file is
+//! *not* a moment-in-time photograph of the whole store; it is a vector
+//! of per-partition photographs taken at different sequences. That is
+//! sufficient because targets are partition-sticky: restoring the
+//! exported lists and then replaying each partition's WAL tail from its
+//! own fence reproduces exactly the per-target insert/remove sequence
+//! the live run applied, which is all `D` semantics depend on.
+//!
+//! ## Incremental checkpoint chain rules
+//!
+//! With a non-disabled [`RebasePolicy`], checkpoints after the first are
+//! **deltas** (`.mgci`): only targets whose list changed since the
+//! previous cut are written (complete current lists, or tombstones for
+//! targets that aged out), chained to the previous checkpoint's id. The
+//! chain rebases to a fresh full (`.mgck`) when it outgrows the policy's
+//! length or byte-ratio bound. Reclamation authority belongs to the
+//! *chain tip*, but only a **full** prunes files: every delta's
+//! predecessors stay load-bearing until the next full supersedes the
+//! whole chain, and WAL segments reclaim against the tip's fence vector
+//! (partition `p`'s segments are disposable below `fences[p]`, wherever
+//! the other partitions' fences sit).
 
-use crate::checkpoint::{load_latest_checkpoint, write_checkpoint_with};
+use crate::checkpoint::{
+    broadcast_fences, load_latest_chain, write_checkpoint_fenced_with, write_delta_checkpoint_with,
+    CheckpointChain,
+};
 use crate::snapshot::{RebasePolicy, SnapshotStore};
 use crate::vfs::{std_vfs, Vfs};
-use crate::wal::{self, FsyncPolicy, SharedWal, Wal, WalOptions};
+use crate::wal::{self, route_partition, FsyncPolicy, SharedWal, Wal, WalOptions};
 use magicrecs_core::{ConcurrentEngine, Engine};
 use magicrecs_graph::{CapStrategy, FollowGraph, GraphDelta};
-use magicrecs_types::{Candidate, DetectorConfig, EdgeEvent, Error, Result, Timestamp};
+use magicrecs_types::{Candidate, DetectorConfig, EdgeEvent, Error, Result, Timestamp, UserId};
 use parking_lot::Mutex;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Tuning for the persistence subsystem.
@@ -51,16 +85,20 @@ pub struct PersistOptions {
     /// Events between automatic `D` checkpoints (0 disables — the WAL
     /// then replays from its beginning and is never reclaimed).
     ///
-    /// **Sequential engine only.** [`PersistentConcurrentEngine`] cannot
-    /// checkpoint mid-ingest (a checkpoint needs a quiescent moment, see
-    /// its type docs), so there this knob is inert: call
-    /// [`PersistentConcurrentEngine::checkpoint`] from the maintenance
-    /// thread between drained batches, or segments are reclaimed only up
-    /// to the sealing checkpoint recovery itself writes.
+    /// The sequential engine checkpoints inline from its ingest path.
+    /// [`PersistentConcurrentEngine`] keeps ingest wait-free and leaves
+    /// the cadence to a [`CheckpointDriver`] (or explicit
+    /// [`PersistentConcurrentEngine::checkpoint`] calls) — checkpoints
+    /// there never require quiescing, see the fence-vector contract in
+    /// the module docs.
     pub checkpoint_every: u64,
-    /// When `publish_graph_delta` folds the delta chain into a fresh
-    /// base automatically (see [`RebasePolicy`]);
-    /// [`RebasePolicy::DISABLED`] leaves compaction to the operator.
+    /// When `publish_graph_delta` folds the snapshot delta chain into a
+    /// fresh base automatically (see [`RebasePolicy`]), **and** when the
+    /// `D` checkpoint chain rebases an incremental run onto a fresh full
+    /// checkpoint. [`RebasePolicy::DISABLED`] leaves snapshot compaction
+    /// to the operator and makes every `D` checkpoint a full one
+    /// (incremental dirty-tracking is then never enabled, so the
+    /// steady-state ingest path carries zero tracking overhead).
     pub rebase: RebasePolicy,
 }
 
@@ -111,23 +149,79 @@ const SEQ_WAL_PREFIX: &str = "wal-";
 /// bounds the replay buffer while still amortizing shard locking.
 const REPLAY_APPLY_CHUNK: usize = 4096;
 
-/// Restores the newest `D` checkpoint through `apply_batch` in
-/// [`REPLAY_APPLY_CHUNK`]-bounded batches (checkpoint entries are all
+/// In-memory view of the on-disk `D` checkpoint chain — what the next
+/// checkpoint call needs to pick full vs delta and what `advance` needs
+/// to reclaim WAL segments.
+#[derive(Debug, Clone)]
+struct ChainState {
+    /// Id (= covered sequence) of the chain tip.
+    tip_id: u64,
+    /// The tip's per-partition fence vector (length = WAL partitions;
+    /// `[tip_id + 1]` for the sequential engine).
+    fences: Vec<u64>,
+    /// Deltas stacked on the newest full.
+    chain_len: usize,
+    /// Byte size of the newest full checkpoint.
+    full_bytes: u64,
+    /// Cumulative byte size of the deltas above it.
+    delta_bytes: u64,
+}
+
+impl ChainState {
+    fn from_chain(chain: &CheckpointChain) -> ChainState {
+        ChainState {
+            tip_id: chain.last_seq,
+            fences: chain.fences.clone(),
+            chain_len: chain.chain_len as usize,
+            full_bytes: chain.full_bytes,
+            delta_bytes: chain.delta_bytes,
+        }
+    }
+
+    /// Whether the next checkpoint must rebase to a full — the same
+    /// length/byte-ratio shape [`RebasePolicy`] applies to snapshot
+    /// chains, here over checkpoint files.
+    fn wants_full(&self, policy: RebasePolicy) -> bool {
+        if policy.max_chain_len == 0 {
+            return true; // incremental mode disabled entirely
+        }
+        if self.chain_len >= policy.max_chain_len {
+            return true;
+        }
+        policy.max_delta_bytes_ratio > 0.0
+            && self.chain_len > 0
+            && self.delta_bytes as f64 >= policy.max_delta_bytes_ratio * self.full_bytes as f64
+    }
+}
+
+/// Whether this policy wants per-target dirty tracking enabled in `D`
+/// (the prerequisite for writing delta checkpoints).
+fn incremental(policy: RebasePolicy) -> bool {
+    policy.max_chain_len > 0
+}
+
+/// Restores the newest `D` checkpoint **chain** (full + linked deltas,
+/// merged by [`load_latest_chain`]) through `apply_batch` in
+/// [`REPLAY_APPLY_CHUNK`]-bounded batches (merged chain entries are all
 /// insertions, so each chunk is one
 /// [`magicrecs_temporal::EdgeStore::insert_batch`]-shaped apply without
 /// ever materializing a second full copy of the checkpoint), returning
-/// `(min_seq, checkpoint_seq, entries_restored)` — the WAL replay bound
-/// shared by both engines' recovery paths.
+/// `(fences, chain_state, entries_restored)` — the per-partition WAL
+/// replay bounds shared by both engines' recovery paths. `parts` is the
+/// WAL partition count the fence vector must match (a stored
+/// single-fence vector broadcasts — v1 checkpoints and sequential-engine
+/// files carry one fence).
 fn restore_checkpoint(
     dir: &Path,
+    parts: usize,
     mut apply_batch: impl FnMut(&[EdgeEvent]),
-) -> Result<(u64, Option<u64>, u64)> {
-    Ok(match load_latest_checkpoint(dir)? {
-        Some(ck) => {
-            let n = ck.entries.len() as u64;
+) -> Result<(Vec<u64>, Option<ChainState>, u64)> {
+    Ok(match load_latest_chain(dir)? {
+        Some(chain) => {
+            let n = chain.entries.len() as u64;
             let mut buf: Vec<EdgeEvent> =
-                Vec::with_capacity(REPLAY_APPLY_CHUNK.min(ck.entries.len()));
-            for chunk in ck.entries.chunks(REPLAY_APPLY_CHUNK) {
+                Vec::with_capacity(REPLAY_APPLY_CHUNK.min(chain.entries.len()));
+            for chunk in chain.entries.chunks(REPLAY_APPLY_CHUNK) {
                 buf.clear();
                 buf.extend(
                     chunk
@@ -136,9 +230,12 @@ fn restore_checkpoint(
                 );
                 apply_batch(&buf);
             }
-            (ck.last_seq + 1, Some(ck.last_seq), n)
+            let fences = broadcast_fences(&chain.fences, parts)?;
+            let mut state = ChainState::from_chain(&chain);
+            state.fences = fences.clone();
+            (fences, Some(state), n)
         }
-        None => (0, None, 0),
+        None => (vec![0; parts], None, 0),
     })
 }
 
@@ -155,6 +252,7 @@ fn restore_checkpoint(
 /// refuse.
 fn ensure_no_stale_state(dir: &Path, snapshots: &SnapshotStore) -> Result<()> {
     if !crate::checkpoint::list_checkpoints(dir)?.is_empty()
+        || !crate::checkpoint::list_delta_checkpoints(dir)?.is_empty()
         || snapshots.has_artifacts()?
         || wal::any_segments(dir)?
     {
@@ -182,8 +280,8 @@ pub struct PersistentEngine {
     checkpoint_every: u64,
     since_checkpoint: u64,
     rebase: RebasePolicy,
-    /// WAL sequence the newest on-disk checkpoint covers.
-    checkpoint_seq: Option<u64>,
+    /// The on-disk checkpoint chain (tip id, fences, rebase accounting).
+    chain: Option<ChainState>,
 }
 
 impl PersistentEngine {
@@ -220,8 +318,12 @@ impl PersistentEngine {
         crate::fsutil::sweep_tmp_files(vfs.as_ref(), dir)?;
         snapshots.publish_base(epoch, &graph)?;
         let wal = Wal::create_with_vfs(dir, SEQ_WAL_PREFIX, opts.wal(), Arc::clone(&vfs))?;
+        let mut engine = Engine::new(graph, config)?;
+        if incremental(opts.rebase) {
+            engine.store_mut().enable_dirty_tracking();
+        }
         Ok(PersistentEngine {
-            engine: Engine::new(graph, config)?,
+            engine,
             wal,
             snapshots,
             vfs,
@@ -230,7 +332,7 @@ impl PersistentEngine {
             checkpoint_every: opts.checkpoint_every,
             since_checkpoint: 0,
             rebase: opts.rebase,
-            checkpoint_seq: None,
+            chain: None,
         })
     }
 
@@ -261,8 +363,15 @@ impl PersistentEngine {
         let loaded = snapshots.load_latest(cap)?;
         let mut engine = Engine::new(loaded.graph, config)?;
 
-        let (min_seq, checkpoint_seq, checkpoint_entries) =
-            restore_checkpoint(dir, |events| engine.apply_to_store_batch(events))?;
+        let (fences, chain, checkpoint_entries) =
+            restore_checkpoint(dir, 1, |events| engine.apply_to_store_batch(events))?;
+        let min_seq = fences[0];
+        let checkpoint_seq = chain.as_ref().map(|c| c.tip_id);
+        // Tracking must be live *before* tail replay: replayed mutations
+        // are exactly what the next delta checkpoint has to export.
+        if incremental(opts.rebase) {
+            engine.store_mut().enable_dirty_tracking();
+        }
 
         let mut replayed = 0u64;
         // Contiguity-checked: the sequential log is dense from seq 0, so
@@ -305,7 +414,7 @@ impl PersistentEngine {
                 checkpoint_every: opts.checkpoint_every,
                 since_checkpoint: 0,
                 rebase: opts.rebase,
-                checkpoint_seq,
+                chain,
             },
             report,
         ))
@@ -352,32 +461,104 @@ impl PersistentEngine {
         Ok(out)
     }
 
-    /// Writes a `D` checkpoint covering everything appended so far.
+    /// Writes a `D` checkpoint covering everything appended so far. With
+    /// a non-disabled [`RebasePolicy`] the checkpoint is **incremental**
+    /// where the chain allows: only targets dirtied since the previous
+    /// cut are written (as a delta chained on the last full), rebasing to
+    /// a fresh full per the policy. Restoring the chain is equivalent to
+    /// restoring one full checkpoint taken at the same cut.
     pub fn checkpoint(&mut self) -> Result<()> {
         let next = self.wal.next_seq();
         if next == 0 {
             return Ok(()); // nothing to cover
         }
         let covered = next - 1;
+        if self.chain.as_ref().is_some_and(|c| c.tip_id == covered) {
+            self.since_checkpoint = 0;
+            return Ok(()); // tip already covers every assigned sequence
+        }
         // Durability order: records must be on disk before a checkpoint
         // claims to cover them (else a crash could reclaim-then-lose).
         self.wal.sync()?;
-        let mut entries = Vec::new();
-        self.engine.store().export_entries(&mut entries);
-        write_checkpoint_with(&self.dir, entries, covered, self.vfs.as_ref())?;
-        self.checkpoint_seq = Some(covered);
+        let fences = vec![next];
+        let full = self
+            .chain
+            .as_ref()
+            .is_none_or(|c| c.wants_full(self.rebase));
+        if full {
+            let mut entries = Vec::new();
+            self.engine.store().export_entries(&mut entries);
+            // A full covers every target, so standing dirty marks are
+            // consumed here; kept as an undo log in case the write fails
+            // (losing marks would silently drop targets from the next
+            // delta).
+            let drained = self.engine.store_mut().clear_dirty_where(|_| true);
+            match write_checkpoint_fenced_with(
+                &self.dir,
+                entries,
+                covered,
+                &fences,
+                self.vfs.as_ref(),
+            ) {
+                Ok((_, bytes)) => {
+                    self.chain = Some(ChainState {
+                        tip_id: covered,
+                        fences,
+                        chain_len: 0,
+                        full_bytes: bytes,
+                        delta_bytes: 0,
+                    });
+                }
+                Err(e) => {
+                    self.engine.store_mut().mark_dirty_many(drained);
+                    return Err(e);
+                }
+            }
+        } else {
+            let mut entries = Vec::new();
+            let mut tombstones = Vec::new();
+            let mut drained = Vec::new();
+            self.engine.store_mut().drain_dirty_exports(
+                |_| true,
+                &mut entries,
+                &mut tombstones,
+                &mut drained,
+            );
+            let base_id = self.chain.as_ref().expect("delta requires a chain").tip_id;
+            match write_delta_checkpoint_with(
+                &self.dir,
+                entries,
+                tombstones,
+                covered,
+                base_id,
+                &fences,
+                self.vfs.as_ref(),
+            ) {
+                Ok((_, bytes)) => {
+                    let c = self.chain.as_mut().expect("delta requires a chain");
+                    c.tip_id = covered;
+                    c.fences = fences;
+                    c.chain_len += 1;
+                    c.delta_bytes += bytes;
+                }
+                Err(e) => {
+                    self.engine.store_mut().mark_dirty_many(drained);
+                    return Err(e);
+                }
+            }
+        }
         self.since_checkpoint = 0;
         Ok(())
     }
 
     /// Advances window expiry and reclaims WAL segments that are both
-    /// past the retention window and covered by a checkpoint.
+    /// past the retention window and covered by the checkpoint chain tip.
     pub fn advance(&mut self, now: Timestamp) -> Result<usize> {
         self.engine.advance(now);
-        match self.checkpoint_seq {
-            Some(seq) => {
+        match &self.chain {
+            Some(c) => {
                 let cutoff = now.saturating_sub(self.engine.store().window());
-                self.wal.reclaim_before(cutoff, seq)
+                self.wal.reclaim_before(cutoff, c.tip_id)
             }
             None => Ok(0),
         }
@@ -426,6 +607,11 @@ impl PersistentEngine {
         self.wal.next_seq()
     }
 
+    /// Id (covered sequence) of the checkpoint chain tip, if any.
+    pub fn checkpoint_tip(&self) -> Option<u64> {
+        self.chain.as_ref().map(|c| c.tip_id)
+    }
+
     /// On-disk WAL segment count (bounded by τ + checkpoint cadence once
     /// reclamation runs).
     pub fn wal_segments(&self) -> usize {
@@ -443,11 +629,16 @@ impl PersistentEngine {
 /// same `route_mix` the sharded store and worker pools use), so N workers
 /// appending through `&self` contend only within their own route.
 ///
-/// Checkpointing requires a quiescent moment (no concurrent
-/// [`PersistentConcurrentEngine::on_event_into`] in flight): the exported
-/// store must be consistent with the recorded WAL position. The intended
-/// deployment checkpoints from the maintenance thread between drained
-/// batches — exactly where the paper's periodic `S` load also sits.
+/// Checkpointing is **non-quiescent**: ingest keeps running while
+/// [`PersistentConcurrentEngine::checkpoint`] cuts one WAL partition at a
+/// time behind a short per-partition fence, recording a fence vector
+/// instead of a single covered sequence (see the fence-vector contract in
+/// the module docs). Recovery replays each partition's tail from its own
+/// fence. A [`CheckpointDriver`] runs the cadence on a background thread;
+/// the maintenance thread only needs [`advance`] and
+/// [`publish_graph_delta`](PersistentConcurrentEngine::publish_graph_delta).
+///
+/// [`advance`]: PersistentConcurrentEngine::advance
 pub struct PersistentConcurrentEngine {
     engine: ConcurrentEngine,
     wal: SharedWal,
@@ -456,12 +647,14 @@ pub struct PersistentConcurrentEngine {
     dir: PathBuf,
     rebase: RebasePolicy,
     state: Mutex<ConcurrentPersistState>,
+    /// Checkpoint chain state, serialized separately from the snapshot
+    /// epoch lock so a long fenced export never blocks delta publishes.
+    ckpt: Mutex<Option<ChainState>>,
 }
 
 #[derive(Debug, Clone, Copy)]
 struct ConcurrentPersistState {
     epoch: u64,
-    checkpoint_seq: Option<u64>,
 }
 
 impl PersistentConcurrentEngine {
@@ -494,17 +687,19 @@ impl PersistentConcurrentEngine {
         crate::fsutil::sweep_tmp_files(vfs.as_ref(), dir)?;
         snapshots.publish_base(epoch, &graph)?;
         let wal = SharedWal::create_with_vfs(dir, parts, opts.wal(), Arc::clone(&vfs))?;
+        let engine = ConcurrentEngine::new(graph, config)?;
+        if incremental(opts.rebase) {
+            engine.store().enable_dirty_tracking();
+        }
         Ok(PersistentConcurrentEngine {
-            engine: ConcurrentEngine::new(graph, config)?,
+            engine,
             wal,
             snapshots,
             vfs,
             dir: dir.to_path_buf(),
             rebase: opts.rebase,
-            state: Mutex::new(ConcurrentPersistState {
-                epoch,
-                checkpoint_seq: None,
-            }),
+            state: Mutex::new(ConcurrentPersistState { epoch }),
+            ckpt: Mutex::new(None),
         })
     }
 
@@ -535,12 +730,21 @@ impl PersistentConcurrentEngine {
         let loaded = snapshots.load_latest(cap)?;
         let engine = ConcurrentEngine::new(loaded.graph, config)?;
 
-        let (min_seq, checkpoint_seq, checkpoint_entries) =
-            restore_checkpoint(dir, |events| engine.apply_to_store_batch(events))?;
+        let (fences, mut chain, checkpoint_entries) =
+            restore_checkpoint(dir, parts, |events| engine.apply_to_store_batch(events))?;
+        let checkpoint_seq = chain.as_ref().map(|c| c.tip_id);
+        // Tracking must be live *before* tail replay: replayed mutations
+        // are exactly what the next delta checkpoint has to export.
+        if incremental(opts.rebase) {
+            engine.store().enable_dirty_tracking();
+        }
+        // The replay floor below is global (for the sequence counter);
+        // per-partition filtering honors each partition's own fence.
+        let min_seq = fences.iter().copied().max().unwrap_or(0);
 
         let mut replayed = 0u64;
         let mut replay_buf: Vec<EdgeEvent> = Vec::with_capacity(REPLAY_APPLY_CHUNK);
-        let stats = SharedWal::replay_merged(dir, parts, min_seq, |record| {
+        let stats = SharedWal::replay_merged_fenced(dir, parts, &fences, |record| {
             replay_buf.push(record.event);
             replayed += 1;
             if replay_buf.len() >= REPLAY_APPLY_CHUNK {
@@ -559,25 +763,43 @@ impl PersistentConcurrentEngine {
         // burned by a failed append) is benign now, but once ingest
         // grows that partition's log past it, the next recovery would
         // read it as an interior gap and refuse the whole directory;
-        // covering everything assigned so far moves `min_seq` past every
-        // hole. Clean restarts skip the O(|D|) durable write: a dense
-        // replayed range with no torn tail has nothing to seal (holes
-        // above the newest surviving record need no seal either — those
-        // sequences are simply reassigned to new events).
+        // covering everything assigned so far moves the fences past
+        // every hole. Clean restarts skip the O(|D|) durable write: a
+        // dense replayed range with no torn tail has nothing to seal
+        // (holes above the newest surviving record need no seal either —
+        // those sequences are simply reassigned to new events). The seal
+        // is always a *full* checkpoint — it restarts the chain, with
+        // each partition fenced at its own recovered tail.
         let dense_span = stats
             .last_seq
             .map_or(0, |last| (last + 1).saturating_sub(min_seq));
         let tolerated_damage = stats.torn_tail || replayed < dense_span;
-        let sealed_seq = match wal.next_seq() {
-            0 => None,
-            next if !tolerated_damage || checkpoint_seq == Some(next - 1) => checkpoint_seq,
+        match wal.next_seq() {
+            0 => {}
+            next if !tolerated_damage || checkpoint_seq == Some(next - 1) => {}
             next => {
+                let seal_fences = wal.partition_next_seqs();
                 let mut entries = Vec::new();
                 engine.store().export_entries(&mut entries);
-                write_checkpoint_with(dir, entries, next - 1, vfs.as_ref())?;
-                Some(next - 1)
+                let (_, bytes) = write_checkpoint_fenced_with(
+                    dir,
+                    entries,
+                    next - 1,
+                    &seal_fences,
+                    vfs.as_ref(),
+                )?;
+                // Everything the seal exported is clean now; replay's
+                // dirty marks would only re-export it in the next delta.
+                engine.store().clear_dirty_where(|_| true);
+                chain = Some(ChainState {
+                    tip_id: next - 1,
+                    fences: seal_fences,
+                    chain_len: 0,
+                    full_bytes: bytes,
+                    delta_bytes: 0,
+                });
             }
-        };
+        }
         let report = RecoveryReport {
             snapshot_epoch: loaded.epoch,
             deltas_applied: loaded.deltas_applied,
@@ -597,8 +819,8 @@ impl PersistentConcurrentEngine {
                 rebase: opts.rebase,
                 state: Mutex::new(ConcurrentPersistState {
                     epoch: loaded.epoch,
-                    checkpoint_seq: sealed_seq,
                 }),
+                ckpt: Mutex::new(chain),
             },
             report,
         ))
@@ -619,8 +841,14 @@ impl PersistentConcurrentEngine {
     /// worker) provides this by construction; events for *different*
     /// targets may race freely.
     pub fn on_event_into(&self, event: EdgeEvent, out: &mut Vec<Candidate>) -> Result<usize> {
-        self.wal.append(event)?;
-        Ok(self.engine.on_event_into(event, out))
+        // The ticket keeps the event's partition fence from cutting
+        // between the WAL append and the store apply — a cut in that
+        // window would claim coverage of a sequence whose mutation the
+        // export can't yet see.
+        let (_, ticket) = self.wal.append_tracked(event)?;
+        let emitted = self.engine.on_event_into(event, out);
+        drop(ticket);
+        Ok(emitted)
     }
 
     /// Convenience wrapper returning a fresh vector.
@@ -643,8 +871,12 @@ impl PersistentConcurrentEngine {
     /// transport gives this by construction — and batches drained from
     /// one route's queue trivially preserve it).
     pub fn on_events_into(&self, events: &[EdgeEvent], out: &mut Vec<Candidate>) -> Result<usize> {
-        self.wal.append_batch(events)?;
-        Ok(self.engine.on_events_into(events, out))
+        // Same fence-gating as the single-event path: the ticket covers
+        // every partition the batch touched until the store apply lands.
+        let (_, ticket) = self.wal.append_batch_tracked(events)?;
+        let emitted = self.engine.on_events_into(events, out);
+        drop(ticket);
+        Ok(emitted)
     }
 
     /// [`PersistentConcurrentEngine::on_events_into`] collecting into a
@@ -655,33 +887,143 @@ impl PersistentConcurrentEngine {
         Ok(out)
     }
 
-    /// Writes a `D` checkpoint. **Caller must quiesce ingest** — see the
-    /// type docs; the checkpoint claims to cover every sequence assigned
-    /// so far, which is only true once in-flight events have landed in
-    /// both the WAL and the store.
+    /// Writes a `D` checkpoint **without quiescing ingest**. Partitions
+    /// are cut one at a time: partition `p`'s appends stall behind its
+    /// lock while in-flight store applies drain and `p`-routed targets
+    /// are exported at `p`'s fence — every other partition keeps
+    /// ingesting throughout. The file records the resulting fence vector
+    /// (see the module docs' fence-vector contract). With a non-disabled
+    /// [`RebasePolicy`] the cut is **incremental** where the chain
+    /// allows: only targets dirtied since the previous cut are written,
+    /// rebasing to a fresh full per the policy.
+    ///
+    /// Concurrent `checkpoint` calls serialize on the chain lock.
     pub fn checkpoint(&self) -> Result<()> {
-        let next = self.wal.next_seq();
-        if next == 0 {
-            return Ok(());
-        }
-        let covered = next - 1;
-        self.wal.sync_all()?;
-        let mut entries = Vec::new();
-        self.engine.store().export_entries(&mut entries);
-        write_checkpoint_with(&self.dir, entries, covered, self.vfs.as_ref())?;
-        self.state.lock().checkpoint_seq = Some(covered);
-        Ok(())
+        self.checkpoint_with_fence_observer(|_, _| {})
     }
 
-    /// Advances window expiry and reclaims fully-covered WAL segments on
-    /// every partition.
+    /// [`PersistentConcurrentEngine::checkpoint`] with a hook invoked
+    /// right after each partition's fence is released (`(partition,
+    /// fence)`), while later partitions are still uncut. The
+    /// crash-recovery matrix uses it to ingest *between* shard fences and
+    /// to kill mid-checkpoint; production code wants plain `checkpoint`.
+    pub fn checkpoint_with_fence_observer(
+        &self,
+        mut observe: impl FnMut(usize, u64),
+    ) -> Result<()> {
+        let mut chain = self.ckpt.lock();
+        let parts = self.wal.partitions();
+        let store = self.engine.store();
+        if let Some(c) = &*chain {
+            if self.wal.next_seq() == c.tip_id + 1 {
+                return Ok(()); // tip already covers every assigned sequence
+            }
+        }
+        let full = chain.as_ref().is_none_or(|c| c.wants_full(self.rebase));
+        let tracking = incremental(self.rebase);
+        let mut fences = vec![0u64; parts];
+        let mut entries: Vec<(UserId, UserId, Timestamp)> = Vec::new();
+        let mut tombstones: Vec<UserId> = Vec::new();
+        // Undo log: dirty marks consumed by the cut, re-marked if the
+        // file write fails so the next delta still covers those targets.
+        let mut drained: Vec<UserId> = Vec::new();
+        for (p, slot) in fences.iter_mut().enumerate() {
+            let cut = self.wal.with_partition_fenced(p, |fence| {
+                *slot = fence;
+                let pred = move |t: UserId| route_partition(&t, parts) == p;
+                if full {
+                    store.export_entries_where(pred, &mut entries);
+                    if tracking {
+                        drained.extend(store.clear_dirty_where(pred));
+                    }
+                } else {
+                    store.drain_dirty_exports(pred, &mut entries, &mut tombstones, &mut drained);
+                }
+                Ok(())
+            });
+            if let Err(e) = cut {
+                store.mark_dirty_many(drained);
+                return Err(e);
+            }
+            // Outside the fence: an observer that ingests to `p` must
+            // not deadlock against `p`'s own lock.
+            observe(p, *slot);
+        }
+        // The youngest fence names the cut; fence 0 partitions have no
+        // assigned sequences at all.
+        let id = match fences.iter().copied().max().unwrap_or(0) {
+            0 => {
+                store.mark_dirty_many(drained);
+                return Ok(()); // nothing ever assigned, nothing to cover
+            }
+            max => max - 1,
+        };
+        if chain.as_ref().is_some_and(|c| id <= c.tip_id) {
+            // Raced with a concurrent tip to the same cut; deterministic
+            // re-exports make the returned marks redundant, not lost.
+            store.mark_dirty_many(drained);
+            return Ok(());
+        }
+        if full {
+            match write_checkpoint_fenced_with(&self.dir, entries, id, &fences, self.vfs.as_ref()) {
+                Ok((_, bytes)) => {
+                    *chain = Some(ChainState {
+                        tip_id: id,
+                        fences,
+                        chain_len: 0,
+                        full_bytes: bytes,
+                        delta_bytes: 0,
+                    });
+                    Ok(())
+                }
+                Err(e) => {
+                    store.mark_dirty_many(drained);
+                    Err(e)
+                }
+            }
+        } else {
+            let base_id = chain.as_ref().expect("delta requires a chain").tip_id;
+            match write_delta_checkpoint_with(
+                &self.dir,
+                entries,
+                tombstones,
+                id,
+                base_id,
+                &fences,
+                self.vfs.as_ref(),
+            ) {
+                Ok((_, bytes)) => {
+                    let c = chain.as_mut().expect("delta requires a chain");
+                    c.tip_id = id;
+                    c.fences = fences;
+                    c.chain_len += 1;
+                    c.delta_bytes += bytes;
+                    Ok(())
+                }
+                Err(e) => {
+                    store.mark_dirty_many(drained);
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// Id (covered sequence) of the checkpoint chain tip, if any.
+    pub fn checkpoint_tip(&self) -> Option<u64> {
+        self.ckpt.lock().as_ref().map(|c| c.tip_id)
+    }
+
+    /// Advances window expiry and reclaims WAL segments on every
+    /// partition — partition `p` reclaims below the chain tip's
+    /// `fences[p]`, so a fence cut early in a checkpoint never holds
+    /// other partitions' segments hostage.
     pub fn advance(&self, now: Timestamp) -> Result<usize> {
         self.engine.advance(now);
-        let checkpoint_seq = self.state.lock().checkpoint_seq;
-        match checkpoint_seq {
-            Some(seq) => {
+        let fences = self.ckpt.lock().as_ref().map(|c| c.fences.clone());
+        match fences {
+            Some(fences) => {
                 let cutoff = now.saturating_sub(self.engine.store().window());
-                self.wal.reclaim_before(cutoff, seq)
+                self.wal.reclaim_before_fenced(cutoff, &fences)
             }
             None => Ok(0),
         }
@@ -728,6 +1070,97 @@ impl PersistentConcurrentEngine {
     /// Syncs all WAL partitions (also useful before a planned shutdown).
     pub fn sync(&self) -> Result<()> {
         self.wal.sync_all()
+    }
+}
+
+/// Background checkpoint cadence for [`PersistentConcurrentEngine`]:
+/// polls the engine's sequence and takes a (non-quiescent) checkpoint
+/// whenever at least `every` events have been assigned past the chain
+/// tip — the shared-engine analogue of the sequential engine's inline
+/// `checkpoint_every`, kept off the ingest path entirely so workers
+/// never pay for a cut they didn't cause.
+///
+/// Failures are counted, not fatal: a failed cut leaves the previous
+/// chain tip (and the store's dirty marks) intact, and the next poll
+/// retries.
+pub struct CheckpointDriver {
+    stop: Arc<AtomicBool>,
+    completed: Arc<AtomicU64>,
+    failures: Arc<AtomicU64>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CheckpointDriver {
+    /// Spawns the driver thread. `every` is the event cadence (> 0);
+    /// `poll` bounds how stale the cadence check may run.
+    pub fn spawn(
+        engine: Arc<PersistentConcurrentEngine>,
+        every: u64,
+        poll: std::time::Duration,
+    ) -> CheckpointDriver {
+        assert!(every > 0, "checkpoint cadence must be positive");
+        let stop = Arc::new(AtomicBool::new(false));
+        let completed = Arc::new(AtomicU64::new(0));
+        let failures = Arc::new(AtomicU64::new(0));
+        let handle = {
+            let (stop, completed, failures) = (
+                Arc::clone(&stop),
+                Arc::clone(&completed),
+                Arc::clone(&failures),
+            );
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    let assigned_past_tip = match engine.checkpoint_tip() {
+                        Some(tip) => engine.next_seq().saturating_sub(tip + 1),
+                        None => engine.next_seq(),
+                    };
+                    if assigned_past_tip >= every {
+                        match engine.checkpoint() {
+                            Ok(()) => completed.fetch_add(1, Ordering::Relaxed),
+                            Err(_) => failures.fetch_add(1, Ordering::Relaxed),
+                        };
+                    }
+                    std::thread::park_timeout(poll);
+                }
+            })
+        };
+        CheckpointDriver {
+            stop,
+            completed,
+            failures,
+            handle: Some(handle),
+        }
+    }
+
+    /// Checkpoints the driver has completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoint attempts that returned an error.
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Signals the thread and joins it, returning `(completed,
+    /// failures)`.
+    pub fn stop(mut self) -> (u64, u64) {
+        self.shutdown();
+        (self.completed(), self.failures())
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for CheckpointDriver {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -1347,5 +1780,323 @@ mod tests {
         assert_eq!(report.replayed, 800);
         assert_eq!(report.next_seq, 800);
         assert_eq!(recovered.engine().store().stats().inserted, 800);
+    }
+
+    /// An incremental-checkpoint policy: deltas allowed, rebase after 8.
+    fn inc_opts() -> PersistOptions {
+        PersistOptions {
+            checkpoint_every: 0, // cadence driven explicitly by the tests
+            rebase: RebasePolicy {
+                max_chain_len: 8,
+                max_delta_bytes_ratio: 0.0,
+            },
+            ..opts()
+        }
+    }
+
+    /// A wide trace touching `targets` distinct recommendation targets —
+    /// `trace()` only exercises five, too few for delta-vs-full sizing.
+    fn wide_trace(n: u64, targets: u64) -> Vec<EdgeEvent> {
+        (0..n)
+            .map(|i| EdgeEvent::follow(u(11 + i % 3), u(1_000 + i % targets), ts(10 + i)))
+            .collect()
+    }
+
+    fn sorted_entries(
+        out: &mut Vec<(UserId, UserId, Timestamp)>,
+    ) -> &mut Vec<(UserId, UserId, Timestamp)> {
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn sequential_incremental_restore_matches_full() {
+        let (ti, tf) = (TempDir::new("pe-inc"), TempDir::new("pe-full"));
+        let full_opts = PersistOptions {
+            checkpoint_every: 0,
+            ..opts()
+        };
+        let mut pi = PersistentEngine::create(
+            ti.path(),
+            small_graph(),
+            0,
+            DetectorConfig::example(),
+            inc_opts(),
+        )
+        .unwrap();
+        let mut pf = PersistentEngine::create(
+            tf.path(),
+            small_graph(),
+            0,
+            DetectorConfig::example(),
+            full_opts,
+        )
+        .unwrap();
+        for (i, &e) in trace(300).iter().enumerate() {
+            assert_eq!(pi.on_event(e).unwrap(), pf.on_event(e).unwrap());
+            if i % 60 == 59 {
+                pi.checkpoint().unwrap();
+                pf.checkpoint().unwrap();
+            }
+        }
+        assert!(
+            !crate::checkpoint::list_delta_checkpoints(ti.path())
+                .unwrap()
+                .is_empty(),
+            "incremental run must actually write deltas"
+        );
+        assert!(
+            crate::checkpoint::list_delta_checkpoints(tf.path())
+                .unwrap()
+                .is_empty(),
+            "disabled policy must stay full-only"
+        );
+        pi.close().unwrap();
+        pf.close().unwrap();
+
+        let (ri, _) = PersistentEngine::open(
+            ti.path(),
+            DetectorConfig::example(),
+            CapStrategy::None,
+            inc_opts(),
+        )
+        .unwrap();
+        let (rf, _) = PersistentEngine::open(
+            tf.path(),
+            DetectorConfig::example(),
+            CapStrategy::None,
+            opts(),
+        )
+        .unwrap();
+        let (mut ei, mut ef) = (Vec::new(), Vec::new());
+        ri.engine().store().export_entries(&mut ei);
+        rf.engine().store().export_entries(&mut ef);
+        assert_eq!(
+            sorted_entries(&mut ei),
+            sorted_entries(&mut ef),
+            "chain restore must equal full-checkpoint restore"
+        );
+    }
+
+    #[test]
+    fn sequential_chain_rebases_per_policy_and_prunes() {
+        let t = TempDir::new("pe-chain");
+        let o = PersistOptions {
+            rebase: RebasePolicy {
+                max_chain_len: 2,
+                max_delta_bytes_ratio: 0.0,
+            },
+            ..inc_opts()
+        };
+        let mut pe =
+            PersistentEngine::create(t.path(), small_graph(), 0, DetectorConfig::example(), o)
+                .unwrap();
+        let deltas = |dir: &Path| {
+            crate::checkpoint::list_delta_checkpoints(dir)
+                .unwrap()
+                .len()
+        };
+        let fulls = |dir: &Path| crate::checkpoint::list_checkpoints(dir).unwrap().len();
+        let feed = |pe: &mut PersistentEngine, lo: u64| {
+            for i in lo..lo + 20 {
+                pe.on_event(EdgeEvent::follow(u(11), u(2_000 + i), ts(10 + i)))
+                    .unwrap();
+            }
+        };
+        feed(&mut pe, 0);
+        pe.checkpoint().unwrap(); // no chain yet → full
+        assert_eq!((fulls(t.path()), deltas(t.path())), (1, 0));
+        feed(&mut pe, 20);
+        pe.checkpoint().unwrap(); // delta 1
+        feed(&mut pe, 40);
+        pe.checkpoint().unwrap(); // delta 2 — chain now at the policy cap
+        assert_eq!((fulls(t.path()), deltas(t.path())), (1, 2));
+        feed(&mut pe, 60);
+        pe.checkpoint().unwrap(); // rebase: fresh full, whole chain pruned
+        assert_eq!((fulls(t.path()), deltas(t.path())), (1, 0));
+        assert_eq!(pe.checkpoint_tip(), Some(pe.next_seq() - 1));
+    }
+
+    #[test]
+    fn delta_checkpoint_is_fraction_of_full_at_sparse_dirt() {
+        let t = TempDir::new("pe-frac");
+        let mut pe = PersistentEngine::create(
+            t.path(),
+            small_graph(),
+            0,
+            DetectorConfig::example(),
+            inc_opts(),
+        )
+        .unwrap();
+        // 500 resident targets, then dirty ~1% of them.
+        for &e in &wide_trace(2_000, 500) {
+            pe.on_event(e).unwrap();
+        }
+        pe.checkpoint().unwrap();
+        let full_path = crate::checkpoint::list_checkpoints(t.path())
+            .unwrap()
+            .pop()
+            .unwrap()
+            .0;
+        let full_bytes = std::fs::metadata(&full_path).unwrap().len();
+        for i in 0..5u64 {
+            pe.on_event(EdgeEvent::follow(u(12), u(1_000 + i), ts(5_000 + i)))
+                .unwrap();
+        }
+        pe.checkpoint().unwrap();
+        let delta_path = crate::checkpoint::list_delta_checkpoints(t.path())
+            .unwrap()
+            .pop()
+            .unwrap()
+            .0;
+        let delta_bytes = std::fs::metadata(&delta_path).unwrap().len();
+        assert!(
+            delta_bytes * 10 < full_bytes,
+            "1%-dirty delta must be <10% of the full: {delta_bytes} vs {full_bytes}"
+        );
+        pe.close().unwrap();
+        // And the chain still restores the exact store.
+        let (re, report) = PersistentEngine::open(
+            t.path(),
+            DetectorConfig::example(),
+            CapStrategy::None,
+            inc_opts(),
+        )
+        .unwrap();
+        assert_eq!(report.replayed, 0, "tip covers everything");
+        let mut twin = Engine::new(small_graph(), DetectorConfig::example()).unwrap();
+        for &e in &wide_trace(2_000, 500) {
+            twin.on_event(e);
+        }
+        for i in 0..5u64 {
+            twin.on_event(EdgeEvent::follow(u(12), u(1_000 + i), ts(5_000 + i)));
+        }
+        let (mut er, mut et) = (Vec::new(), Vec::new());
+        re.engine().store().export_entries(&mut er);
+        twin.store().export_entries(&mut et);
+        assert_eq!(sorted_entries(&mut er), sorted_entries(&mut et));
+    }
+
+    #[test]
+    fn concurrent_checkpoint_ingests_between_fences_and_recovers() {
+        let t = TempDir::new("pce-fence");
+        let parts = 2;
+        let pe = PersistentConcurrentEngine::create(
+            t.path(),
+            small_graph(),
+            0,
+            DetectorConfig::example(),
+            parts,
+            inc_opts(),
+        )
+        .unwrap();
+        let warm = trace(100);
+        for &e in &warm {
+            pe.on_event(e).unwrap();
+        }
+        // Cut a checkpoint while ingesting *between* the shard fences:
+        // events landing after partition p's cut are above p's fence
+        // (replayed at recovery) while events to still-uncut partitions
+        // land below theirs (covered by the export) — the exact skew the
+        // fence-vector contract exists for.
+        let mid = std::cell::RefCell::new(Vec::new());
+        pe.checkpoint_with_fence_observer(|p, fence| {
+            assert!(fence > 0, "warmed partitions have assigned sequences");
+            for i in 0..10u64 {
+                let e = EdgeEvent::follow(u(11), u(20_000 + p as u64 * 100 + i), ts(500 + i));
+                pe.on_event(e).unwrap();
+                mid.borrow_mut().push(e);
+            }
+        })
+        .unwrap();
+        let mid = mid.into_inner();
+        let tip = pe.checkpoint_tip().expect("checkpoint landed");
+        assert!(tip >= warm.len() as u64 - 1);
+        pe.sync().unwrap();
+        drop(pe);
+
+        let (re, report) = PersistentConcurrentEngine::open(
+            t.path(),
+            DetectorConfig::example(),
+            CapStrategy::None,
+            parts,
+            inc_opts(),
+        )
+        .unwrap();
+        assert!(
+            report.replayed > 0,
+            "between-fence events sit above their partition's fence"
+        );
+        assert_eq!(report.next_seq, (warm.len() + mid.len()) as u64);
+        let twin = ConcurrentEngine::new(small_graph(), DetectorConfig::example()).unwrap();
+        let mut sink = Vec::new();
+        for &e in warm.iter().chain(&mid) {
+            twin.on_event_into(e, &mut sink);
+        }
+        let (mut er, mut et) = (Vec::new(), Vec::new());
+        re.engine().store().export_entries(&mut er);
+        twin.store().export_entries(&mut et);
+        assert_eq!(
+            sorted_entries(&mut er),
+            sorted_entries(&mut et),
+            "live-checkpoint recovery must match the uninterrupted twin"
+        );
+    }
+
+    #[test]
+    fn checkpoint_driver_runs_cadence_without_quiescing_ingest() {
+        let t = TempDir::new("pce-driver");
+        let pe = std::sync::Arc::new(
+            PersistentConcurrentEngine::create(
+                t.path(),
+                small_graph(),
+                0,
+                DetectorConfig::example(),
+                2,
+                inc_opts(),
+            )
+            .unwrap(),
+        );
+        let driver = CheckpointDriver::spawn(
+            std::sync::Arc::clone(&pe),
+            64,
+            std::time::Duration::from_millis(1),
+        );
+        let events = trace(600);
+        for &e in &events {
+            pe.on_event(e).unwrap();
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while driver.completed() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let (completed, failures) = driver.stop();
+        assert!(completed >= 1, "driver never checkpointed");
+        assert_eq!(failures, 0);
+        assert!(pe.checkpoint_tip().is_some());
+        pe.sync().unwrap();
+        drop(std::sync::Arc::try_unwrap(pe).ok().expect("sole owner"));
+
+        let (re, report) = PersistentConcurrentEngine::open(
+            t.path(),
+            DetectorConfig::example(),
+            CapStrategy::None,
+            2,
+            inc_opts(),
+        )
+        .unwrap();
+        assert!(
+            report.replayed < events.len() as u64,
+            "replay must be bounded by the driver's checkpoints"
+        );
+        let twin = ConcurrentEngine::new(small_graph(), DetectorConfig::example()).unwrap();
+        let mut sink = Vec::new();
+        for &e in &events {
+            twin.on_event_into(e, &mut sink);
+        }
+        let (mut er, mut et) = (Vec::new(), Vec::new());
+        re.engine().store().export_entries(&mut er);
+        twin.store().export_entries(&mut et);
+        assert_eq!(sorted_entries(&mut er), sorted_entries(&mut et));
     }
 }

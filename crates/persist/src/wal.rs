@@ -983,6 +983,15 @@ impl Drop for Wal {
     }
 }
 
+/// The partition an event for target `dst` routes to, out of `parts` —
+/// the single definition shared by appends, fenced exports, and
+/// fence-vector replay. **Not** the sharded store's shard function (that
+/// one masks against a power of two); a checkpoint filters targets by
+/// *this* function, because the WAL is what the fence vector cuts.
+pub fn route_partition(dst: &UserId, parts: usize) -> usize {
+    (magicrecs_types::route_mix(dst) as usize) % parts
+}
+
 /// Per-partition WALs behind one global sequence — the shared-engine
 /// deployment's log. Events are routed to a partition by the same
 /// [`magicrecs_types::route_mix`] hash the sharded store and worker pool
@@ -992,9 +1001,55 @@ impl Drop for Wal {
 /// Sequence assignment happens **under the partition lock**, so each
 /// partition's log is strictly ascending (the per-segment invariant) and
 /// same-target events get sequence order matching their processing order.
+///
+/// ## Shard-epoch fencing
+///
+/// A non-quiescent checkpoint cuts the log one partition at a time with
+/// [`SharedWal::with_partition_fenced`]: it holds partition `p`'s lock
+/// (blocking only that partition's appends), drains the in-flight
+/// store applies ticketed by [`SharedWal::append_tracked`] /
+/// [`SharedWal::append_batch_tracked`], syncs, and hands the caller
+/// `p`'s **fence** — the first sequence the cut does *not* cover. While
+/// the callback exports partition `p`'s targets, every other partition
+/// keeps ingesting.
 pub struct SharedWal {
     parts: Vec<Mutex<Wal>>,
     seq: AtomicU64,
+    /// Per-partition count of appends whose store apply has not finished
+    /// yet. Incremented under the partition lock (so a fence holding
+    /// that lock observes every ticket issued before it), decremented by
+    /// [`ApplyTicket::drop`] after the caller's store apply.
+    pending: Vec<AtomicU64>,
+}
+
+/// RAII ticket pairing a tracked WAL append with its store apply: the
+/// fence waits for all tickets of a partition to drop before it trusts
+/// the store to reflect everything the log holds. Hold it across the
+/// store mutation, drop it after.
+#[must_use = "dropping the ticket before the store apply completes lets a fence cut between the WAL append and the apply"]
+pub struct ApplyTicket<'a> {
+    pending: &'a [AtomicU64],
+    parts: TicketParts,
+}
+
+enum TicketParts {
+    One(usize),
+    Many(Vec<usize>),
+}
+
+impl Drop for ApplyTicket<'_> {
+    fn drop(&mut self) {
+        match &self.parts {
+            TicketParts::One(p) => {
+                self.pending[*p].fetch_sub(1, Ordering::Release);
+            }
+            TicketParts::Many(ps) => {
+                for &p in ps {
+                    self.pending[p].fetch_sub(1, Ordering::Release);
+                }
+            }
+        }
+    }
 }
 
 impl SharedWal {
@@ -1027,9 +1082,11 @@ impl SharedWal {
                 )?))
             })
             .collect::<Result<Vec<_>>>()?;
+        let pending = (0..parts.len()).map(|_| AtomicU64::new(0)).collect();
         Ok(SharedWal {
             parts,
             seq: AtomicU64::new(0),
+            pending,
         })
     }
 
@@ -1080,9 +1137,11 @@ impl SharedWal {
             })
             .collect::<Result<Vec<_>>>()?;
         let next = parts.iter().map(|p| p.lock().next_seq()).max().unwrap_or(0);
+        let pending = (0..parts.len()).map(|_| AtomicU64::new(0)).collect();
         Ok(SharedWal {
             parts,
             seq: AtomicU64::new(next.max(floor)),
+            pending,
         })
     }
 
@@ -1110,13 +1169,34 @@ impl SharedWal {
     /// Appends `event` to the partition its target routes to, returning
     /// the assigned global sequence.
     pub fn append(&self, event: EdgeEvent) -> Result<u64> {
-        let p = (magicrecs_types::route_mix(&event.dst) as usize) % self.parts.len();
+        self.append_impl(event, false).map(|(seq, _)| seq)
+    }
+
+    /// [`SharedWal::append`] that additionally registers the caller's
+    /// upcoming store apply with the partition's fence: hold the
+    /// returned [`ApplyTicket`] across the store mutation. The ticket is
+    /// issued under the same partition lock that assigned the sequence,
+    /// so a fence can never observe the sequence as durable while
+    /// missing the in-flight apply.
+    pub fn append_tracked(&self, event: EdgeEvent) -> Result<(u64, ApplyTicket<'_>)> {
+        let (seq, p) = self.append_impl(event, true)?;
+        Ok((
+            seq,
+            ApplyTicket {
+                pending: &self.pending,
+                parts: TicketParts::One(p),
+            },
+        ))
+    }
+
+    fn append_impl(&self, event: EdgeEvent, track: bool) -> Result<(u64, usize)> {
+        let p = route_partition(&event.dst, self.parts.len());
         let mut wal = self.parts[p].lock();
         // Assign inside the lock: this partition's sequences stay
         // ascending no matter how appends interleave across partitions.
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        match wal.append_with_seq(seq, event) {
-            Ok(()) => Ok(seq),
+        let appended = match wal.append_with_seq(seq, event) {
+            Ok(()) => Ok(()),
             Err(first) => {
                 // The global sequence is already consumed (other
                 // partitions may hold higher ones), so it must either
@@ -1129,14 +1209,21 @@ impl SharedWal {
                 // successful append above the hole would make recovery
                 // refuse the whole log as corrupt.
                 match wal.append_with_seq(seq, event) {
-                    Ok(()) => Ok(seq),
+                    Ok(()) => Ok(()),
                     Err(_) => {
                         wal.poison();
                         Err(first)
                     }
                 }
             }
+        };
+        appended?;
+        if track {
+            // Still under the partition lock: a fence that later takes
+            // this lock is guaranteed to see the pending apply.
+            self.pending[p].fetch_add(1, Ordering::Relaxed);
         }
+        Ok((seq, p))
     }
 
     /// Group commit across partitions: routes every event of `events` to
@@ -1162,16 +1249,38 @@ impl SharedWal {
     /// caller must treat the batch as indeterminate and restart through
     /// recovery.
     pub fn append_batch(&self, events: &[EdgeEvent]) -> Result<u64> {
+        self.append_batch_impl(events, false).map(|(n, _)| n)
+    }
+
+    /// [`SharedWal::append_batch`] that registers the caller's upcoming
+    /// store apply with every touched partition's fence — hold the
+    /// returned [`ApplyTicket`] across the store mutation (same contract
+    /// as [`SharedWal::append_tracked`], one pending unit per touched
+    /// partition). On error no ticket is issued and any partial
+    /// registrations are withdrawn: the caller restarts through
+    /// recovery, so there is no apply for a fence to wait on.
+    pub fn append_batch_tracked(&self, events: &[EdgeEvent]) -> Result<(u64, ApplyTicket<'_>)> {
+        let (n, touched) = self.append_batch_impl(events, true)?;
+        Ok((
+            n,
+            ApplyTicket {
+                pending: &self.pending,
+                parts: TicketParts::Many(touched),
+            },
+        ))
+    }
+
+    fn append_batch_impl(&self, events: &[EdgeEvent], track: bool) -> Result<(u64, Vec<usize>)> {
+        let mut touched: Vec<usize> = Vec::new();
         if events.is_empty() {
-            return Ok(0);
+            return Ok((0, touched));
         }
         // Pre-partition by route, preserving stream order within each
         // bucket. One pass; bucket storage is per call (amortized over
         // the batch).
         let mut buckets: Vec<Vec<EdgeEvent>> = vec![Vec::new(); self.parts.len()];
         for &event in events {
-            let p = (magicrecs_types::route_mix(&event.dst) as usize) % self.parts.len();
-            buckets[p].push(event);
+            buckets[route_partition(&event.dst, self.parts.len())].push(event);
         }
         for (p, bucket) in buckets.iter().enumerate() {
             if bucket.is_empty() {
@@ -1196,11 +1305,23 @@ impl SharedWal {
                     .is_err()
                 {
                     wal.poison();
+                    // Withdraw partial registrations: no apply will
+                    // follow a failed batch, so leaving them would hang
+                    // every future fence on the touched partitions.
+                    for &t in &touched {
+                        self.pending[t].fetch_sub(1, Ordering::Release);
+                    }
                     return Err(first_err);
                 }
             }
+            if track {
+                // Under the partition lock, same rationale as
+                // `append_tracked`.
+                self.pending[p].fetch_add(1, Ordering::Relaxed);
+                touched.push(p);
+            }
         }
-        Ok(events.len() as u64)
+        Ok((events.len() as u64, touched))
     }
 
     /// The next global sequence to be assigned.
@@ -1216,12 +1337,81 @@ impl SharedWal {
         Ok(())
     }
 
+    /// Cuts partition `p` at a consistent fence and runs `f(fence)`
+    /// while holding the cut: takes `p`'s lock (stalling only appends
+    /// routed to `p`), waits for every in-flight tracked apply on `p` to
+    /// finish, syncs the partition, and calls `f` with the fence — the
+    /// first sequence the cut does **not** cover. While `f` runs, no new
+    /// `p`-routed event can be logged or applied, so a store export
+    /// taken inside `f` reflects *exactly* the events below the fence
+    /// for `p`-routed targets; every other partition ingests
+    /// undisturbed.
+    ///
+    /// `f` must not append to this `SharedWal` (self-deadlock on `p`'s
+    /// lock) and should touch only `p`-routed state; store shard locks
+    /// taken inside `f` are fine because ingest never holds a shard lock
+    /// while acquiring a partition lock.
+    pub fn with_partition_fenced<R>(
+        &self,
+        p: usize,
+        f: impl FnOnce(u64) -> Result<R>,
+    ) -> Result<R> {
+        let mut wal = self.parts[p].lock();
+        // Ticket holders never block on this partition's lock (they
+        // already released it) — they finish their store apply and drop,
+        // so this wait is bounded by one apply, not by ingest rate.
+        let mut spins = 0u32;
+        while self.pending[p].load(Ordering::Acquire) != 0 {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        // Durability before coverage: the fence authorizes recovery to
+        // skip everything below it, so everything below it must be on
+        // disk first. Under `FsyncPolicy::Never` the operator opted out
+        // of that promise (matching roll/close/reclaim, which skip their
+        // fsyncs too) and coverage rides on the checkpoint file's own
+        // fsync-then-rename publish — skipping the flush here keeps the
+        // fenced window (and the one stalled partition) short.
+        if !matches!(wal.opts.fsync, FsyncPolicy::Never) {
+            wal.sync()?;
+        }
+        f(wal.next_seq())
+    }
+
+    /// Each partition's next sequence — the fence vector a cut "right
+    /// now, with nothing in flight" would record. Used by the sealing
+    /// checkpoint at open, where the engine is provably quiescent.
+    pub fn partition_next_seqs(&self) -> Vec<u64> {
+        self.parts.iter().map(|p| p.lock().next_seq()).collect()
+    }
+
     /// Reclaims fully-pruned, fully-checkpointed segments on every
     /// partition. Returns segments deleted.
     pub fn reclaim_before(&self, cutoff: Timestamp, checkpoint_seq: u64) -> Result<usize> {
         let mut removed = 0;
         for p in &self.parts {
             removed += p.lock().reclaim_before(cutoff, checkpoint_seq)?;
+        }
+        Ok(removed)
+    }
+
+    /// [`SharedWal::reclaim_before`] against a per-partition fence
+    /// vector: partition `i`'s segments are covered through
+    /// `fences[i] - 1`, so each partition reclaims against its *own*
+    /// fence instead of one global covered sequence. A zero fence means
+    /// the chain covers nothing of that partition — nothing reclaims.
+    pub fn reclaim_before_fenced(&self, cutoff: Timestamp, fences: &[u64]) -> Result<usize> {
+        assert_eq!(fences.len(), self.parts.len(), "fence vector length");
+        let mut removed = 0;
+        for (p, &fence) in self.parts.iter().zip(fences) {
+            if fence == 0 {
+                continue;
+            }
+            removed += p.lock().reclaim_before(cutoff, fence - 1)?;
         }
         Ok(removed)
     }
@@ -1256,15 +1446,37 @@ impl SharedWal {
         dir: &Path,
         parts: usize,
         min_seq: u64,
+        f: impl FnMut(WalRecord),
+    ) -> Result<ReplayStats> {
+        Self::replay_merged_fenced(dir, parts, &vec![min_seq; parts], f)
+    }
+
+    /// [`SharedWal::replay_merged`] against a per-partition fence
+    /// vector, as recorded by a non-quiescent checkpoint: partition
+    /// `i` replays records with `seq >= fences[i]`.
+    ///
+    /// The density check adapts to the cut's shape: sequences below
+    /// `max(fences)` are legitimately absent from the merge (each is
+    /// either covered by its own partition's fence or belongs to another
+    /// partition entirely), so density is demanded only on
+    /// `[max(fences), min-over-partitions(last durable seq)]`, where
+    /// every surviving sequence must appear regardless of routing. With
+    /// a uniform fence vector this degenerates to exactly the
+    /// single-`min_seq` check.
+    pub fn replay_merged_fenced(
+        dir: &Path,
+        parts: usize,
+        fences: &[u64],
         mut f: impl FnMut(WalRecord),
     ) -> Result<ReplayStats> {
+        assert_eq!(fences.len(), parts, "fence vector length");
         Self::check_partition_count(dir, parts)?;
         let mut records: Vec<WalRecord> = Vec::new();
         let mut merged = ReplayStats::default();
         let mut min_tail: Option<u64> = None;
         let mut all_partitions_have_records = true;
-        for i in 0..parts {
-            let stats = replay(dir, &Self::prefix(i), min_seq, |r| records.push(r))?;
+        for (i, &fence) in fences.iter().enumerate() {
+            let stats = replay(dir, &Self::prefix(i), fence, |r| records.push(r))?;
             merged.torn_tail |= stats.torn_tail;
             merged.last_seq = merged.last_seq.max(stats.last_seq);
             match stats.last_seq {
@@ -1279,8 +1491,10 @@ impl SharedWal {
             }
         }
         records.sort_by_key(|r| r.seq);
+        let lo = fences.iter().copied().max().unwrap_or(0);
         if let Some(min_tail) = min_tail.filter(|_| all_partitions_have_records) {
-            for (expected, r) in (min_seq..).zip(records.iter().take_while(|r| r.seq <= min_tail)) {
+            let above = records.iter().skip_while(|r| r.seq < lo);
+            for (expected, r) in (lo..).zip(above.take_while(|r| r.seq <= min_tail)) {
                 if r.seq != expected {
                     return Err(Error::Corrupt(format!(
                         "shared wal gap: sequence {expected} is missing but every \
@@ -1895,6 +2109,187 @@ mod tests {
         assert!(!stats.torn_tail);
         let reopened = SharedWal::open(t_batch.path(), 4, opts).unwrap();
         assert_eq!(reopened.next_seq(), 500);
+    }
+
+    #[test]
+    fn tracked_appends_gate_the_fence_until_applied() {
+        let t = TempDir::new("wal");
+        let shared = SharedWal::create(t.path(), 4, WalOptions::default()).unwrap();
+        let (seq, ticket) = shared.append_tracked(ev(0)).unwrap();
+        let p = route_partition(&ev(0).dst, 4);
+        assert_eq!(seq, 0);
+        assert_eq!(shared.pending[p].load(Ordering::Relaxed), 1);
+        // The fence on any *other* partition is unaffected by p's ticket.
+        let q = (p + 1) % 4;
+        shared
+            .with_partition_fenced(q, |fence| {
+                assert_eq!(fence, 0);
+                Ok(())
+            })
+            .unwrap();
+        drop(ticket);
+        assert_eq!(shared.pending[p].load(Ordering::Relaxed), 0);
+        // With the apply finished, p's fence covers the appended event.
+        shared
+            .with_partition_fenced(p, |fence| {
+                assert_eq!(fence, 1);
+                Ok(())
+            })
+            .unwrap();
+
+        // Batch tickets register once per touched partition and all
+        // withdraw on drop.
+        let events: Vec<EdgeEvent> = (0..50).map(ev).collect();
+        let (n, ticket) = shared.append_batch_tracked(&events).unwrap();
+        assert_eq!(n, 50);
+        let touched: u64 = shared
+            .pending
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum();
+        assert!(touched >= 1);
+        drop(ticket);
+        for c in &shared.pending {
+            assert_eq!(c.load(Ordering::Relaxed), 0);
+        }
+    }
+
+    #[test]
+    fn fence_blocks_until_inflight_apply_drops() {
+        use std::sync::atomic::AtomicBool;
+        let t = TempDir::new("wal");
+        let shared = Arc::new(SharedWal::create(t.path(), 1, WalOptions::default()).unwrap());
+        let (_, ticket) = shared.append_tracked(ev(0)).unwrap();
+        let fenced = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let shared = Arc::clone(&shared);
+            let fenced = Arc::clone(&fenced);
+            std::thread::spawn(move || {
+                shared
+                    .with_partition_fenced(0, |fence| {
+                        fenced.store(true, Ordering::SeqCst);
+                        Ok(fence)
+                    })
+                    .unwrap()
+            })
+        };
+        // The fence must not cut while the apply is in flight.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!fenced.load(Ordering::SeqCst));
+        drop(ticket);
+        assert_eq!(handle.join().unwrap(), 1);
+        assert!(fenced.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn fenced_replay_honors_per_partition_fences() {
+        let t = TempDir::new("wal");
+        let shared = SharedWal::create(t.path(), 2, WalOptions::default()).unwrap();
+        for i in 0..200 {
+            shared.append(ev(i)).unwrap();
+        }
+        shared.sync_all().unwrap();
+        // Cut partition 0 at its current tail, then keep ingesting into
+        // both partitions — the staggered-fence shape a non-quiescent
+        // checkpoint produces.
+        let f0 = shared.with_partition_fenced(0, Ok).unwrap();
+        for i in 200..400 {
+            shared.append(ev(i)).unwrap();
+        }
+        shared.sync_all().unwrap();
+        let fences = [f0, 0];
+        drop(shared);
+        let mut seqs = Vec::new();
+        let stats =
+            SharedWal::replay_merged_fenced(t.path(), 2, &fences, |r| seqs.push(r.seq)).unwrap();
+        assert!(!stats.torn_tail);
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+        // Every replayed sequence below partition 0's fence must belong
+        // to partition 1 (partition 0's were cut away by its fence).
+        let mut p1_seqs = Vec::new();
+        replay(t.path(), &SharedWal::prefix(1), 0, |r| p1_seqs.push(r.seq)).unwrap();
+        for &s in seqs.iter().filter(|&&s| s < f0) {
+            assert!(
+                p1_seqs.contains(&s),
+                "seq {s} below fence must be partition 1's"
+            );
+        }
+        // And nothing of partition 1 was dropped.
+        assert_eq!(
+            seqs.iter().filter(|&&s| s < f0).count(),
+            p1_seqs.iter().filter(|&&s| s < f0).count()
+        );
+        // Everything at/above max(fences) is dense through the minimum
+        // durable tail — the uniform-replay guarantee, preserved.
+        let uniform: Vec<u64> = {
+            let mut v = Vec::new();
+            SharedWal::replay_merged(t.path(), 2, f0, |r| v.push(r.seq)).unwrap();
+            v
+        };
+        let fenced_above: Vec<u64> = seqs.iter().copied().filter(|&s| s >= f0).collect();
+        assert_eq!(fenced_above, uniform);
+    }
+
+    #[test]
+    fn fenced_reclaim_uses_each_partitions_own_fence() {
+        let t = TempDir::new("wal");
+        let opts = WalOptions {
+            segment_bytes: 128,
+            ..WalOptions::default()
+        };
+        let shared = SharedWal::create(t.path(), 2, opts).unwrap();
+        for i in 0..300 {
+            shared.append(ev(i)).unwrap();
+        }
+        shared.sync_all().unwrap();
+        let tails = shared.partition_next_seqs();
+        // A zero fence reclaims nothing on that partition.
+        let before: usize = (0..2)
+            .map(|i| {
+                list_segments(t.path(), &SharedWal::prefix(i))
+                    .unwrap()
+                    .len()
+            })
+            .sum();
+        shared
+            .reclaim_before_fenced(Timestamp::from_secs(10_000), &[0, 0])
+            .unwrap();
+        let after_zero: usize = (0..2)
+            .map(|i| {
+                list_segments(t.path(), &SharedWal::prefix(i))
+                    .unwrap()
+                    .len()
+            })
+            .sum();
+        assert_eq!(before, after_zero);
+        // Fencing partition 0 at its tail reclaims its closed segments
+        // while partition 1 (fence 0) keeps everything.
+        let p1_before = list_segments(t.path(), &SharedWal::prefix(1))
+            .unwrap()
+            .len();
+        let removed = shared
+            .reclaim_before_fenced(Timestamp::from_secs(10_000), &[tails[0], 0])
+            .unwrap();
+        assert!(removed > 0);
+        assert_eq!(
+            list_segments(t.path(), &SharedWal::prefix(1))
+                .unwrap()
+                .len(),
+            p1_before
+        );
+        // Full fence vector reclaims everything closed, matching the
+        // uniform path's outcome.
+        shared
+            .reclaim_before_fenced(Timestamp::from_secs(10_000), &tails)
+            .unwrap();
+        let left: usize = (0..2)
+            .map(|i| {
+                list_segments(t.path(), &SharedWal::prefix(i))
+                    .unwrap()
+                    .len()
+            })
+            .sum();
+        assert_eq!(left, 2, "only the active segment per partition remains");
     }
 
     #[test]

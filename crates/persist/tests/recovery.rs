@@ -702,3 +702,237 @@ fn kill_point_torn_write_poisons_after_landed_prefix() {
     // open (the crash signature the report surfaces as `torn_tail`).
     assert_recovery_parity(dir.path(), &events, &per_event, acked, pre, 4, true);
 }
+
+/// An incremental-checkpoint policy for the live-checkpoint kill points.
+fn inc_opts() -> PersistOptions {
+    PersistOptions {
+        checkpoint_every: 0,
+        rebase: magicrecs_persist::RebasePolicy {
+            max_chain_len: 8,
+            max_delta_bytes_ratio: 0.0,
+        },
+        ..opts()
+    }
+}
+
+/// Live-checkpoint kill point: the **`MGCI` delta file's write fails
+/// mid-checkpoint** while ingest is live. The cut must fail typed
+/// without moving the chain tip or poisoning the WAL, the dirty marks
+/// it drained must be restored (so the *next* cut still covers those
+/// targets), and a crash after the retried cut must lose nothing.
+#[test]
+fn kill_point_mid_delta_checkpoint_write() {
+    let events = matrix_trace(600);
+    let cfg = config();
+    const PARTS: usize = 2;
+    let reference = ConcurrentEngine::new(motif_graph(), cfg).unwrap();
+    let per_event: Vec<Vec<Candidate>> = events.iter().map(|&e| reference.on_event(e)).collect();
+
+    let dir = TempDir::new("kp-mgci");
+    let fv = FaultVfs::new_disarmed(FaultPlan::fail_nth_write(1));
+    let pe = PersistentConcurrentEngine::create_with_vfs(
+        dir.path(),
+        motif_graph(),
+        0,
+        cfg,
+        PARTS,
+        inc_opts(),
+        Arc::new(fv.clone()),
+    )
+    .unwrap();
+    for (i, &e) in events[..300].iter().enumerate() {
+        assert_eq!(pe.on_event(e).unwrap(), per_event[i], "pre-fault event {i}");
+    }
+    pe.checkpoint().unwrap(); // full — starts the chain
+    for (i, &e) in events[300..400].iter().enumerate() {
+        assert_eq!(pe.on_event(e).unwrap(), per_event[300 + i]);
+    }
+    let tip_before = pe.checkpoint_tip();
+    fv.set_armed(true);
+    let err = pe.checkpoint(); // the delta's first file write dies
+    assert!(err.is_err(), "injected checkpoint fault must surface");
+    fv.set_armed(false);
+    assert_eq!(fv.fired_count(), 1);
+    assert_eq!(
+        pe.checkpoint_tip(),
+        tip_before,
+        "failed cut must not move the chain tip"
+    );
+    // The WAL is untouched by a checkpoint fault: ingest keeps running…
+    for (i, &e) in events[400..500].iter().enumerate() {
+        assert_eq!(pe.on_event(e).unwrap(), per_event[400 + i]);
+    }
+    // …and the retried cut re-covers the targets whose dirty marks the
+    // failed cut drained (the undo log), so this delta misses nothing.
+    pe.checkpoint().unwrap();
+    assert!(pe.checkpoint_tip() > tip_before);
+    pe.sync().unwrap();
+    drop(pe); // the crash
+
+    let (recovered, report) =
+        PersistentConcurrentEngine::open(dir.path(), cfg, CapStrategy::None, PARTS, inc_opts())
+            .unwrap();
+    assert_eq!(report.next_seq, 500);
+    assert_eq!(
+        report.replayed, 0,
+        "the retried cut covers everything: {report:?}"
+    );
+    for (i, &e) in events[500..].iter().enumerate() {
+        assert_eq!(
+            recovered.on_event(e).unwrap(),
+            per_event[500 + i],
+            "post-recovery divergence at event {}",
+            500 + i
+        );
+    }
+}
+
+/// Live-checkpoint kill point: crash **between two shard fences** of a
+/// non-quiescent cut — partition 0 is already exported (and took fresh
+/// ingest right after its fence), partition 1 is not yet cut, and the
+/// checkpoint file never lands. The crash image must recover off the
+/// *previous* chain with full candidate parity: a half-taken cut leaves
+/// no artifact other than its per-partition WAL syncs.
+#[test]
+fn kill_point_between_shard_fences() {
+    let events = matrix_trace(500);
+    let cfg = config();
+    const PARTS: usize = 2;
+    let reference = ConcurrentEngine::new(motif_graph(), cfg).unwrap();
+    let per_event: Vec<Vec<Candidate>> = events.iter().map(|&e| reference.on_event(e)).collect();
+
+    let live = TempDir::new("kp-fence-live");
+    let scratch = TempDir::new("kp-fence-crash");
+    let pe =
+        PersistentConcurrentEngine::create(live.path(), motif_graph(), 0, cfg, PARTS, inc_opts())
+            .unwrap();
+    for (i, &e) in events[..300].iter().enumerate() {
+        assert_eq!(pe.on_event(e).unwrap(), per_event[i]);
+    }
+    pe.checkpoint().unwrap(); // the chain the crash image falls back to
+    for (i, &e) in events[300..350].iter().enumerate() {
+        assert_eq!(pe.on_event(e).unwrap(), per_event[300 + i]);
+    }
+    let mut crash_fed = 0usize;
+    pe.checkpoint_with_fence_observer(|p, _fence| {
+        if p == 0 {
+            // Between the fences: partition 0 is cut, partition 1 is
+            // not. Ingest live events (they straddle both routes), make
+            // them durable, and take the crash image *now* — before the
+            // checkpoint file can ever land.
+            for (i, &e) in events[350..360].iter().enumerate() {
+                assert_eq!(pe.on_event(e).unwrap(), per_event[350 + i]);
+            }
+            pe.sync().unwrap();
+            resync_dir(live.path(), scratch.path());
+            crash_fed = 360;
+        }
+    })
+    .unwrap();
+    assert_eq!(crash_fed, 360, "observer must have fired for partition 0");
+    drop(pe);
+
+    let (recovered, report) =
+        PersistentConcurrentEngine::open(scratch.path(), cfg, CapStrategy::None, PARTS, inc_opts())
+            .unwrap();
+    assert_eq!(report.next_seq, 360, "crash image holds all synced events");
+    assert_eq!(
+        report.checkpoint_seq,
+        Some(299),
+        "the half-taken cut must leave no checkpoint artifact"
+    );
+    assert_eq!(report.replayed, 60, "replay from the previous cut's fence");
+    for (i, &e) in events[360..].iter().enumerate() {
+        assert_eq!(
+            recovered.on_event(e).unwrap(),
+            per_event[360 + i],
+            "post-recovery divergence at event {}",
+            360 + i
+        );
+    }
+}
+
+use proptest::prelude::{prop_assert_eq, ProptestConfig};
+
+proptest::proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary interleavings of ingest batches and incremental
+    /// (non-quiescent) checkpoints — including cuts that take fresh
+    /// ingest *between* their shard fences — crashed at an arbitrary
+    /// step, recover to candidate-parity with a fault-free twin.
+    ///
+    /// Each plan step is `(batch_size, action)`: action 1 checkpoints
+    /// after the batch, action 2 checkpoints with live ingest injected
+    /// after partition 0's fence, action 0 just ingests. The crash image
+    /// is a byte-copy of the directory at the chosen step (after a WAL
+    /// sync — `FsyncPolicy::Never` crash modelling, same as the matrix).
+    #[test]
+    fn interleaved_incremental_checkpoints_recover_to_twin_parity(
+        plan in proptest::collection::vec((1usize..16, 0u8..3), 3..12),
+        crash_after in 0usize..12,
+    ) {
+        let cfg = config();
+        const PARTS: usize = 2;
+        let stream = matrix_trace(1_000);
+        let cur = std::cell::Cell::new(0usize);
+        let take = |k: usize| -> &[EdgeEvent] {
+            let s = cur.get();
+            cur.set(s + k);
+            &stream[s..s + k]
+        };
+
+        let twin = ConcurrentEngine::new(motif_graph(), cfg).unwrap();
+        let live = TempDir::new("prop-inc");
+        let crash = TempDir::new("prop-inc-crash");
+        let pe = PersistentConcurrentEngine::create(
+            live.path(), motif_graph(), 0, cfg, PARTS, inc_opts(),
+        ).unwrap();
+        let crash_step = crash_after % plan.len();
+        let mut crashed_fed = 0usize;
+        for (step, &(batch, action)) in plan.iter().enumerate() {
+            let events = take(batch);
+            let (mut got, mut want) = (Vec::new(), Vec::new());
+            pe.on_events_into(events, &mut got).unwrap();
+            twin.on_events_into(events, &mut want);
+            prop_assert_eq!(got, want, "live parity diverged at step {}", step);
+            match action {
+                1 => pe.checkpoint().unwrap(),
+                2 => pe.checkpoint_with_fence_observer(|p, _| {
+                    if p == 0 {
+                        let mid = take(3);
+                        let (mut g, mut w) = (Vec::new(), Vec::new());
+                        pe.on_events_into(mid, &mut g).unwrap();
+                        twin.on_events_into(mid, &mut w);
+                        assert_eq!(g, w, "between-fence parity diverged at step {step}");
+                    }
+                }).unwrap(),
+                _ => {}
+            }
+            if step == crash_step {
+                pe.sync().unwrap();
+                resync_dir(live.path(), crash.path());
+                crashed_fed = cur.get();
+            }
+        }
+        drop(pe);
+
+        let (recovered, report) = PersistentConcurrentEngine::open(
+            crash.path(), cfg, CapStrategy::None, PARTS, inc_opts(),
+        ).unwrap();
+        prop_assert_eq!(report.next_seq, crashed_fed as u64, "{:?}", report);
+
+        // The fault-free twin of the crash image: same prefix, no
+        // persistence, no checkpoints, no recovery.
+        let fresh = ConcurrentEngine::new(motif_graph(), cfg).unwrap();
+        let mut sink = Vec::new();
+        fresh.on_events_into(&stream[..crashed_fed], &mut sink);
+        let probe = &stream[crashed_fed..crashed_fed + 40];
+        for (i, &e) in probe.iter().enumerate() {
+            let (mut g, mut w) = (Vec::new(), Vec::new());
+            recovered.on_event_into(e, &mut g).unwrap();
+            fresh.on_event_into(e, &mut w);
+            prop_assert_eq!(g, w, "post-crash candidate divergence at probe {}", i);
+        }
+    }
+}

@@ -157,6 +157,75 @@ impl<K: VertexKey> ShardedTemporalStore<K> {
         }
     }
 
+    /// [`ShardedTemporalStore::export_entries`] restricted to targets
+    /// satisfying `pred`. This is the fenced-export primitive: a
+    /// non-quiescent checkpoint fences one WAL partition and exports
+    /// exactly the targets routed to it (the WAL partition function is
+    /// **not** the shard function — every shard can hold targets of every
+    /// partition, so the filter runs across all shards).
+    pub fn export_entries_where(
+        &self,
+        pred: impl Fn(K) -> bool + Copy,
+        out: &mut Vec<(K, K, Timestamp)>,
+    ) {
+        for s in &self.shards {
+            s.read().export_entries_where(pred, out);
+        }
+    }
+
+    /// Turns on dirty-target tracking on every shard (idempotent); see
+    /// [`TemporalEdgeStore::enable_dirty_tracking`].
+    pub fn enable_dirty_tracking(&self) {
+        for s in &self.shards {
+            s.write().enable_dirty_tracking();
+        }
+    }
+
+    /// Total dirty targets across shards (0 when tracking is off).
+    pub fn dirty_targets(&self) -> usize {
+        self.shards.iter().map(|s| s.read().dirty_targets()).sum()
+    }
+
+    /// Drains dirty targets satisfying `pred` across all shards — each
+    /// drained target's current full list goes to `entries`, vanished
+    /// targets to `tombstones`, and every drained target to `drained`
+    /// (see [`TemporalEdgeStore::drain_dirty_exports`]). Shards are
+    /// visited one write-lock at a time.
+    pub fn drain_dirty_exports(
+        &self,
+        pred: impl Fn(K) -> bool + Copy,
+        entries: &mut Vec<(K, K, Timestamp)>,
+        tombstones: &mut Vec<K>,
+        drained: &mut Vec<K>,
+    ) {
+        for s in &self.shards {
+            s.write()
+                .drain_dirty_exports(pred, entries, tombstones, drained);
+        }
+    }
+
+    /// Clears dirty marks for targets satisfying `pred` on every shard,
+    /// returning the cleared targets (the full-export path and its
+    /// failure undo; see [`TemporalEdgeStore::clear_dirty_where`]).
+    pub fn clear_dirty_where(&self, pred: impl Fn(K) -> bool + Copy) -> Vec<K> {
+        let mut cleared = Vec::new();
+        for s in &self.shards {
+            cleared.extend(s.write().clear_dirty_where(pred));
+        }
+        cleared
+    }
+
+    /// Re-marks targets dirty, routing each to its shard — the
+    /// checkpoint-failure undo (see
+    /// [`TemporalEdgeStore::mark_dirty_many`]).
+    pub fn mark_dirty_many(&self, targets: impl IntoIterator<Item = K>) {
+        for t in targets {
+            self.shards[self.shard_of(t)]
+                .write()
+                .mark_dirty_many(std::iter::once(t));
+        }
+    }
+
     /// Total resident entries across shards.
     pub fn resident_entries(&self) -> u64 {
         self.shards
@@ -285,5 +354,40 @@ mod tests {
         s.insert(u(1), u(7), ts(1));
         s.remove(u(1), u(7));
         assert!(s.witnesses(u(7), ts(2)).is_empty());
+    }
+
+    #[test]
+    fn sharded_dirty_tracking_and_filtered_export() {
+        let s = ShardedTemporalStore::new(Duration::from_secs(600), PruneStrategy::Wheel, 4);
+        s.enable_dirty_tracking();
+        for i in 0..50u64 {
+            s.insert(u(i), u(1000 + i % 10), ts(10 + i));
+        }
+        assert_eq!(s.dirty_targets(), 10);
+
+        // Drain the targets of one synthetic "partition" (parity of the
+        // route hash) — the others stay dirty.
+        let parts = 2usize;
+        let pred = move |t: UserId| (magicrecs_types::route_mix(&t) as usize).is_multiple_of(parts);
+        let (mut entries, mut tombs, mut drained) = (Vec::new(), Vec::new(), Vec::new());
+        s.drain_dirty_exports(pred, &mut entries, &mut tombs, &mut drained);
+        assert!(tombs.is_empty());
+        assert!(drained.iter().all(|&t| pred(t)));
+        assert_eq!(s.dirty_targets(), 10 - drained.len());
+
+        // The filtered export matches the drained partition's entries.
+        let mut full = Vec::new();
+        s.export_entries_where(pred, &mut full);
+        let mut a = entries.clone();
+        let mut b = full.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+
+        // Re-marking restores the drained targets.
+        s.mark_dirty_many(drained.iter().copied());
+        assert_eq!(s.dirty_targets(), 10);
+        s.clear_dirty_where(|_| true);
+        assert_eq!(s.dirty_targets(), 0);
     }
 }

@@ -7,7 +7,7 @@
 
 use crate::target_list::TargetList;
 use crate::wheel::EpochWheel;
-use magicrecs_types::{Duration, FxHashMap, Timestamp, UserId, VertexKey};
+use magicrecs_types::{Duration, FxHashMap, FxHashSet, Timestamp, UserId, VertexKey};
 
 /// Global memory-reclamation discipline for expired targets (ablation B3).
 ///
@@ -67,6 +67,12 @@ pub struct TemporalEdgeStore<K = UserId> {
     resident: u64,
     since_sweep: u64,
     stats: StoreStats,
+    /// Targets whose list changed since the last dirty drain (`None`:
+    /// tracking disabled — the default; incremental checkpointing turns
+    /// it on). Every mutation path marks here: inserts, removals, window
+    /// trims (on query, advance, and sweep), cap drops, and list
+    /// reclamation.
+    dirty: Option<FxHashSet<K>>,
 }
 
 impl<K: VertexKey> TemporalEdgeStore<K> {
@@ -84,6 +90,7 @@ impl<K: VertexKey> TemporalEdgeStore<K> {
             resident: 0,
             since_sweep: 0,
             stats: StoreStats::default(),
+            dirty: None,
         }
     }
 
@@ -117,6 +124,7 @@ impl<K: VertexKey> TemporalEdgeStore<K> {
         if let Some(cap) = self.entry_cap {
             dropped += list.enforce_cap(cap) as u64;
         }
+        self.mark_dirty(dst);
         self.stats.inserted += 1;
         self.stats.pruned += dropped;
         self.resident = self.resident + 1 - dropped;
@@ -143,6 +151,9 @@ impl<K: VertexKey> TemporalEdgeStore<K> {
                 self.lists.remove(&dst);
                 self.stats.lists_reclaimed += 1;
             }
+            if removed > 0 {
+                self.mark_dirty(dst);
+            }
         }
     }
 
@@ -165,9 +176,13 @@ impl<K: VertexKey> TemporalEdgeStore<K> {
             if list.is_empty() {
                 self.lists.remove(&dst);
                 self.stats.lists_reclaimed += 1;
+                self.mark_dirty(dst);
                 return;
             }
             list.distinct_sources_since(cutoff, out);
+            if dropped > 0 {
+                self.mark_dirty(dst);
+            }
         }
     }
 
@@ -195,6 +210,11 @@ impl<K: VertexKey> TemporalEdgeStore<K> {
                         self.lists.remove(&target);
                         self.stats.lists_reclaimed += 1;
                     }
+                    if dropped > 0 {
+                        if let Some(dirty) = &mut self.dirty {
+                            dirty.insert(target);
+                        }
+                    }
                 }
             }
         }
@@ -206,14 +226,25 @@ impl<K: VertexKey> TemporalEdgeStore<K> {
         let cutoff = now.saturating_sub(self.window);
         let mut reclaimed = 0u64;
         let mut dropped_total = 0u64;
-        self.lists.retain(|_, list| {
-            dropped_total += list.trim_before(cutoff) as u64;
+        // Collect-then-mark: the retain closure can't reach the dirty set
+        // while the map is mid-mutation.
+        let mut touched: Vec<K> = Vec::new();
+        let track = self.dirty.is_some();
+        self.lists.retain(|&target, list| {
+            let dropped = list.trim_before(cutoff) as u64;
+            dropped_total += dropped;
             let keep = !list.is_empty();
             if !keep {
                 reclaimed += 1;
             }
+            if track && (dropped > 0 || !keep) {
+                touched.push(target);
+            }
             keep
         });
+        if let Some(dirty) = &mut self.dirty {
+            dirty.extend(touched);
+        }
         self.stats.pruned += dropped_total;
         self.resident -= dropped_total;
         self.stats.lists_reclaimed += reclaimed;
@@ -231,6 +262,103 @@ impl<K: VertexKey> TemporalEdgeStore<K> {
         for (&dst, list) in &self.lists {
             out.extend(list.iter().map(|(src, at)| (dst, src, at)));
         }
+    }
+
+    /// [`TemporalEdgeStore::export_entries`] restricted to targets
+    /// satisfying `pred` — the fenced per-partition export: a checkpoint
+    /// cuts one WAL partition at a time and exports exactly the targets
+    /// routed to it.
+    pub fn export_entries_where(&self, pred: impl Fn(K) -> bool, out: &mut Vec<(K, K, Timestamp)>) {
+        for (&dst, list) in &self.lists {
+            if pred(dst) {
+                out.extend(list.iter().map(|(src, at)| (dst, src, at)));
+            }
+        }
+    }
+
+    /// Turns on dirty-target tracking (idempotent). Mutations from here
+    /// on record which targets changed, feeding incremental checkpoints;
+    /// the set is emptied by [`TemporalEdgeStore::drain_dirty_exports`]
+    /// and [`TemporalEdgeStore::clear_dirty_where`].
+    pub fn enable_dirty_tracking(&mut self) {
+        if self.dirty.is_none() {
+            self.dirty = Some(FxHashSet::default());
+        }
+    }
+
+    /// Whether dirty-target tracking is on.
+    #[inline]
+    pub fn dirty_tracking_enabled(&self) -> bool {
+        self.dirty.is_some()
+    }
+
+    /// Number of currently-dirty targets (0 when tracking is off).
+    pub fn dirty_targets(&self) -> usize {
+        self.dirty.as_ref().map_or(0, |d| d.len())
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, target: K) {
+        if let Some(dirty) = &mut self.dirty {
+            dirty.insert(target);
+        }
+    }
+
+    /// Re-marks targets dirty — the checkpoint failure path: a drained
+    /// dirty set whose delta never landed durably must flow into the
+    /// *next* delta or those changes silently vanish from the chain.
+    pub fn mark_dirty_many(&mut self, targets: impl IntoIterator<Item = K>) {
+        if let Some(dirty) = &mut self.dirty {
+            dirty.extend(targets);
+        }
+    }
+
+    /// Drains the dirty targets satisfying `pred`: each one's **current
+    /// full list** is appended to `entries` as `(dst, src, at)` triples
+    /// (time order within a target, like
+    /// [`TemporalEdgeStore::export_entries`]), a dirty target holding no
+    /// list anymore is appended to `tombstones`, and every drained target
+    /// is appended to `drained` (the caller's undo log — see
+    /// [`TemporalEdgeStore::mark_dirty_many`]). Targets failing `pred`
+    /// stay dirty. No-op when tracking is off.
+    pub fn drain_dirty_exports(
+        &mut self,
+        pred: impl Fn(K) -> bool,
+        entries: &mut Vec<(K, K, Timestamp)>,
+        tombstones: &mut Vec<K>,
+        drained: &mut Vec<K>,
+    ) {
+        let Some(dirty) = &mut self.dirty else { return };
+        let matched: Vec<K> = dirty.iter().copied().filter(|&t| pred(t)).collect();
+        for t in &matched {
+            dirty.remove(t);
+        }
+        for &t in &matched {
+            drained.push(t);
+            match self.lists.get(&t) {
+                // A resident list is never empty (empty lists are
+                // reclaimed from the map), so this always exports ≥ 1
+                // entries.
+                Some(list) => entries.extend(list.iter().map(|(src, at)| (t, src, at))),
+                None => tombstones.push(t),
+            }
+        }
+    }
+
+    /// Clears dirty marks for targets satisfying `pred` — the full-export
+    /// path: a full checkpoint of a partition captures every target
+    /// routed to it, dirty or not, so their marks are spent. Returns the
+    /// cleared targets so a caller whose full checkpoint then fails to
+    /// land can re-mark them ([`TemporalEdgeStore::mark_dirty_many`]).
+    pub fn clear_dirty_where(&mut self, pred: impl Fn(K) -> bool) -> Vec<K> {
+        let Some(dirty) = &mut self.dirty else {
+            return Vec::new();
+        };
+        let cleared: Vec<K> = dirty.iter().copied().filter(|&t| pred(t)).collect();
+        for t in &cleared {
+            dirty.remove(t);
+        }
+        cleared
     }
 
     /// Number of resident (stored, possibly stale) entries.
@@ -442,6 +570,90 @@ mod tests {
         assert_eq!(got, vec![(DenseId(1), ts(10)), (DenseId(2), ts(20))]);
         d.remove(DenseId(1), DenseId(100));
         assert_eq!(d.witnesses(DenseId(100), ts(30)).len(), 1);
+    }
+
+    #[test]
+    fn dirty_tracking_marks_every_mutation_path() {
+        let mut d = TemporalEdgeStore::new(w(10), PruneStrategy::Wheel);
+        // Off by default: mutations don't record anything.
+        d.insert(u(1), u(100), ts(1));
+        assert_eq!(d.dirty_targets(), 0);
+        d.enable_dirty_tracking();
+        assert!(d.dirty_tracking_enabled());
+
+        // Insert marks.
+        d.insert(u(2), u(100), ts(2));
+        assert_eq!(d.dirty_targets(), 1);
+
+        // Drain exports the current full list and empties the set.
+        let (mut entries, mut tombs, mut drained) = (Vec::new(), Vec::new(), Vec::new());
+        d.drain_dirty_exports(|_| true, &mut entries, &mut tombs, &mut drained);
+        assert_eq!(drained, vec![u(100)]);
+        assert_eq!(entries.len(), 2, "full current list, not just the delta");
+        assert!(tombs.is_empty());
+        assert_eq!(d.dirty_targets(), 0);
+
+        // Remove marks; removing the last entry tombstones on drain.
+        d.remove(u(1), u(100));
+        d.remove(u(2), u(100));
+        let (mut entries, mut tombs, mut drained) = (Vec::new(), Vec::new(), Vec::new());
+        d.drain_dirty_exports(|_| true, &mut entries, &mut tombs, &mut drained);
+        assert_eq!(tombs, vec![u(100)]);
+        assert!(entries.is_empty());
+
+        // Wheel expiry marks the expired target.
+        d.insert(u(3), u(200), ts(5));
+        d.clear_dirty_where(|_| true);
+        d.advance(ts(1000));
+        assert_eq!(d.dirty_targets(), 1);
+
+        // A drained-but-failed checkpoint re-marks.
+        let (mut entries, mut tombs, mut drained) = (Vec::new(), Vec::new(), Vec::new());
+        d.drain_dirty_exports(|_| true, &mut entries, &mut tombs, &mut drained);
+        assert_eq!(d.dirty_targets(), 0);
+        d.mark_dirty_many(drained);
+        assert_eq!(d.dirty_targets(), 1);
+
+        // Predicate-filtered drain leaves non-matching targets dirty.
+        d.insert(u(4), u(300), ts(2000));
+        let (mut entries, mut tombs, mut drained) = (Vec::new(), Vec::new(), Vec::new());
+        d.drain_dirty_exports(|t| t == u(300), &mut entries, &mut tombs, &mut drained);
+        assert_eq!(drained, vec![u(300)]);
+        assert_eq!(d.dirty_targets(), 1, "u(200) stays dirty");
+        let _ = (entries, tombs);
+    }
+
+    #[test]
+    fn dirty_tracking_marks_query_trims_and_sweeps() {
+        // Query-path trim marks.
+        let mut d = TemporalEdgeStore::new(w(10), PruneStrategy::Eager);
+        d.enable_dirty_tracking();
+        d.insert(u(1), u(100), ts(1));
+        d.clear_dirty_where(|_| true);
+        assert!(d.witnesses(u(100), ts(100)).is_empty()); // trims + reclaims
+        assert_eq!(d.dirty_targets(), 1);
+
+        // Sweep-path trim marks (collect-then-mark inside retain).
+        let mut d = TemporalEdgeStore::new(w(10), PruneStrategy::Sweep { sweep_every: 3 });
+        d.enable_dirty_tracking();
+        d.insert(u(1), u(100), ts(1));
+        d.insert(u(2), u(200), ts(1));
+        d.clear_dirty_where(|_| true);
+        d.insert(u(3), u(300), ts(1000)); // triggers the sweep
+                                          // 100 and 200 expired in the sweep; 300 marked by its insert.
+        assert_eq!(d.dirty_targets(), 3);
+    }
+
+    #[test]
+    fn export_entries_where_filters_targets() {
+        let mut d = TemporalEdgeStore::with_window(w(600));
+        d.insert(u(1), u(100), ts(10));
+        d.insert(u(2), u(100), ts(20));
+        d.insert(u(3), u(200), ts(15));
+        let mut out = Vec::new();
+        d.export_entries_where(|t| t == u(100), &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|&(dst, _, _)| dst == u(100)));
     }
 
     #[test]
