@@ -32,15 +32,19 @@
 //! the base seed (recorded in every trajectory for exact replay).
 
 use magicrecs_bench::{header, row};
-use magicrecs_core::Engine;
+use magicrecs_cluster::SharedEngineCluster;
+use magicrecs_core::{ConcurrentEngine, Engine};
 use magicrecs_gen::adversity::{AdversitySpec, Episode};
-use magicrecs_graph::CapStrategy;
+use magicrecs_graph::{CapStrategy, FollowGraph, GraphBuilder};
 use magicrecs_persist::{
     CheckpointDriver, FaultPlan, FaultVfs, FsyncPolicy, PersistOptions, PersistentConcurrentEngine,
     PersistentEngine, RebasePolicy, TempDir,
 };
+use magicrecs_server::{
+    AdmissionConfig, ClientConn, Frame, Server, ServerConfig, ShedCode, WireStats,
+};
 use magicrecs_stream::playback::{play, PlaybackControl};
-use magicrecs_types::{Candidate, DetectorConfig, Duration, Error, Timestamp};
+use magicrecs_types::{Candidate, DetectorConfig, Duration, EdgeEvent, Error, Timestamp, UserId};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -786,6 +790,386 @@ fn run_checkpoint_cell(
     }
 }
 
+// ---- serving-tier cells ----------------------------------------------------
+//
+// Three cells drive the network front end (`magicrecs-server`) through
+// the adversity lens: overload must shed whole batches with typed
+// responses and exact accounting, a subscriber that stops reading must
+// have deliveries dropped (counted) without stalling ingest, and a
+// connection killed mid-ingest must resume on a fresh socket with the
+// candidate stream intact. All run over loopback under `Fault::None` —
+// here the workload itself is the fault.
+
+fn serving_check(ok: bool, what: &str, notes: &mut Vec<String>) -> bool {
+    if !ok {
+        notes.push(format!("FAIL: {what}"));
+    }
+    ok
+}
+
+fn start_serving(
+    graph: &FollowGraph,
+    workers: usize,
+    admission: AdmissionConfig,
+) -> (Server, Arc<ConcurrentEngine>) {
+    let engine =
+        Arc::new(ConcurrentEngine::new(graph.clone(), detector_config()).expect("serving engine"));
+    let server = Server::start(
+        engine.clone(),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers,
+            admission,
+            pin_cores: false,
+            checkpoint_hook: None,
+        },
+    )
+    .expect("serving server");
+    (server, engine)
+}
+
+/// StatsReq/StatsResp on `conn`, skipping any deliveries in flight.
+fn wire_stats(conn: &mut ClientConn) -> WireStats {
+    conn.send(&Frame::StatsReq).expect("stats req");
+    loop {
+        match conn.recv().expect("stats resp") {
+            Frame::StatsResp(s) => return s,
+            Frame::Deliver { .. } => continue,
+            other => panic!("unexpected frame awaiting stats: {other:?}"),
+        }
+    }
+}
+
+fn serving_cell_result(
+    scenario: &'static str,
+    mut j: Json,
+    mut notes: Vec<String>,
+    mut green: bool,
+    out_dir: &Path,
+) -> CellResult {
+    j.raw("green", green);
+    let json_path = out_dir.join(format!("{scenario}-none.json"));
+    if let Err(e) = std::fs::write(&json_path, j.render()) {
+        notes.push(format!("FAIL: trajectory write: {e}"));
+        green = false;
+    }
+    CellResult {
+        scenario,
+        fault: Fault::None,
+        green,
+        notes,
+        json_path,
+    }
+}
+
+/// Flash crowd at 2× the admitted budget: the token bucket sheds the
+/// excess as whole batches with typed `Shed{RateLimited}` + retry
+/// hints, client- and server-side accounting balance exactly, and the
+/// same connection still serves the control plane afterwards.
+fn run_serving_overload_cell(base_seed: u64, out_dir: &Path) -> CellResult {
+    const SCENARIO: &str = "serving_overload_shed";
+    let seed = cell_seed(base_seed, SCENARIOS.len() + 1, 0);
+    let spec = spec_for("flash_crowd", seed);
+    let trace = spec.build();
+    let events = trace.events();
+    let graph = magicrecs_bench::small_graph(spec.users);
+
+    // Budget = half the offered load (2× overload): the bucket starts
+    // with n/2 tokens and refills far too slowly to matter over the
+    // cell's sub-second run.
+    let budget = events.len() / 2;
+    let admission = AdmissionConfig {
+        source_rate: 1.0,
+        source_burst: budget as f64,
+        ..AdmissionConfig::unlimited()
+    };
+    let (server, _engine) = start_serving(&graph, 1, admission);
+    let mut conn = ClientConn::connect(server.addr(), Some(0)).expect("connect");
+
+    const BATCH: usize = 64;
+    let mut batch_sizes = std::collections::HashMap::new();
+    for (tag, chunk) in events.chunks(BATCH).enumerate() {
+        batch_sizes.insert(tag as u64, chunk.len());
+        conn.send(&Frame::Ingest {
+            tag: tag as u64,
+            events: chunk.to_vec(),
+        })
+        .expect("ingest");
+    }
+    let replies = conn.barrier(u64::MAX).expect("barrier");
+
+    let mut green = true;
+    let mut notes = Vec::new();
+    let mut shed_events = 0usize;
+    let mut shed_frames = 0usize;
+    let mut bad_shed = 0usize;
+    for f in &replies {
+        if let Frame::Shed {
+            tag,
+            code,
+            retry_after_us,
+        } = f
+        {
+            shed_frames += 1;
+            shed_events += batch_sizes.get(tag).copied().unwrap_or(0);
+            if *code != ShedCode::RateLimited || *retry_after_us == 0 {
+                bad_shed += 1;
+            }
+        }
+    }
+    let sent = events.len();
+    let accepted = sent - shed_events;
+    green &= serving_check(shed_frames > 0, "2x overload must shed", &mut notes);
+    green &= serving_check(
+        accepted > 0,
+        "the budgeted half must still be admitted",
+        &mut notes,
+    );
+    green &= serving_check(
+        bad_shed == 0,
+        "every shed must be typed RateLimited with a nonzero retry hint",
+        &mut notes,
+    );
+
+    // Post-storm: the connection that was shed still answers control
+    // requests, and the counters balance to the event.
+    let stats = wire_stats(&mut conn);
+    green &= serving_check(
+        stats.accepted as usize == accepted && stats.shed as usize == shed_events,
+        "client- and server-side shed accounting must agree",
+        &mut notes,
+    );
+    green &= serving_check(
+        stats.accepted + stats.shed == sent as u64,
+        "accepted + shed must equal offered",
+        &mut notes,
+    );
+    green &= serving_check(
+        stats.events == stats.accepted,
+        "the engine must see exactly the admitted events",
+        &mut notes,
+    );
+    server.shutdown();
+
+    let mut j = Json::default();
+    j.str("scenario", SCENARIO);
+    j.str("fault", "none");
+    j.raw("base_seed", base_seed);
+    j.raw("seed", seed);
+    j.raw("users", spec.users);
+    j.raw("offered", sent);
+    j.raw("budget", budget);
+    j.raw("accepted", accepted);
+    j.raw("shed_events", shed_events);
+    j.raw("shed_frames", shed_frames);
+    j.raw(
+        "shed_rate",
+        format!("{:.3}", shed_events as f64 / sent as f64),
+    );
+    serving_cell_result(SCENARIO, j, notes, green, out_dir)
+}
+
+/// A subscriber that stops reading: deliveries past its write-queue
+/// cap are dropped and counted, while ingest and the control plane on
+/// other connections run unimpeded.
+fn run_serving_slow_consumer_cell(base_seed: u64, out_dir: &Path) -> CellResult {
+    const SCENARIO: &str = "serving_slow_consumer";
+
+    // A fan-in graph so every firing floods the subscriber: FANS users
+    // all follow both Bs, so each fresh target the Bs co-follow fires
+    // one candidate per fan. TARGETS × FANS candidates dwarf the write
+    // queue *and* the kernel socket buffers, forcing counted drops.
+    const FANS: u64 = 2_000;
+    const TARGETS: u64 = 50;
+    let b1 = UserId(FANS + 1);
+    let b2 = UserId(FANS + 2);
+    let mut gb = GraphBuilder::new();
+    for a in 0..FANS {
+        gb.extend([(UserId(a), b1), (UserId(a), b2)]);
+    }
+    let graph = gb.build();
+
+    let admission = AdmissionConfig {
+        max_write_queue: 64 * 1024,
+        ..AdmissionConfig::unlimited()
+    };
+    let (server, _engine) = start_serving(&graph, 1, admission);
+
+    let mut slow = ClientConn::connect(server.addr(), Some(0)).expect("connect slow");
+    slow.send(&Frame::Subscribe).expect("subscribe");
+    assert!(matches!(slow.recv().expect("subscribe ack"), Frame::OkAck));
+    // ... and the slow consumer never reads again.
+
+    // The kernel absorbs deliveries until the unread socket's buffers
+    // fill (a few MB on loopback); only then does the server's own
+    // write queue grow and hit the cap. Keep pouring rounds of fresh
+    // targets until drops appear, bounded so a regression can't hang
+    // the harness.
+    const MAX_ROUNDS: u64 = 40;
+    let mut green = true;
+    let mut notes = Vec::new();
+    let mut ingest = ClientConn::connect(server.addr(), Some(0)).expect("connect ingest");
+    let mut tag = 0u64;
+    let mut sent_events = 0usize;
+    let mut rounds = 0u64;
+    let mut stats;
+    loop {
+        let mut events = Vec::new();
+        for t in (rounds * TARGETS)..((rounds + 1) * TARGETS) {
+            let c = UserId(FANS + 10 + t);
+            events.push(EdgeEvent::follow(b1, c, Timestamp::from_secs(100 + 2 * t)));
+            events.push(EdgeEvent::follow(b2, c, Timestamp::from_secs(101 + 2 * t)));
+        }
+        for chunk in events.chunks(10) {
+            ingest
+                .send(&Frame::Ingest {
+                    tag,
+                    events: chunk.to_vec(),
+                })
+                .expect("ingest");
+            tag += 1;
+        }
+        sent_events += events.len();
+        let replies = ingest.barrier(u64::MAX).expect("barrier");
+        green &= serving_check(
+            replies.is_empty(),
+            "unsubscribed ingest under unlimited admission must sail through",
+            &mut notes,
+        );
+        rounds += 1;
+        stats = wire_stats(&mut ingest);
+        if stats.dropped_deliveries > 0 || rounds >= MAX_ROUNDS || !green {
+            break;
+        }
+    }
+    green &= serving_check(
+        stats.events as usize == sent_events,
+        "a stalled subscriber must not impede ingest",
+        &mut notes,
+    );
+    green &= serving_check(stats.shed == 0, "nothing to shed here", &mut notes);
+    green &= serving_check(
+        stats.dropped_deliveries > 0,
+        "deliveries past the write-queue cap must be dropped and counted",
+        &mut notes,
+    );
+    slow.kill();
+    server.shutdown();
+
+    let mut j = Json::default();
+    j.str("scenario", SCENARIO);
+    j.str("fault", "none");
+    j.raw("base_seed", base_seed);
+    j.raw("fans", FANS);
+    j.raw("targets_per_round", TARGETS);
+    j.raw("rounds", rounds);
+    j.raw("events", sent_events);
+    j.raw("max_write_queue", 64 * 1024);
+    j.raw("engine_candidates", stats.candidates);
+    j.raw("dropped_deliveries", stats.dropped_deliveries);
+    serving_cell_result(SCENARIO, j, notes, green, out_dir)
+}
+
+/// Mid-ingest connection kill: fence, kill the socket ungracefully,
+/// reconnect, and finish the trace — the delivered candidate stream
+/// must match an in-process single-worker cluster run exactly (no
+/// loss, no duplicates, window state intact across the kill).
+fn run_serving_kill_resume_cell(base_seed: u64, out_dir: &Path) -> CellResult {
+    const SCENARIO: &str = "serving_kill_resume";
+    let seed = cell_seed(base_seed, SCENARIOS.len() + 3, 0);
+    let spec = spec_for("flash_crowd", seed);
+    let trace = spec.build();
+    let events = trace.events();
+    let at_event = events.len() * 2 / 5;
+    let graph = magicrecs_bench::small_graph(spec.users);
+
+    let reference = SharedEngineCluster::new(&graph, 1, detector_config())
+        .expect("reference cluster")
+        .run_trace(events)
+        .expect("reference run");
+
+    let (server, _engine) = start_serving(&graph, 1, AdmissionConfig::unlimited());
+    let mut observer = ClientConn::connect(server.addr(), Some(0)).expect("connect observer");
+    observer.send(&Frame::Subscribe).expect("subscribe");
+    assert!(matches!(
+        observer.recv().expect("subscribe ack"),
+        Frame::OkAck
+    ));
+
+    const BATCH: usize = 64;
+    let mut tag = 0u64;
+    let mut send_range = |conn: &mut ClientConn, range: &[EdgeEvent]| {
+        for chunk in range.chunks(BATCH) {
+            conn.send(&Frame::Ingest {
+                tag,
+                events: chunk.to_vec(),
+            })
+            .expect("ingest");
+            tag += 1;
+        }
+        for f in conn.barrier(u64::MAX).expect("ingest barrier") {
+            assert!(
+                !matches!(f, Frame::Shed { .. }),
+                "unlimited admission shed: {f:?}"
+            );
+        }
+    };
+
+    let mut first = ClientConn::connect(server.addr(), Some(0)).expect("connect ingest 1");
+    send_range(&mut first, &events[..at_event]);
+    first.kill();
+
+    let mut second = ClientConn::connect(server.addr(), Some(0)).expect("connect ingest 2");
+    send_range(&mut second, &events[at_event..]);
+
+    // Both ingest barriers acked before the observer's barrier was
+    // sent, so every delivery is already FIFO-queued ahead of the ack.
+    let mut got: Vec<Candidate> = Vec::new();
+    for f in observer.barrier(u64::MAX).expect("observer barrier") {
+        if let Frame::Deliver { mut candidates, .. } = f {
+            got.append(&mut candidates);
+        }
+    }
+    got.sort_by_key(|c| (c.triggered_at, c.user, c.target));
+    let stats = wire_stats(&mut second);
+    server.shutdown();
+
+    let mut green = true;
+    let mut notes = Vec::new();
+    green &= serving_check(
+        !reference.candidates.is_empty(),
+        "reference trace must fire (parity would be vacuous)",
+        &mut notes,
+    );
+    green &= serving_check(
+        got == reference.candidates,
+        "candidate parity across the kill + reconnect",
+        &mut notes,
+    );
+    green &= serving_check(
+        stats.events as usize == events.len(),
+        "every event from both connections must reach the engine",
+        &mut notes,
+    );
+
+    let mut j = Json::default();
+    j.str("scenario", SCENARIO);
+    j.str("fault", "none");
+    j.raw("base_seed", base_seed);
+    j.raw("seed", seed);
+    j.raw("users", spec.users);
+    j.raw("events", events.len());
+    j.raw("at_event", at_event);
+    j.raw("candidates", got.len());
+    j.raw("expected_candidates", reference.candidates.len());
+    j.raw("digest", format!("\"{:016x}\"", digest(&got)));
+    j.raw(
+        "expected_digest",
+        format!("\"{:016x}\"", digest(&reference.candidates)),
+    );
+    serving_cell_result(SCENARIO, j, notes, green, out_dir)
+}
+
 fn main() {
     let out_dir = std::env::args()
         .nth(1)
@@ -851,8 +1235,36 @@ fn main() {
         }
     }
 
+    // The serving-tier cells: the network front end under 2× overload,
+    // a subscriber that stops reading, and a mid-ingest connection
+    // kill with reconnect-and-resume.
+    let serving = [
+        run_serving_overload_cell(base_seed, &out_dir),
+        run_serving_slow_consumer_cell(base_seed, &out_dir),
+        run_serving_kill_resume_cell(base_seed, &out_dir),
+    ];
+    for r in serving {
+        println!(
+            "{}",
+            row(&[
+                r.scenario.to_string(),
+                r.fault.name().to_string(),
+                if r.green {
+                    "green".into()
+                } else {
+                    "RED".into()
+                },
+                r.json_path.display().to_string(),
+            ])
+        );
+        if !r.green {
+            all_green = false;
+            failures.push((format!("{}-{}", r.scenario, r.fault.name()), r.notes));
+        }
+    }
+
     if all_green {
-        println!("\nall {} cells green", SCENARIOS.len() * FAULTS.len() + 2);
+        println!("\nall {} cells green", SCENARIOS.len() * FAULTS.len() + 5);
     } else {
         println!("\nRED cells:");
         for (cell, notes) in &failures {

@@ -60,6 +60,7 @@
 //!
 //! [`CheckpointDriver`]: magicrecs_persist::CheckpointDriver
 
+use magicrecs_bench::json::{Json, Val};
 use magicrecs_bench::{bench_graph, bench_trace, small_graph};
 use magicrecs_cluster::SharedEngineCluster;
 use magicrecs_core::intersect::{
@@ -109,148 +110,6 @@ fn as_dense(ids: &[UserId]) -> Vec<DenseId> {
     ids.iter()
         .map(|u| DenseId(u32::try_from(u.raw()).expect("fixture ids fit u32")))
         .collect()
-}
-
-// ---- JSON: ordered, flat, merge-don't-clobber ------------------------------
-
-/// A top-level value: a raw scalar/string token, or a one-level group of
-/// named numbers (an arm set).
-#[derive(Clone, Debug)]
-enum Val {
-    Raw(String),
-    Obj(Vec<(String, String)>),
-}
-
-/// Ordered flat JSON document (the only shape this recorder reads/writes).
-struct Json(Vec<(String, Val)>);
-
-impl Json {
-    fn new() -> Self {
-        Json(Vec::new())
-    }
-
-    fn set(&mut self, key: &str, v: Val) {
-        match self.0.iter_mut().find(|(k, _)| k == key) {
-            Some(slot) => slot.1 = v,
-            None => self.0.push((key.to_string(), v)),
-        }
-    }
-
-    fn num(&mut self, key: &str, v: f64) {
-        self.set(key, Val::Raw(format!("{v:.1}")));
-    }
-
-    /// An integer scalar (e.g. a core count) — no trailing `.0`.
-    fn int(&mut self, key: &str, v: u64) {
-        self.set(key, Val::Raw(format!("{v}")));
-    }
-
-    fn str(&mut self, key: &str, v: &str) {
-        self.set(key, Val::Raw(format!("\"{v}\"")));
-    }
-
-    fn obj(&mut self, key: &str, fields: &[(&str, f64)]) {
-        self.set(
-            key,
-            Val::Obj(
-                fields
-                    .iter()
-                    .map(|&(k, v)| (k.to_string(), format!("{v:.1}")))
-                    .collect(),
-            ),
-        );
-    }
-
-    fn render(&self) -> String {
-        let body: Vec<String> = self
-            .0
-            .iter()
-            .map(|(k, v)| match v {
-                Val::Raw(s) => format!("  \"{k}\": {s}"),
-                Val::Obj(fields) => {
-                    let inner: Vec<String> = fields
-                        .iter()
-                        .map(|(fk, fv)| format!("\"{fk}\": {fv}"))
-                        .collect();
-                    format!("  \"{k}\": {{{}}}", inner.join(", "))
-                }
-            })
-            .collect();
-        format!("{{\n{}\n}}\n", body.join(",\n"))
-    }
-
-    /// Merges this run's entries over `existing`: scalars replace,
-    /// grouped arms merge field-by-field (fields not re-measured
-    /// survive), unknown keys from the previous file are preserved in
-    /// their original order.
-    fn merge_over(self, mut existing: Json) -> Json {
-        for (key, new_val) in self.0 {
-            let slot = existing.0.iter_mut().find(|(k, _)| *k == key);
-            match (slot, new_val) {
-                (Some((_, Val::Obj(old))), Val::Obj(new)) => {
-                    for (fk, fv) in new {
-                        match old.iter_mut().find(|(k, _)| *k == fk) {
-                            Some(f) => f.1 = fv,
-                            None => old.push((fk, fv)),
-                        }
-                    }
-                }
-                (Some(slot), v) => slot.1 = v,
-                (None, v) => existing.0.push((key, v)),
-            }
-        }
-        existing
-    }
-
-    /// Parses a document this recorder previously rendered (flat keys,
-    /// one-level groups, no escaped strings). Returns `None` on any shape
-    /// it does not recognize — the caller then starts fresh.
-    fn parse(text: &str) -> Option<Json> {
-        let body = text.trim().strip_prefix('{')?.strip_suffix('}')?;
-        let mut out = Json::new();
-        let mut rest = body.trim();
-        while !rest.is_empty() {
-            rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
-            if rest.is_empty() {
-                break;
-            }
-            let (key, after) = parse_key(rest)?;
-            rest = after.trim_start();
-            if let Some(obj_rest) = rest.strip_prefix('{') {
-                let end = obj_rest.find('}')?;
-                let mut fields = Vec::new();
-                for part in obj_rest[..end].split(',') {
-                    let part = part.trim();
-                    if part.is_empty() {
-                        continue;
-                    }
-                    let (fk, fv) = parse_key(part)?;
-                    fields.push((fk, fv.trim().to_string()));
-                }
-                out.0.push((key, Val::Obj(fields)));
-                rest = obj_rest[end + 1..].trim_start();
-            } else if let Some(str_rest) = rest.strip_prefix('"') {
-                let end = str_rest.find('"')?;
-                out.0
-                    .push((key, Val::Raw(format!("\"{}\"", &str_rest[..end]))));
-                rest = str_rest[end + 1..].trim_start();
-            } else {
-                let end = rest.find(',').unwrap_or(rest.len());
-                out.0.push((key, Val::Raw(rest[..end].trim().to_string())));
-                rest = &rest[end..];
-            }
-        }
-        Some(out)
-    }
-}
-
-/// Splits `"key": value…` into the key and the text after the colon.
-fn parse_key(text: &str) -> Option<(String, &str)> {
-    let rest = text.strip_prefix('"')?;
-    let end = rest.find('"')?;
-    let key = rest[..end].to_string();
-    let after = rest[end + 1..].trim_start().strip_prefix(':')?;
-    Some((key, after))
 }
 
 // ---- command line ----------------------------------------------------------
@@ -1298,21 +1157,6 @@ fn main() {
             .expect("workspace root exists")
             .join("BENCH_hotpath.json")
     });
-    let merged = match std::fs::read_to_string(&path)
-        .ok()
-        .as_deref()
-        .map(Json::parse)
-    {
-        Some(Some(existing)) => json.merge_over(existing),
-        Some(None) => {
-            eprintln!(
-                "warning: {} exists but did not parse; rewriting from this run only",
-                path.display()
-            );
-            json
-        }
-        None => json,
-    };
-    std::fs::write(&path, merged.render()).expect("write hot-path baseline json");
+    json.merge_into_file(&path);
     println!("\nwrote {}", path.display());
 }

@@ -1,0 +1,561 @@
+//! Serving-tier load generator: drives millions of simulated users over
+//! loopback TCP against a [`magicrecs_server::Server`] and records
+//! end-to-end delivery latency, sustained throughput, and shed behavior
+//! into `BENCH_hotpath.json` (merge-don't-clobber, same recorder as
+//! `hotpath`).
+//!
+//! Usage:
+//!   cargo run -p magicrecs-bench --release --bin loadgen
+//!   cargo run -p magicrecs-bench --release --bin loadgen -- --smoke
+//!       # CI: small fixture, asserts the pipeline end-to-end, no JSON
+//!   cargo run -p magicrecs-bench --release --bin loadgen -- \
+//!       --users 4000000 --events 2000000 --out /tmp/b.json
+//!
+//! Two phases:
+//!
+//! 1. **Saturation** — unlimited admission, open-loop: every event is
+//!    pre-routed (`route_mix(dst) % workers`, one connection per worker,
+//!    the parity-test routing) and sent as fast as the sockets accept in
+//!    `--batch`-event ingest frames. Each frame carries a tag; the
+//!    `Deliver` echoing that tag timestamps end-to-end delivery latency
+//!    (ingest write → candidate read) for p50/p99/p999. Throughput is
+//!    admitted events over wall clock.
+//! 2. **Overload** — the same trace against per-connection token buckets
+//!    sized to half the phase-1 measured rate, i.e. a deliberate 2×
+//!    overload. The server must answer with typed `Shed` frames (never
+//!    stall, never split a batch); the shed rate and a retry-after hint
+//!    are recorded.
+//!
+//! On a shared CI core the latency numbers measure *pipelining* (frames
+//! queue behind each other on one core), not service time — see
+//! ROADMAP item 2's caveat. Run on real cores for honest tails.
+
+use magicrecs_bench::json::{Json, Val};
+use magicrecs_bench::{fmt_rate, small_graph};
+use magicrecs_core::ConcurrentEngine;
+use magicrecs_gen::{GraphGen, GraphGenConfig, Scenario, ScenarioConfig};
+use magicrecs_graph::FollowGraph;
+use magicrecs_server::{
+    connect_per_worker, wire, AdmissionConfig, Frame, Server, ServerConfig, WireStats,
+};
+use magicrecs_types::{
+    metrics::Histogram, route_mix, DetectorConfig, EdgeEvent, FxHashMap, Timestamp,
+};
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+// ---- command line ----------------------------------------------------------
+
+struct Args {
+    /// Simulated user population (graph vertices).
+    users: u64,
+    /// Events to send in each phase.
+    events: usize,
+    /// Events per ingest frame.
+    batch: usize,
+    /// Server workers (0 = one per available core).
+    workers: usize,
+    /// CI mode: small fixture, hard sanity asserts, no JSON rewrite.
+    smoke: bool,
+    /// Skip the overload phase.
+    no_overload: bool,
+    /// Output path; defaults to `BENCH_hotpath.json` at the workspace root.
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        users: 2_000_000,
+        events: 1_000_000,
+        batch: 2_048,
+        workers: 0,
+        smoke: false,
+        no_overload: false,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut grab = |what: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+                .parse::<u64>()
+                .unwrap_or_else(|e| panic!("bad {what}: {e}"))
+        };
+        match a.as_str() {
+            "--smoke" => {
+                args.smoke = true;
+                args.users = 50_000;
+                args.events = 40_000;
+                args.batch = 256;
+                args.workers = 2;
+            }
+            "--users" => args.users = grab("--users"),
+            "--events" => args.events = grab("--events") as usize,
+            "--batch" => args.batch = (grab("--batch") as usize).max(1),
+            "--workers" => args.workers = grab("--workers") as usize,
+            "--no-overload" => args.no_overload = true,
+            "--out" => args.out = Some(PathBuf::from(it.next().expect("--out needs a path"))),
+            other => panic!("unknown flag {other:?} (see the module docs)"),
+        }
+    }
+    args
+}
+
+// ---- one phase -------------------------------------------------------------
+
+/// Outcome of driving one trace through one server instance.
+struct PhaseReport {
+    sent: u64,
+    shed: u64,
+    candidates: u64,
+    max_retry_hint_us: u64,
+    wall: Duration,
+    latency: Histogram,
+    stats: WireStats,
+}
+
+impl PhaseReport {
+    fn events_per_sec(&self) -> f64 {
+        (self.sent - self.shed) as f64 / self.wall.as_secs_f64()
+    }
+
+    fn shed_rate(&self) -> f64 {
+        self.shed as f64 / self.sent.max(1) as f64
+    }
+}
+
+/// In-flight frame bookkeeping: tag → (send instant, event count).
+type Inflight = Arc<Mutex<FxHashMap<u64, (Instant, u32)>>>;
+
+/// Reader side of one connection: decodes frames until the final
+/// barrier ack, timestamping deliveries and counting sheds.
+struct ReaderOutcome {
+    latency: Histogram,
+    shed: u64,
+    candidates: u64,
+    max_retry_hint_us: u64,
+}
+
+fn run_reader(
+    mut sock: std::net::TcpStream,
+    mut buf: Vec<u8>,
+    inflight: Inflight,
+    fin_tag: u64,
+) -> ReaderOutcome {
+    let mut out = ReaderOutcome {
+        latency: Histogram::new(),
+        shed: 0,
+        candidates: 0,
+        max_retry_hint_us: 0,
+    };
+    let mut chunk = vec![0u8; 256 * 1024];
+    loop {
+        while let Some((frame, used)) = wire::decode(&buf).expect("server sent a corrupt frame") {
+            buf.drain(..used);
+            match frame {
+                Frame::Deliver { tag, candidates } => {
+                    if let Some((t0, _)) = inflight.lock().unwrap().remove(&tag) {
+                        out.latency.record(t0.elapsed().as_micros() as u64);
+                    }
+                    out.candidates += candidates.len() as u64;
+                }
+                Frame::Shed {
+                    tag,
+                    retry_after_us,
+                    ..
+                } => {
+                    if let Some((_, n)) = inflight.lock().unwrap().remove(&tag) {
+                        out.shed += n as u64;
+                    }
+                    out.max_retry_hint_us = out.max_retry_hint_us.max(retry_after_us);
+                }
+                Frame::BarrierAck { tag } if tag == fin_tag => return out,
+                Frame::Error { code, detail } => {
+                    panic!("server error {code:?}: {detail}")
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        match sock.read(&mut chunk) {
+            Ok(0) => panic!("server closed mid-run"),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => panic!("read: {e}"),
+        }
+    }
+}
+
+/// Witness sets for guaranteed-diamond probe groups: each entry is `k`
+/// accounts one common `A` follows, so `k` follows of a fresh target
+/// within the window must fire a candidate for that `A`. Interleaved at
+/// a fixed cadence, these give the delivery-latency histogram a dense
+/// sample even when the organic Zipf traffic rarely completes a motif.
+fn probe_witness_sets(
+    graph: &FollowGraph,
+    k: usize,
+    count: usize,
+) -> Vec<Vec<magicrecs_types::UserId>> {
+    graph
+        .iter_forward()
+        .filter_map(|(_, followings)| {
+            if followings.len() < k {
+                return None;
+            }
+            // Skip sets containing popular witnesses: a probe through a
+            // celebrity B would fan out to all of B's co-followers and
+            // flood the run with deliveries; the probe stream is meant
+            // to *sample* latency, not dominate the workload.
+            let modest: Vec<_> = followings
+                .into_iter()
+                .filter(|b| graph.follower_count(*b) <= 64)
+                .take(k)
+                .collect();
+            (modest.len() == k).then_some(modest)
+        })
+        .take(count)
+        .collect()
+}
+
+/// Interleaves one probe group every `stride` organic events. Probe
+/// targets are fresh vertices above the user id space, so probes never
+/// perturb organic targets; timestamps reuse the neighboring event's,
+/// keeping the trace time-ordered.
+fn interleave_probes(
+    events: &[EdgeEvent],
+    witness_sets: &[Vec<magicrecs_types::UserId>],
+    users: u64,
+) -> Vec<EdgeEvent> {
+    if witness_sets.is_empty() {
+        return events.to_vec();
+    }
+    let stride = (events.len() / (witness_sets.len() + 1)).max(1);
+    let mut merged = Vec::with_capacity(events.len() + 3 * witness_sets.len());
+    let mut next = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        merged.push(*e);
+        if (i + 1) % stride == 0 && next < witness_sets.len() {
+            let target = magicrecs_types::UserId(users + next as u64);
+            for b in &witness_sets[next] {
+                merged.push(EdgeEvent::follow(*b, target, e.created_at));
+            }
+            next += 1;
+        }
+    }
+    merged
+}
+
+fn run_phase(
+    graph: &FollowGraph,
+    config: DetectorConfig,
+    events: &[EdgeEvent],
+    workers: usize,
+    admission: AdmissionConfig,
+    batch: usize,
+) -> PhaseReport {
+    let engine = Arc::new(ConcurrentEngine::new(graph.clone(), config).expect("engine"));
+    let server = Server::start(
+        engine,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers,
+            admission,
+            pin_cores: true,
+            checkpoint_hook: None,
+        },
+    )
+    .expect("server start");
+    let addr = server.addr();
+    let mut conns = connect_per_worker(addr).expect("connect");
+    let n = conns.len();
+    for c in conns.iter_mut() {
+        c.send(&Frame::Subscribe).expect("subscribe");
+        assert_eq!(c.recv().expect("sub ack"), Frame::OkAck);
+    }
+
+    // Pre-route and pre-encode per worker so the timed section measures
+    // the server, not the generator.
+    let mut frames: Vec<Vec<(u64, Vec<u8>, u32)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut pending: Vec<Vec<EdgeEvent>> = vec![Vec::new(); n];
+    let mut tag = 0u64;
+    let fin_tag = u64::MAX;
+    for e in events {
+        let w = (route_mix(&e.dst) % n as u64) as usize;
+        pending[w].push(*e);
+        if pending[w].len() >= batch {
+            let evs = std::mem::take(&mut pending[w]);
+            let count = evs.len() as u32;
+            frames[w].push((
+                tag,
+                wire::encode(&Frame::Ingest { tag, events: evs }),
+                count,
+            ));
+            tag += 1;
+        }
+    }
+    for (w, rest) in pending.into_iter().enumerate() {
+        if !rest.is_empty() {
+            let count = rest.len() as u32;
+            frames[w].push((
+                tag,
+                wire::encode(&Frame::Ingest { tag, events: rest }),
+                count,
+            ));
+            tag += 1;
+        }
+    }
+
+    let started = Instant::now();
+    let mut readers = Vec::new();
+    let mut writers = Vec::new();
+    for (conn, worker_frames) in conns.into_iter().zip(frames) {
+        let inflight: Inflight = Arc::new(Mutex::new(FxHashMap::default()));
+        let (rsock, mut wsock, leftover) = conn.split().expect("split");
+        let reader_inflight = inflight.clone();
+        readers.push(std::thread::spawn(move || {
+            run_reader(rsock, leftover, reader_inflight, fin_tag)
+        }));
+        writers.push(std::thread::spawn(move || {
+            for (tag, bytes, count) in &worker_frames {
+                inflight
+                    .lock()
+                    .unwrap()
+                    .insert(*tag, (Instant::now(), *count));
+                wsock.write_all(bytes).expect("ingest write");
+            }
+            wsock
+                .write_all(&wire::encode(&Frame::Barrier { tag: fin_tag }))
+                .expect("barrier write");
+        }));
+    }
+    for w in writers {
+        w.join().expect("writer");
+    }
+    let mut latency = Histogram::new();
+    let mut shed = 0u64;
+    let mut candidates = 0u64;
+    let mut max_retry_hint_us = 0u64;
+    for r in readers {
+        let o = r.join().expect("reader");
+        latency.merge(&o.latency);
+        shed += o.shed;
+        candidates += o.candidates;
+        max_retry_hint_us = max_retry_hint_us.max(o.max_retry_hint_us);
+    }
+    let wall = started.elapsed();
+
+    let mut control = magicrecs_server::ClientConn::connect(addr, None).expect("control conn");
+    control.send(&Frame::StatsReq).expect("stats req");
+    let stats = match control.recv().expect("stats resp") {
+        Frame::StatsResp(s) => s,
+        other => panic!("expected StatsResp, got {other:?}"),
+    };
+    server.shutdown();
+
+    PhaseReport {
+        sent: events.len() as u64,
+        shed,
+        candidates,
+        max_retry_hint_us,
+        wall,
+        latency,
+        stats,
+    }
+}
+
+// ---- main ------------------------------------------------------------------
+
+fn main() {
+    let args = parse_args();
+    let workers = if args.workers == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        args.workers
+    };
+    let config = magicrecs_bench::bench_detector_config();
+    println!(
+        "loadgen: {} users, {} events, {} workers, batch {}",
+        args.users, args.events, workers, args.batch
+    );
+
+    let t0 = Instant::now();
+    let graph = if args.smoke {
+        small_graph(args.users)
+    } else {
+        // Millions of vertices: keep mean degree modest so the graph
+        // builds in seconds and memory stays in the hundreds of MB.
+        GraphGen::new(GraphGenConfig {
+            users: args.users,
+            mean_out_degree: 4.0,
+            max_out_degree: 64,
+            popularity_alpha: 1.0,
+            activity_alpha: 0.6,
+            seed: 0xBEEF,
+        })
+        .generate()
+    };
+    // Simulated arrivals at 2k/s spread the trace across many detection
+    // windows (tau = 10min), so expiry bounds the live store at ~1.2M
+    // edges-in-window equivalents per million users — the steady state a
+    // real deployment sees, not an ever-growing window. Wall-clock send
+    // rate is open-loop regardless.
+    let sim_rate = 2_000.0;
+    let trace = Scenario::steady(
+        args.users,
+        ScenarioConfig {
+            rate_per_sec: sim_rate,
+            duration: magicrecs_types::Duration::from_secs(
+                ((args.events as f64 / sim_rate).ceil() as u64).max(1),
+            ),
+            start: Timestamp::from_secs(12 * 3600),
+            popularity_alpha: 0.9,
+            seed: 0x10AD,
+        },
+    );
+    let organic = &trace.events()[..trace.len().min(args.events)];
+    let probes = probe_witness_sets(&graph, config.k, (organic.len() / 1_000).clamp(50, 1_500));
+    let events = interleave_probes(organic, &probes, args.users);
+    let events = &events[..];
+    println!(
+        "  fixture: {} edges, {} events ({} probe groups, {:.1}s to build)",
+        graph.num_follow_edges(),
+        events.len(),
+        probes.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    // ---- phase 1: saturation -------------------------------------------
+    let sat = run_phase(
+        &graph,
+        config,
+        events,
+        workers,
+        AdmissionConfig::unlimited(),
+        args.batch,
+    );
+    let p50 = sat.latency.quantile(0.50).unwrap_or(0);
+    let p99 = sat.latency.quantile(0.99).unwrap_or(0);
+    let p999 = sat.latency.quantile(0.999).unwrap_or(0);
+    println!(
+        "  saturation: {} over {:.2}s wall, {} candidates, deliver p50 {}µs p99 {}µs p999 {}µs",
+        fmt_rate(sat.events_per_sec()),
+        sat.wall.as_secs_f64(),
+        sat.candidates,
+        p50,
+        p99,
+        p999,
+    );
+    println!(
+        "  engine: detect p50 {}µs p99 {}µs, queue hwm {}, dropped deliveries {}",
+        sat.stats.detect_p50_us,
+        sat.stats.detect_p99_us,
+        sat.stats.queue_high_watermark,
+        sat.stats.dropped_deliveries
+    );
+    assert_eq!(sat.shed, 0, "unlimited admission must not shed");
+    assert!(sat.candidates > 0, "trace produced no deliveries");
+    assert_eq!(sat.stats.accepted, sat.sent, "server lost events");
+
+    // ---- phase 2: 2× overload ------------------------------------------
+    let overload = if args.no_overload {
+        None
+    } else {
+        // Token buckets sized to half the demonstrated per-worker rate:
+        // a deliberate 2× overload.
+        let per_conn_rate = (sat.events_per_sec() / (2.0 * workers as f64)).max(1.0);
+        let report = run_phase(
+            &graph,
+            config,
+            events,
+            workers,
+            AdmissionConfig::rate_limited(per_conn_rate),
+            args.batch,
+        );
+        println!(
+            "  overload(2x): shed rate {:.3} ({} of {} events), max retry hint {}µs, {}",
+            report.shed_rate(),
+            report.shed,
+            report.sent,
+            report.max_retry_hint_us,
+            fmt_rate(report.events_per_sec()),
+        );
+        assert!(
+            report.shed > 0,
+            "2x overload must shed (typed), got none — admission control is inert"
+        );
+        assert!(
+            report.max_retry_hint_us > 0,
+            "shed responses must carry a retry-after hint"
+        );
+        assert_eq!(
+            report.stats.accepted + report.stats.shed,
+            report.sent,
+            "every event must be either admitted or typed-shed"
+        );
+        Some(report)
+    };
+
+    if args.smoke {
+        println!("smoke OK (no JSON rewrite)");
+        return;
+    }
+    assert!(
+        sat.events_per_sec() >= 100_000.0,
+        "sustained rate {} is below the 100k events/sec floor",
+        fmt_rate(sat.events_per_sec())
+    );
+
+    // ---- merge + write --------------------------------------------------
+    let mut json = Json::new();
+    json.num("serving_events_per_sec", sat.events_per_sec());
+    json.obj(
+        "serving_deliver_latency_us",
+        &[
+            ("p50", p50 as f64),
+            ("p99", p99 as f64),
+            ("p999", p999 as f64),
+        ],
+    );
+    json.obj(
+        "serving_detect_latency_us",
+        &[
+            ("p50", sat.stats.detect_p50_us as f64),
+            ("p99", sat.stats.detect_p99_us as f64),
+        ],
+    );
+    // Rates near 0 or 1 need more than `num`'s one decimal.
+    json.set(
+        "serving_shed_rate_saturation",
+        Val::Raw(format!("{:.3}", sat.shed_rate())),
+    );
+    if let Some(o) = &overload {
+        json.set(
+            "serving_shed_rate_overload_2x",
+            Val::Raw(format!("{:.3}", o.shed_rate())),
+        );
+        json.int("serving_overload_max_retry_hint_us", o.max_retry_hint_us);
+    }
+    json.int(
+        "serving_queue_high_watermark",
+        sat.stats.queue_high_watermark,
+    );
+    json.int("serving_dropped_deliveries", sat.stats.dropped_deliveries);
+    json.int("serving_bench_users", args.users);
+    json.int("serving_bench_events", sat.sent);
+    json.int("serving_bench_workers", workers as u64);
+    json.int(
+        "serving_bench_cores",
+        std::thread::available_parallelism().map_or(1, |n| n.get()) as u64,
+    );
+
+    let path = args.out.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .expect("workspace root exists")
+            .join("BENCH_hotpath.json")
+    });
+    json.merge_into_file(&path);
+    println!("wrote {}", path.display());
+}

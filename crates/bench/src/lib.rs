@@ -3,6 +3,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use magicrecs_gen::{GraphGen, GraphGenConfig, Scenario, ScenarioConfig, Trace};
 use magicrecs_graph::FollowGraph;
 use magicrecs_types::{DetectorConfig, Duration, Timestamp};

@@ -107,6 +107,13 @@ pub struct ConcurrentStats {
     pub candidates: u64,
     /// Events that produced at least one candidate.
     pub firing_events: u64,
+    /// Ingress events admitted by the driving tier (serving front end or
+    /// cluster transport). Zero when no driver reports admission.
+    pub accepted: u64,
+    /// Ingress events refused with a typed shed response.
+    pub shed: u64,
+    /// High-water mark of the driver's queued-but-unprocessed events.
+    pub queue_high_watermark: u64,
     /// Wall-clock detection latency per event, µs.
     pub detect_time: Snapshot,
 }
@@ -122,6 +129,9 @@ pub struct ConcurrentEngine {
     events: AtomicU64,
     candidates: AtomicU64,
     firing_events: AtomicU64,
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    queue_high_watermark: AtomicU64,
     since_advance: AtomicU64,
     /// High-water mark of event timestamps seen (µs): wheel expiry always
     /// advances with this, never with one thread's possibly-stale event
@@ -176,6 +186,9 @@ impl ConcurrentEngine {
             events: AtomicU64::new(0),
             candidates: AtomicU64::new(0),
             firing_events: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            queue_high_watermark: AtomicU64::new(0),
             since_advance: AtomicU64::new(0),
             clock: AtomicU64::new(0),
             detect_time: (0..TIME_STRIPES)
@@ -486,8 +499,35 @@ impl ConcurrentEngine {
             events: self.events.load(Ordering::Relaxed),
             candidates: self.candidates.load(Ordering::Relaxed),
             firing_events: self.firing_events.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            queue_high_watermark: self.queue_high_watermark.load(Ordering::Relaxed),
             detect_time: merged.snapshot(),
         }
+    }
+
+    /// Records `n` ingress events admitted by the driving tier. The
+    /// engine never calls this itself — drivers with an admission
+    /// boundary (the network serving tier, a queue transport) report
+    /// here so shed visibility lives next to the detection counters it
+    /// gates.
+    #[inline]
+    pub fn note_accepted(&self, n: u64) {
+        self.accepted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` ingress events refused with a typed shed response.
+    #[inline]
+    pub fn note_shed(&self, n: u64) {
+        self.shed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Folds a driver-side queue depth observation into the high-water
+    /// mark (monotone max).
+    #[inline]
+    pub fn note_queue_depth(&self, depth: u64) {
+        self.queue_high_watermark
+            .fetch_max(depth, Ordering::Relaxed);
     }
 
     /// The detector configuration.

@@ -1,0 +1,254 @@
+//! Safe wrappers over the raw epoll/eventfd/affinity syscalls.
+//!
+//! This module is the crate's only unsafe island (mirroring
+//! `magicrecs_core::simd`): every `unsafe` block wraps exactly one
+//! syscall with its argument invariants established on the preceding
+//! lines. The rest of the crate is `#![deny(unsafe_code)]`-clean.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// Readiness bits re-exported for the event loop.
+pub const IN: u32 = libc::EPOLLIN;
+/// Writable.
+pub const OUT: u32 = libc::EPOLLOUT;
+/// Error condition (reported unrequested).
+pub const ERR: u32 = libc::EPOLLERR;
+/// Hang-up (reported unrequested).
+pub const HUP: u32 = libc::EPOLLHUP;
+/// Peer closed its writing half.
+pub const RDHUP: u32 = libc::EPOLLRDHUP;
+
+/// One readiness record: the token passed at registration plus the
+/// ready-event mask.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// Caller token from [`Epoll::add`].
+    pub token: u64,
+    /// `IN`/`OUT`/`ERR`/`HUP`/`RDHUP` bits.
+    pub events: u32,
+}
+
+/// A level-triggered epoll instance.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates a new epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Epoll> {
+        // SAFETY: epoll_create1 takes no pointers; a negative return is
+        // checked and surfaced as an error.
+        let fd = unsafe { libc::epoll_create1(libc::EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: libc::c_int, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        let mut ev = libc::epoll_event {
+            events: interest,
+            u64: token,
+        };
+        // SAFETY: `ev` is a valid epoll_event for the duration of the
+        // call; `self.fd` is a live epoll fd owned by this struct.
+        let rc = unsafe { libc::epoll_ctl(self.fd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` with interest mask `interest`; readiness reports
+    /// carry `token` back.
+    pub fn add(&self, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        self.ctl(libc::EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    /// Changes the interest mask of a registered fd.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        self.ctl(libc::EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    /// Deregisters an fd.
+    pub fn del(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(libc::EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks up to `timeout_ms` (`-1` = forever) and appends ready
+    /// events to `out`. Returns the number of events delivered. EINTR is
+    /// retried internally.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+        const CAP: usize = 256;
+        let mut buf = [libc::epoll_event { events: 0, u64: 0 }; CAP];
+        loop {
+            // SAFETY: `buf` is a valid array of CAP epoll_events; the
+            // kernel writes at most `CAP` entries.
+            let n = unsafe { libc::epoll_wait(self.fd, buf.as_mut_ptr(), CAP as i32, timeout_ms) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(e);
+            }
+            for ev in &buf[..n as usize] {
+                // `epoll_event` is packed; copy fields out before use.
+                let (events, token) = (ev.events, ev.u64);
+                out.push(Event { token, events });
+            }
+            return Ok(n as usize);
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: fd is owned by this struct and closed exactly once.
+        unsafe { libc::close(self.fd) };
+    }
+}
+
+/// A non-blocking eventfd used to wake a worker's epoll loop (socket
+/// handoff, shutdown).
+#[derive(Debug)]
+pub struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    /// Creates a non-blocking, close-on-exec eventfd.
+    pub fn new() -> io::Result<EventFd> {
+        // SAFETY: eventfd takes no pointers; errors are checked.
+        let fd = unsafe { libc::eventfd(0, libc::EFD_NONBLOCK | libc::EFD_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(EventFd { fd })
+    }
+
+    /// Raw fd for epoll registration.
+    pub fn raw(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Signals the eventfd (adds 1 to its counter). A full counter
+    /// (EAGAIN) already guarantees the waiter will wake, so it is not an
+    /// error.
+    pub fn notify(&self) {
+        let one: u64 = 1;
+        // SAFETY: writes exactly 8 bytes from a live u64.
+        unsafe {
+            libc::write(
+                self.fd,
+                (&one as *const u64).cast::<libc::c_void>(),
+                std::mem::size_of::<u64>(),
+            )
+        };
+    }
+
+    /// Drains the counter so a level-triggered epoll stops reporting it.
+    pub fn drain(&self) {
+        let mut buf: u64 = 0;
+        // SAFETY: reads exactly 8 bytes into a live u64; EAGAIN (already
+        // drained) is the expected other outcome and needs no handling.
+        unsafe {
+            libc::read(
+                self.fd,
+                (&mut buf as *mut u64).cast::<libc::c_void>(),
+                std::mem::size_of::<u64>(),
+            )
+        };
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        // SAFETY: fd is owned by this struct and closed exactly once.
+        unsafe { libc::close(self.fd) };
+    }
+}
+
+/// Pins the calling thread to `core` (mod the addressable 1024 CPUs).
+/// Returns whether pinning took effect; on failure (no permission,
+/// single-CPU cgroup, non-Linux semantics) the thread simply stays
+/// unpinned — the server treats pinning as an optimization, never a
+/// requirement.
+pub fn pin_to_core(core: usize) -> bool {
+    let mut set = libc::cpu_set_t::default();
+    let bit = core % 1024;
+    set.bits[bit / 64] |= 1 << (bit % 64);
+    // SAFETY: `set` is a fully-initialized cpu_set_t; pid 0 = calling
+    // thread; the size matches the struct the kernel expects.
+    let rc = unsafe { libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set) };
+    rc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn eventfd_wakes_epoll() {
+        let ep = Epoll::new().unwrap();
+        let ev = EventFd::new().unwrap();
+        ep.add(ev.raw(), 7, IN).unwrap();
+
+        let mut out = Vec::new();
+        // Nothing signalled yet: zero-timeout wait reports nothing.
+        assert_eq!(ep.wait(&mut out, 0).unwrap(), 0);
+
+        ev.notify();
+        assert_eq!(ep.wait(&mut out, 1000).unwrap(), 1);
+        assert_eq!(out[0].token, 7);
+        assert!(out[0].events & IN != 0);
+
+        // Drain clears the level-triggered readiness.
+        ev.drain();
+        out.clear();
+        assert_eq!(ep.wait(&mut out, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn epoll_reports_socket_readability() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = std::net::TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let ep = Epoll::new().unwrap();
+        ep.add(server.as_raw_fd(), 42, IN | RDHUP).unwrap();
+
+        let mut out = Vec::new();
+        assert_eq!(ep.wait(&mut out, 0).unwrap(), 0, "no data yet");
+
+        client.write_all(b"ping").unwrap();
+        assert_eq!(ep.wait(&mut out, 1000).unwrap(), 1);
+        assert_eq!(out[0].token, 42);
+        assert!(out[0].events & IN != 0);
+
+        // Modify to OUT-only: an idle writable socket reports OUT.
+        ep.modify(server.as_raw_fd(), 42, OUT).unwrap();
+        out.clear();
+        assert_eq!(ep.wait(&mut out, 1000).unwrap(), 1);
+        assert!(out[0].events & OUT != 0);
+
+        ep.del(server.as_raw_fd()).unwrap();
+        out.clear();
+        assert_eq!(ep.wait(&mut out, 0).unwrap(), 0, "deregistered");
+    }
+
+    #[test]
+    fn pinning_is_best_effort() {
+        // Must not panic whether or not the container allows affinity.
+        let _ = pin_to_core(0);
+        let _ = pin_to_core(9999); // wraps mod 1024, still best-effort
+    }
+}

@@ -1,0 +1,737 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Frame layout (everything little-endian):
+//!
+//! ```text
+//! [len: u32]  [ver: u8]  [type: u8]  [payload ...]  [check: u64]
+//!  `len` covers ver..=check      varint fields      FxHash checksum
+//! ```
+//!
+//! `len` is the byte count of everything after the length field itself
+//! (minimum 10: version + type + checksum). The checksum is the
+//! workspace's [`Check`] accumulator (FxHash) folded over the version,
+//! type, payload length, and payload bytes — the same integrity recipe
+//! as the `MGRS`/`MGRD` codecs, shared so a registry-backed CRC swap
+//! lands everywhere at once. Payload fields are the varints of
+//! [`magicrecs_graph::io`].
+//!
+//! Decoding is *prefix-closed*: a truncated byte stream decodes to a
+//! clean prefix of the frames written (the partial tail reports
+//! "incomplete", never an error, never a wrong frame), and any
+//! corruption that survives the length check dies on the checksum as a
+//! typed [`Error::Corrupt`] — property-tested in
+//! `tests/properties.rs`.
+
+use magicrecs_graph::io::{read_exact_checked, read_varint_checked, write_varint, Check};
+use magicrecs_types::{Candidate, EdgeEvent, EdgeKind, Error, Result, Timestamp, UserId};
+
+/// Protocol version byte. Bump on any frame-layout change.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Hard cap on a single frame's `len` field (1 MiB). Anything larger is
+/// rejected as corrupt before buffering, so a flipped length byte cannot
+/// make a reader allocate or wait for gigabytes.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Most candidates the server packs into one `Deliver` frame. A
+/// worst-case candidate (three max-width varints plus 64 witnesses at
+/// the detector's witness cap) encodes to ~672 bytes, so this keeps
+/// every Deliver comfortably under [`MAX_FRAME_LEN`]; larger emissions
+/// are chunked into several frames sharing the tag.
+pub const MAX_DELIVER_CANDIDATES: usize = 1024;
+
+/// Smallest legal `len`: version + type + checksum.
+const MIN_FRAME_LEN: usize = 1 + 1 + 8;
+
+/// Sentinel for "any worker" in [`Frame::Hello`].
+pub const ANY_WORKER: u32 = u32::MAX;
+
+/// Why an ingest frame was refused (carried in [`Frame::Shed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedCode {
+    /// The connection's token bucket is empty: the source exceeds its
+    /// configured events/sec. Retry after the bucket refills.
+    RateLimited,
+    /// The worker's per-cycle event budget is exhausted: the core is
+    /// saturated. Retry after the hinted backoff.
+    Overloaded,
+}
+
+impl ShedCode {
+    fn to_byte(self) -> u8 {
+        match self {
+            ShedCode::RateLimited => 1,
+            ShedCode::Overloaded => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<ShedCode> {
+        match b {
+            1 => Ok(ShedCode::RateLimited),
+            2 => Ok(ShedCode::Overloaded),
+            _ => Err(Error::Corrupt(format!("wire: unknown shed code {b}"))),
+        }
+    }
+}
+
+/// Error classes carried in [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireErrorCode {
+    /// The peer sent a frame this endpoint cannot parse or does not
+    /// accept in its current state. The connection is closed after this.
+    BadFrame,
+    /// The requested operation is not available (e.g. checkpoint trigger
+    /// on a volatile engine).
+    Unsupported,
+    /// The operation was understood but failed server-side (e.g. a delta
+    /// that does not apply to the current snapshot).
+    Internal,
+}
+
+impl WireErrorCode {
+    fn to_byte(self) -> u8 {
+        match self {
+            WireErrorCode::BadFrame => 1,
+            WireErrorCode::Unsupported => 2,
+            WireErrorCode::Internal => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<WireErrorCode> {
+        match b {
+            1 => Ok(WireErrorCode::BadFrame),
+            2 => Ok(WireErrorCode::Unsupported),
+            3 => Ok(WireErrorCode::Internal),
+            _ => Err(Error::Corrupt(format!("wire: unknown error code {b}"))),
+        }
+    }
+}
+
+/// Engine + ingress statistics returned by [`Frame::StatsResp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireStats {
+    /// Events processed by the engine.
+    pub events: u64,
+    /// Candidates emitted (pre-funnel).
+    pub candidates: u64,
+    /// Events that produced at least one candidate.
+    pub firing_events: u64,
+    /// Ingest events admitted by the serving tier.
+    pub accepted: u64,
+    /// Ingest events refused with a typed shed response.
+    pub shed: u64,
+    /// High-water mark of decoded-but-unprocessed events on any worker.
+    pub queue_high_watermark: u64,
+    /// Deliveries dropped because a subscriber's write queue was full.
+    pub dropped_deliveries: u64,
+    /// Connections currently registered across all workers.
+    pub connections: u64,
+    /// Engine-side detection latency, µs.
+    pub detect_p50_us: u64,
+    /// Engine-side detection latency, µs.
+    pub detect_p99_us: u64,
+}
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → acceptor, first frame on every connection. The acceptor
+    /// hands the socket to `preferred_worker` ([`ANY_WORKER`] =
+    /// round-robin), which replies with [`Frame::HelloAck`].
+    Hello {
+        /// Requested worker id, or [`ANY_WORKER`].
+        preferred_worker: u32,
+    },
+    /// Worker → client: the connection is live on `worker_id`. Clients
+    /// route events by `route_mix(dst) % num_workers` and send each on
+    /// the matching connection to preserve per-target order.
+    HelloAck {
+        /// The worker that owns this connection.
+        worker_id: u32,
+        /// Worker count, for client-side routing.
+        num_workers: u32,
+    },
+    /// Client → worker: a micro-batch of events (a single event is a
+    /// batch of one). `tag` is client-assigned and echoed on every
+    /// [`Frame::Deliver`]/[`Frame::Shed`] this batch produces, which is
+    /// what lets a load generator measure end-to-end latency.
+    Ingest {
+        /// Client-assigned correlation tag.
+        tag: u64,
+        /// Events, already routed to this connection's worker.
+        events: Vec<EdgeEvent>,
+    },
+    /// Client → worker: start receiving [`Frame::Deliver`] frames for
+    /// candidates detected on this worker.
+    Subscribe,
+    /// Worker → subscriber: candidates produced by the ingest batch
+    /// tagged `tag`.
+    Deliver {
+        /// The triggering batch's tag.
+        tag: u64,
+        /// Raw candidates (pre-funnel).
+        candidates: Vec<Candidate>,
+    },
+    /// Worker → client: the tagged ingest batch was refused whole.
+    Shed {
+        /// The refused batch's tag.
+        tag: u64,
+        /// Why it was refused.
+        code: ShedCode,
+        /// Hint: retry no sooner than this many µs from receipt.
+        retry_after_us: u64,
+    },
+    /// Either direction: a typed failure.
+    Error {
+        /// Error class.
+        code: WireErrorCode,
+        /// Human-readable detail (diagnostic only, not part of the
+        /// contract).
+        detail: String,
+    },
+    /// Control: publish an `MGRD` graph delta (bytes as written by
+    /// `magicrecs_graph::save_delta`) into the engine's snapshot slot.
+    /// Replies [`Frame::OkAck`] or [`Frame::Error`].
+    DeltaPublish {
+        /// Serialized delta.
+        bytes: Vec<u8>,
+    },
+    /// Control: trigger a checkpoint. Replies [`Frame::OkAck`], or
+    /// [`Frame::Error`] with [`WireErrorCode::Unsupported`] when the
+    /// server runs a volatile engine.
+    CheckpointReq,
+    /// Control: request [`Frame::StatsResp`].
+    StatsReq,
+    /// Control reply: current statistics.
+    StatsResp(WireStats),
+    /// Control reply: success without payload.
+    OkAck,
+    /// Client → worker: reply [`Frame::BarrierAck`] once every frame
+    /// received before this one on this connection has been fully
+    /// processed (FIFO makes this a pure echo). Used to fence ingest.
+    Barrier {
+        /// Echoed verbatim.
+        tag: u64,
+    },
+    /// Worker → client: the barrier `tag` has been reached.
+    BarrierAck {
+        /// The barrier's tag.
+        tag: u64,
+    },
+}
+
+fn kind_to_byte(k: EdgeKind) -> u8 {
+    match k {
+        EdgeKind::Follow => 0,
+        EdgeKind::Unfollow => 1,
+        EdgeKind::Retweet => 2,
+        EdgeKind::Favorite => 3,
+    }
+}
+
+fn kind_from_byte(b: u8) -> Result<EdgeKind> {
+    match b {
+        0 => Ok(EdgeKind::Follow),
+        1 => Ok(EdgeKind::Unfollow),
+        2 => Ok(EdgeKind::Retweet),
+        3 => Ok(EdgeKind::Favorite),
+        _ => Err(Error::Corrupt(format!("wire: unknown edge kind {b}"))),
+    }
+}
+
+fn frame_type(f: &Frame) -> u8 {
+    match f {
+        Frame::Hello { .. } => 0,
+        Frame::HelloAck { .. } => 1,
+        Frame::Ingest { .. } => 2,
+        Frame::Subscribe => 3,
+        Frame::Deliver { .. } => 4,
+        Frame::Shed { .. } => 5,
+        Frame::Error { .. } => 6,
+        Frame::DeltaPublish { .. } => 7,
+        Frame::CheckpointReq => 8,
+        Frame::StatsReq => 9,
+        Frame::StatsResp(_) => 10,
+        Frame::OkAck => 11,
+        Frame::Barrier { .. } => 12,
+        Frame::BarrierAck { .. } => 13,
+    }
+}
+
+/// Folds the integrity checksum over the frame's covered bytes.
+fn checksum(ver: u8, ty: u8, payload: &[u8]) -> u64 {
+    let mut c = Check::new();
+    c.mix(ver as u64);
+    c.mix(ty as u64);
+    c.mix(payload.len() as u64);
+    let mut chunks = payload.chunks_exact(8);
+    for ch in &mut chunks {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(ch);
+        c.mix(u64::from_le_bytes(w));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut w = [0u8; 8];
+        w[..rem.len()].copy_from_slice(rem);
+        c.mix(u64::from_le_bytes(w));
+    }
+    c.finish()
+}
+
+fn put_varint(out: &mut Vec<u8>, v: u64) {
+    // Writing into a Vec cannot fail.
+    write_varint(out, v).expect("vec write");
+}
+
+fn encode_payload(f: &Frame, out: &mut Vec<u8>) {
+    match f {
+        Frame::Hello { preferred_worker } => put_varint(out, *preferred_worker as u64),
+        Frame::HelloAck {
+            worker_id,
+            num_workers,
+        } => {
+            put_varint(out, *worker_id as u64);
+            put_varint(out, *num_workers as u64);
+        }
+        Frame::Ingest { tag, events } => {
+            put_varint(out, *tag);
+            put_varint(out, events.len() as u64);
+            for e in events {
+                put_varint(out, e.src.raw());
+                put_varint(out, e.dst.raw());
+                put_varint(out, e.created_at.as_micros());
+                out.push(kind_to_byte(e.kind));
+            }
+        }
+        Frame::Subscribe | Frame::CheckpointReq | Frame::StatsReq | Frame::OkAck => {}
+        Frame::Deliver { tag, candidates } => {
+            put_varint(out, *tag);
+            put_varint(out, candidates.len() as u64);
+            for c in candidates {
+                put_varint(out, c.user.raw());
+                put_varint(out, c.target.raw());
+                put_varint(out, c.triggered_at.as_micros());
+                put_varint(out, c.witnesses.len() as u64);
+                for w in &c.witnesses {
+                    put_varint(out, w.raw());
+                }
+            }
+        }
+        Frame::Shed {
+            tag,
+            code,
+            retry_after_us,
+        } => {
+            put_varint(out, *tag);
+            out.push(code.to_byte());
+            put_varint(out, *retry_after_us);
+        }
+        Frame::Error { code, detail } => {
+            out.push(code.to_byte());
+            put_varint(out, detail.len() as u64);
+            out.extend_from_slice(detail.as_bytes());
+        }
+        Frame::DeltaPublish { bytes } => {
+            put_varint(out, bytes.len() as u64);
+            out.extend_from_slice(bytes);
+        }
+        Frame::StatsResp(s) => {
+            for v in [
+                s.events,
+                s.candidates,
+                s.firing_events,
+                s.accepted,
+                s.shed,
+                s.queue_high_watermark,
+                s.dropped_deliveries,
+                s.connections,
+                s.detect_p50_us,
+                s.detect_p99_us,
+            ] {
+                put_varint(out, v);
+            }
+        }
+        Frame::Barrier { tag } | Frame::BarrierAck { tag } => put_varint(out, *tag),
+    }
+}
+
+/// Appends the frame's wire bytes to `out`.
+pub fn encode_into(f: &Frame, out: &mut Vec<u8>) {
+    let ty = frame_type(f);
+    let start = out.len();
+    out.extend_from_slice(&[0u8; 4]); // length backpatched below
+    out.push(WIRE_VERSION);
+    out.push(ty);
+    let payload_start = out.len();
+    encode_payload(f, out);
+    let check = checksum(WIRE_VERSION, ty, &out[payload_start..]);
+    out.extend_from_slice(&check.to_le_bytes());
+    let len = (out.len() - start - 4) as u32;
+    out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Encodes one frame to a fresh buffer.
+pub fn encode(f: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    encode_into(f, &mut out);
+    out
+}
+
+fn read_u32_field(r: &mut &[u8], what: &str) -> Result<u32> {
+    let v = read_varint_checked(r, what)?;
+    u32::try_from(v).map_err(|_| Error::Corrupt(format!("wire: {what} {v} exceeds u32")))
+}
+
+fn read_event(r: &mut &[u8]) -> Result<EdgeEvent> {
+    let src = UserId(read_varint_checked(r, "wire event src")?);
+    let dst = UserId(read_varint_checked(r, "wire event dst")?);
+    let at = Timestamp::from_micros(read_varint_checked(r, "wire event time")?);
+    let mut kb = [0u8; 1];
+    read_exact_checked(r, &mut kb, "wire event kind")?;
+    Ok(EdgeEvent {
+        src,
+        dst,
+        created_at: at,
+        kind: kind_from_byte(kb[0])?,
+    })
+}
+
+fn read_candidate(r: &mut &[u8]) -> Result<Candidate> {
+    let user = UserId(read_varint_checked(r, "wire cand user")?);
+    let target = UserId(read_varint_checked(r, "wire cand target")?);
+    let at = Timestamp::from_micros(read_varint_checked(r, "wire cand time")?);
+    let n = read_varint_checked(r, "wire cand witness count")? as usize;
+    if n > r.len() {
+        return Err(Error::Corrupt(format!(
+            "wire: witness count {n} exceeds remaining payload {}",
+            r.len()
+        )));
+    }
+    let mut witnesses = Vec::with_capacity(n);
+    for _ in 0..n {
+        witnesses.push(UserId(read_varint_checked(r, "wire cand witness")?));
+    }
+    Ok(Candidate {
+        user,
+        target,
+        witnesses,
+        triggered_at: at,
+    })
+}
+
+/// Claimed element counts are validated against the remaining payload
+/// (every element costs ≥ `min_bytes`), so a corrupt count can never
+/// drive a large allocation.
+fn checked_count(r: &[u8], n: u64, min_bytes: usize, what: &str) -> Result<usize> {
+    let n = n as usize;
+    if n.saturating_mul(min_bytes) > r.len() {
+        return Err(Error::Corrupt(format!(
+            "wire: {what} count {n} exceeds remaining payload {}",
+            r.len()
+        )));
+    }
+    Ok(n)
+}
+
+fn decode_payload(ty: u8, payload: &[u8]) -> Result<Frame> {
+    let mut r = payload;
+    let f = match ty {
+        0 => Frame::Hello {
+            preferred_worker: read_u32_field(&mut r, "wire hello worker")?,
+        },
+        1 => Frame::HelloAck {
+            worker_id: read_u32_field(&mut r, "wire ack worker")?,
+            num_workers: read_u32_field(&mut r, "wire ack workers")?,
+        },
+        2 => {
+            let tag = read_varint_checked(&mut r, "wire ingest tag")?;
+            let n = read_varint_checked(&mut r, "wire ingest count")?;
+            let n = checked_count(r, n, 4, "event")?;
+            let mut events = Vec::with_capacity(n);
+            for _ in 0..n {
+                events.push(read_event(&mut r)?);
+            }
+            Frame::Ingest { tag, events }
+        }
+        3 => Frame::Subscribe,
+        4 => {
+            let tag = read_varint_checked(&mut r, "wire deliver tag")?;
+            let n = read_varint_checked(&mut r, "wire deliver count")?;
+            let n = checked_count(r, n, 4, "candidate")?;
+            let mut candidates = Vec::with_capacity(n);
+            for _ in 0..n {
+                candidates.push(read_candidate(&mut r)?);
+            }
+            Frame::Deliver { tag, candidates }
+        }
+        5 => {
+            let tag = read_varint_checked(&mut r, "wire shed tag")?;
+            let mut cb = [0u8; 1];
+            read_exact_checked(&mut r, &mut cb, "wire shed code")?;
+            Frame::Shed {
+                tag,
+                code: ShedCode::from_byte(cb[0])?,
+                retry_after_us: read_varint_checked(&mut r, "wire shed retry")?,
+            }
+        }
+        6 => {
+            let mut cb = [0u8; 1];
+            read_exact_checked(&mut r, &mut cb, "wire error code")?;
+            let n = read_varint_checked(&mut r, "wire error len")?;
+            let n = checked_count(r, n, 1, "error byte")?;
+            let mut bytes = vec![0u8; n];
+            read_exact_checked(&mut r, &mut bytes, "wire error detail")?;
+            Frame::Error {
+                code: WireErrorCode::from_byte(cb[0])?,
+                detail: String::from_utf8(bytes)
+                    .map_err(|_| Error::Corrupt("wire: error detail not utf-8".into()))?,
+            }
+        }
+        7 => {
+            let n = read_varint_checked(&mut r, "wire delta len")?;
+            let n = checked_count(r, n, 1, "delta byte")?;
+            let mut bytes = vec![0u8; n];
+            read_exact_checked(&mut r, &mut bytes, "wire delta bytes")?;
+            Frame::DeltaPublish { bytes }
+        }
+        8 => Frame::CheckpointReq,
+        9 => Frame::StatsReq,
+        10 => {
+            let mut vals = [0u64; 10];
+            for v in &mut vals {
+                *v = read_varint_checked(&mut r, "wire stats field")?;
+            }
+            Frame::StatsResp(WireStats {
+                events: vals[0],
+                candidates: vals[1],
+                firing_events: vals[2],
+                accepted: vals[3],
+                shed: vals[4],
+                queue_high_watermark: vals[5],
+                dropped_deliveries: vals[6],
+                connections: vals[7],
+                detect_p50_us: vals[8],
+                detect_p99_us: vals[9],
+            })
+        }
+        11 => Frame::OkAck,
+        12 => Frame::Barrier {
+            tag: read_varint_checked(&mut r, "wire barrier tag")?,
+        },
+        13 => Frame::BarrierAck {
+            tag: read_varint_checked(&mut r, "wire barrier tag")?,
+        },
+        _ => return Err(Error::Corrupt(format!("wire: unknown frame type {ty}"))),
+    };
+    if !r.is_empty() {
+        return Err(Error::Corrupt(format!(
+            "wire: {} trailing payload bytes after frame type {ty}",
+            r.len()
+        )));
+    }
+    Ok(f)
+}
+
+/// Attempts to decode one frame from the front of `buf`.
+///
+/// * `Ok(None)` — `buf` holds an incomplete frame; read more bytes.
+/// * `Ok(Some((frame, consumed)))` — one frame decoded; drop `consumed`
+///   bytes from the front of `buf`.
+/// * `Err(Corrupt)` — the stream is damaged beyond resynchronization;
+///   close the connection.
+pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if !(MIN_FRAME_LEN..=MAX_FRAME_LEN).contains(&len) {
+        return Err(Error::Corrupt(format!(
+            "wire: frame length {len} outside [{MIN_FRAME_LEN}, {MAX_FRAME_LEN}]"
+        )));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    let body = &buf[4..4 + len];
+    let ver = body[0];
+    if ver != WIRE_VERSION {
+        return Err(Error::Corrupt(format!(
+            "wire: version {ver}, expected {WIRE_VERSION}"
+        )));
+    }
+    let ty = body[1];
+    let payload = &body[2..len - 8];
+    let mut cb = [0u8; 8];
+    cb.copy_from_slice(&body[len - 8..]);
+    let want = u64::from_le_bytes(cb);
+    let got = checksum(ver, ty, payload);
+    if want != got {
+        return Err(Error::Corrupt(format!(
+            "wire: checksum mismatch on frame type {ty} ({got:#x} != {want:#x})"
+        )));
+    }
+    Ok(Some((decode_payload(ty, payload)?, 4 + len)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                preferred_worker: ANY_WORKER,
+            },
+            Frame::HelloAck {
+                worker_id: 3,
+                num_workers: 8,
+            },
+            Frame::Ingest {
+                tag: 42,
+                events: vec![
+                    EdgeEvent::follow(UserId(1), UserId(2), Timestamp::from_secs(5)),
+                    EdgeEvent::unfollow(UserId(9), UserId(2), Timestamp::from_secs(6)),
+                    EdgeEvent {
+                        src: UserId(7),
+                        dst: UserId(8),
+                        created_at: Timestamp::from_micros(123_456_789),
+                        kind: EdgeKind::Retweet,
+                    },
+                ],
+            },
+            Frame::Subscribe,
+            Frame::Deliver {
+                tag: 42,
+                candidates: vec![Candidate {
+                    user: UserId(10),
+                    target: UserId(2),
+                    witnesses: vec![UserId(1), UserId(9)],
+                    triggered_at: Timestamp::from_secs(6),
+                }],
+            },
+            Frame::Shed {
+                tag: 43,
+                code: ShedCode::RateLimited,
+                retry_after_us: 1500,
+            },
+            Frame::Error {
+                code: WireErrorCode::Unsupported,
+                detail: "no checkpoint hook".into(),
+            },
+            Frame::DeltaPublish {
+                bytes: vec![1, 2, 3, 250],
+            },
+            Frame::CheckpointReq,
+            Frame::StatsReq,
+            Frame::StatsResp(WireStats {
+                events: 100,
+                candidates: 7,
+                firing_events: 5,
+                accepted: 99,
+                shed: 1,
+                queue_high_watermark: 64,
+                dropped_deliveries: 0,
+                connections: 2,
+                detect_p50_us: 12,
+                detect_p99_us: 80,
+            }),
+            Frame::OkAck,
+            Frame::Barrier { tag: u64::MAX },
+            Frame::BarrierAck { tag: 0 },
+        ]
+    }
+
+    #[test]
+    fn every_frame_roundtrips() {
+        for f in sample_frames() {
+            let bytes = encode(&f);
+            let (got, consumed) = decode(&bytes).unwrap().unwrap();
+            assert_eq!(got, f);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn stream_of_frames_decodes_in_order() {
+        let frames = sample_frames();
+        let mut stream = Vec::new();
+        for f in &frames {
+            encode_into(f, &mut stream);
+        }
+        let mut off = 0;
+        let mut got = Vec::new();
+        while let Some((f, used)) = decode(&stream[off..]).unwrap() {
+            got.push(f);
+            off += used;
+        }
+        assert_eq!(off, stream.len());
+        assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn incomplete_prefixes_report_none() {
+        let bytes = encode(&Frame::Barrier { tag: 77 });
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                decode(&bytes[..cut]).unwrap(),
+                None,
+                "cut at {cut} of {}",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_typed_corrupt() {
+        let mut bytes = encode(&Frame::Subscribe);
+        bytes[..4].copy_from_slice(&((MAX_FRAME_LEN as u32) + 1).to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(Error::Corrupt(_))));
+        // Undersized too: a length that cannot even hold the checksum.
+        bytes[..4].copy_from_slice(&5u32.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn wrong_version_is_typed_corrupt() {
+        let mut bytes = encode(&Frame::Subscribe);
+        bytes[4] = WIRE_VERSION + 1;
+        assert!(matches!(decode(&bytes), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn corrupt_counts_cannot_drive_allocation() {
+        // Hand-craft an ingest frame claiming 2^40 events with an empty
+        // payload tail; the count check must reject it before allocating.
+        let mut payload = Vec::new();
+        put_varint(&mut payload, 1); // tag
+        put_varint(&mut payload, 1 << 40); // event count
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&[0u8; 4]);
+        bytes.push(WIRE_VERSION);
+        bytes.push(2); // ingest
+        bytes.extend_from_slice(&payload);
+        let check = checksum(WIRE_VERSION, 2, &payload);
+        bytes.extend_from_slice(&check.to_le_bytes());
+        let len = (bytes.len() - 4) as u32;
+        bytes[..4].copy_from_slice(&len.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_typed_corrupt() {
+        // A Subscribe frame with one extra payload byte: checksum valid,
+        // parse must still reject the leftover.
+        let payload = [0xAAu8];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&[0u8; 4]);
+        bytes.push(WIRE_VERSION);
+        bytes.push(3); // subscribe
+        bytes.extend_from_slice(&payload);
+        let check = checksum(WIRE_VERSION, 3, &payload);
+        bytes.extend_from_slice(&check.to_le_bytes());
+        let len = (bytes.len() - 4) as u32;
+        bytes[..4].copy_from_slice(&len.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(Error::Corrupt(_))));
+    }
+}

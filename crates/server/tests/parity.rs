@@ -1,0 +1,146 @@
+//! Network-vs-in-process parity: the candidate stream coming back over
+//! loopback TCP must be *identical* to an in-process
+//! [`SharedEngineCluster`] run over the same graph, config, and trace.
+//!
+//! The client preserves the ordering contract the same way the cluster
+//! transport does: one connection per worker, each event routed on
+//! `route_mix(dst) % num_workers`, so same-target events stay FIFO on
+//! one worker. Barriers fence each connection at the end, proving every
+//! frame was processed before we compare. Candidates are compared under
+//! the cluster's deterministic sort `(triggered_at, user, target)`.
+
+use magicrecs_cluster::SharedEngineCluster;
+use magicrecs_core::ConcurrentEngine;
+use magicrecs_gen::{GraphGen, GraphGenConfig, Scenario, ScenarioConfig};
+use magicrecs_server::{connect_per_worker, AdmissionConfig, Frame, Server, ServerConfig};
+use magicrecs_types::{
+    route_mix, Candidate, DetectorConfig, Duration, EdgeEvent, Timestamp, UserId,
+};
+use std::sync::Arc;
+
+fn sort_key(c: &Candidate) -> (Timestamp, UserId, UserId) {
+    (c.triggered_at, c.user, c.target)
+}
+
+/// Drives `events` through a loopback server with `workers` workers and
+/// returns every delivered candidate (unsorted).
+fn run_over_the_wire(
+    graph: &magicrecs_graph::FollowGraph,
+    config: DetectorConfig,
+    events: &[EdgeEvent],
+    workers: usize,
+    batch: usize,
+) -> Vec<Candidate> {
+    let engine = Arc::new(ConcurrentEngine::new(graph.clone(), config).unwrap());
+    let server = Server::start(
+        engine,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers,
+            admission: AdmissionConfig::unlimited(),
+            pin_cores: false,
+            checkpoint_hook: None,
+        },
+    )
+    .unwrap();
+    let mut conns = connect_per_worker(server.addr()).unwrap();
+    let n = conns.len() as u64;
+    for c in conns.iter_mut() {
+        c.send(&Frame::Subscribe).unwrap();
+        match c.recv().unwrap() {
+            Frame::OkAck => {}
+            other => panic!("expected OkAck, got {other:?}"),
+        }
+    }
+
+    // Route by target, micro-batching consecutive same-worker events the
+    // way a real ingest proxy would.
+    let mut pending: Vec<Vec<EdgeEvent>> = vec![Vec::new(); conns.len()];
+    let mut tag = 0u64;
+    for e in events {
+        let w = (route_mix(&e.dst) % n) as usize;
+        pending[w].push(*e);
+        if pending[w].len() >= batch {
+            conns[w]
+                .send(&Frame::Ingest {
+                    tag,
+                    events: std::mem::take(&mut pending[w]),
+                })
+                .unwrap();
+            tag += 1;
+        }
+    }
+    for (w, rest) in pending.into_iter().enumerate() {
+        if !rest.is_empty() {
+            conns[w].send(&Frame::Ingest { tag, events: rest }).unwrap();
+            tag += 1;
+        }
+    }
+
+    let mut candidates = Vec::new();
+    for c in conns.iter_mut() {
+        for frame in c.barrier(u64::MAX).unwrap() {
+            match frame {
+                Frame::Deliver {
+                    candidates: mut cs, ..
+                } => candidates.append(&mut cs),
+                Frame::Shed { .. } => panic!("unlimited admission shed"),
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+    }
+    server.shutdown();
+    candidates
+}
+
+#[test]
+fn network_candidates_match_in_process_cluster() {
+    let graph = GraphGen::new(GraphGenConfig::small()).generate();
+    let config = DetectorConfig::example();
+    let trace = Scenario::steady_with_burst(
+        1_000,
+        ScenarioConfig::small().with_rate(60.0),
+        Timestamp::from_secs(20),
+        Duration::from_secs(10),
+        8.0,
+    );
+    assert!(trace.len() > 1_000, "trace too small to mean anything");
+
+    let workers = 3;
+    let reference = SharedEngineCluster::new(&graph, workers, config)
+        .unwrap()
+        .run_trace(trace.events())
+        .unwrap();
+    assert!(
+        !reference.candidates.is_empty(),
+        "trace produced no candidates; parity would be vacuous"
+    );
+
+    let mut wire = run_over_the_wire(&graph, config, trace.events(), workers, 32);
+    wire.sort_by_key(sort_key);
+    // The cluster report is already sorted by the same key.
+    assert_eq!(wire.len(), reference.candidates.len());
+    assert_eq!(wire, reference.candidates);
+}
+
+#[test]
+fn parity_holds_across_worker_counts_and_batch_sizes() {
+    let graph = GraphGen::new(GraphGenConfig::small().with_seed(0xBEEF)).generate();
+    let config = DetectorConfig::example();
+    let trace = Scenario::steady(1_000, ScenarioConfig::small().with_rate(40.0));
+
+    let reference = SharedEngineCluster::new(&graph, 2, config)
+        .unwrap()
+        .run_trace(trace.events())
+        .unwrap();
+    assert!(!reference.candidates.is_empty());
+
+    for (workers, batch) in [(1, 1), (2, 7), (4, 64)] {
+        let mut wire = run_over_the_wire(&graph, config, trace.events(), workers, batch);
+        wire.sort_by_key(sort_key);
+        assert_eq!(
+            wire, reference.candidates,
+            "parity broke at workers={workers} batch={batch}"
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! `libc`-shaped raw bindings for the small Linux syscall subset the
+//! workspace's serving tier uses: epoll, eventfd, fd read/write/close,
+//! and CPU-affinity pinning.
+//!
+//! The build container is hermetic, so instead of the real `libc` crate
+//! this shim declares the handful of symbols directly against the C
+//! library every Linux Rust binary already links. Names, types, constant
+//! values, and struct layouts mirror the real crate's `x86_64-unknown-linux-gnu`
+//! definitions exactly, so swapping in crates.io `libc` is a drop-in
+//! change. Everything here is `extern "C"` and therefore unsafe to call;
+//! safe wrappers live in `magicrecs-server::sys`.
+
+#![allow(non_camel_case_types)]
+
+pub type c_int = i32;
+pub type c_uint = u32;
+pub type c_void = std::ffi::c_void;
+pub type c_ulong = u64;
+pub type size_t = usize;
+pub type ssize_t = isize;
+pub type pid_t = i32;
+
+/// Readable.
+pub const EPOLLIN: u32 = 0x001;
+/// Writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, need not be requested).
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up (always reported, need not be requested).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// Register a new fd with the epoll instance.
+pub const EPOLL_CTL_ADD: c_int = 1;
+/// Deregister an fd.
+pub const EPOLL_CTL_DEL: c_int = 2;
+/// Change the interest set of a registered fd.
+pub const EPOLL_CTL_MOD: c_int = 3;
+
+/// Close-on-exec for `epoll_create1`.
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+/// Non-blocking eventfd.
+pub const EFD_NONBLOCK: c_int = 0o4000;
+/// Close-on-exec eventfd.
+pub const EFD_CLOEXEC: c_int = 0o2000000;
+
+/// One epoll readiness record. Linux on x86-64 defines this packed
+/// (12 bytes), and the kernel ABI depends on that layout.
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub struct epoll_event {
+    /// Ready/interest event mask (`EPOLL*` bits).
+    pub events: u32,
+    /// Caller-owned token, returned verbatim on readiness.
+    pub u64: u64,
+}
+
+/// CPU set for `sched_setaffinity`: a 1024-bit mask, as glibc defines it.
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+pub struct cpu_set_t {
+    pub bits: [c_ulong; 16],
+}
+
+extern "C" {
+    pub fn epoll_create1(flags: c_int) -> c_int;
+    pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    pub fn epoll_wait(
+        epfd: c_int,
+        events: *mut epoll_event,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+    pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
+    pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> ssize_t;
+    pub fn close(fd: c_int) -> c_int;
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, mask: *const cpu_set_t) -> c_int;
+}
