@@ -27,15 +27,27 @@
 //! and hold the same invariants — the checkpoint chain taken mid-storm
 //! must restore to candidate parity.
 //!
-//! Usage: `adversity [out_dir]` (default `target/adversity`). Exits
-//! non-zero if any cell is red. `MAGICRECS_ADVERSITY_SEED` overrides
-//! the base seed (recorded in every trajectory for exact replay).
+//! Usage: `adversity [out_dir] [--metrics-out <path>]` (default
+//! `target/adversity`). Exits non-zero if any cell is red.
+//! `MAGICRECS_ADVERSITY_SEED` overrides the base seed (recorded in
+//! every trajectory for exact replay).
+//!
+//! Every fault cell also writes a **flight-recorder dump**
+//! (`<scenario>-<fault>.trace`): the `magicrecs-obs` recorder's
+//! sequence-ordered tail of rare-path events (injected faults, WAL
+//! poisons, fsync failures, checkpoint fences) scoped to that cell.
+//! Fsync-failure cells are red unless the dump names the injected
+//! `sync` operation — the crash-dump path is itself under test. With
+//! `--metrics-out`, the final process-wide registry scrape (WAL append
+//! /fsync/poison counters, checkpoint bytes, batch-size sketch) merges
+//! into the given JSON file.
 
 use magicrecs_bench::{header, row};
 use magicrecs_cluster::SharedEngineCluster;
 use magicrecs_core::{ConcurrentEngine, Engine};
 use magicrecs_gen::adversity::{AdversitySpec, Episode};
 use magicrecs_graph::{CapStrategy, FollowGraph, GraphBuilder};
+use magicrecs_obs::recorder;
 use magicrecs_persist::{
     CheckpointDriver, FaultPlan, FaultVfs, FsyncPolicy, PersistOptions, PersistentConcurrentEngine,
     PersistentEngine, RebasePolicy, TempDir,
@@ -205,6 +217,45 @@ impl Json {
     }
 }
 
+/// Writes the flight-recorder tail recorded since `since` (scoped via
+/// [`recorder::current_seq`] — the recorder is process-global and this
+/// harness runs many cells) to `<scenario>-<fault>.trace`. For
+/// injection columns, also checks the dump **names the injected
+/// operation** via a `fault_injected` event — the crash-dump path is
+/// itself under test here, not just the recovery path.
+fn write_flight_dump(
+    scenario: &str,
+    fault: Fault,
+    since: u64,
+    out_dir: &Path,
+    notes: &mut Vec<String>,
+) -> bool {
+    let events = recorder::dump_since(since);
+    let dump = recorder::format_events(&events);
+    let path = out_dir.join(format!("{}-{}.trace", scenario, fault.name()));
+    if let Err(e) = std::fs::write(&path, &dump) {
+        notes.push(format!("FAIL: flight-recorder dump write: {e}"));
+        return false;
+    }
+    let expect_op = match fault {
+        Fault::FsyncFail => Some("sync"),
+        Fault::TornWrite => Some("write"),
+        Fault::None | Fault::Crash => None,
+    };
+    if let Some(op) = expect_op {
+        let named = events
+            .iter()
+            .any(|e| matches!(e.kind, magicrecs_obs::TraceKind::FaultInjected) && e.label == op);
+        if !named {
+            notes.push(format!(
+                "FAIL: flight-recorder dump must name the injected `{op}` operation"
+            ));
+            return false;
+        }
+    }
+    true
+}
+
 /// The playback context: the engine under test plus the fault backend.
 struct Ctx {
     engine: Option<PersistentEngine>,
@@ -230,6 +281,7 @@ fn run_cell(
     out_dir: &Path,
 ) -> CellResult {
     let seed = cell_seed(base_seed, scenario_idx, fault_idx);
+    let trace_start = recorder::current_seq();
     let spec = spec_for(scenario, seed);
     let trace = spec.build();
     let events = trace.events();
@@ -418,6 +470,12 @@ fn run_cell(
         &mut notes,
     );
 
+    // Post-mortem artifact: fault columns (and any red cell) get the
+    // recorder's view of what actually went wrong on the rare path.
+    if fault != Fault::None || !green {
+        green &= write_flight_dump(scenario, fault, trace_start, out_dir, &mut notes);
+    }
+
     // Trajectory: one machine-readable JSON per run.
     let mut j = Json::default();
     j.str("scenario", scenario);
@@ -505,6 +563,7 @@ fn run_checkpoint_cell(
     const SCENARIO: &str = "checkpoint_under_flash_crowd";
     const PARTS: usize = 2;
     let seed = cell_seed(base_seed, SCENARIOS.len(), fault_idx);
+    let trace_start = recorder::current_seq();
     let spec = spec_for("flash_crowd", seed);
     let trace = spec.build();
     let events = trace.events();
@@ -732,6 +791,10 @@ fn run_checkpoint_cell(
         "candidate parity with fault-free twin",
         &mut notes,
     );
+
+    if fault != Fault::None || !green {
+        green &= write_flight_dump(SCENARIO, fault, trace_start, out_dir, &mut notes);
+    }
 
     let mut j = Json::default();
     j.str("scenario", SCENARIO);
@@ -1171,10 +1234,21 @@ fn run_serving_kill_resume_cell(base_seed: u64, out_dir: &Path) -> CellResult {
 }
 
 fn main() {
-    let out_dir = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("target/adversity"));
+    let mut out_dir: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(
+                    it.next().expect("--metrics-out needs a path"),
+                ))
+            }
+            other if out_dir.is_none() => out_dir = Some(PathBuf::from(other)),
+            other => panic!("unexpected argument {other:?} (see the module docs)"),
+        }
+    }
+    let out_dir = out_dir.unwrap_or_else(|| PathBuf::from("target/adversity"));
     std::fs::create_dir_all(&out_dir).expect("create output dir");
     let base_seed = std::env::var("MAGICRECS_ADVERSITY_SEED")
         .ok()
@@ -1261,6 +1335,18 @@ fn main() {
             all_green = false;
             failures.push((format!("{}-{}", r.scenario, r.fault.name()), r.notes));
         }
+    }
+
+    // The process-wide telemetry the matrix accumulated: WAL append/
+    // fsync/poison counters, checkpoint bytes, the batch-size sketch.
+    if let Some(path) = &metrics_out {
+        let flat = magicrecs_obs::export::flatten(&magicrecs_obs::global().snapshot());
+        let mut json = magicrecs_bench::json::Json::new();
+        for (name, value) in &flat {
+            json.int(name, *value);
+        }
+        json.merge_into_file(path);
+        println!("\nwrote metrics scrape to {}", path.display());
     }
 
     if all_green {

@@ -57,6 +57,12 @@
 //!   `checkpoint_incremental_bytes` sizes a delta cut at a ~1% dirty
 //!   ratio (hard-asserted <10% of the full — `--ckpt-only` runs just
 //!   this guard for CI).
+//! * `obs_instrumented_ns_per_event` vs `obs_disabled_ns_per_event` —
+//!   the metrics-registry tax (PR 9): the celebrity trace through two
+//!   engines differing only in their registry, live striped-atomic
+//!   counters vs `Registry::disabled()`. Hard-asserted ≤3% overhead
+//!   (`MAGICRECS_OBS_GUARD_PCT` overrides the bar — `--obs-only` runs
+//!   just this guard for CI).
 //!
 //! [`CheckpointDriver`]: magicrecs_persist::CheckpointDriver
 
@@ -137,6 +143,9 @@ struct Args {
     /// <10%-at-1%-dirty guard) and skip the JSON rewrite — the
     /// bench-smoke CI job's checkpoint-chain guard.
     ckpt_only: bool,
+    /// Run only the instrumentation-overhead arm (with the ≤3% guard)
+    /// and skip the JSON rewrite — the obs-smoke CI job.
+    obs_only: bool,
     /// Output path; defaults to `BENCH_hotpath.json` at the workspace
     /// root.
     out: Option<PathBuf>,
@@ -151,6 +160,7 @@ fn parse_args() -> Args {
         persist_only: false,
         wal_only: false,
         ckpt_only: false,
+        obs_only: false,
         out: None,
     };
     let mut it = std::env::args().skip(1);
@@ -162,6 +172,7 @@ fn parse_args() -> Args {
             "--persist-only" => args.persist_only = true,
             "--wal-only" => args.wal_only = true,
             "--ckpt-only" => args.ckpt_only = true,
+            "--obs-only" => args.obs_only = true,
             "--threads" => {
                 args.max_threads = it
                     .next()
@@ -195,6 +206,16 @@ fn parse_args() -> Args {
         !(args.ckpt_only
             && (args.wal_only || args.persist_only || args.concurrent_only || args.no_persist)),
         "--ckpt-only runs exactly the checkpoint size arm; other selectors conflict"
+    );
+    assert!(
+        !(args.obs_only
+            && (args.ckpt_only
+                || args.wal_only
+                || args.persist_only
+                || args.concurrent_only
+                || args.no_persist
+                || args.no_concurrent)),
+        "--obs-only runs exactly the instrumentation-overhead arm; other selectors conflict"
     );
     args
 }
@@ -657,6 +678,85 @@ fn run_checkpoint_bytes(json: &mut Json) {
     );
 }
 
+/// The instrumentation-overhead guard: the celebrity trace through two
+/// `ConcurrentEngine`s differing only in their metrics registry — a
+/// live [`Registry::new`] (striped-atomic counters plus the detect-time
+/// histogram) vs [`Registry::disabled`], where every stat update is one
+/// branch on a cold bool. Arms alternate per round and the guard
+/// compares min-of-rounds rather than medians: noise on a shared box
+/// only ever *adds* time, so the per-arm minimum is the honest floor
+/// and the ratio of floors isolates the instrumentation itself.
+/// **Guard**: live instrumentation costs ≤3% over disabled
+/// (`MAGICRECS_OBS_GUARD_PCT` overrides the bar), with one full
+/// re-measurement before aborting — the obs-smoke CI job runs this via
+/// `--obs-only`.
+///
+/// [`Registry::new`]: magicrecs_obs::Registry::new
+/// [`Registry::disabled`]: magicrecs_obs::Registry::disabled
+fn run_obs_guard(json: &mut Json) {
+    use magicrecs_core::ConcurrentEngine;
+    use magicrecs_obs::Registry;
+
+    let limit_pct: f64 = std::env::var("MAGICRECS_OBS_GUARD_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+    println!("# instrumentation overhead: live registry vs disabled (guard {limit_pct}%)");
+    let graph = celebrity_graph();
+    let trace = celebrity_trace(2_000);
+    let config = DetectorConfig::production();
+
+    // One timed replay: fresh engine each time (store state must not
+    // accumulate across rounds), construction untimed, events through
+    // the batched hot path the cluster workers use.
+    let replay = |enabled: bool| -> f64 {
+        let registry = if enabled {
+            Registry::new()
+        } else {
+            Registry::disabled()
+        };
+        let engine =
+            ConcurrentEngine::with_registry(graph.clone(), config, registry).expect("engine");
+        let mut out = Vec::new();
+        let mut n = 0usize;
+        let start = Instant::now();
+        for chunk in trace.chunks(64) {
+            out.clear();
+            n += engine.on_events_into(chunk, &mut out);
+        }
+        black_box(n);
+        start.elapsed().as_secs_f64() * 1e9 / trace.len() as f64
+    };
+    let measure = || -> (f64, f64) {
+        let _ = replay(true); // warm-up: page cache, allocator, interner
+        let _ = replay(false);
+        let (mut live, mut off) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..5 {
+            live = live.min(replay(true));
+            off = off.min(replay(false));
+        }
+        (live, off)
+    };
+    let (mut live, mut off) = measure();
+    let mut overhead_pct = (live / off - 1.0) * 100.0;
+    if overhead_pct > limit_pct {
+        println!("  overhead {overhead_pct:.2}% above the {limit_pct}% guard — remeasuring once");
+        (live, off) = measure();
+        overhead_pct = (live / off - 1.0) * 100.0;
+    }
+    json.num("obs_instrumented_ns_per_event", live);
+    json.num("obs_disabled_ns_per_event", off);
+    // Small signed percentages need more than `num`'s one decimal.
+    json.set("obs_overhead_pct", Val::Raw(format!("{overhead_pct:.2}")));
+    println!("  instrumented {live:.0} vs disabled {off:.0} ns/event ({overhead_pct:+.2}%)");
+    assert!(
+        overhead_pct <= limit_pct,
+        "live instrumentation ({live:.0} ns/event) costs {overhead_pct:.2}% over the disabled \
+         registry ({off:.0} ns/event), above the {limit_pct}% guard in two independent \
+         measurements (MAGICRECS_OBS_GUARD_PCT overrides the bar)"
+    );
+}
+
 /// Persistence arms: snapshot refresh (full rebuild vs delta apply on a
 /// ~1%-changed graph), WAL single-vs-group-commit append cost, and
 /// crash-recovery replay rate. Keys are merge-recorded like everything
@@ -816,6 +916,13 @@ fn main() {
         // alone, no JSON rewrite.
         let mut json = Json::new();
         run_checkpoint_bytes(&mut json);
+        return;
+    }
+    if args.obs_only {
+        // CI obs-smoke: the instrumentation-overhead guard alone, no
+        // JSON rewrite.
+        let mut json = Json::new();
+        run_obs_guard(&mut json);
         return;
     }
 
@@ -1148,6 +1255,9 @@ fn main() {
     if !args.no_persist {
         run_persist(&mut json);
     }
+
+    // ---- instrumentation overhead: live registry vs disabled ------------
+    run_obs_guard(&mut json);
 
     // ---- merge + write --------------------------------------------------
     let path = args.out.unwrap_or_else(|| {

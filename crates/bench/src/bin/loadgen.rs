@@ -10,6 +10,15 @@
 //!       # CI: small fixture, asserts the pipeline end-to-end, no JSON
 //!   cargo run -p magicrecs-bench --release --bin loadgen -- \
 //!       --users 4000000 --events 2000000 --out /tmp/b.json
+//!   cargo run -p magicrecs-bench --release --bin loadgen -- \
+//!       --metrics-out /tmp/metrics.json   # full registry scrape, merged
+//!
+//! Every run also scrapes the server's metrics registry over the wire
+//! (`MetricsReq`) and prints a per-stage latency decomposition —
+//! admission, detect, deliver, end-to-end, plus the queue-wait estimate
+//! (client-observed delivery mean minus server-side work mean). With
+//! `--metrics-out` the whole flattened scrape merges into the given
+//! JSON file (same merge-don't-clobber recorder as `--out`).
 //!
 //! Two phases:
 //!
@@ -63,6 +72,8 @@ struct Args {
     no_overload: bool,
     /// Output path; defaults to `BENCH_hotpath.json` at the workspace root.
     out: Option<PathBuf>,
+    /// Where to merge the full flattened metrics scrape (optional).
+    metrics_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -74,6 +85,7 @@ fn parse_args() -> Args {
         smoke: false,
         no_overload: false,
         out: None,
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -97,6 +109,11 @@ fn parse_args() -> Args {
             "--workers" => args.workers = grab("--workers") as usize,
             "--no-overload" => args.no_overload = true,
             "--out" => args.out = Some(PathBuf::from(it.next().expect("--out needs a path"))),
+            "--metrics-out" => {
+                args.metrics_out = Some(PathBuf::from(
+                    it.next().expect("--metrics-out needs a path"),
+                ))
+            }
             other => panic!("unknown flag {other:?} (see the module docs)"),
         }
     }
@@ -114,6 +131,9 @@ struct PhaseReport {
     wall: Duration,
     latency: Histogram,
     stats: WireStats,
+    /// Full flattened registry scrape (`MetricsReq`), taken after the
+    /// run's barrier so every admitted batch has recorded its stages.
+    metrics: Vec<(String, u64)>,
 }
 
 impl PhaseReport {
@@ -123,6 +143,14 @@ impl PhaseReport {
 
     fn shed_rate(&self) -> f64 {
         self.shed as f64 / self.sent.max(1) as f64
+    }
+
+    /// One scraped value by exact name (0 if the run never touched it).
+    fn metric(&self, name: &str) -> u64 {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
     }
 }
 
@@ -351,6 +379,7 @@ fn run_phase(
         Frame::StatsResp(s) => s,
         other => panic!("expected StatsResp, got {other:?}"),
     };
+    let metrics = control.fetch_metrics().expect("metrics scrape");
     server.shutdown();
 
     PhaseReport {
@@ -361,7 +390,57 @@ fn run_phase(
         wall,
         latency,
         stats,
+        metrics,
     }
+}
+
+/// Prints the per-stage latency decomposition from a phase's registry
+/// scrape: where an admitted batch's time went (admission gates, WAL,
+/// detection, delivery fan-out) against the server's own end-to-end
+/// measure, plus the queue-wait estimate — the client-observed delivery
+/// mean minus the server-side work mean, i.e. time spent queued in
+/// sockets and epoll rather than being worked on.
+fn print_stage_breakdown(report: &PhaseReport) {
+    let e2e_count = report.metric("stage_e2e_us_count");
+    if e2e_count == 0 {
+        println!("  stages: no admitted batches recorded");
+        return;
+    }
+    let e2e_sum = report.metric("stage_e2e_us_sum");
+    println!("  stage breakdown (server-side, {e2e_count} admitted batches):");
+    println!(
+        "    {:<10} {:>10} {:>10} {:>9} {:>7}",
+        "stage", "count", "mean µs", "p99 µs", "share"
+    );
+    for (label, name) in [
+        ("admission", "stage_admission_us"),
+        ("wal", "stage_wal_us"),
+        ("detect", "stage_detect_us"),
+        ("deliver", "stage_deliver_us"),
+        ("e2e", "stage_e2e_us"),
+    ] {
+        let count = report.metric(&format!("{name}_count"));
+        if count == 0 {
+            continue; // the WAL stage only exists under persistence
+        }
+        let sum = report.metric(&format!("{name}_sum"));
+        println!(
+            "    {:<10} {:>10} {:>10.1} {:>9} {:>6.1}%",
+            label,
+            count,
+            sum as f64 / count as f64,
+            report.metric(&format!("{name}_p99")),
+            100.0 * sum as f64 / e2e_sum.max(1) as f64,
+        );
+    }
+    let server_mean = e2e_sum as f64 / e2e_count as f64;
+    let client_mean = report.latency.mean().unwrap_or(0.0);
+    println!(
+        "    queue wait ≈ {:.1}µs (client deliver mean {:.1}µs − server e2e mean {:.1}µs)",
+        (client_mean - server_mean).max(0.0),
+        client_mean,
+        server_mean,
+    );
 }
 
 // ---- main ------------------------------------------------------------------
@@ -453,9 +532,38 @@ fn main() {
         sat.stats.queue_high_watermark,
         sat.stats.dropped_deliveries
     );
+    print_stage_breakdown(&sat);
     assert_eq!(sat.shed, 0, "unlimited admission must not shed");
     assert!(sat.candidates > 0, "trace produced no deliveries");
     assert_eq!(sat.stats.accepted, sat.sent, "server lost events");
+    if args.smoke {
+        // The observability acceptance checks: stage histograms must be
+        // populated, and the per-stage sums must account for the
+        // server's own end-to-end measure. Each stage rounds down to
+        // whole µs independently of e2e, so grant 10% plus a few µs of
+        // truncation slack per batch before calling the books cooked.
+        let e2e_count = sat.metric("stage_e2e_us_count");
+        assert!(e2e_count > 0, "no admitted batch recorded an e2e stage");
+        assert!(
+            sat.metric("stage_detect_us_count") > 0,
+            "detect stage histogram is empty"
+        );
+        let parts = sat.metric("stage_admission_us_sum")
+            + sat.metric("stage_wal_us_sum")
+            + sat.metric("stage_detect_us_sum")
+            + sat.metric("stage_deliver_us_sum");
+        let e2e = sat.metric("stage_e2e_us_sum");
+        let slack = 10 * e2e_count;
+        assert!(
+            parts <= e2e + slack,
+            "stage sums ({parts}µs) exceed end-to-end ({e2e}µs): stages overlap"
+        );
+        assert!(
+            parts + slack >= e2e - e2e / 10,
+            "stage sums ({parts}µs) account for less than 90% of end-to-end ({e2e}µs): \
+             a stage is unmeasured"
+        );
+    }
 
     // ---- phase 2: 2× overload ------------------------------------------
     let overload = if args.no_overload {
@@ -495,6 +603,15 @@ fn main() {
         );
         Some(report)
     };
+
+    if let Some(path) = &args.metrics_out {
+        let mut scrape = Json::new();
+        for (name, value) in &sat.metrics {
+            scrape.int(name, *value);
+        }
+        scrape.merge_into_file(path);
+        println!("wrote metrics scrape to {}", path.display());
+    }
 
     if args.smoke {
         println!("smoke OK (no JSON rewrite)");

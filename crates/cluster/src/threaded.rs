@@ -230,6 +230,16 @@ impl ThreadedCluster {
         let mut sent = 0u64;
         for (i, &event) in events.iter().enumerate() {
             if hook(i) == IngestControl::Kill {
+                // A simulated coordinator death is exactly the event a
+                // post-mortem dump should anchor on: record where the
+                // stream was cut so the recorder timeline shows what
+                // ingested before vs. after the kill.
+                magicrecs_obs::recorder::record(
+                    magicrecs_obs::TraceKind::Kill,
+                    "coordinator",
+                    i as u64,
+                    events.len() as u64,
+                );
                 break;
             }
             for tx in &senders {

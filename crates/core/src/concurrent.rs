@@ -50,11 +50,13 @@ use crate::detector::DiamondDetector;
 use crate::engine::{entry_cap_for, ADVANCE_EVERY};
 use crate::threshold::ThresholdAlgo;
 use magicrecs_graph::{FollowGraph, GraphDelta};
+use magicrecs_obs as obs;
+use magicrecs_obs::{MetricSnapshot, Registry};
 use magicrecs_temporal::{PruneStrategy, ShardedTemporalStore, StoreStats};
 use magicrecs_types::{
     Candidate, DetectorConfig, EdgeEvent, Histogram, Result, Snapshot, Timestamp, UserId,
 };
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -70,10 +72,6 @@ const DEFAULT_SHARDS: usize = 16;
 /// pass the lock savings are already amortized to noise.
 const MAX_RUN: usize = 64;
 
-/// Stripes for the latency histogram: threads land on distinct stripes,
-/// so recording a sample never contends across workers; `stats()` merges.
-const TIME_STRIPES: usize = 16;
-
 /// Most detectors a thread caches before evicting the oldest — bounds the
 /// scratch kept alive by long-lived worker pools that outlive engines
 /// (blue/green swaps, test suites).
@@ -83,19 +81,11 @@ const MAX_CACHED_DETECTORS: usize = 8;
 /// engines live in one process (tests, benches, blue/green swaps).
 static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(0);
 
-/// Monotonic thread numbers, used only to spread threads over histogram
-/// stripes.
-static NEXT_THREAD_NO: AtomicU64 = AtomicU64::new(0);
-
 thread_local! {
     /// Per-thread detector scratch, keyed by engine id. One entry per
     /// engine this thread has driven recently; lookup is a short linear
     /// scan, capped at [`MAX_CACHED_DETECTORS`].
     static DETECTORS: RefCell<Vec<(u64, DiamondDetector)>> = const { RefCell::new(Vec::new()) };
-
-    /// This thread's histogram stripe.
-    static THREAD_STRIPE: usize =
-        NEXT_THREAD_NO.fetch_add(1, Ordering::Relaxed) as usize % TIME_STRIPES;
 }
 
 /// Aggregate counters for a [`ConcurrentEngine`], snapshotted at read time.
@@ -126,19 +116,25 @@ pub struct ConcurrentEngine {
     store: ShardedTemporalStore,
     config: DetectorConfig,
     algo: ThresholdAlgo,
-    events: AtomicU64,
-    candidates: AtomicU64,
-    firing_events: AtomicU64,
-    accepted: AtomicU64,
-    shed: AtomicU64,
-    queue_high_watermark: AtomicU64,
+    /// The engine's metrics live on a per-engine [`Registry`] (not the
+    /// process-global one) so several engines in one process — tests,
+    /// blue/green swaps — never cross-count. [`ConcurrentEngine::scrape`]
+    /// exports it; the serving tier concatenates it with the global
+    /// registry's snapshot for `MetricsResp`.
+    registry: Registry,
+    events: obs::Counter,
+    candidates: obs::Counter,
+    firing_events: obs::Counter,
+    accepted: obs::Counter,
+    shed: obs::Counter,
+    queue_high_watermark: obs::Gauge,
+    detect_time: obs::Histogram,
     since_advance: AtomicU64,
     /// High-water mark of event timestamps seen (µs): wheel expiry always
     /// advances with this, never with one thread's possibly-stale event
     /// time, so a lagging worker cannot be out-advanced by more than the
     /// stream's own timestamp skew.
     clock: AtomicU64,
-    detect_time: Vec<Mutex<Histogram>>,
 }
 
 impl std::fmt::Debug for ConcurrentEngine {
@@ -146,7 +142,7 @@ impl std::fmt::Debug for ConcurrentEngine {
         f.debug_struct("ConcurrentEngine")
             .field("id", &self.id)
             .field("shards", &self.store.shard_count())
-            .field("events", &self.events.load(Ordering::Relaxed))
+            .field("events", &self.events.get())
             .finish_non_exhaustive()
     }
 }
@@ -169,12 +165,39 @@ impl ConcurrentEngine {
         ConcurrentEngine::with_store(graph, store, config, algo)
     }
 
-    /// Creates an engine over a caller-configured sharded store.
+    /// Creates an engine over a caller-configured sharded store, with a
+    /// fresh per-engine metrics registry.
     pub fn with_store(
         graph: FollowGraph,
         store: ShardedTemporalStore,
         config: DetectorConfig,
         algo: ThresholdAlgo,
+    ) -> Result<Self> {
+        ConcurrentEngine::with_store_on(graph, store, config, algo, Registry::new())
+    }
+
+    /// Creates an engine recording onto a caller-supplied registry — a
+    /// [`Registry::disabled`] one turns every stat update into a single
+    /// branch, which is the control arm of the instrumentation overhead
+    /// guard (`hotpath -- --obs-only`).
+    pub fn with_registry(
+        graph: FollowGraph,
+        config: DetectorConfig,
+        registry: Registry,
+    ) -> Result<Self> {
+        let store = ShardedTemporalStore::new(config.tau, PruneStrategy::Wheel, DEFAULT_SHARDS)
+            .with_entry_cap(entry_cap_for(config.max_witnesses));
+        ConcurrentEngine::with_store_on(graph, store, config, ThresholdAlgo::Adaptive, registry)
+    }
+
+    /// The fully-explicit constructor: caller-configured store, threshold
+    /// algorithm, and metrics registry.
+    pub fn with_store_on(
+        graph: FollowGraph,
+        store: ShardedTemporalStore,
+        config: DetectorConfig,
+        algo: ThresholdAlgo,
+        registry: Registry,
     ) -> Result<Self> {
         config.validate()?;
         Ok(ConcurrentEngine {
@@ -183,17 +206,16 @@ impl ConcurrentEngine {
             store,
             config,
             algo,
-            events: AtomicU64::new(0),
-            candidates: AtomicU64::new(0),
-            firing_events: AtomicU64::new(0),
-            accepted: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            queue_high_watermark: AtomicU64::new(0),
+            events: registry.counter("engine_events"),
+            candidates: registry.counter("engine_candidates"),
+            firing_events: registry.counter("engine_firing_events"),
+            accepted: registry.counter("engine_accepted"),
+            shed: registry.counter("engine_shed"),
+            queue_high_watermark: registry.gauge("engine_queue_high_watermark"),
+            detect_time: registry.histogram("engine_detect_us"),
+            registry,
             since_advance: AtomicU64::new(0),
             clock: AtomicU64::new(0),
-            detect_time: (0..TIME_STRIPES)
-                .map(|_| Mutex::new(Histogram::new()))
-                .collect(),
         })
     }
 
@@ -251,11 +273,11 @@ impl ConcurrentEngine {
         };
         let elapsed = start.elapsed().as_micros() as u64;
 
-        self.events.fetch_add(1, Ordering::Relaxed);
-        THREAD_STRIPE.with(|&s| self.detect_time[s].lock().record(elapsed));
+        self.events.incr();
+        self.detect_time.record(elapsed);
         if emitted > 0 {
-            self.firing_events.fetch_add(1, Ordering::Relaxed);
-            self.candidates.fetch_add(emitted as u64, Ordering::Relaxed);
+            self.firing_events.incr();
+            self.candidates.add(emitted as u64);
         }
 
         // Wheel-expiry cadence, like the sequential engine's: whichever
@@ -391,11 +413,11 @@ impl ConcurrentEngine {
             }
         });
 
-        self.events.fetch_add(n, Ordering::Relaxed);
-        THREAD_STRIPE.with(|&s| self.detect_time[s].lock().merge(&times));
+        self.events.add(n);
+        self.detect_time.merge_from(&times);
         if emitted_total > 0 {
-            self.firing_events.fetch_add(firing, Ordering::Relaxed);
-            self.candidates.fetch_add(emitted_total, Ordering::Relaxed);
+            self.firing_events.add(firing);
+            self.candidates.add(emitted_total);
         }
         out.len() - appended_start
     }
@@ -489,21 +511,49 @@ impl ConcurrentEngine {
     }
 
     /// Engine metrics, snapshotted across threads (histogram stripes are
-    /// merged at read time).
+    /// merged at read time). Reads the same registry handles
+    /// [`ConcurrentEngine::scrape`] exports, so the two views can never
+    /// disagree — the `StatsResp` compatibility shim is test-enforced to
+    /// be bit-identical to a registry scrape.
     pub fn stats(&self) -> ConcurrentStats {
-        let mut merged = Histogram::new();
-        for stripe in &self.detect_time {
-            merged.merge(&stripe.lock());
-        }
         ConcurrentStats {
-            events: self.events.load(Ordering::Relaxed),
-            candidates: self.candidates.load(Ordering::Relaxed),
-            firing_events: self.firing_events.load(Ordering::Relaxed),
-            accepted: self.accepted.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
-            queue_high_watermark: self.queue_high_watermark.load(Ordering::Relaxed),
-            detect_time: merged.snapshot(),
+            events: self.events.get(),
+            candidates: self.candidates.get(),
+            firing_events: self.firing_events.get(),
+            accepted: self.accepted.get(),
+            shed: self.shed.get(),
+            queue_high_watermark: self.queue_high_watermark.get(),
+            detect_time: self.detect_time.snapshot().snapshot(),
         }
+    }
+
+    /// The engine's metrics registry. Drivers (the serving tier) may
+    /// register their own metrics here so one scrape covers the whole
+    /// component.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Scrapes the engine registry, first refreshing the store gauges
+    /// (`store_resident_entries`, `store_inserted`, `store_unfollowed`,
+    /// `store_pruned`, `store_lists_reclaimed`, `store_peak_entries`)
+    /// from the sharded store's own counters — those live behind shard
+    /// locks and are folded into gauges only at scrape time.
+    pub fn scrape(&self) -> Vec<MetricSnapshot> {
+        let s = self.store.stats();
+        self.registry
+            .gauge("store_resident_entries")
+            .set(self.store.resident_entries());
+        self.registry.gauge("store_inserted").set(s.inserted);
+        self.registry.gauge("store_unfollowed").set(s.unfollowed);
+        self.registry.gauge("store_pruned").set(s.pruned);
+        self.registry
+            .gauge("store_lists_reclaimed")
+            .set(s.lists_reclaimed);
+        self.registry
+            .gauge("store_peak_entries")
+            .set(s.peak_entries);
+        self.registry.snapshot()
     }
 
     /// Records `n` ingress events admitted by the driving tier. The
@@ -513,21 +563,20 @@ impl ConcurrentEngine {
     /// gates.
     #[inline]
     pub fn note_accepted(&self, n: u64) {
-        self.accepted.fetch_add(n, Ordering::Relaxed);
+        self.accepted.add(n);
     }
 
     /// Records `n` ingress events refused with a typed shed response.
     #[inline]
     pub fn note_shed(&self, n: u64) {
-        self.shed.fetch_add(n, Ordering::Relaxed);
+        self.shed.add(n);
     }
 
     /// Folds a driver-side queue depth observation into the high-water
     /// mark (monotone max).
     #[inline]
     pub fn note_queue_depth(&self, depth: u64) {
-        self.queue_high_watermark
-            .fetch_max(depth, Ordering::Relaxed);
+        self.queue_high_watermark.set_max(depth);
     }
 
     /// The detector configuration.

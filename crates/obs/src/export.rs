@@ -1,0 +1,127 @@
+//! Exporters: Prometheus-style text exposition and a flat `(name, u64)`
+//! rendering of a registry snapshot.
+//!
+//! [`flatten`] is the canonical machine shape — it is the payload of
+//! the wire `MetricsResp` frame and what `bench::json` merges into
+//! benchmark artifacts. [`text`] is the human/scrape shape. Both
+//! operate on [`MetricSnapshot`] lists so a scrape can concatenate
+//! snapshots from several registries (the global one plus a
+//! component's) before exporting.
+
+use crate::registry::{MetricSnapshot, MetricValue};
+use magicrecs_types::Histogram;
+
+/// The quantiles histograms export, with their flat-name suffixes.
+const QUANTILES: [(f64, &str); 3] = [(0.5, "p50"), (0.9, "p90"), (0.99, "p99")];
+
+fn hist_fields(h: &Histogram) -> Vec<(&'static str, u64)> {
+    let mut out = vec![
+        ("count", h.count()),
+        ("sum", h.sum() as u64),
+        ("min", h.min().unwrap_or(0)),
+        ("max", h.max().unwrap_or(0)),
+    ];
+    for (q, suffix) in QUANTILES {
+        out.push((suffix, h.quantile(q).unwrap_or(0)));
+    }
+    out
+}
+
+/// Flattens a snapshot to sorted `(name, value)` pairs. Counters and
+/// gauges keep their registered name; a histogram `h` becomes
+/// `h_count`, `h_sum`, `h_min`, `h_max`, `h_p50`, `h_p90`, `h_p99`.
+pub fn flatten(snapshot: &[MetricSnapshot]) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for m in snapshot {
+        match &m.value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => out.push((m.name.clone(), *v)),
+            MetricValue::Histogram(h) => {
+                for (suffix, v) in hist_fields(h) {
+                    out.push((format!("{}_{suffix}", m.name), v));
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Renders a snapshot as Prometheus-style text exposition: `# TYPE`
+/// comment lines, `name value` samples, and `name{quantile="0.99"}`
+/// summary lines for histograms. Deterministic for a given snapshot
+/// (metrics sorted by name), which is what the golden-file test pins.
+pub fn text(snapshot: &[MetricSnapshot]) -> String {
+    let mut sorted: Vec<&MetricSnapshot> = snapshot.iter().collect();
+    sorted.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut s = String::new();
+    for m in sorted {
+        match &m.value {
+            MetricValue::Counter(v) => {
+                s.push_str(&format!("# TYPE {} counter\n{} {}\n", m.name, m.name, v));
+            }
+            MetricValue::Gauge(v) => {
+                s.push_str(&format!("# TYPE {} gauge\n{} {}\n", m.name, m.name, v));
+            }
+            MetricValue::Histogram(h) => {
+                s.push_str(&format!("# TYPE {} summary\n", m.name));
+                for (q, _) in QUANTILES {
+                    s.push_str(&format!(
+                        "{}{{quantile=\"{}\"}} {}\n",
+                        m.name,
+                        q,
+                        h.quantile(q).unwrap_or(0)
+                    ));
+                }
+                s.push_str(&format!("{}_sum {}\n", m.name, h.sum()));
+                s.push_str(&format!("{}_count {}\n", m.name, h.count()));
+                s.push_str(&format!("{}_min {}\n", m.name, h.min().unwrap_or(0)));
+                s.push_str(&format!("{}_max {}\n", m.name, h.max().unwrap_or(0)));
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_snapshot() -> Vec<MetricSnapshot> {
+        let r = Registry::new();
+        r.counter("zz_events").add(42);
+        r.gauge("aa_depth").set(7);
+        let h = r.histogram("mm_lat_us");
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn flatten_sorted_with_hist_suffixes() {
+        let flat = flatten(&sample_snapshot());
+        let names: Vec<&str> = flat.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "flatten output must be sorted");
+        assert!(names.contains(&"mm_lat_us_count"));
+        assert!(names.contains(&"mm_lat_us_p99"));
+        let count = flat.iter().find(|(n, _)| n == "mm_lat_us_count").unwrap().1;
+        assert_eq!(count, 3);
+        let sum = flat.iter().find(|(n, _)| n == "mm_lat_us_sum").unwrap().1;
+        assert_eq!(sum, 60);
+    }
+
+    #[test]
+    fn text_has_type_lines_and_quantiles() {
+        let t = text(&sample_snapshot());
+        assert!(t.contains("# TYPE zz_events counter"));
+        assert!(t.contains("# TYPE aa_depth gauge"));
+        assert!(t.contains("# TYPE mm_lat_us summary"));
+        assert!(t.contains("mm_lat_us{quantile=\"0.99\"}"));
+        assert!(t.contains("mm_lat_us_count 3"));
+        // Sorted by name: the gauge block precedes the histogram block.
+        assert!(t.find("aa_depth").unwrap() < t.find("mm_lat_us").unwrap());
+    }
+}

@@ -1,0 +1,72 @@
+//! # magicrecs-obs
+//!
+//! The unified observability layer: a process-wide **metrics registry**
+//! with thread-striped hot-path recording, **stage-latency
+//! decomposition** histograms shared by every tier, and a fixed-size
+//! **flight recorder** that dumps the last events on panic or failure.
+//! Std-only, hermetic — the crate depends on `magicrecs-types` and
+//! nothing else.
+//!
+//! ## The striping / merge contract
+//!
+//! Hot-path recording never takes a cross-thread lock:
+//!
+//! * **Counters** are arrays of [`registry::STRIPES`] cache-line-padded
+//!   atomics; each thread lands on a fixed stripe (its thread number mod
+//!   `STRIPES`) and records with one relaxed `fetch_add`. `get()` sums
+//!   the stripes at read time.
+//! * **Histograms** reuse `magicrecs_types::Histogram`'s exact
+//!   log₂-bucket layout ([`magicrecs_types::metrics::NUM_BUCKETS`]
+//!   buckets, 32 linear sub-buckets per power of two), but each stripe is
+//!   a lazily-allocated array of atomic bucket counts plus atomic
+//!   count/sum/min/max. A scrape merges the stripes back into a plain
+//!   `Histogram` and uses its quantile machinery — so the sketch a scrape
+//!   returns **merges associatively**: merging per-thread (or
+//!   per-process, or per-run) sketches in any grouping yields identical
+//!   bucket counts, hence identical quantiles. Property-tested in
+//!   `tests/properties.rs`.
+//! * **Gauges** are single atomics (`set` / `add` / `sub` / `set_max`);
+//!   they record instantaneous state, not rates, so striping buys
+//!   nothing.
+//!
+//! Readers (scrapes, exporters) are wait-free with respect to writers:
+//! a scrape may miss a racing increment but never tears a value. A
+//! registry built with [`Registry::disabled`] hands out handles whose
+//! record methods are a single predictable branch — the hot-path
+//! overhead guard in `bench --bin hotpath -- --obs-only` compares the
+//! two arms in one run.
+//!
+//! ## Exporters
+//!
+//! [`export::text`] renders a Prometheus-style text exposition;
+//! [`export::flatten`] renders the same snapshot as sorted
+//! `(name, u64)` pairs — the payload of the wire `MetricsResp` frame and
+//! the shape `bench::json` merges into `BENCH_hotpath.json`. Histograms
+//! flatten to `name_count/_sum/_min/_max/_p50/_p90/_p99`.
+//!
+//! ## Flight recorder semantics
+//!
+//! [`recorder::record`] appends a fixed-size structured event (kind +
+//! two payload words + static label) to a per-thread ring of
+//! [`recorder::RING_CAP`] slots, stamped from one global sequence.
+//! Recording is rare-path (shed decisions, WAL poison/rewind, fsync
+//! failures, checkpoint fences, kill hooks) — a per-thread mutex guards
+//! each ring, uncontended except during a dump. [`recorder::dump`]
+//! gathers every thread's ring, sorts by sequence, and returns the
+//! interleaved tail of process history; wraparound silently drops the
+//! oldest events per thread (that is the point of a flight recorder).
+//! [`recorder::install_panic_hook`] chains a hook that prints the dump
+//! to stderr and stashes it for [`recorder::last_panic_dump`], so an
+//! adversity cell that dies ships its own diagnosis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod recorder;
+pub mod registry;
+pub mod stage;
+
+pub use recorder::{TraceEvent, TraceKind};
+pub use registry::{global, Counter, Gauge, Histogram, MetricSnapshot, MetricValue, Registry};
+pub use stage::{global_stages, Stage, Stages};

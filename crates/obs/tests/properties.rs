@@ -1,0 +1,225 @@
+//! Property and integration tests for the observability layer:
+//!
+//! * **Merge associativity** — striped recording split across any
+//!   grouping of sub-histograms merges back to the same sketch (bucket
+//!   counts, summary fields, quantiles) as recording everything into
+//!   one histogram. This is the contract that lets per-thread,
+//!   per-engine, and per-run sketches aggregate in any order.
+//! * **Quantile error** — a scraped quantile equals the bucket
+//!   representative of the true (rank-based) quantile and sits within
+//!   the log₂-bucket relative error (1/32) below it.
+//! * **Striped counters under contention** — concurrent writers behind
+//!   a barrier never lose increments.
+//! * **Flight recorder** — ring wraparound keeps exactly the newest
+//!   `RING_CAP` events per thread, and the panic hook stashes a dump
+//!   containing events recorded before the panic.
+//! * **Text exposition golden** — the Prometheus-style renderer is
+//!   byte-stable for a fixed registry.
+
+use magicrecs_obs::{export, recorder, Registry, TraceKind};
+use magicrecs_types::Histogram as PlainHistogram;
+use proptest::prelude::*;
+use std::sync::{Arc, Barrier};
+
+/// Records `values` into a fresh striped obs histogram and scrapes it.
+fn striped_snapshot(values: &[u64]) -> PlainHistogram {
+    let r = Registry::new();
+    let h = r.histogram("h");
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+fn assert_same_sketch(a: &PlainHistogram, b: &PlainHistogram) {
+    assert_eq!(a.bucket_counts(), b.bucket_counts());
+    assert_eq!(a.count(), b.count());
+    assert_eq!(a.sum(), b.sum());
+    assert_eq!(a.min(), b.min());
+    assert_eq!(a.max(), b.max());
+    for q in [0.5, 0.9, 0.99] {
+        assert_eq!(a.quantile(q), b.quantile(q));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Splitting a value stream across striped histograms and merging
+    /// the scraped sketches — in either association, or against one
+    /// histogram fed everything — yields identical bucket counts and
+    /// quantiles.
+    #[test]
+    fn histogram_merge_is_associative(
+        xs in proptest::collection::vec(0u64..2_000_000, 0..48),
+        ys in proptest::collection::vec(0u64..2_000_000, 0..48),
+        zs in proptest::collection::vec(0u64..2_000_000, 0..48),
+    ) {
+        let (hx, hy, hz) = (striped_snapshot(&xs), striped_snapshot(&ys), striped_snapshot(&zs));
+
+        // (x + y) + z
+        let mut left = hx.clone();
+        left.merge(&hy);
+        left.merge(&hz);
+        // x + (y + z)
+        let mut right_tail = hy.clone();
+        right_tail.merge(&hz);
+        let mut right = hx.clone();
+        right.merge(&right_tail);
+        assert_same_sketch(&left, &right);
+
+        // Both equal the unsplit recording.
+        let mut all = Vec::new();
+        all.extend_from_slice(&xs);
+        all.extend_from_slice(&ys);
+        all.extend_from_slice(&zs);
+        let whole = striped_snapshot(&all);
+        assert_same_sketch(&left, &whole);
+
+        // And the striped scrape agrees with the plain sketch itself.
+        let mut plain = PlainHistogram::new();
+        for &v in &all {
+            plain.record(v);
+        }
+        assert_same_sketch(&whole, &plain);
+    }
+
+    /// A scraped quantile is exactly the bucket representative of the
+    /// true rank-based quantile, which undershoots it by at most 1/32
+    /// relative (the 32-sub-bucket log₂ layout).
+    #[test]
+    fn quantile_within_bucket_error(
+        mut values in proptest::collection::vec(0u64..50_000_000, 1..80),
+        qi in 0usize..3,
+    ) {
+        let q = [0.5, 0.9, 0.99][qi];
+        let snap = striped_snapshot(&values);
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).max(1);
+        let true_v = values[rank - 1];
+        let got = snap.quantile(q).expect("non-empty");
+        let expect = PlainHistogram::bucket_value(PlainHistogram::bucket_index(true_v))
+            .clamp(values[0], values[values.len() - 1]);
+        prop_assert_eq!(got, expect);
+        prop_assert!(got <= true_v, "representative must not exceed the true quantile");
+        prop_assert!(
+            true_v - got <= got / 32 + 1,
+            "bucket error must stay within 1/32 relative: true {true_v}, got {got}"
+        );
+    }
+}
+
+/// Eight writers behind a barrier hammer one counter and one histogram;
+/// the scrape must see every increment — striping spreads contention,
+/// it must never drop writes.
+#[test]
+fn striped_counter_loses_nothing_under_contention() {
+    const WRITERS: usize = 8;
+    const PER_WRITER: u64 = 10_000;
+    let r = Registry::new();
+    let counter = r.counter("contended");
+    let hist = r.histogram("contended_us");
+    let barrier = Arc::new(Barrier::new(WRITERS));
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let (c, h, b) = (counter.clone(), hist.clone(), barrier.clone());
+            std::thread::spawn(move || {
+                b.wait();
+                for i in 0..PER_WRITER {
+                    c.incr();
+                    h.record(w as u64 * PER_WRITER + i);
+                }
+            })
+        })
+        .collect();
+    for t in handles {
+        t.join().unwrap();
+    }
+    assert_eq!(counter.get(), WRITERS as u64 * PER_WRITER);
+    let snap = hist.snapshot();
+    assert_eq!(snap.count(), WRITERS as u64 * PER_WRITER);
+    assert_eq!(snap.min(), Some(0));
+    assert_eq!(snap.max(), Some(WRITERS as u64 * PER_WRITER - 1));
+}
+
+/// Overfilling this thread's ring keeps exactly the newest `RING_CAP`
+/// events — a flight recorder holds the end of the story.
+#[test]
+fn ring_wraparound_keeps_newest() {
+    const EXTRA: u64 = 64;
+    let total = recorder::RING_CAP as u64 + EXTRA;
+    for i in 0..total {
+        recorder::record(TraceKind::Custom, "wrap_test", i, 0);
+    }
+    let mine: Vec<u64> = recorder::dump()
+        .iter()
+        .filter(|e| e.label == "wrap_test")
+        .map(|e| e.a)
+        .collect();
+    assert_eq!(mine.len(), recorder::RING_CAP);
+    assert_eq!(mine.first().copied(), Some(EXTRA), "oldest events evicted");
+    assert_eq!(mine.last().copied(), Some(total - 1), "newest retained");
+    // dump() sorts by sequence; a single-thread run must come back in
+    // recording order.
+    assert!(mine.windows(2).all(|w| w[0] < w[1]));
+}
+
+/// The panic hook records a `panic` event, dumps, and stashes the dump:
+/// events recorded before the panic are in it.
+#[test]
+fn panic_hook_stashes_dump() {
+    recorder::install_panic_hook();
+    recorder::record(TraceKind::Custom, "panic_dump_probe", 11, 22);
+    let result = std::panic::catch_unwind(|| panic!("obs panic-dump test"));
+    assert!(result.is_err());
+    let dump = recorder::last_panic_dump().expect("hook stashed a dump");
+    assert!(
+        dump.contains("panic_dump_probe"),
+        "pre-panic event retained"
+    );
+    assert!(dump.contains("a=11 b=22"));
+    assert!(dump.contains("panic"), "the panic itself is recorded");
+}
+
+/// The text exposition is byte-stable for a fixed registry — the shape
+/// scrape tooling parses must not drift silently.
+#[test]
+fn text_exposition_golden() {
+    let r = Registry::new();
+    r.counter("events_total").add(5);
+    r.gauge("queue_depth").set(3);
+    let h = r.histogram("lat_us");
+    for v in [1u64, 2, 3, 4] {
+        h.record(v);
+    }
+    let golden = "\
+# TYPE events_total counter
+events_total 5
+# TYPE lat_us summary
+lat_us{quantile=\"0.5\"} 2
+lat_us{quantile=\"0.9\"} 4
+lat_us{quantile=\"0.99\"} 4
+lat_us_sum 10
+lat_us_count 4
+lat_us_min 1
+lat_us_max 4
+# TYPE queue_depth gauge
+queue_depth 3
+";
+    assert_eq!(export::text(&r.snapshot()), golden);
+
+    // flatten() is the machine twin of the same snapshot.
+    let flat = export::flatten(&r.snapshot());
+    assert_eq!(
+        flat.iter()
+            .find(|(n, _)| n == "lat_us_p50")
+            .map(|&(_, v)| v),
+        Some(2)
+    );
+    assert_eq!(
+        flat.iter()
+            .find(|(n, _)| n == "events_total")
+            .map(|&(_, v)| v),
+        Some(5)
+    );
+}

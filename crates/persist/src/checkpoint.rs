@@ -498,6 +498,11 @@ pub fn write_checkpoint_fenced_with(
             }
         }
     }
+    let m = crate::metrics::ckpt();
+    m.full_writes.incr();
+    m.full_bytes.add(buf.len() as u64);
+    // A published full resets the chain — nothing dirty rides above it.
+    m.dirty_ratio_pct.set(0);
     Ok((final_path, buf.len() as u64))
 }
 
@@ -519,6 +524,9 @@ pub fn write_delta_checkpoint_with(
     let mut buf = Vec::new();
     save_delta_checkpoint(entries, tombstones, id, base_id, fences, &mut buf)?;
     crate::fsutil::publish_durably(vfs, &tmp_path, &final_path, &buf)?;
+    let m = crate::metrics::ckpt();
+    m.delta_writes.incr();
+    m.delta_bytes.add(buf.len() as u64);
     Ok((final_path, buf.len() as u64))
 }
 

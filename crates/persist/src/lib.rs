@@ -139,6 +139,7 @@
 pub mod checkpoint;
 pub mod crc;
 mod fsutil;
+mod metrics;
 pub mod recovery;
 pub mod snapshot;
 pub mod tempdir;

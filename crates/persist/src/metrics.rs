@@ -1,0 +1,75 @@
+//! Process-wide registry handles for the persistence tier.
+//!
+//! All persist metrics live on the global [`magicrecs_obs`] registry
+//! (WALs and checkpoint drivers are per-process infrastructure, not
+//! per-engine state), lazily registered on first touch so a process
+//! that never persists pays nothing. Handles are cached in
+//! [`OnceLock`]s: the hot path (`append_batch_with_first_seq`) costs
+//! one pointer load plus the striped-counter RMWs, never a registry
+//! lookup.
+
+use magicrecs_obs as obs;
+use std::sync::OnceLock;
+
+/// WAL hot-path handles: append/record/fsync counters plus the group
+/// commit batch-size histogram the paper's group-commit story is
+/// measured by.
+pub(crate) struct WalMetrics {
+    /// `append_batch_with_first_seq` invocations (durability units).
+    pub append_calls: obs::Counter,
+    /// Individual records appended across all calls.
+    pub records: obs::Counter,
+    /// Successful `fdatasync`s of active segments.
+    pub fsyncs: obs::Counter,
+    /// Times any WAL poisoned itself (half-committed batch, failed
+    /// fsync, unrewindable short write).
+    pub poisons: obs::Counter,
+    /// Events per append call — the group-commit batch-size sketch.
+    pub batch_events: obs::Histogram,
+}
+
+pub(crate) fn wal() -> &'static WalMetrics {
+    static M: OnceLock<WalMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = obs::global();
+        WalMetrics {
+            append_calls: r.counter("wal_append_calls"),
+            records: r.counter("wal_records"),
+            fsyncs: r.counter("wal_fsyncs"),
+            poisons: r.counter("wal_poisons"),
+            batch_events: r.histogram("wal_batch_events"),
+        }
+    })
+}
+
+/// Checkpoint-writer handles: file counts, byte volumes, and the
+/// chain's delta-to-full byte ratio (the same quantity
+/// [`crate::snapshot::RebasePolicy`] rebases on).
+pub(crate) struct CkptMetrics {
+    /// Full checkpoints published.
+    pub full_writes: obs::Counter,
+    /// Bytes across all full checkpoints published.
+    pub full_bytes: obs::Counter,
+    /// Delta (incremental) checkpoints published.
+    pub delta_writes: obs::Counter,
+    /// Bytes across all delta checkpoints published.
+    pub delta_bytes: obs::Counter,
+    /// Current chain's delta-bytes / full-bytes ratio, in percent —
+    /// the dirty ratio the rebase policy compares against. Reset to 0
+    /// by every full checkpoint.
+    pub dirty_ratio_pct: obs::Gauge,
+}
+
+pub(crate) fn ckpt() -> &'static CkptMetrics {
+    static M: OnceLock<CkptMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = obs::global();
+        CkptMetrics {
+            full_writes: r.counter("checkpoint_full_writes"),
+            full_bytes: r.counter("checkpoint_full_bytes"),
+            delta_writes: r.counter("checkpoint_delta_writes"),
+            delta_bytes: r.counter("checkpoint_delta_bytes"),
+            dirty_ratio_pct: r.gauge("checkpoint_dirty_ratio_pct"),
+        }
+    })
+}

@@ -192,6 +192,18 @@ impl ChainState {
             && self.chain_len > 0
             && self.delta_bytes as f64 >= policy.max_delta_bytes_ratio * self.full_bytes as f64
     }
+
+    /// Exposes the chain's delta-to-full byte ratio (percent) on the
+    /// registry — the very quantity [`ChainState::wants_full`] rebases
+    /// on, so an operator watching the gauge sees the rebase coming.
+    fn publish_dirty_ratio(&self) {
+        let pct = self
+            .delta_bytes
+            .saturating_mul(100)
+            .checked_div(self.full_bytes)
+            .unwrap_or(0);
+        crate::metrics::ckpt().dirty_ratio_pct.set(pct);
+    }
 }
 
 /// Whether this policy wants per-target dirty tracking enabled in `D`
@@ -540,6 +552,7 @@ impl PersistentEngine {
                     c.fences = fences;
                     c.chain_len += 1;
                     c.delta_bytes += bytes;
+                    c.publish_dirty_ratio();
                 }
                 Err(e) => {
                     self.engine.store_mut().mark_dirty_many(drained);
@@ -998,6 +1011,7 @@ impl PersistentConcurrentEngine {
                     c.fences = fences;
                     c.chain_len += 1;
                     c.delta_bytes += bytes;
+                    c.publish_dirty_ratio();
                     Ok(())
                 }
                 Err(e) => {

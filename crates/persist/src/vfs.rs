@@ -16,6 +16,7 @@
 //! in the WAL and the durable-publish paths is reachable on demand
 //! instead of only via post-hoc file truncation.
 
+use magicrecs_obs::{recorder, TraceKind};
 use parking_lot::Mutex;
 use std::io;
 use std::path::Path;
@@ -399,6 +400,15 @@ impl FaultVfs {
         let hit = st.pending.iter().position(|s| s.op == op && s.nth == n)?;
         let spec = st.pending.swap_remove(hit);
         st.fired.push(spec);
+        // Name the failing operation in the flight recorder: a dump
+        // taken after an adversity cell goes red should say *which*
+        // injected fault it tripped over, not just that one fired.
+        recorder::record(
+            TraceKind::FaultInjected,
+            op_name(op),
+            n,
+            st.fired.len() as u64,
+        );
         Some(spec.mode)
     }
 

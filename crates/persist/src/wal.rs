@@ -42,8 +42,10 @@
 //! refused as [`Error::Corrupt`].
 
 use crate::crc::crc32;
+use crate::metrics;
 use crate::vfs::{std_vfs, Vfs, VfsFile};
 use magicrecs_graph::io::{read_varint, write_varint};
+use magicrecs_obs::{recorder, TraceKind};
 use magicrecs_types::{EdgeEvent, EdgeKind, Error, Result, Timestamp, UserId};
 use parking_lot::Mutex;
 use std::fs::File;
@@ -583,6 +585,12 @@ impl Wal {
                     vfs.remove_file(path).map_err(|e| io_err("wal repair", e))?;
                     continue;
                 }
+                recorder::record(
+                    TraceKind::WalRewind,
+                    "tail repair",
+                    scan.valid_bytes,
+                    scan.last_seq.map_or(0, |s| s + 1),
+                );
                 let mut f = vfs.open_write(path).map_err(|e| io_err("wal repair", e))?;
                 f.set_len(scan.valid_bytes)
                     .map_err(|e| io_err("wal repair", e))?;
@@ -714,6 +722,10 @@ impl Wal {
                 self.next_seq
             )));
         }
+        let m = metrics::wal();
+        m.append_calls.incr();
+        m.records.add(events.len() as u64);
+        m.batch_events.record(events.len() as u64);
         let period = match self.opts.fsync {
             FsyncPolicy::EveryN(n) => n.max(1),
             _ => u64::MAX,
@@ -731,7 +743,7 @@ impl Wal {
                     // roll failure *between* landed chunks leaves the call
                     // half-committed, which a retry would duplicate.
                     if i > 0 {
-                        self.poisoned = true;
+                        self.mark_poisoned("roll between landed chunks", first_seq + i as u64);
                     }
                     return Err(e);
                 }
@@ -770,7 +782,7 @@ impl Wal {
                 // prefix exactly once. A first-chunk failure keeps the
                 // single-append contract — nothing landed, retry is safe.
                 if !rewound || i > 0 {
-                    self.poisoned = true;
+                    self.mark_poisoned("short write", first_seq + i as u64);
                 }
                 return Err(io_err("wal append", e));
             }
@@ -811,7 +823,17 @@ impl Wal {
     /// sequence, so [`SharedWal::replay_merged`]'s gap check classifies
     /// it as a tolerable tail loss instead of refusing recovery.
     fn poison(&mut self) {
+        self.mark_poisoned("burned sequence", self.next_seq);
+    }
+
+    /// The single poison-entry point: sets the flag, bumps the
+    /// process-wide poison counter, and drops a [`TraceKind::WalPoison`]
+    /// event (label = why, `a` = the sequence involved) into the flight
+    /// recorder so a post-mortem dump names the failing operation.
+    fn mark_poisoned(&mut self, why: &'static str, seq: u64) {
         self.poisoned = true;
+        metrics::wal().poisons.incr();
+        recorder::record(TraceKind::WalPoison, why, seq, 0);
     }
 
     /// Forces an `fdatasync` of the active segment.
@@ -826,10 +848,12 @@ impl Wal {
     pub fn sync(&mut self) -> Result<()> {
         if let Some(active) = self.active.as_mut() {
             if let Err(e) = active.file.sync_data() {
-                self.poisoned = true;
+                recorder::record(TraceKind::FsyncFail, "wal fsync", self.next_seq, 0);
+                self.mark_poisoned("wal fsync", self.next_seq);
                 return Err(io_err("wal fsync", e));
             }
             self.syncs += 1;
+            metrics::wal().fsyncs.incr();
         }
         self.appends_since_sync = 0;
         Ok(())
@@ -893,9 +917,11 @@ impl Wal {
         if let Some(active) = self.active.as_mut() {
             if !matches!(self.opts.fsync, FsyncPolicy::Never) {
                 if let Err(e) = active.file.sync_data() {
-                    self.poisoned = true;
+                    recorder::record(TraceKind::FsyncFail, "wal segment close", self.next_seq, 0);
+                    self.mark_poisoned("wal segment close fsync", self.next_seq);
                     return Err(io_err("wal fsync", e));
                 }
+                metrics::wal().fsyncs.incr();
             }
         }
         if let Some(active) = self.active.take() {
@@ -1379,7 +1405,16 @@ impl SharedWal {
         if !matches!(wal.opts.fsync, FsyncPolicy::Never) {
             wal.sync()?;
         }
-        f(wal.next_seq())
+        let fence = wal.next_seq();
+        recorder::record(
+            TraceKind::CkptFenceEnter,
+            "partition fence",
+            p as u64,
+            fence,
+        );
+        let out = f(fence);
+        recorder::record(TraceKind::CkptFenceExit, "partition fence", p as u64, fence);
+        out
     }
 
     /// Each partition's next sequence — the fence vector a cut "right

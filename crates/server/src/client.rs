@@ -117,6 +117,26 @@ impl ClientConn {
         }
     }
 
+    /// Requests a full metrics-registry scrape and blocks for the
+    /// reply, returning the flattened `(name, value)` pairs. Frames
+    /// arriving before the `MetricsResp` (pipelined delivers) are
+    /// discarded; issue a [`ClientConn::barrier`] first if you need
+    /// them.
+    pub fn fetch_metrics(&mut self) -> Result<Vec<(String, u64)>> {
+        self.send(&Frame::MetricsReq)?;
+        loop {
+            match self.recv()? {
+                Frame::MetricsResp { metrics } => return Ok(metrics),
+                Frame::Error { code, detail } => {
+                    return Err(Error::Io(format!(
+                        "client: metrics request refused ({code:?}: {detail})"
+                    )))
+                }
+                _ => {}
+            }
+        }
+    }
+
     /// Sends a barrier and blocks until its ack comes back, buffering
     /// (and returning) every frame that arrives before it — the fence
     /// that proves all prior frames on this connection were processed.

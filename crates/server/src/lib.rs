@@ -54,6 +54,14 @@
 //! | 11   | `OkAck`        | S → C     | — |
 //! | 12   | `Barrier`      | C → S     | tag |
 //! | 13   | `BarrierAck`   | S → C     | tag |
+//! | 14   | `MetricsReq`   | C → S     | — |
+//! | 15   | `MetricsResp`  | S → C     | payload version byte, entry count, entries (name length, name bytes, value) |
+//!
+//! `StatsResp` is **frozen as v0** (its decoder reads a fixed count of
+//! fields); all new telemetry rides `MetricsResp`, whose entries are a
+//! full flattened scrape of the metrics registry (`magicrecs-obs`) and
+//! carry their own payload version byte so the shape can grow without a
+//! protocol bump.
 //!
 //! Shed codes: 1 = rate-limited (per-source token bucket empty; retry
 //! after the hinted µs), 2 = overloaded (worker cycle budget spent).

@@ -21,11 +21,14 @@ use crate::admission::{AdmissionConfig, TokenBucket};
 use crate::sys;
 use crate::wire::{self, Frame, ShedCode, WireErrorCode, WireStats};
 use magicrecs_core::ConcurrentEngine;
+use magicrecs_obs as obs;
+use magicrecs_obs::stage::Stage;
+use magicrecs_obs::TraceKind;
 use magicrecs_types::{Error, Result};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -72,12 +75,27 @@ impl Default for ServerConfig {
     }
 }
 
-/// Server-side counters that live outside the engine (per-process, not
-/// per-detection).
-#[derive(Debug, Default)]
+/// Server-side metrics that live outside the engine's detection path.
+/// Registered on the **engine's** registry (not the global one) so one
+/// `MetricsResp` scrape of the engine covers the whole serving
+/// component, and the `StatsResp` shim reads the very same handles —
+/// the two views cannot disagree.
 struct ServingCounters {
-    dropped_deliveries: AtomicU64,
-    connections: AtomicU64,
+    dropped_deliveries: obs::Counter,
+    connections: obs::Gauge,
+    frames_ingest: obs::Counter,
+    frames_control: obs::Counter,
+}
+
+impl ServingCounters {
+    fn on(registry: &obs::Registry) -> ServingCounters {
+        ServingCounters {
+            dropped_deliveries: registry.counter("server_dropped_deliveries"),
+            connections: registry.gauge("server_connections"),
+            frames_ingest: registry.counter("server_frames_ingest"),
+            frames_control: registry.counter("server_frames_control"),
+        }
+    }
 }
 
 /// A socket handed from the acceptor to a worker, with any bytes the
@@ -134,7 +152,7 @@ impl Server {
         listener.set_nonblocking(true).map_err(io_err)?;
 
         let stop = Arc::new(AtomicBool::new(false));
-        let counters = Arc::new(ServingCounters::default());
+        let counters = Arc::new(ServingCounters::on(engine.registry()));
         let mut handoffs = Vec::with_capacity(workers);
         let mut threads = Vec::with_capacity(workers + 1);
 
@@ -372,7 +390,7 @@ impl Worker {
             for idx in dead {
                 if let Some(conn) = conns[idx].take() {
                     let _ = ep.del(conn.stream.as_raw_fd());
-                    self.counters.connections.fetch_sub(1, Ordering::Relaxed);
+                    self.counters.connections.sub(1);
                     free.push(idx);
                 }
             }
@@ -428,7 +446,7 @@ impl Worker {
                 free.push(idx);
                 continue;
             }
-            self.counters.connections.fetch_add(1, Ordering::Relaxed);
+            self.counters.connections.add(1);
             conns[idx] = Some(conn);
             // A pipelining client may have written frames right behind
             // its Hello; the handshake read carried them here as
@@ -440,7 +458,7 @@ impl Worker {
             if conns[idx].as_ref().is_some_and(|c| c.dead) {
                 if let Some(conn) = conns[idx].take() {
                     let _ = ep.del(conn.stream.as_raw_fd());
-                    self.counters.connections.fetch_sub(1, Ordering::Relaxed);
+                    self.counters.connections.sub(1);
                     free.push(idx);
                 }
             } else if let Some(conn) = conns[idx].as_mut() {
@@ -543,11 +561,19 @@ impl Worker {
     ) {
         match frame {
             Frame::Ingest { tag, events } => {
+                // Stage decomposition: one stamp at receipt, then elapsed
+                // µs recorded at each boundary the batch crosses. Only
+                // admitted batches record, so the per-stage sums account
+                // for the same traffic as the end-to-end histogram.
+                let t0 = Instant::now();
+                let stages = obs::global_stages();
+                self.counters.frames_ingest.incr();
                 let n = events.len() as u64;
                 let conn = conns[idx].as_mut().expect("slot");
                 // Gate 1: the source's token bucket.
                 if let Err(retry_after_us) = conn.bucket.try_take(n, Instant::now()) {
                     self.engine.note_shed(n);
+                    obs::recorder::record(TraceKind::Shed, "token_bucket", n, retry_after_us);
                     self.enqueue(
                         conn,
                         &Frame::Shed {
@@ -561,6 +587,12 @@ impl Worker {
                 // Gate 2: the worker's per-cycle budget.
                 if cycle_events.saturating_add(events.len()) > self.cfg.admission.cycle_budget {
                     self.engine.note_shed(n);
+                    obs::recorder::record(
+                        TraceKind::Shed,
+                        "cycle_budget",
+                        *cycle_events as u64,
+                        self.cfg.admission.cycle_budget as u64,
+                    );
                     self.enqueue(
                         conn,
                         &Frame::Shed {
@@ -573,9 +605,13 @@ impl Worker {
                 }
                 *cycle_events += events.len();
                 self.engine.note_queue_depth(*cycle_events as u64);
+                stages.record_since(Stage::Admission, t0);
                 scratch.clear();
+                let t_detect = Instant::now();
                 self.engine.on_events_into(&events, scratch);
+                stages.record_since(Stage::Detect, t_detect);
                 self.engine.note_accepted(n);
+                let t_deliver = Instant::now();
                 if !scratch.is_empty() {
                     // A hot event can emit more candidates than fit one
                     // frame (1 MiB); chunk so every Deliver stays well
@@ -596,17 +632,34 @@ impl Worker {
                         }
                     }
                 }
+                stages.record_since(Stage::Deliver, t_deliver);
+                stages.record_since(Stage::EndToEnd, t0);
             }
             Frame::Subscribe => {
+                self.counters.frames_control.incr();
                 let conn = conns[idx].as_mut().expect("slot");
                 conn.subscribed = true;
                 self.enqueue(conn, &Frame::OkAck);
             }
             Frame::Barrier { tag } => {
+                self.counters.frames_control.incr();
                 let conn = conns[idx].as_mut().expect("slot");
                 self.enqueue(conn, &Frame::BarrierAck { tag });
             }
+            Frame::MetricsReq => {
+                // Full scrape: the engine's registry (which carries the
+                // serving counters and the store gauges) plus the
+                // process-global one (stage histograms, WAL internals).
+                // Names are prefix-disjoint, so concatenation is safe.
+                self.counters.frames_control.incr();
+                let mut snap = self.engine.scrape();
+                snap.extend(obs::global().snapshot());
+                let metrics = obs::export::flatten(&snap);
+                let conn = conns[idx].as_mut().expect("slot");
+                self.enqueue(conn, &Frame::MetricsResp { metrics });
+            }
             Frame::StatsReq => {
+                self.counters.frames_control.incr();
                 let s = self.engine.stats();
                 let resp = Frame::StatsResp(WireStats {
                     events: s.events,
@@ -615,8 +668,8 @@ impl Worker {
                     accepted: s.accepted,
                     shed: s.shed,
                     queue_high_watermark: s.queue_high_watermark,
-                    dropped_deliveries: self.counters.dropped_deliveries.load(Ordering::Relaxed),
-                    connections: self.counters.connections.load(Ordering::Relaxed),
+                    dropped_deliveries: self.counters.dropped_deliveries.get(),
+                    connections: self.counters.connections.get(),
                     detect_p50_us: s.detect_time.p50_us,
                     detect_p99_us: s.detect_time.p99_us,
                 });
@@ -624,6 +677,7 @@ impl Worker {
                 self.enqueue(conn, &resp);
             }
             Frame::DeltaPublish { bytes } => {
+                self.counters.frames_control.incr();
                 let result = magicrecs_graph::load_delta(&mut bytes.as_slice())
                     .and_then(|delta| self.engine.swap_graph_delta(&delta).map(|_| ()));
                 let reply = match result {
@@ -637,6 +691,7 @@ impl Worker {
                 self.enqueue(conn, &reply);
             }
             Frame::CheckpointReq => {
+                self.counters.frames_control.incr();
                 let reply = match &self.cfg.checkpoint_hook {
                     None => Frame::Error {
                         code: WireErrorCode::Unsupported,
@@ -660,6 +715,7 @@ impl Worker {
             | Frame::Deliver { .. }
             | Frame::Shed { .. }
             | Frame::StatsResp(_)
+            | Frame::MetricsResp { .. }
             | Frame::OkAck
             | Frame::BarrierAck { .. }
             | Frame::Error { .. } => {
@@ -689,9 +745,7 @@ impl Worker {
     fn enqueue_bytes(&self, conn: &mut Conn, bytes: &[u8], droppable: bool) {
         let queued = conn.write_buf.len() - conn.write_off;
         if droppable && queued + bytes.len() > self.cfg.admission.max_write_queue {
-            self.counters
-                .dropped_deliveries
-                .fetch_add(1, Ordering::Relaxed);
+            self.counters.dropped_deliveries.incr();
             return;
         }
         conn.write_buf.extend_from_slice(bytes);

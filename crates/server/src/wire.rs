@@ -107,7 +107,20 @@ impl WireErrorCode {
     }
 }
 
+/// Payload version byte inside [`Frame::MetricsResp`]. Independent of
+/// [`WIRE_VERSION`]: the metrics payload can evolve (new entry shapes)
+/// without a protocol-wide bump.
+pub const METRICS_VERSION: u8 = 1;
+
 /// Engine + ingress statistics returned by [`Frame::StatsResp`].
+///
+/// **Frozen as v0.** The decoder reads exactly ten varint fields — a
+/// fixed-count loop with no length prefix — so adding a field here would
+/// silently desynchronize old peers mid-stream rather than fail typed.
+/// Do not extend this struct: new telemetry goes through the versioned,
+/// length-prefixed [`Frame::MetricsResp`] (whose key/value payload can
+/// grow freely), and `StatsReq`/`StatsResp` remain a compatibility shim
+/// backed by the same metrics registry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WireStats {
     /// Events processed by the engine.
@@ -218,6 +231,19 @@ pub enum Frame {
         /// The barrier's tag.
         tag: u64,
     },
+    /// Control: request a full metrics-registry scrape
+    /// ([`Frame::MetricsResp`]).
+    MetricsReq,
+    /// Control reply: flattened registry scrape as length-prefixed
+    /// `(name, value)` entries (histograms appear as their
+    /// `_count`/`_sum`/`_min`/`_max`/`_p50`/`_p90`/`_p99` projections).
+    /// The payload carries its own [`METRICS_VERSION`] byte so the entry
+    /// shape can grow without touching [`WIRE_VERSION`] — unlike the
+    /// frozen fixed-field [`WireStats`].
+    MetricsResp {
+        /// Sorted `(metric name, value)` pairs.
+        metrics: Vec<(String, u64)>,
+    },
 }
 
 fn kind_to_byte(k: EdgeKind) -> u8 {
@@ -255,6 +281,8 @@ fn frame_type(f: &Frame) -> u8 {
         Frame::OkAck => 11,
         Frame::Barrier { .. } => 12,
         Frame::BarrierAck { .. } => 13,
+        Frame::MetricsReq => 14,
+        Frame::MetricsResp { .. } => 15,
     }
 }
 
@@ -304,7 +332,11 @@ fn encode_payload(f: &Frame, out: &mut Vec<u8>) {
                 out.push(kind_to_byte(e.kind));
             }
         }
-        Frame::Subscribe | Frame::CheckpointReq | Frame::StatsReq | Frame::OkAck => {}
+        Frame::Subscribe
+        | Frame::CheckpointReq
+        | Frame::StatsReq
+        | Frame::OkAck
+        | Frame::MetricsReq => {}
         Frame::Deliver { tag, candidates } => {
             put_varint(out, *tag);
             put_varint(out, candidates.len() as u64);
@@ -353,6 +385,15 @@ fn encode_payload(f: &Frame, out: &mut Vec<u8>) {
             }
         }
         Frame::Barrier { tag } | Frame::BarrierAck { tag } => put_varint(out, *tag),
+        Frame::MetricsResp { metrics } => {
+            out.push(METRICS_VERSION);
+            put_varint(out, metrics.len() as u64);
+            for (name, value) in metrics {
+                put_varint(out, name.len() as u64);
+                out.extend_from_slice(name.as_bytes());
+                put_varint(out, *value);
+            }
+        }
     }
 }
 
@@ -522,6 +563,33 @@ fn decode_payload(ty: u8, payload: &[u8]) -> Result<Frame> {
         13 => Frame::BarrierAck {
             tag: read_varint_checked(&mut r, "wire barrier tag")?,
         },
+        14 => Frame::MetricsReq,
+        15 => {
+            let mut vb = [0u8; 1];
+            read_exact_checked(&mut r, &mut vb, "wire metrics version")?;
+            if vb[0] != METRICS_VERSION {
+                return Err(Error::Corrupt(format!(
+                    "wire: metrics payload version {}, expected {METRICS_VERSION}",
+                    vb[0]
+                )));
+            }
+            let n = read_varint_checked(&mut r, "wire metrics count")?;
+            // Each entry costs at least a name-length varint + a value
+            // varint, even with an empty name.
+            let n = checked_count(r, n, 2, "metric")?;
+            let mut metrics = Vec::with_capacity(n);
+            for _ in 0..n {
+                let len = read_varint_checked(&mut r, "wire metric name len")?;
+                let len = checked_count(r, len, 1, "metric name byte")?;
+                let mut bytes = vec![0u8; len];
+                read_exact_checked(&mut r, &mut bytes, "wire metric name")?;
+                let name = String::from_utf8(bytes)
+                    .map_err(|_| Error::Corrupt("wire: metric name not utf-8".into()))?;
+                let value = read_varint_checked(&mut r, "wire metric value")?;
+                metrics.push((name, value));
+            }
+            Frame::MetricsResp { metrics }
+        }
         _ => return Err(Error::Corrupt(format!("wire: unknown frame type {ty}"))),
     };
     if !r.is_empty() {
@@ -639,6 +707,14 @@ mod tests {
             Frame::OkAck,
             Frame::Barrier { tag: u64::MAX },
             Frame::BarrierAck { tag: 0 },
+            Frame::MetricsReq,
+            Frame::MetricsResp {
+                metrics: vec![
+                    ("engine_events".to_string(), 100),
+                    ("stage_detect_us_p99".to_string(), 80),
+                    (String::new(), 0),
+                ],
+            },
         ]
     }
 
@@ -712,6 +788,37 @@ mod tests {
         bytes.push(2); // ingest
         bytes.extend_from_slice(&payload);
         let check = checksum(WIRE_VERSION, 2, &payload);
+        bytes.extend_from_slice(&check.to_le_bytes());
+        let len = (bytes.len() - 4) as u32;
+        bytes[..4].copy_from_slice(&len.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn metrics_payload_version_mismatch_is_typed_corrupt() {
+        let mut bytes = encode(&Frame::MetricsResp {
+            metrics: vec![("x".to_string(), 1)],
+        });
+        // The payload version byte sits right after the frame header
+        // (len + ver + type); bumping it must fail typed, not misparse.
+        bytes[6] = METRICS_VERSION + 1;
+        let check = checksum(WIRE_VERSION, 15, &bytes[6..bytes.len() - 8]);
+        let n = bytes.len();
+        bytes[n - 8..].copy_from_slice(&check.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn corrupt_metric_count_cannot_drive_allocation() {
+        let mut payload = Vec::new();
+        payload.push(METRICS_VERSION);
+        put_varint(&mut payload, 1 << 40); // entry count
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&[0u8; 4]);
+        bytes.push(WIRE_VERSION);
+        bytes.push(15); // metrics resp
+        bytes.extend_from_slice(&payload);
+        let check = checksum(WIRE_VERSION, 15, &payload);
         bytes.extend_from_slice(&check.to_le_bytes());
         let len = (bytes.len() - 4) as u32;
         bytes[..4].copy_from_slice(&len.to_le_bytes());

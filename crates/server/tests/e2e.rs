@@ -184,6 +184,57 @@ fn stats_roundtrip_over_the_wire() {
 }
 
 #[test]
+fn metrics_scrape_is_bit_identical_to_stats_shim() {
+    // The StatsResp compatibility shim and the MetricsResp registry
+    // scrape read the same handles; with traffic quiesced behind a
+    // barrier, every overlapping field must match exactly.
+    let (server, _engine) = start(1, AdmissionConfig::unlimited());
+    let mut conn = ClientConn::connect(server.addr(), Some(0)).unwrap();
+    conn.send(&Frame::Ingest {
+        tag: 1,
+        events: vec![
+            EdgeEvent::follow(u(10), u(99), ts(100)),
+            EdgeEvent::follow(u(11), u(99), ts(101)),
+        ],
+    })
+    .unwrap();
+    conn.barrier(2).unwrap();
+    let metrics = conn.fetch_metrics().unwrap();
+    let get = |name: &str| -> u64 {
+        metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("scrape missing {name}"))
+            .1
+    };
+    conn.send(&Frame::StatsReq).unwrap();
+    let stats = match conn.recv().unwrap() {
+        Frame::StatsResp(s) => s,
+        other => panic!("expected StatsResp, got {other:?}"),
+    };
+    assert_eq!(stats.events, get("engine_events"));
+    assert_eq!(stats.candidates, get("engine_candidates"));
+    assert_eq!(stats.firing_events, get("engine_firing_events"));
+    assert_eq!(stats.accepted, get("engine_accepted"));
+    assert_eq!(stats.shed, get("engine_shed"));
+    assert_eq!(
+        stats.queue_high_watermark,
+        get("engine_queue_high_watermark")
+    );
+    assert_eq!(stats.dropped_deliveries, get("server_dropped_deliveries"));
+    assert_eq!(stats.connections, get("server_connections"));
+    assert_eq!(stats.detect_p50_us, get("engine_detect_us_p50"));
+    assert_eq!(stats.detect_p99_us, get("engine_detect_us_p99"));
+    // The scrape also carries what the frozen shim cannot: store gauges
+    // and the stage-latency decomposition from the global registry.
+    assert!(get("store_inserted") >= 2);
+    assert!(get("stage_e2e_us_count") >= 1);
+    assert!(get("stage_detect_us_count") >= 1);
+    assert!(get("server_frames_ingest") >= 1);
+    server.shutdown();
+}
+
+#[test]
 fn checkpoint_without_hook_is_typed_unsupported() {
     let (server, _engine) = start(1, AdmissionConfig::unlimited());
     let mut conn = ClientConn::connect(server.addr(), Some(0)).unwrap();

@@ -110,6 +110,16 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         Just(Frame::OkAck),
         (0u64..u64::MAX).prop_map(|tag| Frame::Barrier { tag }),
         (0u64..u64::MAX).prop_map(|tag| Frame::BarrierAck { tag }),
+        Just(Frame::MetricsReq),
+        proptest::collection::vec(
+            (
+                proptest::collection::vec(97u8..123, 0..24)
+                    .prop_map(|v| String::from_utf8(v).expect("ascii")),
+                0u64..u64::MAX,
+            ),
+            0..16
+        )
+        .prop_map(|metrics| Frame::MetricsResp { metrics }),
     ]
 }
 

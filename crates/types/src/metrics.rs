@@ -18,6 +18,12 @@ const SUB_BITS: u32 = 5; // log2(SUB_BUCKETS)
 /// Number of power-of-two buckets: values up to 2^40 µs ≈ 12.7 days.
 const POW_BUCKETS: usize = 41;
 
+/// Total bucket count — the length [`Histogram::bucket_counts`] returns
+/// and [`Histogram::from_raw_parts`] expects. Exposed so an external
+/// accumulator (the `magicrecs-obs` striped atomic histogram) can share
+/// this sketch's exact bucket layout and merge associatively.
+pub const NUM_BUCKETS: usize = POW_BUCKETS * SUB_BUCKETS;
+
 /// A monotonically increasing event counter.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Counter(u64);
@@ -69,8 +75,10 @@ impl Histogram {
         }
     }
 
+    /// Bucket index a raw value lands in (`0..NUM_BUCKETS`). Public so
+    /// external recorders can increment the same sketch layout.
     #[inline]
-    fn bucket_index(value: u64) -> usize {
+    pub fn bucket_index(value: u64) -> usize {
         if value < SUB_BUCKETS as u64 {
             // Values below 32 get exact buckets.
             return value as usize;
@@ -83,7 +91,7 @@ impl Histogram {
 
     /// Representative (upper-bound) value for a bucket index; the inverse of
     /// [`Histogram::bucket_index`] up to bucket granularity.
-    fn bucket_value(idx: usize) -> u64 {
+    pub fn bucket_value(idx: usize) -> u64 {
         let p = idx / SUB_BUCKETS;
         let sub = (idx % SUB_BUCKETS) as u64;
         if p == 0 {
@@ -163,6 +171,43 @@ impl Histogram {
     /// Largest recorded value.
     pub fn max(&self) -> Option<u64> {
         (self.count > 0).then_some(self.max)
+    }
+
+    /// Reassembles a histogram from externally-accumulated raw parts —
+    /// the scrape path of an atomic recorder that kept this sketch's
+    /// bucket layout (see [`NUM_BUCKETS`], [`Histogram::bucket_index`]).
+    ///
+    /// `buckets` must be exactly [`NUM_BUCKETS`] long. `count`/`sum`/
+    /// `min`/`max` are taken as observed (an empty histogram normalizes
+    /// `min`/`max` to the internal sentinels regardless of input).
+    pub fn from_raw_parts(buckets: Vec<u64>, count: u64, sum: u128, min: u64, max: u64) -> Self {
+        assert_eq!(buckets.len(), NUM_BUCKETS, "bucket layout mismatch");
+        if count == 0 {
+            return Histogram {
+                buckets,
+                count: 0,
+                sum: 0,
+                min: u64::MAX,
+                max: 0,
+            };
+        }
+        Histogram {
+            buckets,
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+
+    /// The raw per-bucket counts (length [`NUM_BUCKETS`]).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Sum of all recorded values (µs).
+    pub fn sum(&self) -> u128 {
+        self.sum
     }
 
     /// Merges another histogram into this one.
