@@ -27,10 +27,24 @@
 //! and hold the same invariants — the checkpoint chain taken mid-storm
 //! must restore to candidate parity.
 //!
+//! Two replication cells (`leader_kill9_mid_ingest`,
+//! `rebalance_under_flash_crowd`) bring up a 3-process loopback
+//! replica cluster — this binary re-exec'd in `--replica-node` mode,
+//! so each node is a real OS process that can be killed with SIGKILL —
+//! then kill -9 the partition leader mid-ingest (promote the warm
+//! follower, finish the stream, candidate parity modulo the acked-tail
+//! contract) and live-rebalance the partition under the flash-crowd
+//! trace (zero acked-event loss, exact parity). Both cells are red
+//! unless the promoted node's flight-recorder dump names the
+//! promotion.
+//!
 //! Usage: `adversity [out_dir] [--metrics-out <path>]` (default
 //! `target/adversity`). Exits non-zero if any cell is red.
 //! `MAGICRECS_ADVERSITY_SEED` overrides the base seed (recorded in
-//! every trajectory for exact replay).
+//! every trajectory for exact replay). The internal
+//! `--replica-node --config <map> --node <id> --data <dir>` mode runs
+//! a single replica node and parks (used only by the replication
+//! cells).
 //!
 //! Every fault cell also writes a **flight-recorder dump**
 //! (`<scenario>-<fault>.trace`): the `magicrecs-obs` recorder's
@@ -52,6 +66,7 @@ use magicrecs_persist::{
     CheckpointDriver, FaultPlan, FaultVfs, FsyncPolicy, PersistOptions, PersistentConcurrentEngine,
     PersistentEngine, RebasePolicy, TempDir,
 };
+use magicrecs_replica::{ClusterMap, Coordinator, Node, NodeConfig, RoutedClient};
 use magicrecs_server::{
     AdmissionConfig, ClientConn, Frame, Server, ServerConfig, ShedCode, WireStats,
 };
@@ -1233,10 +1248,464 @@ fn run_serving_kill_resume_cell(base_seed: u64, out_dir: &Path) -> CellResult {
     serving_cell_result(SCENARIO, j, notes, green, out_dir)
 }
 
+// ---------------------------------------------------------------------------
+// Replication cells: a 3-process loopback cluster built by re-exec'ing
+// this binary in `--replica-node` mode, so the leader can be killed
+// with a genuine SIGKILL and the promotion crosses real process
+// boundaries.
+// ---------------------------------------------------------------------------
+
+/// `--replica-node` mode: run one replica node and park. The runner
+/// waits for the `READY <addr>` line, and tears the process down with
+/// SIGKILL (that ungracefulness is the point).
+fn replica_node_mode(args: &[String]) -> ! {
+    let mut config: Option<PathBuf> = None;
+    let mut node: Option<u32> = None;
+    let mut data: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || it.next().expect("flag needs a value").clone();
+        match a.as_str() {
+            "--config" => config = Some(PathBuf::from(val())),
+            "--node" => node = Some(val().parse().expect("node id")),
+            "--data" => data = Some(PathBuf::from(val())),
+            other => panic!("unexpected --replica-node argument {other:?}"),
+        }
+    }
+    let text = std::fs::read_to_string(config.expect("--config required")).expect("read map");
+    let map = ClusterMap::parse(&text).expect("parse map");
+    let handle = Node::start(NodeConfig::new(
+        node.expect("--node required"),
+        map,
+        data.expect("--data required"),
+    ))
+    .expect("start node");
+    println!("READY {}", handle.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// One replica-node child process; SIGKILLed on drop.
+struct ReplicaProc(std::process::Child);
+
+impl ReplicaProc {
+    fn spawn(config: &Path, id: u32, data: &Path) -> ReplicaProc {
+        use std::io::BufRead as _;
+        let exe = std::env::current_exe().expect("current exe");
+        let mut child = std::process::Command::new(exe)
+            .arg("--replica-node")
+            .arg("--config")
+            .arg(config)
+            .arg("--node")
+            .arg(id.to_string())
+            .arg("--data")
+            .arg(data)
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn replica node");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read READY line");
+        assert!(
+            line.starts_with("READY"),
+            "replica node {id} came up wrong: {line:?}"
+        );
+        ReplicaProc(child)
+    }
+
+    fn kill9(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+impl Drop for ReplicaProc {
+    fn drop(&mut self) {
+        self.kill9();
+    }
+}
+
+/// A 3-node single-partition map over freshly picked loopback ports:
+/// node 0 leads partition 0, node 1 follows, node 2 starts empty (the
+/// failover redundancy target / rebalance destination).
+fn replica_map(users: u64, seed: u64) -> ClusterMap {
+    let mut text = format!("users {users}\nseed {seed}\n");
+    for id in 0..3 {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("ephemeral bind");
+        text.push_str(&format!(
+            "node {id} {}\n",
+            l.local_addr().expect("local addr")
+        ));
+    }
+    text.push_str("partition 0 leader 0 follower 1\n");
+    ClusterMap::parse(&text).expect("valid map")
+}
+
+/// Deterministic candidate-rich stream for the kill -9 cell: rotating
+/// targets with many distinct actors each, one second apart.
+fn replica_events(n: usize, users: u64) -> Vec<EdgeEvent> {
+    (0..n)
+        .map(|i| {
+            let src = UserId(1 + ((i as u64 * 7) % (users - 1)));
+            let dst = UserId(1 + ((i as u64 / 24) % 32));
+            EdgeEvent::follow(src, dst, Timestamp::from_secs(i as u64))
+        })
+        .collect()
+}
+
+/// Fault-free reference for the replica cells: one in-memory engine
+/// over the same fixture graph, fed the same single-partition batches,
+/// so delivered candidates compare tag-for-tag.
+struct ReplicaTwin {
+    engine: Engine,
+    next_seq: u64,
+    per_tag: std::collections::HashMap<u64, Vec<Candidate>>,
+}
+
+impl ReplicaTwin {
+    fn new(map: &ClusterMap) -> ReplicaTwin {
+        let graph = magicrecs_replica::fixture_graph(map);
+        ReplicaTwin {
+            engine: Engine::new(graph, DetectorConfig::default()).expect("twin engine"),
+            next_seq: 0,
+            per_tag: std::collections::HashMap::new(),
+        }
+    }
+
+    fn ingest(&mut self, chunk: &[EdgeEvent]) {
+        let tag = self.next_seq;
+        self.next_seq += chunk.len() as u64;
+        let out = self.engine.on_events(chunk);
+        if !out.is_empty() {
+            self.per_tag.insert(tag, out);
+        }
+    }
+}
+
+/// Multiset containment: every candidate in `sub` occurs in `full`.
+fn candidate_subset(sub: &[Candidate], full: &[Candidate]) -> bool {
+    let mut pool: Vec<&Candidate> = full.iter().collect();
+    sub.iter().all(|c| match pool.iter().position(|p| *p == c) {
+        Some(i) => {
+            pool.swap_remove(i);
+            true
+        }
+        None => false,
+    })
+}
+
+/// kill -9 the partition leader mid-ingest — acked batches not yet
+/// shipped — promote the warm follower at its own durable sequence,
+/// point the spare node at the new leader for redundancy, and finish
+/// the stream. Delivered candidates must match the fault-free twin
+/// tag-for-tag (tags straddling the promotion watermark by the
+/// acked-tail contract, i.e. as subsets), and the promotion must be
+/// named in the node's flight-recorder dump and counted in a live
+/// metrics scrape.
+fn run_leader_kill9_cell(base_seed: u64, out_dir: &Path) -> CellResult {
+    const SCENARIO: &str = "leader_kill9_mid_ingest";
+    let seed = cell_seed(base_seed, SCENARIOS.len() + 4, 0);
+    let users = 700u64;
+    let map = replica_map(users, seed);
+    let tmp = TempDir::new("adversity-kill9");
+    let map_path = tmp.path().join("cluster.map");
+    std::fs::write(&map_path, map.render()).expect("write map");
+    let mut n0 = ReplicaProc::spawn(&map_path, 0, &tmp.path().join("n0"));
+    let _n1 = ReplicaProc::spawn(&map_path, 1, &tmp.path().join("n1"));
+    let _n2 = ReplicaProc::spawn(&map_path, 2, &tmp.path().join("n2"));
+
+    let mut coord = Coordinator::new(map.clone());
+    let mut client = RoutedClient::new(map.clone());
+    let mut twin = ReplicaTwin::new(&map);
+    let events = replica_events(3000, users);
+    let (before, after) = events.split_at(1200);
+    for chunk in before.chunks(40) {
+        client.ingest(chunk).expect("pre-kill ingest");
+        twin.ingest(chunk);
+    }
+    let unreleased = client.unreleased_tags(0);
+
+    n0.kill9();
+    let (epoch, promoted_at) = coord.promote(0, 1).expect("promote follower");
+    coord.start_follow(2, 0, 1).expect("restore redundancy");
+    for chunk in after.chunks(40) {
+        client.ingest(chunk).expect("post-kill ingest");
+        twin.ingest(chunk);
+    }
+    client
+        .drain(std::time::Duration::from_secs(30))
+        .expect("drain");
+
+    let mut green = true;
+    let mut notes = Vec::new();
+    green &= serving_check(
+        epoch == 1,
+        "promotion must advance the route epoch",
+        &mut notes,
+    );
+    green &= serving_check(
+        client.reroutes() > 0,
+        "the kill must force a client re-route",
+        &mut notes,
+    );
+    let st = coord.status(1, 0).expect("status of promoted node");
+    green &= serving_check(
+        st.leading && st.epoch == 1,
+        "node 1 must lead at epoch 1",
+        &mut notes,
+    );
+    green &= serving_check(
+        st.durable == client.staged(0),
+        "every staged event must be durable on the new leader",
+        &mut notes,
+    );
+    green &= serving_check(
+        !twin.per_tag.is_empty(),
+        "fixture must fire candidates (parity would be vacuous)",
+        &mut notes,
+    );
+    let mut parity = true;
+    for (tag, expect) in &twin.per_tag {
+        let got = client.delivered().get(&(0, *tag));
+        let straddles = unreleased.contains(tag) && *tag < promoted_at;
+        parity &= if straddles {
+            candidate_subset(got.map_or(&[][..], |v| v.as_slice()), expect)
+        } else {
+            got == Some(expect)
+        };
+    }
+    parity &= client
+        .delivered()
+        .keys()
+        .all(|(_, t)| twin.per_tag.contains_key(t));
+    green &= serving_check(
+        parity,
+        "post-failover candidate parity (modulo the acked tail)",
+        &mut notes,
+    );
+
+    // The promotion dump, written by the promoted node next to the
+    // data it describes, copied into the trajectory directory. Red
+    // unless it names the promotion — the crash-dump path is itself
+    // under test.
+    let dump = std::fs::read_to_string(tmp.path().join("n1").join("p0").join("promote-1.trace"))
+        .unwrap_or_default();
+    green &= serving_check(
+        dump.contains("promote") && dump.contains("a=0 b=1"),
+        "the flight-recorder dump must name the promotion",
+        &mut notes,
+    );
+    let trace_path = out_dir.join(format!("{SCENARIO}-none.trace"));
+    if let Err(e) = std::fs::write(&trace_path, &dump) {
+        notes.push(format!("FAIL: trace copy: {e}"));
+        green = false;
+    }
+
+    let scrape = coord.metrics(1).expect("metrics scrape");
+    let metric = |n: &str| scrape.iter().find(|(k, _)| k == n).map_or(0, |(_, v)| *v);
+    green &= serving_check(
+        metric("replica_promotions") >= 1,
+        "promotion counter must be live in the scrape",
+        &mut notes,
+    );
+    green &= serving_check(
+        metric("replica_tail_rounds") > 0,
+        "tail-round counter must be live in the scrape",
+        &mut notes,
+    );
+
+    let mut j = Json::default();
+    j.str("scenario", SCENARIO);
+    j.str("fault", "none");
+    j.raw("base_seed", base_seed);
+    j.raw("seed", seed);
+    j.raw("users", users);
+    j.raw("events", events.len());
+    j.raw("promoted_at", promoted_at);
+    j.raw("epoch", epoch);
+    j.raw("reroutes", client.reroutes());
+    j.raw("delivered_tags", client.delivered().len());
+    j.raw("promotions", metric("replica_promotions"));
+    serving_cell_result(SCENARIO, j, notes, green, out_dir)
+}
+
+/// Live partition rebalance under the flash-crowd trace: ship the
+/// partition from node 0 to node 2 (base checkpoint + delta chain +
+/// WAL tail) while the crowd keeps ingesting, flip the route under
+/// load, and require zero acked-event loss, exact candidate parity,
+/// the typed refusal on the fenced old leader, and a promotion dump on
+/// the new one.
+fn run_rebalance_flash_crowd_cell(base_seed: u64, out_dir: &Path) -> CellResult {
+    const SCENARIO: &str = "rebalance_under_flash_crowd";
+    let seed = cell_seed(base_seed, SCENARIOS.len() + 5, 0);
+    let spec = spec_for("flash_crowd", seed);
+    let trace = spec.build();
+    let events = trace.events();
+    let map = replica_map(spec.users, seed);
+    let tmp = TempDir::new("adversity-rebalance");
+    let map_path = tmp.path().join("cluster.map");
+    std::fs::write(&map_path, map.render()).expect("write map");
+    let _n0 = ReplicaProc::spawn(&map_path, 0, &tmp.path().join("n0"));
+    let _n1 = ReplicaProc::spawn(&map_path, 1, &tmp.path().join("n1"));
+    let _n2 = ReplicaProc::spawn(&map_path, 2, &tmp.path().join("n2"));
+
+    let mut client = RoutedClient::new(map.clone());
+    let mut twin = ReplicaTwin::new(&map);
+    let mover = std::thread::spawn({
+        let map = map.clone();
+        move || {
+            let mut coord = Coordinator::new(map);
+            // Let the crowd build before moving the partition under it.
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            coord.rebalance(0, 2, std::time::Duration::from_secs(60))
+        }
+    });
+
+    // Hammer batches while the move runs, holding back a post-flip
+    // reserve so some writes are guaranteed to land after the flip.
+    let reserve = 10usize;
+    let total_chunks = events.len().div_ceil(32);
+    let mut chunks = events.chunks(32);
+    let mut sent = 0usize;
+    while !mover.is_finished() {
+        if sent + reserve < total_chunks {
+            let chunk = chunks.next().expect("chunk stream");
+            client.ingest(chunk).expect("ingest under move");
+            twin.ingest(chunk);
+            sent += 1;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let epoch = mover.join().expect("mover thread").expect("rebalance");
+    let moved_at = sent;
+    for chunk in chunks {
+        client.ingest(chunk).expect("post-flip ingest");
+        twin.ingest(chunk);
+        sent += 1;
+    }
+    client
+        .drain(std::time::Duration::from_secs(30))
+        .expect("drain");
+
+    let mut green = true;
+    let mut notes = Vec::new();
+    let coord = Coordinator::new(map.clone());
+    green &= serving_check(
+        epoch == 1,
+        "the move must advance the route epoch",
+        &mut notes,
+    );
+    green &= serving_check(
+        client.unreleased_tags(0).is_empty(),
+        "the drain must release every acked batch",
+        &mut notes,
+    );
+    green &= serving_check(
+        client.staged(0) == events.len() as u64,
+        "every trace event must have been staged",
+        &mut notes,
+    );
+    let st = coord.status(2, 0).expect("status of new leader");
+    green &= serving_check(
+        st.leading && st.epoch == epoch,
+        "node 2 must lead at the new epoch",
+        &mut notes,
+    );
+    green &= serving_check(
+        st.durable == client.staged(0),
+        "zero acked-event loss across the flip",
+        &mut notes,
+    );
+    green &= serving_check(
+        client.reroutes() >= 1,
+        "the flip must have re-routed the client",
+        &mut notes,
+    );
+    green &= serving_check(
+        !twin.per_tag.is_empty(),
+        "fixture must fire candidates (parity would be vacuous)",
+        &mut notes,
+    );
+    let parity = twin
+        .per_tag
+        .iter()
+        .all(|(tag, expect)| client.delivered().get(&(0, *tag)) == Some(expect))
+        && client.delivered().len() == twin.per_tag.len();
+    green &= serving_check(
+        parity,
+        "exact candidate parity across the live move",
+        &mut notes,
+    );
+
+    let dump = std::fs::read_to_string(
+        tmp.path()
+            .join("n2")
+            .join("p0")
+            .join(format!("promote-{epoch}.trace")),
+    )
+    .unwrap_or_default();
+    green &= serving_check(
+        dump.contains("promote") && dump.contains(&format!("a=0 b={epoch}")),
+        "the flight-recorder dump must name the promotion",
+        &mut notes,
+    );
+    let trace_path = out_dir.join(format!("{SCENARIO}-none.trace"));
+    if let Err(e) = std::fs::write(&trace_path, &dump) {
+        notes.push(format!("FAIL: trace copy: {e}"));
+        green = false;
+    }
+
+    let metric = |scrape: &[(String, u64)], n: &str| {
+        scrape.iter().find(|(k, _)| k == n).map_or(0, |(_, v)| *v)
+    };
+    let s0 = coord.metrics(0).expect("old leader scrape");
+    green &= serving_check(
+        metric(&s0, "replica_refused_writes") >= 1,
+        "the fenced leader must have refused a write (typed)",
+        &mut notes,
+    );
+    let s2 = coord.metrics(2).expect("new leader scrape");
+    green &= serving_check(
+        metric(&s2, "replica_promotions") >= 1,
+        "promotion counter must be live in the scrape",
+        &mut notes,
+    );
+    green &= serving_check(
+        metric(&s2, "replica_bootstrap_files") >= 1,
+        "the move must have shipped state files",
+        &mut notes,
+    );
+
+    let mut j = Json::default();
+    j.str("scenario", SCENARIO);
+    j.str("fault", "none");
+    j.raw("base_seed", base_seed);
+    j.raw("seed", seed);
+    j.raw("users", spec.users);
+    j.raw("events", events.len());
+    j.raw("epoch", epoch);
+    j.raw("chunks_before_flip", moved_at);
+    j.raw("chunks_total", sent);
+    j.raw("reroutes", client.reroutes());
+    j.raw("delivered_tags", client.delivered().len());
+    j.raw("refused_writes", metric(&s0, "replica_refused_writes"));
+    j.raw("bootstrap_files", metric(&s2, "replica_bootstrap_files"));
+    serving_cell_result(SCENARIO, j, notes, green, out_dir)
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--replica-node") {
+        replica_node_mode(&args[1..]);
+    }
     let mut out_dir: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
-    let mut it = std::env::args().skip(1);
+    let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--metrics-out" => {
@@ -1337,6 +1806,33 @@ fn main() {
         }
     }
 
+    // The replication cells: a 3-process loopback replica cluster
+    // (this binary re-exec'd per node), kill -9 leader failover and a
+    // live partition rebalance under the flash crowd.
+    let replica = [
+        run_leader_kill9_cell(base_seed, &out_dir),
+        run_rebalance_flash_crowd_cell(base_seed, &out_dir),
+    ];
+    for r in replica {
+        println!(
+            "{}",
+            row(&[
+                r.scenario.to_string(),
+                r.fault.name().to_string(),
+                if r.green {
+                    "green".into()
+                } else {
+                    "RED".into()
+                },
+                r.json_path.display().to_string(),
+            ])
+        );
+        if !r.green {
+            all_green = false;
+            failures.push((format!("{}-{}", r.scenario, r.fault.name()), r.notes));
+        }
+    }
+
     // The process-wide telemetry the matrix accumulated: WAL append/
     // fsync/poison counters, checkpoint bytes, the batch-size sketch.
     if let Some(path) = &metrics_out {
@@ -1350,7 +1846,7 @@ fn main() {
     }
 
     if all_green {
-        println!("\nall {} cells green", SCENARIOS.len() * FAULTS.len() + 5);
+        println!("\nall {} cells green", SCENARIOS.len() * FAULTS.len() + 7);
     } else {
         println!("\nRED cells:");
         for (cell, notes) in &failures {

@@ -45,7 +45,7 @@ use magicrecs_core::ConcurrentEngine;
 use magicrecs_gen::{GraphGen, GraphGenConfig, Scenario, ScenarioConfig};
 use magicrecs_graph::FollowGraph;
 use magicrecs_server::{
-    connect_per_worker, wire, AdmissionConfig, Frame, Server, ServerConfig, WireStats,
+    connect_per_worker, wire, AdmissionConfig, Backoff, Frame, Server, ServerConfig, WireStats,
 };
 use magicrecs_types::{
     metrics::Histogram, route_mix, DetectorConfig, EdgeEvent, FxHashMap, Timestamp,
@@ -394,6 +394,170 @@ fn run_phase(
     }
 }
 
+/// Outcome of the resilient-retry phase.
+struct RetryReport {
+    sent: u64,
+    first_round_shed: u64,
+    rounds: u64,
+    max_hint_us: u64,
+    wall: Duration,
+    stats: WireStats,
+}
+
+/// Phase 3: the same 2× overload, but with a client that *consumes* the
+/// typed `Shed{RateLimited}` hints instead of merely recording them —
+/// after each round it re-sends only the still-refused batches (keyed
+/// by the first event's sequence, so a retry replays the identical
+/// batch and the whole-batch shed contract makes double-ingest
+/// impossible), sleeping an exponential backoff with jitter floored at
+/// the server's largest retry-after hint. Runs until every batch is
+/// admitted; exactly-once is then asserted from the server's own
+/// counters (`accepted == sent`).
+fn run_resilient_retry(
+    graph: &FollowGraph,
+    config: DetectorConfig,
+    events: &[EdgeEvent],
+    workers: usize,
+    per_conn_rate: f64,
+    batch: usize,
+) -> RetryReport {
+    let engine = Arc::new(ConcurrentEngine::new(graph.clone(), config).expect("engine"));
+    let server = Server::start(
+        engine,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers,
+            admission: AdmissionConfig::rate_limited(per_conn_rate),
+            pin_cores: true,
+            checkpoint_hook: None,
+        },
+    )
+    .expect("server start");
+    let addr = server.addr();
+    let conns = connect_per_worker(addr).expect("connect");
+    let n = conns.len();
+
+    // A batch can only ever be admitted if it fits the bucket's burst
+    // allowance (floor 256); larger batches would retry forever.
+    let batch = batch.min(256);
+
+    // Route per worker, tagging each batch with its first event's
+    // worker-local sequence — the resend key.
+    let mut batches: Vec<Vec<(u64, Vec<EdgeEvent>)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut staged: Vec<Vec<EdgeEvent>> = vec![Vec::new(); n];
+    let mut next_seq = vec![0u64; n];
+    let flush = |w: usize,
+                 staged: &mut Vec<Vec<EdgeEvent>>,
+                 next_seq: &mut Vec<u64>,
+                 batches: &mut Vec<Vec<(u64, Vec<EdgeEvent>)>>| {
+        let evs = std::mem::take(&mut staged[w]);
+        if !evs.is_empty() {
+            let seq = next_seq[w];
+            next_seq[w] += evs.len() as u64;
+            batches[w].push((seq, evs));
+        }
+    };
+    for e in events {
+        let w = (route_mix(&e.dst) % n as u64) as usize;
+        staged[w].push(*e);
+        if staged[w].len() >= batch {
+            flush(w, &mut staged, &mut next_seq, &mut batches);
+        }
+    }
+    for w in 0..n {
+        flush(w, &mut staged, &mut next_seq, &mut batches);
+    }
+
+    let started = Instant::now();
+    let mut joins = Vec::new();
+    for (wi, (mut conn, worker_batches)) in conns.into_iter().zip(batches).enumerate() {
+        joins.push(std::thread::spawn(move || {
+            let mut backoff = Backoff::new(
+                Duration::from_micros(200),
+                Duration::from_millis(200),
+                0xD1A1 ^ wi as u64,
+            );
+            let mut pending = worker_batches;
+            let mut first_round_shed = 0u64;
+            let mut rounds = 0u64;
+            let mut max_hint_us = 0u64;
+            while !pending.is_empty() {
+                rounds += 1;
+                assert!(rounds <= 10_000, "retry phase not converging");
+                for (tag, evs) in &pending {
+                    conn.send(&Frame::Ingest {
+                        tag: *tag,
+                        events: evs.clone(),
+                    })
+                    .expect("ingest");
+                }
+                let before = conn.barrier(u64::MAX).expect("barrier");
+                let mut shed_tags = Vec::new();
+                let mut round_hint = 0u64;
+                for f in before {
+                    match f {
+                        Frame::Shed {
+                            tag,
+                            code,
+                            retry_after_us,
+                        } => {
+                            assert_eq!(
+                                code,
+                                magicrecs_server::ShedCode::RateLimited,
+                                "bucket overload must shed RateLimited"
+                            );
+                            shed_tags.push(tag);
+                            round_hint = round_hint.max(retry_after_us);
+                        }
+                        Frame::Deliver { .. } => {}
+                        other => panic!("unexpected frame in retry phase: {other:?}"),
+                    }
+                }
+                max_hint_us = max_hint_us.max(round_hint);
+                if rounds == 1 {
+                    first_round_shed = shed_tags.len() as u64;
+                }
+                // Keep only the refused batches, in seq order; the rest
+                // are admitted exactly once and never re-sent.
+                pending.retain(|(tag, _)| shed_tags.contains(tag));
+                if !pending.is_empty() {
+                    std::thread::sleep(backoff.next_delay(round_hint));
+                } else {
+                    backoff.reset();
+                }
+            }
+            (first_round_shed, rounds, max_hint_us)
+        }));
+    }
+    let mut first_round_shed = 0u64;
+    let mut rounds = 0u64;
+    let mut max_hint_us = 0u64;
+    for j in joins {
+        let (s, r, h) = j.join().expect("retry worker");
+        first_round_shed += s;
+        rounds = rounds.max(r);
+        max_hint_us = max_hint_us.max(h);
+    }
+    let wall = started.elapsed();
+
+    let mut control = magicrecs_server::ClientConn::connect(addr, None).expect("control conn");
+    control.send(&Frame::StatsReq).expect("stats req");
+    let stats = match control.recv().expect("stats resp") {
+        Frame::StatsResp(s) => s,
+        other => panic!("expected StatsResp, got {other:?}"),
+    };
+    server.shutdown();
+
+    RetryReport {
+        sent: events.len() as u64,
+        first_round_shed,
+        rounds,
+        max_hint_us,
+        wall,
+        stats,
+    }
+}
+
 /// Prints the per-stage latency decomposition from a phase's registry
 /// scrape: where an admitted batch's time went (admission gates, WAL,
 /// detection, delivery fan-out) against the server's own end-to-end
@@ -604,6 +768,42 @@ fn main() {
         Some(report)
     };
 
+    // ---- phase 3: overload with a resilient client ---------------------
+    let retry = if args.no_overload {
+        None
+    } else {
+        let per_conn_rate = (sat.events_per_sec() / (2.0 * workers as f64)).max(1.0);
+        let report =
+            run_resilient_retry(&graph, config, events, workers, per_conn_rate, args.batch);
+        println!(
+            "  retry(2x, hint-honoring): {} rounds, {} first-round sheds, max hint {}µs, \
+             all {} events admitted in {:.2}s",
+            report.rounds,
+            report.first_round_shed,
+            report.max_hint_us,
+            report.sent,
+            report.wall.as_secs_f64(),
+        );
+        assert!(
+            report.first_round_shed > 0,
+            "2x overload must shed on the first round — retry phase tested nothing"
+        );
+        assert!(report.rounds > 1, "sheds imply at least one retry round");
+        assert!(
+            report.max_hint_us > 0,
+            "shed responses must carry a retry-after hint"
+        );
+        // The exactly-once assertion: despite every shed batch being
+        // re-sent (some several times), the server admitted each event
+        // exactly once — whole-batch sheds + seq-keyed resends cannot
+        // double-ingest.
+        assert_eq!(
+            report.stats.accepted, report.sent,
+            "retried events must be admitted exactly once"
+        );
+        Some(report)
+    };
+
     if let Some(path) = &args.metrics_out {
         let mut scrape = Json::new();
         for (name, value) in &sat.metrics {
@@ -652,6 +852,10 @@ fn main() {
             Val::Raw(format!("{:.3}", o.shed_rate())),
         );
         json.int("serving_overload_max_retry_hint_us", o.max_retry_hint_us);
+    }
+    if let Some(r) = &retry {
+        json.int("serving_retry_rounds", r.rounds);
+        json.num("serving_retry_wall_s", r.wall.as_secs_f64());
     }
     json.int(
         "serving_queue_high_watermark",

@@ -22,6 +22,9 @@
 //!   partition outputs must equal a single-node engine's output).
 //! * [`replica::ReplicaSet`] — replication with round-robin detection
 //!   routing and failure injection.
+//! * [`route::RouteTable`] / [`route::EpochGate`] — movable partition
+//!   ownership with routing epochs; stale writes racing a partition move
+//!   are refused typed, never silently applied.
 //! * [`threaded::ThreadedCluster`] — real-thread deployment (one thread per
 //!   partition over crossbeam channels) for the scaling experiments.
 //! * [`threaded::SharedEngineCluster`] — the shared-state alternative: N
@@ -35,11 +38,13 @@
 pub mod broker;
 pub mod partition;
 pub mod replica;
+pub mod route;
 pub mod threaded;
 
 pub use broker::Broker;
 pub use partition::Partition;
 pub use replica::ReplicaSet;
+pub use route::{EpochGate, RouteDecision, RouteTable};
 pub use threaded::{
     IngestControl, PersistentRunReport, SharedEngineCluster, ThreadedCluster, DEFAULT_MAX_BATCH,
 };

@@ -41,6 +41,15 @@ pub enum TraceKind {
     CkptFenceExit,
     /// A process/worker kill hook ran; `a` = kill target id.
     Kill,
+    /// A replica was promoted to (or demoted from) partition leadership;
+    /// `a` = partition id, `b` = the new routing epoch.
+    Promote,
+    /// A replication ship stream gapped (lost middle segment / reclaimed
+    /// past the follower); `a` = expected sequence, `b` = delivered.
+    ReplicaGap,
+    /// An ingest was refused because the routing epoch moved on; `a` =
+    /// partition id, `b` = the refusing node's current epoch.
+    RefusedWrite,
     /// The panic hook fired; `label` is the panic message (static part).
     Panic,
     /// Anything else; meaning is carried entirely by `label`/`a`/`b`.
@@ -58,6 +67,9 @@ impl TraceKind {
             TraceKind::CkptFenceEnter => "ckpt_fence_enter",
             TraceKind::CkptFenceExit => "ckpt_fence_exit",
             TraceKind::Kill => "kill",
+            TraceKind::Promote => "promote",
+            TraceKind::ReplicaGap => "replica_gap",
+            TraceKind::RefusedWrite => "refused_write",
             TraceKind::Panic => "panic",
             TraceKind::Custom => "custom",
         }

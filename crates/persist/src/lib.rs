@@ -141,6 +141,7 @@ pub mod crc;
 mod fsutil;
 mod metrics;
 pub mod recovery;
+pub mod replica;
 pub mod snapshot;
 pub mod tempdir;
 pub mod vfs;
@@ -153,7 +154,8 @@ pub use checkpoint::{
 pub use recovery::{
     CheckpointDriver, PersistOptions, PersistentConcurrentEngine, PersistentEngine, RecoveryReport,
 };
+pub use replica::{segment_catalog, segment_containing, ShipDecoder, ShippableSegment};
 pub use snapshot::{RebasePolicy, SnapshotStore};
 pub use tempdir::TempDir;
 pub use vfs::{std_vfs, FaultMode, FaultOp, FaultPlan, FaultSpec, FaultVfs, StdVfs, Vfs, VfsFile};
-pub use wal::{FsyncPolicy, RecordBoundary, ReplayStats, SharedWal, Wal, WalOptions};
+pub use wal::{FsyncPolicy, RecordBoundary, ReplayStats, SharedWal, Wal, WalOptions, WalRecord};

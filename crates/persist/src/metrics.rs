@@ -73,3 +73,30 @@ pub(crate) fn ckpt() -> &'static CkptMetrics {
         }
     })
 }
+
+/// Replication-shipping handles: the byte/record volume a follower has
+/// pulled, duplicates its decoder absorbed on resends, and the gap
+/// refusals that mark an unrecoverable ship stream.
+pub(crate) struct ReplicaMetrics {
+    /// Raw segment bytes fed through [`crate::replica::ShipDecoder`]s.
+    pub ship_bytes: obs::Counter,
+    /// Records the decoders delivered exactly once.
+    pub ship_records: obs::Counter,
+    /// Records skipped as duplicate resends (reconnect replays).
+    pub dup_skipped: obs::Counter,
+    /// Typed [`magicrecs_types::Error::ReplicaGap`] refusals.
+    pub gaps: obs::Counter,
+}
+
+pub(crate) fn replica() -> &'static ReplicaMetrics {
+    static M: OnceLock<ReplicaMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = obs::global();
+        ReplicaMetrics {
+            ship_bytes: r.counter("replica_ship_bytes"),
+            ship_records: r.counter("replica_ship_records"),
+            dup_skipped: r.counter("replica_ship_dup_skipped"),
+            gaps: r.counter("replica_gaps"),
+        }
+    })
+}

@@ -54,12 +54,12 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-const MAGIC: &[u8; 4] = b"MGWL";
-const VERSION: u32 = 1;
-const HEADER_LEN: u64 = 16;
+pub(crate) const MAGIC: &[u8; 4] = b"MGWL";
+pub(crate) const VERSION: u32 = 1;
+pub(crate) const HEADER_LEN: u64 = 16;
 /// Sanity bound on a record's payload (real records are ~30 bytes); a
 /// bigger length field is torn/corrupt framing, not a huge record.
-const MAX_RECORD_LEN: u32 = 1 << 16;
+pub(crate) const MAX_RECORD_LEN: u32 = 1 << 16;
 
 /// When appended records are pushed to durable storage.
 ///
@@ -166,7 +166,7 @@ fn encode_frame(buf: &mut Vec<u8>, seq: u64, event: EdgeEvent) {
     buf[base + 4..base + 8].copy_from_slice(&crc.to_le_bytes());
 }
 
-fn decode_payload(mut payload: &[u8]) -> Option<WalRecord> {
+pub(crate) fn decode_payload(mut payload: &[u8]) -> Option<WalRecord> {
     let r = &mut payload;
     let seq = read_varint(r).ok()?;
     let mut k = [0u8; 1];
@@ -311,7 +311,7 @@ fn scan_segment(path: &Path, mut on_record: impl FnMut(WalRecord, u64)) -> Resul
 /// the exact segment-name shape — `<prefix><20 digits>.wal` — so the
 /// sequential prefix `wal-` does not swallow a `SharedWal`'s `wal-p3-`
 /// partition files living in the same directory.
-fn list_segments(dir: &Path, prefix: &str) -> Result<Vec<PathBuf>> {
+pub(crate) fn list_segments(dir: &Path, prefix: &str) -> Result<Vec<PathBuf>> {
     let mut out = Vec::new();
     let entries = std::fs::read_dir(dir).map_err(|e| io_err("wal dir", e))?;
     for entry in entries {

@@ -1,0 +1,113 @@
+//! Shared fixtures for the replication integration tests: free-port
+//! cluster maps, a deterministic candidate-rich event stream, and a
+//! fault-free twin that mirrors the routed client's batching exactly.
+
+// Each test binary compiles its own copy of this module and none uses
+// every helper, so per-binary dead-code analysis is meaningless here.
+#![allow(dead_code)]
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+
+use magicrecs_cluster::RouteTable;
+use magicrecs_core::Engine;
+use magicrecs_replica::{fixture_graph, ClusterMap};
+use magicrecs_types::{Candidate, DetectorConfig, EdgeEvent, Timestamp, UserId};
+
+/// Grabs a free loopback port by binding ephemeral and letting go.
+/// (The tiny reuse race is acceptable for loopback tests.)
+pub fn free_addr() -> SocketAddr {
+    let l = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    l.local_addr().expect("local addr")
+}
+
+/// A cluster map over `n` freshly picked loopback ports, with the
+/// given `partition -> (leader, follower)` placement.
+pub fn map_with(users: u64, seed: u64, n: u32, placement: &[(u32, u32)]) -> ClusterMap {
+    let mut text = format!("users {users}\nseed {seed}\n");
+    for id in 0..n {
+        text.push_str(&format!("node {id} {}\n", free_addr()));
+    }
+    for (p, &(leader, follower)) in placement.iter().enumerate() {
+        text.push_str(&format!(
+            "partition {p} leader {leader} follower {follower}\n"
+        ));
+    }
+    ClusterMap::parse(&text).expect("valid map")
+}
+
+/// A deterministic stream dense enough to fire the k=3 diamond
+/// detector: rotating targets, many distinct actors per target, one
+/// second apart (well inside the 10-minute window).
+pub fn make_events(n: usize, users: u64) -> Vec<EdgeEvent> {
+    (0..n)
+        .map(|i| {
+            let src = UserId(1 + ((i as u64 * 7) % (users - 1)));
+            let dst = UserId(1 + ((i as u64 / 24) % 32));
+            EdgeEvent::follow(src, dst, Timestamp::from_secs(i as u64))
+        })
+        .collect()
+}
+
+/// Fault-free reference: one plain in-memory engine per partition,
+/// fed the *same* per-partition batches the routed client stages, so
+/// candidates can be compared tag-for-tag.
+pub struct Twin {
+    table: RouteTable,
+    engines: Vec<Engine>,
+    next_seq: Vec<u64>,
+    /// `(partition, batch tag) -> candidates` (only non-empty batches).
+    pub per_tag: HashMap<(u32, u64), Vec<Candidate>>,
+}
+
+impl Twin {
+    pub fn new(map: &ClusterMap) -> Twin {
+        let graph = fixture_graph(map);
+        let table = map.route_table();
+        let engines = (0..table.partitions())
+            .map(|_| Engine::new(graph.clone(), DetectorConfig::default()).expect("twin engine"))
+            .collect();
+        let parts = table.partitions();
+        Twin {
+            table,
+            engines,
+            next_seq: vec![0; parts],
+            per_tag: HashMap::new(),
+        }
+    }
+
+    /// Mirrors `RoutedClient::ingest`'s routing and tagging.
+    pub fn ingest(&mut self, events: &[EdgeEvent]) {
+        let parts = self.table.partitions();
+        let mut groups: Vec<Vec<EdgeEvent>> = vec![Vec::new(); parts];
+        for e in events {
+            groups[self.table.partition_of(&e.dst) as usize].push(*e);
+        }
+        for (p, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let tag = self.next_seq[p];
+            self.next_seq[p] += group.len() as u64;
+            let candidates = self.engines[p].on_events(&group);
+            if !candidates.is_empty() {
+                self.per_tag.insert((p as u32, tag), candidates);
+            }
+        }
+    }
+}
+
+/// `true` when every candidate in `sub` occurs in `full` (multiset
+/// containment; order-insensitive).
+pub fn candidate_subset(sub: &[Candidate], full: &[Candidate]) -> bool {
+    let mut pool: Vec<&Candidate> = full.iter().collect();
+    for c in sub {
+        match pool.iter().position(|p| *p == c) {
+            Some(i) => {
+                pool.swap_remove(i);
+            }
+            None => return false,
+        }
+    }
+    true
+}

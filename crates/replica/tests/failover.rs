@@ -1,0 +1,183 @@
+//! The kill -9 failover test: a 3-process loopback cluster, the
+//! partition-0 leader SIGKILLed mid-ingest (acked batches still
+//! unshipped), the warm follower promoted at its durable sequence, and
+//! the client re-routing and re-sending its unreleased tail. Asserts:
+//!
+//! * post-failover candidate parity with a fault-free twin, tag for
+//!   tag, modulo the acked-tail contract (the one batch that can
+//!   straddle the promotion watermark is checked as a subset);
+//! * the promotion is named in a `.trace` flight-recorder dump written
+//!   by the promoted node;
+//! * the replication counters are non-zero in a live metrics scrape;
+//! * the untouched partition rides through undisturbed.
+
+mod common;
+
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use common::{candidate_subset, make_events, map_with, Twin};
+use magicrecs_persist::TempDir;
+use magicrecs_replica::{ClusterMap, Coordinator, RoutedClient};
+
+struct NodeProc(Child);
+
+impl Drop for NodeProc {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn spawn_node(config: &Path, id: u32, data: &Path) -> NodeProc {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_replica_node"))
+        .arg("--config")
+        .arg(config)
+        .arg("--node")
+        .arg(id.to_string())
+        .arg("--data")
+        .arg(data)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn replica_node");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read READY line");
+    assert!(
+        line.starts_with("READY"),
+        "node {id} came up wrong: {line:?}"
+    );
+    NodeProc(child)
+}
+
+fn write_map(tmp: &TempDir, map: &ClusterMap) -> std::path::PathBuf {
+    let path = tmp.path().join("cluster.map");
+    std::fs::write(&path, map.render()).expect("write map");
+    path
+}
+
+#[test]
+fn kill9_leader_mid_ingest_promotes_follower_with_parity() {
+    // partition 0: node0 -> node1 (the one we kill); partition 1:
+    // node2 -> node1 (the control partition).
+    let map = map_with(700, 0xFA11, 3, &[(0, 1), (2, 1)]);
+    let tmp = TempDir::new("failover-kill9");
+    let map_path = write_map(&tmp, &map);
+    let n0 = spawn_node(&map_path, 0, &tmp.path().join("n0"));
+    let _n1 = spawn_node(&map_path, 1, &tmp.path().join("n1"));
+    let _n2 = spawn_node(&map_path, 2, &tmp.path().join("n2"));
+
+    let mut coord = Coordinator::new(map.clone());
+    let mut client = RoutedClient::new(map.clone());
+    let mut twin = Twin::new(&map);
+    let events = make_events(4000, map.users);
+    let (before, after) = events.split_at(1600);
+
+    // Phase 1: ingest without draining, so acked-but-unreplicated
+    // batches exist when the leader dies.
+    for chunk in before.chunks(40) {
+        client.ingest(chunk).unwrap();
+        twin.ingest(chunk);
+    }
+    let unreleased_at_kill = client.unreleased_tags(0);
+
+    // kill -9, then promote the follower at its own durable sequence.
+    drop(n0);
+    let (epoch, promoted_at) = coord.promote(0, 1).unwrap();
+    assert_eq!(epoch, 1);
+    assert!(
+        promoted_at <= client.staged(0),
+        "promotion cannot exceed what was sent"
+    );
+    // Restore redundancy: node 2 bootstraps partition 0 from the new
+    // leader (releases need a follower's progress reports to advance
+    // the replicated watermark).
+    coord.start_follow(2, 0, 1).unwrap();
+
+    // Phase 2: the client discovers the dead leader, re-routes on the
+    // typed WrongLeader hint, re-sends its unreleased tail, resumes.
+    for chunk in after.chunks(40) {
+        client.ingest(chunk).unwrap();
+        twin.ingest(chunk);
+    }
+    client.drain(Duration::from_secs(20)).unwrap();
+    assert!(
+        client.reroutes() > 0,
+        "failover must have forced a re-route"
+    );
+
+    // The promoted node now leads at epoch 1 with every event applied.
+    let st = coord.status(1, 0).unwrap();
+    assert!(st.leading);
+    assert_eq!(st.epoch, 1);
+    assert_eq!(st.durable, client.staged(0));
+    // The control partition never noticed.
+    let st1 = coord.status(2, 1).unwrap();
+    assert!(st1.leading && st1.epoch == 0);
+    assert_eq!(st1.durable, client.staged(1));
+
+    // Candidate parity vs the fault-free twin. Batches that straddled
+    // the promotion watermark may re-deliver only their fresh suffix
+    // (the acked-tail contract), so they are checked as subsets; every
+    // other tag must match exactly.
+    assert!(!twin.per_tag.is_empty(), "fixture must fire candidates");
+    let empty: Vec<magicrecs_types::Candidate> = Vec::new();
+    for (key, expect) in &twin.per_tag {
+        let got = client.delivered().get(key);
+        let straddles = key.0 == 0 && unreleased_at_kill.contains(&key.1) && key.1 < promoted_at;
+        if straddles {
+            assert!(
+                candidate_subset(got.unwrap_or(&empty), expect),
+                "straddling tag {key:?} delivered candidates outside the twin's"
+            );
+        } else {
+            assert_eq!(got, Some(expect), "tag {key:?}");
+        }
+    }
+    for key in client.delivered().keys() {
+        assert!(
+            twin.per_tag.contains_key(key),
+            "spurious delivery for tag {key:?}"
+        );
+    }
+
+    // The promotion left its name in a flight-recorder dump next to
+    // the data it describes.
+    let dump_path = tmp.path().join("n1").join("p0").join("promote-1.trace");
+    let dump = std::fs::read_to_string(&dump_path)
+        .unwrap_or_else(|e| panic!("missing promotion trace {}: {e}", dump_path.display()));
+    assert!(
+        dump.contains("promote"),
+        "dump must name the promotion:\n{dump}"
+    );
+    assert!(
+        dump.contains("a=0 b=1"),
+        "dump must carry partition 0 / epoch 1:\n{dump}"
+    );
+
+    // And the counters are live in a wire scrape of the survivor.
+    let scrape = coord.metrics(1).unwrap();
+    let get = |n: &str| {
+        scrape
+            .iter()
+            .find(|(k, _)| k == n)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    assert!(
+        get("replica_promotions") >= 1,
+        "promotions counter must be non-zero"
+    );
+    assert!(
+        get("replica_tail_rounds") > 0,
+        "tail rounds counter must be non-zero"
+    );
+    assert!(
+        get("replica_ingest_batches") > 0,
+        "post-failover ingest must be counted"
+    );
+}

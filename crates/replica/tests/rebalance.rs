@@ -1,0 +1,127 @@
+//! Live partition rebalance under a flash crowd: a writer thread
+//! hammers the routed client while the coordinator ships partition 0
+//! from node 0 to node 2 (base checkpoint + MGCI chain + WAL tail),
+//! fences the old leader, and flips the route. Asserts zero acked
+//! event loss, tag-for-tag candidate parity with a fault-free twin,
+//! the typed refusal on the fenced leader, and the promotion trace on
+//! the new leader.
+
+mod common;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use common::{make_events, map_with, Twin};
+use magicrecs_persist::TempDir;
+use magicrecs_replica::{Coordinator, Node, NodeConfig, RoutedClient};
+
+#[test]
+fn rebalance_under_flash_crowd_loses_no_acked_events() {
+    let map = map_with(600, 0xB417, 3, &[(0, 1)]);
+    let tmp = TempDir::new("rebalance-flash");
+    let n0 = Node::start(NodeConfig::new(0, map.clone(), tmp.path().join("n0"))).unwrap();
+    let n1 = Node::start(NodeConfig::new(1, map.clone(), tmp.path().join("n1"))).unwrap();
+    let n2 = Node::start(NodeConfig::new(2, map.clone(), tmp.path().join("n2"))).unwrap();
+
+    // The flash crowd: batches of 32 at full tilt until told to stop,
+    // then a guaranteed post-flip burst, then a full drain.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer_stop = Arc::clone(&stop);
+    let writer_map = map.clone();
+    let writer = std::thread::spawn(move || {
+        let events = make_events(200_000, writer_map.users);
+        let mut client = RoutedClient::new(writer_map);
+        let mut chunks = events.chunks(32);
+        let mut batches = 0usize;
+        while !writer_stop.load(Ordering::Relaxed) {
+            let chunk = chunks
+                .next()
+                .expect("stream exhausted before the move finished");
+            client.ingest(chunk).unwrap();
+            batches += 1;
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for _ in 0..10 {
+            let chunk = chunks.next().expect("stream exhausted in post-flip burst");
+            client.ingest(chunk).unwrap();
+            batches += 1;
+        }
+        client.drain(Duration::from_secs(30)).unwrap();
+        (client, batches)
+    });
+
+    // Let the crowd build, then move the partition out from under it.
+    std::thread::sleep(Duration::from_millis(50));
+    let mut coord = Coordinator::new(map.clone());
+    let epoch = coord.rebalance(0, 2, Duration::from_secs(60)).unwrap();
+    assert_eq!(epoch, 1);
+    stop.store(true, Ordering::Relaxed);
+    let (client, batches) = writer.join().unwrap();
+
+    // Zero acked loss: everything the client staged (all of it acked
+    // and released by the drain) is durable on the new leader.
+    let sent = client.staged(0);
+    assert_eq!(sent, 32 * batches as u64);
+    assert!(
+        client.unreleased_tags(0).is_empty(),
+        "drain must release every batch"
+    );
+    let st = coord.status(2, 0).unwrap();
+    assert!(st.leading, "node 2 must lead after the move");
+    assert_eq!(st.epoch, epoch);
+    assert_eq!(st.durable, sent, "acked events lost in the move");
+    assert!(
+        client.reroutes() >= 1,
+        "the flip must have re-routed the client"
+    );
+
+    // Candidate parity with a fault-free twin over the same batches —
+    // no crash happened, so every tag must match exactly.
+    let mut twin = Twin::new(&map);
+    let events = make_events(200_000, map.users);
+    for chunk in events.chunks(32).take(batches) {
+        twin.ingest(chunk);
+    }
+    assert!(!twin.per_tag.is_empty(), "fixture must fire candidates");
+    assert_eq!(client.delivered().len(), twin.per_tag.len());
+    for (key, expect) in &twin.per_tag {
+        assert_eq!(client.delivered().get(key), Some(expect), "tag {key:?}");
+    }
+
+    // The fenced leader refused post-demotion writes with the typed
+    // WrongLeader, the new leader counted its promotion and bootstrap,
+    // and the promotion trace dump is on the new leader's disk.
+    let get = |scrape: &[(String, u64)], n: &str| {
+        scrape
+            .iter()
+            .find(|(k, _)| k == n)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    let s0 = coord.metrics(0).unwrap();
+    assert!(
+        get(&s0, "replica_refused_writes") >= 1,
+        "fence must have refused a write"
+    );
+    let s2 = coord.metrics(2).unwrap();
+    assert!(get(&s2, "replica_promotions") >= 1);
+    assert!(
+        get(&s2, "replica_bootstrap_files") >= 1,
+        "the move must ship state files"
+    );
+    let trace = tmp
+        .path()
+        .join("n2")
+        .join("p0")
+        .join(format!("promote-{epoch}.trace"));
+    assert!(
+        trace.exists(),
+        "missing promotion trace {}",
+        trace.display()
+    );
+
+    n0.shutdown();
+    n1.shutdown();
+    n2.shutdown();
+}

@@ -56,6 +56,28 @@
 //! | 13   | `BarrierAck`   | S → C     | tag |
 //! | 14   | `MetricsReq`   | C → S     | — |
 //! | 15   | `MetricsResp`  | S → C     | payload version byte, entry count, entries (name length, name bytes, value) |
+//! | 16   | `IngestAck`    | S → C     | partition, tag, durable watermark, replicated watermark |
+//! | 17   | `RouteBind`    | C → S     | partition, routing epoch |
+//! | 18   | `WrongLeader`  | S → C     | partition, current epoch, owner hint |
+//! | 19   | `SegmentsReq`  | F → L     | partition, from-seq (doubles as replicated watermark) |
+//! | 20   | `SegmentsResp` | L → F     | partition, entry count, entries (first seq, byte length) |
+//! | 21   | `SegmentFetch` | F → L     | partition, first seq, offset, max length |
+//! | 22   | `SegmentChunk` | L → F     | partition, first seq, offset, byte length, bytes |
+//! | 23   | `RoleChange`   | K → S     | partition, epoch, leader byte, owner hint |
+//! | 24   | `RoleChangeAck`| S → K     | partition, epoch, durable watermark |
+//! | 25   | `StateListReq` | F → L     | partition |
+//! | 26   | `StateListResp`| L → F     | partition, entry count, entries (name length, name bytes, byte length) |
+//! | 27   | `StateFetch`   | F → L     | partition, name length, name bytes, offset, max length |
+//! | 28   | `StateChunk`   | L → F     | partition, name length, name bytes, offset, byte length, bytes |
+//! | 29   | `FollowReq`    | K → S     | partition, source-address length, bytes |
+//! | 30   | `StatusReq`    | K → S     | partition |
+//! | 31   | `StatusResp`   | S → K     | partition, leading byte, epoch, durable, applied, replicated |
+//!
+//! Types 16–31 are the replication plane (`L` = partition leader, `F` =
+//! warm follower, `K` = coordinator), served by replica nodes; this
+//! crate's single-node [`server::Server`] answers the request-direction
+//! ones with a typed `Unsupported` error. Watermarks are next-sequence
+//! values throughout (see [`wire::ReplStatus`]).
 //!
 //! `StatsResp` is **frozen as v0** (its decoder reads a fixed count of
 //! fields); all new telemetry rides `MetricsResp`, whose entries are a
@@ -98,11 +120,13 @@
 
 pub mod admission;
 pub mod client;
+pub mod resilient;
 pub mod server;
 pub mod sys;
 pub mod wire;
 
 pub use admission::AdmissionConfig;
 pub use client::{connect_per_worker, ClientConn};
+pub use resilient::{Backoff, PendingBatch, ResilientConn, SeqLedger};
 pub use server::{CheckpointHook, Server, ServerConfig};
-pub use wire::{Frame, ShedCode, WireErrorCode, WireStats};
+pub use wire::{Frame, ReplStatus, ShedCode, WireErrorCode, WireStats};

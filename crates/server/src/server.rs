@@ -708,6 +708,27 @@ impl Worker {
                 let conn = conns[idx].as_mut().expect("slot");
                 self.enqueue(conn, &reply);
             }
+            // Replication control frames belong to replica nodes; this
+            // single-node tier answers them typed (the peer may be a
+            // probing coordinator) and keeps the connection alive.
+            Frame::RouteBind { .. }
+            | Frame::SegmentsReq { .. }
+            | Frame::SegmentFetch { .. }
+            | Frame::RoleChange { .. }
+            | Frame::StateListReq { .. }
+            | Frame::StateFetch { .. }
+            | Frame::FollowReq { .. }
+            | Frame::StatusReq { .. } => {
+                self.counters.frames_control.incr();
+                let conn = conns[idx].as_mut().expect("slot");
+                self.enqueue(
+                    conn,
+                    &Frame::Error {
+                        code: WireErrorCode::Unsupported,
+                        detail: "replication frames require a replica node".into(),
+                    },
+                );
+            }
             // Server-to-client frames arriving here mean a confused
             // peer; refuse and close.
             Frame::Hello { .. }
@@ -718,7 +739,15 @@ impl Worker {
             | Frame::MetricsResp { .. }
             | Frame::OkAck
             | Frame::BarrierAck { .. }
-            | Frame::Error { .. } => {
+            | Frame::Error { .. }
+            | Frame::IngestAck { .. }
+            | Frame::WrongLeader { .. }
+            | Frame::SegmentsResp { .. }
+            | Frame::SegmentChunk { .. }
+            | Frame::RoleChangeAck { .. }
+            | Frame::StateListResp { .. }
+            | Frame::StateChunk { .. }
+            | Frame::StatusResp(_) => {
                 let conn = conns[idx].as_mut().expect("slot");
                 self.enqueue(
                     conn,

@@ -107,6 +107,35 @@ impl WireErrorCode {
     }
 }
 
+/// Largest `bytes` payload a [`Frame::SegmentChunk`] / [`Frame::StateChunk`]
+/// sender may pack (512 KiB) — keeps every chunk frame comfortably under
+/// [`MAX_FRAME_LEN`] with headroom for the header varints.
+pub const MAX_CHUNK_LEN: usize = 1 << 19;
+
+/// Replication status snapshot carried by [`Frame::StatusResp`].
+///
+/// Watermarks are **next-sequence** values, not last-sequence: `durable`
+/// is the first sequence *not yet* durable in the node's local WAL (so a
+/// fresh partition reports 0 and a partition holding seqs `0..=41`
+/// reports 42). This sidesteps the "is 0 a seq or none?" ambiguity and
+/// matches `Wal::next_seq()` directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplStatus {
+    /// Partition this status describes.
+    pub partition: u32,
+    /// Whether the node currently leads the partition.
+    pub leading: bool,
+    /// The node's routing epoch for the partition.
+    pub epoch: u64,
+    /// First sequence not yet durable in the node's local WAL.
+    pub durable: u64,
+    /// First sequence not yet applied to the warm engine.
+    pub applied: u64,
+    /// Leader only: first sequence not yet confirmed shipped to the
+    /// follower (0 when no follower has ever polled).
+    pub replicated: u64,
+}
+
 /// Payload version byte inside [`Frame::MetricsResp`]. Independent of
 /// [`WIRE_VERSION`]: the metrics payload can evolve (new entry shapes)
 /// without a protocol-wide bump.
@@ -244,6 +273,168 @@ pub enum Frame {
         /// Sorted `(metric name, value)` pairs.
         metrics: Vec<(String, u64)>,
     },
+    /// Leader → client: the tagged ingest batch is durable. `durable` /
+    /// `replicated` are next-sequence watermarks (see [`ReplStatus`]): a
+    /// batch whose events occupy seqs `s..s+n` is **acked** once
+    /// `durable >= s+n` and may be dropped from the client's resend
+    /// ledger once `replicated >= s+n` — before that, a kill -9 of the
+    /// leader can lose the acked-but-unshipped tail and the client must
+    /// be able to re-send it to the promoted follower.
+    IngestAck {
+        /// Partition the batch landed on.
+        partition: u32,
+        /// The acked batch's client-assigned tag.
+        tag: u64,
+        /// First sequence not yet durable on the leader.
+        durable: u64,
+        /// First sequence not yet confirmed shipped to the follower.
+        replicated: u64,
+    },
+    /// Client → node: bind this connection's ingest stream to a
+    /// partition at a routing epoch. Every later ingest on the
+    /// connection is admitted through the partition's epoch gate at the
+    /// bound epoch; a stale bind (or a later move) gets
+    /// [`Frame::WrongLeader`]. Replies [`Frame::OkAck`] on success.
+    RouteBind {
+        /// Partition this connection will write.
+        partition: u32,
+        /// Routing epoch the client routed with.
+        epoch: u64,
+    },
+    /// Node → client: the write (or bind) was refused because the
+    /// partition's routing epoch moved on. The wire twin of
+    /// [`Error::WrongLeader`].
+    WrongLeader {
+        /// Partition the write was aimed at.
+        partition: u32,
+        /// The refusing node's current epoch for that partition.
+        epoch: u64,
+        /// Node id believed to lead the partition now.
+        hint: u32,
+    },
+    /// Follower → leader: list WAL segments that cover `from_seq`
+    /// onward. Doubles as the follower's progress report: the leader
+    /// takes `from_seq` as the follower's replicated watermark.
+    SegmentsReq {
+        /// Partition being tailed.
+        partition: u32,
+        /// First sequence the follower still needs.
+        from_seq: u64,
+    },
+    /// Leader → follower: the shippable-segment catalog (every segment
+    /// whose records could include `from_seq` or later), as
+    /// `(first_seq, byte length)` pairs in ascending `first_seq` order.
+    SegmentsResp {
+        /// Partition being tailed.
+        partition: u32,
+        /// `(first_seq, byte length)` per shippable segment.
+        segments: Vec<(u64, u64)>,
+    },
+    /// Follower → leader: fetch raw bytes of one WAL segment.
+    SegmentFetch {
+        /// Partition being tailed.
+        partition: u32,
+        /// The segment's first sequence (its catalog identity).
+        first_seq: u64,
+        /// Byte offset to read from.
+        offset: u64,
+        /// Most bytes wanted back (sender also caps at
+        /// [`MAX_CHUNK_LEN`]).
+        max_len: u32,
+    },
+    /// Leader → follower: raw segment bytes. Empty `bytes` means the
+    /// segment currently ends at `offset` — poll again (growing tail) or
+    /// re-list (a newer segment exists).
+    SegmentChunk {
+        /// Partition being tailed.
+        partition: u32,
+        /// The segment's first sequence.
+        first_seq: u64,
+        /// Offset these bytes start at.
+        offset: u64,
+        /// The bytes (possibly ending mid-record; the ship decoder is
+        /// prefix-closed).
+        bytes: Vec<u8>,
+    },
+    /// Coordinator → node: assume a role for a partition at a new epoch.
+    /// Demotion (`leader: false`) fences ingest *before* the route
+    /// flips; promotion (`leader: true`) opens the gate at the new
+    /// epoch. Replies [`Frame::RoleChangeAck`].
+    RoleChange {
+        /// Partition changing hands.
+        partition: u32,
+        /// The new routing epoch.
+        epoch: u64,
+        /// Whether this node now leads the partition.
+        leader: bool,
+        /// Node id that leads the partition at `epoch`.
+        hint: u32,
+    },
+    /// Node → coordinator: the role change is applied; `durable` is the
+    /// node's WAL watermark at the instant the gate flipped — for a
+    /// demotion this is the fence the new leader must reach before
+    /// opening.
+    RoleChangeAck {
+        /// Partition that changed hands.
+        partition: u32,
+        /// The epoch that was applied.
+        epoch: u64,
+        /// First sequence not yet durable at the flip.
+        durable: u64,
+    },
+    /// Peer → node: list the partition's checkpoint state files
+    /// (rebalance bootstrap). Replies [`Frame::StateListResp`].
+    StateListReq {
+        /// Partition whose state is wanted.
+        partition: u32,
+    },
+    /// Node → peer: checkpoint state files as `(name, byte length)`
+    /// pairs. Names are bare file names inside the partition's state
+    /// directory — never paths.
+    StateListResp {
+        /// Partition whose state is listed.
+        partition: u32,
+        /// `(file name, byte length)` per state file.
+        files: Vec<(String, u64)>,
+    },
+    /// Peer → node: fetch raw bytes of one checkpoint state file.
+    StateFetch {
+        /// Partition whose state is wanted.
+        partition: u32,
+        /// Bare file name from [`Frame::StateListResp`].
+        name: String,
+        /// Byte offset to read from.
+        offset: u64,
+        /// Most bytes wanted back.
+        max_len: u32,
+    },
+    /// Node → peer: raw state-file bytes. Empty `bytes` = end of file.
+    StateChunk {
+        /// Partition whose state is shipped.
+        partition: u32,
+        /// The file these bytes belong to.
+        name: String,
+        /// Offset these bytes start at.
+        offset: u64,
+        /// The bytes.
+        bytes: Vec<u8>,
+    },
+    /// Coordinator → node: start (or re-point) the warm-follower tailer
+    /// for a partition, shipping from the node at `source`
+    /// (`host:port`). Replies [`Frame::OkAck`].
+    FollowReq {
+        /// Partition to follow.
+        partition: u32,
+        /// Loopback address of the node to ship from.
+        source: String,
+    },
+    /// Control: request a [`Frame::StatusResp`] for one partition.
+    StatusReq {
+        /// Partition whose status is wanted.
+        partition: u32,
+    },
+    /// Control reply: the node's replication status for a partition.
+    StatusResp(ReplStatus),
 }
 
 fn kind_to_byte(k: EdgeKind) -> u8 {
@@ -265,6 +456,13 @@ fn kind_from_byte(b: u8) -> Result<EdgeKind> {
     }
 }
 
+impl Frame {
+    /// The wire type byte of this frame (the table in the crate docs).
+    pub fn frame_type(&self) -> u8 {
+        frame_type(self)
+    }
+}
+
 fn frame_type(f: &Frame) -> u8 {
     match f {
         Frame::Hello { .. } => 0,
@@ -283,6 +481,22 @@ fn frame_type(f: &Frame) -> u8 {
         Frame::BarrierAck { .. } => 13,
         Frame::MetricsReq => 14,
         Frame::MetricsResp { .. } => 15,
+        Frame::IngestAck { .. } => 16,
+        Frame::RouteBind { .. } => 17,
+        Frame::WrongLeader { .. } => 18,
+        Frame::SegmentsReq { .. } => 19,
+        Frame::SegmentsResp { .. } => 20,
+        Frame::SegmentFetch { .. } => 21,
+        Frame::SegmentChunk { .. } => 22,
+        Frame::RoleChange { .. } => 23,
+        Frame::RoleChangeAck { .. } => 24,
+        Frame::StateListReq { .. } => 25,
+        Frame::StateListResp { .. } => 26,
+        Frame::StateFetch { .. } => 27,
+        Frame::StateChunk { .. } => 28,
+        Frame::FollowReq { .. } => 29,
+        Frame::StatusReq { .. } => 30,
+        Frame::StatusResp(_) => 31,
     }
 }
 
@@ -394,6 +608,141 @@ fn encode_payload(f: &Frame, out: &mut Vec<u8>) {
                 put_varint(out, *value);
             }
         }
+        Frame::IngestAck {
+            partition,
+            tag,
+            durable,
+            replicated,
+        } => {
+            put_varint(out, *partition as u64);
+            put_varint(out, *tag);
+            put_varint(out, *durable);
+            put_varint(out, *replicated);
+        }
+        Frame::RouteBind { partition, epoch } => {
+            put_varint(out, *partition as u64);
+            put_varint(out, *epoch);
+        }
+        Frame::WrongLeader {
+            partition,
+            epoch,
+            hint,
+        } => {
+            put_varint(out, *partition as u64);
+            put_varint(out, *epoch);
+            put_varint(out, *hint as u64);
+        }
+        Frame::SegmentsReq {
+            partition,
+            from_seq,
+        } => {
+            put_varint(out, *partition as u64);
+            put_varint(out, *from_seq);
+        }
+        Frame::SegmentsResp {
+            partition,
+            segments,
+        } => {
+            put_varint(out, *partition as u64);
+            put_varint(out, segments.len() as u64);
+            for (first_seq, len) in segments {
+                put_varint(out, *first_seq);
+                put_varint(out, *len);
+            }
+        }
+        Frame::SegmentFetch {
+            partition,
+            first_seq,
+            offset,
+            max_len,
+        } => {
+            put_varint(out, *partition as u64);
+            put_varint(out, *first_seq);
+            put_varint(out, *offset);
+            put_varint(out, *max_len as u64);
+        }
+        Frame::SegmentChunk {
+            partition,
+            first_seq,
+            offset,
+            bytes,
+        } => {
+            put_varint(out, *partition as u64);
+            put_varint(out, *first_seq);
+            put_varint(out, *offset);
+            put_varint(out, bytes.len() as u64);
+            out.extend_from_slice(bytes);
+        }
+        Frame::RoleChange {
+            partition,
+            epoch,
+            leader,
+            hint,
+        } => {
+            put_varint(out, *partition as u64);
+            put_varint(out, *epoch);
+            out.push(*leader as u8);
+            put_varint(out, *hint as u64);
+        }
+        Frame::RoleChangeAck {
+            partition,
+            epoch,
+            durable,
+        } => {
+            put_varint(out, *partition as u64);
+            put_varint(out, *epoch);
+            put_varint(out, *durable);
+        }
+        Frame::StateListReq { partition } | Frame::StatusReq { partition } => {
+            put_varint(out, *partition as u64);
+        }
+        Frame::StateListResp { partition, files } => {
+            put_varint(out, *partition as u64);
+            put_varint(out, files.len() as u64);
+            for (name, len) in files {
+                put_varint(out, name.len() as u64);
+                out.extend_from_slice(name.as_bytes());
+                put_varint(out, *len);
+            }
+        }
+        Frame::StateFetch {
+            partition,
+            name,
+            offset,
+            max_len,
+        } => {
+            put_varint(out, *partition as u64);
+            put_varint(out, name.len() as u64);
+            out.extend_from_slice(name.as_bytes());
+            put_varint(out, *offset);
+            put_varint(out, *max_len as u64);
+        }
+        Frame::StateChunk {
+            partition,
+            name,
+            offset,
+            bytes,
+        } => {
+            put_varint(out, *partition as u64);
+            put_varint(out, name.len() as u64);
+            out.extend_from_slice(name.as_bytes());
+            put_varint(out, *offset);
+            put_varint(out, bytes.len() as u64);
+            out.extend_from_slice(bytes);
+        }
+        Frame::FollowReq { partition, source } => {
+            put_varint(out, *partition as u64);
+            put_varint(out, source.len() as u64);
+            out.extend_from_slice(source.as_bytes());
+        }
+        Frame::StatusResp(s) => {
+            put_varint(out, s.partition as u64);
+            out.push(s.leading as u8);
+            put_varint(out, s.epoch);
+            put_varint(out, s.durable);
+            put_varint(out, s.applied);
+            put_varint(out, s.replicated);
+        }
     }
 }
 
@@ -473,6 +822,35 @@ fn checked_count(r: &[u8], n: u64, min_bytes: usize, what: &str) -> Result<usize
         )));
     }
     Ok(n)
+}
+
+/// Reads a length-prefixed UTF-8 string, validating the claimed length
+/// against the remaining payload first.
+fn read_string(r: &mut &[u8], what: &str) -> Result<String> {
+    let n = read_varint_checked(r, what)?;
+    let n = checked_count(r, n, 1, what)?;
+    let mut bytes = vec![0u8; n];
+    read_exact_checked(r, &mut bytes, what)?;
+    String::from_utf8(bytes).map_err(|_| Error::Corrupt(format!("wire: {what} not utf-8")))
+}
+
+/// Reads a length-prefixed raw byte blob with the same count guard.
+fn read_bytes(r: &mut &[u8], what: &str) -> Result<Vec<u8>> {
+    let n = read_varint_checked(r, what)?;
+    let n = checked_count(r, n, 1, what)?;
+    let mut bytes = vec![0u8; n];
+    read_exact_checked(r, &mut bytes, what)?;
+    Ok(bytes)
+}
+
+fn read_bool(r: &mut &[u8], what: &str) -> Result<bool> {
+    let mut b = [0u8; 1];
+    read_exact_checked(r, &mut b, what)?;
+    match b[0] {
+        0 => Ok(false),
+        1 => Ok(true),
+        v => Err(Error::Corrupt(format!("wire: {what} byte {v} not a bool"))),
+    }
 }
 
 fn decode_payload(ty: u8, payload: &[u8]) -> Result<Frame> {
@@ -590,6 +968,107 @@ fn decode_payload(ty: u8, payload: &[u8]) -> Result<Frame> {
             }
             Frame::MetricsResp { metrics }
         }
+        16 => Frame::IngestAck {
+            partition: read_u32_field(&mut r, "wire ack partition")?,
+            tag: read_varint_checked(&mut r, "wire ack tag")?,
+            durable: read_varint_checked(&mut r, "wire ack durable")?,
+            replicated: read_varint_checked(&mut r, "wire ack replicated")?,
+        },
+        17 => Frame::RouteBind {
+            partition: read_u32_field(&mut r, "wire bind partition")?,
+            epoch: read_varint_checked(&mut r, "wire bind epoch")?,
+        },
+        18 => Frame::WrongLeader {
+            partition: read_u32_field(&mut r, "wire wrongleader partition")?,
+            epoch: read_varint_checked(&mut r, "wire wrongleader epoch")?,
+            hint: read_u32_field(&mut r, "wire wrongleader hint")?,
+        },
+        19 => Frame::SegmentsReq {
+            partition: read_u32_field(&mut r, "wire segreq partition")?,
+            from_seq: read_varint_checked(&mut r, "wire segreq from")?,
+        },
+        20 => {
+            let partition = read_u32_field(&mut r, "wire segresp partition")?;
+            let n = read_varint_checked(&mut r, "wire segresp count")?;
+            let n = checked_count(r, n, 2, "segment entry")?;
+            let mut segments = Vec::with_capacity(n);
+            for _ in 0..n {
+                let first_seq = read_varint_checked(&mut r, "wire segresp first_seq")?;
+                let len = read_varint_checked(&mut r, "wire segresp len")?;
+                segments.push((first_seq, len));
+            }
+            Frame::SegmentsResp {
+                partition,
+                segments,
+            }
+        }
+        21 => Frame::SegmentFetch {
+            partition: read_u32_field(&mut r, "wire segfetch partition")?,
+            first_seq: read_varint_checked(&mut r, "wire segfetch first_seq")?,
+            offset: read_varint_checked(&mut r, "wire segfetch offset")?,
+            max_len: read_u32_field(&mut r, "wire segfetch max_len")?,
+        },
+        22 => Frame::SegmentChunk {
+            partition: read_u32_field(&mut r, "wire segchunk partition")?,
+            first_seq: read_varint_checked(&mut r, "wire segchunk first_seq")?,
+            offset: read_varint_checked(&mut r, "wire segchunk offset")?,
+            bytes: read_bytes(&mut r, "wire segchunk bytes")?,
+        },
+        23 => Frame::RoleChange {
+            partition: read_u32_field(&mut r, "wire role partition")?,
+            epoch: read_varint_checked(&mut r, "wire role epoch")?,
+            leader: read_bool(&mut r, "wire role leader")?,
+            hint: read_u32_field(&mut r, "wire role hint")?,
+        },
+        24 => Frame::RoleChangeAck {
+            partition: read_u32_field(&mut r, "wire roleack partition")?,
+            epoch: read_varint_checked(&mut r, "wire roleack epoch")?,
+            durable: read_varint_checked(&mut r, "wire roleack durable")?,
+        },
+        25 => Frame::StateListReq {
+            partition: read_u32_field(&mut r, "wire statelist partition")?,
+        },
+        26 => {
+            let partition = read_u32_field(&mut r, "wire statelist partition")?;
+            let n = read_varint_checked(&mut r, "wire statelist count")?;
+            // Each entry costs at least a name-length varint + a size
+            // varint, even with an empty name.
+            let n = checked_count(r, n, 2, "state file entry")?;
+            let mut files = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = read_string(&mut r, "wire state file name")?;
+                let len = read_varint_checked(&mut r, "wire state file len")?;
+                files.push((name, len));
+            }
+            Frame::StateListResp { partition, files }
+        }
+        27 => Frame::StateFetch {
+            partition: read_u32_field(&mut r, "wire statefetch partition")?,
+            name: read_string(&mut r, "wire statefetch name")?,
+            offset: read_varint_checked(&mut r, "wire statefetch offset")?,
+            max_len: read_u32_field(&mut r, "wire statefetch max_len")?,
+        },
+        28 => Frame::StateChunk {
+            partition: read_u32_field(&mut r, "wire statechunk partition")?,
+            name: read_string(&mut r, "wire statechunk name")?,
+            offset: read_varint_checked(&mut r, "wire statechunk offset")?,
+            bytes: read_bytes(&mut r, "wire statechunk bytes")?,
+        },
+        29 => Frame::FollowReq {
+            partition: read_u32_field(&mut r, "wire follow partition")?,
+            source: read_string(&mut r, "wire follow source")?,
+        },
+        30 => Frame::StatusReq {
+            partition: read_u32_field(&mut r, "wire status partition")?,
+        },
+        31 => Frame::StatusResp(ReplStatus {
+            partition: read_u32_field(&mut r, "wire status partition")?,
+            leading: read_bool(&mut r, "wire status leading")?,
+            epoch: read_varint_checked(&mut r, "wire status epoch")?,
+            durable: read_varint_checked(&mut r, "wire status durable")?,
+            applied: read_varint_checked(&mut r, "wire status applied")?,
+            replicated: read_varint_checked(&mut r, "wire status replicated")?,
+        }),
         _ => return Err(Error::Corrupt(format!("wire: unknown frame type {ty}"))),
     };
     if !r.is_empty() {
@@ -715,6 +1194,92 @@ mod tests {
                     (String::new(), 0),
                 ],
             },
+            Frame::IngestAck {
+                partition: 2,
+                tag: 42,
+                durable: 1000,
+                replicated: 988,
+            },
+            Frame::RouteBind {
+                partition: 2,
+                epoch: 3,
+            },
+            Frame::WrongLeader {
+                partition: 2,
+                epoch: 4,
+                hint: 1,
+            },
+            Frame::SegmentsReq {
+                partition: 2,
+                from_seq: 988,
+            },
+            Frame::SegmentsResp {
+                partition: 2,
+                segments: vec![(0, 4096), (512, 128), (1024, 0)],
+            },
+            Frame::SegmentFetch {
+                partition: 2,
+                first_seq: 512,
+                offset: 64,
+                max_len: MAX_CHUNK_LEN as u32,
+            },
+            Frame::SegmentChunk {
+                partition: 2,
+                first_seq: 512,
+                offset: 64,
+                bytes: vec![0xDE, 0xAD, 0xBE, 0xEF],
+            },
+            Frame::SegmentChunk {
+                partition: 2,
+                first_seq: 512,
+                offset: 68,
+                bytes: Vec::new(),
+            },
+            Frame::RoleChange {
+                partition: 2,
+                epoch: 4,
+                leader: true,
+                hint: 1,
+            },
+            Frame::RoleChangeAck {
+                partition: 2,
+                epoch: 4,
+                durable: 1000,
+            },
+            Frame::StateListReq { partition: 2 },
+            Frame::StateListResp {
+                partition: 2,
+                files: vec![
+                    ("base-000042.mgrs".to_string(), 1 << 16),
+                    ("delta-000043.mgci".to_string(), 777),
+                    (String::new(), 0),
+                ],
+            },
+            Frame::StateFetch {
+                partition: 2,
+                name: "base-000042.mgrs".to_string(),
+                offset: 0,
+                max_len: 4096,
+            },
+            Frame::StateChunk {
+                partition: 2,
+                name: "base-000042.mgrs".to_string(),
+                offset: 0,
+                bytes: vec![7; 32],
+            },
+            Frame::FollowReq {
+                partition: 2,
+                source: "127.0.0.1:41001".to_string(),
+            },
+            Frame::StatusReq { partition: 2 },
+            Frame::StatusResp(ReplStatus {
+                partition: 2,
+                leading: false,
+                epoch: 4,
+                durable: 988,
+                applied: 988,
+                replicated: 0,
+            }),
         ]
     }
 

@@ -5,7 +5,9 @@
 //! frame, or turns the stream into an incomplete prefix — never a
 //! panic, never a silently different frame.
 
-use magicrecs_server::wire::{decode, encode, Frame, ShedCode, WireErrorCode, WireStats};
+use magicrecs_server::wire::{
+    decode, encode, Frame, ReplStatus, ShedCode, WireErrorCode, WireStats,
+};
 use magicrecs_types::{Candidate, EdgeEvent, EdgeKind, Error, Timestamp, UserId};
 use proptest::prelude::*;
 
@@ -120,6 +122,134 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             0..16
         )
         .prop_map(|metrics| Frame::MetricsResp { metrics }),
+        (0u32..8, 0u64..u64::MAX, 0u64..1 << 50, 0u64..1 << 50).prop_map(
+            |(partition, tag, durable, replicated)| Frame::IngestAck {
+                partition,
+                tag,
+                durable,
+                replicated,
+            }
+        ),
+        (0u32..8, 0u64..1 << 20)
+            .prop_map(|(partition, epoch)| Frame::RouteBind { partition, epoch }),
+        (0u32..8, 0u64..1 << 20, 0u32..8).prop_map(|(partition, epoch, hint)| {
+            Frame::WrongLeader {
+                partition,
+                epoch,
+                hint,
+            }
+        }),
+        (0u32..8, 0u64..1 << 50).prop_map(|(partition, from_seq)| Frame::SegmentsReq {
+            partition,
+            from_seq
+        }),
+        (
+            0u32..8,
+            proptest::collection::vec((0u64..1 << 50, 0u64..1 << 30), 0..12)
+        )
+            .prop_map(|(partition, segments)| Frame::SegmentsResp {
+                partition,
+                segments
+            }),
+        (0u32..8, 0u64..1 << 50, 0u64..1 << 30, 0u32..1 << 20).prop_map(
+            |(partition, first_seq, offset, max_len)| Frame::SegmentFetch {
+                partition,
+                first_seq,
+                offset,
+                max_len,
+            }
+        ),
+        (
+            0u32..8,
+            0u64..1 << 50,
+            0u64..1 << 30,
+            proptest::collection::vec(0u8..255, 0..256)
+        )
+            .prop_map(
+                |(partition, first_seq, offset, bytes)| Frame::SegmentChunk {
+                    partition,
+                    first_seq,
+                    offset,
+                    bytes,
+                }
+            ),
+        (0u32..8, 0u64..1 << 20, prop::bool::ANY, 0u32..8).prop_map(
+            |(partition, epoch, leader, hint)| Frame::RoleChange {
+                partition,
+                epoch,
+                leader,
+                hint,
+            }
+        ),
+        (0u32..8, 0u64..1 << 20, 0u64..1 << 50).prop_map(|(partition, epoch, durable)| {
+            Frame::RoleChangeAck {
+                partition,
+                epoch,
+                durable,
+            }
+        }),
+        (0u32..8).prop_map(|partition| Frame::StateListReq { partition }),
+        (
+            0u32..8,
+            proptest::collection::vec(
+                (
+                    proptest::collection::vec(97u8..123, 0..24)
+                        .prop_map(|v| String::from_utf8(v).expect("ascii")),
+                    0u64..1 << 40,
+                ),
+                0..8
+            )
+        )
+            .prop_map(|(partition, files)| Frame::StateListResp { partition, files }),
+        (
+            0u32..8,
+            proptest::collection::vec(97u8..123, 0..24)
+                .prop_map(|v| String::from_utf8(v).expect("ascii")),
+            0u64..1 << 30,
+            0u32..1 << 20,
+        )
+            .prop_map(|(partition, name, offset, max_len)| Frame::StateFetch {
+                partition,
+                name,
+                offset,
+                max_len,
+            }),
+        (
+            0u32..8,
+            proptest::collection::vec(97u8..123, 0..24)
+                .prop_map(|v| String::from_utf8(v).expect("ascii")),
+            0u64..1 << 30,
+            proptest::collection::vec(0u8..255, 0..256),
+        )
+            .prop_map(|(partition, name, offset, bytes)| Frame::StateChunk {
+                partition,
+                name,
+                offset,
+                bytes,
+            }),
+        (
+            0u32..8,
+            proptest::collection::vec(97u8..123, 0..24)
+                .prop_map(|v| String::from_utf8(v).expect("ascii")),
+        )
+            .prop_map(|(partition, source)| Frame::FollowReq { partition, source }),
+        (0u32..8).prop_map(|partition| Frame::StatusReq { partition }),
+        (
+            (0u32..8, prop::bool::ANY, 0u64..1 << 20),
+            (0u64..1 << 50, 0u64..1 << 50, 0u64..1 << 50),
+        )
+            .prop_map(
+                |((partition, leading, epoch), (durable, applied, replicated))| {
+                    Frame::StatusResp(ReplStatus {
+                        partition,
+                        leading,
+                        epoch,
+                        durable,
+                        applied,
+                        replicated,
+                    })
+                }
+            ),
     ]
 }
 

@@ -44,6 +44,31 @@ pub enum Error {
     Io(String),
     /// Generic invariant violation with context.
     Invariant(String),
+    /// A write (or control operation) was routed with a stale routing
+    /// epoch: the partition moved since the sender looked up its route.
+    /// Carries the refusing side's current epoch and a hint naming the
+    /// node that owns the partition now — the sender must refresh its
+    /// route table and retry there, never apply locally.
+    WrongLeader {
+        /// Partition the write was aimed at.
+        partition: u32,
+        /// The refusing node's current routing epoch for that partition.
+        epoch: u64,
+        /// Node id believed to lead the partition at `epoch`.
+        hint: u32,
+    },
+    /// A replication ship stream jumped over one or more sequences: a
+    /// middle segment was lost or reclaimed past the follower's
+    /// position. Resuming would silently diverge the follower, so the
+    /// stream is refused instead.
+    ReplicaGap {
+        /// Partition whose ship stream gapped.
+        partition: u32,
+        /// The next sequence the follower expected.
+        expected: u64,
+        /// The sequence the stream actually delivered.
+        got: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -63,6 +88,23 @@ impl fmt::Display for Error {
             Error::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
             Error::Io(msg) => write!(f, "io error: {msg}"),
             Error::Invariant(msg) => write!(f, "invariant violation: {msg}"),
+            Error::WrongLeader {
+                partition,
+                epoch,
+                hint,
+            } => write!(
+                f,
+                "wrong leader for partition p{partition} at epoch {epoch} — retry at node {hint}"
+            ),
+            Error::ReplicaGap {
+                partition,
+                expected,
+                got,
+            } => write!(
+                f,
+                "replication gap on partition p{partition}: expected seq {expected}, stream \
+                 delivered {got}"
+            ),
         }
     }
 }
@@ -99,6 +141,24 @@ mod tests {
         assert_eq!(
             Error::Io("fsync failed".into()).to_string(),
             "io error: fsync failed"
+        );
+        assert_eq!(
+            Error::WrongLeader {
+                partition: 2,
+                epoch: 7,
+                hint: 3
+            }
+            .to_string(),
+            "wrong leader for partition p2 at epoch 7 — retry at node 3"
+        );
+        assert_eq!(
+            Error::ReplicaGap {
+                partition: 1,
+                expected: 100,
+                got: 140
+            }
+            .to_string(),
+            "replication gap on partition p1: expected seq 100, stream delivered 140"
         );
         assert_eq!(
             Error::MotifParse {

@@ -73,6 +73,7 @@ pub use magicrecs_delivery as delivery;
 pub use magicrecs_gen as gen;
 pub use magicrecs_graph as graph;
 pub use magicrecs_motif as motif;
+pub use magicrecs_replica as replica;
 pub use magicrecs_server as server;
 pub use magicrecs_stream as stream;
 pub use magicrecs_temporal as temporal;
